@@ -1,0 +1,134 @@
+//! Execution reports produced by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use ptolemy_compiler::HwUnit;
+
+/// Start/finish times of one scheduled task (for debugging and the pipelining
+/// tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskTiming {
+    /// Index of the task in the compiled program.
+    pub task_index: usize,
+    /// Unit the task ran on.
+    pub unit: HwUnit,
+    /// Cycle at which the task started.
+    pub start_cycle: u64,
+    /// Cycle at which the task finished.
+    pub finish_cycle: u64,
+}
+
+/// Latency, energy and memory accounting of one detection-augmented inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Cycles a plain inference (no detection) would take on the same hardware.
+    pub inference_cycles: u64,
+    /// Cycles of the full detection-augmented execution.
+    pub total_cycles: u64,
+    /// Energy of a plain inference in picojoules.
+    pub inference_energy_pj: f64,
+    /// Energy of the full detection-augmented execution in picojoules.
+    pub total_energy_pj: f64,
+    /// Extra DRAM traffic introduced by detection, in bytes.
+    pub extra_dram_traffic_bytes: u64,
+    /// DRAM traffic of the plain inference, in bytes.
+    pub inference_dram_traffic_bytes: u64,
+    /// Extra DRAM space needed to hold partial sums / masks / paths, in bytes.
+    pub extra_dram_space_bytes: u64,
+    /// Per-task timeline.
+    pub task_timings: Vec<TaskTiming>,
+}
+
+impl ExecutionReport {
+    /// End-to-end latency relative to plain inference (`1.0` = no overhead,
+    /// `12.3` = the paper's BwCu-on-AlexNet figure).
+    pub fn latency_factor(&self) -> f64 {
+        if self.inference_cycles == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.inference_cycles as f64
+        }
+    }
+
+    /// Latency overhead as a fraction (`0.02` = 2 %).
+    pub fn latency_overhead(&self) -> f64 {
+        (self.latency_factor() - 1.0).max(0.0)
+    }
+
+    /// Energy relative to plain inference.
+    pub fn energy_factor(&self) -> f64 {
+        if self.inference_energy_pj == 0.0 {
+            0.0
+        } else {
+            self.total_energy_pj / self.inference_energy_pj
+        }
+    }
+
+    /// Energy overhead as a fraction.
+    pub fn energy_overhead(&self) -> f64 {
+        (self.energy_factor() - 1.0).max(0.0)
+    }
+
+    /// Extra DRAM traffic relative to the inference's own traffic.
+    pub fn dram_traffic_overhead(&self) -> f64 {
+        if self.inference_dram_traffic_bytes == 0 {
+            0.0
+        } else {
+            self.extra_dram_traffic_bytes as f64 / self.inference_dram_traffic_bytes as f64
+        }
+    }
+
+    /// Average power relative to plain inference (used by the Fig. 18 sweeps, which
+    /// report power rather than energy).
+    pub fn power_factor(&self) -> f64 {
+        if self.total_cycles == 0 || self.inference_cycles == 0 || self.inference_energy_pj == 0.0 {
+            0.0
+        } else {
+            (self.total_energy_pj / self.total_cycles as f64)
+                / (self.inference_energy_pj / self.inference_cycles as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            inference_cycles: 1000,
+            total_cycles: 1200,
+            inference_energy_pj: 500.0,
+            total_energy_pj: 600.0,
+            extra_dram_traffic_bytes: 50,
+            inference_dram_traffic_bytes: 1000,
+            extra_dram_space_bytes: 4096,
+            task_timings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn factors_and_overheads() {
+        let r = report();
+        assert!((r.latency_factor() - 1.2).abs() < 1e-9);
+        assert!((r.latency_overhead() - 0.2).abs() < 1e-9);
+        assert!((r.energy_factor() - 1.2).abs() < 1e-9);
+        assert!((r.dram_traffic_overhead() - 0.05).abs() < 1e-9);
+        assert!((r.power_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baselines_do_not_divide_by_zero() {
+        let r = ExecutionReport {
+            inference_cycles: 0,
+            inference_energy_pj: 0.0,
+            inference_dram_traffic_bytes: 0,
+            ..report()
+        };
+        assert_eq!(r.latency_factor(), 0.0);
+        assert_eq!(r.energy_factor(), 0.0);
+        assert_eq!(r.dram_traffic_overhead(), 0.0);
+        assert_eq!(r.power_factor(), 0.0);
+        assert_eq!(r.latency_overhead(), 0.0);
+    }
+}

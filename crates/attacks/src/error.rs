@@ -1,0 +1,66 @@
+use std::fmt;
+
+use ptolemy_nn::NnError;
+use ptolemy_tensor::TensorError;
+
+/// Error type for attack generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// Attack parameters are invalid (negative ε, zero iterations, …).
+    InvalidConfig(String),
+    /// The adaptive attack could not find suitable target samples.
+    NoTargets(String),
+    /// The DNN substrate reported an error.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::InvalidConfig(msg) => write!(f, "invalid attack configuration: {msg}"),
+            AttackError::NoTargets(msg) => write!(f, "no usable attack targets: {msg}"),
+            AttackError::Nn(e) => write!(f, "dnn substrate error: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e: AttackError = NnError::EmptyDataset.into();
+        assert!(e.to_string().contains("dnn"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: AttackError = TensorError::Empty("max").into();
+        assert!(e.to_string().contains("tensor"));
+        assert!(!AttackError::InvalidConfig("x".into()).to_string().is_empty());
+        assert!(!AttackError::NoTargets("y".into()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # ptolemy-attacks
+//!
+//! White-box adversarial attack generation against the `ptolemy-nn` substrate.
+//!
+//! The paper evaluates Ptolemy against five standard non-adaptive attacks covering
+//! all three perturbation norms — BIM and FGSM (L∞), CW-L2 and DeepFool (L2), JSMA
+//! (L0) — plus an **adaptive attack** that knows how the defense works and tries to
+//! force an adversarial input onto a benign input's activation path by matching the
+//! activations of the last *n* layers (Sec. VII-E).  This crate implements all of
+//! them from scratch on top of the gradients exposed by [`ptolemy_nn::Network`].
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_attacks::{Attack, Fgsm};
+//! use ptolemy_nn::{zoo, TrainConfig, Trainer};
+//! use ptolemy_tensor::{Rng64, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng64::new(0);
+//! let mut net = zoo::mlp_net(&[8], 2, &mut rng)?;
+//! let samples = vec![
+//!     (Tensor::full(&[8], 0.9), 0usize),
+//!     (Tensor::full(&[8], 0.1), 1usize),
+//! ];
+//! Trainer::new(TrainConfig::default()).fit(&mut net, &samples)?;
+//! let example = Fgsm::new(0.2).perturb(&net, &samples[0].0, 0)?;
+//! assert!(example.distortion_linf <= 0.2 + 1e-5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod adaptive;
+mod error;
+mod gradient;
+mod saliency;
+mod types;
+
+pub use adaptive::{AdaptiveAttack, AdaptiveConfig};
+pub use error::AttackError;
+pub use gradient::{Bim, CarliniWagnerL2, DeepFool, Fgsm, Pgd};
+pub use saliency::Jsma;
+pub use types::{generate_adversarial_set, AdversarialExample, Attack, AttackBatchReport};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, AttackError>;

@@ -1,0 +1,210 @@
+//! Shared attack types: the [`Attack`] trait, adversarial examples, and batch
+//! generation helpers.
+
+use ptolemy_nn::Network;
+use ptolemy_tensor::Tensor;
+
+use crate::Result;
+
+/// One adversarial example produced by an [`Attack`].
+#[derive(Debug, Clone)]
+pub struct AdversarialExample {
+    /// The perturbed input.
+    pub input: Tensor,
+    /// The original, unperturbed input.
+    pub original: Tensor,
+    /// The true class of the original input.
+    pub original_class: usize,
+    /// The class the network predicts for the perturbed input.
+    pub adversarial_class: usize,
+    /// Whether the attack changed the prediction away from `original_class`.
+    pub success: bool,
+    /// Mean-squared-error distortion between original and perturbed input
+    /// (the metric Fig. 14 buckets by).
+    pub distortion_mse: f32,
+    /// L∞ distortion.
+    pub distortion_linf: f32,
+}
+
+impl AdversarialExample {
+    /// Builds an example record from an original/perturbed pair, querying the
+    /// network for the adversarial prediction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors from the prediction.
+    pub fn evaluate(
+        network: &Network,
+        original: &Tensor,
+        perturbed: Tensor,
+        original_class: usize,
+    ) -> Result<Self> {
+        let adversarial_class = network.predict(&perturbed)?;
+        let distortion_mse = perturbed.mse(original)?;
+        let distortion_linf = perturbed.sub(original)?.linf_norm();
+        Ok(AdversarialExample {
+            success: adversarial_class != original_class,
+            input: perturbed,
+            original: original.clone(),
+            original_class,
+            adversarial_class,
+            distortion_mse,
+            distortion_linf,
+        })
+    }
+}
+
+/// A white-box adversarial attack.
+///
+/// Attacks are object-safe so evaluation harnesses can iterate over
+/// `Vec<Box<dyn Attack>>`.
+pub trait Attack: Send + Sync {
+    /// Attack name as used in the paper's figures (e.g. `"FGSM"`).
+    fn name(&self) -> &'static str;
+
+    /// Perturbs one input of known true class.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the attack configuration is invalid for the input or the
+    /// substrate fails.
+    fn perturb(
+        &self,
+        network: &Network,
+        input: &Tensor,
+        label: usize,
+    ) -> Result<AdversarialExample>;
+}
+
+/// Aggregate statistics of an attack applied to a sample set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackBatchReport {
+    /// Attack name.
+    pub attack: String,
+    /// Number of samples attacked.
+    pub attempted: usize,
+    /// Number of successful prediction flips.
+    pub successes: usize,
+    /// Mean MSE distortion over all generated examples.
+    pub mean_mse: f32,
+    /// Maximum MSE distortion.
+    pub max_mse: f32,
+}
+
+impl AttackBatchReport {
+    /// Success rate in `[0, 1]` (0 for an empty batch).
+    pub fn success_rate(&self) -> f32 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.successes as f32 / self.attempted as f32
+        }
+    }
+}
+
+/// Applies `attack` to every sample the network currently classifies correctly and
+/// returns the generated examples plus summary statistics.
+///
+/// Samples the network already mis-classifies are skipped — adversarial detection
+/// experiments only attack correctly-classified inputs (standard practice, also
+/// followed by the paper's evaluation).
+///
+/// # Errors
+///
+/// Propagates attack and substrate errors.
+pub fn generate_adversarial_set(
+    attack: &dyn Attack,
+    network: &Network,
+    samples: &[(Tensor, usize)],
+) -> Result<(Vec<AdversarialExample>, AttackBatchReport)> {
+    let mut examples = Vec::new();
+    for (input, label) in samples {
+        if network.predict(input)? != *label {
+            continue;
+        }
+        examples.push(attack.perturb(network, input, *label)?);
+    }
+    let successes = examples.iter().filter(|e| e.success).count();
+    let mean_mse = if examples.is_empty() {
+        0.0
+    } else {
+        examples.iter().map(|e| e.distortion_mse).sum::<f32>() / examples.len() as f32
+    };
+    let max_mse = examples
+        .iter()
+        .map(|e| e.distortion_mse)
+        .fold(0.0f32, f32::max);
+    let report = AttackBatchReport {
+        attack: attack.name().to_string(),
+        attempted: examples.len(),
+        successes,
+        mean_mse,
+        max_mse,
+    };
+    Ok((examples, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptolemy_nn::zoo;
+    use ptolemy_tensor::Rng64;
+
+    struct NoopAttack;
+    impl Attack for NoopAttack {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+        fn perturb(
+            &self,
+            network: &Network,
+            input: &Tensor,
+            label: usize,
+        ) -> Result<AdversarialExample> {
+            AdversarialExample::evaluate(network, input, input.clone(), label)
+        }
+    }
+
+    #[test]
+    fn evaluate_records_distortion_and_success() {
+        let mut rng = Rng64::new(0);
+        let net = zoo::mlp_net(&[4], 2, &mut rng).unwrap();
+        let original = Tensor::full(&[4], 0.5);
+        let perturbed = Tensor::full(&[4], 0.7);
+        let label = net.predict(&original).unwrap();
+        let ex = AdversarialExample::evaluate(&net, &original, perturbed, label).unwrap();
+        assert!((ex.distortion_mse - 0.04).abs() < 1e-5);
+        assert!((ex.distortion_linf - 0.2).abs() < 1e-5);
+        assert_eq!(ex.original_class, label);
+        // Success is defined as a changed prediction.
+        let same = AdversarialExample::evaluate(&net, &original, original.clone(), label).unwrap();
+        assert!(!same.success);
+        assert_eq!(same.distortion_mse, 0.0);
+    }
+
+    #[test]
+    fn batch_generation_skips_misclassified_samples() {
+        let mut rng = Rng64::new(1);
+        let net = zoo::mlp_net(&[4], 2, &mut rng).unwrap();
+        let a = Tensor::full(&[4], 0.9);
+        let b = Tensor::full(&[4], 0.1);
+        let ca = net.predict(&a).unwrap();
+        let cb = net.predict(&b).unwrap();
+        // Give `a` the correct label and `b` a deliberately wrong one.
+        let samples = vec![(a, ca), (b, 1 - cb)];
+        let (examples, report) = generate_adversarial_set(&NoopAttack, &net, &samples).unwrap();
+        assert_eq!(examples.len(), 1);
+        assert_eq!(report.attempted, 1);
+        assert_eq!(report.successes, 0);
+        assert_eq!(report.success_rate(), 0.0);
+        assert_eq!(report.attack, "noop");
+        let empty = AttackBatchReport {
+            attack: "x".into(),
+            attempted: 0,
+            successes: 0,
+            mean_mse: 0.0,
+            max_mse: 0.0,
+        };
+        assert_eq!(empty.success_rate(), 0.0);
+    }
+}

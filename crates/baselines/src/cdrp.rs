@@ -1,0 +1,275 @@
+//! The CDRP baseline (Wang et al., CVPR 2018): critical data routing paths.
+//!
+//! CDRP attaches a control gate to every channel of every layer and learns, per
+//! input, which channels are critical for the prediction; the per-class
+//! distribution of gate vectors is then used to flag inputs that route through
+//! unusual channels.  Learning the gates requires an optimisation pass per input
+//! (effectively a retraining step), which is why the paper classifies CDRP as an
+//! offline method that cannot detect adversaries at inference time.
+//!
+//! This re-implementation approximates the learned gates with channel-saliency
+//! gates — the mean post-activation magnitude of every channel, which is the
+//! quantity the learned gates converge towards for well-trained networks — and
+//! keeps CDRP's decision procedure: compare an input's gate vector against the mean
+//! gate vector of its predicted class and feed the similarity to a classifier.
+
+use ptolemy_forest::{ForestConfig, RandomForest};
+use ptolemy_nn::Network;
+use ptolemy_tensor::Tensor;
+
+use crate::{BaselineDetector, BaselineError, Result};
+
+/// Maximum number of gates kept per layer for non-convolutional layers.
+const MAX_GATES_PER_LAYER: usize = 32;
+
+/// The CDRP critical-routing-path defense.
+#[derive(Debug, Clone)]
+pub struct CdrpDefense {
+    class_gates: Vec<Vec<f32>>,
+    forest: RandomForest,
+}
+
+/// Computes the gate vector of one input: per-channel mean activations of every
+/// weight layer's output, L2-normalised per layer.
+///
+/// # Errors
+///
+/// Propagates substrate errors from the forward pass.
+pub fn gate_vector(network: &Network, input: &Tensor) -> Result<Vec<f32>> {
+    let trace = network.forward_trace(input)?;
+    let mut gates = Vec::new();
+    for &layer in &network.weight_layer_indices() {
+        let out = &trace.outputs[layer];
+        let dims = out.dims();
+        let layer_gates: Vec<f32> = if dims.len() == 3 {
+            // Convolutional output [C, H, W]: one gate per channel.
+            let (c, hw) = (dims[0], dims[1] * dims[2]);
+            (0..c)
+                .map(|ch| {
+                    let slice = &out.as_slice()[ch * hw..(ch + 1) * hw];
+                    slice.iter().map(|v| v.max(0.0)).sum::<f32>() / hw as f32
+                })
+                .collect()
+        } else {
+            // Dense output: chunk the activations into at most MAX_GATES_PER_LAYER
+            // groups so the gate vector stays channel-granular like CDRP's.
+            let flat = out.as_slice();
+            let groups = flat.len().min(MAX_GATES_PER_LAYER).max(1);
+            let chunk = flat.len().div_ceil(groups);
+            flat.chunks(chunk)
+                .map(|c| c.iter().map(|v| v.max(0.0)).sum::<f32>() / c.len() as f32)
+                .collect()
+        };
+        let norm = layer_gates.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            gates.extend(layer_gates.iter().map(|v| v / norm));
+        } else {
+            gates.extend(layer_gates);
+        }
+    }
+    Ok(gates)
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+impl CdrpDefense {
+    /// Fits the CDRP defense: per-class mean gate vectors from the training set and
+    /// a classifier calibrated on benign and adversarial inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidInput`] for empty inputs and propagates
+    /// substrate/classifier errors.
+    pub fn fit(
+        network: &Network,
+        train: &[(Tensor, usize)],
+        benign: &[Tensor],
+        adversarial: &[Tensor],
+    ) -> Result<Self> {
+        if train.is_empty() || benign.is_empty() || adversarial.is_empty() {
+            return Err(BaselineError::InvalidInput(
+                "CDRP needs training, benign and adversarial inputs".into(),
+            ));
+        }
+        // Per-class mean gate vector over correctly-classified training samples.
+        let num_classes = network.num_classes();
+        let mut sums: Vec<Vec<f32>> = vec![Vec::new(); num_classes];
+        let mut counts = vec![0usize; num_classes];
+        for (input, label) in train {
+            if network.predict(input)? != *label {
+                continue;
+            }
+            let gates = gate_vector(network, input)?;
+            if sums[*label].is_empty() {
+                sums[*label] = vec![0.0; gates.len()];
+            }
+            for (s, g) in sums[*label].iter_mut().zip(&gates) {
+                *s += g;
+            }
+            counts[*label] += 1;
+        }
+        let class_gates: Vec<Vec<f32>> = sums
+            .into_iter()
+            .zip(&counts)
+            .map(|(sum, &n)| {
+                if n == 0 {
+                    sum
+                } else {
+                    sum.into_iter().map(|v| v / n as f32).collect()
+                }
+            })
+            .collect();
+
+        // Calibrate the classifier on the routing-similarity feature.
+        let defense = CdrpDefense {
+            class_gates,
+            forest: RandomForest::fit(
+                &[vec![0.0], vec![1.0]],
+                &[false, true],
+                &ForestConfig {
+                    num_trees: 1,
+                    ..ForestConfig::default()
+                },
+            )?,
+        };
+        let mut features = Vec::with_capacity(benign.len() + adversarial.len());
+        let mut labels = Vec::with_capacity(benign.len() + adversarial.len());
+        for input in benign {
+            features.push(vec![defense.routing_similarity(network, input)?]);
+            labels.push(false);
+        }
+        for input in adversarial {
+            features.push(vec![defense.routing_similarity(network, input)?]);
+            labels.push(true);
+        }
+        let forest = RandomForest::fit(&features, &labels, &ForestConfig::default())?;
+        Ok(CdrpDefense { forest, ..defense })
+    }
+
+    /// Cosine similarity between an input's gate vector and the mean gate vector of
+    /// its predicted class (the CDRP detection feature).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors.
+    pub fn routing_similarity(&self, network: &Network, input: &Tensor) -> Result<f32> {
+        let predicted = network.predict(input)?;
+        let gates = gate_vector(network, input)?;
+        let class = self
+            .class_gates
+            .get(predicted)
+            .ok_or_else(|| BaselineError::InvalidInput(format!("class {predicted} not profiled")))?;
+        if class.is_empty() {
+            // No correctly-classified training sample of this class was seen; the
+            // routing profile is unknown, so report zero similarity (suspicious).
+            return Ok(0.0);
+        }
+        Ok(cosine(&gates, class))
+    }
+
+    /// The per-class mean gate vectors.
+    pub fn class_gates(&self) -> &[Vec<f32>] {
+        &self.class_gates
+    }
+}
+
+impl BaselineDetector for CdrpDefense {
+    fn name(&self) -> &'static str {
+        "CDRP"
+    }
+
+    fn online(&self) -> bool {
+        // Gate learning is a per-input optimisation — the paper excludes CDRP from
+        // the latency/energy comparison because it cannot run at inference time.
+        false
+    }
+
+    fn score(&self, network: &Network, input: &Tensor) -> Result<f32> {
+        let similarity = self.routing_similarity(network, input)?;
+        Ok(self.forest.predict_proba(&[similarity])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptolemy_nn::{zoo, TrainConfig, Trainer};
+    use ptolemy_tensor::Rng64;
+
+    fn trained_lenet() -> (Network, Vec<(Tensor, usize)>) {
+        let mut rng = Rng64::new(3);
+        let mut samples = Vec::new();
+        for class in 0..2usize {
+            for _ in 0..10 {
+                let data: Vec<f32> = (0..2 * 8 * 8)
+                    .map(|i| {
+                        let on = (i / 64) == class;
+                        if on {
+                            0.8 + 0.1 * rng.normal()
+                        } else {
+                            0.1 * rng.normal()
+                        }
+                    })
+                    .collect();
+                samples.push((Tensor::from_vec(data, &[2, 8, 8]).unwrap(), class));
+            }
+        }
+        let mut net = zoo::lenet(2, 2, &mut rng).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 15,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &samples)
+        .unwrap();
+        (net, samples)
+    }
+
+    #[test]
+    fn gate_vectors_are_normalised_and_stable() {
+        let (net, samples) = trained_lenet();
+        let g1 = gate_vector(&net, &samples[0].0).unwrap();
+        let g2 = gate_vector(&net, &samples[0].0).unwrap();
+        assert_eq!(g1, g2);
+        assert!(!g1.is_empty());
+        assert!(g1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fit_rejects_empty_inputs() {
+        let (net, samples) = trained_lenet();
+        let benign: Vec<Tensor> = samples.iter().take(4).map(|(x, _)| x.clone()).collect();
+        assert!(CdrpDefense::fit(&net, &[], &benign, &benign).is_err());
+        assert!(CdrpDefense::fit(&net, &samples, &[], &benign).is_err());
+        assert!(CdrpDefense::fit(&net, &samples, &benign, &[]).is_err());
+    }
+
+    #[test]
+    fn benign_inputs_route_like_their_class() {
+        let (net, samples) = trained_lenet();
+        let benign: Vec<Tensor> = samples.iter().map(|(x, _)| x.clone()).collect();
+        // Noise inputs stand in for adversarial calibration samples.
+        let mut rng = Rng64::new(9);
+        let noise: Vec<Tensor> = (0..8)
+            .map(|_| {
+                Tensor::from_vec((0..128).map(|_| rng.normal()).collect(), &[2, 8, 8]).unwrap()
+            })
+            .collect();
+        let cdrp = CdrpDefense::fit(&net, &samples, &benign, &noise).unwrap();
+        assert_eq!(cdrp.name(), "CDRP");
+        assert!(!cdrp.online());
+        assert_eq!(cdrp.class_gates().len(), 2);
+        let benign_sim = cdrp.routing_similarity(&net, &samples[0].0).unwrap();
+        assert!((0.0..=1.0 + 1e-6).contains(&benign_sim));
+        let score = cdrp.score(&net, &samples[0].0).unwrap();
+        assert!((0.0..=1.0).contains(&score));
+    }
+}

@@ -1,0 +1,294 @@
+//! The DeepFense baseline (Rouhani et al., ICCAD 2018): online accelerated defense
+//! through redundant latent "defender" models.
+//!
+//! DeepFense attaches N extra latent models to a victim network; each defender
+//! watches the activations of one intermediate layer and votes on whether the input
+//! lies on the benign data manifold.  The published configurations differ in the
+//! number of defenders — 1 (`DFL`), 8 (`DFM`) and 16 (`DFH`) — trading detection
+//! accuracy for overhead, because every defender is an extra network that must run
+//! at inference time.
+//!
+//! The paper re-implements DeepFense on the Ptolemy hardware substrate for a fair
+//! comparison (Sec. VII-D); this module does the same: each defender is a small MLP
+//! over pooled latent activations built from the `ptolemy-nn` substrate, and its
+//! cost is priced by running the defender through the `ptolemy-accel` inference
+//! model on the same accelerator configuration.
+
+use ptolemy_accel::{HardwareConfig, Simulator};
+use ptolemy_nn::{zoo, Network, TrainConfig, Trainer};
+use ptolemy_tensor::{Rng64, Tensor};
+
+use crate::{BaselineDetector, BaselineError, Result};
+
+/// Dimension every latent tap is pooled down to before entering a defender.
+const LATENT_FEATURES: usize = 16;
+
+/// The published DeepFense operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeepFenseVariant {
+    /// One latent defender (lowest overhead, lowest accuracy).
+    Light,
+    /// Eight latent defenders.
+    Medium,
+    /// Sixteen latent defenders (highest overhead, highest accuracy).
+    High,
+}
+
+impl DeepFenseVariant {
+    /// Number of redundant defender models of this operating point.
+    pub fn num_modules(&self) -> usize {
+        match self {
+            DeepFenseVariant::Light => 1,
+            DeepFenseVariant::Medium => 8,
+            DeepFenseVariant::High => 16,
+        }
+    }
+
+    /// Name used in the paper's figures (`DFL` / `DFM` / `DFH`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeepFenseVariant::Light => "DFL",
+            DeepFenseVariant::Medium => "DFM",
+            DeepFenseVariant::High => "DFH",
+        }
+    }
+}
+
+/// One latent defender: a tap layer plus a small MLP over its pooled activations.
+#[derive(Debug)]
+struct Defender {
+    tap_layer: usize,
+    model: Network,
+}
+
+/// The DeepFense redundant-defender detector.
+#[derive(Debug)]
+pub struct DeepFenseDefense {
+    variant: DeepFenseVariant,
+    defenders: Vec<Defender>,
+}
+
+/// Pools the activations of `layer` into a fixed [`LATENT_FEATURES`]-dimensional
+/// latent feature vector (channel-mean pooling followed by chunked averaging).
+fn latent_features(network: &Network, input: &Tensor, layer: usize) -> Result<Tensor> {
+    let trace = network.forward_trace(input)?;
+    let out = &trace.outputs[layer];
+    let dims = out.dims();
+    let coarse: Vec<f32> = if dims.len() == 3 {
+        let (c, hw) = (dims[0], dims[1] * dims[2]);
+        (0..c)
+            .map(|ch| {
+                let slice = &out.as_slice()[ch * hw..(ch + 1) * hw];
+                slice.iter().sum::<f32>() / hw as f32
+            })
+            .collect()
+    } else {
+        out.as_slice().to_vec()
+    };
+    let groups = coarse.len().min(LATENT_FEATURES).max(1);
+    let chunk = coarse.len().div_ceil(groups);
+    let mut pooled: Vec<f32> = coarse
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f32>() / c.len() as f32)
+        .collect();
+    pooled.resize(LATENT_FEATURES, 0.0);
+    Ok(Tensor::from_vec(pooled, &[LATENT_FEATURES]).map_err(|e| {
+        BaselineError::InvalidInput(format!("latent feature construction failed: {e}"))
+    })?)
+}
+
+impl DeepFenseDefense {
+    /// Trains `variant.num_modules()` latent defenders on benign and adversarial
+    /// calibration inputs.
+    ///
+    /// Defenders tap the victim's weight layers round-robin so the ensemble watches
+    /// different depths, mirroring DeepFense's per-layer latent models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidInput`] for empty calibration sets and
+    /// propagates substrate errors.
+    pub fn fit(
+        network: &Network,
+        variant: DeepFenseVariant,
+        benign: &[Tensor],
+        adversarial: &[Tensor],
+        seed: u64,
+    ) -> Result<Self> {
+        if benign.is_empty() || adversarial.is_empty() {
+            return Err(BaselineError::InvalidInput(
+                "DeepFense needs benign and adversarial calibration inputs".into(),
+            ));
+        }
+        let taps = network.weight_layer_indices();
+        if taps.is_empty() {
+            return Err(BaselineError::InvalidInput(
+                "victim network has no weight layers to tap".into(),
+            ));
+        }
+        let mut rng = Rng64::new(seed);
+        let mut defenders = Vec::with_capacity(variant.num_modules());
+        for module in 0..variant.num_modules() {
+            // Skip the final classifier layer: its activations are the logits the
+            // attack already controls, so it carries no manifold information.
+            let usable = &taps[..taps.len().saturating_sub(1).max(1)];
+            let tap_layer = usable[module % usable.len()];
+            let mut samples: Vec<(Tensor, usize)> =
+                Vec::with_capacity(benign.len() + adversarial.len());
+            for input in benign {
+                samples.push((latent_features(network, input, tap_layer)?, 0));
+            }
+            for input in adversarial {
+                samples.push((latent_features(network, input, tap_layer)?, 1));
+            }
+            let mut model = zoo::mlp_net(&[LATENT_FEATURES], 2, &mut rng)?;
+            Trainer::new(TrainConfig {
+                epochs: 15,
+                seed: seed ^ module as u64,
+                ..TrainConfig::default()
+            })
+            .fit(&mut model, &samples)?;
+            defenders.push(Defender { tap_layer, model });
+        }
+        Ok(DeepFenseDefense { variant, defenders })
+    }
+
+    /// The operating point this detector was built for.
+    pub fn variant(&self) -> DeepFenseVariant {
+        self.variant
+    }
+
+    /// Number of redundant defender models.
+    pub fn num_modules(&self) -> usize {
+        self.defenders.len()
+    }
+
+    /// Latency and energy of victim + defenders relative to the victim alone,
+    /// priced on the shared accelerator (`(latency_factor, energy_factor)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware-model errors.
+    pub fn cost(&self, network: &Network, config: &HardwareConfig) -> Result<(f64, f64)> {
+        let sim = Simulator::new(*config)?;
+        let victim = sim.inference_report(network)?;
+        let mut total_cycles = victim.inference_cycles as f64;
+        let mut total_energy = victim.inference_energy_pj;
+        for defender in &self.defenders {
+            let report = sim.inference_report(&defender.model)?;
+            // The defender cannot start before its tap layer's activations exist and
+            // shares the PE array with the victim, so its cycles serialise.
+            total_cycles += report.inference_cycles as f64;
+            total_energy += report.inference_energy_pj;
+        }
+        Ok((
+            total_cycles / victim.inference_cycles as f64,
+            total_energy / victim.inference_energy_pj,
+        ))
+    }
+}
+
+impl BaselineDetector for DeepFenseDefense {
+    fn name(&self) -> &'static str {
+        "DeepFense"
+    }
+
+    fn online(&self) -> bool {
+        true
+    }
+
+    fn score(&self, network: &Network, input: &Tensor) -> Result<f32> {
+        let mut total = 0.0f32;
+        for defender in &self.defenders {
+            let features = latent_features(network, input, defender.tap_layer)?;
+            let logits = defender.model.forward(&features)?;
+            let slice = logits.as_slice();
+            if slice.len() < 2 {
+                return Err(BaselineError::InvalidInput(
+                    "defender produced fewer than two logits".into(),
+                ));
+            }
+            // Softmax probability of the "adversarial" class.
+            let max = slice.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = slice.iter().map(|v| (v - max).exp()).collect();
+            total += exps[1] / exps.iter().sum::<f32>();
+        }
+        Ok(total / self.defenders.len() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptolemy_nn::zoo;
+    use ptolemy_tensor::Rng64;
+
+    fn victim_and_data() -> (Network, Vec<Tensor>, Vec<Tensor>) {
+        let mut rng = Rng64::new(21);
+        let net = zoo::lenet(2, 2, &mut rng).unwrap();
+        let benign: Vec<Tensor> = (0..10)
+            .map(|_| {
+                Tensor::from_vec(
+                    (0..128).map(|_| 0.5 + 0.05 * rng.normal()).collect(),
+                    &[2, 8, 8],
+                )
+                .unwrap()
+            })
+            .collect();
+        let adversarial: Vec<Tensor> = (0..10)
+            .map(|_| {
+                Tensor::from_vec((0..128).map(|_| 2.0 * rng.normal()).collect(), &[2, 8, 8])
+                    .unwrap()
+            })
+            .collect();
+        (net, benign, adversarial)
+    }
+
+    #[test]
+    fn variants_expose_the_published_module_counts() {
+        assert_eq!(DeepFenseVariant::Light.num_modules(), 1);
+        assert_eq!(DeepFenseVariant::Medium.num_modules(), 8);
+        assert_eq!(DeepFenseVariant::High.num_modules(), 16);
+        assert_eq!(DeepFenseVariant::Light.label(), "DFL");
+        assert_eq!(DeepFenseVariant::High.label(), "DFH");
+    }
+
+    #[test]
+    fn fit_rejects_empty_calibration_sets() {
+        let (net, benign, adversarial) = victim_and_data();
+        assert!(
+            DeepFenseDefense::fit(&net, DeepFenseVariant::Light, &[], &adversarial, 0).is_err()
+        );
+        assert!(DeepFenseDefense::fit(&net, DeepFenseVariant::Light, &benign, &[], 0).is_err());
+    }
+
+    #[test]
+    fn scores_are_probabilities_and_separate_obvious_outliers() {
+        let (net, benign, adversarial) = victim_and_data();
+        let df =
+            DeepFenseDefense::fit(&net, DeepFenseVariant::Light, &benign, &adversarial, 7).unwrap();
+        assert_eq!(df.num_modules(), 1);
+        assert_eq!(df.variant(), DeepFenseVariant::Light);
+        assert!(df.online());
+        assert_eq!(df.name(), "DeepFense");
+        let b = df.score(&net, &benign[0]).unwrap();
+        let a = df.score(&net, &adversarial[0]).unwrap();
+        assert!((0.0..=1.0).contains(&b));
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn more_modules_cost_more() {
+        let (net, benign, adversarial) = victim_and_data();
+        let light =
+            DeepFenseDefense::fit(&net, DeepFenseVariant::Light, &benign, &adversarial, 1).unwrap();
+        let high =
+            DeepFenseDefense::fit(&net, DeepFenseVariant::High, &benign, &adversarial, 1).unwrap();
+        let cfg = HardwareConfig::default();
+        let (l_lat, l_en) = light.cost(&net, &cfg).unwrap();
+        let (h_lat, h_en) = high.cost(&net, &cfg).unwrap();
+        assert!(l_lat >= 1.0 && l_en >= 1.0);
+        assert!(h_lat > l_lat, "DFH latency {h_lat} vs DFL {l_lat}");
+        assert!(h_en > l_en);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the baseline detectors.
+
+use std::fmt;
+
+/// Errors produced by the baseline detectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The fitting inputs were empty or inconsistent.
+    InvalidInput(String),
+    /// The Ptolemy core framework reported an error (EP reuses its extraction).
+    Core(ptolemy_core::CoreError),
+    /// The DNN substrate reported an error.
+    Nn(ptolemy_nn::NnError),
+    /// The random-forest classifier reported an error.
+    Forest(ptolemy_forest::ForestError),
+    /// The compiler reported an error while pricing a baseline.
+    Compiler(ptolemy_compiler::CompilerError),
+    /// The hardware model reported an error while pricing a baseline.
+    Accel(ptolemy_accel::AccelError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidInput(msg) => write!(f, "invalid baseline input: {msg}"),
+            BaselineError::Core(e) => write!(f, "ptolemy core error: {e}"),
+            BaselineError::Nn(e) => write!(f, "dnn substrate error: {e}"),
+            BaselineError::Forest(e) => write!(f, "classifier error: {e}"),
+            BaselineError::Compiler(e) => write!(f, "compiler error: {e}"),
+            BaselineError::Accel(e) => write!(f, "hardware model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::InvalidInput(_) => None,
+            BaselineError::Core(e) => Some(e),
+            BaselineError::Nn(e) => Some(e),
+            BaselineError::Forest(e) => Some(e),
+            BaselineError::Compiler(e) => Some(e),
+            BaselineError::Accel(e) => Some(e),
+        }
+    }
+}
+
+impl From<ptolemy_core::CoreError> for BaselineError {
+    fn from(e: ptolemy_core::CoreError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+impl From<ptolemy_nn::NnError> for BaselineError {
+    fn from(e: ptolemy_nn::NnError) -> Self {
+        BaselineError::Nn(e)
+    }
+}
+
+impl From<ptolemy_forest::ForestError> for BaselineError {
+    fn from(e: ptolemy_forest::ForestError) -> Self {
+        BaselineError::Forest(e)
+    }
+}
+
+impl From<ptolemy_compiler::CompilerError> for BaselineError {
+    fn from(e: ptolemy_compiler::CompilerError) -> Self {
+        BaselineError::Compiler(e)
+    }
+}
+
+impl From<ptolemy_accel::AccelError> for BaselineError {
+    fn from(e: ptolemy_accel::AccelError) -> Self {
+        BaselineError::Accel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BaselineError::InvalidInput("empty".into());
+        assert!(e.to_string().contains("empty"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: BaselineError = ptolemy_nn::NnError::EmptyDataset.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: BaselineError = ptolemy_core::CoreError::InvalidInput("x".into()).into();
+        assert!(e.to_string().contains("core"));
+    }
+}

@@ -1,0 +1,85 @@
+//! # ptolemy-baselines
+//!
+//! Re-implementations of the three state-of-the-art adversarial-sample detectors the
+//! Ptolemy paper compares against (Sec. VI-B):
+//!
+//! * [`EpDefense`] — **EP** (Qiu et al., CVPR 2019), per-class effective-path
+//!   profiling; accuracy is close to Ptolemy's BwCu but the cost is BwCu-like on
+//!   every input because EP has no co-designed compiler or hardware.
+//! * [`CdrpDefense`] — **CDRP** (Wang et al., CVPR 2018), channel-wise critical data
+//!   routing paths; gate learning amounts to a per-input retraining step, so CDRP
+//!   cannot detect adversaries at inference time and only participates in the
+//!   accuracy comparison (Fig. 10).
+//! * [`DeepFenseDefense`] — **DeepFense** (Rouhani et al., ICCAD 2018), redundant
+//!   latent defender models in three operating points ([`DeepFenseVariant`]:
+//!   `DFL`/`DFM`/`DFH`), re-hosted on the Ptolemy accelerator model exactly as the
+//!   paper does for its Fig. 12 comparison.
+//!
+//! All three implement the [`BaselineDetector`] trait so the benchmark harnesses can
+//! evaluate them with the same AUC machinery used for the Ptolemy variants.
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_baselines::{BaselineDetector, EpDefense};
+//! use ptolemy_nn::{zoo, TrainConfig, Trainer};
+//! use ptolemy_tensor::{Rng64, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng64::new(0);
+//! let mut net = zoo::mlp_net(&[8], 2, &mut rng)?;
+//! let samples: Vec<(Tensor, usize)> = (0..20)
+//!     .map(|i| (Tensor::full(&[8], if i % 2 == 0 { 1.0 } else { 0.0 }), i % 2))
+//!     .collect();
+//! Trainer::new(TrainConfig::default()).fit(&mut net, &samples)?;
+//! let ep = EpDefense::fit(&net, &samples, 0.5)?;
+//! let score = ep.score(&net, &samples[0].0)?;
+//! assert!((0.0..=1.0).contains(&score));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cdrp;
+mod deepfense;
+mod ep;
+mod error;
+
+pub use cdrp::{gate_vector, CdrpDefense};
+pub use deepfense::{DeepFenseDefense, DeepFenseVariant};
+pub use ep::EpDefense;
+pub use error::BaselineError;
+
+use ptolemy_nn::Network;
+use ptolemy_tensor::Tensor;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// Common interface of the baseline detectors, mirroring how the paper evaluates
+/// them: a per-input suspicion score in `[0, 1]` that feeds the AUC metric.
+pub trait BaselineDetector {
+    /// Name used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Whether the method can run at inference time (CDRP cannot).
+    fn online(&self) -> bool;
+
+    /// Suspicion score of one input — higher means more likely adversarial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate and classifier errors.
+    fn score(&self, network: &Network, input: &Tensor) -> Result<f32>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_object(_d: &dyn BaselineDetector) {}
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the end-to-end detection pipeline: plain inference vs
+//! inference + path extraction + similarity + random-forest classification for each
+//! algorithm variant, plus one attack-generation step.  This is the software-level
+//! counterpart of the paper's Fig. 11 (the hardware-level numbers come from the
+//! `fig11_latency_energy` harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ptolemy_attacks::{Attack, Fgsm};
+use ptolemy_bench::{BenchScale, Workbench};
+use ptolemy_core::{variants, Detector};
+
+fn bench_detection_variants(c: &mut Criterion) {
+    let wb = Workbench::lenet_small(BenchScale::Quick).expect("workbench");
+    let input = wb.dataset.test()[0].0.clone();
+
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(20);
+
+    group.bench_function("inference_only", |b| {
+        b.iter(|| wb.network.forward(black_box(&input)).unwrap())
+    });
+
+    let phi = wb.calibrate_phi(false).expect("phi");
+    let programs = vec![
+        ("bwcu", variants::bw_cu(&wb.network, 0.5).unwrap()),
+        ("bwab", variants::bw_ab(&wb.network, phi).unwrap()),
+        ("fwab", variants::fw_ab(&wb.network, phi).unwrap()),
+        ("hybrid", variants::hybrid(&wb.network, phi, 0.5).unwrap()),
+    ];
+    for (name, program) in programs {
+        let class_paths = wb.profile(&program).expect("class paths");
+        group.bench_function(format!("detect_{name}"), |b| {
+            b.iter(|| {
+                Detector::path_similarity(
+                    &wb.network,
+                    black_box(&program),
+                    &class_paths,
+                    black_box(&input),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_attack_step(c: &mut Criterion) {
+    let wb = Workbench::lenet_small(BenchScale::Quick).expect("workbench");
+    let (input, label) = wb.dataset.test()[0].clone();
+    let attack = Fgsm::new(0.2);
+    let mut group = c.benchmark_group("attack");
+    group.sample_size(20);
+    group.bench_function("fgsm_single_input", |b| {
+        b.iter(|| attack.perturb(&wb.network, black_box(&input), label).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection_variants, bench_attack_step);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the architecture toolchain itself: compiling a detection
+//! program to the ISA + task schedule, and running the cycle/energy simulator over
+//! the compiled program for the different algorithm variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ptolemy_accel::{HardwareConfig, Simulator};
+use ptolemy_compiler::{Compiler, OptimizationFlags};
+use ptolemy_core::variants;
+use ptolemy_nn::zoo;
+use ptolemy_tensor::Rng64;
+
+fn bench_compiler(c: &mut Criterion) {
+    let network = zoo::conv_net(10, &mut Rng64::new(7)).expect("network");
+    let bwcu = variants::bw_cu(&network, 0.5).expect("program");
+    let fwab = variants::fw_ab(&network, 0.1).expect("program");
+
+    let mut group = c.benchmark_group("compiler");
+    group.bench_function("compile_bwcu_optimised", |b| {
+        let compiler = Compiler::default();
+        b.iter(|| compiler.compile(&network, black_box(&bwcu)).unwrap())
+    });
+    group.bench_function("compile_fwab_unoptimised", |b| {
+        let compiler = Compiler::new(OptimizationFlags::none());
+        b.iter(|| compiler.compile(&network, black_box(&fwab)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let network = zoo::conv_net(10, &mut Rng64::new(7)).expect("network");
+    let sim = Simulator::new(HardwareConfig::default()).expect("simulator");
+
+    let mut group = c.benchmark_group("simulator");
+    for (name, program) in [
+        ("bwcu", variants::bw_cu(&network, 0.5).unwrap()),
+        ("fwab", variants::fw_ab(&network, 0.1).unwrap()),
+    ] {
+        let compiled = Compiler::default().compile(&network, &program).unwrap();
+        group.bench_function(format!("simulate_{name}"), |b| {
+            b.iter(|| sim.simulate(&network, black_box(&compiled), 0.05).unwrap())
+        });
+    }
+    group.bench_function("inference_report", |b| {
+        b.iter(|| sim.inference_report(black_box(&network)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler, bench_simulator);
+criterion_main!(benches);

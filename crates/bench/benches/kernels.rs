@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the detection kernels: path extraction, path
+//! algebra (bitmask AND/OR/popcount), ISA encode/decode and random-forest
+//! inference.  These are the operations the Ptolemy hardware accelerates, so their
+//! software cost is what motivates the architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ptolemy_bench::{BenchScale, Workbench};
+use ptolemy_core::{variants, Profiler};
+use ptolemy_forest::{ForestConfig, RandomForest};
+use ptolemy_isa::{Instruction, Reg};
+
+fn bench_extraction(c: &mut Criterion) {
+    let wb = Workbench::lenet_small(BenchScale::Quick).expect("workbench");
+    let input = wb.dataset.test()[0].0.clone();
+    let bwcu = variants::bw_cu(&wb.network, 0.5).expect("program");
+    let fwab = variants::fw_ab(&wb.network, 0.05).expect("program");
+
+    let mut group = c.benchmark_group("extraction");
+    group.sample_size(20);
+    group.bench_function("backward_cumulative", |b| {
+        let profiler = Profiler::new(bwcu.clone());
+        b.iter(|| profiler.extract(&wb.network, black_box(&input)).unwrap())
+    });
+    group.bench_function("forward_absolute", |b| {
+        let profiler = Profiler::new(fwab.clone());
+        b.iter(|| profiler.extract(&wb.network, black_box(&input)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_path_ops(c: &mut Criterion) {
+    let wb = Workbench::lenet_small(BenchScale::Quick).expect("workbench");
+    let program = variants::bw_cu(&wb.network, 0.5).expect("program");
+    let class_paths = wb.profile(&program).expect("class paths");
+    let profiler = Profiler::new(program);
+    let (_, path) = profiler
+        .extract(&wb.network, &wb.dataset.test()[0].0)
+        .expect("path");
+    let canary = class_paths.class_path(0).expect("class path");
+
+    let mut group = c.benchmark_group("path_ops");
+    group.bench_function("similarity", |b| {
+        b.iter(|| black_box(&path).similarity(black_box(canary)).unwrap())
+    });
+    group.bench_function("density", |b| b.iter(|| black_box(&path).density()));
+    group.finish();
+}
+
+fn bench_isa(c: &mut Criterion) {
+    let inst = Instruction::Sort {
+        src: Reg::new(1).unwrap(),
+        len: Reg::new(3).unwrap(),
+        dst: Reg::new(6).unwrap(),
+    };
+    let word = inst.encode();
+    let mut group = c.benchmark_group("isa");
+    group.bench_function("encode", |b| b.iter(|| black_box(&inst).encode()));
+    group.bench_function("decode", |b| {
+        b.iter(|| Instruction::decode(black_box(word)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let features: Vec<Vec<f32>> = (0..200)
+        .map(|i| vec![if i % 2 == 0 { 0.9 } else { 0.2 } + (i as f32) * 1e-4])
+        .collect();
+    let labels: Vec<bool> = (0..200).map(|i| i % 2 == 1).collect();
+    let forest = RandomForest::fit(&features, &labels, &ForestConfig::default()).unwrap();
+    let mut group = c.benchmark_group("random_forest");
+    group.bench_function("predict_proba_100_trees", |b| {
+        b.iter(|| forest.predict_proba(black_box(&[0.42])).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_path_ops, bench_isa, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Runs every experiment harness in paper order and prints the full
+//! EXPERIMENTS.md-style report (paper artifact, measured tables, shape checks).
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin all_experiments`; set
+//! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+use ptolemy_bench::{experiments, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let mut failures = 0usize;
+    for experiment in experiments::all() {
+        println!("################################################################");
+        println!("# {} — {}", experiment.id, experiment.paper_artifact);
+        println!("################################################################");
+        match (experiment.run)(scale) {
+            Ok(tables) => {
+                for table in tables {
+                    println!("{table}");
+                }
+            }
+            Err(error) => {
+                failures += 1;
+                eprintln!("experiment {} failed: {error}", experiment.id);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

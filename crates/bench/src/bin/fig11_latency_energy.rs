@@ -1,0 +1,21 @@
+//! Regenerates Fig. 11a/11b (latency/energy vs EP) of the Ptolemy paper.
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin fig11_latency_energy`; set
+//! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+use ptolemy_bench::{experiments, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    match experiments::fig11_latency_energy::run(scale) {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(error) => {
+            eprintln!("experiment failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

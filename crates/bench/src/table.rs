@@ -1,0 +1,148 @@
+//! Minimal fixed-width text tables for the experiment harnesses.
+//!
+//! Every figure/table harness prints its results as a plain-text table with a
+//! title, a header row and one row per configuration, plus optional
+//! "paper: … / measured: …" comparison lines — the format EXPERIMENTS.md records.
+
+use std::fmt;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            ..Table::default()
+        }
+    }
+
+    /// Sets the header row.
+    pub fn header<S: Into<String>>(mut self, columns: impl IntoIterator<Item = S>) -> Self {
+        self.header = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a free-form note printed under the table (used for the
+    /// paper-vs-measured comparison lines).
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, cell) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        if !self.header.is_empty() {
+            write_row(f, &self.header)?;
+            let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+            writeln!(f, "{}", "-".repeat(rule))?;
+        }
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "{note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three decimals (AUC-style values).
+pub fn fmt3(value: f32) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a relative factor (`12.3x` style).
+pub fn fmt_factor(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_percent(value: f64) -> String {
+    format!("{value:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_title_header_rows_and_notes() {
+        let mut table = Table::new("Fig. X").header(["variant", "auc"]);
+        table.row(["BwCu", "0.94"]);
+        table.row(["FwAb", "0.91"]);
+        table.note("paper: BwCu 0.95 / measured 0.94");
+        let text = table.to_string();
+        assert!(text.contains("== Fig. X =="));
+        assert!(text.contains("variant"));
+        assert!(text.contains("BwCu"));
+        assert!(text.contains("paper: BwCu"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(0.9444), "0.944");
+        assert_eq!(fmt_factor(12.302), "12.30x");
+        assert_eq!(fmt_percent(5.25), "5.2%");
+    }
+
+    #[test]
+    fn ragged_rows_do_not_panic() {
+        let mut table = Table::new("ragged").header(["a"]);
+        table.row(["1", "2", "3"]);
+        assert!(table.to_string().contains('3'));
+    }
+}

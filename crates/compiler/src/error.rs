@@ -1,0 +1,74 @@
+use std::fmt;
+
+use ptolemy_core::CoreError;
+use ptolemy_isa::IsaError;
+use ptolemy_nn::NnError;
+
+/// Error type for compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompilerError {
+    /// The detection program cannot be compiled for this network.
+    InvalidProgram(String),
+    /// The detection framework reported an error.
+    Core(CoreError),
+    /// The DNN substrate reported an error.
+    Nn(NnError),
+    /// ISA generation failed.
+    Isa(IsaError),
+}
+
+impl fmt::Display for CompilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompilerError::InvalidProgram(msg) => write!(f, "cannot compile program: {msg}"),
+            CompilerError::Core(e) => write!(f, "detection framework error: {e}"),
+            CompilerError::Nn(e) => write!(f, "dnn substrate error: {e}"),
+            CompilerError::Isa(e) => write!(f, "isa error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompilerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompilerError::Core(e) => Some(e),
+            CompilerError::Nn(e) => Some(e),
+            CompilerError::Isa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for CompilerError {
+    fn from(e: CoreError) -> Self {
+        CompilerError::Core(e)
+    }
+}
+
+impl From<NnError> for CompilerError {
+    fn from(e: NnError) -> Self {
+        CompilerError::Nn(e)
+    }
+}
+
+impl From<IsaError> for CompilerError {
+    fn from(e: IsaError) -> Self {
+        CompilerError::Isa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(!CompilerError::InvalidProgram("x".into()).to_string().is_empty());
+        let e: CompilerError = CoreError::InvalidInput("y".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CompilerError = NnError::EmptyDataset.into();
+        assert!(e.to_string().contains("dnn"));
+        let e: CompilerError = IsaError::InvalidRegister(99).into();
+        assert!(e.to_string().contains("isa"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # ptolemy-compiler
+//!
+//! Lowers a [`ptolemy_core::DetectionProgram`] plus a concrete network into the form
+//! the Ptolemy hardware consumes (paper Sec. IV):
+//!
+//! * a **binary ISA program** (`ptolemy-isa` instructions) — per-layer `inf` /
+//!   `infsp` instructions, per-layer extraction blocks built from `findneuron` /
+//!   `findrf` / `sort` / `acum` / `genmasks` loops, and the final `cls`;
+//! * a **static task schedule** with explicit dependence edges, which is where the
+//!   compiler optimisations live:
+//!   * **layer-level pipelining** — in forward extraction, layer *j*'s extraction
+//!     depends only on layer *j*'s inference, so it can overlap with layer *j+1*'s
+//!     inference (Fig. 7a);
+//!   * **neuron-level pipelining** — sort and accumulate of different important
+//!     neurons overlap inside one extraction block (Fig. 7b), modelled as a latency
+//!     property of the extraction task;
+//!   * **compute-for-memory trade-off** — with cumulative thresholds the compiler
+//!     can emit `csps` recompute tasks instead of storing every partial sum during
+//!     inference (Sec. IV-B).
+//!
+//! The cycle/energy consequences of the schedule are evaluated by `ptolemy-accel`.
+
+#![warn(missing_docs)]
+
+mod codegen;
+mod error;
+mod schedule;
+
+pub use codegen::generate_isa;
+pub use error::CompilerError;
+pub use schedule::{CompiledProgram, Compiler, HwTask, HwUnit, OptimizationFlags, ScheduledTask};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CompilerError>;

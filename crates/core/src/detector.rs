@@ -1,0 +1,281 @@
+//! Online adversarial-sample detection (the dynamic half of Fig. 4).
+
+use ptolemy_forest::{ForestConfig, RandomForest};
+use ptolemy_nn::Network;
+use ptolemy_tensor::Tensor;
+
+use crate::extraction::extract_path;
+use crate::{ClassPathSet, CoreError, DetectionProgram, Result};
+
+/// Result of detecting one input at inference time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Final verdict of the random-forest classifier.
+    pub is_adversary: bool,
+    /// Adversarial probability reported by the classifier (higher = more suspicious).
+    pub score: f32,
+    /// Path similarity `S` between the input's activation path and the canary path
+    /// of its predicted class.
+    pub similarity: f32,
+    /// The class the DNN predicted for the input.
+    pub predicted_class: usize,
+}
+
+/// The online detector: extraction program + canary class paths + random forest.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    program: DetectionProgram,
+    class_paths: ClassPathSet,
+    forest: RandomForest,
+}
+
+impl Detector {
+    /// Computes the `(predicted class, path similarity)` pair for an input — the
+    /// feature the classifier consumes.  Exposed as an associated function so
+    /// callers can build ROC curves or custom classifiers without fitting a
+    /// [`Detector`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProgram`] if the program and class paths were not
+    /// produced together, and propagates extraction errors.
+    pub fn path_similarity(
+        network: &Network,
+        program: &DetectionProgram,
+        class_paths: &ClassPathSet,
+        input: &Tensor,
+    ) -> Result<(usize, f32)> {
+        if class_paths.program_fingerprint != program.fingerprint() {
+            return Err(CoreError::InvalidProgram(format!(
+                "class paths were profiled with '{}' but detection uses '{}'",
+                class_paths.program_fingerprint,
+                program.fingerprint()
+            )));
+        }
+        let trace = network.forward_trace(input)?;
+        let predicted = trace.predicted_class();
+        let path = extract_path(network, &trace, program)?;
+        let similarity = path.similarity(class_paths.class_path(predicted)?)?;
+        Ok((predicted, similarity))
+    }
+
+    /// Fits the detection classifier from benign and adversarial calibration inputs.
+    ///
+    /// The classifier sees exactly one feature per input — the path similarity `S` —
+    /// matching the paper's lightweight classification module (Sec. III-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if either calibration set is empty, and
+    /// propagates extraction/classifier errors.
+    pub fn fit(
+        network: &Network,
+        program: DetectionProgram,
+        class_paths: ClassPathSet,
+        benign: &[Tensor],
+        adversarial: &[Tensor],
+        forest_config: &ForestConfig,
+    ) -> Result<Self> {
+        if benign.is_empty() || adversarial.is_empty() {
+            return Err(CoreError::InvalidInput(
+                "fitting the detector requires both benign and adversarial calibration inputs"
+                    .into(),
+            ));
+        }
+        let mut features = Vec::with_capacity(benign.len() + adversarial.len());
+        let mut labels = Vec::with_capacity(benign.len() + adversarial.len());
+        for input in benign {
+            let (_, similarity) = Self::path_similarity(network, &program, &class_paths, input)?;
+            features.push(vec![similarity]);
+            labels.push(false);
+        }
+        for input in adversarial {
+            let (_, similarity) = Self::path_similarity(network, &program, &class_paths, input)?;
+            features.push(vec![similarity]);
+            labels.push(true);
+        }
+        let forest = RandomForest::fit(&features, &labels, forest_config)?;
+        Ok(Detector {
+            program,
+            class_paths,
+            forest,
+        })
+    }
+
+    /// Like [`Detector::fit`] with the paper's default forest (100 trees, depth 12).
+    ///
+    /// # Errors
+    ///
+    /// See [`Detector::fit`].
+    pub fn fit_default(
+        network: &Network,
+        program: DetectionProgram,
+        class_paths: ClassPathSet,
+        benign: &[Tensor],
+        adversarial: &[Tensor],
+    ) -> Result<Self> {
+        Self::fit(
+            network,
+            program,
+            class_paths,
+            benign,
+            adversarial,
+            &ForestConfig::default(),
+        )
+    }
+
+    /// Detects whether an input is adversarial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction and classifier errors.
+    pub fn detect(&self, network: &Network, input: &Tensor) -> Result<Detection> {
+        let (predicted_class, similarity) =
+            Self::path_similarity(network, &self.program, &self.class_paths, input)?;
+        let score = self.forest.predict_proba(&[similarity])?;
+        Ok(Detection {
+            is_adversary: score >= 0.5,
+            score,
+            similarity,
+            predicted_class,
+        })
+    }
+
+    /// Adversarial probability of an input (used to compute AUC curves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction and classifier errors.
+    pub fn score(&self, network: &Network, input: &Tensor) -> Result<f32> {
+        Ok(self.detect(network, input)?.score)
+    }
+
+    /// The extraction program this detector runs.
+    pub fn program(&self) -> &DetectionProgram {
+        &self.program
+    }
+
+    /// The canary class paths this detector compares against.
+    pub fn class_paths(&self) -> &ClassPathSet {
+        &self.class_paths
+    }
+
+    /// The fitted random forest (exposed for the MCU cost model).
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{variants, Profiler};
+    use ptolemy_nn::{zoo, TrainConfig, Trainer};
+    use ptolemy_tensor::Rng64;
+
+    /// Builds a small trained classifier plus benign/adversarial calibration inputs.
+    /// "Adversarial" inputs here are benign inputs of one class pushed across the
+    /// decision boundary by blending towards another class's prototype — enough to
+    /// flip predictions while keeping the input close to its origin, which is the
+    /// behaviour real attacks exhibit.
+    fn setup() -> (Network, Vec<(Tensor, usize)>, Vec<Tensor>, Vec<Tensor>) {
+        let mut rng = Rng64::new(17);
+        let prototypes: Vec<Vec<f32>> = vec![
+            (0..8).map(|d| if d < 4 { 1.0 } else { 0.0 }).collect(),
+            (0..8).map(|d| if d < 4 { 0.0 } else { 1.0 }).collect(),
+        ];
+        let mut samples = Vec::new();
+        for class in 0..2usize {
+            for _ in 0..25 {
+                let data: Vec<f32> = prototypes[class]
+                    .iter()
+                    .map(|v| v + 0.08 * rng.normal())
+                    .collect();
+                samples.push((Tensor::from_vec(data, &[8]).unwrap(), class));
+            }
+        }
+        let mut net = zoo::mlp_net(&[8], 2, &mut rng).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &samples)
+        .unwrap();
+
+        let benign: Vec<Tensor> = samples.iter().take(20).map(|(x, _)| x.clone()).collect();
+        // "Adversarial" inputs keep the original class's signal but super-impose a
+        // slightly stronger copy of the other class's prototype, so the prediction
+        // flips while the activation path still contains the original class's
+        // neurons — the same structural effect a real perturbation attack has.
+        let mut adversarial = Vec::new();
+        for (x, y) in samples.iter().take(20) {
+            let other = 1 - *y;
+            let data: Vec<f32> = x
+                .as_slice()
+                .iter()
+                .zip(&prototypes[other])
+                .map(|(a, b)| a + 1.2 * b)
+                .collect();
+            adversarial.push(Tensor::from_vec(data, &[8]).unwrap());
+        }
+        (net, samples, benign, adversarial)
+    }
+
+    #[test]
+    fn detector_separates_benign_from_boundary_crossing_inputs() {
+        let (net, samples, benign, adversarial) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone()).profile(&net, &samples).unwrap();
+        let detector = Detector::fit_default(
+            &net,
+            program,
+            class_paths,
+            &benign,
+            &adversarial,
+        )
+        .unwrap();
+
+        // Benign similarities should exceed adversarial similarities on average.
+        let mean = |inputs: &[Tensor]| {
+            inputs
+                .iter()
+                .map(|x| detector.detect(&net, x).unwrap().similarity)
+                .sum::<f32>()
+                / inputs.len() as f32
+        };
+        assert!(mean(&benign) > mean(&adversarial));
+
+        // Scores are probabilities and the detector exposes its parts.
+        let d = detector.detect(&net, &benign[0]).unwrap();
+        assert!((0.0..=1.0).contains(&d.score));
+        assert!(d.predicted_class < 2);
+        assert_eq!(detector.class_paths().num_classes(), 2);
+        assert_eq!(detector.forest().num_trees(), 100);
+        assert!(detector.score(&net, &adversarial[0]).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let (net, samples, benign, adversarial) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program).profile(&net, &samples).unwrap();
+        let other_program = variants::bw_cu(&net, 0.9).unwrap();
+        assert!(Detector::path_similarity(&net, &other_program, &class_paths, &benign[0]).is_err());
+        assert!(Detector::fit_default(
+            &net,
+            other_program,
+            class_paths,
+            &benign,
+            &adversarial
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_calibration_sets_are_rejected() {
+        let (net, samples, benign, _) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone()).profile(&net, &samples).unwrap();
+        assert!(Detector::fit_default(&net, program, class_paths, &benign, &[]).is_err());
+    }
+}

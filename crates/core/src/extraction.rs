@@ -1,0 +1,461 @@
+//! Important-neuron extraction (paper Sec. III-A/III-C, Fig. 3).
+//!
+//! Backward extraction starts from the predicted-class neuron of the last layer and
+//! walks towards the input: at every weight layer it ranks (cumulative threshold) or
+//! filters (absolute threshold) the partial sums feeding each currently-important
+//! output neuron and keeps the contributing input neurons.  Pass-through layers
+//! (ReLU, pooling, flatten) simply re-map indices.
+//!
+//! Forward extraction selects each layer's important neurons from the layer's own
+//! output activations as soon as the layer finishes, which is what allows the
+//! compiler to overlap extraction with the next layer's inference.
+
+use std::collections::BTreeSet;
+
+use ptolemy_nn::{Contribution, ForwardTrace, Network};
+
+use crate::{
+    ActivationPath, CoreError, DetectionProgram, Direction, Result, ThresholdKind,
+};
+
+/// Computes the `(network layer index, mask length)` layout of paths extracted with
+/// `program` on `network`.
+///
+/// Backward extraction records masks over each enabled weight layer's *input*
+/// feature map; forward extraction records masks over its *output* feature map.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProgram`] if the program does not describe the same
+/// number of weight layers as the network has.
+pub fn path_layout(network: &Network, program: &DetectionProgram) -> Result<Vec<(usize, usize)>> {
+    let weight_layers = network.weight_layer_indices();
+    if weight_layers.len() != program.num_weight_layers() {
+        return Err(CoreError::InvalidProgram(format!(
+            "program describes {} weight layers but the network has {}",
+            program.num_weight_layers(),
+            weight_layers.len()
+        )));
+    }
+    let mut layout = Vec::new();
+    for ordinal in program.enabled_layers() {
+        let layer_idx = weight_layers[ordinal];
+        let layer = network.layer(layer_idx)?;
+        let len = match program.direction() {
+            Direction::Backward => layer.input_len(),
+            Direction::Forward => layer.output_len(),
+        };
+        layout.push((layer_idx, len));
+    }
+    Ok(layout)
+}
+
+/// Extracts the activation path of one traced inference under `program`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProgram`] if the program does not match the network,
+/// or propagates substrate errors for inconsistent traces.
+pub fn extract_path(
+    network: &Network,
+    trace: &ForwardTrace,
+    program: &DetectionProgram,
+) -> Result<ActivationPath> {
+    if trace.num_layers() != network.num_layers() {
+        return Err(CoreError::InvalidInput(format!(
+            "trace covers {} layers but the network has {}",
+            trace.num_layers(),
+            network.num_layers()
+        )));
+    }
+    let layout = path_layout(network, program)?;
+    let mut path = ActivationPath::empty(&layout);
+    match program.direction() {
+        Direction::Backward => extract_backward(network, trace, program, &mut path)?,
+        Direction::Forward => extract_forward(network, trace, program, &mut path)?,
+    }
+    Ok(path)
+}
+
+/// Selects contributor indices from weighted partial sums according to a threshold.
+///
+/// * Cumulative: minimal prefix of the descending-sorted partial sums whose
+///   cumulative sum reaches `theta × target` (paper Fig. 3).  If the target is not
+///   positive, only the single largest contributor is kept.
+/// * Absolute: every partial sum `≥ phi × |target|`.
+pub(crate) fn select_contributors(
+    pairs: &[(usize, f32)],
+    target: f32,
+    threshold: ThresholdKind,
+) -> Vec<usize> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    match threshold {
+        ThresholdKind::Cumulative { theta } => {
+            let mut sorted: Vec<(usize, f32)> = pairs.to_vec();
+            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            if target <= 0.0 {
+                return vec![sorted[0].0];
+            }
+            let goal = theta * target;
+            let mut cum = 0.0;
+            let mut selected = Vec::new();
+            for (idx, partial) in sorted {
+                selected.push(idx);
+                cum += partial;
+                if cum >= goal {
+                    break;
+                }
+            }
+            selected
+        }
+        ThresholdKind::Absolute { phi } => {
+            let cutoff = phi * target.abs();
+            pairs
+                .iter()
+                .filter(|(_, p)| *p >= cutoff && *p > 0.0)
+                .map(|(i, _)| *i)
+                .collect()
+        }
+    }
+}
+
+/// Selects important neurons of a layer output directly from activation values
+/// (forward extraction, where no downstream importance information exists yet).
+pub(crate) fn select_from_activations(values: &[f32], threshold: ThresholdKind) -> Vec<usize> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    match threshold {
+        ThresholdKind::Cumulative { theta } => {
+            let mut order: Vec<usize> = (0..values.len()).collect();
+            order.sort_by(|&a, &b| {
+                values[b]
+                    .partial_cmp(&values[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let total: f32 = values.iter().filter(|v| **v > 0.0).sum();
+            if total <= 0.0 {
+                return vec![order[0]];
+            }
+            let goal = theta * total;
+            let mut cum = 0.0;
+            let mut selected = Vec::new();
+            for idx in order {
+                if values[idx] <= 0.0 {
+                    break;
+                }
+                selected.push(idx);
+                cum += values[idx];
+                if cum >= goal {
+                    break;
+                }
+            }
+            selected
+        }
+        ThresholdKind::Absolute { phi } => {
+            let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if max <= 0.0 {
+                return Vec::new();
+            }
+            let cutoff = phi * max;
+            values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v >= cutoff && **v > 0.0)
+                .map(|(i, _)| i)
+                .collect()
+        }
+    }
+}
+
+fn extract_backward(
+    network: &Network,
+    trace: &ForwardTrace,
+    program: &DetectionProgram,
+    path: &mut ActivationPath,
+) -> Result<()> {
+    let weight_layers = network.weight_layer_indices();
+    // Important neurons at the *output* of the layer currently being examined.
+    // The walk starts at the last layer with the predicted class (paper: "the last
+    // layer has only one important neuron").
+    let mut important: BTreeSet<usize> = BTreeSet::new();
+    important.insert(trace.predicted_class());
+
+    for layer_idx in (0..network.num_layers()).rev() {
+        if important.is_empty() {
+            break;
+        }
+        let layer = network.layer(layer_idx)?;
+        let input = &trace.inputs[layer_idx];
+        let output = &trace.outputs[layer_idx];
+        let is_weight = layer.kind().is_weight_layer();
+
+        if is_weight {
+            let ordinal = weight_layers
+                .iter()
+                .position(|&l| l == layer_idx)
+                .expect("weight layer index");
+            let spec = program.specs()[ordinal];
+            if !spec.enabled {
+                // Early termination: the backward walk stops at the first disabled
+                // weight layer (Sec. VII-F).
+                break;
+            }
+            let mut next: BTreeSet<usize> = BTreeSet::new();
+            for &neuron in &important {
+                let target = output.as_slice()[neuron];
+                match layer.contributions(input, neuron)? {
+                    Contribution::Weighted(pairs) => {
+                        for idx in select_contributors(&pairs, target, spec.threshold) {
+                            next.insert(idx);
+                        }
+                    }
+                    Contribution::PassThrough(indices) => {
+                        next.extend(indices);
+                    }
+                }
+            }
+            // Record the mask over this layer's input feature map.
+            if let Some(segment) = path
+                .segments_mut()
+                .iter_mut()
+                .find(|s| s.layer == layer_idx)
+            {
+                for &idx in &next {
+                    segment.mask.set(idx);
+                }
+            }
+            important = next;
+        } else {
+            // Pass-through layer: re-map the important output indices to input
+            // indices (identity for ReLU/flatten, argmax routing for max pooling,
+            // window members for average pooling).
+            let mut next: BTreeSet<usize> = BTreeSet::new();
+            for &neuron in &important {
+                let contribution = layer.contributions(input, neuron)?;
+                next.extend(contribution.indices());
+            }
+            important = next;
+        }
+    }
+    Ok(())
+}
+
+fn extract_forward(
+    network: &Network,
+    trace: &ForwardTrace,
+    program: &DetectionProgram,
+    path: &mut ActivationPath,
+) -> Result<()> {
+    let weight_layers = network.weight_layer_indices();
+    for ordinal in program.enabled_layers() {
+        let layer_idx = weight_layers[ordinal];
+        let spec = program.specs()[ordinal];
+        let output = &trace.outputs[layer_idx];
+        let selected = select_from_activations(output.as_slice(), spec.threshold);
+        if let Some(segment) = path
+            .segments_mut()
+            .iter_mut()
+            .find(|s| s.layer == layer_idx)
+        {
+            for idx in selected {
+                segment.mask.set(idx);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptolemy_nn::layer::{Dense, Flatten, ReLU};
+    use ptolemy_nn::Layer;
+    use ptolemy_tensor::{Rng64, Tensor};
+
+    /// The worked fully-connected example of Fig. 3 (left panel): input feature map
+    /// `[0.1, 1.0, 0.4, 0.3, 0.2]`, kernel `[2.1, 0.09, 0.2, 0.2, 0.1]`, θ = 0.6.
+    /// The two largest partial sums (0.21 from neuron 0 and 0.09 from neuron 1)
+    /// cumulatively exceed 0.6 × 0.46, so neurons {0, 1} are important.
+    #[test]
+    fn fig3_fully_connected_example() {
+        let pairs = vec![
+            (0usize, 0.1 * 2.1),
+            (1, 1.0 * 0.09),
+            (2, 0.4 * 0.2),
+            (3, 0.3 * 0.2),
+            (4, 0.2 * 0.1),
+        ];
+        let selected = select_contributors(&pairs, 0.46, ThresholdKind::Cumulative { theta: 0.6 });
+        assert_eq!(selected, vec![0, 1]);
+        // With θ = 0.9 more neurons are needed.
+        let selected = select_contributors(&pairs, 0.46, ThresholdKind::Cumulative { theta: 0.9 });
+        assert!(selected.len() > 2);
+        // Absolute thresholding keeps only partial sums above φ × |target|.
+        let selected = select_contributors(&pairs, 0.46, ThresholdKind::Absolute { phi: 0.4 });
+        assert_eq!(selected, vec![0]);
+    }
+
+    #[test]
+    fn cumulative_selection_is_minimal() {
+        let pairs = vec![(0, 0.5), (1, 0.3), (2, 0.2)];
+        // θ = 0.5 of target 1.0 is reached by the single largest partial sum.
+        assert_eq!(
+            select_contributors(&pairs, 1.0, ThresholdKind::Cumulative { theta: 0.5 }),
+            vec![0]
+        );
+        // θ = 1.0 needs all of them.
+        assert_eq!(
+            select_contributors(&pairs, 1.0, ThresholdKind::Cumulative { theta: 1.0 }).len(),
+            3
+        );
+        // Non-positive target degenerates to the single largest contributor.
+        assert_eq!(
+            select_contributors(&pairs, -0.2, ThresholdKind::Cumulative { theta: 0.5 }),
+            vec![0]
+        );
+        assert!(select_contributors(&[], 1.0, ThresholdKind::Cumulative { theta: 0.5 }).is_empty());
+    }
+
+    #[test]
+    fn forward_selection_from_activations() {
+        let values = [0.1, 3.0, 0.0, 1.0, -0.5];
+        let selected = select_from_activations(&values, ThresholdKind::Cumulative { theta: 0.7 });
+        // 3.0 alone is 3.0/4.1 ≈ 0.73 ≥ 0.7 of the positive mass.
+        assert_eq!(selected, vec![1]);
+        let selected = select_from_activations(&values, ThresholdKind::Absolute { phi: 0.3 });
+        assert_eq!(selected, vec![1, 3]);
+        // All-negative activations select nothing under absolute thresholds.
+        assert!(select_from_activations(&[-1.0, -2.0], ThresholdKind::Absolute { phi: 0.1 }).is_empty());
+        assert!(select_from_activations(&[], ThresholdKind::Absolute { phi: 0.1 }).is_empty());
+    }
+
+    fn two_layer_net() -> Network {
+        // 4 -> 3 -> 2 network with hand-written weights so paths are predictable.
+        let w1 = Tensor::from_vec(
+            vec![
+                1.0, 0.0, 0.0, 0.0, // neuron 0 driven by input 0
+                0.0, 1.0, 0.0, 0.0, // neuron 1 driven by input 1
+                0.0, 0.0, 1.0, 1.0, // neuron 2 driven by inputs 2 and 3
+            ],
+            &[3, 4],
+        )
+        .unwrap();
+        let w2 = Tensor::from_vec(
+            vec![
+                1.0, 0.0, 0.0, // class 0 driven by hidden 0
+                0.0, 1.0, 1.0, // class 1 driven by hidden 1 and 2
+            ],
+            &[2, 3],
+        )
+        .unwrap();
+        Network::new(vec![
+            Box::new(Flatten::new(&[4])) as Box<dyn Layer>,
+            Box::new(Dense::from_parts(w1, Tensor::zeros(&[3])).unwrap()),
+            Box::new(ReLU::new(&[3])),
+            Box::new(Dense::from_parts(w2, Tensor::zeros(&[2])).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn backward_extraction_follows_the_active_route() {
+        let net = two_layer_net();
+        let program = DetectionProgram::builder(Direction::Backward, 2)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.9 })
+            .build()
+            .unwrap();
+        // Input that activates class 0 through input 0 only.
+        let x = Tensor::from_vec(vec![5.0, 0.1, 0.0, 0.0], &[4]).unwrap();
+        let trace = net.forward_trace(&x).unwrap();
+        assert_eq!(trace.predicted_class(), 0);
+        let path = extract_path(&net, &trace, &program).unwrap();
+        // Layout: weight layers are network layers 1 and 3; masks over their inputs.
+        assert_eq!(path.segments().len(), 2);
+        let last = path.segment_for_layer(3).unwrap();
+        assert!(last.mask.get(0), "hidden neuron 0 must be important");
+        assert!(!last.mask.get(1));
+        let first = path.segment_for_layer(1).unwrap();
+        assert!(first.mask.get(0), "input 0 must be important");
+        assert!(!first.mask.get(2));
+
+        // A class-1 input leaves a different path.
+        let y = Tensor::from_vec(vec![0.0, 0.0, 4.0, 4.0], &[4]).unwrap();
+        let trace_y = net.forward_trace(&y).unwrap();
+        assert_eq!(trace_y.predicted_class(), 1);
+        let path_y = extract_path(&net, &trace_y, &program).unwrap();
+        assert!(path_y.segment_for_layer(1).unwrap().mask.get(2));
+        assert!(path_y.segment_for_layer(1).unwrap().mask.get(3));
+        assert!(!path_y.segment_for_layer(1).unwrap().mask.get(0));
+        // Paths of different classes are distinct.
+        assert!(path.jaccard(&path_y).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn forward_extraction_marks_high_activations() {
+        let net = two_layer_net();
+        let program = DetectionProgram::builder(Direction::Forward, 2)
+            .all_layers(ThresholdKind::Absolute { phi: 0.5 })
+            .build()
+            .unwrap();
+        let x = Tensor::from_vec(vec![5.0, 0.1, 0.0, 0.0], &[4]).unwrap();
+        let trace = net.forward_trace(&x).unwrap();
+        let path = extract_path(&net, &trace, &program).unwrap();
+        // Forward masks cover output feature maps.
+        let seg = path.segment_for_layer(1).unwrap();
+        assert_eq!(seg.mask.len(), 3);
+        assert!(seg.mask.get(0));
+        assert!(!seg.mask.get(1));
+        assert!(path.count_ones() >= 2);
+    }
+
+    #[test]
+    fn selective_extraction_limits_segments() {
+        let net = two_layer_net();
+        // Backward with only the last weight layer enabled (early termination).
+        let program = DetectionProgram::builder(Direction::Backward, 2)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.5 })
+            .disable_before(1)
+            .build()
+            .unwrap();
+        let x = Tensor::from_vec(vec![5.0, 0.1, 0.0, 0.0], &[4]).unwrap();
+        let trace = net.forward_trace(&x).unwrap();
+        let path = extract_path(&net, &trace, &program).unwrap();
+        assert_eq!(path.segments().len(), 1);
+        assert_eq!(path.segments()[0].layer, 3);
+        assert!(path.count_ones() >= 1);
+    }
+
+    #[test]
+    fn mismatched_program_is_rejected() {
+        let net = two_layer_net();
+        let program = DetectionProgram::builder(Direction::Backward, 5)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.5 })
+            .build()
+            .unwrap();
+        let x = Tensor::zeros(&[4]);
+        let trace = net.forward_trace(&x).unwrap();
+        assert!(extract_path(&net, &trace, &program).is_err());
+        assert!(path_layout(&net, &program).is_err());
+    }
+
+    #[test]
+    fn extraction_works_on_a_convolutional_model() {
+        let mut rng = Rng64::new(1);
+        let net = ptolemy_nn::zoo::lenet(1, 4, &mut rng).unwrap();
+        let program = DetectionProgram::builder(Direction::Backward, 4)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.5 })
+            .build()
+            .unwrap();
+        let x = Tensor::full(&[1, 8, 8], 0.5);
+        let trace = net.forward_trace(&x).unwrap();
+        let path = extract_path(&net, &trace, &program).unwrap();
+        assert_eq!(path.segments().len(), 4);
+        assert!(path.count_ones() > 0);
+        // The paper observes important-neuron density stays low; with θ=0.5 we
+        // should certainly not mark the whole network.
+        assert!(path.density() < 0.6, "density {}", path.density());
+    }
+}

@@ -1,0 +1,81 @@
+//! # ptolemy-core
+//!
+//! The Ptolemy adversarial-sample detection framework (the paper's primary
+//! contribution, Sec. III): activation paths, class paths, the important-neuron
+//! extraction algorithms with their three knobs (extraction direction, thresholding
+//! mechanism, selective extraction), offline class-path profiling, and the online
+//! detector that combines path similarity with a random-forest classifier.
+//!
+//! The crate is purely *functional*: it computes what the Ptolemy hardware would
+//! compute.  The cost of executing a detection program on the co-designed hardware
+//! is modelled separately by `ptolemy-compiler` + `ptolemy-accel`, which consume the
+//! same [`DetectionProgram`] description.
+//!
+//! # Pipeline
+//!
+//! ```text
+//!  offline                                online
+//!  ───────                                ──────
+//!  training set ──► Profiler ──► ClassPathSet ─┐
+//!                                              ├─► Detector::detect(input)
+//!  benign + adversarial calibration set ──► RF ┘        │
+//!                                                        ▼
+//!                                          Detection { is_adversary, … }
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_core::{variants, Detector, Profiler};
+//! use ptolemy_nn::{zoo, TrainConfig, Trainer};
+//! use ptolemy_tensor::{Rng64, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng64::new(0);
+//! let mut net = zoo::mlp_net(&[8], 2, &mut rng)?;
+//! let samples: Vec<(Tensor, usize)> = (0..20)
+//!     .map(|i| {
+//!         let class = i % 2;
+//!         let value = if class == 0 { 1.0 } else { 0.0 };
+//!         (Tensor::full(&[8], value), class)
+//!     })
+//!     .collect();
+//! Trainer::new(TrainConfig::default()).fit(&mut net, &samples)?;
+//!
+//! // Offline: profile class paths with the BwCu algorithm (θ = 0.5).
+//! let program = variants::bw_cu(&net, 0.5)?;
+//! let class_paths = Profiler::new(program.clone()).profile(&net, &samples)?;
+//!
+//! // Online: score an input's path against its predicted class path.
+//! let (class, similarity) = Detector::path_similarity(&net, &program, &class_paths, &samples[0].0)?;
+//! assert!(class < 2);
+//! assert!((0.0..=1.0).contains(&similarity));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod bits;
+mod cost;
+mod detector;
+mod error;
+mod extraction;
+mod path;
+mod profile;
+mod program;
+pub mod variants;
+
+pub use bits::BitVec;
+pub use cost::{software_cost, SoftwareCostReport};
+pub use detector::{Detection, Detector};
+pub use error::CoreError;
+pub use extraction::{extract_path, path_layout};
+pub use path::{ActivationPath, ClassPath, ClassPathSet, PathSegment};
+pub use profile::{class_similarity_matrix, similarity_stats, Profiler, SimilarityStats};
+pub use program::{
+    DetectionProgram, DetectionProgramBuilder, Direction, ExtractionSpec, ThresholdKind,
+};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,323 @@
+//! Activation paths and class paths (paper Sec. III-A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BitVec, CoreError, Result};
+
+/// The per-layer bitmask of important neurons of one extraction layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathSegment {
+    /// Index of the network layer this segment belongs to.
+    pub layer: usize,
+    /// Bitmask over the layer's feature map (input feature map for backward
+    /// extraction, output feature map for forward extraction).
+    pub mask: BitVec,
+}
+
+/// The activation path of a single input: the collection of important neurons across
+/// all extraction layers, represented as one bitmask per layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationPath {
+    segments: Vec<PathSegment>,
+}
+
+impl ActivationPath {
+    /// Creates a path with all-zero masks for the given `(layer, feature_map_len)`
+    /// pairs.
+    pub fn empty(layer_sizes: &[(usize, usize)]) -> Self {
+        ActivationPath {
+            segments: layer_sizes
+                .iter()
+                .map(|(layer, len)| PathSegment {
+                    layer: *layer,
+                    mask: BitVec::new(*len),
+                })
+                .collect(),
+        }
+    }
+
+    /// The per-layer segments in extraction order.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// Mutable access to the per-layer segments (used by the extraction algorithms).
+    pub(crate) fn segments_mut(&mut self) -> &mut [PathSegment] {
+        &mut self.segments
+    }
+
+    /// Total number of important neurons across all layers (`‖P‖₁`).
+    pub fn count_ones(&self) -> usize {
+        self.segments.iter().map(|s| s.mask.count_ones()).sum()
+    }
+
+    /// Total number of neurons covered by the path's masks.
+    pub fn total_bits(&self) -> usize {
+        self.segments.iter().map(|s| s.mask.len()).sum()
+    }
+
+    /// Fraction of neurons marked important (the paper reports this stays below ~5%).
+    pub fn density(&self) -> f32 {
+        if self.total_bits() == 0 {
+            0.0
+        } else {
+            self.count_ones() as f32 / self.total_bits() as f32
+        }
+    }
+
+    /// Segment for a specific network layer, if the path contains one.
+    pub fn segment_for_layer(&self, layer: usize) -> Option<&PathSegment> {
+        self.segments.iter().find(|s| s.layer == layer)
+    }
+
+    /// Checks that two paths cover the same layers with the same mask sizes.
+    fn check_compatible(&self, other: &ActivationPath) -> Result<()> {
+        if self.segments.len() != other.segments.len()
+            || self
+                .segments
+                .iter()
+                .zip(&other.segments)
+                .any(|(a, b)| a.layer != b.layer || a.mask.len() != b.mask.len())
+        {
+            return Err(CoreError::IncompatiblePaths(
+                "paths were extracted with different programs or networks".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Path similarity `S = ‖P & Pc‖₁ / ‖P‖₁` against a class path (Sec. III-B).
+    ///
+    /// Returns 0.0 when this path is empty (an empty runtime path shares nothing
+    /// with any canary path, which is the conservative choice for detection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatiblePaths`] if the paths do not share structure.
+    pub fn similarity(&self, class_path: &ClassPath) -> Result<f32> {
+        self.check_compatible(&class_path.path)?;
+        let own = self.count_ones();
+        if own == 0 {
+            return Ok(0.0);
+        }
+        let shared: usize = self
+            .segments
+            .iter()
+            .zip(&class_path.path.segments)
+            .map(|(a, b)| a.mask.and_count(&b.mask))
+            .sum();
+        Ok(shared as f32 / own as f32)
+    }
+
+    /// Jaccard similarity `‖A & B‖₁ / ‖A | B‖₁` between two paths; used for the
+    /// inter-class similarity matrices of Fig. 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatiblePaths`] if the paths do not share structure.
+    pub fn jaccard(&self, other: &ActivationPath) -> Result<f32> {
+        self.check_compatible(other)?;
+        let mut intersection = 0usize;
+        let mut union = 0usize;
+        for (a, b) in self.segments.iter().zip(&other.segments) {
+            intersection += a.mask.and_count(&b.mask);
+            union += a.mask.or_count(&b.mask);
+        }
+        if union == 0 {
+            Ok(1.0)
+        } else {
+            Ok(intersection as f32 / union as f32)
+        }
+    }
+}
+
+/// The canary path of one inference class: the bitwise OR of the activation paths of
+/// all correctly-predicted training inputs of that class (`Pc = ⋃ P(x)`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassPath {
+    /// The class this canary path belongs to.
+    pub class: usize,
+    /// Number of activation paths aggregated so far.
+    pub num_aggregated: usize,
+    path: ActivationPath,
+}
+
+impl ClassPath {
+    /// Creates an empty class path with the given structure.
+    pub fn empty(class: usize, layer_sizes: &[(usize, usize)]) -> Self {
+        ClassPath {
+            class,
+            num_aggregated: 0,
+            path: ActivationPath::empty(layer_sizes),
+        }
+    }
+
+    /// Aggregates one activation path into the class path (bitwise OR).  New
+    /// training samples can be integrated incrementally without regenerating the
+    /// class path — the property the paper highlights in Sec. III-B.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatiblePaths`] if the path structure differs.
+    pub fn aggregate(&mut self, path: &ActivationPath) -> Result<()> {
+        self.path.check_compatible(path)?;
+        for (own, new) in self.path.segments_mut().iter_mut().zip(path.segments()) {
+            own.mask.or_assign(&new.mask);
+        }
+        self.num_aggregated += 1;
+        Ok(())
+    }
+
+    /// The aggregated path.
+    pub fn path(&self) -> &ActivationPath {
+        &self.path
+    }
+
+    /// Total number of important neurons in the canary path.
+    pub fn count_ones(&self) -> usize {
+        self.path.count_ones()
+    }
+}
+
+/// The complete set of canary class paths produced by offline profiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassPathSet {
+    /// One canary path per class, indexed by class id.
+    pub class_paths: Vec<ClassPath>,
+    /// Fingerprint of the detection program used during profiling; detection must
+    /// use the same program (paper Fig. 4: "the path extraction methods in both the
+    /// offline and online phases must match").
+    pub program_fingerprint: String,
+}
+
+impl ClassPathSet {
+    /// Canary path of a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the class is out of range.
+    pub fn class_path(&self, class: usize) -> Result<&ClassPath> {
+        self.class_paths
+            .get(class)
+            .ok_or_else(|| CoreError::InvalidInput(format!("class {class} has no canary path")))
+    }
+
+    /// Number of classes covered.
+    pub fn num_classes(&self) -> usize {
+        self.class_paths.len()
+    }
+
+    /// Serialises the class-path set to a JSON string (the artifact the paper ships
+    /// as "offline-generated class paths").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if serialisation fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| CoreError::InvalidInput(format!("serialisation failed: {e}")))
+    }
+
+    /// Restores a class-path set from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if parsing fails.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| CoreError::InvalidInput(format!("deserialisation failed: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_with(bits: &[(usize, usize)]) -> ActivationPath {
+        // Two segments: layer 1 with 10 neurons, layer 3 with 20 neurons.
+        let mut p = ActivationPath::empty(&[(1, 10), (3, 20)]);
+        for (seg, bit) in bits {
+            p.segments_mut()[*seg].mask.set(*bit);
+        }
+        p
+    }
+
+    #[test]
+    fn empty_path_structure() {
+        let p = ActivationPath::empty(&[(0, 5), (2, 7)]);
+        assert_eq!(p.segments().len(), 2);
+        assert_eq!(p.count_ones(), 0);
+        assert_eq!(p.total_bits(), 12);
+        assert_eq!(p.density(), 0.0);
+        assert!(p.segment_for_layer(2).is_some());
+        assert!(p.segment_for_layer(1).is_none());
+    }
+
+    #[test]
+    fn similarity_against_class_path() {
+        let p = path_with(&[(0, 1), (0, 2), (1, 5)]);
+        let mut cp = ClassPath::empty(0, &[(1, 10), (3, 20)]);
+        cp.aggregate(&path_with(&[(0, 1), (1, 5), (1, 6)])).unwrap();
+        assert_eq!(cp.num_aggregated, 1);
+        // P has 3 bits, 2 of which are in Pc -> S = 2/3.
+        let s = p.similarity(&cp).unwrap();
+        assert!((s - 2.0 / 3.0).abs() < 1e-6);
+        // Identical path has similarity 1.
+        let q = path_with(&[(0, 1), (1, 5), (1, 6)]);
+        assert!((q.similarity(&cp).unwrap() - 1.0).abs() < 1e-6);
+        // Empty path has similarity 0.
+        let empty = ActivationPath::empty(&[(1, 10), (3, 20)]);
+        assert_eq!(empty.similarity(&cp).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_is_monotone_and_incremental() {
+        let mut cp = ClassPath::empty(3, &[(1, 10), (3, 20)]);
+        cp.aggregate(&path_with(&[(0, 0)])).unwrap();
+        let ones_after_one = cp.count_ones();
+        cp.aggregate(&path_with(&[(0, 0), (1, 19)])).unwrap();
+        assert!(cp.count_ones() >= ones_after_one);
+        assert_eq!(cp.count_ones(), 2);
+        assert_eq!(cp.num_aggregated, 2);
+        assert_eq!(cp.class, 3);
+    }
+
+    #[test]
+    fn incompatible_paths_are_rejected() {
+        let p = path_with(&[(0, 1)]);
+        let mut other_structure = ClassPath::empty(0, &[(1, 10)]);
+        assert!(other_structure
+            .aggregate(&ActivationPath::empty(&[(2, 10)]))
+            .is_err());
+        assert!(p.similarity(&other_structure).is_err());
+        assert!(p.jaccard(&ActivationPath::empty(&[(1, 10)])).is_err());
+    }
+
+    #[test]
+    fn jaccard_between_paths() {
+        let a = path_with(&[(0, 1), (0, 2)]);
+        let b = path_with(&[(0, 2), (1, 3)]);
+        // Intersection 1, union 3.
+        assert!((a.jaccard(&b).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+        assert!((a.jaccard(&a).unwrap() - 1.0).abs() < 1e-6);
+        let empty = ActivationPath::empty(&[(1, 10), (3, 20)]);
+        assert_eq!(empty.jaccard(&empty).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn class_path_set_lookup_and_json_roundtrip() {
+        let mut cp = ClassPath::empty(0, &[(1, 10), (3, 20)]);
+        cp.aggregate(&path_with(&[(0, 4)])).unwrap();
+        let set = ClassPathSet {
+            class_paths: vec![cp],
+            program_fingerprint: "bwcu-theta0.5".into(),
+        };
+        assert_eq!(set.num_classes(), 1);
+        assert!(set.class_path(0).is_ok());
+        assert!(set.class_path(1).is_err());
+        let json = set.to_json().unwrap();
+        let restored = ClassPathSet::from_json(&json).unwrap();
+        assert_eq!(restored, set);
+        assert!(ClassPathSet::from_json("not json").is_err());
+    }
+}

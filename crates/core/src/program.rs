@@ -1,0 +1,375 @@
+//! The detection-program description: the paper's programming interface (Sec. III-D).
+//!
+//! A [`DetectionProgram`] captures the three algorithmic knobs:
+//!
+//! * **extraction direction** — backward (class-conditioned, more accurate) or
+//!   forward (overlappable with inference, cheaper), applied network-wide because
+//!   the paper forbids mixing directions inside one network;
+//! * **thresholding mechanism** — cumulative (θ, needs sorting and accumulation of
+//!   partial sums) or absolute (φ, a single compare per partial sum), chosen per
+//!   layer;
+//! * **selective extraction** — individual layers can be disabled, giving
+//!   early-termination (backward) or late-start (forward).
+//!
+//! The same program object drives offline profiling, online detection, the compiler
+//! and the hardware cost model, which guarantees the offline/online extraction
+//! methods match (paper Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, Result};
+
+/// Extraction direction (paper Sec. III-C, "Hiding Detection Cost").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Start from the predicted class in the last layer and walk towards the input.
+    Backward,
+    /// Extract each layer's important neurons as soon as the layer finishes.
+    Forward,
+}
+
+/// Thresholding mechanism (paper Sec. III-C, "Reducing Detection Cost").
+///
+/// Both thresholds are expressed relative to the layer's own scale so that a single
+/// value works across layers without per-layer calibration: the cumulative threshold
+/// θ is the fraction of the target neuron's value that the selected partial sums
+/// must reach (exactly as in the paper), and the absolute threshold φ selects
+/// partial sums / activations that exceed `φ ×` the target's magnitude (the paper
+/// uses raw per-layer constants; a relative constant is the calibration-free
+/// equivalent and is noted as a deviation in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdKind {
+    /// Select the minimal set of contributors whose cumulative partial sums reach
+    /// `theta ×` the target value.  Requires sorting.
+    Cumulative {
+        /// Coverage fraction θ ∈ [0, 1].
+        theta: f32,
+    },
+    /// Select every contributor whose partial sum exceeds `phi ×` the target
+    /// magnitude.  A single comparison per partial sum.
+    Absolute {
+        /// Relative threshold φ ∈ [0, 1].
+        phi: f32,
+    },
+}
+
+impl ThresholdKind {
+    fn validate(&self) -> Result<()> {
+        let value = match self {
+            ThresholdKind::Cumulative { theta } => *theta,
+            ThresholdKind::Absolute { phi } => *phi,
+        };
+        if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+            return Err(CoreError::InvalidProgram(format!(
+                "threshold {value} outside [0, 1]"
+            )));
+        }
+        Ok(())
+    }
+
+    /// `true` for cumulative thresholds (which require sort + accumulate hardware).
+    pub fn is_cumulative(&self) -> bool {
+        matches!(self, ThresholdKind::Cumulative { .. })
+    }
+}
+
+/// Per-layer extraction directive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionSpec {
+    /// Whether important neurons are extracted from this layer at all.
+    pub enabled: bool,
+    /// Thresholding mechanism used when enabled.
+    pub threshold: ThresholdKind,
+}
+
+impl ExtractionSpec {
+    /// An enabled spec with the given threshold.
+    pub fn new(threshold: ThresholdKind) -> Self {
+        ExtractionSpec {
+            enabled: true,
+            threshold,
+        }
+    }
+
+    /// A disabled spec (the layer is skipped by selective extraction).
+    pub fn disabled() -> Self {
+        ExtractionSpec {
+            enabled: false,
+            threshold: ThresholdKind::Absolute { phi: 0.0 },
+        }
+    }
+}
+
+/// A complete detection program: one [`ExtractionSpec`] per weight layer plus the
+/// network-wide extraction direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionProgram {
+    direction: Direction,
+    specs: Vec<ExtractionSpec>,
+}
+
+impl DetectionProgram {
+    /// Starts building a program for a network with `num_weight_layers` extraction
+    /// units.  All layers start enabled with a cumulative threshold of 0.5.
+    pub fn builder(direction: Direction, num_weight_layers: usize) -> DetectionProgramBuilder {
+        DetectionProgramBuilder {
+            direction,
+            specs: vec![ExtractionSpec::new(ThresholdKind::Cumulative { theta: 0.5 }); num_weight_layers],
+        }
+    }
+
+    /// The network-wide extraction direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Per-weight-layer extraction directives (ordinal order, first weight layer
+    /// first).
+    pub fn specs(&self) -> &[ExtractionSpec] {
+        &self.specs
+    }
+
+    /// Number of weight layers this program describes.
+    pub fn num_weight_layers(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Ordinals of the weight layers with extraction enabled.
+    pub fn enabled_layers(&self) -> Vec<usize> {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.enabled)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `true` if any enabled layer uses a cumulative threshold (this is what makes
+    /// partial-sum sorting hardware necessary).
+    pub fn uses_cumulative_thresholds(&self) -> bool {
+        self.specs
+            .iter()
+            .any(|s| s.enabled && s.threshold.is_cumulative())
+    }
+
+    /// Short string identifying the program; stored with profiled class paths so the
+    /// online phase can verify it uses the same extraction method.
+    pub fn fingerprint(&self) -> String {
+        let dir = match self.direction {
+            Direction::Backward => "bw",
+            Direction::Forward => "fw",
+        };
+        let layers: Vec<String> = self
+            .specs
+            .iter()
+            .map(|s| {
+                if !s.enabled {
+                    "off".to_string()
+                } else {
+                    match s.threshold {
+                        ThresholdKind::Cumulative { theta } => format!("cu{theta:.2}"),
+                        ThresholdKind::Absolute { phi } => format!("ab{phi:.2}"),
+                    }
+                }
+            })
+            .collect();
+        format!("{dir}|{}", layers.join(","))
+    }
+}
+
+/// Builder for [`DetectionProgram`] (the Fig. 6 programming interface).
+///
+/// # Example
+///
+/// ```
+/// use ptolemy_core::{DetectionProgram, Direction, ThresholdKind};
+///
+/// # fn main() -> Result<(), ptolemy_core::CoreError> {
+/// // Fig. 6: forward extraction, only the last three layers, the last of which
+/// // uses a cumulative threshold.
+/// let program = DetectionProgram::builder(Direction::Forward, 8)
+///     .all_layers(ThresholdKind::Absolute { phi: 0.3 })
+///     .disable_before(5)
+///     .layer(7, ThresholdKind::Cumulative { theta: 0.5 })?
+///     .build()?;
+/// assert_eq!(program.enabled_layers(), vec![5, 6, 7]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectionProgramBuilder {
+    direction: Direction,
+    specs: Vec<ExtractionSpec>,
+}
+
+impl DetectionProgramBuilder {
+    /// Sets every layer to the given threshold (enabled).
+    pub fn all_layers(mut self, threshold: ThresholdKind) -> Self {
+        for spec in &mut self.specs {
+            *spec = ExtractionSpec::new(threshold);
+        }
+        self
+    }
+
+    /// Sets the threshold of one layer (by weight-layer ordinal), enabling it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProgram`] if the ordinal is out of range.
+    pub fn layer(mut self, ordinal: usize, threshold: ThresholdKind) -> Result<Self> {
+        let len = self.specs.len();
+        let spec = self
+            .specs
+            .get_mut(ordinal)
+            .ok_or_else(|| CoreError::InvalidProgram(format!(
+                "layer ordinal {ordinal} out of range ({len} weight layers)"
+            )))?;
+        *spec = ExtractionSpec::new(threshold);
+        Ok(self)
+    }
+
+    /// Disables extraction for one layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProgram`] if the ordinal is out of range.
+    pub fn disable_layer(mut self, ordinal: usize) -> Result<Self> {
+        let len = self.specs.len();
+        let spec = self
+            .specs
+            .get_mut(ordinal)
+            .ok_or_else(|| CoreError::InvalidProgram(format!(
+                "layer ordinal {ordinal} out of range ({len} weight layers)"
+            )))?;
+        *spec = ExtractionSpec::disabled();
+        Ok(self)
+    }
+
+    /// Disables every layer before `ordinal` ("late-start" in forward extraction).
+    pub fn disable_before(mut self, ordinal: usize) -> Self {
+        let limit = ordinal.min(self.specs.len());
+        for spec in self.specs.iter_mut().take(limit) {
+            *spec = ExtractionSpec::disabled();
+        }
+        self
+    }
+
+    /// Disables every layer strictly after `ordinal` ("early-termination" counts
+    /// backwards from the last layer in the paper; disabling a prefix of the
+    /// backward walk is equivalent to stopping the walk at `ordinal`).
+    pub fn disable_after(mut self, ordinal: usize) -> Self {
+        for spec in self.specs.iter_mut().skip(ordinal.saturating_add(1)) {
+            *spec = ExtractionSpec::disabled();
+        }
+        self
+    }
+
+    /// Finalises and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProgram`] if no layer is enabled, the program has
+    /// zero layers, or any threshold is outside `[0, 1]`.
+    pub fn build(self) -> Result<DetectionProgram> {
+        if self.specs.is_empty() {
+            return Err(CoreError::InvalidProgram(
+                "program must cover at least one weight layer".into(),
+            ));
+        }
+        if !self.specs.iter().any(|s| s.enabled) {
+            return Err(CoreError::InvalidProgram(
+                "at least one layer must have extraction enabled".into(),
+            ));
+        }
+        for spec in &self.specs {
+            if spec.enabled {
+                spec.threshold.validate()?;
+            }
+        }
+        Ok(DetectionProgram {
+            direction: self.direction,
+            specs: self.specs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_fig6_style_program() {
+        let program = DetectionProgram::builder(Direction::Forward, 8)
+            .all_layers(ThresholdKind::Absolute { phi: 0.3 })
+            .disable_before(5)
+            .layer(7, ThresholdKind::Cumulative { theta: 0.5 })
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(program.direction(), Direction::Forward);
+        assert_eq!(program.enabled_layers(), vec![5, 6, 7]);
+        assert!(program.uses_cumulative_thresholds());
+        assert_eq!(program.num_weight_layers(), 8);
+        assert!(program.fingerprint().starts_with("fw|"));
+        assert!(program.fingerprint().contains("off"));
+    }
+
+    #[test]
+    fn disable_after_models_early_termination() {
+        let program = DetectionProgram::builder(Direction::Backward, 8)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.5 })
+            .disable_after(5)
+            .build()
+            .unwrap();
+        assert_eq!(program.enabled_layers(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected() {
+        assert!(DetectionProgram::builder(Direction::Backward, 0).build().is_err());
+        assert!(DetectionProgram::builder(Direction::Backward, 3)
+            .disable_before(3)
+            .build()
+            .is_err());
+        assert!(DetectionProgram::builder(Direction::Backward, 3)
+            .all_layers(ThresholdKind::Cumulative { theta: 1.5 })
+            .build()
+            .is_err());
+        assert!(DetectionProgram::builder(Direction::Backward, 3)
+            .all_layers(ThresholdKind::Absolute { phi: -0.1 })
+            .build()
+            .is_err());
+        assert!(DetectionProgram::builder(Direction::Backward, 3)
+            .layer(5, ThresholdKind::Absolute { phi: 0.1 })
+            .is_err());
+        assert!(DetectionProgram::builder(Direction::Backward, 3)
+            .disable_layer(9)
+            .is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_programs() {
+        let a = DetectionProgram::builder(Direction::Backward, 2)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.5 })
+            .build()
+            .unwrap();
+        let b = DetectionProgram::builder(Direction::Backward, 2)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.9 })
+            .build()
+            .unwrap();
+        let c = DetectionProgram::builder(Direction::Forward, 2)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.5 })
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert!(!a.uses_cumulative_thresholds() || a.uses_cumulative_thresholds());
+    }
+
+    #[test]
+    fn threshold_kind_properties() {
+        assert!(ThresholdKind::Cumulative { theta: 0.5 }.is_cumulative());
+        assert!(!ThresholdKind::Absolute { phi: 0.5 }.is_cumulative());
+        assert!(ExtractionSpec::disabled().enabled == false);
+    }
+}

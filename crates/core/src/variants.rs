@@ -1,0 +1,187 @@
+//! Canned detection-program variants (paper Sec. VI-B):
+//!
+//! * [`bw_cu`] — backward extraction, cumulative thresholds (most accurate, most
+//!   expensive);
+//! * [`bw_ab`] — backward extraction, absolute thresholds;
+//! * [`fw_ab`] — forward extraction, absolute thresholds (cheapest: extraction
+//!   overlaps inference and needs no sorting);
+//! * [`fw_cu`] — forward extraction, cumulative thresholds (used by the Fig. 6
+//!   example for the last layer);
+//! * [`hybrid`] — absolute thresholds on the first half of the network, cumulative
+//!   on the second half (backward direction);
+//! * [`bw_cu_early_termination`] / [`fw_ab_late_start`] — the selective-extraction
+//!   sweeps of Sec. VII-F.
+
+use ptolemy_nn::Network;
+
+use crate::{DetectionProgram, Direction, Result, ThresholdKind};
+
+fn num_weight_layers(network: &Network) -> usize {
+    network.weight_layer_indices().len()
+}
+
+/// Backward extraction with cumulative threshold θ on every layer (**BwCu**).
+///
+/// # Errors
+///
+/// Returns an error if θ is outside `[0, 1]` or the network has no weight layers.
+pub fn bw_cu(network: &Network, theta: f32) -> Result<DetectionProgram> {
+    DetectionProgram::builder(Direction::Backward, num_weight_layers(network))
+        .all_layers(ThresholdKind::Cumulative { theta })
+        .build()
+}
+
+/// Backward extraction with absolute threshold φ on every layer (**BwAb**).
+///
+/// # Errors
+///
+/// Returns an error if φ is outside `[0, 1]` or the network has no weight layers.
+pub fn bw_ab(network: &Network, phi: f32) -> Result<DetectionProgram> {
+    DetectionProgram::builder(Direction::Backward, num_weight_layers(network))
+        .all_layers(ThresholdKind::Absolute { phi })
+        .build()
+}
+
+/// Forward extraction with absolute threshold φ on every layer (**FwAb**).
+///
+/// # Errors
+///
+/// Returns an error if φ is outside `[0, 1]` or the network has no weight layers.
+pub fn fw_ab(network: &Network, phi: f32) -> Result<DetectionProgram> {
+    DetectionProgram::builder(Direction::Forward, num_weight_layers(network))
+        .all_layers(ThresholdKind::Absolute { phi })
+        .build()
+}
+
+/// Forward extraction with cumulative threshold θ on every layer (**FwCu**).
+///
+/// # Errors
+///
+/// Returns an error if θ is outside `[0, 1]` or the network has no weight layers.
+pub fn fw_cu(network: &Network, theta: f32) -> Result<DetectionProgram> {
+    DetectionProgram::builder(Direction::Forward, num_weight_layers(network))
+        .all_layers(ThresholdKind::Cumulative { theta })
+        .build()
+}
+
+/// Hybrid variant (**Hybrid**): absolute threshold φ on the first half of the weight
+/// layers, cumulative threshold θ on the second half, backward direction.
+///
+/// # Errors
+///
+/// Returns an error if either threshold is outside `[0, 1]` or the network has no
+/// weight layers.
+pub fn hybrid(network: &Network, phi: f32, theta: f32) -> Result<DetectionProgram> {
+    let n = num_weight_layers(network);
+    let mut builder = DetectionProgram::builder(Direction::Backward, n)
+        .all_layers(ThresholdKind::Cumulative { theta });
+    for ordinal in 0..n / 2 {
+        builder = builder.layer(ordinal, ThresholdKind::Absolute { phi })?;
+    }
+    builder.build()
+}
+
+/// BwCu restricted to the last `layers_extracted` weight layers — the
+/// early-termination sweep of Fig. 16 (terminating after layer *k* of an *N*-layer
+/// network is the same as extracting only the last `N − k + 1` layers).
+///
+/// # Errors
+///
+/// Returns an error if `layers_extracted` is zero or exceeds the number of weight
+/// layers.
+pub fn bw_cu_early_termination(
+    network: &Network,
+    theta: f32,
+    layers_extracted: usize,
+) -> Result<DetectionProgram> {
+    let n = num_weight_layers(network);
+    if layers_extracted == 0 || layers_extracted > n {
+        return Err(crate::CoreError::InvalidProgram(format!(
+            "cannot extract {layers_extracted} of {n} weight layers"
+        )));
+    }
+    DetectionProgram::builder(Direction::Backward, n)
+        .all_layers(ThresholdKind::Cumulative { theta })
+        .disable_before(n - layers_extracted)
+        .build()
+}
+
+/// FwAb starting extraction at weight-layer ordinal `start_layer` — the late-start
+/// sweep of Fig. 17.
+///
+/// # Errors
+///
+/// Returns an error if `start_layer` is not a valid weight-layer ordinal.
+pub fn fw_ab_late_start(
+    network: &Network,
+    phi: f32,
+    start_layer: usize,
+) -> Result<DetectionProgram> {
+    let n = num_weight_layers(network);
+    if start_layer >= n {
+        return Err(crate::CoreError::InvalidProgram(format!(
+            "start layer {start_layer} out of range ({n} weight layers)"
+        )));
+    }
+    DetectionProgram::builder(Direction::Forward, n)
+        .all_layers(ThresholdKind::Absolute { phi })
+        .disable_before(start_layer)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptolemy_nn::zoo;
+    use ptolemy_tensor::Rng64;
+
+    fn net() -> Network {
+        zoo::conv_net(10, &mut Rng64::new(0)).unwrap()
+    }
+
+    #[test]
+    fn canned_variants_cover_all_layers() {
+        let net = net();
+        let n = net.weight_layer_indices().len();
+        for program in [
+            bw_cu(&net, 0.5).unwrap(),
+            bw_ab(&net, 0.3).unwrap(),
+            fw_ab(&net, 0.3).unwrap(),
+            fw_cu(&net, 0.5).unwrap(),
+        ] {
+            assert_eq!(program.num_weight_layers(), n);
+            assert_eq!(program.enabled_layers().len(), n);
+        }
+        assert_eq!(bw_cu(&net, 0.5).unwrap().direction(), Direction::Backward);
+        assert_eq!(fw_ab(&net, 0.3).unwrap().direction(), Direction::Forward);
+        assert!(bw_cu(&net, 1.5).is_err());
+    }
+
+    #[test]
+    fn hybrid_mixes_threshold_kinds() {
+        let net = net();
+        let program = hybrid(&net, 0.3, 0.5).unwrap();
+        let n = program.num_weight_layers();
+        let cumulative: Vec<bool> = program
+            .specs()
+            .iter()
+            .map(|s| s.threshold.is_cumulative())
+            .collect();
+        assert!(cumulative[..n / 2].iter().all(|c| !c));
+        assert!(cumulative[n / 2..].iter().all(|c| *c));
+        assert_eq!(program.direction(), Direction::Backward);
+    }
+
+    #[test]
+    fn early_termination_and_late_start() {
+        let net = net();
+        let n = net.weight_layer_indices().len();
+        let program = bw_cu_early_termination(&net, 0.5, 3).unwrap();
+        assert_eq!(program.enabled_layers(), vec![n - 3, n - 2, n - 1]);
+        let program = fw_ab_late_start(&net, 0.3, n - 2).unwrap();
+        assert_eq!(program.enabled_layers(), vec![n - 2, n - 1]);
+        assert!(bw_cu_early_termination(&net, 0.5, 0).is_err());
+        assert!(bw_cu_early_termination(&net, 0.5, n + 1).is_err());
+        assert!(fw_ab_late_start(&net, 0.3, n).is_err());
+    }
+}

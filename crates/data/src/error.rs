@@ -1,0 +1,61 @@
+use std::fmt;
+
+use ptolemy_tensor::TensorError;
+
+/// Error type for dataset generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// The dataset configuration is invalid (zero classes, empty shape, …).
+    InvalidConfig(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A sample index was out of range.
+    SampleOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Number of samples available.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig(msg) => write!(f, "invalid dataset configuration: {msg}"),
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::SampleOutOfRange { index, len } => {
+                write!(f, "sample index {index} out of range ({len} samples)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!DataError::InvalidConfig("x".into()).to_string().is_empty());
+        assert!(!DataError::SampleOutOfRange { index: 1, len: 0 }
+            .to_string()
+            .is_empty());
+        let e: DataError = TensorError::Empty("max").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ptolemy-data
+//!
+//! Synthetic, seeded datasets standing in for ImageNet / CIFAR-10 / CIFAR-100 and
+//! for the traffic-sign scenario the paper's introduction motivates.
+//!
+//! The Ptolemy detection framework needs datasets with two properties:
+//!
+//! 1. inputs of the same class must activate similar network paths (so class paths
+//!    are meaningful), and
+//! 2. arbitrarily many i.i.d. samples per class must be available (offline class-path
+//!    profiling aggregates ~100 inputs per class before saturating).
+//!
+//! Each class is generated from a fixed random *prototype image* plus structured
+//! per-sample perturbations, which gives a dataset that small CNNs learn quickly and
+//! whose per-class activation structure mirrors what the paper observes on natural
+//! images.  Every dataset is fully determined by its seed.
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_data::SyntheticDataset;
+//!
+//! # fn main() -> Result<(), ptolemy_data::DataError> {
+//! let data = SyntheticDataset::synth_cifar10(20, 5, 42)?;
+//! assert_eq!(data.num_classes(), 10);
+//! assert_eq!(data.train().len(), 200);
+//! assert_eq!(data.input_shape(), &[3, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod traffic;
+
+pub use dataset::{DatasetConfig, SyntheticDataset};
+pub use error::DataError;
+pub use traffic::{traffic_signs, TRAFFIC_CLASSES};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,180 @@
+//! Procedural traffic-sign dataset for the paper's motivating scenario
+//! (a stop sign mis-classified as a yield sign under an adversarial sticker).
+
+use ptolemy_tensor::{Rng64, Tensor};
+
+use crate::{DataError, Result, SyntheticDataset};
+use crate::dataset::DatasetConfig;
+
+/// Classes of the traffic-sign dataset, in label order.
+pub const TRAFFIC_CLASSES: [&str; 4] = ["stop", "yield", "speed-limit", "background"];
+
+/// Generates the procedural traffic-sign dataset: four classes of `[3, 16, 16]`
+/// images (stop sign, yield sign, speed-limit sign, background clutter), each drawn
+/// as a simple geometric glyph plus noise.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`] for zero per-class counts.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), ptolemy_data::DataError> {
+/// let signs = ptolemy_data::traffic_signs(10, 4, 1)?;
+/// assert_eq!(signs.num_classes(), 4);
+/// assert_eq!(signs.input_shape(), &[3, 16, 16]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn traffic_signs(train_per_class: usize, test_per_class: usize, seed: u64) -> Result<SyntheticDataset> {
+    if train_per_class == 0 {
+        return Err(DataError::InvalidConfig(
+            "traffic_signs requires at least one training sample per class".into(),
+        ));
+    }
+    // Start from the generic generator (for the config bookkeeping), then replace
+    // the prototypes and samples with the procedural glyphs.
+    let config = DatasetConfig {
+        name: "traffic-signs".into(),
+        num_classes: TRAFFIC_CLASSES.len(),
+        shape: vec![3, 16, 16],
+        train_per_class,
+        test_per_class,
+        noise: 0.08,
+        seed,
+    };
+    let mut rng = Rng64::new(seed);
+    let prototypes: Vec<Tensor> = (0..TRAFFIC_CLASSES.len())
+        .map(|class| glyph(class))
+        .collect::<Result<_>>()?;
+
+    let make = |per_class: usize, rng: &mut Rng64| -> Result<Vec<(Tensor, usize)>> {
+        let mut out = Vec::with_capacity(per_class * prototypes.len());
+        for (class, proto) in prototypes.iter().enumerate() {
+            for _ in 0..per_class {
+                let jitter = rng.uniform(-0.1, 0.1);
+                let data: Vec<f32> = proto
+                    .as_slice()
+                    .iter()
+                    .map(|v| (v + jitter + config.noise * rng.normal()).clamp(0.0, 1.0))
+                    .collect();
+                out.push((Tensor::from_vec(data, &config.shape)?, class));
+            }
+        }
+        rng.shuffle(&mut out);
+        Ok(out)
+    };
+    let train = make(train_per_class, &mut rng)?;
+    let test = make(test_per_class.max(1), &mut rng)?;
+
+    SyntheticDataset::from_parts(config, prototypes, train, test)
+}
+
+/// Draws the prototype glyph for a class as a `[3, 16, 16]` image in `[0, 1]`.
+fn glyph(class: usize) -> Result<Tensor> {
+    let (h, w) = (16usize, 16usize);
+    let mut data = vec![0.2f32; 3 * h * w];
+    let set = |data: &mut Vec<f32>, c: usize, y: usize, x: usize, v: f32| {
+        data[(c * h + y) * w + x] = v;
+    };
+    let centre = 7.5f32;
+    for y in 0..h {
+        for x in 0..w {
+            let dy = y as f32 - centre;
+            let dx = x as f32 - centre;
+            let r = (dy * dy + dx * dx).sqrt();
+            match class {
+                // Stop: filled red octagon (approximated by a disc) with a white band.
+                0 => {
+                    if r < 6.0 {
+                        set(&mut data, 0, y, x, 0.9);
+                        if (6..=9).contains(&y) {
+                            set(&mut data, 1, y, x, 0.8);
+                            set(&mut data, 2, y, x, 0.8);
+                        }
+                    }
+                }
+                // Yield: downward red triangle outline with white interior.
+                1 => {
+                    let width_at_row = (15 - y) as f32 * 0.45;
+                    if (dx.abs() - width_at_row).abs() < 1.2 && y < 14 {
+                        set(&mut data, 0, y, x, 0.9);
+                    } else if dx.abs() < width_at_row && y < 14 {
+                        set(&mut data, 0, y, x, 0.85);
+                        set(&mut data, 1, y, x, 0.85);
+                        set(&mut data, 2, y, x, 0.85);
+                    }
+                }
+                // Speed limit: white disc with a red ring and dark digits band.
+                2 => {
+                    if (5.0..7.0).contains(&r) {
+                        set(&mut data, 0, y, x, 0.9);
+                    } else if r < 5.0 {
+                        set(&mut data, 0, y, x, 0.9);
+                        set(&mut data, 1, y, x, 0.9);
+                        set(&mut data, 2, y, x, 0.9);
+                        if (7..=8).contains(&y) && (5..=10).contains(&x) {
+                            set(&mut data, 0, y, x, 0.1);
+                            set(&mut data, 1, y, x, 0.1);
+                            set(&mut data, 2, y, x, 0.1);
+                        }
+                    }
+                }
+                // Background: soft green/blue gradient.
+                _ => {
+                    set(&mut data, 1, y, x, 0.3 + 0.4 * (y as f32 / h as f32));
+                    set(&mut data, 2, y, x, 0.3 + 0.4 * (x as f32 / w as f32));
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(data, &[3, h, w])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shape_and_labels() {
+        let ds = traffic_signs(5, 2, 11).unwrap();
+        assert_eq!(ds.num_classes(), 4);
+        assert_eq!(ds.train().len(), 20);
+        assert_eq!(ds.test().len(), 8);
+        for (x, y) in ds.train() {
+            assert!(*y < 4);
+            assert!(x.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+        assert!(traffic_signs(0, 2, 1).is_err());
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        let ds = traffic_signs(2, 1, 5).unwrap();
+        // Stop prototype has more red mass than the background prototype.
+        let red = |t: &Tensor| t.as_slice()[..256].iter().sum::<f32>();
+        let stop = red(ds.prototype(0).unwrap());
+        let background = red(ds.prototype(3).unwrap());
+        assert!(stop > background);
+        // Prototypes differ pairwise.
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let d = ds
+                    .prototype(a)
+                    .unwrap()
+                    .mse(ds.prototype(b).unwrap())
+                    .unwrap();
+                assert!(d > 0.01, "classes {a} and {b} too similar ({d})");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = traffic_signs(3, 1, 42).unwrap();
+        let b = traffic_signs(3, 1, 42).unwrap();
+        assert_eq!(a.train()[0].0.as_slice(), b.train()[0].0.as_slice());
+        assert_eq!(a.train()[0].1, b.train()[0].1);
+    }
+}

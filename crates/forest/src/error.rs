@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Error type for random-forest training and inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForestError {
+    /// Training data was empty or inconsistent.
+    InvalidTrainingData(String),
+    /// A feature vector had the wrong number of features.
+    FeatureCountMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Provided feature count.
+        actual: usize,
+    },
+    /// Metric inputs were inconsistent (e.g. score/label length mismatch).
+    InvalidMetricInput(String),
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            ForestError::FeatureCountMismatch { expected, actual } => {
+                write!(f, "expected {expected} features, got {actual}")
+            }
+            ForestError::InvalidMetricInput(msg) => write!(f, "invalid metric input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ForestError::InvalidTrainingData("x".into()).to_string().is_empty());
+        assert!(!ForestError::FeatureCountMismatch { expected: 2, actual: 1 }
+            .to_string()
+            .is_empty());
+        assert!(!ForestError::InvalidMetricInput("y".into()).to_string().is_empty());
+    }
+}

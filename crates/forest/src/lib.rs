@@ -1,0 +1,36 @@
+//! # ptolemy-forest
+//!
+//! A small random-forest classifier and the AUC metric, matching the classification
+//! stage of the Ptolemy detection framework (paper Sec. III-B and Sec. V-D): the
+//! path similarity computed by the path constructor is fed into a random forest of
+//! 100 trees with average depth ≈ 12 running on the controller MCU, and detection
+//! quality is reported as area-under-curve.
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_forest::{auc, ForestConfig, RandomForest};
+//!
+//! # fn main() -> Result<(), ptolemy_forest::ForestError> {
+//! // Benign samples have high similarity, adversarial ones low.
+//! let features = vec![vec![0.9], vec![0.85], vec![0.2], vec![0.1]];
+//! let labels = vec![false, false, true, true];
+//! let forest = RandomForest::fit(&features, &labels, &ForestConfig::default())?;
+//! let score = forest.predict_proba(&[0.15])?;
+//! assert!(score > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod metrics;
+mod tree;
+
+pub use error::ForestError;
+pub use metrics::{auc, confusion_at_threshold, ConfusionCounts};
+pub use tree::{DecisionTree, ForestConfig, RandomForest, TreeConfig};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ForestError>;

@@ -1,0 +1,335 @@
+//! A small two-pass assembler for the textual syntax of the paper's Listing 1.
+//!
+//! Supported syntax:
+//!
+//! * `.set NAME VALUE` — compiler-calculated constants (decimal or `0x…` hex);
+//! * `<label>` on its own line — branch targets;
+//! * instructions with comma-separated operands: registers (`r0`–`r15`), immediates
+//!   (for `mov`), constants defined by `.set`, and `<label>` references (for `jne`);
+//! * `;` comments.
+
+use std::collections::HashMap;
+
+use crate::{Instruction, IsaError, Reg, Result};
+
+/// An assembled program: the instruction sequence plus its binary encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Decoded instruction sequence.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Binary encoding (one 24-bit word per instruction, in the low bits of `u32`).
+    pub fn encode(&self) -> Vec<u32> {
+        self.instructions.iter().map(Instruction::encode).collect()
+    }
+
+    /// Program size in bytes (3 bytes per instruction — the paper notes its largest
+    /// program is below 100 bytes).
+    pub fn size_bytes(&self) -> usize {
+        self.instructions.len() * 3
+    }
+
+    /// Textual disassembly.
+    pub fn disassemble(&self) -> String {
+        self.instructions
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Two-pass assembler state.  Most users call [`assemble`] directly.
+#[derive(Debug, Default, Clone)]
+pub struct Assembler {
+    constants: HashMap<String, i64>,
+}
+
+/// Assembles a source listing into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::ParseError`] for malformed lines and
+/// [`IsaError::UndefinedSymbol`] for unresolved labels or constants.
+///
+/// # Example
+///
+/// ```
+/// let program = ptolemy_isa::assemble(
+///     ".set rfsize 0x200\n\
+///      mov r3, rfsize\n\
+///      <start>\n\
+///      findrf r4, r1\n\
+///      sort r1, r3, r6\n\
+///      acum r6, r1, r5\n\
+///      dec r11\n\
+///      jne r11, <start>\n\
+///      halt\n",
+/// )?;
+/// assert_eq!(program.instructions.len(), 7);
+/// # Ok::<(), ptolemy_isa::IsaError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program> {
+    Assembler::default().assemble(source)
+}
+
+impl Assembler {
+    /// Assembles a source listing.  See [`assemble`].
+    ///
+    /// # Errors
+    ///
+    /// See [`assemble`].
+    pub fn assemble(mut self, source: &str) -> Result<Program> {
+        // Pass 1: collect labels (by instruction index) and .set constants.
+        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut cleaned: Vec<(usize, String)> = Vec::new();
+        let mut pc = 0usize;
+        for (line_no, raw) in source.lines().enumerate() {
+            let line = raw.split(';').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(".set") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().ok_or(IsaError::ParseError {
+                    line: line_no + 1,
+                    message: ".set requires a name".into(),
+                })?;
+                let value = parts.next().ok_or(IsaError::ParseError {
+                    line: line_no + 1,
+                    message: ".set requires a value".into(),
+                })?;
+                self.constants.insert(name.to_string(), parse_imm(value, line_no + 1)?);
+                continue;
+            }
+            if line.starts_with('<') && line.ends_with('>') {
+                labels.insert(line[1..line.len() - 1].to_string(), pc);
+                continue;
+            }
+            cleaned.push((line_no + 1, line.to_string()));
+            pc += 1;
+        }
+
+        // Pass 2: parse instructions.
+        let mut instructions = Vec::with_capacity(cleaned.len());
+        for (idx, (line_no, line)) in cleaned.iter().enumerate() {
+            instructions.push(self.parse_instruction(line, *line_no, idx, &labels)?);
+        }
+        Ok(Program { instructions })
+    }
+
+    fn parse_instruction(
+        &self,
+        line: &str,
+        line_no: usize,
+        pc: usize,
+        labels: &HashMap<String, usize>,
+    ) -> Result<Instruction> {
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(pos) => (&line[..pos], line[pos..].trim()),
+            None => (line, ""),
+        };
+        let operands: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let err = |message: String| IsaError::ParseError { line: line_no, message };
+        let want = |n: usize| -> Result<()> {
+            if operands.len() != n {
+                Err(err(format!("{mnemonic} expects {n} operands, got {}", operands.len())))
+            } else {
+                Ok(())
+            }
+        };
+        let reg = |s: &str| -> Result<Reg> {
+            let index: u8 = s
+                .strip_prefix('r')
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(format!("expected a register, got '{s}'")))?;
+            Reg::new(index)
+        };
+        match mnemonic {
+            "inf" => {
+                want(3)?;
+                Ok(Instruction::Inf { input: reg(operands[0])?, weight: reg(operands[1])?, output: reg(operands[2])? })
+            }
+            "infsp" => {
+                want(4)?;
+                Ok(Instruction::InfSp {
+                    input: reg(operands[0])?,
+                    weight: reg(operands[1])?,
+                    output: reg(operands[2])?,
+                    psum: reg(operands[3])?,
+                })
+            }
+            "csps" => {
+                want(3)?;
+                Ok(Instruction::Csps { output_neuron: reg(operands[0])?, layer: reg(operands[1])?, psum: reg(operands[2])? })
+            }
+            "sort" => {
+                want(3)?;
+                Ok(Instruction::Sort { src: reg(operands[0])?, len: reg(operands[1])?, dst: reg(operands[2])? })
+            }
+            "acum" => {
+                want(3)?;
+                Ok(Instruction::Acum { input: reg(operands[0])?, output: reg(operands[1])?, threshold: reg(operands[2])? })
+            }
+            "genmasks" => {
+                want(2)?;
+                Ok(Instruction::GenMasks { input: reg(operands[0])?, output: reg(operands[1])? })
+            }
+            "findneuron" => {
+                want(3)?;
+                Ok(Instruction::FindNeuron { layer: reg(operands[0])?, position: reg(operands[1])?, target: reg(operands[2])? })
+            }
+            "findrf" => {
+                want(2)?;
+                Ok(Instruction::FindRf { neuron: reg(operands[0])?, rf: reg(operands[1])? })
+            }
+            "cls" => {
+                want(3)?;
+                Ok(Instruction::Cls { class_path: reg(operands[0])?, activation_path: reg(operands[1])?, result: reg(operands[2])? })
+            }
+            "mov" => {
+                want(2)?;
+                let imm = self.resolve_value(operands[1], line_no)?;
+                if !(0..=0xFFF).contains(&imm) {
+                    return Err(IsaError::ImmediateOutOfRange(imm));
+                }
+                Ok(Instruction::Mov { dst: reg(operands[0])?, imm: imm as u16 })
+            }
+            "dec" => {
+                want(1)?;
+                Ok(Instruction::Dec { reg: reg(operands[0])? })
+            }
+            "jne" => {
+                want(2)?;
+                let target = operands[1];
+                let offset = if target.starts_with('<') && target.ends_with('>') {
+                    let name = &target[1..target.len() - 1];
+                    let dest = *labels
+                        .get(name)
+                        .ok_or_else(|| IsaError::UndefinedSymbol(name.to_string()))?;
+                    dest as i64 - pc as i64
+                } else {
+                    self.resolve_value(target, line_no)?
+                };
+                if !(-128..=127).contains(&offset) {
+                    return Err(IsaError::ImmediateOutOfRange(offset));
+                }
+                Ok(Instruction::Jne { reg: reg(operands[0])?, offset: offset as i8 })
+            }
+            "halt" => {
+                want(0)?;
+                Ok(Instruction::Halt)
+            }
+            other => Err(err(format!("unknown mnemonic '{other}'"))),
+        }
+    }
+
+    fn resolve_value(&self, token: &str, line_no: usize) -> Result<i64> {
+        if let Some(value) = self.constants.get(token) {
+            return Ok(*value);
+        }
+        parse_imm(token, line_no)
+    }
+}
+
+fn parse_imm(token: &str, line_no: usize) -> Result<i64> {
+    let parsed = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        token.parse()
+    };
+    parsed.map_err(|_| IsaError::ParseError {
+        line: line_no,
+        message: format!("cannot parse immediate '{token}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstructionClass;
+
+    /// The paper's Listing 1 (with the omitted setup code filled in).
+    const LISTING_1: &str = "
+        .set rfsize 0x200
+        .set thrd 0x08
+        mov r3, rfsize
+        mov r5, thrd
+        <start>
+        findneuron r2, r7, r4
+        findrf r4, r1
+        sort r1, r3, r6
+        acum r6, r1, r5
+        dec r11
+        jne r11, <start>
+        halt
+    ";
+
+    #[test]
+    fn assembles_listing_one() {
+        let program = assemble(LISTING_1).unwrap();
+        assert_eq!(program.instructions.len(), 9);
+        // The paper notes compiled programs stay below 100 bytes.
+        assert!(program.size_bytes() < 100);
+        // The loop body is path-construction work.
+        assert_eq!(program.instructions[2].class(), InstructionClass::PathConstruction);
+        // The jne must branch back to the findneuron at index 2 from index 7.
+        match program.instructions[7] {
+            Instruction::Jne { offset, .. } => assert_eq!(offset, -5),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        // mov picked up the .set constant.
+        match program.instructions[0] {
+            Instruction::Mov { imm, .. } => assert_eq!(imm, 0x200),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disassembly_roundtrips_through_the_assembler() {
+        let program = assemble(LISTING_1).unwrap();
+        let text = program.disassemble();
+        // Re-assembling the disassembly (labels become numeric offsets) must yield
+        // the same binary encoding.
+        let reassembled = assemble(&text).unwrap();
+        assert_eq!(reassembled.encode(), program.encode());
+    }
+
+    #[test]
+    fn errors_are_reported_with_context() {
+        assert!(matches!(
+            assemble("bogus r1, r2"),
+            Err(IsaError::ParseError { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("jne r1, <nowhere>"),
+            Err(IsaError::UndefinedSymbol(_))
+        ));
+        assert!(matches!(
+            assemble("mov r1, 0x10000"),
+            Err(IsaError::ImmediateOutOfRange(_))
+        ));
+        assert!(matches!(
+            assemble("sort r1, r2"),
+            Err(IsaError::ParseError { .. })
+        ));
+        assert!(matches!(
+            assemble("mov r99, 1"),
+            Err(IsaError::InvalidRegister(99))
+        ));
+        assert!(matches!(assemble(".set x"), Err(IsaError::ParseError { .. })));
+        assert!(matches!(assemble("mov r1, qq"), Err(IsaError::ParseError { .. })));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let program = assemble("; nothing here\n\n  halt ; stop\n").unwrap();
+        assert_eq!(program.instructions, vec![Instruction::Halt]);
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// Error type for encoding, decoding and assembling Ptolemy instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A register index outside `0..16` was requested.
+    InvalidRegister(u8),
+    /// A 24-bit word does not decode to a known instruction.
+    InvalidEncoding(u32),
+    /// Assembly source could not be parsed.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A branch target or `.set` constant was referenced but never defined.
+    UndefinedSymbol(String),
+    /// An immediate value does not fit the encoding.
+    ImmediateOutOfRange(i64),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidRegister(r) => write!(f, "register r{r} does not exist (16 GPRs)"),
+            IsaError::InvalidEncoding(w) => write!(f, "word {w:#08x} is not a valid instruction"),
+            IsaError::ParseError { line, message } => write!(f, "parse error on line {line}: {message}"),
+            IsaError::UndefinedSymbol(s) => write!(f, "undefined symbol '{s}'"),
+            IsaError::ImmediateOutOfRange(v) => write!(f, "immediate {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        for e in [
+            IsaError::InvalidRegister(20),
+            IsaError::InvalidEncoding(0xFFFFFF),
+            IsaError::ParseError {
+                line: 3,
+                message: "bad".into(),
+            },
+            IsaError::UndefinedSymbol("x".into()),
+            IsaError::ImmediateOutOfRange(1 << 20),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

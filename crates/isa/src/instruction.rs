@@ -1,0 +1,460 @@
+//! Instruction definitions and the 24-bit binary encoding of Table I.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{IsaError, Result};
+
+/// One of the 16 general-purpose registers (`r0`–`r15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidRegister`] for indices ≥ 16.
+    pub fn new(index: u8) -> Result<Self> {
+        if index >= 16 {
+            return Err(IsaError::InvalidRegister(index));
+        }
+        Ok(Reg(index))
+    }
+
+    /// The register index.
+    pub fn index(&self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The four instruction classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstructionClass {
+    /// Inference instructions (`inf`, `infsp`, `csps`).
+    Inference,
+    /// Path-construction instructions (`sort`, `acum`, `genmasks`, `findneuron`, `findrf`).
+    PathConstruction,
+    /// The classification instruction (`cls`).
+    Classification,
+    /// Control-flow, arithmetic and data-movement instructions.
+    Others,
+}
+
+/// A Ptolemy instruction (Table I plus the "Others" class the paper lists as
+/// `mov` / `dec` / `jne`; `halt` terminates interpretation).
+///
+/// All detection-related instructions use register operands; constants calculated by
+/// the compiler (receptive-field sizes, thresholds) are loaded with `mov`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Layer inference: input / weight / output addresses in registers.
+    Inf {
+        /// Register holding the input feature-map address.
+        input: Reg,
+        /// Register holding the weight address.
+        weight: Reg,
+        /// Register holding the output feature-map address.
+        output: Reg,
+    },
+    /// Layer inference that also stores every partial sum to memory.
+    InfSp {
+        /// Register holding the input feature-map address.
+        input: Reg,
+        /// Register holding the weight address.
+        weight: Reg,
+        /// Register holding the output feature-map address.
+        output: Reg,
+        /// Register holding the address where partial sums are written.
+        psum: Reg,
+    },
+    /// Recomputes and stores the partial sums of one output feature-map element.
+    Csps {
+        /// Register holding the output-neuron id.
+        output_neuron: Reg,
+        /// Register holding the layer id.
+        layer: Reg,
+        /// Register holding the partial-sum destination address.
+        psum: Reg,
+    },
+    /// Sorts a sequence of partial sums.
+    Sort {
+        /// Register holding the unsorted sequence start address.
+        src: Reg,
+        /// Register holding the sequence length.
+        len: Reg,
+        /// Register holding the sorted sequence destination address.
+        dst: Reg,
+    },
+    /// Accumulates sorted partial sums until a cumulative threshold is reached.
+    Acum {
+        /// Register holding the sorted sequence address.
+        input: Reg,
+        /// Register holding the selected-neuron destination address.
+        output: Reg,
+        /// Register holding the cumulative threshold.
+        threshold: Reg,
+    },
+    /// Generates the per-layer importance masks from identified important neurons.
+    GenMasks {
+        /// Register holding the important-neuron list address.
+        input: Reg,
+        /// Register holding the mask destination address.
+        output: Reg,
+    },
+    /// Computes the address of a neuron given its position in the network.
+    FindNeuron {
+        /// Register holding the layer id.
+        layer: Reg,
+        /// Register holding the neuron position.
+        position: Reg,
+        /// Register receiving the neuron address.
+        target: Reg,
+    },
+    /// Computes the start address of the receptive field of a neuron.
+    FindRf {
+        /// Register holding the neuron address.
+        neuron: Reg,
+        /// Register receiving the receptive-field address.
+        rf: Reg,
+    },
+    /// Classifies an input as adversarial or benign from path similarity.
+    Cls {
+        /// Register holding the class-path address.
+        class_path: Reg,
+        /// Register holding the activation-path address.
+        activation_path: Reg,
+        /// Register receiving the result.
+        result: Reg,
+    },
+    /// Loads a 12-bit immediate into a register.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value (12 bits).
+        imm: u16,
+    },
+    /// Decrements a register.
+    Dec {
+        /// Register to decrement.
+        reg: Reg,
+    },
+    /// Branches backwards/forwards by a signed 8-bit instruction offset when the
+    /// register is non-zero.
+    Jne {
+        /// Register compared against zero.
+        reg: Reg,
+        /// Signed branch offset in instructions.
+        offset: i8,
+    },
+    /// Stops interpretation.
+    Halt,
+}
+
+const OP_INF: u32 = 0x0;
+const OP_INFSP: u32 = 0x1;
+const OP_CSPS: u32 = 0x2;
+const OP_SORT: u32 = 0x3;
+const OP_ACUM: u32 = 0x4;
+const OP_GENMASKS: u32 = 0x5;
+const OP_FINDNEURON: u32 = 0x6;
+const OP_FINDRF: u32 = 0x7;
+const OP_CLS: u32 = 0x8;
+const OP_MOV: u32 = 0x9;
+const OP_DEC: u32 = 0xA;
+const OP_JNE: u32 = 0xB;
+const OP_HALT: u32 = 0xF;
+
+fn pack(opcode: u32, fields: [u32; 5]) -> u32 {
+    let mut word = opcode << 20;
+    for (i, f) in fields.iter().enumerate() {
+        word |= (f & 0xF) << (16 - 4 * i as u32);
+    }
+    word
+}
+
+fn field(word: u32, i: u32) -> u8 {
+    ((word >> (16 - 4 * i)) & 0xF) as u8
+}
+
+fn reg(word: u32, i: u32) -> Result<Reg> {
+    Reg::new(field(word, i))
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 24-bit word (stored in the low bits of a
+    /// `u32`).
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Instruction::Inf { input, weight, output } => pack(
+                OP_INF,
+                [input.0 as u32, weight.0 as u32, output.0 as u32, 0, 0],
+            ),
+            Instruction::InfSp { input, weight, output, psum } => pack(
+                OP_INFSP,
+                [input.0 as u32, weight.0 as u32, output.0 as u32, psum.0 as u32, 0],
+            ),
+            Instruction::Csps { output_neuron, layer, psum } => pack(
+                OP_CSPS,
+                [output_neuron.0 as u32, layer.0 as u32, psum.0 as u32, 0, 0],
+            ),
+            Instruction::Sort { src, len, dst } => {
+                pack(OP_SORT, [src.0 as u32, len.0 as u32, dst.0 as u32, 0, 0])
+            }
+            Instruction::Acum { input, output, threshold } => pack(
+                OP_ACUM,
+                [input.0 as u32, output.0 as u32, threshold.0 as u32, 0, 0],
+            ),
+            Instruction::GenMasks { input, output } => {
+                pack(OP_GENMASKS, [input.0 as u32, output.0 as u32, 0, 0, 0])
+            }
+            Instruction::FindNeuron { layer, position, target } => pack(
+                OP_FINDNEURON,
+                [layer.0 as u32, position.0 as u32, target.0 as u32, 0, 0],
+            ),
+            Instruction::FindRf { neuron, rf } => {
+                pack(OP_FINDRF, [neuron.0 as u32, rf.0 as u32, 0, 0, 0])
+            }
+            Instruction::Cls { class_path, activation_path, result } => pack(
+                OP_CLS,
+                [class_path.0 as u32, activation_path.0 as u32, result.0 as u32, 0, 0],
+            ),
+            Instruction::Mov { dst, imm } => (OP_MOV << 20) | ((dst.0 as u32) << 16) | (imm as u32 & 0xFFF),
+            Instruction::Dec { reg } => pack(OP_DEC, [reg.0 as u32, 0, 0, 0, 0]),
+            Instruction::Jne { reg, offset } => {
+                (OP_JNE << 20) | ((reg.0 as u32) << 16) | ((offset as u8) as u32)
+            }
+            Instruction::Halt => OP_HALT << 20,
+        }
+    }
+
+    /// Decodes a 24-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidEncoding`] for unknown opcodes or words wider than
+    /// 24 bits.
+    pub fn decode(word: u32) -> Result<Instruction> {
+        if word >> 24 != 0 {
+            return Err(IsaError::InvalidEncoding(word));
+        }
+        let opcode = word >> 20;
+        Ok(match opcode {
+            OP_INF => Instruction::Inf {
+                input: reg(word, 0)?,
+                weight: reg(word, 1)?,
+                output: reg(word, 2)?,
+            },
+            OP_INFSP => Instruction::InfSp {
+                input: reg(word, 0)?,
+                weight: reg(word, 1)?,
+                output: reg(word, 2)?,
+                psum: reg(word, 3)?,
+            },
+            OP_CSPS => Instruction::Csps {
+                output_neuron: reg(word, 0)?,
+                layer: reg(word, 1)?,
+                psum: reg(word, 2)?,
+            },
+            OP_SORT => Instruction::Sort {
+                src: reg(word, 0)?,
+                len: reg(word, 1)?,
+                dst: reg(word, 2)?,
+            },
+            OP_ACUM => Instruction::Acum {
+                input: reg(word, 0)?,
+                output: reg(word, 1)?,
+                threshold: reg(word, 2)?,
+            },
+            OP_GENMASKS => Instruction::GenMasks {
+                input: reg(word, 0)?,
+                output: reg(word, 1)?,
+            },
+            OP_FINDNEURON => Instruction::FindNeuron {
+                layer: reg(word, 0)?,
+                position: reg(word, 1)?,
+                target: reg(word, 2)?,
+            },
+            OP_FINDRF => Instruction::FindRf {
+                neuron: reg(word, 0)?,
+                rf: reg(word, 1)?,
+            },
+            OP_CLS => Instruction::Cls {
+                class_path: reg(word, 0)?,
+                activation_path: reg(word, 1)?,
+                result: reg(word, 2)?,
+            },
+            OP_MOV => Instruction::Mov {
+                dst: Reg::new(((word >> 16) & 0xF) as u8)?,
+                imm: (word & 0xFFF) as u16,
+            },
+            OP_DEC => Instruction::Dec { reg: reg(word, 0)? },
+            OP_JNE => Instruction::Jne {
+                reg: Reg::new(((word >> 16) & 0xF) as u8)?,
+                offset: (word & 0xFF) as u8 as i8,
+            },
+            OP_HALT => Instruction::Halt,
+            _ => return Err(IsaError::InvalidEncoding(word)),
+        })
+    }
+
+    /// The instruction's class (Table I grouping).
+    pub fn class(&self) -> InstructionClass {
+        match self {
+            Instruction::Inf { .. } | Instruction::InfSp { .. } | Instruction::Csps { .. } => {
+                InstructionClass::Inference
+            }
+            Instruction::Sort { .. }
+            | Instruction::Acum { .. }
+            | Instruction::GenMasks { .. }
+            | Instruction::FindNeuron { .. }
+            | Instruction::FindRf { .. } => InstructionClass::PathConstruction,
+            Instruction::Cls { .. } => InstructionClass::Classification,
+            _ => InstructionClass::Others,
+        }
+    }
+
+    /// The instruction mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::Inf { .. } => "inf",
+            Instruction::InfSp { .. } => "infsp",
+            Instruction::Csps { .. } => "csps",
+            Instruction::Sort { .. } => "sort",
+            Instruction::Acum { .. } => "acum",
+            Instruction::GenMasks { .. } => "genmasks",
+            Instruction::FindNeuron { .. } => "findneuron",
+            Instruction::FindRf { .. } => "findrf",
+            Instruction::Cls { .. } => "cls",
+            Instruction::Mov { .. } => "mov",
+            Instruction::Dec { .. } => "dec",
+            Instruction::Jne { .. } => "jne",
+            Instruction::Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Inf { input, weight, output } => {
+                write!(f, "inf {input}, {weight}, {output}")
+            }
+            Instruction::InfSp { input, weight, output, psum } => {
+                write!(f, "infsp {input}, {weight}, {output}, {psum}")
+            }
+            Instruction::Csps { output_neuron, layer, psum } => {
+                write!(f, "csps {output_neuron}, {layer}, {psum}")
+            }
+            Instruction::Sort { src, len, dst } => write!(f, "sort {src}, {len}, {dst}"),
+            Instruction::Acum { input, output, threshold } => {
+                write!(f, "acum {input}, {output}, {threshold}")
+            }
+            Instruction::GenMasks { input, output } => write!(f, "genmasks {input}, {output}"),
+            Instruction::FindNeuron { layer, position, target } => {
+                write!(f, "findneuron {layer}, {position}, {target}")
+            }
+            Instruction::FindRf { neuron, rf } => write!(f, "findrf {neuron}, {rf}"),
+            Instruction::Cls { class_path, activation_path, result } => {
+                write!(f, "cls {class_path}, {activation_path}, {result}")
+            }
+            Instruction::Mov { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
+            Instruction::Dec { reg } => write!(f, "dec {reg}"),
+            Instruction::Jne { reg, offset } => write!(f, "jne {reg}, {offset}"),
+            Instruction::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    fn all_instructions() -> Vec<Instruction> {
+        vec![
+            Instruction::Inf { input: r(1), weight: r(2), output: r(3) },
+            Instruction::InfSp { input: r(1), weight: r(2), output: r(3), psum: r(4) },
+            Instruction::Csps { output_neuron: r(5), layer: r(6), psum: r(7) },
+            Instruction::Sort { src: r(1), len: r(3), dst: r(6) },
+            Instruction::Acum { input: r(6), output: r(1), threshold: r(5) },
+            Instruction::GenMasks { input: r(2), output: r(9) },
+            Instruction::FindNeuron { layer: r(2), position: r(7), target: r(4) },
+            Instruction::FindRf { neuron: r(4), rf: r(1) },
+            Instruction::Cls { class_path: r(10), activation_path: r(11), result: r(12) },
+            Instruction::Mov { dst: r(3), imm: 0x200 },
+            Instruction::Dec { reg: r(11) },
+            Instruction::Jne { reg: r(11), offset: -5 },
+            Instruction::Halt,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for inst in all_instructions() {
+            let word = inst.encode();
+            assert!(word < (1 << 24), "{inst} does not fit 24 bits");
+            assert_eq!(Instruction::decode(word).unwrap(), inst, "roundtrip of {inst}");
+        }
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        assert!(Instruction::decode(1 << 24).is_err());
+        assert!(Instruction::decode(0xC0_0000).is_err()); // unused opcode 0xC
+        assert!(Reg::new(16).is_err());
+        assert_eq!(Reg::new(7).unwrap().index(), 7);
+    }
+
+    #[test]
+    fn classes_match_table_one() {
+        assert_eq!(
+            Instruction::Inf { input: r(0), weight: r(1), output: r(2) }.class(),
+            InstructionClass::Inference
+        );
+        assert_eq!(
+            Instruction::Sort { src: r(0), len: r(1), dst: r(2) }.class(),
+            InstructionClass::PathConstruction
+        );
+        assert_eq!(
+            Instruction::Cls { class_path: r(0), activation_path: r(1), result: r(2) }.class(),
+            InstructionClass::Classification
+        );
+        assert_eq!(Instruction::Halt.class(), InstructionClass::Others);
+        assert_eq!(Instruction::Dec { reg: r(1) }.class(), InstructionClass::Others);
+    }
+
+    #[test]
+    fn disassembly_matches_listing_style() {
+        assert_eq!(
+            Instruction::Sort { src: r(1), len: r(3), dst: r(6) }.to_string(),
+            "sort r1, r3, r6"
+        );
+        assert_eq!(
+            Instruction::Acum { input: r(6), output: r(1), threshold: r(5) }.to_string(),
+            "acum r6, r1, r5"
+        );
+        assert_eq!(Instruction::Halt.mnemonic(), "halt");
+        assert_eq!(format!("{}", r(4)), "r4");
+    }
+
+    #[test]
+    fn jne_offset_sign_is_preserved() {
+        for offset in [-128i8, -1, 0, 1, 127] {
+            let inst = Instruction::Jne { reg: r(2), offset };
+            match Instruction::decode(inst.encode()).unwrap() {
+                Instruction::Jne { offset: o, .. } => assert_eq!(o, offset),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

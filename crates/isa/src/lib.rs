@@ -1,0 +1,42 @@
+//! # ptolemy-isa
+//!
+//! The Ptolemy custom CISC-like instruction set (paper Table I): 24-bit fixed-length
+//! instructions over 16 general-purpose registers, covering inference
+//! (`inf`/`infsp`/`csps`), path construction (`sort`/`acum`/`genmasks`/`findneuron`/
+//! `findrf`), classification (`cls`) and the scalar/control instructions (`mov`,
+//! `dec`, `jne`).
+//!
+//! The crate provides the instruction type with its binary encoding, a disassembler
+//! (`Display`), and a small assembler for the textual syntax used in the paper's
+//! Listing 1 (including `.set` constant directives and `<label>` branch targets).
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_isa::{Instruction, Reg};
+//!
+//! # fn main() -> Result<(), ptolemy_isa::IsaError> {
+//! let inst = Instruction::Sort {
+//!     src: Reg::new(1)?,
+//!     len: Reg::new(3)?,
+//!     dst: Reg::new(6)?,
+//! };
+//! let word = inst.encode();
+//! assert_eq!(Instruction::decode(word)?, inst);
+//! assert_eq!(inst.to_string(), "sort r1, r3, r6");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod assembler;
+mod error;
+mod instruction;
+
+pub use assembler::{assemble, Assembler, Program};
+pub use error::IsaError;
+pub use instruction::{Instruction, InstructionClass, Reg};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, IsaError>;

@@ -1,0 +1,129 @@
+use ptolemy_tensor::Tensor;
+
+use crate::{Contribution, Layer, LayerGrads, LayerKind, NnError, Result};
+
+/// Rectified linear unit applied element-wise.
+///
+/// ReLU is a pass-through layer for path extraction: an important neuron in its
+/// output maps directly onto the same position of its input.
+#[derive(Debug, Clone)]
+pub struct ReLU {
+    shape: Vec<usize>,
+}
+
+impl ReLU {
+    /// Creates a ReLU for inputs of the given per-sample shape.
+    pub fn new(shape: &[usize]) -> Self {
+        ReLU {
+            shape: shape.to_vec(),
+        }
+    }
+
+    fn check(&self, input: &Tensor) -> Result<()> {
+        if input.dims() != self.shape.as_slice() {
+            return Err(NnError::InvalidConfig(format!(
+                "relu expects shape {:?}, got {:?}",
+                self.shape,
+                input.dims()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn output_shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn input_shape(&self) -> Vec<usize> {
+        self.shape.clone()
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.check(input)?;
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {
+        self.check(input)?;
+        self.check(grad_output)?;
+        let gx: Vec<f32> = input
+            .as_slice()
+            .iter()
+            .zip(grad_output.as_slice())
+            .map(|(x, g)| if *x > 0.0 { *g } else { 0.0 })
+            .collect();
+        Ok(LayerGrads {
+            input_grad: Tensor::from_vec(gx, input.dims())?,
+            param_grads: Vec::new(),
+        })
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn contributions(&self, input: &Tensor, out_idx: usize) -> Result<Contribution> {
+        self.check(input)?;
+        if out_idx >= input.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "relu output index {out_idx} out of range"
+            )));
+        }
+        Ok(Contribution::PassThrough(vec![out_idx]))
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let relu = ReLU::new(&[4]);
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -3.0], &[4]).unwrap();
+        assert_eq!(relu.forward(&x).unwrap().as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let relu = ReLU::new(&[3]);
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]).unwrap();
+        let gy = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]).unwrap();
+        let g = relu.backward(&x, &gy).unwrap();
+        assert_eq!(g.input_grad.as_slice(), &[0.0, 1.0, 1.0]);
+        assert!(g.param_grads.is_empty());
+    }
+
+    #[test]
+    fn contributions_pass_through() {
+        let relu = ReLU::new(&[3]);
+        let x = Tensor::ones(&[3]);
+        assert_eq!(
+            relu.contributions(&x, 2).unwrap(),
+            Contribution::PassThrough(vec![2])
+        );
+        assert!(relu.contributions(&x, 3).is_err());
+    }
+
+    #[test]
+    fn shape_checked() {
+        let relu = ReLU::new(&[2, 2]);
+        assert!(relu.forward(&Tensor::ones(&[4])).is_err());
+        assert_eq!(relu.kind(), LayerKind::Activation);
+        assert_eq!(relu.output_len(), 4);
+    }
+}

@@ -1,0 +1,329 @@
+use ptolemy_tensor::{col2im, im2col, Conv2dGeometry, Initializer, Rng64, Tensor};
+
+use crate::{Contribution, Layer, LayerGrads, LayerKind, NnError, Result};
+
+/// 2-D convolution over CHW activations, lowered to `im2col` + matmul.
+///
+/// The weight tensor is stored as `[out_channels, in_channels * k * k]`, i.e. one
+/// flattened kernel per output channel, which makes the per-output-neuron partial
+/// sums (the quantity Ptolemy extracts, Fig. 3 middle panel) directly addressable:
+/// output neuron `(oc, oy, ox)` receives partial sum `w[oc][p] * patch[p]` from the
+/// `p`-th element of its receptive field.
+///
+/// # Example
+///
+/// ```
+/// use ptolemy_nn::layer::Conv2d;
+/// use ptolemy_nn::Layer;
+/// use ptolemy_tensor::{Rng64, Tensor};
+///
+/// # fn main() -> Result<(), ptolemy_nn::NnError> {
+/// let mut rng = Rng64::new(0);
+/// let conv = Conv2d::new(3, 4, 8, 8, 3, 1, 1, &mut rng)?;
+/// let y = conv.forward(&Tensor::ones(&[3, 8, 8]))?;
+/// assert_eq!(y.dims(), &[4, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    geom: Conv2dGeometry,
+    out_channels: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// Arguments: input channels / output channels / input height / input width /
+    /// square kernel size / stride / padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero channel counts and propagates
+    /// geometry errors (kernel larger than the padded input, zero stride).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Rng64,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 {
+            return Err(NnError::InvalidConfig(
+                "conv2d channel counts must be non-zero".into(),
+            ));
+        }
+        let geom = Conv2dGeometry::new(in_channels, in_h, in_w, kernel, stride, padding)?;
+        let fan_in = geom.patch_len();
+        Ok(Conv2d {
+            weight: Initializer::HeNormal { fan_in }.build(&[out_channels, fan_in], rng)?,
+            bias: Tensor::zeros(&[out_channels]),
+            geom,
+            out_channels,
+        })
+    }
+
+    /// Convolution geometry (input/output sizes, kernel, stride, padding).
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geom
+    }
+
+    /// Flattened kernels, shape `[out_channels, in_channels * k * k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Per-output-channel biases.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        let expected = [self.geom.in_channels, self.geom.in_h, self.geom.in_w];
+        if input.dims() != expected {
+            return Err(NnError::InvalidConfig(format!(
+                "conv2d expects shape {expected:?}, got {:?}",
+                input.dims()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn output_shape(&self) -> Vec<usize> {
+        vec![self.out_channels, self.geom.out_h, self.geom.out_w]
+    }
+
+    fn input_shape(&self) -> Vec<usize> {
+        vec![self.geom.in_channels, self.geom.in_h, self.geom.in_w]
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.check_input(input)?;
+        let cols = im2col(input, &self.geom)?;
+        let out = self.weight.matmul(&cols)?; // [out_c, patches]
+        let mut data = out.into_vec();
+        let patches = self.geom.num_patches();
+        for (oc, chunk) in data.chunks_mut(patches).enumerate() {
+            let b = self.bias.as_slice()[oc];
+            for v in chunk {
+                *v += b;
+            }
+        }
+        Ok(Tensor::from_vec(
+            data,
+            &[self.out_channels, self.geom.out_h, self.geom.out_w],
+        )?)
+    }
+
+    fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {
+        self.check_input(input)?;
+        let out_shape = self.output_shape();
+        if grad_output.dims() != out_shape.as_slice() {
+            return Err(NnError::InvalidConfig(format!(
+                "conv2d expects output grad shape {out_shape:?}, got {:?}",
+                grad_output.dims()
+            )));
+        }
+        let patches = self.geom.num_patches();
+        let cols = im2col(input, &self.geom)?; // [patch_len, patches]
+        let gy = grad_output.reshape(&[self.out_channels, patches])?;
+
+        // dW = gy · colsᵀ ; db = row-sums of gy ; dcols = Wᵀ · gy ; dx = col2im(dcols)
+        let grad_w = gy.matmul(&cols.transpose()?)?;
+        let grad_b = Tensor::from_vec(
+            gy.as_slice()
+                .chunks(patches)
+                .map(|row| row.iter().sum())
+                .collect(),
+            &[self.out_channels],
+        )?;
+        let grad_cols = self.weight.transpose()?.matmul(&gy)?;
+        let grad_input = col2im(&grad_cols, &self.geom)?;
+
+        Ok(LayerGrads {
+            input_grad: grad_input,
+            param_grads: vec![grad_w, grad_b],
+        })
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn contributions(&self, input: &Tensor, out_idx: usize) -> Result<Contribution> {
+        self.check_input(input)?;
+        let patches = self.geom.num_patches();
+        if out_idx >= self.out_channels * patches {
+            return Err(NnError::InvalidConfig(format!(
+                "conv2d output index {out_idx} out of range"
+            )));
+        }
+        let oc = out_idx / patches;
+        let pos = out_idx % patches;
+        let oy = pos / self.geom.out_w;
+        let ox = pos % self.geom.out_w;
+        let x = input.as_slice();
+        let w_row =
+            &self.weight.as_slice()[oc * self.geom.patch_len()..(oc + 1) * self.geom.patch_len()];
+        let mut partials = Vec::with_capacity(self.geom.patch_len());
+        for (p, w) in w_row.iter().enumerate() {
+            if let Some((c, y, xx)) = self.geom.patch_source(oy, ox, p) {
+                let idx = self.geom.input_index(c, y, xx);
+                partials.push((idx, x[idx] * w));
+            }
+        }
+        Ok(Contribution::Weighted(partials))
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv2d {
+            geometry: self.geom,
+            out_channels: self.out_channels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_identity_kernel() {
+        let mut rng = Rng64::new(0);
+        let mut conv = Conv2d::new(1, 1, 3, 3, 1, 1, 0, &mut rng).unwrap();
+        // Make the 1x1 kernel an identity.
+        conv.weight = Tensor::from_vec(vec![1.0], &[1, 1]).unwrap();
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 3]);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn forward_matches_manual_3x3() {
+        let mut rng = Rng64::new(1);
+        let mut conv = Conv2d::new(1, 1, 3, 3, 3, 1, 0, &mut rng).unwrap();
+        conv.weight = Tensor::ones(&[1, 9]);
+        conv.bias = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 1]);
+        assert!((y.as_slice()[0] - 45.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn contributions_sum_to_output_minus_bias() {
+        let mut rng = Rng64::new(2);
+        let conv = Conv2d::new(2, 3, 5, 5, 3, 1, 1, &mut rng).unwrap();
+        let x = Initializer::Uniform(1.0)
+            .build(&[2, 5, 5], &mut rng)
+            .unwrap();
+        let y = conv.forward(&x).unwrap();
+        for out_idx in [0usize, 7, 24, 74] {
+            let oc = out_idx / 25;
+            match conv.contributions(&x, out_idx).unwrap() {
+                Contribution::Weighted(pairs) => {
+                    let sum: f32 = pairs.iter().map(|(_, p)| p).sum();
+                    let expected = y.as_slice()[out_idx] - conv.bias.as_slice()[oc];
+                    assert!(
+                        (sum - expected).abs() < 1e-4,
+                        "neuron {out_idx}: {sum} vs {expected}"
+                    );
+                    // Padding positions must be excluded, so at most patch_len pairs.
+                    assert!(pairs.len() <= conv.geometry().patch_len());
+                }
+                other => panic!("expected weighted contributions, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_matches_numeric() {
+        let mut rng = Rng64::new(3);
+        let conv = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut rng).unwrap();
+        let x = Initializer::Uniform(1.0)
+            .build(&[1, 4, 4], &mut rng)
+            .unwrap();
+        let gy = Tensor::ones(&[2, 4, 4]);
+        let grads = conv.backward(&x, &gy).unwrap();
+        let eps = 1e-3;
+        for i in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (conv.forward(&xp).unwrap().sum() - conv.forward(&xm).unwrap().sum())
+                / (2.0 * eps);
+            let ana = grads.input_grad.as_slice()[i];
+            assert!((num - ana).abs() < 1e-2, "grad {i}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn backward_weight_gradient_matches_numeric() {
+        let mut rng = Rng64::new(4);
+        let mut conv = Conv2d::new(1, 1, 3, 3, 2, 1, 0, &mut rng).unwrap();
+        let x = Initializer::Uniform(1.0)
+            .build(&[1, 3, 3], &mut rng)
+            .unwrap();
+        let gy = Tensor::ones(&[1, 2, 2]);
+        let grads = conv.backward(&x, &gy).unwrap();
+        let eps = 1e-3;
+        for wi in 0..4 {
+            let orig = conv.weight.as_slice()[wi];
+            conv.weight.as_mut_slice()[wi] = orig + eps;
+            let plus = conv.forward(&x).unwrap().sum();
+            conv.weight.as_mut_slice()[wi] = orig - eps;
+            let minus = conv.forward(&x).unwrap().sum();
+            conv.weight.as_mut_slice()[wi] = orig;
+            let num = (plus - minus) / (2.0 * eps);
+            let ana = grads.param_grads[0].as_slice()[wi];
+            assert!((num - ana).abs() < 1e-2, "weight grad {wi}: {num} vs {ana}");
+        }
+        // Bias gradient is the number of output positions (sum of ones).
+        assert!((grads.param_grads[1].as_slice()[0] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        let mut rng = Rng64::new(5);
+        assert!(Conv2d::new(0, 1, 4, 4, 3, 1, 1, &mut rng).is_err());
+        assert!(Conv2d::new(1, 1, 2, 2, 5, 1, 0, &mut rng).is_err());
+        let conv = Conv2d::new(1, 1, 4, 4, 3, 1, 1, &mut rng).unwrap();
+        assert!(conv.forward(&Tensor::ones(&[1, 3, 3])).is_err());
+        assert!(conv.contributions(&Tensor::ones(&[1, 4, 4]), 1000).is_err());
+    }
+
+    #[test]
+    fn kind_reports_geometry() {
+        let mut rng = Rng64::new(6);
+        let conv = Conv2d::new(3, 8, 16, 16, 3, 1, 1, &mut rng).unwrap();
+        match conv.kind() {
+            LayerKind::Conv2d {
+                geometry,
+                out_channels,
+            } => {
+                assert_eq!(out_channels, 8);
+                assert_eq!(geometry.out_h, 16);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(conv.output_len(), 8 * 16 * 16);
+    }
+}

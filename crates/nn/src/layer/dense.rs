@@ -1,0 +1,281 @@
+use ptolemy_tensor::{Initializer, Rng64, Tensor};
+
+use crate::{Contribution, Layer, LayerGrads, LayerKind, NnError, Result};
+
+/// Fully-connected layer: `y = W·x + b` with `W` of shape `[outputs, inputs]`.
+///
+/// # Example
+///
+/// ```
+/// use ptolemy_nn::layer::Dense;
+/// use ptolemy_nn::Layer;
+/// use ptolemy_tensor::{Rng64, Tensor};
+///
+/// # fn main() -> Result<(), ptolemy_nn::NnError> {
+/// let mut rng = Rng64::new(0);
+/// let layer = Dense::new(4, 2, &mut rng)?;
+/// let y = layer.forward(&Tensor::ones(&[4]))?;
+/// assert_eq!(y.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-normal weights and zero biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if either dimension is zero.
+    pub fn new(inputs: usize, outputs: usize, rng: &mut Rng64) -> Result<Self> {
+        if inputs == 0 || outputs == 0 {
+            return Err(NnError::InvalidConfig(
+                "dense layer dimensions must be non-zero".into(),
+            ));
+        }
+        Ok(Dense {
+            weight: Initializer::HeNormal { fan_in: inputs }.build(&[outputs, inputs], rng)?,
+            bias: Tensor::zeros(&[outputs]),
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Creates a dense layer from explicit weights and biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the shapes are inconsistent.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Result<Self> {
+        let dims = weight.dims().to_vec();
+        if dims.len() != 2 || bias.dims() != [dims[0]] {
+            return Err(NnError::InvalidConfig(format!(
+                "dense weight {dims:?} and bias {:?} are inconsistent",
+                bias.dims()
+            )));
+        }
+        Ok(Dense {
+            inputs: dims[1],
+            outputs: dims[0],
+            weight,
+            bias,
+        })
+    }
+
+    /// The weight matrix (`[outputs, inputs]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias vector (`[outputs]`).
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        if input.len() != self.inputs {
+            return Err(NnError::InvalidConfig(format!(
+                "dense layer expects {} inputs, got {}",
+                self.inputs,
+                input.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn output_shape(&self) -> Vec<usize> {
+        vec![self.outputs]
+    }
+
+    fn input_shape(&self) -> Vec<usize> {
+        vec![self.inputs]
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.check_input(input)?;
+        let x = input.as_slice();
+        let w = self.weight.as_slice();
+        let b = self.bias.as_slice();
+        let mut out = vec![0.0f32; self.outputs];
+        for (j, o) in out.iter_mut().enumerate() {
+            let row = &w[j * self.inputs..(j + 1) * self.inputs];
+            let mut acc = b[j];
+            for (xi, wi) in x.iter().zip(row) {
+                acc += xi * wi;
+            }
+            *o = acc;
+        }
+        Ok(Tensor::from_vec(out, &[self.outputs])?)
+    }
+
+    fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {
+        self.check_input(input)?;
+        if grad_output.len() != self.outputs {
+            return Err(NnError::InvalidConfig(format!(
+                "dense layer expects {} output grads, got {}",
+                self.outputs,
+                grad_output.len()
+            )));
+        }
+        let x = input.as_slice();
+        let w = self.weight.as_slice();
+        let gy = grad_output.as_slice();
+
+        let mut gx = vec![0.0f32; self.inputs];
+        let mut gw = vec![0.0f32; self.outputs * self.inputs];
+        for j in 0..self.outputs {
+            let row = &w[j * self.inputs..(j + 1) * self.inputs];
+            let g = gy[j];
+            for i in 0..self.inputs {
+                gx[i] += g * row[i];
+                gw[j * self.inputs + i] = g * x[i];
+            }
+        }
+        Ok(LayerGrads {
+            input_grad: Tensor::from_vec(gx, &[self.inputs])?,
+            param_grads: vec![
+                Tensor::from_vec(gw, &[self.outputs, self.inputs])?,
+                grad_output.clone(),
+            ],
+        })
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn contributions(&self, input: &Tensor, out_idx: usize) -> Result<Contribution> {
+        self.check_input(input)?;
+        if out_idx >= self.outputs {
+            return Err(NnError::InvalidConfig(format!(
+                "output index {out_idx} out of range for {} outputs",
+                self.outputs
+            )));
+        }
+        let x = input.as_slice();
+        let row = &self.weight.as_slice()[out_idx * self.inputs..(out_idx + 1) * self.inputs];
+        let partials = x
+            .iter()
+            .zip(row)
+            .enumerate()
+            .map(|(i, (xi, wi))| (i, xi * wi))
+            .collect();
+        Ok(Contribution::Weighted(partials))
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dense {
+            inputs: self.inputs,
+            outputs: self.outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_layer() -> Dense {
+        // W = [[1, 2, 3], [0, -1, 1]], b = [0.5, -0.5]
+        Dense::from_parts(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.0, -1.0, 1.0], &[2, 3]).unwrap(),
+            Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let layer = fixed_layer();
+        let x = Tensor::from_vec(vec![1.0, 1.0, 2.0], &[3]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[1.0 + 2.0 + 6.0 + 0.5, -1.0 + 2.0 - 0.5]);
+    }
+
+    #[test]
+    fn contributions_sum_to_output_minus_bias() {
+        let layer = fixed_layer();
+        let x = Tensor::from_vec(vec![1.0, -1.0, 2.0], &[3]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        for j in 0..2 {
+            match layer.contributions(&x, j).unwrap() {
+                Contribution::Weighted(pairs) => {
+                    let sum: f32 = pairs.iter().map(|(_, p)| p).sum();
+                    let expected = y.get(&[j]).unwrap() - layer.bias().get(&[j]).unwrap();
+                    assert!((sum - expected).abs() < 1e-5);
+                    assert_eq!(pairs.len(), 3);
+                }
+                other => panic!("expected weighted contributions, got {other:?}"),
+            }
+        }
+        assert!(layer.contributions(&x, 2).is_err());
+    }
+
+    #[test]
+    fn backward_gradients_match_numeric() {
+        let mut rng = Rng64::new(9);
+        let layer = Dense::new(4, 3, &mut rng).unwrap();
+        let x = Tensor::from_vec(vec![0.2, -0.3, 0.5, 1.0], &[4]).unwrap();
+        // Loss = sum(y); dL/dy = ones.
+        let gy = Tensor::ones(&[3]);
+        let grads = layer.backward(&x, &gy).unwrap();
+
+        let eps = 1e-3;
+        // Numeric gradient w.r.t. input.
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (layer.forward(&xp).unwrap().sum() - layer.forward(&xm).unwrap().sum())
+                / (2.0 * eps);
+            let ana = grads.input_grad.as_slice()[i];
+            assert!((num - ana).abs() < 1e-2, "input grad {i}: {num} vs {ana}");
+        }
+        // Shapes of parameter gradients.
+        assert_eq!(grads.param_grads[0].dims(), &[3, 4]);
+        assert_eq!(grads.param_grads[1].dims(), &[3]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut rng = Rng64::new(1);
+        assert!(Dense::new(0, 3, &mut rng).is_err());
+        let layer = Dense::new(4, 2, &mut rng).unwrap();
+        assert!(layer.forward(&Tensor::ones(&[3])).is_err());
+        assert!(layer.backward(&Tensor::ones(&[4]), &Tensor::ones(&[3])).is_err());
+        assert!(Dense::from_parts(Tensor::zeros(&[2, 3]), Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn kind_reports_dimensions() {
+        let mut rng = Rng64::new(2);
+        let layer = Dense::new(5, 7, &mut rng).unwrap();
+        assert_eq!(
+            layer.kind(),
+            LayerKind::Dense {
+                inputs: 5,
+                outputs: 7
+            }
+        );
+        assert_eq!(layer.input_len(), 5);
+        assert_eq!(layer.output_len(), 7);
+        assert_eq!(layer.params().len(), 2);
+    }
+}

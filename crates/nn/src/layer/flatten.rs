@@ -1,0 +1,117 @@
+use ptolemy_tensor::Tensor;
+
+use crate::{Contribution, Layer, LayerGrads, LayerKind, NnError, Result};
+
+/// Flattens a multi-dimensional activation into a vector.
+///
+/// Used between convolutional and dense stages.  Flattening is a pure reshape, so
+/// importance passes straight through during path extraction.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer for the given per-sample input shape.
+    pub fn new(input_shape: &[usize]) -> Self {
+        Flatten {
+            input_shape: input_shape.to_vec(),
+        }
+    }
+
+    fn check(&self, input: &Tensor) -> Result<()> {
+        if input.dims() != self.input_shape.as_slice() {
+            return Err(NnError::InvalidConfig(format!(
+                "flatten expects shape {:?}, got {:?}",
+                self.input_shape,
+                input.dims()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn output_shape(&self) -> Vec<usize> {
+        vec![self.input_shape.iter().product()]
+    }
+
+    fn input_shape(&self) -> Vec<usize> {
+        self.input_shape.clone()
+    }
+
+    fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.check(input)?;
+        Ok(input.reshape(&[input.len()])?)
+    }
+
+    fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {
+        self.check(input)?;
+        Ok(LayerGrads {
+            input_grad: grad_output.reshape(&self.input_shape)?,
+            param_grads: Vec::new(),
+        })
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn contributions(&self, input: &Tensor, out_idx: usize) -> Result<Contribution> {
+        self.check(input)?;
+        if out_idx >= input.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "flatten output index {out_idx} out of range"
+            )));
+        }
+        Ok(Contribution::PassThrough(vec![out_idx]))
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Reshape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_flattens() {
+        let f = Flatten::new(&[2, 2, 2]);
+        let x = Tensor::ones(&[2, 2, 2]);
+        let y = f.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[8]);
+        assert!(f.forward(&Tensor::ones(&[8])).is_err());
+    }
+
+    #[test]
+    fn backward_restores_shape() {
+        let f = Flatten::new(&[1, 2, 3]);
+        let x = Tensor::ones(&[1, 2, 3]);
+        let gy = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[6]).unwrap();
+        let g = f.backward(&x, &gy).unwrap();
+        assert_eq!(g.input_grad.dims(), &[1, 2, 3]);
+        assert_eq!(g.input_grad.as_slice(), gy.as_slice());
+    }
+
+    #[test]
+    fn contributions_pass_through() {
+        let f = Flatten::new(&[2, 2]);
+        let x = Tensor::ones(&[2, 2]);
+        assert_eq!(
+            f.contributions(&x, 3).unwrap(),
+            Contribution::PassThrough(vec![3])
+        );
+        assert!(f.contributions(&x, 4).is_err());
+        assert_eq!(f.kind(), LayerKind::Reshape);
+    }
+}

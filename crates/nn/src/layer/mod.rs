@@ -1,0 +1,212 @@
+//! Layer abstraction and concrete layer implementations.
+//!
+//! Each layer operates on a **single sample** (no batch dimension); the training
+//! loop iterates over a mini-batch and averages parameter gradients.  This keeps the
+//! partial-sum bookkeeping that Ptolemy's extraction algorithms rely on simple and
+//! exactly mirrors the per-input path semantics of the paper.
+
+mod activation;
+mod conv;
+mod dense;
+mod flatten;
+mod pool;
+mod residual;
+
+pub use activation::ReLU;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use flatten::Flatten;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use residual::Residual;
+
+use ptolemy_tensor::{Conv2dGeometry, Tensor};
+
+use crate::Result;
+
+/// Gradients produced by one layer's backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerGrads {
+    /// Gradient of the loss with respect to the layer input.
+    pub input_grad: Tensor,
+    /// Gradients of the loss with respect to each parameter tensor, in the same
+    /// order as [`Layer::params`].  Empty for parameter-free layers.
+    pub param_grads: Vec<Tensor>,
+}
+
+/// Partial-sum decomposition of one output neuron (paper Fig. 3).
+///
+/// `Weighted` lists `(input_flat_index, partial_sum)` pairs: the output neuron's
+/// value is (up to the bias term) the sum of the partial sums.  `PassThrough` is
+/// used by layers that merely route activations (ReLU, pooling, flatten): the output
+/// neuron's importance propagates unchanged to the listed input elements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Contribution {
+    /// Weighted partial sums from input elements.
+    Weighted(Vec<(usize, f32)>),
+    /// Importance passes through unchanged to these input elements.
+    PassThrough(Vec<usize>),
+}
+
+impl Contribution {
+    /// Indices of all contributing input elements, regardless of kind.
+    pub fn indices(&self) -> Vec<usize> {
+        match self {
+            Contribution::Weighted(pairs) => pairs.iter().map(|(i, _)| *i).collect(),
+            Contribution::PassThrough(idx) => idx.clone(),
+        }
+    }
+}
+
+/// Coarse classification of a layer used by the compiler and the hardware model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerKind {
+    /// Fully-connected layer with `inputs × outputs` weights.
+    Dense {
+        /// Number of input features.
+        inputs: usize,
+        /// Number of output features.
+        outputs: usize,
+    },
+    /// 2-D convolution.
+    Conv2d {
+        /// Convolution geometry (input size, kernel, stride, padding, output size).
+        geometry: Conv2dGeometry,
+        /// Number of output channels.
+        out_channels: usize,
+    },
+    /// Element-wise activation (ReLU).
+    Activation,
+    /// Max pooling.
+    MaxPool,
+    /// Average pooling.
+    AvgPool,
+    /// Shape-only change.
+    Reshape,
+    /// Residual block wrapping inner layers.
+    Residual {
+        /// Kinds of the wrapped layers, in order.
+        inner: Vec<LayerKind>,
+    },
+}
+
+impl LayerKind {
+    /// `true` if the layer holds trainable weights and therefore participates in
+    /// important-neuron extraction.
+    pub fn is_weight_layer(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Dense { .. } | LayerKind::Conv2d { .. } | LayerKind::Residual { .. }
+        )
+    }
+
+    /// Number of multiply-accumulate operations one inference of this layer performs.
+    pub fn macs(&self) -> u64 {
+        match self {
+            LayerKind::Dense { inputs, outputs } => (*inputs as u64) * (*outputs as u64),
+            LayerKind::Conv2d {
+                geometry,
+                out_channels,
+            } => {
+                geometry.patch_len() as u64
+                    * geometry.num_patches() as u64
+                    * (*out_channels as u64)
+            }
+            LayerKind::Residual { inner } => inner.iter().map(LayerKind::macs).sum(),
+            _ => 0,
+        }
+    }
+}
+
+/// A neural-network layer operating on a single sample.
+///
+/// The trait is object-safe: networks store `Box<dyn Layer>`.
+pub trait Layer: Send + Sync {
+    /// Short human-readable layer name (e.g. `"conv2d"`).
+    fn name(&self) -> &'static str;
+
+    /// Shape of the output given the (per-sample) input shape this layer was built
+    /// for.
+    fn output_shape(&self) -> Vec<usize>;
+
+    /// Shape of the input this layer expects.
+    fn input_shape(&self) -> Vec<usize>;
+
+    /// Computes the layer output for a single sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` does not match the layer's expected input shape.
+    fn forward(&self, input: &Tensor) -> Result<Tensor>;
+
+    /// Computes input and parameter gradients given the upstream gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes are inconsistent with the layer configuration.
+    fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads>;
+
+    /// Trainable parameters (possibly empty).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable access to trainable parameters, in the same order as [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Partial-sum decomposition of output neuron `out_idx` (flat index into the
+    /// output) for the given input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `out_idx` is out of range or `input` has the wrong shape.
+    fn contributions(&self, input: &Tensor, out_idx: usize) -> Result<Contribution>;
+
+    /// Coarse layer classification for cost modelling and compilation.
+    fn kind(&self) -> LayerKind;
+
+    /// Flat number of output elements.
+    fn output_len(&self) -> usize {
+        self.output_shape().iter().product()
+    }
+
+    /// Flat number of input elements.
+    fn input_len(&self) -> usize {
+        self.input_shape().iter().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contribution_indices() {
+        let w = Contribution::Weighted(vec![(3, 0.5), (7, 0.1)]);
+        assert_eq!(w.indices(), vec![3, 7]);
+        let p = Contribution::PassThrough(vec![2]);
+        assert_eq!(p.indices(), vec![2]);
+    }
+
+    #[test]
+    fn layer_kind_macs() {
+        let dense = LayerKind::Dense {
+            inputs: 10,
+            outputs: 4,
+        };
+        assert_eq!(dense.macs(), 40);
+        assert!(dense.is_weight_layer());
+        assert!(!LayerKind::Activation.is_weight_layer());
+        assert_eq!(LayerKind::Reshape.macs(), 0);
+
+        let geom = Conv2dGeometry::new(3, 8, 8, 3, 1, 1).unwrap();
+        let conv = LayerKind::Conv2d {
+            geometry: geom,
+            out_channels: 4,
+        };
+        assert_eq!(conv.macs(), 27 * 64 * 4);
+
+        let res = LayerKind::Residual {
+            inner: vec![dense.clone(), dense],
+        };
+        assert_eq!(res.macs(), 80);
+        assert!(res.is_weight_layer());
+    }
+}

@@ -1,0 +1,60 @@
+//! # ptolemy-nn
+//!
+//! The DNN inference/training substrate of the Ptolemy reproduction.
+//!
+//! The Ptolemy detection framework treats a DNN inference like an imperative program
+//! execution: every output neuron is a sum of *partial sums*, and the detector needs
+//! to ask, for any output neuron of any layer, "which input elements contributed how
+//! much?".  This crate therefore exposes, in addition to the usual
+//! forward/backward/training machinery:
+//!
+//! * [`Layer::contributions`] — the per-output-neuron partial-sum decomposition used
+//!   by the important-neuron extraction algorithms (paper Fig. 3);
+//! * [`Network::forward_trace`] — a forward pass that records every layer's input
+//!   and output activations so extraction can run after (backward extraction) or
+//!   during (forward extraction) inference;
+//! * [`Network::input_gradient`] — the loss gradient w.r.t. the input, which the
+//!   attack generators in `ptolemy-attacks` need;
+//! * a [`zoo`] of small architectures standing in for AlexNet, ResNet-18, VGG and
+//!   friends at laptop scale.
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_nn::{zoo, TrainConfig, Trainer};
+//! use ptolemy_tensor::{Rng64, Tensor};
+//!
+//! # fn main() -> Result<(), ptolemy_nn::NnError> {
+//! let mut rng = Rng64::new(0);
+//! let mut net = zoo::mlp_net(&[8], 3, &mut rng)?;
+//! let samples = vec![
+//!     (Tensor::full(&[8], 1.0), 0usize),
+//!     (Tensor::full(&[8], -1.0), 1usize),
+//! ];
+//! let mut trainer = Trainer::new(TrainConfig { epochs: 5, ..TrainConfig::default() });
+//! trainer.fit(&mut net, &samples)?;
+//! let class = net.predict(&samples[0].0)?;
+//! assert!(class < 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod layer;
+mod loss;
+mod network;
+mod trace;
+mod train;
+pub mod zoo;
+
+pub use error::NnError;
+pub use layer::{Contribution, Layer, LayerGrads, LayerKind};
+pub use loss::{cross_entropy_loss, softmax_cross_entropy_grad};
+pub use network::{Network, NetworkGrads};
+pub use trace::ForwardTrace;
+pub use train::{TrainConfig, TrainReport, Trainer};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,112 @@
+//! Softmax cross-entropy loss helpers shared by training and attack generation.
+
+use ptolemy_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Softmax cross-entropy loss of a logits vector against an integer label.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLabel`] if `label` is out of range for the logits
+/// length, or [`NnError::Tensor`] if the logits tensor is empty.
+///
+/// # Example
+///
+/// ```
+/// use ptolemy_nn::cross_entropy_loss;
+/// use ptolemy_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ptolemy_nn::NnError> {
+/// let confident = Tensor::from_vec(vec![10.0, -10.0], &[2])?;
+/// assert!(cross_entropy_loss(&confident, 0)? < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_entropy_loss(logits: &Tensor, label: usize) -> Result<f32> {
+    check_label(logits, label)?;
+    let max = logits.max()?;
+    let log_sum: f32 = logits
+        .as_slice()
+        .iter()
+        .map(|v| (v - max).exp())
+        .sum::<f32>()
+        .ln();
+    Ok(log_sum - (logits.as_slice()[label] - max))
+}
+
+/// Gradient of [`cross_entropy_loss`] with respect to the logits
+/// (`softmax(logits) - onehot(label)`).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLabel`] if `label` is out of range.
+pub fn softmax_cross_entropy_grad(logits: &Tensor, label: usize) -> Result<Tensor> {
+    check_label(logits, label)?;
+    let max = logits.max()?;
+    let exps: Vec<f32> = logits.as_slice().iter().map(|v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut grad: Vec<f32> = exps.into_iter().map(|e| e / sum).collect();
+    grad[label] -= 1.0;
+    Ok(Tensor::from_vec(grad, logits.dims())?)
+}
+
+fn check_label(logits: &Tensor, label: usize) -> Result<()> {
+    if logits.is_empty() {
+        return Err(NnError::Tensor(ptolemy_tensor::TensorError::Empty(
+            "cross_entropy_loss",
+        )));
+    }
+    if label >= logits.len() {
+        return Err(NnError::InvalidLabel {
+            label,
+            num_classes: logits.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_low_for_confident_correct_prediction() {
+        let logits = Tensor::from_vec(vec![8.0, 0.0, -4.0], &[3]).unwrap();
+        assert!(cross_entropy_loss(&logits, 0).unwrap() < 0.01);
+        assert!(cross_entropy_loss(&logits, 2).unwrap() > 5.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_n() {
+        let logits = Tensor::zeros(&[4]);
+        let loss = cross_entropy_loss(&logits, 1).unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]).unwrap();
+        let grad = softmax_cross_entropy_grad(&logits, 2).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let num = (cross_entropy_loss(&lp, 2).unwrap() - cross_entropy_loss(&lm, 2).unwrap())
+                / (2.0 * eps);
+            assert!((num - grad.as_slice()[i]).abs() < 1e-3);
+        }
+        // Gradient entries sum to zero (softmax sums to one, one-hot sums to one).
+        assert!(grad.sum().abs() < 1e-5);
+    }
+
+    #[test]
+    fn invalid_label_is_rejected() {
+        let logits = Tensor::zeros(&[3]);
+        assert!(cross_entropy_loss(&logits, 3).is_err());
+        assert!(softmax_cross_entropy_grad(&logits, 5).is_err());
+        assert!(cross_entropy_loss(&Tensor::zeros(&[0]), 0).is_err());
+    }
+}

@@ -1,0 +1,340 @@
+use ptolemy_tensor::Tensor;
+
+use crate::{ForwardTrace, Layer, NnError, Result};
+
+/// Parameter gradients for a whole network, one entry per layer (in layer order).
+#[derive(Debug, Clone)]
+pub struct NetworkGrads {
+    /// Per-layer parameter gradients (same nesting as `Network::layer(i).params()`).
+    pub param_grads: Vec<Vec<Tensor>>,
+    /// Gradient of the loss with respect to the network input.
+    pub input_grad: Tensor,
+}
+
+/// A feed-forward network: an ordered stack of [`Layer`]s operating on one sample.
+///
+/// Residual/skip structure is encapsulated inside composite layers
+/// ([`crate::layer::Residual`]), so the network itself is strictly sequential —
+/// which is also how Ptolemy's per-layer path extraction (and its ISA, whose
+/// `inf`/`infsp` instructions are per-layer) views the model.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    input_shape: Vec<usize>,
+    num_classes: usize,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("input_shape", &self.input_shape)
+            .field("num_classes", &self.num_classes)
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Network {
+    /// Builds a network from a layer stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the stack is empty or consecutive
+    /// layers disagree about activation shapes.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(NnError::InvalidConfig("network must have at least one layer".into()));
+        }
+        let input_shape = layers[0].input_shape();
+        let mut cur = input_shape.clone();
+        for (i, layer) in layers.iter().enumerate() {
+            if layer.input_shape() != cur {
+                return Err(NnError::InvalidConfig(format!(
+                    "layer {i} ({}) expects shape {:?} but receives {:?}",
+                    layer.name(),
+                    layer.input_shape(),
+                    cur
+                )));
+            }
+            cur = layer.output_shape();
+        }
+        if cur.len() != 1 {
+            return Err(NnError::InvalidConfig(format!(
+                "network output must be a class-score vector, got shape {cur:?}"
+            )));
+        }
+        Ok(Network {
+            num_classes: cur[0],
+            input_shape,
+            layers,
+        })
+    }
+
+    /// Number of layers (including activation/pooling layers).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Expected per-sample input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Borrow a layer by index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerOutOfRange`] if `index >= num_layers()`.
+    pub fn layer(&self, index: usize) -> Result<&dyn Layer> {
+        self.layers
+            .get(index)
+            .map(|b| b.as_ref())
+            .ok_or(NnError::LayerOutOfRange {
+                index,
+                num_layers: self.layers.len(),
+            })
+    }
+
+    /// Iterator over all layers in order.
+    pub fn layers(&self) -> impl Iterator<Item = &dyn Layer> {
+        self.layers.iter().map(|b| b.as_ref())
+    }
+
+    /// Indices of layers that carry weights (the layers Ptolemy extracts important
+    /// neurons from).
+    pub fn weight_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind().is_weight_layer())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total multiply-accumulate count of one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.kind().macs()).sum()
+    }
+
+    /// Runs a plain forward pass and returns the logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` does not match the network input shape.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let mut cur = input.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Runs a forward pass recording every layer's input and output activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` does not match the network input shape.
+    pub fn forward_trace(&self, input: &Tensor) -> Result<ForwardTrace> {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut outputs = Vec::with_capacity(self.layers.len());
+        let mut cur = input.clone();
+        for layer in &self.layers {
+            let out = layer.forward(&cur)?;
+            inputs.push(cur);
+            outputs.push(out.clone());
+            cur = out;
+        }
+        Ok(ForwardTrace { inputs, outputs })
+    }
+
+    /// Predicted class of `input` (argmax of the logits).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` does not match the network input shape.
+    pub fn predict(&self, input: &Tensor) -> Result<usize> {
+        Ok(self.forward(input)?.argmax()?)
+    }
+
+    /// Backward pass given a recorded trace and the gradient of the loss w.r.t. the
+    /// logits.  Returns parameter gradients per layer plus the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the trace does not match the network or shapes are
+    /// inconsistent.
+    pub fn backward(&self, trace: &ForwardTrace, grad_logits: &Tensor) -> Result<NetworkGrads> {
+        if trace.num_layers() != self.layers.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "trace has {} layers but network has {}",
+                trace.num_layers(),
+                self.layers.len()
+            )));
+        }
+        let mut grad = grad_logits.clone();
+        let mut per_layer = vec![Vec::new(); self.layers.len()];
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let grads = layer.backward(&trace.inputs[i], &grad)?;
+            per_layer[i] = grads.param_grads;
+            grad = grads.input_grad;
+        }
+        Ok(NetworkGrads {
+            param_grads: per_layer,
+            input_grad: grad,
+        })
+    }
+
+    /// Gradient of the softmax-cross-entropy loss (w.r.t. the input) for a given
+    /// label — the quantity white-box attacks ascend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLabel`] if `label` is out of range, or shape errors
+    /// from the forward/backward passes.
+    pub fn input_gradient(&self, input: &Tensor, label: usize) -> Result<Tensor> {
+        if label >= self.num_classes {
+            return Err(NnError::InvalidLabel {
+                label,
+                num_classes: self.num_classes,
+            });
+        }
+        let trace = self.forward_trace(input)?;
+        let grad_logits = crate::loss::softmax_cross_entropy_grad(trace.logits(), label)?;
+        Ok(self.backward(&trace, &grad_logits)?.input_grad)
+    }
+
+    /// Applies a gradient step `p -= lr * g` to every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `grads` does not match the network structure.
+    pub fn apply_gradients(&mut self, grads: &NetworkGrads, lr: f32) -> Result<()> {
+        if grads.param_grads.len() != self.layers.len() {
+            return Err(NnError::InvalidConfig("gradient/layer count mismatch".into()));
+        }
+        for (layer, layer_grads) in self.layers.iter_mut().zip(&grads.param_grads) {
+            let params = layer.params_mut();
+            if params.len() != layer_grads.len() {
+                return Err(NnError::InvalidConfig(
+                    "gradient/parameter count mismatch inside a layer".into(),
+                ));
+            }
+            for (p, g) in params.into_iter().zip(layer_grads) {
+                p.add_scaled_inplace(g, -lr)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Flatten, ReLU};
+    use ptolemy_tensor::Rng64;
+
+    fn tiny_net(rng: &mut Rng64) -> Network {
+        Network::new(vec![
+            Box::new(Flatten::new(&[1, 2, 2])),
+            Box::new(Dense::new(4, 5, rng).unwrap()),
+            Box::new(ReLU::new(&[5])),
+            Box::new(Dense::new(5, 3, rng).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_shapes() {
+        let mut rng = Rng64::new(0);
+        assert!(Network::new(vec![]).is_err());
+        // Mismatched consecutive shapes.
+        let bad = Network::new(vec![
+            Box::new(Dense::new(4, 5, &mut rng).unwrap()) as Box<dyn Layer>,
+            Box::new(Dense::new(6, 3, &mut rng).unwrap()),
+        ]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn forward_and_trace_agree() {
+        let mut rng = Rng64::new(1);
+        let net = tiny_net(&mut rng);
+        let x = Tensor::ones(&[1, 2, 2]);
+        let logits = net.forward(&x).unwrap();
+        let trace = net.forward_trace(&x).unwrap();
+        assert_eq!(trace.num_layers(), 4);
+        assert_eq!(trace.logits().as_slice(), logits.as_slice());
+        assert_eq!(net.predict(&x).unwrap(), logits.argmax().unwrap());
+        // Chaining property: outputs[i] == inputs[i + 1].
+        for i in 0..trace.num_layers() - 1 {
+            assert_eq!(trace.outputs[i].as_slice(), trace.inputs[i + 1].as_slice());
+        }
+    }
+
+    #[test]
+    fn weight_layer_indices_and_macs() {
+        let mut rng = Rng64::new(2);
+        let net = tiny_net(&mut rng);
+        assert_eq!(net.weight_layer_indices(), vec![1, 3]);
+        assert_eq!(net.total_macs(), 4 * 5 + 5 * 3);
+        assert_eq!(net.num_classes(), 3);
+        assert_eq!(net.input_shape(), &[1, 2, 2]);
+        assert!(net.layer(4).is_err());
+        assert_eq!(net.layer(2).unwrap().name(), "relu");
+    }
+
+    #[test]
+    fn input_gradient_matches_numeric() {
+        let mut rng = Rng64::new(3);
+        let net = tiny_net(&mut rng);
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.8, 0.1], &[1, 2, 2]).unwrap();
+        let label = 1;
+        let grad = net.input_gradient(&x, label).unwrap();
+        let loss = |input: &Tensor| {
+            let logits = net.forward(input).unwrap();
+            crate::loss::cross_entropy_loss(&logits, label).unwrap()
+        };
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            let ana = grad.as_slice()[i];
+            assert!((num - ana).abs() < 1e-2, "grad {i}: {num} vs {ana}");
+        }
+        assert!(net.input_gradient(&x, 99).is_err());
+    }
+
+    #[test]
+    fn apply_gradients_moves_parameters_downhill() {
+        let mut rng = Rng64::new(4);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::from_vec(vec![0.5, -0.5, 0.25, 1.0], &[1, 2, 2]).unwrap();
+        let label = 2;
+        let before = {
+            let logits = net.forward(&x).unwrap();
+            crate::loss::cross_entropy_loss(&logits, label).unwrap()
+        };
+        for _ in 0..20 {
+            let trace = net.forward_trace(&x).unwrap();
+            let grad_logits =
+                crate::loss::softmax_cross_entropy_grad(trace.logits(), label).unwrap();
+            let grads = net.backward(&trace, &grad_logits).unwrap();
+            net.apply_gradients(&grads, 0.1).unwrap();
+        }
+        let after = {
+            let logits = net.forward(&x).unwrap();
+            crate::loss::cross_entropy_loss(&logits, label).unwrap()
+        };
+        assert!(after < before, "loss should decrease: {before} -> {after}");
+    }
+}

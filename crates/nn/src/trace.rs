@@ -1,0 +1,56 @@
+use ptolemy_tensor::Tensor;
+
+/// Record of a full forward pass through a [`crate::Network`].
+///
+/// `inputs[i]` / `outputs[i]` are the activations entering and leaving layer `i`
+/// (single sample, no batch dimension).  The Ptolemy extraction algorithms consume
+/// this trace: backward extraction walks it from the last layer to the first,
+/// forward extraction walks it in layer order, and the per-layer partial sums are
+/// recomputed on demand from `inputs[i]` via [`crate::Layer::contributions`].
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// Input activation of each layer.
+    pub inputs: Vec<Tensor>,
+    /// Output activation of each layer (`outputs[i] == inputs[i + 1]`).
+    pub outputs: Vec<Tensor>,
+}
+
+impl ForwardTrace {
+    /// Number of layers traced.
+    pub fn num_layers(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Final network output (logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty; [`crate::Network::forward_trace`] never
+    /// produces an empty trace for a non-empty network.
+    pub fn logits(&self) -> &Tensor {
+        self.outputs
+            .last()
+            .expect("forward trace of a non-empty network")
+    }
+
+    /// Index of the predicted class (argmax of the logits).
+    pub fn predicted_class(&self) -> usize {
+        self.logits().argmax().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accessors() {
+        let trace = ForwardTrace {
+            inputs: vec![Tensor::zeros(&[4])],
+            outputs: vec![Tensor::from_vec(vec![0.1, 0.9, 0.0], &[3]).unwrap()],
+        };
+        assert_eq!(trace.num_layers(), 1);
+        assert_eq!(trace.predicted_class(), 1);
+        assert_eq!(trace.logits().len(), 3);
+    }
+}

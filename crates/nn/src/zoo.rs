@@ -1,0 +1,349 @@
+//! Model zoo: laptop-scale stand-ins for the architectures the paper evaluates.
+//!
+//! | Paper model | Zoo constructor | Notes |
+//! |---|---|---|
+//! | AlexNet (8 weight layers) | [`conv_net`] | 5 conv + 3 dense extraction units |
+//! | ResNet-18 | [`resnet_mini`] | conv stem + 8 residual blocks + transition convs + dense head (≈ 21 weight layers in 13 extraction units) |
+//! | VGG-16/19 | [`vgg_mini`] | deep plain conv stack |
+//! | Inception-V4 | [`inception_mini`] | mixed 1×1/3×3/5×5 kernel stack (sequential approximation of the parallel branches) |
+//! | DenseNet | [`densenet_mini`] | long chain of narrow conv layers |
+//! | (test helper) | [`lenet`], [`mlp_net`] | small models for unit/integration tests |
+//!
+//! Absolute capacity is intentionally tiny — the detection algorithms only need
+//! class-distinctive activation paths, which these models develop after a few epochs
+//! on the synthetic datasets of `ptolemy-data`.
+
+use ptolemy_tensor::Rng64;
+
+use crate::layer::{AvgPool2d, Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU, Residual};
+use crate::{Network, NnError, Result};
+
+/// Builds a plain multi-layer perceptron: `Flatten → 64 → 32 → classes` with ReLU.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for an empty input shape or zero classes.
+pub fn mlp_net(input_shape: &[usize], num_classes: usize, rng: &mut Rng64) -> Result<Network> {
+    if input_shape.is_empty() || num_classes == 0 {
+        return Err(NnError::InvalidConfig(
+            "mlp_net requires a non-empty input shape and at least one class".into(),
+        ));
+    }
+    let flat: usize = input_shape.iter().product();
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    if input_shape.len() > 1 {
+        layers.push(Box::new(Flatten::new(input_shape)));
+    }
+    layers.push(Box::new(Dense::new(flat, 64, rng)?));
+    layers.push(Box::new(ReLU::new(&[64])));
+    layers.push(Box::new(Dense::new(64, 32, rng)?));
+    layers.push(Box::new(ReLU::new(&[32])));
+    layers.push(Box::new(Dense::new(32, num_classes, rng)?));
+    Network::new(layers)
+}
+
+/// Builds a small LeNet-style CNN for `[channels, 8, 8]` inputs (2 conv + 2 dense).
+///
+/// This is the fast model used throughout the unit and integration tests.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero channels or classes.
+pub fn lenet(in_channels: usize, num_classes: usize, rng: &mut Rng64) -> Result<Network> {
+    if in_channels == 0 || num_classes == 0 {
+        return Err(NnError::InvalidConfig(
+            "lenet requires non-zero channels and classes".into(),
+        ));
+    }
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(in_channels, 4, 8, 8, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[4, 8, 8])),
+        Box::new(MaxPool2d::new(4, 8, 8, 2, 2)?),
+        Box::new(Conv2d::new(4, 8, 4, 4, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[8, 4, 4])),
+        Box::new(MaxPool2d::new(8, 4, 4, 2, 2)?),
+        Box::new(Flatten::new(&[8, 2, 2])),
+        Box::new(Dense::new(32, 24, rng)?),
+        Box::new(ReLU::new(&[24])),
+        Box::new(Dense::new(24, num_classes, rng)?),
+    ];
+    Network::new(layers)
+}
+
+/// Builds the "AlexNet-class" CNN: 5 conv + 3 dense weight layers over
+/// `[3, 16, 16]` inputs.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes.
+pub fn conv_net(num_classes: usize, rng: &mut Rng64) -> Result<Network> {
+    if num_classes == 0 {
+        return Err(NnError::InvalidConfig("conv_net requires at least one class".into()));
+    }
+    let layers: Vec<Box<dyn Layer>> = vec![
+        // conv1
+        Box::new(Conv2d::new(3, 8, 16, 16, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[8, 16, 16])),
+        Box::new(MaxPool2d::new(8, 16, 16, 2, 2)?),
+        // conv2
+        Box::new(Conv2d::new(8, 12, 8, 8, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[12, 8, 8])),
+        Box::new(MaxPool2d::new(12, 8, 8, 2, 2)?),
+        // conv3
+        Box::new(Conv2d::new(12, 12, 4, 4, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[12, 4, 4])),
+        // conv4
+        Box::new(Conv2d::new(12, 12, 4, 4, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[12, 4, 4])),
+        // conv5
+        Box::new(Conv2d::new(12, 8, 4, 4, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[8, 4, 4])),
+        Box::new(MaxPool2d::new(8, 4, 4, 2, 2)?),
+        Box::new(Flatten::new(&[8, 2, 2])),
+        // fc6 / fc7 / fc8
+        Box::new(Dense::new(32, 48, rng)?),
+        Box::new(ReLU::new(&[48])),
+        Box::new(Dense::new(48, 32, rng)?),
+        Box::new(ReLU::new(&[32])),
+        Box::new(Dense::new(32, num_classes, rng)?),
+    ];
+    Network::new(layers)
+}
+
+fn residual_block(channels: usize, hw: usize, rng: &mut Rng64) -> Result<Residual> {
+    let body: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(channels, channels, hw, hw, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[channels, hw, hw])),
+        Box::new(Conv2d::new(channels, channels, hw, hw, 3, 1, 1, rng)?),
+    ];
+    Residual::new(body, true)
+}
+
+/// Builds the "ResNet-18-class" network: a conv stem, eight residual blocks across
+/// three stages with transition convolutions, and a two-layer dense head, over
+/// `[3, 8, 8]` inputs.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes.
+pub fn resnet_mini(num_classes: usize, rng: &mut Rng64) -> Result<Network> {
+    if num_classes == 0 {
+        return Err(NnError::InvalidConfig("resnet_mini requires at least one class".into()));
+    }
+    let mut layers: Vec<Box<dyn Layer>> = vec![
+        // Stem.
+        Box::new(Conv2d::new(3, 8, 8, 8, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[8, 8, 8])),
+    ];
+    // Stage 1: 3 residual blocks at 8 channels, 8x8.
+    for _ in 0..3 {
+        layers.push(Box::new(residual_block(8, 8, rng)?));
+    }
+    layers.push(Box::new(MaxPool2d::new(8, 8, 8, 2, 2)?));
+    // Transition + stage 2: 3 residual blocks at 12 channels, 4x4.
+    layers.push(Box::new(Conv2d::new(8, 12, 4, 4, 3, 1, 1, rng)?));
+    layers.push(Box::new(ReLU::new(&[12, 4, 4])));
+    for _ in 0..3 {
+        layers.push(Box::new(residual_block(12, 4, rng)?));
+    }
+    layers.push(Box::new(MaxPool2d::new(12, 4, 4, 2, 2)?));
+    // Transition + stage 3: 2 residual blocks at 16 channels, 2x2.
+    layers.push(Box::new(Conv2d::new(12, 16, 2, 2, 3, 1, 1, rng)?));
+    layers.push(Box::new(ReLU::new(&[16, 2, 2])));
+    for _ in 0..2 {
+        layers.push(Box::new(residual_block(16, 2, rng)?));
+    }
+    layers.push(Box::new(Flatten::new(&[16, 2, 2])));
+    layers.push(Box::new(Dense::new(64, 48, rng)?));
+    layers.push(Box::new(ReLU::new(&[48])));
+    layers.push(Box::new(Dense::new(48, num_classes, rng)?));
+    Network::new(layers)
+}
+
+/// Builds the "VGG-class" network: a deep plain stack of 3×3 convolutions with
+/// interleaved pooling and a dense head, over `[3, 16, 16]` inputs (10 conv + 2
+/// dense weight layers).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes.
+pub fn vgg_mini(num_classes: usize, rng: &mut Rng64) -> Result<Network> {
+    if num_classes == 0 {
+        return Err(NnError::InvalidConfig("vgg_mini requires at least one class".into()));
+    }
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let push_conv = |layers: &mut Vec<Box<dyn Layer>>,
+                         cin: usize,
+                         cout: usize,
+                         hw: usize,
+                         rng: &mut Rng64|
+     -> Result<()> {
+        layers.push(Box::new(Conv2d::new(cin, cout, hw, hw, 3, 1, 1, rng)?));
+        layers.push(Box::new(ReLU::new(&[cout, hw, hw])));
+        Ok(())
+    };
+    // Block 1: 16x16, 6 channels.
+    push_conv(&mut layers, 3, 6, 16, rng)?;
+    push_conv(&mut layers, 6, 6, 16, rng)?;
+    layers.push(Box::new(MaxPool2d::new(6, 16, 16, 2, 2)?));
+    // Block 2: 8x8, 8 channels.
+    push_conv(&mut layers, 6, 8, 8, rng)?;
+    push_conv(&mut layers, 8, 8, 8, rng)?;
+    layers.push(Box::new(MaxPool2d::new(8, 8, 8, 2, 2)?));
+    // Block 3: 4x4, 12 channels, three convs.
+    push_conv(&mut layers, 8, 12, 4, rng)?;
+    push_conv(&mut layers, 12, 12, 4, rng)?;
+    push_conv(&mut layers, 12, 12, 4, rng)?;
+    layers.push(Box::new(MaxPool2d::new(12, 4, 4, 2, 2)?));
+    // Block 4: 2x2, 12 channels, three convs.
+    push_conv(&mut layers, 12, 12, 2, rng)?;
+    push_conv(&mut layers, 12, 12, 2, rng)?;
+    push_conv(&mut layers, 12, 12, 2, rng)?;
+    layers.push(Box::new(Flatten::new(&[12, 2, 2])));
+    layers.push(Box::new(Dense::new(48, 32, rng)?));
+    layers.push(Box::new(ReLU::new(&[32])));
+    layers.push(Box::new(Dense::new(32, num_classes, rng)?));
+    Network::new(layers)
+}
+
+/// Builds the "Inception-class" network: alternating 1×1 / 3×3 / 5×5 convolutions.
+///
+/// The paper's Inception-V4 uses parallel branches that are concatenated; this
+/// sequential mixture of kernel sizes exercises the same extraction behaviour
+/// (receptive fields of very different sizes inside one model) without a dataflow
+/// graph, which is the property Sec. VII-H measures (inter-class path similarity).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes.
+pub fn inception_mini(num_classes: usize, rng: &mut Rng64) -> Result<Network> {
+    if num_classes == 0 {
+        return Err(NnError::InvalidConfig(
+            "inception_mini requires at least one class".into(),
+        ));
+    }
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(3, 8, 16, 16, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[8, 16, 16])),
+        Box::new(Conv2d::new(8, 8, 16, 16, 1, 1, 0, rng)?),
+        Box::new(ReLU::new(&[8, 16, 16])),
+        Box::new(Conv2d::new(8, 8, 16, 16, 5, 1, 2, rng)?),
+        Box::new(ReLU::new(&[8, 16, 16])),
+        Box::new(MaxPool2d::new(8, 16, 16, 2, 2)?),
+        Box::new(Conv2d::new(8, 12, 8, 8, 1, 1, 0, rng)?),
+        Box::new(ReLU::new(&[12, 8, 8])),
+        Box::new(Conv2d::new(12, 12, 8, 8, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[12, 8, 8])),
+        Box::new(MaxPool2d::new(12, 8, 8, 2, 2)?),
+        Box::new(Conv2d::new(12, 16, 4, 4, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[16, 4, 4])),
+        Box::new(AvgPool2d::new(16, 4, 4, 2, 2)?),
+        Box::new(Flatten::new(&[16, 2, 2])),
+        Box::new(Dense::new(64, 32, rng)?),
+        Box::new(ReLU::new(&[32])),
+        Box::new(Dense::new(32, num_classes, rng)?),
+    ];
+    Network::new(layers)
+}
+
+/// Builds the "DenseNet-class" network: a long chain of narrow 3×3 convolutions.
+///
+/// The concatenation-based feature reuse of real DenseNets is approximated by the
+/// depth of the chain; Sec. VII-H only needs a deep model with distinctive class
+/// paths.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes.
+pub fn densenet_mini(num_classes: usize, rng: &mut Rng64) -> Result<Network> {
+    if num_classes == 0 {
+        return Err(NnError::InvalidConfig(
+            "densenet_mini requires at least one class".into(),
+        ));
+    }
+    let mut layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(3, 6, 8, 8, 3, 1, 1, rng)?),
+        Box::new(ReLU::new(&[6, 8, 8])),
+    ];
+    for _ in 0..6 {
+        layers.push(Box::new(Conv2d::new(6, 6, 8, 8, 3, 1, 1, rng)?));
+        layers.push(Box::new(ReLU::new(&[6, 8, 8])));
+    }
+    layers.push(Box::new(MaxPool2d::new(6, 8, 8, 2, 2)?));
+    for _ in 0..4 {
+        layers.push(Box::new(Conv2d::new(6, 6, 4, 4, 3, 1, 1, rng)?));
+        layers.push(Box::new(ReLU::new(&[6, 4, 4])));
+    }
+    layers.push(Box::new(MaxPool2d::new(6, 4, 4, 2, 2)?));
+    layers.push(Box::new(Flatten::new(&[6, 2, 2])));
+    layers.push(Box::new(Dense::new(24, 24, rng)?));
+    layers.push(Box::new(ReLU::new(&[24])));
+    layers.push(Box::new(Dense::new(24, num_classes, rng)?));
+    Network::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptolemy_tensor::Tensor;
+
+    fn smoke(net: &Network, input_shape: &[usize], classes: usize) {
+        let x = Tensor::ones(input_shape);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.len(), classes);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(net.predict(&x).unwrap(), y.argmax().unwrap());
+        assert!(!net.weight_layer_indices().is_empty());
+        assert!(net.total_macs() > 0);
+    }
+
+    #[test]
+    fn mlp_and_lenet_shapes() {
+        let mut rng = Rng64::new(0);
+        smoke(&mlp_net(&[10], 4, &mut rng).unwrap(), &[10], 4);
+        smoke(&mlp_net(&[1, 4, 4], 3, &mut rng).unwrap(), &[1, 4, 4], 3);
+        smoke(&lenet(3, 10, &mut rng).unwrap(), &[3, 8, 8], 10);
+        assert!(mlp_net(&[], 2, &mut rng).is_err());
+        assert!(lenet(0, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn conv_net_has_eight_weight_layers() {
+        let mut rng = Rng64::new(1);
+        let net = conv_net(10, &mut rng).unwrap();
+        smoke(&net, &[3, 16, 16], 10);
+        assert_eq!(net.weight_layer_indices().len(), 8);
+        assert!(conv_net(0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn resnet_mini_is_deeper_than_conv_net() {
+        let mut rng = Rng64::new(2);
+        let net = resnet_mini(10, &mut rng).unwrap();
+        smoke(&net, &[3, 8, 8], 10);
+        let conv = conv_net(10, &mut rng).unwrap();
+        assert!(net.weight_layer_indices().len() > conv.weight_layer_indices().len());
+        assert!(resnet_mini(0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn large_model_variants_build() {
+        let mut rng = Rng64::new(3);
+        smoke(&vgg_mini(5, &mut rng).unwrap(), &[3, 16, 16], 5);
+        smoke(&inception_mini(5, &mut rng).unwrap(), &[3, 16, 16], 5);
+        smoke(&densenet_mini(5, &mut rng).unwrap(), &[3, 8, 8], 5);
+        assert!(vgg_mini(0, &mut rng).is_err());
+        assert!(inception_mini(0, &mut rng).is_err());
+        assert!(densenet_mini(0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deeper_models_have_more_macs() {
+        let mut rng = Rng64::new(4);
+        let lenet_macs = lenet(3, 10, &mut rng).unwrap().total_macs();
+        let conv_macs = conv_net(10, &mut rng).unwrap().total_macs();
+        let resnet_macs = resnet_mini(10, &mut rng).unwrap().total_macs();
+        assert!(lenet_macs < conv_macs);
+        assert!(conv_macs < resnet_macs * 4); // resnet is deep but narrow; sanity only
+    }
+}

@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Error type returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data length.
+    ShapeMismatch {
+        /// Shape that was requested.
+        expected: Vec<usize>,
+        /// Number of elements actually available.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape (or a compatible shape) do not.
+    IncompatibleShapes {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Operation being attempted.
+        op: &'static str,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: Vec<usize>,
+        /// Tensor shape.
+        shape: Vec<usize>,
+    },
+    /// The tensor does not have the rank required by the operation.
+    InvalidRank {
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+        /// Operation being attempted.
+        op: &'static str,
+    },
+    /// A convolution / pooling geometry is invalid (e.g. kernel larger than input).
+    InvalidGeometry(String),
+    /// The tensor is empty where a non-empty tensor is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "shape {expected:?} implies {} elements but {actual} were provided",
+                expected.iter().product::<usize>()
+            ),
+            TensorError::IncompatibleShapes { lhs, rhs, op } => {
+                write!(f, "incompatible shapes {lhs:?} and {rhs:?} for {op}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidRank {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op} requires rank {expected}, tensor has rank {actual}"),
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::Empty(op) => write!(f, "{op} requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            TensorError::ShapeMismatch {
+                expected: vec![2, 2],
+                actual: 3,
+            },
+            TensorError::IncompatibleShapes {
+                lhs: vec![2],
+                rhs: vec![3],
+                op: "add",
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![5],
+                shape: vec![2],
+            },
+            TensorError::InvalidRank {
+                expected: 2,
+                actual: 1,
+                op: "matmul",
+            },
+            TensorError::InvalidGeometry("kernel too large".into()),
+            TensorError::Empty("argmax"),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,243 @@
+//! Seeded random number generation and weight initialisation.
+//!
+//! All randomness in the workspace flows through [`Rng64`], a small xoshiro-style
+//! PRNG, so every experiment is reproducible from a single seed without pulling the
+//! full `rand` machinery into the hot paths.  (`rand`/`rand_chacha` are still used
+//! where distributions beyond uniform/normal are convenient.)
+
+use crate::{Result, Tensor};
+
+/// A deterministic 64-bit PRNG (splitmix64-seeded xorshift256**-style generator).
+///
+/// # Example
+///
+/// ```
+/// use ptolemy_tensor::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: [u64; 4],
+    cached_normal: Option<f32>,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed.  Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 expansion of the seed into four non-zero words.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Rng64 {
+            state: [next(), next(), next(), next()],
+            cached_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // xoshiro256** step.
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, n)`.  Returns 0 when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Standard normal sample (Box–Muller, cached pair).
+    pub fn normal(&mut self) -> f32 {
+        if let Some(v) = self.cached_normal.take() {
+            return v;
+        }
+        let u1 = self.next_f32().max(1e-9);
+        let u2 = self.next_f32();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.cached_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Derives an independent generator (useful for per-worker streams).
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::new(self.next_u64())
+    }
+}
+
+/// Weight-initialisation schemes for the DNN substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Uniform in `[-limit, limit]`.
+    Uniform(f32),
+    /// Xavier/Glorot uniform: limit = sqrt(6 / (fan_in + fan_out)).
+    XavierUniform {
+        /// Fan-in of the layer.
+        fan_in: usize,
+        /// Fan-out of the layer.
+        fan_out: usize,
+    },
+    /// He/Kaiming normal: std = sqrt(2 / fan_in), suited to ReLU networks.
+    HeNormal {
+        /// Fan-in of the layer.
+        fan_in: usize,
+    },
+}
+
+impl Initializer {
+    /// Creates a tensor of the requested shape using this scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from tensor construction (cannot occur for valid
+    /// shapes).
+    pub fn build(&self, shape: &[usize], rng: &mut Rng64) -> Result<Tensor> {
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = match self {
+            Initializer::Zeros => vec![0.0; n],
+            Initializer::Uniform(limit) => (0..n).map(|_| rng.uniform(-limit, *limit)).collect(),
+            Initializer::XavierUniform { fan_in, fan_out } => {
+                let limit = (6.0 / (*fan_in as f32 + *fan_out as f32)).sqrt();
+                (0..n).map(|_| rng.uniform(-limit, limit)).collect()
+            }
+            Initializer::HeNormal { fan_in } => {
+                let std = (2.0 / *fan_in as f32).sqrt();
+                (0..n).map(|_| rng.normal() * std).collect()
+            }
+        };
+        Tensor::from_vec(data, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Rng64::new(1);
+        for _ in 0..1000 {
+            let v = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let u = rng.next_f32();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut rng = Rng64::new(2);
+        assert_eq!(rng.below(0), 0);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Rng64::new(3);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::new(4);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn initializers_produce_expected_statistics() {
+        let mut rng = Rng64::new(5);
+        let zeros = Initializer::Zeros.build(&[10, 10], &mut rng).unwrap();
+        assert_eq!(zeros.sum(), 0.0);
+
+        let he = Initializer::HeNormal { fan_in: 100 }
+            .build(&[100, 100], &mut rng)
+            .unwrap();
+        let std_expected = (2.0f32 / 100.0).sqrt();
+        let var: f32 =
+            he.as_slice().iter().map(|v| v * v).sum::<f32>() / he.len() as f32;
+        assert!((var.sqrt() - std_expected).abs() < 0.02);
+
+        let xavier = Initializer::XavierUniform {
+            fan_in: 50,
+            fan_out: 50,
+        }
+        .build(&[50, 50], &mut rng)
+        .unwrap();
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(xavier.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = Rng64::new(11);
+        let mut b = a.fork();
+        // The forked stream should not simply mirror the parent.
+        let pa: Vec<u64> = (0..5).map(|_| a.next_u64()).collect();
+        let pb: Vec<u64> = (0..5).map(|_| b.next_u64()).collect();
+        assert_ne!(pa, pb);
+    }
+}

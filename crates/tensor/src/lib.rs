@@ -1,0 +1,43 @@
+//! # ptolemy-tensor
+//!
+//! A small, dependency-light tensor library used as the numerical substrate of the
+//! Ptolemy reproduction.  It provides row-major `f32` tensors with NCHW helpers,
+//! matrix multiplication, `im2col`/`col2im` lowering for convolutions, seeded random
+//! initialisation, and the element-wise operations the DNN substrate
+//! (`ptolemy-nn`) and the attack generators (`ptolemy-attacks`) need.
+//!
+//! The library intentionally avoids BLAS or SIMD back-ends: everything the paper's
+//! evaluation needs runs at laptop scale, and a pure-Rust implementation keeps the
+//! reproduction self-contained and portable.
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), ptolemy_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod im2col;
+mod init;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use init::{Initializer, Rng64};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

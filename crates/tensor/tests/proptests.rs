@@ -1,0 +1,116 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use ptolemy_tensor::{col2im, im2col, Conv2dGeometry, Rng64, Shape, Tensor};
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// offset/unravel round-trips for every flat index of arbitrary small shapes.
+    #[test]
+    fn shape_offset_unravel_roundtrip(dims in small_dims()) {
+        let shape = Shape::new(&dims);
+        for flat in 0..shape.len() {
+            let idx = shape.unravel(flat).unwrap();
+            prop_assert_eq!(shape.offset(&idx).unwrap(), flat);
+        }
+    }
+
+    /// Reshaping preserves the element sum for any compatible factorisation.
+    #[test]
+    fn reshape_preserves_sum(data in prop::collection::vec(-10.0f32..10.0, 1..64)) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]).unwrap();
+        let reshaped = t.reshape(&[1, n]).unwrap();
+        prop_assert!((t.sum() - reshaped.sum()).abs() < 1e-4);
+    }
+
+    /// Element-wise addition commutes and subtraction is its inverse.
+    #[test]
+    fn add_commutes_sub_inverts(
+        a in prop::collection::vec(-100.0f32..100.0, 1..32),
+        seed in any::<u64>(),
+    ) {
+        let n = a.len();
+        let mut rng = Rng64::new(seed);
+        let b: Vec<f32> = (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let ta = Tensor::from_vec(a, &[n]).unwrap();
+        let tb = Tensor::from_vec(b, &[n]).unwrap();
+        let ab = ta.add(&tb).unwrap();
+        let ba = tb.add(&ta).unwrap();
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+        let back = ab.sub(&tb).unwrap();
+        for (x, y) in back.as_slice().iter().zip(ta.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Matrix multiplication by the identity is the identity transformation.
+    #[test]
+    fn matmul_identity(rows in 1usize..6, cols in 1usize..6, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let a = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let c = a.matmul(&Tensor::eye(cols)).unwrap();
+        prop_assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::from_vec((0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[m, k]).unwrap();
+        let b = Tensor::from_vec((0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[k, n]).unwrap();
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax rows are valid probability distributions.
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..8, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let t = Tensor::from_vec(
+            (0..rows * cols).map(|_| rng.uniform(-5.0, 5.0)).collect(),
+            &[rows, cols],
+        ).unwrap();
+        let s = t.softmax_rows().unwrap();
+        for row in s.as_slice().chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    /// col2im(im2col(x)) scales each input element by its coverage count, so with a
+    /// 1x1 kernel (coverage exactly one) the round-trip is the identity.
+    #[test]
+    fn im2col_col2im_identity_for_unit_kernel(h in 1usize..6, w in 1usize..6, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let geom = Conv2dGeometry::new(1, h, w, 1, 1, 0).unwrap();
+        let img = Tensor::from_vec((0..h * w).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[1, h, w]).unwrap();
+        let cols = im2col(&img, &geom).unwrap();
+        let back = col2im(&cols, &geom).unwrap();
+        prop_assert_eq!(back.as_slice(), img.as_slice());
+    }
+
+    /// im2col output contains every input element at least once when stride ≤ kernel.
+    #[test]
+    fn im2col_covers_input(h in 3usize..7, w in 3usize..7, k in 1usize..4, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let geom = Conv2dGeometry::new(1, h, w, k, 1, 0).unwrap();
+        let img = Tensor::from_vec((0..h * w).map(|_| rng.uniform(0.5, 1.5)).collect(), &[1, h, w]).unwrap();
+        let cols = im2col(&img, &geom).unwrap();
+        let ones = Tensor::ones(&[geom.patch_len(), geom.num_patches()]);
+        let coverage = col2im(&ones, &geom).unwrap();
+        // Stride 1 and k ≤ h,w means every input element is inside ≥ 1 receptive field.
+        prop_assert!(coverage.as_slice().iter().all(|c| *c >= 1.0));
+        prop_assert!(cols.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

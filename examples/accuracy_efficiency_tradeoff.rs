@@ -1,0 +1,95 @@
+//! The accuracy/efficiency trade-off space (paper Sec. III-C and Fig. 10/11): build
+//! the four algorithm variants — BwCu, BwAb, FwAb and Hybrid — for one victim
+//! network, measure each variant's detection AUC against FGSM/BIM samples, compile
+//! it with the Ptolemy compiler and price it on the hardware model.
+//!
+//! ```text
+//! cargo run --release --example accuracy_efficiency_tradeoff
+//! ```
+
+use ptolemy::accel::{HardwareConfig, Simulator};
+use ptolemy::attacks::{Attack, Bim, Fgsm};
+use ptolemy::compiler::Compiler;
+use ptolemy::core::{variants, Detector, Profiler};
+use ptolemy::data::SyntheticDataset;
+use ptolemy::forest::auc;
+use ptolemy::nn::{zoo, TrainConfig, Trainer};
+use ptolemy::tensor::{Rng64, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Victim: the AlexNet-class model on a 10-class ImageNet-style dataset.
+    let dataset = SyntheticDataset::synth_imagenet_subset(10, 25, 8, 42)?;
+    let mut network = zoo::conv_net(dataset.num_classes(), &mut Rng64::new(42))?;
+    let report = Trainer::new(TrainConfig {
+        epochs: 40,
+        batch_size: 8,
+        learning_rate: 0.002,
+        ..TrainConfig::default()
+    })
+    .fit(&mut network, dataset.train())?;
+    println!("victim clean accuracy: {:.2}\n", report.final_accuracy);
+
+    // Adversarial evaluation set: FGSM + BIM on correctly classified test inputs.
+    let attacks: Vec<Box<dyn Attack>> = vec![Box::new(Fgsm::new(0.12)), Box::new(Bim::new(0.12, 0.02, 25))];
+    let benign: Vec<Tensor> = dataset.test().iter().map(|(x, _)| x.clone()).collect();
+    let mut adversarial: Vec<Tensor> = Vec::new();
+    for attack in &attacks {
+        for (input, label) in dataset.test() {
+            if network.predict(input)? != *label {
+                continue;
+            }
+            adversarial.push(attack.perturb(&network, input, *label)?.input);
+        }
+    }
+
+    let simulator = Simulator::new(HardwareConfig::default())?;
+    let compiler = Compiler::default();
+
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>14}",
+        "variant", "AUC", "latency", "energy", "extra DRAM(KB)"
+    );
+    let programs = vec![
+        ("BwCu", variants::bw_cu(&network, 0.5)?),
+        ("BwAb", variants::bw_ab(&network, 0.1)?),
+        ("FwAb", variants::fw_ab(&network, 0.1)?),
+        ("Hybrid", variants::hybrid(&network, 0.1, 0.5)?),
+    ];
+    for (name, program) in programs {
+        // Accuracy: path similarity as the detection score.
+        let class_paths = Profiler::new(program.clone()).profile(&network, dataset.train())?;
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        let mut density = 0.0f32;
+        for input in &benign {
+            let (_, s) = Detector::path_similarity(&network, &program, &class_paths, input)?;
+            scores.push(1.0 - s);
+            labels.push(false);
+        }
+        for input in &adversarial {
+            let (_, s) = Detector::path_similarity(&network, &program, &class_paths, input)?;
+            scores.push(1.0 - s);
+            labels.push(true);
+        }
+        {
+            let profiler = Profiler::new(program.clone());
+            let (_, path) = profiler.extract(&network, &benign[0])?;
+            density = density.max(path.density());
+        }
+        let variant_auc = auc(&scores, &labels)?;
+
+        // Cost: compile and simulate on the default 20x20 accelerator.
+        let compiled = compiler.compile(&network, &program)?;
+        let cost = simulator.simulate(&network, &compiled, density)?;
+        println!(
+            "{:<8} {:>8.3} {:>11.2}x {:>11.2}x {:>14.1}",
+            name,
+            variant_auc,
+            cost.latency_factor(),
+            cost.energy_factor(),
+            cost.extra_dram_space_bytes as f64 / 1024.0,
+        );
+    }
+    println!("\n(The paper's Fig. 10/11 shape: BwCu is the most accurate and most expensive, FwAb hides almost all latency, Hybrid sits in between.)");
+    Ok(())
+}

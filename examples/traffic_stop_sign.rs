@@ -1,0 +1,89 @@
+//! The paper's motivating scenario: an attacker perturbs a stop sign so that an
+//! object-recognition DNN mis-classifies it (e.g. as a yield sign), and Ptolemy
+//! flags the input as adversarial at inference time so the system can reject the
+//! prediction instead of acting on it.
+//!
+//! ```text
+//! cargo run --release --example traffic_stop_sign
+//! ```
+
+use ptolemy::attacks::{Attack, Bim};
+use ptolemy::core::{variants, Detector, Profiler};
+use ptolemy::data::{traffic_signs, TRAFFIC_CLASSES};
+use ptolemy::nn::{zoo, TrainConfig, Trainer};
+use ptolemy::tensor::Rng64;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small "traffic sign" dataset: stop, yield, speed-limit and background.
+    let dataset = traffic_signs(30, 10, 11)?;
+    let mut rng = Rng64::new(11);
+    let mut network = zoo::conv_net(dataset.num_classes(), &mut rng)?;
+    let report = Trainer::new(TrainConfig {
+        epochs: 40,
+        batch_size: 8,
+        learning_rate: 0.002,
+        ..TrainConfig::default()
+    })
+    .fit(&mut network, dataset.train())?;
+    println!(
+        "sign classifier trained on {:?}: clean accuracy {:.2}",
+        TRAFFIC_CLASSES, report.final_accuracy
+    );
+
+    // Offline: canary class paths with the FwAb algorithm (the low-overhead variant
+    // an embedded deployment would choose).
+    let program = variants::fw_ab(&network, 0.05)?;
+    let class_paths = Profiler::new(program.clone()).profile(&network, dataset.train())?;
+
+    // Calibrate the detector with BIM adversarial samples of all classes.
+    let attack = Bim::new(0.12, 0.02, 30);
+    let benign: Vec<_> = dataset.test().iter().map(|(x, _)| x.clone()).collect();
+    let adversarial: Vec<_> = dataset
+        .test()
+        .iter()
+        .map(|(x, y)| attack.perturb(&network, x, *y).map(|e| e.input))
+        .collect::<Result<Vec<_>, _>>()?;
+    let detector = Detector::fit_default(&network, program, class_paths, &benign, &adversarial)?;
+
+    // The attack scenario: take stop-sign test images, perturb them, and see what the
+    // classifier and the detector say.
+    let stop_class = 0usize;
+    let mut attacked = 0usize;
+    let mut fooled = 0usize;
+    let mut caught = 0usize;
+    for (input, label) in dataset.test().iter().filter(|(_, l)| *l == stop_class) {
+        if network.predict(input)? != *label {
+            continue;
+        }
+        let example = attack.perturb(&network, input, *label)?;
+        attacked += 1;
+        let verdict = detector.detect(&network, &example.input)?;
+        if example.success {
+            fooled += 1;
+            println!(
+                "stop sign perturbed (MSE {:.4}) -> classified as '{}'; Ptolemy verdict: {}",
+                example.distortion_mse,
+                TRAFFIC_CLASSES[example.adversarial_class.min(TRAFFIC_CLASSES.len() - 1)],
+                if verdict.is_adversary { "ADVERSARIAL (rejected)" } else { "benign (missed!)" },
+            );
+        }
+        if verdict.is_adversary {
+            caught += 1;
+        }
+    }
+    println!(
+        "\n{attacked} stop signs attacked, {fooled} fooled the classifier, {caught} flagged by Ptolemy"
+    );
+
+    // Benign stop signs should still pass.
+    let mut benign_pass = 0usize;
+    let mut benign_total = 0usize;
+    for (input, _) in dataset.test().iter().filter(|(_, l)| *l == stop_class) {
+        benign_total += 1;
+        if !detector.detect(&network, input)?.is_adversary {
+            benign_pass += 1;
+        }
+    }
+    println!("{benign_pass}/{benign_total} unperturbed stop signs pass the detector");
+    Ok(())
+}

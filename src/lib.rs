@@ -1,0 +1,73 @@
+//! # Ptolemy (reproduction) — umbrella crate
+//!
+//! This crate re-exports the member crates of the Ptolemy reproduction workspace so
+//! that the runnable examples under `examples/` and the cross-crate integration
+//! tests under `tests/` have a single import root.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`tensor`] — NCHW tensors, matmul, im2col ([`ptolemy_tensor`]).
+//! * [`nn`] — DNN inference/training with partial-sum visibility ([`ptolemy_nn`]).
+//! * [`data`] — synthetic class-structured datasets ([`ptolemy_data`]).
+//! * [`attacks`] — FGSM/BIM/PGD/JSMA/DeepFool/CW-L2 and the adaptive attack
+//!   ([`ptolemy_attacks`]).
+//! * [`forest`] — random forest + AUC ([`ptolemy_forest`]).
+//! * [`core`] — the Ptolemy detection framework itself ([`ptolemy_core`]).
+//! * [`isa`], [`compiler`], [`accel`] — the ISA, compiler and hardware model.
+//! * [`baselines`] — EP, CDRP and DeepFense baselines.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use ptolemy::prelude::*;
+//! use ptolemy::tensor::Rng64;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a small synthetic dataset and train a network on it.
+//! let dataset = SyntheticDataset::synth_cifar10(20, 5, 7)?;
+//! let mut rng = Rng64::new(0);
+//! let mut network = zoo::mlp_net(dataset.input_shape(), dataset.num_classes(), &mut rng)?;
+//! Trainer::new(TrainConfig::default()).fit(&mut network, dataset.train())?;
+//!
+//! // Offline: profile canary class paths with the FwAb algorithm.
+//! let program = variants::fw_ab(&network, 0.05)?;
+//! let class_paths = Profiler::new(program.clone()).profile(&network, dataset.train())?;
+//!
+//! // Calibrate the detector on benign test inputs and FGSM adversarial samples.
+//! let benign: Vec<_> = dataset.test().iter().map(|(x, _)| x.clone()).collect();
+//! let adversarial: Vec<_> = dataset
+//!     .test()
+//!     .iter()
+//!     .map(|(x, y)| Fgsm::new(0.3).perturb(&network, x, *y).map(|e| e.input))
+//!     .collect::<Result<Vec<_>, _>>()?;
+//! let detector = Detector::fit_default(&network, program, class_paths, &benign, &adversarial)?;
+//!
+//! // Online: detect an adversarial sample at inference time.
+//! let verdict = detector.detect(&network, &adversarial[0])?;
+//! println!("adversarial? {}", verdict.is_adversary);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ptolemy_accel as accel;
+pub use ptolemy_attacks as attacks;
+pub use ptolemy_baselines as baselines;
+pub use ptolemy_compiler as compiler;
+pub use ptolemy_core as core;
+pub use ptolemy_data as data;
+pub use ptolemy_forest as forest;
+pub use ptolemy_isa as isa;
+pub use ptolemy_nn as nn;
+pub use ptolemy_tensor as tensor;
+
+/// Commonly used items, re-exported for examples and integration tests.
+pub mod prelude {
+    pub use ptolemy_attacks::{Attack, Bim, CarliniWagnerL2, DeepFool, Fgsm, Jsma, Pgd};
+    pub use ptolemy_core::{
+        variants, ClassPathSet, Detection, Detector, DetectionProgram, ExtractionSpec, Profiler,
+    };
+    pub use ptolemy_data::SyntheticDataset;
+    pub use ptolemy_forest::{auc, RandomForest};
+    pub use ptolemy_nn::{zoo, Network, TrainConfig, Trainer};
+    pub use ptolemy_tensor::Tensor;
+}

@@ -1,0 +1,47 @@
+#![allow(dead_code)]
+
+//! Shared fixtures for the cross-crate integration tests: a small trained victim
+//! network plus its dataset, sized so every test file stays fast.
+
+use ptolemy::data::{DatasetConfig, SyntheticDataset};
+use ptolemy::nn::{zoo, Network, TrainConfig, Trainer};
+use ptolemy::tensor::{Rng64, Tensor};
+
+/// A trained LeNet-class victim on a 4-class synthetic dataset.
+pub fn trained_lenet(seed: u64) -> (Network, SyntheticDataset) {
+    let dataset = SyntheticDataset::generate(DatasetConfig {
+        name: "integration-small".into(),
+        num_classes: 4,
+        shape: vec![3, 8, 8],
+        train_per_class: 20,
+        test_per_class: 8,
+        noise: 0.12,
+        seed,
+    })
+    .expect("dataset");
+    let mut network = zoo::lenet(3, dataset.num_classes(), &mut Rng64::new(seed)).expect("network");
+    Trainer::new(TrainConfig {
+        epochs: 40,
+        batch_size: 8,
+        learning_rate: 0.002,
+        ..TrainConfig::default()
+    })
+    .fit(&mut network, dataset.train())
+    .expect("training");
+    (network, dataset)
+}
+
+/// Benign test inputs of a dataset.
+pub fn benign_inputs(dataset: &SyntheticDataset) -> Vec<Tensor> {
+    dataset.test().iter().map(|(x, _)| x.clone()).collect()
+}
+
+/// Correctly-classified labelled test samples.
+pub fn correct_samples(network: &Network, dataset: &SyntheticDataset) -> Vec<(Tensor, usize)> {
+    dataset
+        .test()
+        .iter()
+        .filter(|(x, y)| network.predict(x).map(|p| p == *y).unwrap_or(false))
+        .cloned()
+        .collect()
+}

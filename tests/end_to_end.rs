@@ -1,0 +1,139 @@
+//! End-to-end integration tests of the full Ptolemy pipeline: train → profile →
+//! attack → detect, plus the class-path artifact lifecycle (serialisation, program
+//! fingerprint matching).
+
+mod common;
+
+use ptolemy::attacks::{Attack, Bim, Fgsm};
+use ptolemy::core::{variants, ClassPathSet, Detector, Profiler};
+use ptolemy::forest::auc;
+
+#[test]
+fn train_profile_attack_detect_pipeline_beats_chance() {
+    let (network, dataset) = common::trained_lenet(0xE2E);
+    let program = variants::bw_cu(&network, 0.5).unwrap();
+    let class_paths = Profiler::new(program.clone())
+        .profile(&network, dataset.train())
+        .unwrap();
+    assert_eq!(class_paths.num_classes(), dataset.num_classes());
+
+    let benign = common::benign_inputs(&dataset);
+    let attack = Fgsm::new(0.25);
+    let adversarial: Vec<_> = common::correct_samples(&network, &dataset)
+        .iter()
+        .map(|(x, y)| attack.perturb(&network, x, *y).unwrap().input)
+        .collect();
+    assert!(!adversarial.is_empty(), "attack produced no samples");
+
+    // Score with raw path similarity: benign inputs should look more like their
+    // class path than adversarial inputs do, so the AUC must beat chance.
+    let mut scores = Vec::new();
+    let mut labels = Vec::new();
+    for (inputs, label) in [(&benign, false), (&adversarial, true)] {
+        for input in inputs {
+            let (_, s) = Detector::path_similarity(&network, &program, &class_paths, input).unwrap();
+            assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+            scores.push(1.0 - s);
+            labels.push(label);
+        }
+    }
+    let auc_value = auc(&scores, &labels).unwrap();
+    assert!(auc_value > 0.55, "detection AUC {auc_value} not above chance");
+}
+
+#[test]
+fn fitted_detector_produces_consistent_verdicts() {
+    let (network, dataset) = common::trained_lenet(0xF17);
+    let program = variants::fw_ab(&network, 0.05).unwrap();
+    let class_paths = Profiler::new(program.clone())
+        .profile(&network, dataset.train())
+        .unwrap();
+
+    let benign = common::benign_inputs(&dataset);
+    let attack = Bim::new(0.2, 0.04, 15);
+    let adversarial: Vec<_> = common::correct_samples(&network, &dataset)
+        .iter()
+        .map(|(x, y)| attack.perturb(&network, x, *y).unwrap().input)
+        .collect();
+
+    let detector =
+        Detector::fit_default(&network, program, class_paths, &benign, &adversarial).unwrap();
+    for input in benign.iter().chain(&adversarial) {
+        let d = detector.detect(&network, input).unwrap();
+        assert!((0.0..=1.0).contains(&d.score));
+        assert!((0.0..=1.0).contains(&d.similarity));
+        assert!(d.predicted_class < dataset.num_classes());
+        assert_eq!(d.is_adversary, d.score >= 0.5);
+        // score() must agree with detect().
+        let s = detector.score(&network, input).unwrap();
+        assert!((s - d.score).abs() < 1e-6);
+    }
+    assert_eq!(detector.forest().num_trees(), 100);
+}
+
+#[test]
+fn class_paths_serialise_and_reject_mismatched_programs() {
+    let (network, dataset) = common::trained_lenet(0x5E7);
+    let program = variants::bw_cu(&network, 0.5).unwrap();
+    let class_paths = Profiler::new(program.clone())
+        .profile(&network, dataset.train())
+        .unwrap();
+
+    // JSON round trip preserves the artifact exactly.
+    let json = class_paths.to_json().unwrap();
+    let restored = ClassPathSet::from_json(&json).unwrap();
+    assert_eq!(restored, class_paths);
+
+    // Detection with class paths profiled under a *different* program must fail
+    // (paper Fig. 4: offline and online extraction methods must match).
+    let other_program = variants::bw_cu(&network, 0.9).unwrap();
+    let input = &dataset.test()[0].0;
+    let err = Detector::path_similarity(&network, &other_program, &class_paths, input);
+    assert!(err.is_err(), "mismatched program fingerprint must be rejected");
+}
+
+#[test]
+fn incremental_profiling_only_adds_bits() {
+    // Aggregating more training samples can only set more bits in a class path
+    // (bitwise OR aggregation, paper Sec. III-A).
+    let (network, dataset) = common::trained_lenet(0xA66);
+    let program = variants::bw_cu(&network, 0.5).unwrap();
+    let profiler = Profiler::new(program.clone());
+
+    let half: Vec<_> = dataset.train()[..dataset.train().len() / 2].to_vec();
+    let small = profiler.profile(&network, &half).unwrap();
+    let full = profiler.profile(&network, dataset.train()).unwrap();
+    for class in 0..dataset.num_classes() {
+        let small_bits = small.class_path(class).unwrap().count_ones();
+        let full_bits = full.class_path(class).unwrap().count_ones();
+        assert!(
+            full_bits >= small_bits,
+            "class {class}: {full_bits} < {small_bits}"
+        );
+    }
+}
+
+#[test]
+fn all_standard_attacks_produce_valid_examples() {
+    let (network, dataset) = common::trained_lenet(0xA77);
+    let samples = common::correct_samples(&network, &dataset);
+    assert!(!samples.is_empty());
+    let (input, label) = samples[0].clone();
+
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(ptolemy::attacks::Fgsm::new(0.15)),
+        Box::new(ptolemy::attacks::Bim::new(0.15, 0.03, 10)),
+        Box::new(ptolemy::attacks::Pgd::new(0.15, 0.03, 10, 3)),
+        Box::new(ptolemy::attacks::DeepFool::new(15, 0.02)),
+        Box::new(ptolemy::attacks::CarliniWagnerL2::new(1.0, 0.05, 15, 0.0)),
+        Box::new(ptolemy::attacks::Jsma::new(0.6, 16)),
+    ];
+    for attack in &attacks {
+        let example = attack.perturb(&network, &input, label).unwrap();
+        assert_eq!(example.original_class, label);
+        assert!(example.distortion_mse >= 0.0);
+        assert!(example.distortion_linf >= 0.0);
+        assert_eq!(example.input.dims(), input.dims());
+        assert!(example.input.as_slice().iter().all(|v| v.is_finite()));
+    }
+}
