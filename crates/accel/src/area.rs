@@ -62,13 +62,11 @@ pub fn area_report(config: &HardwareConfig) -> Result<AreaReport> {
     let macs = (config.array_rows * config.array_cols) as f64;
     let baseline_mm2 =
         macs * mac_area + config.accel_sram_kb as f64 * SRAM_MM2_PER_KB + CONTROL_MM2;
-    let extra_sram_mm2 =
-        (config.psum_sram_kb + config.path_sram_kb) as f64 * SRAM_MM2_PER_KB;
+    let extra_sram_mm2 = (config.psum_sram_kb + config.path_sram_kb) as f64 * SRAM_MM2_PER_KB;
     let mac_augmentation_mm2 = macs * mac_area * MAC_AUGMENT_FRACTION;
-    let path_constructor_mm2 = config.sort_units as f64
-        * config.sort_unit_width as f64
-        * SORT_ELEMENT_MM2
-        + config.merge_tree_length as f64 * MERGE_ELEMENT_MM2;
+    let path_constructor_mm2 =
+        config.sort_units as f64 * config.sort_unit_width as f64 * SORT_ELEMENT_MM2
+            + config.merge_tree_length as f64 * MERGE_ELEMENT_MM2;
     Ok(AreaReport {
         baseline_mm2,
         extra_sram_mm2,
@@ -92,7 +90,10 @@ mod tests {
             "total overhead {overhead:.2}% outside the expected band"
         );
         let sram_pct = 100.0 * report.extra_sram_mm2 / report.baseline_mm2;
-        assert!((3.0..4.5).contains(&sram_pct), "SRAM overhead {sram_pct:.2}%");
+        assert!(
+            (3.0..4.5).contains(&sram_pct),
+            "SRAM overhead {sram_pct:.2}%"
+        );
         assert!((0.05..0.12).contains(&report.added_mm2()));
         // SRAM dominates the added area, as in the paper.
         assert!(report.extra_sram_mm2 > report.path_constructor_mm2);

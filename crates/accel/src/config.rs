@@ -1,7 +1,5 @@
 //! Hardware configuration and the per-operation energy table.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AccelError, Result};
 
 /// Per-operation energy constants in picojoules.
@@ -9,7 +7,7 @@ use crate::{AccelError, Result};
 /// The values are representative published numbers for a ~16 nm-class process
 /// (e.g. Horowitz, ISSCC'14 keynote scaling) rather than the paper's 15 nm synthesis
 /// results; only the ratios matter for the relative overheads every figure reports.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Energy of one 16-bit MAC.
     pub mac_16b_pj: f64,
@@ -44,7 +42,7 @@ impl Default for EnergyModel {
 /// 250 MHz with 1.5 MB of accelerator SRAM, a 32 KB partial-sum/mask SRAM, a 64 KB
 /// path-constructor SRAM, two 16-element sort units and a 16-way merge tree, backed
 /// by LPDDR3-class DRAM bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareConfig {
     /// Systolic array rows.
     pub array_rows: usize,
@@ -101,7 +99,9 @@ impl HardwareConfig {
     /// unsupported precisions.
     pub fn validate(&self) -> Result<()> {
         if self.array_rows == 0 || self.array_cols == 0 {
-            return Err(AccelError::InvalidConfig("MAC array must be non-empty".into()));
+            return Err(AccelError::InvalidConfig(
+                "MAC array must be non-empty".into(),
+            ));
         }
         if self.clock_mhz <= 0.0 || self.dram_bytes_per_cycle <= 0.0 {
             return Err(AccelError::InvalidConfig(
@@ -187,21 +187,36 @@ mod tests {
 
     #[test]
     fn invalid_configurations_are_rejected() {
-        assert!(HardwareConfig { array_rows: 0, ..HardwareConfig::default() }
-            .validate()
-            .is_err());
-        assert!(HardwareConfig { clock_mhz: 0.0, ..HardwareConfig::default() }
-            .validate()
-            .is_err());
-        assert!(HardwareConfig { sort_units: 0, ..HardwareConfig::default() }
-            .validate()
-            .is_err());
-        assert!(HardwareConfig { precision_bits: 32, ..HardwareConfig::default() }
-            .validate()
-            .is_err());
-        assert!(HardwareConfig { merge_tree_length: 1, ..HardwareConfig::default() }
-            .validate()
-            .is_err());
+        assert!(HardwareConfig {
+            array_rows: 0,
+            ..HardwareConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HardwareConfig {
+            clock_mhz: 0.0,
+            ..HardwareConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HardwareConfig {
+            sort_units: 0,
+            ..HardwareConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HardwareConfig {
+            precision_bits: 32,
+            ..HardwareConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HardwareConfig {
+            merge_tree_length: 1,
+            ..HardwareConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 mod area;
+mod backend;
 mod config;
 mod report;
 mod sim;
 
 pub use area::{area_report, AreaReport};
+pub use backend::AccelBackend;
 pub use config::{EnergyModel, HardwareConfig};
 pub use report::{ExecutionReport, TaskTiming};
 pub use sim::{dram_space_report, DramSpaceReport, Simulator};
@@ -78,7 +80,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!AccelError::InvalidConfig("x".into()).to_string().is_empty());
-        assert!(!AccelError::InvalidProgram("y".into()).to_string().is_empty());
+        assert!(!AccelError::InvalidProgram("y".into())
+            .to_string()
+            .is_empty());
         let e: AccelError = ptolemy_nn::NnError::EmptyDataset.into();
         assert!(std::error::Error::source(&e).is_some());
     }

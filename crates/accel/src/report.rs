@@ -1,12 +1,10 @@
 //! Execution reports produced by the simulator.
 
-use serde::{Deserialize, Serialize};
-
 use ptolemy_compiler::HwUnit;
 
 /// Start/finish times of one scheduled task (for debugging and the pipelining
 /// tests).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskTiming {
     /// Index of the task in the compiled program.
     pub task_index: usize,
@@ -19,7 +17,7 @@ pub struct TaskTiming {
 }
 
 /// Latency, energy and memory accounting of one detection-augmented inference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
     /// Cycles a plain inference (no detection) would take on the same hardware.
     pub inference_cycles: u64,

@@ -43,7 +43,7 @@ fn layer_stats(network: &Network, layer: usize) -> Result<LayerStats> {
         in_len: l.input_len() as u64,
         out_len,
         weights: weight_count(&kind),
-        rf: if out_len == 0 { 0 } else { (macs / out_len).max(1) },
+        rf: macs.checked_div(out_len).map_or(0, |rf| rf.max(1)),
     })
 }
 
@@ -322,8 +322,7 @@ impl Simulator {
             let write_cycles = (psum_bytes as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
             cycles = cycles.max(write_cycles) + write_cycles / 4;
             dram += psum_bytes;
-            energy +=
-                psum_bytes as f64 * (cfg.energy.sram_byte_pj + cfg.energy.dram_byte_pj);
+            energy += psum_bytes as f64 * (cfg.energy.sram_byte_pj + cfg.energy.dram_byte_pj);
         }
         (cycles, energy, dram)
     }
@@ -420,7 +419,11 @@ mod tests {
         (net, Simulator::new(HardwareConfig::default()).unwrap())
     }
 
-    fn run(net: &Network, sim: &Simulator, program: &ptolemy_core::DetectionProgram) -> ExecutionReport {
+    fn run(
+        net: &Network,
+        sim: &Simulator,
+        program: &ptolemy_core::DetectionProgram,
+    ) -> ExecutionReport {
         let compiled = Compiler::default().compile(net, program).unwrap();
         sim.simulate(net, &compiled, 0.08).unwrap()
     }
@@ -437,7 +440,11 @@ mod tests {
         assert!(bwcu.latency_factor() > hybrid.latency_factor());
         assert!(hybrid.latency_factor() > fwab.latency_factor());
         assert!(bwab.latency_factor() >= fwab.latency_factor());
-        assert!(bwcu.latency_factor() > 2.0, "BwCu {:.2}", bwcu.latency_factor());
+        assert!(
+            bwcu.latency_factor() > 2.0,
+            "BwCu {:.2}",
+            bwcu.latency_factor()
+        );
         assert!(
             fwab.latency_overhead() < 0.25,
             "FwAb overhead {:.3}",
@@ -523,7 +530,10 @@ mod tests {
         let mut powers = Vec::new();
         for sort_units in [2usize, 4, 8, 16] {
             let cfg = HardwareConfig::default().with_path_constructor(sort_units, 16);
-            let report = Simulator::new(cfg).unwrap().simulate(&net, &compiled, 0.08).unwrap();
+            let report = Simulator::new(cfg)
+                .unwrap()
+                .simulate(&net, &compiled, 0.08)
+                .unwrap();
             latencies.push(report.total_cycles);
             powers.push(report.power_factor());
         }
@@ -535,7 +545,10 @@ mod tests {
         let mut merge_latencies = Vec::new();
         for merge in [4usize, 8, 16, 32] {
             let cfg = HardwareConfig::default().with_path_constructor(2, merge);
-            let report = Simulator::new(cfg).unwrap().simulate(&net, &compiled, 0.08).unwrap();
+            let report = Simulator::new(cfg)
+                .unwrap()
+                .simulate(&net, &compiled, 0.08)
+                .unwrap();
             merge_latencies.push(report.total_cycles);
         }
         assert!(merge_latencies.windows(2).all(|w| w[1] <= w[0]));

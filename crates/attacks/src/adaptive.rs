@@ -64,8 +64,10 @@ impl AdaptiveAttack {
                 "adaptive attack needs non-zero iterations, targets and layers".into(),
             ));
         }
-        if !(config.step_size > 0.0) {
-            return Err(AttackError::InvalidConfig("step size must be positive".into()));
+        if config.step_size <= 0.0 || !config.step_size.is_finite() {
+            return Err(AttackError::InvalidConfig(
+                "step size must be positive".into(),
+            ));
         }
         if target_pool.is_empty() {
             return Err(AttackError::NoTargets("empty target pool".into()));
@@ -142,7 +144,12 @@ impl Attack for AdaptiveAttack {
         "Adaptive"
     }
 
-    fn perturb(&self, network: &Network, input: &Tensor, label: usize) -> Result<AdversarialExample> {
+    fn perturb(
+        &self,
+        network: &Network,
+        input: &Tensor,
+        label: usize,
+    ) -> Result<AdversarialExample> {
         let layers = self.considered_layers(network);
         // Choose candidate benign targets whose class differs from the input's.
         let mut rng = Rng64::new(self.config.seed ^ (label as u64).wrapping_mul(0x9E37));
@@ -225,7 +232,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes > 0, "the unbounded adaptive attack should succeed");
+        assert!(
+            successes > 0,
+            "the unbounded adaptive attack should succeed"
+        );
         assert_eq!(attack.name(), "Adaptive");
         assert_eq!(attack.config().num_targets, 3);
     }
@@ -283,11 +293,8 @@ mod tests {
         assert!(AdaptiveAttack::new(AdaptiveConfig::default(), vec![]).is_err());
 
         // A pool containing only the attacked class yields NoTargets.
-        let one_class: Vec<(Tensor, usize)> = samples
-            .iter()
-            .filter(|(_, y)| *y == 0)
-            .cloned()
-            .collect();
+        let one_class: Vec<(Tensor, usize)> =
+            samples.iter().filter(|(_, y)| *y == 0).cloned().collect();
         let (net, _) = trained_mlp();
         let attack = AdaptiveAttack::new(AdaptiveConfig::default(), one_class).unwrap();
         let x = Tensor::full(&[8], 0.5);

@@ -60,7 +60,9 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: AttackError = TensorError::Empty("max").into();
         assert!(e.to_string().contains("tensor"));
-        assert!(!AttackError::InvalidConfig("x".into()).to_string().is_empty());
+        assert!(!AttackError::InvalidConfig("x".into())
+            .to_string()
+            .is_empty());
         assert!(!AttackError::NoTargets("y".into()).to_string().is_empty());
     }
 }

@@ -6,7 +6,7 @@ use ptolemy_tensor::{Rng64, Tensor};
 use crate::{AdversarialExample, Attack, AttackError, Result};
 
 fn check_positive(value: f32, name: &str) -> Result<()> {
-    if !(value > 0.0) || !value.is_finite() {
+    if value <= 0.0 || !value.is_finite() {
         return Err(AttackError::InvalidConfig(format!(
             "{name} must be positive and finite, got {value}"
         )));
@@ -45,7 +45,12 @@ impl Attack for Fgsm {
         "FGSM"
     }
 
-    fn perturb(&self, network: &Network, input: &Tensor, label: usize) -> Result<AdversarialExample> {
+    fn perturb(
+        &self,
+        network: &Network,
+        input: &Tensor,
+        label: usize,
+    ) -> Result<AdversarialExample> {
         check_positive(self.epsilon, "epsilon")?;
         let grad = network.input_gradient(input, label)?;
         let stepped = input.add(&grad.signum().scale(self.epsilon))?;
@@ -80,11 +85,18 @@ impl Attack for Bim {
         "BIM"
     }
 
-    fn perturb(&self, network: &Network, input: &Tensor, label: usize) -> Result<AdversarialExample> {
+    fn perturb(
+        &self,
+        network: &Network,
+        input: &Tensor,
+        label: usize,
+    ) -> Result<AdversarialExample> {
         check_positive(self.epsilon, "epsilon")?;
         check_positive(self.alpha, "alpha")?;
         if self.iterations == 0 {
-            return Err(AttackError::InvalidConfig("iterations must be non-zero".into()));
+            return Err(AttackError::InvalidConfig(
+                "iterations must be non-zero".into(),
+            ));
         }
         let mut current = input.clone();
         for _ in 0..self.iterations {
@@ -124,11 +136,18 @@ impl Attack for Pgd {
         "PGD"
     }
 
-    fn perturb(&self, network: &Network, input: &Tensor, label: usize) -> Result<AdversarialExample> {
+    fn perturb(
+        &self,
+        network: &Network,
+        input: &Tensor,
+        label: usize,
+    ) -> Result<AdversarialExample> {
         check_positive(self.epsilon, "epsilon")?;
         check_positive(self.alpha, "alpha")?;
         if self.iterations == 0 {
-            return Err(AttackError::InvalidConfig("iterations must be non-zero".into()));
+            return Err(AttackError::InvalidConfig(
+                "iterations must be non-zero".into(),
+            ));
         }
         let mut rng = Rng64::new(self.seed);
         let noise: Vec<f32> = (0..input.len())
@@ -172,12 +191,21 @@ impl Attack for DeepFool {
         "DeepFool"
     }
 
-    fn perturb(&self, network: &Network, input: &Tensor, label: usize) -> Result<AdversarialExample> {
+    fn perturb(
+        &self,
+        network: &Network,
+        input: &Tensor,
+        label: usize,
+    ) -> Result<AdversarialExample> {
         if self.max_iterations == 0 {
-            return Err(AttackError::InvalidConfig("max_iterations must be non-zero".into()));
+            return Err(AttackError::InvalidConfig(
+                "max_iterations must be non-zero".into(),
+            ));
         }
         if self.overshoot < 0.0 {
-            return Err(AttackError::InvalidConfig("overshoot must be non-negative".into()));
+            return Err(AttackError::InvalidConfig(
+                "overshoot must be non-negative".into(),
+            ));
         }
         let num_classes = network.num_classes();
         let mut current = input.clone();
@@ -208,7 +236,9 @@ impl Attack for DeepFool {
             let (_, step) = best.ok_or_else(|| {
                 AttackError::InvalidConfig("DeepFool needs at least two classes".into())
             })?;
-            current = current.add(&step.scale(1.0 + self.overshoot))?.clamp(0.0, 1.0);
+            current = current
+                .add(&step.scale(1.0 + self.overshoot))?
+                .clamp(0.0, 1.0);
         }
         AdversarialExample::evaluate(network, input, current, label)
     }
@@ -245,11 +275,18 @@ impl Attack for CarliniWagnerL2 {
         "CWL2"
     }
 
-    fn perturb(&self, network: &Network, input: &Tensor, label: usize) -> Result<AdversarialExample> {
+    fn perturb(
+        &self,
+        network: &Network,
+        input: &Tensor,
+        label: usize,
+    ) -> Result<AdversarialExample> {
         check_positive(self.c, "c")?;
         check_positive(self.learning_rate, "learning_rate")?;
         if self.iterations == 0 {
-            return Err(AttackError::InvalidConfig("iterations must be non-zero".into()));
+            return Err(AttackError::InvalidConfig(
+                "iterations must be non-zero".into(),
+            ));
         }
         let mut current = input.clone();
         let mut best: Option<Tensor> = None;
@@ -262,7 +299,9 @@ impl Attack for CarliniWagnerL2 {
                 .enumerate()
                 .filter(|(k, _)| *k != label)
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .ok_or_else(|| AttackError::InvalidConfig("CW-L2 needs at least two classes".into()))?;
+                .ok_or_else(|| {
+                    AttackError::InvalidConfig("CW-L2 needs at least two classes".into())
+                })?;
             let margin = scores[label] - scores[runner_up];
 
             if margin < 0.0 {
@@ -278,11 +317,13 @@ impl Attack for CarliniWagnerL2 {
             let mut grad = current.sub(input)?.scale(2.0);
             if margin > -self.kappa {
                 // d margin / dx = ∇Z_y − ∇Z_runner_up.
-                let grad_margin =
-                    logit_gradient(network, &current, label)?.sub(&logit_gradient(network, &current, runner_up)?)?;
+                let grad_margin = logit_gradient(network, &current, label)?
+                    .sub(&logit_gradient(network, &current, runner_up)?)?;
                 grad.add_scaled_inplace(&grad_margin, self.c)?;
             }
-            current = current.sub(&grad.scale(self.learning_rate))?.clamp(0.0, 1.0);
+            current = current
+                .sub(&grad.scale(self.learning_rate))?
+                .clamp(0.0, 1.0);
         }
         let perturbed = best.unwrap_or(current);
         AdversarialExample::evaluate(network, input, perturbed, label)
@@ -344,7 +385,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes > 0, "FGSM with a large budget should flip something");
+        assert!(
+            successes > 0,
+            "FGSM with a large budget should flip something"
+        );
     }
 
     #[test]
@@ -364,7 +408,10 @@ mod tests {
         let f = count(&fgsm);
         let b = count(&bim);
         let p = count(&pgd);
-        assert!(b >= f, "BIM ({b}) should be at least as strong as FGSM ({f})");
+        assert!(
+            b >= f,
+            "BIM ({b}) should be at least as strong as FGSM ({f})"
+        );
         assert!(p + 1 >= b, "PGD ({p}) should be comparable to BIM ({b})");
     }
 
@@ -381,7 +428,10 @@ mod tests {
                 success_mse += df.distortion_mse;
             }
         }
-        assert!(df_success >= 5, "DeepFool succeeded only {df_success}/10 times");
+        assert!(
+            df_success >= 5,
+            "DeepFool succeeded only {df_success}/10 times"
+        );
         // DeepFool aims for the closest boundary: its successful perturbations stay
         // well below the distance between the two class prototypes (MSE ≈ 0.49).
         assert!(
@@ -417,7 +467,9 @@ mod tests {
         assert!(Bim::new(0.1, 0.1, 0).perturb(&net, x, *y).is_err());
         assert!(Pgd::new(-1.0, 0.1, 5, 0).perturb(&net, x, *y).is_err());
         assert!(DeepFool::new(0, 0.02).perturb(&net, x, *y).is_err());
-        assert!(CarliniWagnerL2::new(0.0, 0.1, 5, 0.0).perturb(&net, x, *y).is_err());
+        assert!(CarliniWagnerL2::new(0.0, 0.1, 5, 0.0)
+            .perturb(&net, x, *y)
+            .is_err());
         assert_eq!(Fgsm::new(0.1).name(), "FGSM");
         assert_eq!(Bim::new(0.1, 0.1, 1).name(), "BIM");
         assert_eq!(Pgd::new(0.1, 0.1, 1, 0).name(), "PGD");

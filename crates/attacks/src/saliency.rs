@@ -34,15 +34,22 @@ impl Attack for Jsma {
         "JSMA"
     }
 
-    fn perturb(&self, network: &Network, input: &Tensor, label: usize) -> Result<AdversarialExample> {
-        if !(self.theta > 0.0) || !self.theta.is_finite() {
+    fn perturb(
+        &self,
+        network: &Network,
+        input: &Tensor,
+        label: usize,
+    ) -> Result<AdversarialExample> {
+        if self.theta <= 0.0 || !self.theta.is_finite() {
             return Err(AttackError::InvalidConfig(format!(
                 "theta must be positive, got {}",
                 self.theta
             )));
         }
         if self.max_features == 0 {
-            return Err(AttackError::InvalidConfig("max_features must be non-zero".into()));
+            return Err(AttackError::InvalidConfig(
+                "max_features must be non-zero".into(),
+            ));
         }
 
         // Target: the runner-up class of the clean prediction.
@@ -101,7 +108,10 @@ fn saliency_map(
     let mut grad_logits = Tensor::zeros(trace.logits().dims());
     grad_logits.as_mut_slice()[target] = 1.0;
     grad_logits.as_mut_slice()[label] = -1.0;
-    Ok(network.backward(&trace, &grad_logits)?.input_grad.into_vec())
+    Ok(network
+        .backward(&trace, &grad_logits)?
+        .input_grad
+        .into_vec())
 }
 
 #[cfg(test)]

@@ -54,7 +54,7 @@ pub fn gate_vector(network: &Network, input: &Tensor) -> Result<Vec<f32>> {
             // Dense output: chunk the activations into at most MAX_GATES_PER_LAYER
             // groups so the gate vector stays channel-granular like CDRP's.
             let flat = out.as_slice();
-            let groups = flat.len().min(MAX_GATES_PER_LAYER).max(1);
+            let groups = flat.len().clamp(1, MAX_GATES_PER_LAYER);
             let chunk = flat.len().div_ceil(groups);
             flat.chunks(chunk)
                 .map(|c| c.iter().map(|v| v.max(0.0)).sum::<f32>() / c.len() as f32)
@@ -164,10 +164,9 @@ impl CdrpDefense {
     pub fn routing_similarity(&self, network: &Network, input: &Tensor) -> Result<f32> {
         let predicted = network.predict(input)?;
         let gates = gate_vector(network, input)?;
-        let class = self
-            .class_gates
-            .get(predicted)
-            .ok_or_else(|| BaselineError::InvalidInput(format!("class {predicted} not profiled")))?;
+        let class = self.class_gates.get(predicted).ok_or_else(|| {
+            BaselineError::InvalidInput(format!("class {predicted} not profiled"))
+        })?;
         if class.is_empty() {
             // No correctly-classified training sample of this class was seen; the
             // routing profile is unknown, so report zero similarity (suspicious).

@@ -85,16 +85,16 @@ fn latent_features(network: &Network, input: &Tensor, layer: usize) -> Result<Te
     } else {
         out.as_slice().to_vec()
     };
-    let groups = coarse.len().min(LATENT_FEATURES).max(1);
+    let groups = coarse.len().clamp(1, LATENT_FEATURES);
     let chunk = coarse.len().div_ceil(groups);
     let mut pooled: Vec<f32> = coarse
         .chunks(chunk)
         .map(|c| c.iter().sum::<f32>() / c.len() as f32)
         .collect();
     pooled.resize(LATENT_FEATURES, 0.0);
-    Ok(Tensor::from_vec(pooled, &[LATENT_FEATURES]).map_err(|e| {
+    Tensor::from_vec(pooled, &[LATENT_FEATURES]).map_err(|e| {
         BaselineError::InvalidInput(format!("latent feature construction failed: {e}"))
-    })?)
+    })
 }
 
 impl DeepFenseDefense {

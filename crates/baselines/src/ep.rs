@@ -16,7 +16,7 @@
 
 use ptolemy_accel::{ExecutionReport, HardwareConfig, Simulator};
 use ptolemy_compiler::{Compiler, OptimizationFlags};
-use ptolemy_core::{variants, ClassPathSet, DetectionProgram, Detector, Profiler};
+use ptolemy_core::{path_similarity, variants, ClassPathSet, DetectionProgram, Profiler};
 use ptolemy_nn::Network;
 use ptolemy_tensor::Tensor;
 
@@ -70,8 +70,7 @@ impl EpDefense {
     ///
     /// Propagates extraction errors.
     pub fn similarity(&self, network: &Network, input: &Tensor) -> Result<f32> {
-        let (_, similarity) =
-            Detector::path_similarity(network, &self.program, &self.class_paths, input)?;
+        let (_, similarity) = path_similarity(network, &self.program, &self.class_paths, input)?;
         Ok(similarity)
     }
 
@@ -174,9 +173,7 @@ mod tests {
     fn cost_runs_on_the_hardware_model() {
         let (net, samples) = trained_mlp();
         let ep = EpDefense::fit(&net, &samples, 0.5).unwrap();
-        let report = ep
-            .cost(&net, &HardwareConfig::default(), 0.1)
-            .unwrap();
+        let report = ep.cost(&net, &HardwareConfig::default(), 0.1).unwrap();
         assert!(report.latency_factor() >= 1.0);
         assert!(report.energy_factor() >= 1.0);
     }

@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use ptolemy_attacks::{Attack, Fgsm};
 use ptolemy_bench::{BenchScale, Workbench};
-use ptolemy_core::{variants, Detector};
+use ptolemy_core::variants;
 
 fn bench_detection_variants(c: &mut Criterion) {
     let wb = Workbench::lenet_small(BenchScale::Quick).expect("workbench");
@@ -29,17 +29,24 @@ fn bench_detection_variants(c: &mut Criterion) {
         ("fwab", variants::fw_ab(&wb.network, phi).unwrap()),
         ("hybrid", variants::hybrid(&wb.network, phi, 0.5).unwrap()),
     ];
+    let batch: Vec<_> = wb
+        .dataset
+        .test()
+        .iter()
+        .map(|(x, _)| x.clone())
+        .take(16)
+        .collect();
     for (name, program) in programs {
         let class_paths = wb.profile(&program).expect("class paths");
+        let engine = wb.engine(&program, &class_paths).expect("engine");
         group.bench_function(format!("detect_{name}"), |b| {
+            b.iter(|| engine.path_similarity(black_box(&input)).unwrap())
+        });
+        group.bench_function(format!("detect_batch16_{name}"), |b| {
             b.iter(|| {
-                Detector::path_similarity(
-                    &wb.network,
-                    black_box(&program),
-                    &class_paths,
-                    black_box(&input),
-                )
-                .unwrap()
+                for x in &batch {
+                    black_box(engine.path_similarity(black_box(x)).unwrap());
+                }
             })
         });
     }
@@ -53,7 +60,11 @@ fn bench_attack_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("attack");
     group.sample_size(20);
     group.bench_function("fgsm_single_input", |b| {
-        b.iter(|| attack.perturb(&wb.network, black_box(&input), label).unwrap())
+        b.iter(|| {
+            attack
+                .perturb(&wb.network, black_box(&input), label)
+                .unwrap()
+        })
     });
     group.finish();
 }

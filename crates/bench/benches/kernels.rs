@@ -76,5 +76,11 @@ fn bench_forest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_extraction, bench_path_ops, bench_isa, bench_forest);
+criterion_group!(
+    benches,
+    bench_extraction,
+    bench_path_ops,
+    bench_isa,
+    bench_forest
+);
 criterion_main!(benches);

@@ -62,8 +62,10 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         noise: 0.12,
         seed: 0xF1A5,
     })?;
-    let mut control_net =
-        ptolemy_nn::zoo::resnet_mini(control_data.num_classes(), &mut ptolemy_tensor::Rng64::new(0xF1A5))?;
+    let mut control_net = ptolemy_nn::zoo::resnet_mini(
+        control_data.num_classes(),
+        &mut ptolemy_tensor::Rng64::new(0xF1A5),
+    )?;
     ptolemy_nn::Trainer::new(ptolemy_nn::TrainConfig {
         epochs: scale.epochs(),
         batch_size: 8,
@@ -72,8 +74,12 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     })
     .fit(&mut control_net, control_data.train())?;
 
-    let mut table = Table::new("Fig. 5 — inter-class path similarity (theta = 0.5)")
-        .header(["model @ dataset", "avg", "max", "p90"]);
+    let mut table = Table::new("Fig. 5 — inter-class path similarity (theta = 0.5)").header([
+        "model @ dataset",
+        "avg",
+        "max",
+        "p90",
+    ]);
 
     let program = variants::bw_cu(&imagenet.network, theta)?;
     let set = imagenet.profile(&program)?;
@@ -103,7 +109,8 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     ));
     table.note(format!(
         "shape check — class paths are distinctive (every average well below 1): {}",
-        if imagenet_stats.average < 0.9 && cifar_stats.average < 0.9 && control_stats.average < 0.9 {
+        if imagenet_stats.average < 0.9 && cifar_stats.average < 0.9 && control_stats.average < 0.9
+        {
             "holds"
         } else {
             "VIOLATED"
@@ -126,12 +133,14 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     ));
 
     // Also print the full CIFAR matrix (10×10 like the paper's heat map).
-    let mut matrix_table = Table::new("Fig. 5b — ResNet18-class @ synth-CIFAR-10 similarity matrix")
-        .header(std::iter::once("class".to_string()).chain((0..cifar_matrix.len()).map(|c| c.to_string())));
-    for (i, row) in cifar_matrix.iter().enumerate() {
-        matrix_table.row(
-            std::iter::once(i.to_string()).chain(row.iter().map(|v| format!("{v:.2}"))),
+    let mut matrix_table =
+        Table::new("Fig. 5b — ResNet18-class @ synth-CIFAR-10 similarity matrix").header(
+            std::iter::once("class".to_string())
+                .chain((0..cifar_matrix.len()).map(|c| c.to_string())),
         );
+    for (i, row) in cifar_matrix.iter().enumerate() {
+        matrix_table
+            .row(std::iter::once(i.to_string()).chain(row.iter().map(|v| format!("{v:.2}"))));
     }
 
     Ok(vec![table, matrix_table])
@@ -142,6 +151,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn paper_constants_match_the_text() {
         assert!(PAPER_CIFAR_AVG > PAPER_IMAGENET_AVG);
         assert!(PAPER_IMAGENET_MAX > PAPER_IMAGENET_AVG);

@@ -55,12 +55,7 @@ fn variant_rows(
             })
             .collect::<BenchResult<_>>()?;
         let (mean, min, max) = auc_summary(&per_attack);
-        table.row([
-            name.clone(),
-            fmt3(mean),
-            fmt3(min),
-            fmt3(max),
-        ]);
+        table.row([name.clone(), fmt3(mean), fmt3(min), fmt3(max)]);
         summaries.push((name.clone(), mean));
     }
     Ok(summaries)
@@ -77,7 +72,14 @@ fn run_one(wb: &Workbench, title: &str) -> BenchResult<Table> {
         .iter()
         .map(|(_, p)| wb.profile(p))
         .collect::<BenchResult<_>>()?;
-    let ptolemy = variant_rows(&mut table, wb, &variants, &class_paths, &benign, &attack_sets)?;
+    let ptolemy = variant_rows(
+        &mut table,
+        wb,
+        &variants,
+        &class_paths,
+        &benign,
+        &attack_sets,
+    )?;
 
     // EP baseline.
     let ep = EpDefense::fit(&wb.network, wb.dataset.train(), 0.5)?;
@@ -111,20 +113,26 @@ fn run_one(wb: &Workbench, title: &str) -> BenchResult<Table> {
         .iter()
         .map(|(_, v)| *v)
         .fold(f32::NEG_INFINITY, f32::max);
-    table.note(format!(
-        "paper: Ptolemy backward variants beat EP by up to 0.02 and CDRP by 0.1–0.16; FwAb gives up ~0.03 vs EP"
-    ));
+    table.note("paper: Ptolemy backward variants beat EP by up to 0.02 and CDRP by 0.1–0.16; FwAb gives up ~0.03 vs EP".to_string());
     table.note(format!(
         "shape check — best Ptolemy variant is at least EP-competitive ({} vs EP {}): {}",
         fmt3(best_ptolemy),
         fmt3(ep_mean),
-        if best_ptolemy + 0.03 >= ep_mean { "holds" } else { "VIOLATED" }
+        if best_ptolemy + 0.03 >= ep_mean {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     table.note(format!(
         "shape check — best Ptolemy variant beats CDRP ({} vs {}): {}",
         fmt3(best_ptolemy),
         fmt3(cdrp_mean),
-        if best_ptolemy >= cdrp_mean { "holds" } else { "VIOLATED" }
+        if best_ptolemy >= cdrp_mean {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     Ok(table)
 }
@@ -138,8 +146,14 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let imagenet = Workbench::alexnet_imagenet(scale)?;
     let cifar = Workbench::resnet_cifar100(scale)?;
     Ok(vec![
-        run_one(&imagenet, "Fig. 10a — accuracy, AlexNet-class @ synth-ImageNet")?,
-        run_one(&cifar, "Fig. 10b — accuracy, ResNet18-class @ synth-CIFAR-100")?,
+        run_one(
+            &imagenet,
+            "Fig. 10a — accuracy, AlexNet-class @ synth-ImageNet",
+        )?,
+        run_one(
+            &cifar,
+            "Fig. 10b — accuracy, ResNet18-class @ synth-CIFAR-100",
+        )?,
     ])
 }
 

@@ -25,12 +25,15 @@ pub const PAPER_RESNET_LATENCY: [f64; 4] = [195.4, 3.2, 2.1, 47.3];
 /// Paper energy factors on ResNet-18 for (BwCu, BwAb, FwAb, Hybrid).
 pub const PAPER_RESNET_ENERGY: [f64; 4] = [105.9, 2.0, 2.0, 36.1];
 
+/// `(variant name, latency factor, energy factor)` rows behind one table.
+type VariantCostRows = Vec<(String, f64, f64)>;
+
 fn run_one(
     wb: &Workbench,
     title: &str,
     paper_latency: &[f64; 4],
     paper_energy: &[f64; 4],
-) -> BenchResult<(Table, Vec<(String, f64, f64)>)> {
+) -> BenchResult<(Table, VariantCostRows)> {
     let config = HardwareConfig::default();
     let mut table = Table::new(title).header([
         "variant",
@@ -82,19 +85,35 @@ fn run_one(
     ) {
         table.note(format!(
             "shape check — BwCu >> BwAb >= FwAb in latency: {}",
-            if bwcu.1 > bwab.1 && bwab.1 >= fwab.1 - 1e-9 { "holds" } else { "VIOLATED" }
+            if bwcu.1 > bwab.1 && bwab.1 >= fwab.1 - 1e-9 {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ));
         table.note(format!(
             "shape check — FwAb has the lowest latency overhead: {}",
-            if fwab.1 <= bwab.1 && fwab.1 <= hybrid.1 && fwab.1 <= bwcu.1 { "holds" } else { "VIOLATED" }
+            if fwab.1 <= bwab.1 && fwab.1 <= hybrid.1 && fwab.1 <= bwcu.1 {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ));
         table.note(format!(
             "shape check — Hybrid sits between BwAb and BwCu: {}",
-            if hybrid.1 >= bwab.1 - 1e-9 && hybrid.1 <= bwcu.1 + 1e-9 { "holds" } else { "VIOLATED" }
+            if hybrid.1 >= bwab.1 - 1e-9 && hybrid.1 <= bwcu.1 + 1e-9 {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ));
         table.note(format!(
             "shape check — EP costs at least as much as BwCu: {}",
-            if ep.1 >= bwcu.1 - 1e-9 { "holds" } else { "VIOLATED" }
+            if ep.1 >= bwcu.1 - 1e-9 {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ));
     }
     Ok((table, measured))
@@ -132,7 +151,10 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
             if r.1 > a.1 { "holds" } else { "VIOLATED" }
         ));
     }
-    table_a.note("paper: EP is comparable to BwCu; CDRP is excluded because it cannot run online".to_string());
+    table_a.note(
+        "paper: EP is comparable to BwCu; CDRP is excluded because it cannot run online"
+            .to_string(),
+    );
     Ok(vec![table_a, table_b])
 }
 

@@ -28,8 +28,9 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let attack_sets = wb.attack_sets()?;
     let benign = wb.benign_inputs(scale.attack_samples());
 
-    let mut accuracy = Table::new("Fig. 12a — accuracy vs DeepFense (ResNet18-class @ synth-CIFAR-10)")
-        .header(["detector", "mean AUC", "min", "max"]);
+    let mut accuracy =
+        Table::new("Fig. 12a — accuracy vs DeepFense (ResNet18-class @ synth-CIFAR-10)")
+            .header(["detector", "mean AUC", "min", "max"]);
     let mut cost = Table::new("Fig. 12b — latency/energy vs DeepFense")
         .header(["detector", "latency", "energy"]);
 
@@ -90,7 +91,12 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
             .collect::<BenchResult<_>>()?;
         let (mean, min, max) = auc_summary(&per_attack);
         best_deepfense_auc = best_deepfense_auc.max(mean);
-        accuracy.row([variant.label().to_string(), fmt3(mean), fmt3(min), fmt3(max)]);
+        accuracy.row([
+            variant.label().to_string(),
+            fmt3(mean),
+            fmt3(min),
+            fmt3(max),
+        ]);
 
         let (latency, energy) = defense.cost(&wb.network, &config)?;
         if variant == DeepFenseVariant::Light {
@@ -103,12 +109,19 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         ]);
     }
 
-    accuracy.note("paper: FwAb (weakest Ptolemy variant) beats DFH (strongest DeepFense) by 0.11 on average".to_string());
+    accuracy.note(
+        "paper: FwAb (weakest Ptolemy variant) beats DFH (strongest DeepFense) by 0.11 on average"
+            .to_string(),
+    );
     accuracy.note(format!(
         "shape check — weakest Ptolemy variant vs best DeepFense: {} vs {} ({})",
         fmt3(ptolemy_min_auc),
         fmt3(best_deepfense_auc),
-        if ptolemy_min_auc >= best_deepfense_auc - 0.05 { "holds" } else { "VIOLATED" }
+        if ptolemy_min_auc >= best_deepfense_auc - 0.05 {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     if let (Some((fw_lat, fw_en)), Some((dfl_lat, dfl_en))) = (fwab_cost, dfl_cost) {
         cost.note("paper: FwAb reduces latency/energy overhead by 89 %/59 % vs DFL".to_string());
@@ -136,6 +149,8 @@ mod tests {
             DeepFenseVariant::Medium,
             DeepFenseVariant::High,
         ];
-        assert!(order.windows(2).all(|w| w[0].num_modules() < w[1].num_modules()));
+        assert!(order
+            .windows(2)
+            .all(|w| w[0].num_modules() < w[1].num_modules()));
     }
 }

@@ -20,7 +20,11 @@ use crate::{auc_summary, fmt3, BenchResult, BenchScale, Table, Workbench};
 /// 8-weight-layer AlexNet-class network).
 pub const ADAPTIVE_LAYERS: [usize; 4] = [1, 2, 3, 8];
 
-fn adaptive_attack(wb: &Workbench, layers: usize, scale: BenchScale) -> BenchResult<AdaptiveAttack> {
+fn adaptive_attack(
+    wb: &Workbench,
+    layers: usize,
+    scale: BenchScale,
+) -> BenchResult<AdaptiveAttack> {
     Ok(AdaptiveAttack::new(
         AdaptiveConfig {
             layers_considered: layers,
@@ -45,16 +49,16 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
 
     let detectors = [
         ("BwCu", variants::bw_cu(&wb.network, 0.5)?),
-        ("FwAb", variants::fw_ab(&wb.network, wb.calibrate_phi(true)?)?),
+        (
+            "FwAb",
+            variants::fw_ab(&wb.network, wb.calibrate_phi(true)?)?,
+        ),
     ];
 
     let mut table = Table::new("Fig. 13 — detection accuracy on adaptive attacks (AlexNet-class)")
         .header(["attack", "BwCu AUC", "FwAb AUC"]);
 
-    let class_paths = [
-        wb.profile(&detectors[0].1)?,
-        wb.profile(&detectors[1].1)?,
-    ];
+    let class_paths = [wb.profile(&detectors[0].1)?, wb.profile(&detectors[1].1)?];
 
     // Non-adaptive reference: mean AUC over the standard attack suite.
     let attack_sets = wb.attack_sets()?;
@@ -98,7 +102,11 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     ));
     table.note(format!(
         "shape check — detection stays above chance on the strongest adaptive attack: {}",
-        if strongest.1 > 0.5 && strongest.2 > 0.45 { "holds" } else { "VIOLATED" }
+        if strongest.1 > 0.5 && strongest.2 > 0.45 {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     Ok(vec![table])
 }

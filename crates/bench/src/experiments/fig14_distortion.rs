@@ -11,7 +11,7 @@
 //! last (most distorted) bucket is not easier to detect than the first.
 
 use ptolemy_attacks::{AdaptiveAttack, AdaptiveConfig, Attack};
-use ptolemy_core::{variants, Detector};
+use ptolemy_core::variants;
 use ptolemy_forest::auc;
 
 use crate::{fmt3, BenchResult, BenchScale, Table, Workbench};
@@ -28,6 +28,7 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
 
     let program = variants::bw_cu(&wb.network, 0.5)?;
     let class_paths = wb.profile(&program)?;
+    let engine = wb.engine(&program, &class_paths)?;
 
     // Generate adaptive examples (AT-3, the paper's default strength for this plot)
     // keeping their measured distortion.
@@ -55,14 +56,13 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     // Benign similarity scores (shared across buckets).
     let mut benign_scores = Vec::new();
     for input in &benign {
-        let (_, s) = Detector::path_similarity(&wb.network, &program, &class_paths, input)?;
+        let (_, s) = engine.path_similarity(input)?;
         benign_scores.push(1.0 - s);
     }
     // Adaptive example scores with their distortions.
     let mut scored: Vec<(f32, f32)> = Vec::new();
     for example in &examples {
-        let (_, s) =
-            Detector::path_similarity(&wb.network, &program, &class_paths, &example.input)?;
+        let (_, s) = engine.path_similarity(&example.input)?;
         scored.push((example.distortion_mse, 1.0 - s));
     }
     scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -103,14 +103,22 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     ));
     table.note(format!(
         "shape check — detection stays above chance in every bucket: {}",
-        if bucket_aucs.iter().all(|a| *a > 0.5) { "holds" } else { "VIOLATED" }
+        if bucket_aucs.iter().all(|a| *a > 0.5) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     if let (Some(first), Some(last)) = (bucket_aucs.first(), bucket_aucs.last()) {
         table.note(format!(
             "shape check — higher distortion does not make detection easier ({} -> {}): {}",
             fmt3(*first),
             fmt3(*last),
-            if last <= &(first + 0.1) { "holds" } else { "VIOLATED" }
+            if last <= &(first + 0.1) {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ));
     }
     Ok(vec![table])

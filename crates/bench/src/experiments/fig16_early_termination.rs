@@ -28,8 +28,13 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let config = HardwareConfig::default();
 
     let num_layers = wb.network.weight_layer_indices().len();
-    let mut table = Table::new("Fig. 16 — BwCu early termination (AlexNet-class)")
-        .header(["termination layer", "layers extracted", "AUC", "latency", "energy"]);
+    let mut table = Table::new("Fig. 16 — BwCu early termination (AlexNet-class)").header([
+        "termination layer",
+        "layers extracted",
+        "AUC",
+        "latency",
+        "energy",
+    ]);
 
     let mut aucs = Vec::new();
     let mut latencies = Vec::new();
@@ -60,12 +65,14 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
 
     let full = *latencies.last().unwrap_or(&1.0);
     let three = latencies.get(2).copied().unwrap_or(1.0);
-    table.note(format!(
-        "paper: extracting all 8 layers costs 11.2x more latency than the last 3 for virtually the same accuracy"
-    ));
+    table.note("paper: extracting all 8 layers costs 11.2x more latency than the last 3 for virtually the same accuracy".to_string());
     table.note(format!(
         "shape check — latency grows as extraction covers more layers: {}",
-        if latencies.windows(2).all(|w| w[1] >= w[0] - 1e-9) { "holds" } else { "VIOLATED" }
+        if latencies.windows(2).all(|w| w[1] >= w[0] - 1e-9) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     table.note(format!(
         "shape check — full extraction costs more than the last-3-layer point ({} vs {}): {}",
@@ -78,7 +85,11 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
             "shape check — extracting more layers does not hurt accuracy ({} -> {}): {}",
             fmt3(*first),
             fmt3(*last),
-            if *last >= *first - 0.05 { "holds" } else { "VIOLATED" }
+            if *last >= *first - 0.05 {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ));
     }
     Ok(vec![table])

@@ -27,8 +27,13 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let phi = wb.calibrate_phi(true)?;
 
     let num_layers = wb.network.weight_layer_indices().len();
-    let mut table = Table::new("Fig. 17 — FwAb late start (AlexNet-class)")
-        .header(["start layer", "layers extracted", "AUC", "latency", "energy"]);
+    let mut table = Table::new("Fig. 17 — FwAb late start (AlexNet-class)").header([
+        "start layer",
+        "layers extracted",
+        "AUC",
+        "latency",
+        "energy",
+    ]);
 
     let mut aucs = Vec::new();
     let mut latencies = Vec::new();
@@ -67,7 +72,11 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         "shape check — latency stays nearly flat across the sweep ({} .. {}): {}",
         fmt_factor(min_latency),
         fmt_factor(max_latency),
-        if max_latency - min_latency < 0.5 { "holds" } else { "VIOLATED" }
+        if max_latency - min_latency < 0.5 {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     if let (Some(first), Some(last)) = (energies.first(), energies.last()) {
         table.note(format!(
@@ -82,7 +91,11 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
             "shape check — covering more layers does not hurt accuracy ({} -> {}): {}",
             fmt3(*first),
             fmt3(*last),
-            if *last >= *first - 0.05 { "holds" } else { "VIOLATED" }
+            if *last >= *first - 0.05 {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ));
     }
     Ok(vec![table])

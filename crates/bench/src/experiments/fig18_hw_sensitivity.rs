@@ -46,11 +46,18 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     merge_table.note("paper: latency falls from 31x to 12.3x as the merge tree grows; power is flat (the merge tree is ~2 % of total power)".to_string());
     merge_table.note(format!(
         "shape check — latency non-increasing in merge length: {}",
-        if merge_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9) { "holds" } else { "VIOLATED" }
+        if merge_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
 
-    let mut sort_table = Table::new("Fig. 18b — sort-unit sweep (BwCu, AlexNet-class)")
-        .header(["sort units", "latency", "power"]);
+    let mut sort_table = Table::new("Fig. 18b — sort-unit sweep (BwCu, AlexNet-class)").header([
+        "sort units",
+        "latency",
+        "power",
+    ]);
     let mut sort_latency = Vec::new();
     let mut sort_power = Vec::new();
     for &units in &SORT_UNITS {
@@ -67,11 +74,19 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     sort_table.note("paper: more sort units barely reduce latency (memory-bound) but significantly increase power (sort units are 33.4 % of total power)".to_string());
     sort_table.note(format!(
         "shape check — latency non-increasing in sort units: {}",
-        if sort_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9) { "holds" } else { "VIOLATED" }
+        if sort_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     sort_table.note(format!(
         "shape check — power grows with sort units: {}",
-        if sort_power.last() >= sort_power.first() { "holds" } else { "VIOLATED" }
+        if sort_power.last() >= sort_power.first() {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
 
     Ok(vec![merge_table, sort_table])
@@ -83,8 +98,14 @@ mod tests {
 
     #[test]
     fn sweeps_match_the_paper_design_points() {
-        assert!(MERGE_LENGTHS.contains(&16), "default merge length must be swept");
-        assert!(SORT_UNITS.contains(&2), "default sort-unit count must be swept");
+        assert!(
+            MERGE_LENGTHS.contains(&16),
+            "default merge length must be swept"
+        );
+        assert!(
+            SORT_UNITS.contains(&2),
+            "default sort-unit count must be swept"
+        );
         assert!(MERGE_LENGTHS.windows(2).all(|w| w[0] < w[1]));
         assert!(SORT_UNITS.windows(2).all(|w| w[0] < w[1]));
     }

@@ -61,7 +61,10 @@ pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
             format!("{name} BwCu theta=0.9"),
             format!("{:.1}x", report.memory_overhead_ratio()),
             fmt_percent(100.0 * report.compute_overhead_ratio()),
-            format!("{:.1}x (paper {paper_slowdown:.1}x)", serial_slowdown(&report, 400.0)),
+            format!(
+                "{:.1}x (paper {paper_slowdown:.1}x)",
+                serial_slowdown(&report, 400.0)
+            ),
         ]);
 
         let bwab = variants::bw_ab(network, 0.1)?;
@@ -78,7 +81,11 @@ pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
     table.note("paper: cumulative thresholds store 9x-420x more data than inference activations; compute overhead ~30 % at theta=0.9; software slowdown 15.4x (AlexNet) / 50.7x (ResNet50)".to_string());
     table.note(format!(
         "shape check — cumulative-threshold memory overhead is >= 5x on every model: {}",
-        if cumulative_memory.iter().all(|m| *m >= 5.0) { "holds" } else { "VIOLATED" }
+        if cumulative_memory.iter().all(|m| *m >= 5.0) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     table.note(format!(
         "shape check — absolute thresholds cut the memory overhead by >= 10x: {}",

@@ -24,7 +24,10 @@ fn model_zoo() -> BenchResult<Vec<(&'static str, Network)>> {
     let mut rng = Rng64::new(0x7A);
     Ok(vec![
         ("AlexNet-class (conv_net)", zoo::conv_net(10, &mut rng)?),
-        ("ResNet18-class (resnet_mini)", zoo::resnet_mini(10, &mut rng)?),
+        (
+            "ResNet18-class (resnet_mini)",
+            zoo::resnet_mini(10, &mut rng)?,
+        ),
         ("VGG-class (vgg_mini)", zoo::vgg_mini(10, &mut rng)?),
     ])
 }
@@ -42,8 +45,11 @@ pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
 
     // Area breakdown.
     let area = area_report(&config)?;
-    let mut area_table = Table::new("Sec. VII-A — area overhead breakdown")
-        .header(["component", "mm^2", "% of baseline"]);
+    let mut area_table = Table::new("Sec. VII-A — area overhead breakdown").header([
+        "component",
+        "mm^2",
+        "% of baseline",
+    ]);
     area_table.row([
         "baseline accelerator".to_string(),
         format!("{:.3}", area.baseline_mm2),
@@ -66,7 +72,10 @@ pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
         format!("{:.4}", area.added_mm2()),
         fmt_percent(area.overhead_percent()),
     ]);
-    area_table.note("paper: 5.2 % total (0.08 mm^2) — 3.9 % SRAM + 0.4 % MAC augmentation + 0.9 % other".to_string());
+    area_table.note(
+        "paper: 5.2 % total (0.08 mm^2) — 3.9 % SRAM + 0.4 % MAC augmentation + 0.9 % other"
+            .to_string(),
+    );
     area_table.note(format!(
         "shape check — overhead is a single-digit percentage dominated by SRAM: {}",
         if area.overhead_percent() < 10.0 && area.extra_sram_mm2 > area.mac_augmentation_mm2 {
@@ -78,8 +87,12 @@ pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
 
     // DRAM space per model under absolute thresholds (masks) and cumulative
     // thresholds with and without the recompute optimisation.
-    let mut dram_table = Table::new("Sec. VII-A — extra DRAM space (MB)")
-        .header(["model", "BwAb masks", "BwCu recompute", "BwCu store-all"]);
+    let mut dram_table = Table::new("Sec. VII-A — extra DRAM space (MB)").header([
+        "model",
+        "BwAb masks",
+        "BwCu recompute",
+        "BwCu store-all",
+    ]);
     let density = 0.05;
     let mut mask_mb = Vec::new();
     let mut store_mb = Vec::new();
@@ -114,11 +127,19 @@ pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
     dram_table.note("paper: masks need 1.6 MB (AlexNet) / 2.2 MB (ResNet18) / 18.5 MB (VGG19); recomputed partial sums 12.8 / 17.6 / 148 MB".to_string());
     dram_table.note(format!(
         "shape check — masks are far smaller than stored partial sums on every model: {}",
-        if mask_mb.iter().zip(&store_mb).all(|(m, s)| m * 4.0 < *s) { "holds" } else { "VIOLATED" }
+        if mask_mb.iter().zip(&store_mb).all(|(m, s)| m * 4.0 < *s) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     dram_table.note(format!(
         "shape check — footprint grows with model size: {}",
-        if store_mb.windows(2).all(|w| w[1] >= w[0] * 0.5) { "holds" } else { "VIOLATED" }
+        if store_mb.windows(2).all(|w| w[1] >= w[0] * 0.5) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
 
     Ok(vec![area_table, dram_table])

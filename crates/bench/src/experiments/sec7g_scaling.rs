@@ -27,7 +27,10 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let configs = [
         ("16-bit, 20x20 (default)", HardwareConfig::default()),
         ("8-bit, 20x20", HardwareConfig::default().with_precision(8)),
-        ("16-bit, 32x32", HardwareConfig::default().with_array(32, 32)),
+        (
+            "16-bit, 32x32",
+            HardwareConfig::default().with_array(32, 32),
+        ),
     ];
     let paper = [
         "paper: 2.1 % latency / 16.0 % energy, 5.2 % area",
@@ -35,8 +38,14 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         "paper: 4.4 % latency / 16.4 % energy, 6.4 % area",
     ];
 
-    let mut table = Table::new("Sec. VII-G — FwAb under different hardware configurations")
-        .header(["configuration", "latency overhead", "energy overhead", "area overhead", "paper"]);
+    let mut table =
+        Table::new("Sec. VII-G — FwAb under different hardware configurations").header([
+            "configuration",
+            "latency overhead",
+            "energy overhead",
+            "area overhead",
+            "paper",
+        ]);
 
     let mut latency_overheads = Vec::new();
     let mut area_overheads = Vec::new();
@@ -56,11 +65,19 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
 
     table.note(format!(
         "shape check — FwAb latency overhead stays below 25 % in every configuration: {}",
-        if latency_overheads.iter().all(|o| *o < 0.25) { "holds" } else { "VIOLATED" }
+        if latency_overheads.iter().all(|o| *o < 0.25) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     table.note(format!(
         "shape check — area overhead stays single-digit in every configuration: {}",
-        if area_overheads.iter().all(|a| *a < 10.0) { "holds" } else { "VIOLATED" }
+        if area_overheads.iter().all(|a| *a < 10.0) {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
     Ok(vec![table])
 }
@@ -70,9 +87,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn alternative_configurations_are_valid()
-    {
-        HardwareConfig::default().with_precision(8).validate().unwrap();
-        HardwareConfig::default().with_array(32, 32).validate().unwrap();
+    fn alternative_configurations_are_valid() {
+        HardwareConfig::default()
+            .with_precision(8)
+            .validate()
+            .unwrap();
+        HardwareConfig::default()
+            .with_array(32, 32)
+            .validate()
+            .unwrap();
     }
 }

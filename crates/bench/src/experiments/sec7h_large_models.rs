@@ -6,13 +6,14 @@
 //! detection at 0 % false positives (beating NIC's 96 %/3.8 %), and ResNet-50 with
 //! BwCu reaches 0.900 AUC vs EP's 0.898.
 //!
-//! Shape to check: class paths stay distinctive (inter-class similarity well below
-//! 1) on every extra architecture, and the detection accuracy on the DenseNet-class
-//! and ResNet-class models stays high with a low false-positive rate.
+//! Shape to check: class paths stay distinctive (inter-class similarity well
+//! below 1) on every extra architecture, and the detection accuracy on the
+//! DenseNet-class and ResNet-class models stays high with a low false-positive
+//! rate.
 
 use ptolemy_attacks::{Attack, Bim, Fgsm};
 use ptolemy_baselines::{BaselineDetector, EpDefense};
-use ptolemy_core::{class_similarity_matrix, similarity_stats, variants, Detector};
+use ptolemy_core::{class_similarity_matrix, path_similarity, similarity_stats, variants};
 use ptolemy_data::{DatasetConfig, SyntheticDataset};
 use ptolemy_forest::auc;
 use ptolemy_nn::{zoo, Network, TrainConfig, Trainer};
@@ -63,19 +64,16 @@ fn detection_scores(
     benign: &[Tensor],
 ) -> BenchResult<(f32, f32, f32)> {
     let program = variants::bw_cu(&model.network, 0.5)?;
-    let class_paths =
-        ptolemy_core::Profiler::new(program.clone()).profile(&model.network, model.dataset.train())?;
+    let class_paths = ptolemy_core::Profiler::new(program.clone())
+        .profile(&model.network, model.dataset.train())?;
     let mut scores = Vec::new();
     let mut labels = Vec::new();
-    for input in benign {
-        let (_, s) = Detector::path_similarity(&model.network, &program, &class_paths, input)?;
-        scores.push(1.0 - s);
-        labels.push(false);
-    }
-    for input in adversarial {
-        let (_, s) = Detector::path_similarity(&model.network, &program, &class_paths, input)?;
-        scores.push(1.0 - s);
-        labels.push(true);
+    for (inputs, label) in [(benign, false), (adversarial, true)] {
+        for input in inputs {
+            let (_, s) = path_similarity(&model.network, &program, &class_paths, input)?;
+            scores.push(1.0 - s);
+            labels.push(label);
+        }
     }
     let auc_value = auc(&scores, &labels)?;
     // Detection rate / FPR at the median-benign-score threshold (the operating point
@@ -105,7 +103,13 @@ fn detection_scores(
 /// Propagates dataset, training, attack and extraction errors.
 pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     // Inter-class path similarity on the VGG-class and Inception-class models.
-    let vgg = train_model("synth-imagenet-vgg", zoo::vgg_mini, &[3, 16, 16], scale, 0x7E1)?;
+    let vgg = train_model(
+        "synth-imagenet-vgg",
+        zoo::vgg_mini,
+        &[3, 16, 16],
+        scale,
+        0x7E1,
+    )?;
     let inception = train_model(
         "synth-imagenet-inception",
         zoo::inception_mini,
@@ -114,11 +118,18 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         0x7E2,
     )?;
 
-    let mut similarity_table = Table::new("Sec. VII-H — inter-class path similarity on larger models")
-        .header(["model", "avg", "max", "p90", "paper avg"]);
+    let mut similarity_table =
+        Table::new("Sec. VII-H — inter-class path similarity on larger models").header([
+            "model",
+            "avg",
+            "max",
+            "p90",
+            "paper avg",
+        ]);
     for (model, paper) in [(&vgg, "0.415"), (&inception, "0.288")] {
         let program = variants::bw_cu(&model.network, 0.5)?;
-        let set = ptolemy_core::Profiler::new(program).profile(&model.network, model.dataset.train())?;
+        let set =
+            ptolemy_core::Profiler::new(program).profile(&model.network, model.dataset.train())?;
         let stats = similarity_stats(&class_similarity_matrix(&set)?);
         similarity_table.row([
             model.name.to_string(),
@@ -131,11 +142,24 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     similarity_table.note("shape check — class paths stay distinctive (average inter-class similarity clearly below 1) on both models".to_string());
 
     // DenseNet-class detection accuracy / FPR and ResNet-class BwCu-vs-EP AUC.
-    let densenet = train_model("synth-cifar-densenet", zoo::densenet_mini, &[3, 8, 8], scale, 0x7E3)?;
-    let resnet = train_model("synth-imagenet-resnet50", zoo::resnet_mini, &[3, 8, 8], scale, 0x7E4)?;
+    let densenet = train_model(
+        "synth-cifar-densenet",
+        zoo::densenet_mini,
+        &[3, 8, 8],
+        scale,
+        0x7E3,
+    )?;
+    let resnet = train_model(
+        "synth-imagenet-resnet50",
+        zoo::resnet_mini,
+        &[3, 8, 8],
+        scale,
+        0x7E4,
+    )?;
 
-    let mut detection_table = Table::new("Sec. VII-H — detection on DenseNet-class and ResNet50-class stand-ins")
-        .header(["model", "AUC", "detection rate", "FPR", "paper"]);
+    let mut detection_table =
+        Table::new("Sec. VII-H — detection on DenseNet-class and ResNet50-class stand-ins")
+            .header(["model", "AUC", "detection rate", "FPR", "paper"]);
 
     let limit = scale.attack_samples();
     for (model, attack, paper) in [
@@ -202,7 +226,11 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         if resnet.network.predict(input)? != *label {
             continue;
         }
-        adversarial.push(Fgsm::new(0.15).perturb(&resnet.network, input, *label)?.input);
+        adversarial.push(
+            Fgsm::new(0.15)
+                .perturb(&resnet.network, input, *label)?
+                .input,
+        );
     }
     let (ptolemy_auc, _, _) = detection_scores(&resnet, &adversarial, &benign)?;
     let mut scores = Vec::new();

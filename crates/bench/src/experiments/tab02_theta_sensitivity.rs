@@ -34,8 +34,13 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let benign = wb.benign_inputs(scale.attack_samples());
     let config = HardwareConfig::default();
 
-    let mut table = Table::new("Table II — BwCu sensitivity to theta (AlexNet-class)")
-        .header(["theta", "accuracy (AUC)", "latency", "energy", "paper acc/lat/energy"]);
+    let mut table = Table::new("Table II — BwCu sensitivity to theta (AlexNet-class)").header([
+        "theta",
+        "accuracy (AUC)",
+        "latency",
+        "energy",
+        "paper acc/lat/energy",
+    ]);
 
     let mut measured = Vec::new();
     for (i, &theta) in THETAS.iter().enumerate() {
@@ -68,12 +73,20 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let energy_monotone = measured.windows(2).all(|w| w[1].3 >= w[0].3);
     table.note(format!(
         "shape check — latency grows with theta: {}; energy grows with theta: {}",
-        if latency_monotone { "holds" } else { "VIOLATED" },
+        if latency_monotone {
+            "holds"
+        } else {
+            "VIOLATED"
+        },
         if energy_monotone { "holds" } else { "VIOLATED" },
     ));
     table.note(format!(
         "shape check — theta = 0.9 does not beat theta = 0.5 in accuracy: {}",
-        if measured[2].1 <= measured[1].1 + 0.02 { "holds" } else { "VIOLATED" }
+        if measured[2].1 <= measured[1].1 + 0.02 {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
 
     Ok(vec![table])
@@ -84,6 +97,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn paper_rows_are_internally_consistent() {
         assert!(PAPER_ACCURACY[1] >= PAPER_ACCURACY[0]);
         assert!(PAPER_ACCURACY[1] >= PAPER_ACCURACY[2]);

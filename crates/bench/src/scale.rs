@@ -8,18 +8,13 @@
 //! with the `PTOLEMY_BENCH_SCALE` environment variable (`quick` / `full`).
 
 /// How much work each experiment harness performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BenchScale {
     /// Small datasets and few attacked samples; every harness finishes quickly.
+    #[default]
     Quick,
     /// Larger datasets and more attacked samples for tighter statistics.
     Full,
-}
-
-impl Default for BenchScale {
-    fn default() -> Self {
-        BenchScale::Quick
-    }
 }
 
 impl BenchScale {

@@ -2,10 +2,13 @@
 //! standard attack suite, and the accuracy / cost evaluation helpers every figure
 //! harness uses.
 
-use ptolemy_accel::{ExecutionReport, HardwareConfig, Simulator};
+use std::sync::Arc;
+
+use ptolemy_accel::{AccelBackend, ExecutionReport, HardwareConfig, Simulator};
 use ptolemy_attacks::{Attack, Bim, CarliniWagnerL2, DeepFool, Fgsm, Jsma};
 use ptolemy_compiler::{Compiler, OptimizationFlags};
-use ptolemy_core::{ClassPathSet, DetectionProgram, Detector, Profiler};
+use ptolemy_core::engine::DEFAULT_THRESHOLD;
+use ptolemy_core::{ClassPathSet, DetectionEngine, DetectionProgram, Profiler};
 use ptolemy_data::{DatasetConfig, SyntheticDataset};
 use ptolemy_forest::auc;
 use ptolemy_nn::{zoo, Network, TrainConfig, Trainer};
@@ -22,8 +25,9 @@ pub type BenchResult<T> = Result<T, Box<dyn std::error::Error>>;
 pub struct Workbench {
     /// Human-readable name used in printed tables (e.g. `"AlexNet-class @ synth-ImageNet"`).
     pub name: String,
-    /// The trained victim network.
-    pub network: Network,
+    /// The trained victim network (shared so detection engines can bind it
+    /// without copying weights).
+    pub network: Arc<Network>,
     /// The dataset the network was trained on.
     pub dataset: SyntheticDataset,
     /// The scale the workbench was built at.
@@ -31,6 +35,10 @@ pub struct Workbench {
     /// Training-set accuracy reached by the victim (reported like the paper's
     /// "clean model accuracy" sanity check).
     pub clean_accuracy: f32,
+    /// Decision threshold handed to every engine this workbench builds
+    /// (default [`DEFAULT_THRESHOLD`]); sweeps override it with
+    /// [`Workbench::with_detection_threshold`].
+    pub detection_threshold: f32,
 }
 
 fn train(network: &mut Network, dataset: &SyntheticDataset, scale: BenchScale) -> BenchResult<f32> {
@@ -65,10 +73,11 @@ impl Workbench {
         let clean_accuracy = train(&mut network, &dataset, scale)?;
         Ok(Workbench {
             name: "AlexNet-class @ synth-ImageNet".into(),
-            network,
+            network: Arc::new(network),
             dataset,
             scale,
             clean_accuracy,
+            detection_threshold: DEFAULT_THRESHOLD,
         })
     }
 
@@ -92,10 +101,11 @@ impl Workbench {
         let clean_accuracy = train(&mut network, &dataset, scale)?;
         Ok(Workbench {
             name: "ResNet18-class @ synth-CIFAR-100".into(),
-            network,
+            network: Arc::new(network),
             dataset,
             scale,
             clean_accuracy,
+            detection_threshold: DEFAULT_THRESHOLD,
         })
     }
 
@@ -114,10 +124,11 @@ impl Workbench {
         let clean_accuracy = train(&mut network, &dataset, scale)?;
         Ok(Workbench {
             name: "ResNet18-class @ synth-CIFAR-10".into(),
-            network,
+            network: Arc::new(network),
             dataset,
             scale,
             clean_accuracy,
+            detection_threshold: DEFAULT_THRESHOLD,
         })
     }
 
@@ -140,11 +151,19 @@ impl Workbench {
         let clean_accuracy = train(&mut network, &dataset, scale)?;
         Ok(Workbench {
             name: "LeNet-class @ synth-small".into(),
-            network,
+            network: Arc::new(network),
             dataset,
             scale,
             clean_accuracy,
+            detection_threshold: DEFAULT_THRESHOLD,
         })
+    }
+
+    /// Overrides the decision threshold every engine built by this workbench
+    /// binds (used by the θ/threshold sweeps instead of re-deriving `0.5`).
+    pub fn with_detection_threshold(mut self, threshold: f32) -> Self {
+        self.detection_threshold = threshold;
+        self
     }
 
     /// Profiles the canary class paths of this workbench for a detection program.
@@ -154,6 +173,49 @@ impl Workbench {
     /// Propagates extraction errors.
     pub fn profile(&self, program: &DetectionProgram) -> BenchResult<ClassPathSet> {
         Ok(Profiler::new(program.clone()).profile(&self.network, self.dataset.train())?)
+    }
+
+    /// Binds a similarity-serving [`DetectionEngine`] for a program on this
+    /// workbench (no classifier: `path_similarity` and backend estimates only).
+    /// The program/class-path fingerprint is validated here, once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction errors.
+    pub fn engine(
+        &self,
+        program: &DetectionProgram,
+        class_paths: &ClassPathSet,
+    ) -> BenchResult<DetectionEngine> {
+        Ok(
+            DetectionEngine::builder(self.network.clone(), program.clone(), class_paths.clone())
+                .threshold(self.detection_threshold)
+                .build()?,
+        )
+    }
+
+    /// Binds a fully-fitted [`DetectionEngine`] (classifier calibrated on the
+    /// given benign/adversarial sets, hardware-model backend attached) — the
+    /// serving configuration the paper's deployment story describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction and calibration errors.
+    pub fn serving_engine(
+        &self,
+        program: &DetectionProgram,
+        class_paths: &ClassPathSet,
+        benign: &[Tensor],
+        adversarial: &[Tensor],
+        config: &HardwareConfig,
+    ) -> BenchResult<DetectionEngine> {
+        Ok(
+            DetectionEngine::builder(self.network.clone(), program.clone(), class_paths.clone())
+                .threshold(self.detection_threshold)
+                .backend(Box::new(AccelBackend::new(*config)))
+                .calibrate(benign, adversarial)
+                .build()?,
+        )
     }
 
     /// Benign test inputs (up to `limit`).
@@ -183,7 +245,11 @@ impl Workbench {
     /// # Errors
     ///
     /// Propagates attack errors.
-    pub fn adversarial_inputs(&self, attack: &dyn Attack, limit: usize) -> BenchResult<Vec<Tensor>> {
+    pub fn adversarial_inputs(
+        &self,
+        attack: &dyn Attack,
+        limit: usize,
+    ) -> BenchResult<Vec<Tensor>> {
         let mut out = Vec::new();
         let mut fallback = Vec::new();
         for (input, label) in self.dataset.test() {
@@ -236,6 +302,9 @@ impl Workbench {
     /// Detection AUC of a Ptolemy program on this workbench: path similarity is the
     /// score, benign inputs are negatives, `adversarial` inputs are positives.
     ///
+    /// The program/class-path pairing is validated once by the engine instead of
+    /// per input.
+    ///
     /// # Errors
     ///
     /// Propagates extraction errors.
@@ -246,17 +315,15 @@ impl Workbench {
         benign: &[Tensor],
         adversarial: &[Tensor],
     ) -> BenchResult<f32> {
+        let engine = self.engine(program, class_paths)?;
         let mut scores = Vec::with_capacity(benign.len() + adversarial.len());
         let mut labels = Vec::with_capacity(benign.len() + adversarial.len());
-        for input in benign {
-            let (_, s) = Detector::path_similarity(&self.network, program, class_paths, input)?;
-            scores.push(1.0 - s);
-            labels.push(false);
-        }
-        for input in adversarial {
-            let (_, s) = Detector::path_similarity(&self.network, program, class_paths, input)?;
-            scores.push(1.0 - s);
-            labels.push(true);
+        for (inputs, label) in [(benign, false), (adversarial, true)] {
+            for input in inputs {
+                let (_, s) = engine.path_similarity(input)?;
+                scores.push(1.0 - s);
+                labels.push(label);
+            }
         }
         Ok(auc(&scores, &labels)?)
     }
@@ -331,10 +398,7 @@ impl Workbench {
     /// # Errors
     ///
     /// Propagates program construction errors.
-    pub fn ptolemy_variants(
-        &self,
-        theta: f32,
-    ) -> BenchResult<Vec<(String, DetectionProgram)>> {
+    pub fn ptolemy_variants(&self, theta: f32) -> BenchResult<Vec<(String, DetectionProgram)>> {
         use ptolemy_core::variants;
         let phi = self.calibrate_phi(false)?;
         Ok(vec![
@@ -441,9 +505,7 @@ mod tests {
 
         let benign = wb.benign_inputs(8);
         assert!(!benign.is_empty());
-        let adversarial = wb
-            .adversarial_inputs(&Fgsm::new(0.3), 8)
-            .unwrap();
+        let adversarial = wb.adversarial_inputs(&Fgsm::new(0.3), 8).unwrap();
         let auc = wb
             .detection_auc(&program, &class_paths, &benign, &adversarial)
             .unwrap();
@@ -455,5 +517,36 @@ mod tests {
             .variant_cost(&program, &HardwareConfig::default(), density)
             .unwrap();
         assert!(report.latency_factor() >= 1.0);
+    }
+
+    #[test]
+    fn serving_engine_honours_the_threshold_and_prices_batches() {
+        let wb = Workbench::lenet_small(BenchScale::Quick)
+            .unwrap()
+            .with_detection_threshold(0.0);
+        let program = variants::fw_ab(&wb.network, 0.05).unwrap();
+        let class_paths = wb.profile(&program).unwrap();
+        let benign = wb.benign_inputs(6);
+        let adversarial = wb.adversarial_inputs(&Fgsm::new(0.3), 6).unwrap();
+
+        let engine = wb
+            .serving_engine(
+                &program,
+                &class_paths,
+                &benign,
+                &adversarial,
+                &HardwareConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(engine.threshold(), 0.0);
+        assert_eq!(engine.backend_name(), "accel");
+
+        let (verdicts, estimate) = engine.detect_batch_with_estimate(&benign).unwrap();
+        assert_eq!(verdicts.len(), benign.len());
+        // Threshold 0.0 flags every input, whatever the classifier says.
+        assert!(verdicts.iter().all(|v| v.is_adversary));
+        assert_eq!(estimate.batch_size, benign.len());
+        assert!(estimate.latency_ms.unwrap() > 0.0);
+        assert!(estimate.energy_pj.unwrap() > 0.0);
     }
 }

@@ -63,7 +63,9 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        assert!(!CompilerError::InvalidProgram("x".into()).to_string().is_empty());
+        assert!(!CompilerError::InvalidProgram("x".into())
+            .to_string()
+            .is_empty());
         let e: CompilerError = CoreError::InvalidInput("y".into()).into();
         assert!(std::error::Error::source(&e).is_some());
         let e: CompilerError = NnError::EmptyDataset.into();

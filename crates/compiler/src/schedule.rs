@@ -1,15 +1,14 @@
 //! Task-level compilation: the static schedule with dependence edges.
 
 use ptolemy_core::{DetectionProgram, Direction};
-use ptolemy_nn::Network;
 use ptolemy_isa::Program;
-use serde::{Deserialize, Serialize};
+use ptolemy_nn::Network;
 
 use crate::{codegen::generate_isa, CompilerError, Result};
 
 /// Compiler optimisation switches (all enabled by default, matching the paper's
 /// evaluation where "all the compiler optimizations are enabled when applicable").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptimizationFlags {
     /// Overlap layer *j*'s extraction with layer *j+1*'s inference (forward only).
     pub layer_pipelining: bool,
@@ -42,7 +41,7 @@ impl OptimizationFlags {
 }
 
 /// Hardware unit a task executes on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HwUnit {
     /// The systolic MAC array.
     PeArray,
@@ -53,7 +52,7 @@ pub enum HwUnit {
 }
 
 /// A coarse-grained hardware task (one CISC instruction's worth of work).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HwTask {
     /// Run one weight layer's inference on the PE array (`inf` / `infsp`).
     Inference {
@@ -94,7 +93,7 @@ impl HwTask {
 }
 
 /// A task with its dependence edges (indices into the task list).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduledTask {
     /// The work to perform.
     pub task: HwTask,
@@ -204,7 +203,11 @@ impl Compiler {
             let store = spec.enabled
                 && spec.threshold.is_cumulative()
                 && !self.optimizations.recompute_partial_sums;
-            let inf_deps: Vec<usize> = match (self.optimizations.layer_pipelining, prev_inference, prev_program_order) {
+            let inf_deps: Vec<usize> = match (
+                self.optimizations.layer_pipelining,
+                prev_inference,
+                prev_program_order,
+            ) {
                 // Pipelined: inference only waits for the previous inference.
                 (true, Some(p), _) => vec![p],
                 // Unpipelined: strict program order (inference waits for the
@@ -347,7 +350,10 @@ mod tests {
             }
         }
         // Classify is last.
-        assert!(matches!(compiled.tasks.last().unwrap().task, HwTask::Classify));
+        assert!(matches!(
+            compiled.tasks.last().unwrap().task,
+            HwTask::Classify
+        ));
     }
 
     #[test]
@@ -389,8 +395,8 @@ mod tests {
         // inference; with recompute enabled the direct dependency is a csps task.
         let first_extract = &compiled.tasks[extracts[0]];
         let dep = first_extract.depends_on[0];
-        let dep_ok = dep == last_inference
-            || compiled.tasks[dep].depends_on.contains(&last_inference);
+        let dep_ok =
+            dep == last_inference || compiled.tasks[dep].depends_on.contains(&last_inference);
         assert!(dep_ok);
         // With recompute enabled there are csps tasks and no stored partial sums.
         assert!(compiled

@@ -5,8 +5,6 @@
 //! storage for those masks, sized exactly like the hardware's mask SRAM: one bit per
 //! feature-map element.
 
-use serde::{Deserialize, Serialize};
-
 /// Fixed-length bit vector with the operations path construction needs
 /// (set/test, population count, AND-count, OR-assign).
 ///
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(bits.get(64));
 /// assert!(!bits.get(65));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitVec {
     words: Vec<u64>,
     len: usize,
@@ -54,7 +52,11 @@ impl BitVec {
     /// Panics if `index >= len()`; path construction always indexes within the
     /// feature-map size it was built for.
     pub fn set(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] |= 1u64 << (index % 64);
     }
 
@@ -64,7 +66,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len()`.
     pub fn clear(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] &= !(1u64 << (index % 64));
     }
 
@@ -118,10 +124,35 @@ impl BitVec {
     /// Panics if the lengths differ; class paths are always aggregated from paths of
     /// the same program and network, which guarantees matching lengths.
     pub fn or_assign(&mut self, other: &BitVec) {
-        assert_eq!(self.len, other.len, "cannot OR bit vectors of different lengths");
+        assert_eq!(
+            self.len, other.len,
+            "cannot OR bit vectors of different lengths"
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
+    }
+
+    /// The raw 64-bit words backing the mask (for serialisation).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bit vector from its raw words (the inverse of [`BitVec::words`]).
+    ///
+    /// Returns `None` if the word count does not match `len` or a bit beyond `len`
+    /// is set.
+    pub(crate) fn from_words(len: usize, words: Vec<u64>) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if let Some(last) = words.last() {
+            let tail_bits = len % 64;
+            if tail_bits != 0 && *last >> tail_bits != 0 {
+                return None;
+            }
+        }
+        Some(BitVec { words, len })
     }
 
     /// Iterator over the indices of set bits.

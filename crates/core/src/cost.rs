@@ -95,7 +95,7 @@ pub fn software_cost(
         let layer_macs = kind.macs();
         let out_len = layer.output_len() as u64;
         // Average receptive-field size = partial sums per output neuron.
-        let rf = if out_len == 0 { 0 } else { layer_macs / out_len };
+        let rf = layer_macs.checked_div(out_len).unwrap_or(0);
         // How many output neurons drive extraction at this layer.
         let important_outputs = match program.direction() {
             Direction::Backward => ((out_len as f64) * density).ceil() as u64,
@@ -120,7 +120,8 @@ pub fn software_cost(
             report.compare_ops += layer_macs;
             report.extra_memory_bytes += layer_macs.div_ceil(8);
             match kind {
-                LayerKind::Dense { .. } | LayerKind::Conv2d { .. } | LayerKind::Residual { .. } => {}
+                LayerKind::Dense { .. } | LayerKind::Conv2d { .. } | LayerKind::Residual { .. } => {
+                }
                 _ => {}
             }
         }

@@ -1,10 +1,14 @@
 //! Online adversarial-sample detection (the dynamic half of Fig. 4).
+//!
+//! [`Detector`] is the original one-shot API and survives as a thin shim over
+//! the serving-oriented [`crate::engine`] module; new code should bind a
+//! [`crate::DetectionEngine`] once and drive it in batches instead.
 
 use ptolemy_forest::{ForestConfig, RandomForest};
 use ptolemy_nn::Network;
 use ptolemy_tensor::Tensor;
 
-use crate::extraction::extract_path;
+use crate::engine::DEFAULT_THRESHOLD;
 use crate::{ClassPathSet, CoreError, DetectionProgram, Result};
 
 /// Result of detecting one input at inference time.
@@ -29,34 +33,23 @@ pub struct Detector {
     forest: RandomForest,
 }
 
+#[allow(deprecated)]
 impl Detector {
     /// Computes the `(predicted class, path similarity)` pair for an input — the
-    /// feature the classifier consumes.  Exposed as an associated function so
-    /// callers can build ROC curves or custom classifiers without fitting a
-    /// [`Detector`].
+    /// feature the classifier consumes.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidProgram`] if the program and class paths were not
     /// produced together, and propagates extraction errors.
+    #[deprecated(since = "0.2.0", note = "use `ptolemy_core::path_similarity` instead")]
     pub fn path_similarity(
         network: &Network,
         program: &DetectionProgram,
         class_paths: &ClassPathSet,
         input: &Tensor,
     ) -> Result<(usize, f32)> {
-        if class_paths.program_fingerprint != program.fingerprint() {
-            return Err(CoreError::InvalidProgram(format!(
-                "class paths were profiled with '{}' but detection uses '{}'",
-                class_paths.program_fingerprint,
-                program.fingerprint()
-            )));
-        }
-        let trace = network.forward_trace(input)?;
-        let predicted = trace.predicted_class();
-        let path = extract_path(network, &trace, program)?;
-        let similarity = path.similarity(class_paths.class_path(predicted)?)?;
-        Ok((predicted, similarity))
+        crate::engine::path_similarity(network, program, class_paths, input)
     }
 
     /// Fits the detection classifier from benign and adversarial calibration inputs.
@@ -68,6 +61,10 @@ impl Detector {
     ///
     /// Returns [`CoreError::InvalidInput`] if either calibration set is empty, and
     /// propagates extraction/classifier errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DetectionEngine::builder(..).calibrate(..).build()` instead"
+    )]
     pub fn fit(
         network: &Network,
         program: DetectionProgram,
@@ -107,6 +104,10 @@ impl Detector {
     /// # Errors
     ///
     /// See [`Detector::fit`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DetectionEngine::builder(..).calibrate(..).build()` instead"
+    )]
     pub fn fit_default(
         network: &Network,
         program: DetectionProgram,
@@ -124,17 +125,20 @@ impl Detector {
         )
     }
 
-    /// Detects whether an input is adversarial.
+    /// Detects whether an input is adversarial, at the default decision
+    /// threshold ([`crate::engine::DEFAULT_THRESHOLD`]).  The threshold is a
+    /// builder knob on [`crate::DetectionEngine`].
     ///
     /// # Errors
     ///
     /// Propagates extraction and classifier errors.
+    #[deprecated(since = "0.2.0", note = "use `DetectionEngine::detect` instead")]
     pub fn detect(&self, network: &Network, input: &Tensor) -> Result<Detection> {
         let (predicted_class, similarity) =
             Self::path_similarity(network, &self.program, &self.class_paths, input)?;
         let score = self.forest.predict_proba(&[similarity])?;
         Ok(Detection {
-            is_adversary: score >= 0.5,
+            is_adversary: score >= DEFAULT_THRESHOLD,
             score,
             similarity,
             predicted_class,
@@ -146,6 +150,7 @@ impl Detector {
     /// # Errors
     ///
     /// Propagates extraction and classifier errors.
+    #[deprecated(since = "0.2.0", note = "use `DetectionEngine::score` instead")]
     pub fn score(&self, network: &Network, input: &Tensor) -> Result<f32> {
         Ok(self.detect(network, input)?.score)
     }
@@ -167,6 +172,7 @@ impl Detector {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{variants, Profiler};
@@ -178,19 +184,19 @@ mod tests {
     /// decision boundary by blending towards another class's prototype — enough to
     /// flip predictions while keeping the input close to its origin, which is the
     /// behaviour real attacks exhibit.
-    fn setup() -> (Network, Vec<(Tensor, usize)>, Vec<Tensor>, Vec<Tensor>) {
+    /// `(network, training samples, benign inputs, adversarial inputs)`.
+    type Setup = (Network, Vec<(Tensor, usize)>, Vec<Tensor>, Vec<Tensor>);
+
+    fn setup() -> Setup {
         let mut rng = Rng64::new(17);
         let prototypes: Vec<Vec<f32>> = vec![
             (0..8).map(|d| if d < 4 { 1.0 } else { 0.0 }).collect(),
             (0..8).map(|d| if d < 4 { 0.0 } else { 1.0 }).collect(),
         ];
         let mut samples = Vec::new();
-        for class in 0..2usize {
+        for (class, prototype) in prototypes.iter().enumerate() {
             for _ in 0..25 {
-                let data: Vec<f32> = prototypes[class]
-                    .iter()
-                    .map(|v| v + 0.08 * rng.normal())
-                    .collect();
+                let data: Vec<f32> = prototype.iter().map(|v| v + 0.08 * rng.normal()).collect();
                 samples.push((Tensor::from_vec(data, &[8]).unwrap(), class));
             }
         }
@@ -225,15 +231,11 @@ mod tests {
     fn detector_separates_benign_from_boundary_crossing_inputs() {
         let (net, samples, benign, adversarial) = setup();
         let program = variants::bw_cu(&net, 0.5).unwrap();
-        let class_paths = Profiler::new(program.clone()).profile(&net, &samples).unwrap();
-        let detector = Detector::fit_default(
-            &net,
-            program,
-            class_paths,
-            &benign,
-            &adversarial,
-        )
-        .unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let detector =
+            Detector::fit_default(&net, program, class_paths, &benign, &adversarial).unwrap();
 
         // Benign similarities should exceed adversarial similarities on average.
         let mean = |inputs: &[Tensor]| {
@@ -261,21 +263,18 @@ mod tests {
         let class_paths = Profiler::new(program).profile(&net, &samples).unwrap();
         let other_program = variants::bw_cu(&net, 0.9).unwrap();
         assert!(Detector::path_similarity(&net, &other_program, &class_paths, &benign[0]).is_err());
-        assert!(Detector::fit_default(
-            &net,
-            other_program,
-            class_paths,
-            &benign,
-            &adversarial
-        )
-        .is_err());
+        assert!(
+            Detector::fit_default(&net, other_program, class_paths, &benign, &adversarial).is_err()
+        );
     }
 
     #[test]
     fn empty_calibration_sets_are_rejected() {
         let (net, samples, benign, _) = setup();
         let program = variants::bw_cu(&net, 0.5).unwrap();
-        let class_paths = Profiler::new(program.clone()).profile(&net, &samples).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
         assert!(Detector::fit_default(&net, program, class_paths, &benign, &[]).is_err());
     }
 }

@@ -1,0 +1,733 @@
+//! The batched, multi-backend serving API for Ptolemy detection.
+//!
+//! [`crate::Detector`] exposes the paper's online phase as a one-shot call that
+//! re-validates the program/class-path pairing on every input.  That is fine for
+//! reproducing figures and useless for serving: a deployment binds one network,
+//! one [`DetectionProgram`] and one [`ClassPathSet`] at startup and then pushes
+//! traffic through them for hours.  [`DetectionEngine`] is that session object:
+//!
+//! * **validate once** — the program/class-path fingerprint, the path layout and
+//!   the backend binding are all checked in [`DetectionEngineBuilder::build`],
+//!   never per call;
+//! * **configurable decision threshold** — the score cut-off that
+//!   [`crate::Detector::detect`] hard-coded to `0.5` is a builder knob;
+//! * **batching** — [`DetectionEngine::detect_batch`] fans the forward traces
+//!   out over scoped threads ([`crate::parallel::par_map`]), preserving
+//!   bit-for-bit parity with the single-input path;
+//! * **streaming** — [`DetectionEngine::score_stream`] /
+//!   [`DetectionEngine::detect_stream`] lazily drive an input iterator
+//!   without materialising the batch;
+//! * **pluggable cost backends** — a [`DetectionBackend`] prices every batch.
+//!   [`SoftwareBackend`] reports the algorithm-level op counts of a pure
+//!   software implementation ([`crate::software_cost`]); the `AccelBackend` in
+//!   `ptolemy-accel` routes the same program through the compiler and the
+//!   cycle/energy model, making the co-designed hardware a first-class serving
+//!   backend rather than a separate side analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_core::{variants, DetectionEngine, Profiler};
+//! use ptolemy_nn::{zoo, TrainConfig, Trainer};
+//! use ptolemy_tensor::{Rng64, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng64::new(0);
+//! let mut net = zoo::mlp_net(&[8], 2, &mut rng)?;
+//! let samples: Vec<(Tensor, usize)> = (0..20)
+//!     .map(|i| (Tensor::full(&[8], (i % 2) as f32), i % 2))
+//!     .collect();
+//! Trainer::new(TrainConfig::default()).fit(&mut net, &samples)?;
+//!
+//! let program = variants::fw_ab(&net, 0.05)?;
+//! let class_paths = Profiler::new(program.clone()).profile(&net, &samples)?;
+//! let inputs: Vec<Tensor> = samples.iter().map(|(x, _)| x.clone()).collect();
+//!
+//! // Build once (fingerprint validated here), then serve batches.
+//! let engine = DetectionEngine::builder(net, program, class_paths)
+//!     .threshold(0.6)
+//!     .calibrate(&inputs[..8], &inputs[8..16])
+//!     .build()?;
+//! let verdicts = engine.detect_batch(&inputs)?;
+//! assert_eq!(verdicts.len(), inputs.len());
+//! assert_eq!(verdicts[0], engine.detect(&inputs[0])?);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use ptolemy_forest::{ForestConfig, RandomForest};
+use ptolemy_nn::Network;
+use ptolemy_tensor::Tensor;
+
+use crate::extraction::{extract_path, path_layout};
+use crate::parallel::par_map;
+use crate::{
+    software_cost, ClassPathSet, CoreError, Detection, DetectionProgram, Result, SoftwareCostReport,
+};
+
+/// The decision threshold [`crate::Detector`] historically hard-coded.
+pub const DEFAULT_THRESHOLD: f32 = 0.5;
+
+/// Computes the `(predicted class, path similarity)` pair for one input — the
+/// stateless primitive behind both the engine and ROC-style sweeps that score
+/// raw similarities without fitting a classifier.
+///
+/// Unlike the engine's internal path this validates the program/class-path
+/// fingerprint on every call, because nothing else guarantees the pairing.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProgram`] if the class paths were not profiled
+/// with `program`, and propagates extraction errors.
+pub fn path_similarity(
+    network: &Network,
+    program: &DetectionProgram,
+    class_paths: &ClassPathSet,
+    input: &Tensor,
+) -> Result<(usize, f32)> {
+    if class_paths.program_fingerprint != program.fingerprint() {
+        return Err(CoreError::InvalidProgram(format!(
+            "class paths were profiled with '{}' but detection uses '{}'",
+            class_paths.program_fingerprint,
+            program.fingerprint()
+        )));
+    }
+    let (predicted, similarity, _) = trace_similarity(network, program, class_paths, input)?;
+    Ok((predicted, similarity))
+}
+
+/// One traced inference + extraction + similarity, with no fingerprint check.
+/// Returns `(predicted class, similarity, activation-path density)`.
+fn trace_similarity(
+    network: &Network,
+    program: &DetectionProgram,
+    class_paths: &ClassPathSet,
+    input: &Tensor,
+) -> Result<(usize, f32, f32)> {
+    let trace = network.forward_trace(input)?;
+    let predicted = trace.predicted_class();
+    let path = extract_path(network, &trace, program)?;
+    let similarity = path.similarity(class_paths.class_path(predicted)?)?;
+    Ok((predicted, similarity, path.density()))
+}
+
+/// Cost estimate a [`DetectionBackend`] attaches to one served batch.
+///
+/// Fields are optional because backends model different things: the software
+/// backend reports algorithm-level operation counts, the accelerator backend
+/// reports modelled latency/energy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BackendEstimate {
+    /// Name of the backend that produced the estimate.
+    pub backend: &'static str,
+    /// Number of inputs in the batch the estimate covers.
+    pub batch_size: usize,
+    /// Algorithm-level op/memory counts of one detection pass (software backend).
+    pub software: Option<SoftwareCostReport>,
+    /// Modelled wall-clock latency for the whole batch, in milliseconds.
+    pub latency_ms: Option<f64>,
+    /// Modelled energy for the whole batch, in picojoules.
+    pub energy_pj: Option<f64>,
+    /// Per-input latency relative to plain inference (`1.0` = fully hidden).
+    pub latency_factor: Option<f64>,
+    /// Per-input energy relative to plain inference.
+    pub energy_factor: Option<f64>,
+}
+
+/// A serving backend: binds to the engine's network + program once at build
+/// time and prices every batch the engine serves.
+///
+/// The *functional* result of detection is backend-independent by construction
+/// (the engine computes it once, in `ptolemy-core`); what a backend models is
+/// the execution substrate — how much a batch costs where.  `ptolemy-accel`
+/// implements this trait for the co-designed hardware.
+pub trait DetectionBackend: std::fmt::Debug + Send + Sync {
+    /// Short backend name used in reports (e.g. `"software"`, `"accel"`).
+    fn name(&self) -> &'static str;
+
+    /// Binds the backend to the engine's network and program.  Called exactly
+    /// once, from [`DetectionEngineBuilder::build`]; expensive specialisation
+    /// (compilation, schedule construction) belongs here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Backend`] if the backend cannot serve the program.
+    fn bind(&mut self, network: &Network, program: &DetectionProgram) -> Result<()>;
+
+    /// Estimates the cost of serving a batch of `batch_size` inputs whose mean
+    /// activation-path density was `mean_density`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Backend`] if the backend was never bound or the
+    /// cost model rejects the program.
+    fn estimate_batch(
+        &self,
+        network: &Network,
+        program: &DetectionProgram,
+        batch_size: usize,
+        mean_density: f32,
+    ) -> Result<BackendEstimate>;
+}
+
+/// The pure-software backend: detection runs as ordinary `ptolemy-core`
+/// compute, and batches are priced with the paper's Sec. III-B software cost
+/// model ([`crate::software_cost`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftwareBackend;
+
+impl DetectionBackend for SoftwareBackend {
+    fn name(&self) -> &'static str {
+        "software"
+    }
+
+    fn bind(&mut self, network: &Network, program: &DetectionProgram) -> Result<()> {
+        path_layout(network, program).map(|_| ())
+    }
+
+    fn estimate_batch(
+        &self,
+        network: &Network,
+        program: &DetectionProgram,
+        batch_size: usize,
+        mean_density: f32,
+    ) -> Result<BackendEstimate> {
+        let report = software_cost(network, program, mean_density)?;
+        Ok(BackendEstimate {
+            backend: self.name(),
+            batch_size,
+            software: Some(report),
+            ..BackendEstimate::default()
+        })
+    }
+}
+
+/// A detection session: network + program + class paths + classifier + backend,
+/// bound and validated once, then driven per input, per batch or per stream.
+///
+/// Built via [`DetectionEngine::builder`].  See the [module docs](self) for the
+/// design rationale and an end-to-end example.
+#[derive(Debug)]
+pub struct DetectionEngine {
+    network: Arc<Network>,
+    program: DetectionProgram,
+    class_paths: ClassPathSet,
+    forest: Option<RandomForest>,
+    threshold: f32,
+    backend: Box<dyn DetectionBackend>,
+}
+
+impl DetectionEngine {
+    /// Starts building an engine from the offline artifacts.
+    ///
+    /// `network` is shared, not copied: pass an owned [`Network`] or an
+    /// existing `Arc<Network>`.
+    pub fn builder(
+        network: impl Into<Arc<Network>>,
+        program: DetectionProgram,
+        class_paths: ClassPathSet,
+    ) -> DetectionEngineBuilder {
+        DetectionEngineBuilder {
+            network: network.into(),
+            program,
+            class_paths,
+            forest: None,
+            forest_config: ForestConfig::default(),
+            calibration: None,
+            threshold: DEFAULT_THRESHOLD,
+            backend: Box::new(SoftwareBackend),
+        }
+    }
+
+    /// `(predicted class, path similarity)` of one input, skipping the per-call
+    /// fingerprint check the stateless [`path_similarity`] function needs — the
+    /// pairing was validated when the engine was built.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors.
+    pub fn path_similarity(&self, input: &Tensor) -> Result<(usize, f32)> {
+        let (predicted, similarity, _) =
+            trace_similarity(&self.network, &self.program, &self.class_paths, input)?;
+        Ok((predicted, similarity))
+    }
+
+    /// Detects whether one input is adversarial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the engine was built without a
+    /// classifier, and propagates extraction/classifier errors.
+    pub fn detect(&self, input: &Tensor) -> Result<Detection> {
+        Ok(self.detect_with_density(input)?.0)
+    }
+
+    /// Detects a whole batch, fanning the forward traces out over scoped
+    /// threads.  `detect_batch(xs)?[i]` is bit-for-bit identical to
+    /// `detect(&xs[i])?` — both run the same per-input code path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-input error, if any.
+    pub fn detect_batch(&self, inputs: &[Tensor]) -> Result<Vec<Detection>> {
+        par_map(inputs, |input| self.detect_with_density(input))
+            .into_iter()
+            .map(|r| r.map(|(d, _)| d))
+            .collect()
+    }
+
+    /// Like [`DetectionEngine::detect_batch`], additionally pricing the batch
+    /// on the engine's backend (using the batch's mean activation-path density,
+    /// which is what the hardware model's sort/accumulate cost scales with).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-input error or a backend error.
+    pub fn detect_batch_with_estimate(
+        &self,
+        inputs: &[Tensor],
+    ) -> Result<(Vec<Detection>, BackendEstimate)> {
+        let detected: Vec<(Detection, f32)> =
+            par_map(inputs, |input| self.detect_with_density(input))
+                .into_iter()
+                .collect::<Result<_>>()?;
+        let mean_density = if detected.is_empty() {
+            0.0
+        } else {
+            detected.iter().map(|(_, d)| d).sum::<f32>() / detected.len() as f32
+        };
+        let estimate = self.backend.estimate_batch(
+            &self.network,
+            &self.program,
+            detected.len(),
+            mean_density,
+        )?;
+        Ok((detected.into_iter().map(|(d, _)| d).collect(), estimate))
+    }
+
+    /// Adversarial probability of one input.
+    ///
+    /// # Errors
+    ///
+    /// See [`DetectionEngine::detect`].
+    pub fn score(&self, input: &Tensor) -> Result<f32> {
+        Ok(self.detect(input)?.score)
+    }
+
+    /// Lazily scores a stream of inputs, yielding each input's adversarial
+    /// probability (the streaming counterpart of [`DetectionEngine::score`]):
+    /// items are detected as the iterator is advanced, so unbounded workloads
+    /// run in constant memory.
+    pub fn score_stream<'a, I>(&'a self, inputs: I) -> impl Iterator<Item = Result<f32>> + 'a
+    where
+        I: IntoIterator<Item = Tensor>,
+        I::IntoIter: 'a,
+    {
+        inputs.into_iter().map(move |input| self.score(&input))
+    }
+
+    /// Lazily detects a stream of inputs, yielding full verdicts (the
+    /// streaming counterpart of [`DetectionEngine::detect`]).
+    pub fn detect_stream<'a, I>(&'a self, inputs: I) -> impl Iterator<Item = Result<Detection>> + 'a
+    where
+        I: IntoIterator<Item = Tensor>,
+        I::IntoIter: 'a,
+    {
+        inputs.into_iter().map(move |input| self.detect(&input))
+    }
+
+    /// Prices a hypothetical batch on the backend without running detection
+    /// (used by capacity planning and the figure harnesses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn estimate_batch(&self, batch_size: usize, mean_density: f32) -> Result<BackendEstimate> {
+        self.backend
+            .estimate_batch(&self.network, &self.program, batch_size, mean_density)
+    }
+
+    fn detect_with_density(&self, input: &Tensor) -> Result<(Detection, f32)> {
+        let (predicted_class, similarity, density) =
+            trace_similarity(&self.network, &self.program, &self.class_paths, input)?;
+        let forest = self.forest.as_ref().ok_or_else(|| {
+            CoreError::InvalidInput(
+                "engine was built without a classifier; add .forest(..) or .calibrate(..)".into(),
+            )
+        })?;
+        let score = forest.predict_proba(&[similarity])?;
+        Ok((
+            Detection {
+                is_adversary: score >= self.threshold,
+                score,
+                similarity,
+                predicted_class,
+            },
+            density,
+        ))
+    }
+
+    /// The network this engine serves.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The extraction program this engine runs.
+    pub fn program(&self) -> &DetectionProgram {
+        &self.program
+    }
+
+    /// The canary class paths this engine compares against.
+    pub fn class_paths(&self) -> &ClassPathSet {
+        &self.class_paths
+    }
+
+    /// The fitted classifier, if the engine has one.
+    pub fn forest(&self) -> Option<&RandomForest> {
+        self.forest.as_ref()
+    }
+
+    /// The decision threshold applied to classifier scores.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Name of the cost backend serving this engine.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+}
+
+/// Builder for [`DetectionEngine`]; all validation happens in
+/// [`DetectionEngineBuilder::build`].
+#[derive(Debug)]
+pub struct DetectionEngineBuilder {
+    network: Arc<Network>,
+    program: DetectionProgram,
+    class_paths: ClassPathSet,
+    forest: Option<RandomForest>,
+    forest_config: ForestConfig,
+    calibration: Option<(Vec<Tensor>, Vec<Tensor>)>,
+    threshold: f32,
+    backend: Box<dyn DetectionBackend>,
+}
+
+impl DetectionEngineBuilder {
+    /// Sets the decision threshold (default [`DEFAULT_THRESHOLD`]): inputs with
+    /// classifier score `>= threshold` are flagged adversarial.
+    pub fn threshold(mut self, threshold: f32) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the cost backend (default [`SoftwareBackend`]).
+    pub fn backend(mut self, backend: Box<dyn DetectionBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Supplies an already-fitted classifier (takes precedence over
+    /// [`DetectionEngineBuilder::calibrate`]).
+    pub fn forest(mut self, forest: RandomForest) -> Self {
+        self.forest = Some(forest);
+        self
+    }
+
+    /// Sets the forest configuration used when fitting from calibration sets
+    /// (default: the paper's 100 trees of depth 12).
+    pub fn forest_config(mut self, config: ForestConfig) -> Self {
+        self.forest_config = config;
+        self
+    }
+
+    /// Supplies benign and adversarial calibration inputs; `build` fits the
+    /// classifier from their path similarities (one feature per input, matching
+    /// the paper's lightweight classification module, Sec. III-B).
+    pub fn calibrate(mut self, benign: &[Tensor], adversarial: &[Tensor]) -> Self {
+        self.calibration = Some((benign.to_vec(), adversarial.to_vec()));
+        self
+    }
+
+    /// Finalises the engine: validates the threshold, the program/class-path
+    /// fingerprint and the path layout, binds the backend, and fits the
+    /// classifier if calibration sets were supplied.
+    ///
+    /// Engines built with neither [`DetectionEngineBuilder::forest`] nor
+    /// [`DetectionEngineBuilder::calibrate`] serve raw path similarities only;
+    /// their `detect*` methods return an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProgram`] on a fingerprint or layout
+    /// mismatch, [`CoreError::InvalidInput`] on empty calibration sets, and
+    /// [`CoreError::Backend`] if the backend rejects the program.
+    pub fn build(mut self) -> Result<DetectionEngine> {
+        if !self.threshold.is_finite() || !(0.0..=1.0).contains(&self.threshold) {
+            return Err(CoreError::InvalidProgram(format!(
+                "decision threshold {} outside [0, 1]",
+                self.threshold
+            )));
+        }
+        if self.class_paths.program_fingerprint != self.program.fingerprint() {
+            return Err(CoreError::InvalidProgram(format!(
+                "class paths were profiled with '{}' but the engine binds '{}'",
+                self.class_paths.program_fingerprint,
+                self.program.fingerprint()
+            )));
+        }
+        // The fingerprint pins the program, not the network: class paths
+        // profiled on a different network can carry the same fingerprint with
+        // different mask layouts or class counts.  Check the structure here so
+        // serving never fails per call.
+        let layout = path_layout(&self.network, &self.program)?;
+        if self.class_paths.num_classes() != self.network.num_classes() {
+            return Err(CoreError::InvalidProgram(format!(
+                "class paths cover {} classes but the network predicts {}",
+                self.class_paths.num_classes(),
+                self.network.num_classes()
+            )));
+        }
+        for class_path in &self.class_paths.class_paths {
+            let segments = class_path.path().segments();
+            let mismatched = segments.len() != layout.len()
+                || segments
+                    .iter()
+                    .zip(&layout)
+                    .any(|(seg, (layer, len))| seg.layer != *layer || seg.mask.len() != *len);
+            if mismatched {
+                return Err(CoreError::InvalidProgram(format!(
+                    "canary path of class {} does not match the engine's path \
+                     layout (were the class paths profiled on a different network?)",
+                    class_path.class
+                )));
+            }
+        }
+        self.backend.bind(&self.network, &self.program)?;
+
+        let forest = match (self.forest, self.calibration) {
+            (Some(forest), _) => Some(forest),
+            (None, Some((benign, adversarial))) => {
+                if benign.is_empty() || adversarial.is_empty() {
+                    return Err(CoreError::InvalidInput(
+                        "calibration requires both benign and adversarial inputs".into(),
+                    ));
+                }
+                let network = &self.network;
+                let program = &self.program;
+                let class_paths = &self.class_paths;
+                let mut features = Vec::with_capacity(benign.len() + adversarial.len());
+                let mut labels = Vec::with_capacity(benign.len() + adversarial.len());
+                for (inputs, is_adversarial) in [(&benign, false), (&adversarial, true)] {
+                    let similarities: Vec<Result<f32>> = par_map(inputs, |input| {
+                        trace_similarity(network, program, class_paths, input).map(|(_, s, _)| s)
+                    });
+                    for similarity in similarities {
+                        features.push(vec![similarity?]);
+                        labels.push(is_adversarial);
+                    }
+                }
+                Some(RandomForest::fit(&features, &labels, &self.forest_config)?)
+            }
+            (None, None) => None,
+        };
+
+        Ok(DetectionEngine {
+            network: self.network,
+            program: self.program,
+            class_paths: self.class_paths,
+            forest,
+            threshold: self.threshold,
+            backend: self.backend,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{variants, Profiler};
+    use ptolemy_nn::{zoo, TrainConfig, Trainer};
+    use ptolemy_tensor::Rng64;
+
+    /// `(network, training samples, benign inputs, adversarial inputs)`.
+    type Setup = (Network, Vec<(Tensor, usize)>, Vec<Tensor>, Vec<Tensor>);
+
+    fn setup() -> Setup {
+        let mut rng = Rng64::new(23);
+        let prototypes: Vec<Vec<f32>> = vec![
+            (0..8).map(|d| if d < 4 { 1.0 } else { 0.0 }).collect(),
+            (0..8).map(|d| if d < 4 { 0.0 } else { 1.0 }).collect(),
+        ];
+        let mut samples = Vec::new();
+        for (class, prototype) in prototypes.iter().enumerate() {
+            for _ in 0..25 {
+                let data: Vec<f32> = prototype.iter().map(|v| v + 0.08 * rng.normal()).collect();
+                samples.push((Tensor::from_vec(data, &[8]).unwrap(), class));
+            }
+        }
+        let mut net = zoo::mlp_net(&[8], 2, &mut rng).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &samples)
+        .unwrap();
+
+        let benign: Vec<Tensor> = samples.iter().take(20).map(|(x, _)| x.clone()).collect();
+        let mut adversarial = Vec::new();
+        for (x, y) in samples.iter().take(20) {
+            let other = 1 - *y;
+            let data: Vec<f32> = x
+                .as_slice()
+                .iter()
+                .zip(&prototypes[other])
+                .map(|(a, b)| a + 1.2 * b)
+                .collect();
+            adversarial.push(Tensor::from_vec(data, &[8]).unwrap());
+        }
+        (net, samples, benign, adversarial)
+    }
+
+    #[test]
+    fn engine_detects_and_batches_consistently() {
+        let (net, samples, benign, adversarial) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let engine = DetectionEngine::builder(net, program, class_paths)
+            .calibrate(&benign, &adversarial)
+            .build()
+            .unwrap();
+
+        let all: Vec<Tensor> = benign.iter().chain(&adversarial).cloned().collect();
+        let batch = engine.detect_batch(&all).unwrap();
+        assert_eq!(batch.len(), all.len());
+        for (input, batched) in all.iter().zip(&batch) {
+            assert_eq!(*batched, engine.detect(input).unwrap());
+        }
+
+        // Streaming agrees with the batch path.
+        let streamed: Vec<Detection> = engine
+            .detect_stream(all.clone())
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(streamed, batch);
+        let scores: Vec<f32> = engine
+            .score_stream(all.clone())
+            .collect::<Result<_>>()
+            .unwrap();
+        assert!(scores
+            .iter()
+            .zip(&batch)
+            .all(|(score, verdict)| score.to_bits() == verdict.score.to_bits()));
+
+        // The software backend prices the batch with algorithm-level counts.
+        let (again, estimate) = engine.detect_batch_with_estimate(&all).unwrap();
+        assert_eq!(again, batch);
+        assert_eq!(estimate.backend, "software");
+        assert_eq!(estimate.batch_size, all.len());
+        let software = estimate.software.expect("software cost report");
+        assert!(software.inference_macs > 0);
+        assert!(estimate.latency_ms.is_none());
+        assert_eq!(engine.backend_name(), "software");
+    }
+
+    #[test]
+    fn threshold_knob_changes_the_verdict_not_the_score() {
+        let (net, samples, benign, adversarial) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let net = Arc::new(net);
+
+        let strict = DetectionEngine::builder(net.clone(), program.clone(), class_paths.clone())
+            .calibrate(&benign, &adversarial)
+            .threshold(0.0)
+            .build()
+            .unwrap();
+        let lenient = DetectionEngine::builder(net, program, class_paths)
+            .calibrate(&benign, &adversarial)
+            .threshold(1.0)
+            .build()
+            .unwrap();
+        assert_eq!(strict.threshold(), 0.0);
+
+        for input in benign.iter().chain(&adversarial) {
+            let s = strict.detect(input).unwrap();
+            let l = lenient.detect(input).unwrap();
+            // Same forest fit (same calibration, deterministic) -> same score.
+            assert!((s.score - l.score).abs() < 1e-6);
+            // Threshold 0.0 flags everything; 1.0 only flags certain scores.
+            assert!(s.is_adversary);
+            assert_eq!(l.is_adversary, l.score >= 1.0);
+        }
+    }
+
+    #[test]
+    fn build_rejects_mismatched_fingerprints_and_bad_thresholds() {
+        let (net, samples, benign, adversarial) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let other = variants::bw_cu(&net, 0.9).unwrap();
+        let net = Arc::new(net);
+
+        let err = DetectionEngine::builder(net.clone(), other, class_paths.clone())
+            .calibrate(&benign, &adversarial)
+            .build();
+        assert!(matches!(err, Err(CoreError::InvalidProgram(_))));
+
+        let err = DetectionEngine::builder(net.clone(), program.clone(), class_paths.clone())
+            .threshold(1.5)
+            .build();
+        assert!(matches!(err, Err(CoreError::InvalidProgram(_))));
+
+        let err = DetectionEngine::builder(net, program, class_paths)
+            .calibrate(&benign, &[])
+            .build();
+        assert!(matches!(err, Err(CoreError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn forestless_engine_serves_similarities_but_not_verdicts() {
+        let (net, samples, benign, _) = setup();
+        let program = variants::fw_ab(&net, 0.3).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let engine = DetectionEngine::builder(net, program, class_paths)
+            .build()
+            .unwrap();
+        assert!(engine.forest().is_none());
+        let (class, similarity) = engine.path_similarity(&benign[0]).unwrap();
+        assert!(class < 2);
+        assert!((0.0..=1.0).contains(&similarity));
+        assert!(matches!(
+            engine.detect(&benign[0]),
+            Err(CoreError::InvalidInput(_))
+        ));
+        // Capacity-planning estimates still work without a classifier.
+        let estimate = engine.estimate_batch(32, 0.05).unwrap();
+        assert_eq!(estimate.batch_size, 32);
+        assert!(estimate.software.is_some());
+    }
+
+    #[test]
+    fn stateless_path_similarity_still_checks_fingerprints() {
+        let (net, samples, benign, _) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let (class, s) = path_similarity(&net, &program, &class_paths, &benign[0]).unwrap();
+        assert!(class < 2);
+        assert!((0.0..=1.0).contains(&s));
+        let other = variants::bw_cu(&net, 0.9).unwrap();
+        assert!(path_similarity(&net, &other, &class_paths, &benign[0]).is_err());
+    }
+}

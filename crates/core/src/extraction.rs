@@ -14,9 +14,7 @@ use std::collections::BTreeSet;
 
 use ptolemy_nn::{Contribution, ForwardTrace, Network};
 
-use crate::{
-    ActivationPath, CoreError, DetectionProgram, Direction, Result, ThresholdKind,
-};
+use crate::{ActivationPath, CoreError, DetectionProgram, Direction, Result, ThresholdKind};
 
 /// Computes the `(network layer index, mask length)` layout of paths extracted with
 /// `program` on `network`.
@@ -328,7 +326,9 @@ mod tests {
         let selected = select_from_activations(&values, ThresholdKind::Absolute { phi: 0.3 });
         assert_eq!(selected, vec![1, 3]);
         // All-negative activations select nothing under absolute thresholds.
-        assert!(select_from_activations(&[-1.0, -2.0], ThresholdKind::Absolute { phi: 0.1 }).is_empty());
+        assert!(
+            select_from_activations(&[-1.0, -2.0], ThresholdKind::Absolute { phi: 0.1 }).is_empty()
+        );
         assert!(select_from_activations(&[], ThresholdKind::Absolute { phi: 0.1 }).is_empty());
     }
 

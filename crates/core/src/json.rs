@@ -1,0 +1,358 @@
+//! A minimal JSON reader/writer for the class-path artifact.
+//!
+//! The workspace builds without crates.io access, so the `ClassPathSet`
+//! serialisation in [`crate::path`] uses this hand-rolled module instead of
+//! `serde_json`.  Only the subset the artifact needs is supported: objects,
+//! arrays, strings and unsigned integers.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (artifact subset: no floats, booleans or nulls).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    /// A string literal.
+    String(String),
+    /// An unsigned integer.
+    UInt(u64),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object value.
+    pub(crate) fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this value is a string.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this value is an unsigned integer.
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this value is an array.
+    pub(crate) fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialises the value to compact JSON text.
+    pub(crate) fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::String(s) => write_string(s, out),
+            JsonValue::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document (artifact subset).
+pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "invalid \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                        }
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                b => {
+                    // Re-assemble UTF-8 sequences byte-by-byte.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b)?;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<u64>()
+            .map(JsonValue::UInt)
+            .map_err(|e| format!("invalid integer '{text}': {e}"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' but found '{}' at byte {}",
+                        other as char, self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => {
+                    self.pos += 1;
+                    self.skip_whitespace();
+                }
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' but found '{}' at byte {}",
+                        other as char, self.pos
+                    ))
+                }
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> Result<usize, String> {
+    match first {
+        0x00..=0x7f => Ok(1),
+        0xc0..=0xdf => Ok(2),
+        0xe0..=0xef => Ok(3),
+        0xf0..=0xf7 => Ok(4),
+        _ => Err("invalid UTF-8 start byte".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_document() {
+        let doc = JsonValue::Object(vec![
+            ("name".into(), JsonValue::String("bw|cu0.50".into())),
+            ("count".into(), JsonValue::UInt(42)),
+            (
+                "items".into(),
+                JsonValue::Array(vec![
+                    JsonValue::UInt(1),
+                    JsonValue::String("a\"b\\c".into()),
+                ]),
+            ),
+            ("empty".into(), JsonValue::Array(vec![])),
+        ]);
+        let text = doc.to_json();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = parse(r#"{"a": 3, "b": [1, 2], "c": "x"}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            doc.get("b").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(doc.get("c").and_then(JsonValue::as_str), Some("x"));
+        assert!(doc.get("missing").is_none());
+        assert!(doc.get("a").unwrap().as_str().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "not json",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1 2]",
+            "{\"a\":1}trailing",
+            "\"unterminated",
+            "18446744073709551616",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let doc = parse(" { \"k\" : [ \"\\u0041\\n\" , 7 ] } ").unwrap();
+        assert_eq!(
+            doc.get("k").unwrap().as_array().unwrap()[0].as_str(),
+            Some("A\n")
+        );
+    }
+}

@@ -14,19 +14,27 @@
 //! # Pipeline
 //!
 //! ```text
-//!  offline                                online
-//!  ───────                                ──────
+//!  offline                                     online (serving)
+//!  ───────                                     ────────────────
 //!  training set ──► Profiler ──► ClassPathSet ─┐
-//!                                              ├─► Detector::detect(input)
-//!  benign + adversarial calibration set ──► RF ┘        │
+//!                                              ├─► DetectionEngine::builder(..)
+//!  benign + adversarial calibration set ───────┘      .threshold(..)
+//!                                                     .backend(..)     ◄ software | accel
+//!                                                     .build()?        ◄ fingerprint checked once
+//!                                                        │
+//!              detect(&x) / detect_batch(&xs) / detect_stream(xs) / score_stream(xs)
 //!                                                        ▼
 //!                                          Detection { is_adversary, … }
+//!                                          + BackendEstimate per batch
 //! ```
+//!
+//! The one-shot [`Detector`] API survives as a deprecated shim; new code binds a
+//! [`DetectionEngine`] once and drives it in batches (see [`engine`]).
 //!
 //! # Example
 //!
 //! ```
-//! use ptolemy_core::{variants, Detector, Profiler};
+//! use ptolemy_core::{variants, DetectionEngine, Profiler};
 //! use ptolemy_nn::{zoo, TrainConfig, Trainer};
 //! use ptolemy_tensor::{Rng64, Tensor};
 //!
@@ -46,8 +54,9 @@
 //! let program = variants::bw_cu(&net, 0.5)?;
 //! let class_paths = Profiler::new(program.clone()).profile(&net, &samples)?;
 //!
-//! // Online: score an input's path against its predicted class path.
-//! let (class, similarity) = Detector::path_similarity(&net, &program, &class_paths, &samples[0].0)?;
+//! // Online: bind an engine once (fingerprint validated here), then serve.
+//! let engine = DetectionEngine::builder(net, program, class_paths).build()?;
+//! let (class, similarity) = engine.path_similarity(&samples[0].0)?;
 //! assert!(class < 2);
 //! assert!((0.0..=1.0).contains(&similarity));
 //! # Ok(())
@@ -59,8 +68,11 @@
 mod bits;
 mod cost;
 mod detector;
+pub mod engine;
 mod error;
 mod extraction;
+mod json;
+mod parallel;
 mod path;
 mod profile;
 mod program;
@@ -68,9 +80,15 @@ pub mod variants;
 
 pub use bits::BitVec;
 pub use cost::{software_cost, SoftwareCostReport};
+#[allow(deprecated)]
 pub use detector::{Detection, Detector};
+pub use engine::{
+    path_similarity, BackendEstimate, DetectionBackend, DetectionEngine, DetectionEngineBuilder,
+    SoftwareBackend,
+};
 pub use error::CoreError;
 pub use extraction::{extract_path, path_layout};
+pub use parallel::par_map;
 pub use path::{ActivationPath, ClassPath, ClassPathSet, PathSegment};
 pub use profile::{class_similarity_matrix, similarity_stats, Profiler, SimilarityStats};
 pub use program::{

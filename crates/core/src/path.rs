@@ -1,11 +1,10 @@
 //! Activation paths and class paths (paper Sec. III-A).
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::JsonValue;
 use crate::{BitVec, CoreError, Result};
 
 /// The per-layer bitmask of important neurons of one extraction layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathSegment {
     /// Index of the network layer this segment belongs to.
     pub layer: usize,
@@ -16,7 +15,7 @@ pub struct PathSegment {
 
 /// The activation path of a single input: the collection of important neurons across
 /// all extraction layers, represented as one bitmask per layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActivationPath {
     segments: Vec<PathSegment>,
 }
@@ -133,7 +132,7 @@ impl ActivationPath {
 
 /// The canary path of one inference class: the bitwise OR of the activation paths of
 /// all correctly-predicted training inputs of that class (`Pc = ⋃ P(x)`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassPath {
     /// The class this canary path belongs to.
     pub class: usize,
@@ -180,7 +179,7 @@ impl ClassPath {
 }
 
 /// The complete set of canary class paths produced by offline profiling.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassPathSet {
     /// One canary path per class, indexed by class id.
     pub class_paths: Vec<ClassPath>,
@@ -210,22 +209,128 @@ impl ClassPathSet {
     /// Serialises the class-path set to a JSON string (the artifact the paper ships
     /// as "offline-generated class paths").
     ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidInput`] if serialisation fails.
+    /// Mask words are written as lowercase hex strings so 64-bit payloads survive
+    /// the round trip exactly.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self)
-            .map_err(|e| CoreError::InvalidInput(format!("serialisation failed: {e}")))
+        let class_paths = self
+            .class_paths
+            .iter()
+            .map(|cp| {
+                let segments = cp
+                    .path
+                    .segments
+                    .iter()
+                    .map(|seg| {
+                        let words = seg
+                            .mask
+                            .words()
+                            .iter()
+                            .map(|w| JsonValue::String(format!("{w:x}")))
+                            .collect();
+                        JsonValue::Object(vec![
+                            ("layer".into(), JsonValue::UInt(seg.layer as u64)),
+                            ("len".into(), JsonValue::UInt(seg.mask.len() as u64)),
+                            ("words".into(), JsonValue::Array(words)),
+                        ])
+                    })
+                    .collect();
+                JsonValue::Object(vec![
+                    ("class".into(), JsonValue::UInt(cp.class as u64)),
+                    (
+                        "num_aggregated".into(),
+                        JsonValue::UInt(cp.num_aggregated as u64),
+                    ),
+                    ("segments".into(), JsonValue::Array(segments)),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::Object(vec![
+            (
+                "program_fingerprint".into(),
+                JsonValue::String(self.program_fingerprint.clone()),
+            ),
+            ("class_paths".into(), JsonValue::Array(class_paths)),
+        ]);
+        Ok(doc.to_json())
     }
 
     /// Restores a class-path set from JSON.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidInput`] if parsing fails.
+    /// Returns [`CoreError::InvalidInput`] if parsing fails or the document does
+    /// not describe a class-path set.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| CoreError::InvalidInput(format!("deserialisation failed: {e}")))
+        let invalid = |msg: &str| CoreError::InvalidInput(format!("deserialisation failed: {msg}"));
+        let doc = crate::json::parse(json).map_err(|e| invalid(&e))?;
+        let program_fingerprint = doc
+            .get("program_fingerprint")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| invalid("missing program_fingerprint"))?
+            .to_string();
+        let mut class_paths = Vec::new();
+        for cp in doc
+            .get("class_paths")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| invalid("missing class_paths array"))?
+        {
+            let class = cp
+                .get("class")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| invalid("missing class id"))? as usize;
+            // Lookup is positional ([`ClassPathSet::class_path`] indexes by
+            // class id), so a reordered or duplicated artifact must not load.
+            if class != class_paths.len() {
+                return Err(invalid(&format!(
+                    "class ids must be contiguous and in order (found {class} at position {})",
+                    class_paths.len()
+                )));
+            }
+            let num_aggregated =
+                cp.get("num_aggregated")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| invalid("missing num_aggregated"))? as usize;
+            let mut segments = Vec::new();
+            for seg in cp
+                .get("segments")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| invalid("missing segments array"))?
+            {
+                let layer = seg
+                    .get("layer")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| invalid("missing segment layer"))?
+                    as usize;
+                let len = seg
+                    .get("len")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| invalid("missing segment len"))?
+                    as usize;
+                let words = seg
+                    .get("words")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| invalid("missing segment words"))?
+                    .iter()
+                    .map(|w| {
+                        w.as_str()
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())
+                            .ok_or_else(|| invalid("invalid mask word"))
+                    })
+                    .collect::<Result<Vec<u64>>>()?;
+                let mask = BitVec::from_words(len, words)
+                    .ok_or_else(|| invalid("mask words disagree with mask length"))?;
+                segments.push(PathSegment { layer, mask });
+            }
+            class_paths.push(ClassPath {
+                class,
+                num_aggregated,
+                path: ActivationPath { segments },
+            });
+        }
+        Ok(ClassPathSet {
+            class_paths,
+            program_fingerprint,
+        })
     }
 }
 
@@ -319,5 +424,32 @@ mod tests {
         let restored = ClassPathSet::from_json(&json).unwrap();
         assert_eq!(restored, set);
         assert!(ClassPathSet::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_reordered_or_duplicated_classes() {
+        let mut a = ClassPath::empty(0, &[(1, 10)]);
+        a.aggregate(&{
+            let mut p = ActivationPath::empty(&[(1, 10)]);
+            p.segments_mut()[0].mask.set(1);
+            p
+        })
+        .unwrap();
+        let b = ClassPath::empty(1, &[(1, 10)]);
+        let set = ClassPathSet {
+            class_paths: vec![a, b],
+            program_fingerprint: "fp".into(),
+        };
+        let json = set.to_json().unwrap();
+
+        // Lookup is positional, so out-of-order or duplicated class ids in the
+        // artifact would silently compare inputs against the wrong canary path.
+        let swapped = json
+            .replace("\"class\":0", "\"class\":9")
+            .replace("\"class\":1", "\"class\":0")
+            .replace("\"class\":9", "\"class\":1");
+        assert!(ClassPathSet::from_json(&swapped).is_err());
+        let duplicated = json.replace("\"class\":1", "\"class\":0");
+        assert!(ClassPathSet::from_json(&duplicated).is_err());
     }
 }

@@ -1,7 +1,5 @@
 //! Offline class-path profiling (the static half of Fig. 4).
 
-use rayon::prelude::*;
-
 use ptolemy_nn::Network;
 use ptolemy_tensor::Tensor;
 
@@ -11,8 +9,8 @@ use crate::{ActivationPath, ClassPath, ClassPathSet, CoreError, DetectionProgram
 /// Offline profiler: extracts activation paths for correctly-predicted training
 /// samples and aggregates them into per-class canary paths.
 ///
-/// Profiling parallelises over samples with `rayon`; aggregation itself is a cheap
-/// sequential OR.
+/// Profiling parallelises over samples with scoped threads
+/// ([`crate::parallel::par_map`]); aggregation itself is a cheap sequential OR.
 #[derive(Debug, Clone)]
 pub struct Profiler {
     program: DetectionProgram,
@@ -52,11 +50,7 @@ impl Profiler {
     ///
     /// Returns [`CoreError::InvalidInput`] if `samples` is empty or a label is out
     /// of range, and propagates extraction errors.
-    pub fn profile(
-        &self,
-        network: &Network,
-        samples: &[(Tensor, usize)],
-    ) -> Result<ClassPathSet> {
+    pub fn profile(&self, network: &Network, samples: &[(Tensor, usize)]) -> Result<ClassPathSet> {
         if samples.is_empty() {
             return Err(CoreError::InvalidInput(
                 "profiling requires at least one sample".into(),
@@ -73,17 +67,15 @@ impl Profiler {
         }
         let layout = path_layout(network, &self.program)?;
 
-        let extracted: Vec<Result<Option<(usize, ActivationPath)>>> = samples
-            .par_iter()
-            .map(|(input, label)| {
+        let extracted: Vec<Result<Option<(usize, ActivationPath)>>> =
+            crate::parallel::par_map(samples, |(input, label)| {
                 let trace = network.forward_trace(input)?;
                 if trace.predicted_class() != *label {
                     return Ok(None);
                 }
                 let path = extract_path(network, &trace, &self.program)?;
                 Ok(Some((*label, path)))
-            })
-            .collect();
+            });
 
         let mut class_paths: Vec<ClassPath> = (0..network.num_classes())
             .map(|c| ClassPath::empty(c, &layout))
@@ -112,12 +104,14 @@ impl Profiler {
 pub fn class_similarity_matrix(set: &ClassPathSet) -> Result<Vec<Vec<f32>>> {
     let n = set.num_classes();
     let mut matrix = vec![vec![0.0f32; n]; n];
-    for i in 0..n {
-        for j in 0..n {
-            matrix[i][j] = if i == j {
+    for (i, row) in matrix.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = if i == j {
                 1.0
             } else {
-                set.class_paths[i].path().jaccard(set.class_paths[j].path())?
+                set.class_paths[i]
+                    .path()
+                    .jaccard(set.class_paths[j].path())?
             };
         }
     }
@@ -201,7 +195,9 @@ mod tests {
     fn profiling_builds_distinct_class_paths() {
         let (net, samples) = trained_setup();
         let program = variants::bw_cu(&net, 0.5).unwrap();
-        let set = Profiler::new(program.clone()).profile(&net, &samples).unwrap();
+        let set = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
         assert_eq!(set.num_classes(), 3);
         assert_eq!(set.program_fingerprint, program.fingerprint());
         // Every class aggregated at least one path and has non-empty canary bits.

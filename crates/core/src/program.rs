@@ -15,12 +15,10 @@
 //! and the hardware cost model, which guarantees the offline/online extraction
 //! methods match (paper Fig. 4).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CoreError, Result};
 
 /// Extraction direction (paper Sec. III-C, "Hiding Detection Cost").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Start from the predicted class in the last layer and walk towards the input.
     Backward,
@@ -37,7 +35,7 @@ pub enum Direction {
 /// partial sums / activations that exceed `φ ×` the target's magnitude (the paper
 /// uses raw per-layer constants; a relative constant is the calibration-free
 /// equivalent and is noted as a deviation in DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ThresholdKind {
     /// Select the minimal set of contributors whose cumulative partial sums reach
     /// `theta ×` the target value.  Requires sorting.
@@ -74,7 +72,7 @@ impl ThresholdKind {
 }
 
 /// Per-layer extraction directive.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExtractionSpec {
     /// Whether important neurons are extracted from this layer at all.
     pub enabled: bool,
@@ -102,7 +100,7 @@ impl ExtractionSpec {
 
 /// A complete detection program: one [`ExtractionSpec`] per weight layer plus the
 /// network-wide extraction direction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectionProgram {
     direction: Direction,
     specs: Vec<ExtractionSpec>,
@@ -114,7 +112,10 @@ impl DetectionProgram {
     pub fn builder(direction: Direction, num_weight_layers: usize) -> DetectionProgramBuilder {
         DetectionProgramBuilder {
             direction,
-            specs: vec![ExtractionSpec::new(ThresholdKind::Cumulative { theta: 0.5 }); num_weight_layers],
+            specs: vec![
+                ExtractionSpec::new(ThresholdKind::Cumulative { theta: 0.5 });
+                num_weight_layers
+            ],
         }
     }
 
@@ -218,12 +219,11 @@ impl DetectionProgramBuilder {
     /// Returns [`CoreError::InvalidProgram`] if the ordinal is out of range.
     pub fn layer(mut self, ordinal: usize, threshold: ThresholdKind) -> Result<Self> {
         let len = self.specs.len();
-        let spec = self
-            .specs
-            .get_mut(ordinal)
-            .ok_or_else(|| CoreError::InvalidProgram(format!(
+        let spec = self.specs.get_mut(ordinal).ok_or_else(|| {
+            CoreError::InvalidProgram(format!(
                 "layer ordinal {ordinal} out of range ({len} weight layers)"
-            )))?;
+            ))
+        })?;
         *spec = ExtractionSpec::new(threshold);
         Ok(self)
     }
@@ -235,12 +235,11 @@ impl DetectionProgramBuilder {
     /// Returns [`CoreError::InvalidProgram`] if the ordinal is out of range.
     pub fn disable_layer(mut self, ordinal: usize) -> Result<Self> {
         let len = self.specs.len();
-        let spec = self
-            .specs
-            .get_mut(ordinal)
-            .ok_or_else(|| CoreError::InvalidProgram(format!(
+        let spec = self.specs.get_mut(ordinal).ok_or_else(|| {
+            CoreError::InvalidProgram(format!(
                 "layer ordinal {ordinal} out of range ({len} weight layers)"
-            )))?;
+            ))
+        })?;
         *spec = ExtractionSpec::disabled();
         Ok(self)
     }
@@ -326,7 +325,9 @@ mod tests {
 
     #[test]
     fn invalid_programs_are_rejected() {
-        assert!(DetectionProgram::builder(Direction::Backward, 0).build().is_err());
+        assert!(DetectionProgram::builder(Direction::Backward, 0)
+            .build()
+            .is_err());
         assert!(DetectionProgram::builder(Direction::Backward, 3)
             .disable_before(3)
             .build()
@@ -370,6 +371,6 @@ mod tests {
     fn threshold_kind_properties() {
         assert!(ThresholdKind::Cumulative { theta: 0.5 }.is_cumulative());
         assert!(!ThresholdKind::Absolute { phi: 0.5 }.is_cumulative());
-        assert!(ExtractionSpec::disabled().enabled == false);
+        assert!(!ExtractionSpec::disabled().enabled);
     }
 }

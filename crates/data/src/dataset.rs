@@ -56,13 +56,17 @@ impl SyntheticDataset {
     /// negative noise level.
     pub fn generate(config: DatasetConfig) -> Result<Self> {
         if config.num_classes == 0 {
-            return Err(DataError::InvalidConfig("num_classes must be non-zero".into()));
+            return Err(DataError::InvalidConfig(
+                "num_classes must be non-zero".into(),
+            ));
         }
         if config.shape.is_empty() || config.shape.iter().product::<usize>() == 0 {
             return Err(DataError::InvalidConfig("shape must be non-empty".into()));
         }
         if config.noise < 0.0 {
-            return Err(DataError::InvalidConfig("noise must be non-negative".into()));
+            return Err(DataError::InvalidConfig(
+                "noise must be non-negative".into(),
+            ));
         }
         let mut rng = Rng64::new(config.seed);
         let n: usize = config.shape.iter().product();
@@ -71,7 +75,10 @@ impl SyntheticDataset {
         let mut prototypes = Vec::with_capacity(config.num_classes);
         for _ in 0..config.num_classes {
             let base: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
-            prototypes.push(Tensor::from_vec(smooth(&base, &config.shape), &config.shape)?);
+            prototypes.push(Tensor::from_vec(
+                smooth(&base, &config.shape),
+                &config.shape,
+            )?);
         }
 
         let make_split = |per_class: usize, rng: &mut Rng64| -> Result<Vec<(Tensor, usize)>> {
@@ -109,7 +116,11 @@ impl SyntheticDataset {
     /// # Errors
     ///
     /// Propagates [`SyntheticDataset::generate`] errors.
-    pub fn synth_imagenet(train_per_class: usize, test_per_class: usize, seed: u64) -> Result<Self> {
+    pub fn synth_imagenet(
+        train_per_class: usize,
+        test_per_class: usize,
+        seed: u64,
+    ) -> Result<Self> {
         SyntheticDataset::generate(DatasetConfig {
             name: "synth-imagenet".into(),
             num_classes: 100,
@@ -172,7 +183,11 @@ impl SyntheticDataset {
     /// # Errors
     ///
     /// Propagates [`SyntheticDataset::generate`] errors.
-    pub fn synth_cifar100(train_per_class: usize, test_per_class: usize, seed: u64) -> Result<Self> {
+    pub fn synth_cifar100(
+        train_per_class: usize,
+        test_per_class: usize,
+        seed: u64,
+    ) -> Result<Self> {
         let mut ds = SyntheticDataset::generate(DatasetConfig {
             name: "synth-cifar100".into(),
             num_classes: 100,
@@ -240,10 +255,12 @@ impl SyntheticDataset {
     ///
     /// Returns [`DataError::SampleOutOfRange`] if `class` is out of range.
     pub fn prototype(&self, class: usize) -> Result<&Tensor> {
-        self.prototypes.get(class).ok_or(DataError::SampleOutOfRange {
-            index: class,
-            len: self.prototypes.len(),
-        })
+        self.prototypes
+            .get(class)
+            .ok_or(DataError::SampleOutOfRange {
+                index: class,
+                len: self.prototypes.len(),
+            })
     }
 
     /// The configuration that generated this dataset.
@@ -396,7 +413,10 @@ mod tests {
             // A sample should be closer to its own prototype than to some other.
             let other = (0..3).find(|c| c != y).unwrap();
             let cross = x.mse(ds.prototype(other).unwrap()).unwrap();
-            assert!(own < cross, "sample of class {y}: own {own} vs cross {cross}");
+            assert!(
+                own < cross,
+                "sample of class {y}: own {own} vs cross {cross}"
+            );
         }
         assert!(ds.prototype(5).is_err());
     }

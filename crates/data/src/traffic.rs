@@ -3,8 +3,8 @@
 
 use ptolemy_tensor::{Rng64, Tensor};
 
-use crate::{DataError, Result, SyntheticDataset};
 use crate::dataset::DatasetConfig;
+use crate::{DataError, Result, SyntheticDataset};
 
 /// Classes of the traffic-sign dataset, in label order.
 pub const TRAFFIC_CLASSES: [&str; 4] = ["stop", "yield", "speed-limit", "background"];
@@ -27,7 +27,11 @@ pub const TRAFFIC_CLASSES: [&str; 4] = ["stop", "yield", "speed-limit", "backgro
 /// # Ok(())
 /// # }
 /// ```
-pub fn traffic_signs(train_per_class: usize, test_per_class: usize, seed: u64) -> Result<SyntheticDataset> {
+pub fn traffic_signs(
+    train_per_class: usize,
+    test_per_class: usize,
+    seed: u64,
+) -> Result<SyntheticDataset> {
     if train_per_class == 0 {
         return Err(DataError::InvalidConfig(
             "traffic_signs requires at least one training sample per class".into(),
@@ -46,7 +50,7 @@ pub fn traffic_signs(train_per_class: usize, test_per_class: usize, seed: u64) -
     };
     let mut rng = Rng64::new(seed);
     let prototypes: Vec<Tensor> = (0..TRAFFIC_CLASSES.len())
-        .map(|class| glyph(class))
+        .map(glyph)
         .collect::<Result<_>>()?;
 
     let make = |per_class: usize, rng: &mut Rng64| -> Result<Vec<(Tensor, usize)>> {

@@ -36,10 +36,17 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        assert!(!ForestError::InvalidTrainingData("x".into()).to_string().is_empty());
-        assert!(!ForestError::FeatureCountMismatch { expected: 2, actual: 1 }
+        assert!(!ForestError::InvalidTrainingData("x".into())
             .to_string()
             .is_empty());
-        assert!(!ForestError::InvalidMetricInput("y".into()).to_string().is_empty());
+        assert!(!ForestError::FeatureCountMismatch {
+            expected: 2,
+            actual: 1
+        }
+        .to_string()
+        .is_empty());
+        assert!(!ForestError::InvalidMetricInput("y".into())
+            .to_string()
+            .is_empty());
     }
 }

@@ -91,7 +91,11 @@ pub fn auc(scores: &[f32], labels: &[bool]) -> Result<f32> {
 
     // Rank the scores (average rank for ties).
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {

@@ -1,12 +1,11 @@
 //! CART decision trees and bagged random forests for binary classification.
 
 use ptolemy_tensor::Rng64;
-use serde::{Deserialize, Serialize};
 
 use crate::{ForestError, Result};
 
 /// Configuration of a single decision tree.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeConfig {
     /// Maximum tree depth.
     pub max_depth: usize,
@@ -26,7 +25,7 @@ impl Default for TreeConfig {
 /// Configuration of a [`RandomForest`].
 ///
 /// The defaults mirror the paper's deployment: 100 trees of average depth ≈ 12.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForestConfig {
     /// Number of trees.
     pub num_trees: usize,
@@ -49,7 +48,7 @@ impl Default for ForestConfig {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf {
         positive_fraction: f32,
@@ -63,7 +62,7 @@ enum Node {
 }
 
 /// A single CART decision tree (Gini impurity, axis-aligned splits).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionTree {
     root: Node,
     num_features: usize,
@@ -147,7 +146,7 @@ impl DecisionTree {
 }
 
 /// A bagged ensemble of [`DecisionTree`]s.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     num_features: usize,
@@ -221,6 +220,11 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// Number of features the forest was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
     /// Average tree depth (the paper quotes ≈ 12 for its deployment).
     pub fn average_depth(&self) -> f32 {
         self.trees.iter().map(|t| t.depth() as f32).sum::<f32>() / self.trees.len() as f32
@@ -234,7 +238,9 @@ impl RandomForest {
 
 fn validate(features: &[Vec<f32>], labels: &[bool]) -> Result<()> {
     if features.is_empty() || labels.is_empty() {
-        return Err(ForestError::InvalidTrainingData("empty training set".into()));
+        return Err(ForestError::InvalidTrainingData(
+            "empty training set".into(),
+        ));
     }
     if features.len() != labels.len() {
         return Err(ForestError::InvalidTrainingData(format!(
@@ -245,7 +251,9 @@ fn validate(features: &[Vec<f32>], labels: &[bool]) -> Result<()> {
     }
     let width = features[0].len();
     if width == 0 {
-        return Err(ForestError::InvalidTrainingData("zero-width feature rows".into()));
+        return Err(ForestError::InvalidTrainingData(
+            "zero-width feature rows".into(),
+        ));
     }
     if features.iter().any(|row| row.len() != width) {
         return Err(ForestError::InvalidTrainingData(
@@ -314,8 +322,8 @@ fn build_node(
             if lt == 0 || rt == 0 {
                 continue;
             }
-            let impurity = (lt as f32 * gini(lp, lt) + rt as f32 * gini(rp, rt))
-                / indices.len() as f32;
+            let impurity =
+                (lt as f32 * gini(lp, lt) + rt as f32 * gini(rp, rt)) / indices.len() as f32;
             if best.map(|(_, _, b)| impurity < b).unwrap_or(true) {
                 best = Some((feature, threshold, impurity));
             }
@@ -414,7 +422,13 @@ mod tests {
     fn invalid_training_inputs_are_rejected() {
         let mut rng = Rng64::new(0);
         assert!(DecisionTree::fit(&[], &[], &TreeConfig::default(), &mut rng).is_err());
-        assert!(DecisionTree::fit(&[vec![1.0]], &[true, false], &TreeConfig::default(), &mut rng).is_err());
+        assert!(DecisionTree::fit(
+            &[vec![1.0]],
+            &[true, false],
+            &TreeConfig::default(),
+            &mut rng
+        )
+        .is_err());
         assert!(DecisionTree::fit(&[vec![]], &[true], &TreeConfig::default(), &mut rng).is_err());
         assert!(DecisionTree::fit(
             &[vec![1.0], vec![1.0, 2.0]],

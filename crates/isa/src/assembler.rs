@@ -101,7 +101,8 @@ impl Assembler {
                     line: line_no + 1,
                     message: ".set requires a value".into(),
                 })?;
-                self.constants.insert(name.to_string(), parse_imm(value, line_no + 1)?);
+                self.constants
+                    .insert(name.to_string(), parse_imm(value, line_no + 1)?);
                 continue;
             }
             if line.starts_with('<') && line.ends_with('>') {
@@ -136,10 +137,16 @@ impl Assembler {
         } else {
             rest.split(',').map(str::trim).collect()
         };
-        let err = |message: String| IsaError::ParseError { line: line_no, message };
+        let err = |message: String| IsaError::ParseError {
+            line: line_no,
+            message,
+        };
         let want = |n: usize| -> Result<()> {
             if operands.len() != n {
-                Err(err(format!("{mnemonic} expects {n} operands, got {}", operands.len())))
+                Err(err(format!(
+                    "{mnemonic} expects {n} operands, got {}",
+                    operands.len()
+                )))
             } else {
                 Ok(())
             }
@@ -154,7 +161,11 @@ impl Assembler {
         match mnemonic {
             "inf" => {
                 want(3)?;
-                Ok(Instruction::Inf { input: reg(operands[0])?, weight: reg(operands[1])?, output: reg(operands[2])? })
+                Ok(Instruction::Inf {
+                    input: reg(operands[0])?,
+                    weight: reg(operands[1])?,
+                    output: reg(operands[2])?,
+                })
             }
             "infsp" => {
                 want(4)?;
@@ -167,31 +178,57 @@ impl Assembler {
             }
             "csps" => {
                 want(3)?;
-                Ok(Instruction::Csps { output_neuron: reg(operands[0])?, layer: reg(operands[1])?, psum: reg(operands[2])? })
+                Ok(Instruction::Csps {
+                    output_neuron: reg(operands[0])?,
+                    layer: reg(operands[1])?,
+                    psum: reg(operands[2])?,
+                })
             }
             "sort" => {
                 want(3)?;
-                Ok(Instruction::Sort { src: reg(operands[0])?, len: reg(operands[1])?, dst: reg(operands[2])? })
+                Ok(Instruction::Sort {
+                    src: reg(operands[0])?,
+                    len: reg(operands[1])?,
+                    dst: reg(operands[2])?,
+                })
             }
             "acum" => {
                 want(3)?;
-                Ok(Instruction::Acum { input: reg(operands[0])?, output: reg(operands[1])?, threshold: reg(operands[2])? })
+                Ok(Instruction::Acum {
+                    input: reg(operands[0])?,
+                    output: reg(operands[1])?,
+                    threshold: reg(operands[2])?,
+                })
             }
             "genmasks" => {
                 want(2)?;
-                Ok(Instruction::GenMasks { input: reg(operands[0])?, output: reg(operands[1])? })
+                Ok(Instruction::GenMasks {
+                    input: reg(operands[0])?,
+                    output: reg(operands[1])?,
+                })
             }
             "findneuron" => {
                 want(3)?;
-                Ok(Instruction::FindNeuron { layer: reg(operands[0])?, position: reg(operands[1])?, target: reg(operands[2])? })
+                Ok(Instruction::FindNeuron {
+                    layer: reg(operands[0])?,
+                    position: reg(operands[1])?,
+                    target: reg(operands[2])?,
+                })
             }
             "findrf" => {
                 want(2)?;
-                Ok(Instruction::FindRf { neuron: reg(operands[0])?, rf: reg(operands[1])? })
+                Ok(Instruction::FindRf {
+                    neuron: reg(operands[0])?,
+                    rf: reg(operands[1])?,
+                })
             }
             "cls" => {
                 want(3)?;
-                Ok(Instruction::Cls { class_path: reg(operands[0])?, activation_path: reg(operands[1])?, result: reg(operands[2])? })
+                Ok(Instruction::Cls {
+                    class_path: reg(operands[0])?,
+                    activation_path: reg(operands[1])?,
+                    result: reg(operands[2])?,
+                })
             }
             "mov" => {
                 want(2)?;
@@ -199,11 +236,16 @@ impl Assembler {
                 if !(0..=0xFFF).contains(&imm) {
                     return Err(IsaError::ImmediateOutOfRange(imm));
                 }
-                Ok(Instruction::Mov { dst: reg(operands[0])?, imm: imm as u16 })
+                Ok(Instruction::Mov {
+                    dst: reg(operands[0])?,
+                    imm: imm as u16,
+                })
             }
             "dec" => {
                 want(1)?;
-                Ok(Instruction::Dec { reg: reg(operands[0])? })
+                Ok(Instruction::Dec {
+                    reg: reg(operands[0])?,
+                })
             }
             "jne" => {
                 want(2)?;
@@ -220,7 +262,10 @@ impl Assembler {
                 if !(-128..=127).contains(&offset) {
                     return Err(IsaError::ImmediateOutOfRange(offset));
                 }
-                Ok(Instruction::Jne { reg: reg(operands[0])?, offset: offset as i8 })
+                Ok(Instruction::Jne {
+                    reg: reg(operands[0])?,
+                    offset: offset as i8,
+                })
             }
             "halt" => {
                 want(0)?;
@@ -239,7 +284,10 @@ impl Assembler {
 }
 
 fn parse_imm(token: &str, line_no: usize) -> Result<i64> {
-    let parsed = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+    let parsed = if let Some(hex) = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
         i64::from_str_radix(hex, 16)
     } else {
         token.parse()
@@ -278,7 +326,10 @@ mod tests {
         // The paper notes compiled programs stay below 100 bytes.
         assert!(program.size_bytes() < 100);
         // The loop body is path-construction work.
-        assert_eq!(program.instructions[2].class(), InstructionClass::PathConstruction);
+        assert_eq!(
+            program.instructions[2].class(),
+            InstructionClass::PathConstruction
+        );
         // The jne must branch back to the findneuron at index 2 from index 7.
         match program.instructions[7] {
             Instruction::Jne { offset, .. } => assert_eq!(offset, -5),
@@ -323,8 +374,14 @@ mod tests {
             assemble("mov r99, 1"),
             Err(IsaError::InvalidRegister(99))
         ));
-        assert!(matches!(assemble(".set x"), Err(IsaError::ParseError { .. })));
-        assert!(matches!(assemble("mov r1, qq"), Err(IsaError::ParseError { .. })));
+        assert!(matches!(
+            assemble(".set x"),
+            Err(IsaError::ParseError { .. })
+        ));
+        assert!(matches!(
+            assemble("mov r1, qq"),
+            Err(IsaError::ParseError { .. })
+        ));
     }
 
     #[test]

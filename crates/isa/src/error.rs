@@ -25,7 +25,9 @@ impl fmt::Display for IsaError {
         match self {
             IsaError::InvalidRegister(r) => write!(f, "register r{r} does not exist (16 GPRs)"),
             IsaError::InvalidEncoding(w) => write!(f, "word {w:#08x} is not a valid instruction"),
-            IsaError::ParseError { line, message } => write!(f, "parse error on line {line}: {message}"),
+            IsaError::ParseError { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             IsaError::UndefinedSymbol(s) => write!(f, "undefined symbol '{s}'"),
             IsaError::ImmediateOutOfRange(v) => write!(f, "immediate {v} out of range"),
         }

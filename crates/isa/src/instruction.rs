@@ -1,12 +1,11 @@
 //! Instruction definitions and the 24-bit binary encoding of Table I.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::{IsaError, Result};
 
 /// One of the 16 general-purpose registers (`r0`–`r15`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Reg(u8);
 
 impl Reg {
@@ -35,7 +34,7 @@ impl fmt::Display for Reg {
 }
 
 /// The four instruction classes of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstructionClass {
     /// Inference instructions (`inf`, `infsp`, `csps`).
     Inference,
@@ -52,7 +51,7 @@ pub enum InstructionClass {
 ///
 /// All detection-related instructions use register operands; constants calculated by
 /// the compiler (receptive-field sizes, thresholds) are loaded with `mov`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instruction {
     /// Layer inference: input / weight / output addresses in registers.
     Inf {
@@ -192,40 +191,79 @@ impl Instruction {
     /// `u32`).
     pub fn encode(&self) -> u32 {
         match *self {
-            Instruction::Inf { input, weight, output } => pack(
+            Instruction::Inf {
+                input,
+                weight,
+                output,
+            } => pack(
                 OP_INF,
                 [input.0 as u32, weight.0 as u32, output.0 as u32, 0, 0],
             ),
-            Instruction::InfSp { input, weight, output, psum } => pack(
+            Instruction::InfSp {
+                input,
+                weight,
+                output,
+                psum,
+            } => pack(
                 OP_INFSP,
-                [input.0 as u32, weight.0 as u32, output.0 as u32, psum.0 as u32, 0],
+                [
+                    input.0 as u32,
+                    weight.0 as u32,
+                    output.0 as u32,
+                    psum.0 as u32,
+                    0,
+                ],
             ),
-            Instruction::Csps { output_neuron, layer, psum } => pack(
+            Instruction::Csps {
+                output_neuron,
+                layer,
+                psum,
+            } => pack(
                 OP_CSPS,
                 [output_neuron.0 as u32, layer.0 as u32, psum.0 as u32, 0, 0],
             ),
             Instruction::Sort { src, len, dst } => {
                 pack(OP_SORT, [src.0 as u32, len.0 as u32, dst.0 as u32, 0, 0])
             }
-            Instruction::Acum { input, output, threshold } => pack(
+            Instruction::Acum {
+                input,
+                output,
+                threshold,
+            } => pack(
                 OP_ACUM,
                 [input.0 as u32, output.0 as u32, threshold.0 as u32, 0, 0],
             ),
             Instruction::GenMasks { input, output } => {
                 pack(OP_GENMASKS, [input.0 as u32, output.0 as u32, 0, 0, 0])
             }
-            Instruction::FindNeuron { layer, position, target } => pack(
+            Instruction::FindNeuron {
+                layer,
+                position,
+                target,
+            } => pack(
                 OP_FINDNEURON,
                 [layer.0 as u32, position.0 as u32, target.0 as u32, 0, 0],
             ),
             Instruction::FindRf { neuron, rf } => {
                 pack(OP_FINDRF, [neuron.0 as u32, rf.0 as u32, 0, 0, 0])
             }
-            Instruction::Cls { class_path, activation_path, result } => pack(
+            Instruction::Cls {
+                class_path,
+                activation_path,
+                result,
+            } => pack(
                 OP_CLS,
-                [class_path.0 as u32, activation_path.0 as u32, result.0 as u32, 0, 0],
+                [
+                    class_path.0 as u32,
+                    activation_path.0 as u32,
+                    result.0 as u32,
+                    0,
+                    0,
+                ],
             ),
-            Instruction::Mov { dst, imm } => (OP_MOV << 20) | ((dst.0 as u32) << 16) | (imm as u32 & 0xFFF),
+            Instruction::Mov { dst, imm } => {
+                (OP_MOV << 20) | ((dst.0 as u32) << 16) | (imm as u32 & 0xFFF)
+            }
             Instruction::Dec { reg } => pack(OP_DEC, [reg.0 as u32, 0, 0, 0, 0]),
             Instruction::Jne { reg, offset } => {
                 (OP_JNE << 20) | ((reg.0 as u32) << 16) | ((offset as u8) as u32)
@@ -343,25 +381,50 @@ impl Instruction {
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Instruction::Inf { input, weight, output } => {
+            Instruction::Inf {
+                input,
+                weight,
+                output,
+            } => {
                 write!(f, "inf {input}, {weight}, {output}")
             }
-            Instruction::InfSp { input, weight, output, psum } => {
+            Instruction::InfSp {
+                input,
+                weight,
+                output,
+                psum,
+            } => {
                 write!(f, "infsp {input}, {weight}, {output}, {psum}")
             }
-            Instruction::Csps { output_neuron, layer, psum } => {
+            Instruction::Csps {
+                output_neuron,
+                layer,
+                psum,
+            } => {
                 write!(f, "csps {output_neuron}, {layer}, {psum}")
             }
             Instruction::Sort { src, len, dst } => write!(f, "sort {src}, {len}, {dst}"),
-            Instruction::Acum { input, output, threshold } => {
+            Instruction::Acum {
+                input,
+                output,
+                threshold,
+            } => {
                 write!(f, "acum {input}, {output}, {threshold}")
             }
             Instruction::GenMasks { input, output } => write!(f, "genmasks {input}, {output}"),
-            Instruction::FindNeuron { layer, position, target } => {
+            Instruction::FindNeuron {
+                layer,
+                position,
+                target,
+            } => {
                 write!(f, "findneuron {layer}, {position}, {target}")
             }
             Instruction::FindRf { neuron, rf } => write!(f, "findrf {neuron}, {rf}"),
-            Instruction::Cls { class_path, activation_path, result } => {
+            Instruction::Cls {
+                class_path,
+                activation_path,
+                result,
+            } => {
                 write!(f, "cls {class_path}, {activation_path}, {result}")
             }
             Instruction::Mov { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
@@ -382,18 +445,59 @@ mod tests {
 
     fn all_instructions() -> Vec<Instruction> {
         vec![
-            Instruction::Inf { input: r(1), weight: r(2), output: r(3) },
-            Instruction::InfSp { input: r(1), weight: r(2), output: r(3), psum: r(4) },
-            Instruction::Csps { output_neuron: r(5), layer: r(6), psum: r(7) },
-            Instruction::Sort { src: r(1), len: r(3), dst: r(6) },
-            Instruction::Acum { input: r(6), output: r(1), threshold: r(5) },
-            Instruction::GenMasks { input: r(2), output: r(9) },
-            Instruction::FindNeuron { layer: r(2), position: r(7), target: r(4) },
-            Instruction::FindRf { neuron: r(4), rf: r(1) },
-            Instruction::Cls { class_path: r(10), activation_path: r(11), result: r(12) },
-            Instruction::Mov { dst: r(3), imm: 0x200 },
+            Instruction::Inf {
+                input: r(1),
+                weight: r(2),
+                output: r(3),
+            },
+            Instruction::InfSp {
+                input: r(1),
+                weight: r(2),
+                output: r(3),
+                psum: r(4),
+            },
+            Instruction::Csps {
+                output_neuron: r(5),
+                layer: r(6),
+                psum: r(7),
+            },
+            Instruction::Sort {
+                src: r(1),
+                len: r(3),
+                dst: r(6),
+            },
+            Instruction::Acum {
+                input: r(6),
+                output: r(1),
+                threshold: r(5),
+            },
+            Instruction::GenMasks {
+                input: r(2),
+                output: r(9),
+            },
+            Instruction::FindNeuron {
+                layer: r(2),
+                position: r(7),
+                target: r(4),
+            },
+            Instruction::FindRf {
+                neuron: r(4),
+                rf: r(1),
+            },
+            Instruction::Cls {
+                class_path: r(10),
+                activation_path: r(11),
+                result: r(12),
+            },
+            Instruction::Mov {
+                dst: r(3),
+                imm: 0x200,
+            },
             Instruction::Dec { reg: r(11) },
-            Instruction::Jne { reg: r(11), offset: -5 },
+            Instruction::Jne {
+                reg: r(11),
+                offset: -5,
+            },
             Instruction::Halt,
         ]
     }
@@ -403,7 +507,11 @@ mod tests {
         for inst in all_instructions() {
             let word = inst.encode();
             assert!(word < (1 << 24), "{inst} does not fit 24 bits");
-            assert_eq!(Instruction::decode(word).unwrap(), inst, "roundtrip of {inst}");
+            assert_eq!(
+                Instruction::decode(word).unwrap(),
+                inst,
+                "roundtrip of {inst}"
+            );
         }
     }
 
@@ -418,29 +526,57 @@ mod tests {
     #[test]
     fn classes_match_table_one() {
         assert_eq!(
-            Instruction::Inf { input: r(0), weight: r(1), output: r(2) }.class(),
+            Instruction::Inf {
+                input: r(0),
+                weight: r(1),
+                output: r(2)
+            }
+            .class(),
             InstructionClass::Inference
         );
         assert_eq!(
-            Instruction::Sort { src: r(0), len: r(1), dst: r(2) }.class(),
+            Instruction::Sort {
+                src: r(0),
+                len: r(1),
+                dst: r(2)
+            }
+            .class(),
             InstructionClass::PathConstruction
         );
         assert_eq!(
-            Instruction::Cls { class_path: r(0), activation_path: r(1), result: r(2) }.class(),
+            Instruction::Cls {
+                class_path: r(0),
+                activation_path: r(1),
+                result: r(2)
+            }
+            .class(),
             InstructionClass::Classification
         );
         assert_eq!(Instruction::Halt.class(), InstructionClass::Others);
-        assert_eq!(Instruction::Dec { reg: r(1) }.class(), InstructionClass::Others);
+        assert_eq!(
+            Instruction::Dec { reg: r(1) }.class(),
+            InstructionClass::Others
+        );
     }
 
     #[test]
     fn disassembly_matches_listing_style() {
         assert_eq!(
-            Instruction::Sort { src: r(1), len: r(3), dst: r(6) }.to_string(),
+            Instruction::Sort {
+                src: r(1),
+                len: r(3),
+                dst: r(6)
+            }
+            .to_string(),
             "sort r1, r3, r6"
         );
         assert_eq!(
-            Instruction::Acum { input: r(6), output: r(1), threshold: r(5) }.to_string(),
+            Instruction::Acum {
+                input: r(6),
+                output: r(1),
+                threshold: r(5)
+            }
+            .to_string(),
             "acum r6, r1, r5"
         );
         assert_eq!(Instruction::Halt.mnemonic(), "halt");

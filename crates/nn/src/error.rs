@@ -33,7 +33,10 @@ impl fmt::Display for NnError {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::InvalidConfig(msg) => write!(f, "invalid network configuration: {msg}"),
             NnError::LayerOutOfRange { index, num_layers } => {
-                write!(f, "layer index {index} out of range (network has {num_layers} layers)")
+                write!(
+                    f,
+                    "layer index {index} out of range (network has {num_layers} layers)"
+                )
             }
             NnError::InvalidLabel { label, num_classes } => {
                 write!(f, "label {label} out of range for {num_classes} classes")
@@ -68,8 +71,11 @@ mod tests {
         assert!(e.to_string().contains("tensor error"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(NnError::EmptyDataset.to_string().contains("non-empty"));
-        assert!(NnError::LayerOutOfRange { index: 3, num_layers: 2 }
-            .to_string()
-            .contains("out of range"));
+        assert!(NnError::LayerOutOfRange {
+            index: 3,
+            num_layers: 2
+        }
+        .to_string()
+        .contains("out of range"));
     }
 }

@@ -268,8 +268,8 @@ mod tests {
             xp.as_mut_slice()[i] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= eps;
-            let num = (conv.forward(&xp).unwrap().sum() - conv.forward(&xm).unwrap().sum())
-                / (2.0 * eps);
+            let num =
+                (conv.forward(&xp).unwrap().sum() - conv.forward(&xm).unwrap().sum()) / (2.0 * eps);
             let ana = grads.input_grad.as_slice()[i];
             assert!((num - ana).abs() < 1e-2, "grad {i}: {num} vs {ana}");
         }

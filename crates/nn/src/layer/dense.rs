@@ -259,7 +259,9 @@ mod tests {
         assert!(Dense::new(0, 3, &mut rng).is_err());
         let layer = Dense::new(4, 2, &mut rng).unwrap();
         assert!(layer.forward(&Tensor::ones(&[3])).is_err());
-        assert!(layer.backward(&Tensor::ones(&[4]), &Tensor::ones(&[3])).is_err());
+        assert!(layer
+            .backward(&Tensor::ones(&[4]), &Tensor::ones(&[3]))
+            .is_err());
         assert!(Dense::from_parts(Tensor::zeros(&[2, 3]), Tensor::zeros(&[3])).is_err());
     }
 

@@ -107,9 +107,7 @@ impl LayerKind {
                 geometry,
                 out_channels,
             } => {
-                geometry.patch_len() as u64
-                    * geometry.num_patches() as u64
-                    * (*out_channels as u64)
+                geometry.patch_len() as u64 * geometry.num_patches() as u64 * (*out_channels as u64)
             }
             LayerKind::Residual { inner } => inner.iter().map(LayerKind::macs).sum(),
             _ => 0,

@@ -15,7 +15,13 @@ struct PoolGeom {
 }
 
 impl PoolGeom {
-    fn new(channels: usize, in_h: usize, in_w: usize, window: usize, stride: usize) -> Result<Self> {
+    fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Result<Self> {
         if window == 0 || stride == 0 {
             return Err(NnError::InvalidConfig(
                 "pooling window and stride must be non-zero".into(),
@@ -100,7 +106,13 @@ impl MaxPool2d {
     ///
     /// Returns [`NnError::InvalidConfig`] for a zero window/stride or a window
     /// larger than the input.
-    pub fn new(channels: usize, in_h: usize, in_w: usize, window: usize, stride: usize) -> Result<Self> {
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Result<Self> {
         Ok(MaxPool2d {
             geom: PoolGeom::new(channels, in_h, in_w, window, stride)?,
         })
@@ -156,7 +168,11 @@ impl Layer for MaxPool2d {
                     let best = win
                         .iter()
                         .copied()
-                        .max_by(|a, b| x[*a].partial_cmp(&x[*b]).unwrap_or(std::cmp::Ordering::Equal))
+                        .max_by(|a, b| {
+                            x[*a]
+                                .partial_cmp(&x[*b])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
                         .unwrap_or(win[0]);
                     gx[best] += gy[out_idx];
                     out_idx += 1;
@@ -185,7 +201,11 @@ impl Layer for MaxPool2d {
         let best = win
             .iter()
             .copied()
-            .max_by(|a, b| x[*a].partial_cmp(&x[*b]).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                x[*a]
+                    .partial_cmp(&x[*b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .unwrap_or(win[0]);
         Ok(Contribution::PassThrough(vec![best]))
     }
@@ -211,7 +231,13 @@ impl AvgPool2d {
     ///
     /// Returns [`NnError::InvalidConfig`] for a zero window/stride or a window
     /// larger than the input.
-    pub fn new(channels: usize, in_h: usize, in_w: usize, window: usize, stride: usize) -> Result<Self> {
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Result<Self> {
         Ok(AvgPool2d {
             geom: PoolGeom::new(channels, in_h, in_w, window, stride)?,
         })

@@ -37,7 +37,9 @@ impl Residual {
     /// shape (the shortcut requires matching shapes).
     pub fn new(body: Vec<Box<dyn Layer>>, post_relu: bool) -> Result<Self> {
         if body.is_empty() {
-            return Err(NnError::InvalidConfig("residual body must not be empty".into()));
+            return Err(NnError::InvalidConfig(
+                "residual body must not be empty".into(),
+            ));
         }
         let shape = body[0].input_shape();
         let mut cur = shape.clone();
@@ -215,7 +217,9 @@ mod tests {
     fn forward_adds_shortcut() {
         let mut rng = Rng64::new(0);
         let res = block(&mut rng, false);
-        let x = Initializer::Uniform(1.0).build(&[2, 4, 4], &mut rng).unwrap();
+        let x = Initializer::Uniform(1.0)
+            .build(&[2, 4, 4], &mut rng)
+            .unwrap();
         let y = res.forward(&x).unwrap();
         assert_eq!(y.dims(), x.dims());
         // With a zero body the output would equal the input; with a random body it
@@ -234,7 +238,9 @@ mod tests {
     fn contributions_sum_close_to_preactivation() {
         let mut rng = Rng64::new(1);
         let res = block(&mut rng, false);
-        let x = Initializer::Uniform(1.0).build(&[2, 4, 4], &mut rng).unwrap();
+        let x = Initializer::Uniform(1.0)
+            .build(&[2, 4, 4], &mut rng)
+            .unwrap();
         let y = res.forward(&x).unwrap();
         let idx = 5;
         match res.contributions(&x, idx).unwrap() {
@@ -251,7 +257,9 @@ mod tests {
     fn backward_matches_numeric_gradient() {
         let mut rng = Rng64::new(2);
         let res = block(&mut rng, true);
-        let x = Initializer::Uniform(1.0).build(&[2, 4, 4], &mut rng).unwrap();
+        let x = Initializer::Uniform(1.0)
+            .build(&[2, 4, 4], &mut rng)
+            .unwrap();
         let gy = Tensor::ones(&[2, 4, 4]);
         let grads = res.backward(&x, &gy).unwrap();
         let eps = 1e-3;

@@ -45,7 +45,9 @@ impl Network {
     /// layers disagree about activation shapes.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Result<Self> {
         if layers.is_empty() {
-            return Err(NnError::InvalidConfig("network must have at least one layer".into()));
+            return Err(NnError::InvalidConfig(
+                "network must have at least one layer".into(),
+            ));
         }
         let input_shape = layers[0].input_shape();
         let mut cur = input_shape.clone();
@@ -217,7 +219,9 @@ impl Network {
     /// Returns an error if `grads` does not match the network structure.
     pub fn apply_gradients(&mut self, grads: &NetworkGrads, lr: f32) -> Result<()> {
         if grads.param_grads.len() != self.layers.len() {
-            return Err(NnError::InvalidConfig("gradient/layer count mismatch".into()));
+            return Err(NnError::InvalidConfig(
+                "gradient/layer count mismatch".into(),
+            ));
         }
         for (layer, layer_grads) in self.layers.iter_mut().zip(&grads.param_grads) {
             let params = layer.params_mut();

@@ -88,7 +88,11 @@ impl Trainer {
     /// Returns [`NnError::EmptyDataset`] for an empty sample slice,
     /// [`NnError::InvalidLabel`] if a label exceeds the network's class count, and
     /// propagates shape errors from the forward/backward passes.
-    pub fn fit(&mut self, network: &mut Network, samples: &[(Tensor, usize)]) -> Result<TrainReport> {
+    pub fn fit(
+        &mut self,
+        network: &mut Network,
+        samples: &[(Tensor, usize)],
+    ) -> Result<TrainReport> {
         if samples.is_empty() {
             return Err(NnError::EmptyDataset);
         }
@@ -187,7 +191,10 @@ impl Trainer {
             }
         }
         let update = if self.config.momentum > 0.0 {
-            self.velocity.as_ref().expect("velocity initialised").clone()
+            self.velocity
+                .as_ref()
+                .expect("velocity initialised")
+                .clone()
         } else {
             accumulated
         };
@@ -232,7 +239,11 @@ mod tests {
         });
         let report = trainer.fit(&mut net, &samples).unwrap();
         assert!(report.epoch_losses.first().unwrap() > report.epoch_losses.last().unwrap());
-        assert!(report.final_accuracy > 0.9, "accuracy {}", report.final_accuracy);
+        assert!(
+            report.final_accuracy > 0.9,
+            "accuracy {}",
+            report.final_accuracy
+        );
         assert!(trainer.evaluate(&net, &samples).unwrap() > 0.9);
     }
 
@@ -241,7 +252,10 @@ mod tests {
         let mut rng = Rng64::new(0);
         let mut net = zoo::mlp_net(&[6], 2, &mut rng).unwrap();
         let mut trainer = Trainer::new(TrainConfig::default());
-        assert_eq!(trainer.fit(&mut net, &[]).unwrap_err(), NnError::EmptyDataset);
+        assert_eq!(
+            trainer.fit(&mut net, &[]).unwrap_err(),
+            NnError::EmptyDataset
+        );
         assert!(trainer.evaluate(&net, &[]).is_err());
     }
 

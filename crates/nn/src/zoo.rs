@@ -78,7 +78,9 @@ pub fn lenet(in_channels: usize, num_classes: usize, rng: &mut Rng64) -> Result<
 /// Returns [`NnError::InvalidConfig`] for zero classes.
 pub fn conv_net(num_classes: usize, rng: &mut Rng64) -> Result<Network> {
     if num_classes == 0 {
-        return Err(NnError::InvalidConfig("conv_net requires at least one class".into()));
+        return Err(NnError::InvalidConfig(
+            "conv_net requires at least one class".into(),
+        ));
     }
     let layers: Vec<Box<dyn Layer>> = vec![
         // conv1
@@ -128,7 +130,9 @@ fn residual_block(channels: usize, hw: usize, rng: &mut Rng64) -> Result<Residua
 /// Returns [`NnError::InvalidConfig`] for zero classes.
 pub fn resnet_mini(num_classes: usize, rng: &mut Rng64) -> Result<Network> {
     if num_classes == 0 {
-        return Err(NnError::InvalidConfig("resnet_mini requires at least one class".into()));
+        return Err(NnError::InvalidConfig(
+            "resnet_mini requires at least one class".into(),
+        ));
     }
     let mut layers: Vec<Box<dyn Layer>> = vec![
         // Stem.
@@ -169,14 +173,16 @@ pub fn resnet_mini(num_classes: usize, rng: &mut Rng64) -> Result<Network> {
 /// Returns [`NnError::InvalidConfig`] for zero classes.
 pub fn vgg_mini(num_classes: usize, rng: &mut Rng64) -> Result<Network> {
     if num_classes == 0 {
-        return Err(NnError::InvalidConfig("vgg_mini requires at least one class".into()));
+        return Err(NnError::InvalidConfig(
+            "vgg_mini requires at least one class".into(),
+        ));
     }
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     let push_conv = |layers: &mut Vec<Box<dyn Layer>>,
-                         cin: usize,
-                         cout: usize,
-                         hw: usize,
-                         rng: &mut Rng64|
+                     cin: usize,
+                     cout: usize,
+                     hw: usize,
+                     rng: &mut Rng64|
      -> Result<()> {
         layers.push(Box::new(Conv2d::new(cin, cout, hw, hw, 3, 1, 1, rng)?));
         layers.push(Box::new(ReLU::new(&[cout, hw, hw])));

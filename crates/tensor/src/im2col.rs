@@ -8,8 +8,6 @@
 //! is exactly one receptive field — so both `ptolemy-nn` and the extraction code in
 //! `ptolemy-core` share this geometry type.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution (single image, NCHW single batch entry).
@@ -27,7 +25,7 @@ use crate::{Result, Tensor, TensorError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv2dGeometry {
     /// Input channels.
     pub in_channels: usize,

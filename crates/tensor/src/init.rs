@@ -45,10 +45,7 @@ impl Rng64 {
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         // xoshiro256** step.
-        let result = self.state[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];
@@ -217,8 +214,7 @@ mod tests {
             .build(&[100, 100], &mut rng)
             .unwrap();
         let std_expected = (2.0f32 / 100.0).sqrt();
-        let var: f32 =
-            he.as_slice().iter().map(|v| v * v).sum::<f32>() / he.len() as f32;
+        let var: f32 = he.as_slice().iter().map(|v| v * v).sum::<f32>() / he.len() as f32;
         assert!((var.sqrt() - std_expected).abs() < 0.02);
 
         let xavier = Initializer::XavierUniform {

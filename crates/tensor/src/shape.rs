@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::{Result, TensorError};
@@ -19,7 +18,7 @@ use crate::{Result, TensorError};
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {
@@ -70,11 +69,7 @@ impl Shape {
                 shape: self.0.clone(),
             });
         }
-        Ok(index
-            .iter()
-            .zip(self.strides())
-            .map(|(i, s)| i * s)
-            .sum())
+        Ok(index.iter().zip(self.strides()).map(|(i, s)| i * s).sum())
     }
 
     /// Converts a flat offset back to a multi-dimensional index.

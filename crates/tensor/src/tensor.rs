@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::{Result, Shape, TensorError};
@@ -23,7 +22,7 @@ use crate::{Result, Shape, TensorError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
@@ -278,7 +277,12 @@ impl fmt::Display for Tensor {
             .take(8)
             .map(|v| format!("{v:.4}"))
             .collect();
-        write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", …" } else { "" })
+        write!(
+            f,
+            "[{}{}]",
+            preview.join(", "),
+            if self.len() > 8 { ", …" } else { "" }
+        )
     }
 }
 

@@ -1,16 +1,17 @@
 //! The accuracy/efficiency trade-off space (paper Sec. III-C and Fig. 10/11): build
 //! the four algorithm variants — BwCu, BwAb, FwAb and Hybrid — for one victim
-//! network, measure each variant's detection AUC against FGSM/BIM samples, compile
-//! it with the Ptolemy compiler and price it on the hardware model.
+//! network, bind each into a `DetectionEngine` backed by the hardware model, and
+//! read detection AUC and modelled latency/energy off the same serving call path.
 //!
 //! ```text
 //! cargo run --release --example accuracy_efficiency_tradeoff
 //! ```
 
-use ptolemy::accel::{HardwareConfig, Simulator};
+use std::sync::Arc;
+
+use ptolemy::accel::{AccelBackend, HardwareConfig};
 use ptolemy::attacks::{Attack, Bim, Fgsm};
-use ptolemy::compiler::Compiler;
-use ptolemy::core::{variants, Detector, Profiler};
+use ptolemy::core::{variants, DetectionEngine, Profiler};
 use ptolemy::data::SyntheticDataset;
 use ptolemy::forest::auc;
 use ptolemy::nn::{zoo, TrainConfig, Trainer};
@@ -28,9 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })
     .fit(&mut network, dataset.train())?;
     println!("victim clean accuracy: {:.2}\n", report.final_accuracy);
+    // Engines share the trained network instead of copying it.
+    let network = Arc::new(network);
 
     // Adversarial evaluation set: FGSM + BIM on correctly classified test inputs.
-    let attacks: Vec<Box<dyn Attack>> = vec![Box::new(Fgsm::new(0.12)), Box::new(Bim::new(0.12, 0.02, 25))];
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(Fgsm::new(0.12)),
+        Box::new(Bim::new(0.12, 0.02, 25)),
+    ];
     let benign: Vec<Tensor> = dataset.test().iter().map(|(x, _)| x.clone()).collect();
     let mut adversarial: Vec<Tensor> = Vec::new();
     for attack in &attacks {
@@ -42,12 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let simulator = Simulator::new(HardwareConfig::default())?;
-    let compiler = Compiler::default();
-
     println!(
-        "{:<8} {:>8} {:>12} {:>12} {:>14}",
-        "variant", "AUC", "latency", "energy", "extra DRAM(KB)"
+        "{:<8} {:>8} {:>12} {:>12} {:>16}",
+        "variant", "AUC", "latency", "energy", "batch latency(ms)"
     );
     let programs = vec![
         ("BwCu", variants::bw_cu(&network, 0.5)?),
@@ -56,38 +59,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Hybrid", variants::hybrid(&network, 0.1, 0.5)?),
     ];
     for (name, program) in programs {
-        // Accuracy: path similarity as the detection score.
+        // One engine per variant: profiled class paths, calibrated classifier,
+        // and the hardware model as the serving backend.
         let class_paths = Profiler::new(program.clone()).profile(&network, dataset.train())?;
+        let engine = DetectionEngine::builder(network.clone(), program, class_paths)
+            .backend(Box::new(AccelBackend::new(HardwareConfig::default())))
+            .calibrate(&benign, &adversarial)
+            .build()?;
+
+        // Accuracy: raw path similarity as the detection score.
         let mut scores = Vec::new();
         let mut labels = Vec::new();
-        let mut density = 0.0f32;
-        for input in &benign {
-            let (_, s) = Detector::path_similarity(&network, &program, &class_paths, input)?;
-            scores.push(1.0 - s);
-            labels.push(false);
-        }
-        for input in &adversarial {
-            let (_, s) = Detector::path_similarity(&network, &program, &class_paths, input)?;
-            scores.push(1.0 - s);
-            labels.push(true);
-        }
-        {
-            let profiler = Profiler::new(program.clone());
-            let (_, path) = profiler.extract(&network, &benign[0])?;
-            density = density.max(path.density());
+        for (inputs, label) in [(&benign, false), (&adversarial, true)] {
+            for input in inputs.iter() {
+                let (_, s) = engine.path_similarity(input)?;
+                scores.push(1.0 - s);
+                labels.push(label);
+            }
         }
         let variant_auc = auc(&scores, &labels)?;
 
-        // Cost: compile and simulate on the default 20x20 accelerator.
-        let compiled = compiler.compile(&network, &program)?;
-        let cost = simulator.simulate(&network, &compiled, density)?;
+        // Cost: serve the benign set as one batch; the backend prices it on the
+        // default 20x20 accelerator using the batch's measured path density.
+        let (_, estimate) = engine.detect_batch_with_estimate(&benign)?;
         println!(
-            "{:<8} {:>8.3} {:>11.2}x {:>11.2}x {:>14.1}",
+            "{:<8} {:>8.3} {:>11.2}x {:>11.2}x {:>16.3}",
             name,
             variant_auc,
-            cost.latency_factor(),
-            cost.energy_factor(),
-            cost.extra_dram_space_bytes as f64 / 1024.0,
+            estimate.latency_factor.unwrap_or(0.0),
+            estimate.energy_factor.unwrap_or(0.0),
+            estimate.latency_ms.unwrap_or(0.0),
         );
     }
     println!("\n(The paper's Fig. 10/11 shape: BwCu is the most accurate and most expensive, FwAb hides almost all latency, Hybrid sits in between.)");

@@ -1,5 +1,6 @@
 //! Quickstart: train a small victim network on synthetic data, profile its canary
-//! class paths offline, and detect FGSM adversarial samples at inference time.
+//! class paths offline, bind a `DetectionEngine` once, and detect FGSM adversarial
+//! samples in batches at inference time.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -21,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainConfig::default()
     })
     .fit(&mut network, dataset.train())?;
-    println!("victim trained: clean accuracy {:.2}", report.final_accuracy);
+    println!(
+        "victim trained: clean accuracy {:.2}",
+        report.final_accuracy
+    );
 
     // 2. Offline phase (Fig. 4 left): profile the training set into per-class canary
     //    paths using the BwCu algorithm (backward extraction, cumulative threshold).
@@ -33,8 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         class_paths.class_path(0)?.path().total_bits()
     );
 
-    // 3. Calibrate the random-forest classifier on benign test inputs and FGSM
-    //    adversarial samples.
+    // 3. Build the serving engine: the program/class-path fingerprint is validated
+    //    once here, the random-forest classifier is calibrated from benign test
+    //    inputs and FGSM adversarial samples, and the decision threshold is an
+    //    explicit knob instead of a hard-coded 0.5.
     let attack = Fgsm::new(0.25);
     let benign: Vec<_> = dataset.test().iter().map(|(x, _)| x.clone()).collect();
     let adversarial: Vec<_> = dataset
@@ -42,23 +48,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(x, y)| attack.perturb(&network, x, *y).map(|e| e.input))
         .collect::<Result<Vec<_>, _>>()?;
-    let detector = Detector::fit_default(
-        &network,
-        program,
-        class_paths,
-        &benign[..benign.len() / 2],
-        &adversarial[..adversarial.len() / 2],
-    )?;
+    let engine = DetectionEngine::builder(network, program, class_paths)
+        .threshold(0.5)
+        .calibrate(
+            &benign[..benign.len() / 2],
+            &adversarial[..adversarial.len() / 2],
+        )
+        .build()?;
 
-    // 4. Online phase (Fig. 4 right): detect held-out benign and adversarial inputs.
+    // 4. Online phase (Fig. 4 right): detect held-out benign and adversarial inputs
+    //    in one batch each (traces fan out over scoped threads).
     let mut correct = 0usize;
     let mut total = 0usize;
     for (inputs, expected) in [
         (&benign[benign.len() / 2..], false),
         (&adversarial[adversarial.len() / 2..], true),
     ] {
-        for input in inputs {
-            let verdict = detector.detect(&network, input)?;
+        for verdict in engine.detect_batch(inputs)? {
             if verdict.is_adversary == expected {
                 correct += 1;
             }
@@ -70,15 +76,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         correct as f32 / total as f32
     );
 
-    // 5. AUC over the same held-out split, the metric the paper reports.
+    // 5. AUC over the same held-out split, the metric the paper reports; the
+    //    streaming API scores the inputs lazily.
     let mut scores = Vec::new();
     let mut labels = Vec::new();
     for (inputs, is_adv) in [
         (&benign[benign.len() / 2..], false),
         (&adversarial[adversarial.len() / 2..], true),
     ] {
-        for input in inputs {
-            scores.push(detector.score(&network, input)?);
+        for score in engine.score_stream(inputs.iter().cloned()) {
+            scores.push(score?);
             labels.push(is_adv);
         }
     }

@@ -8,7 +8,7 @@
 //! ```
 
 use ptolemy::attacks::{Attack, Bim};
-use ptolemy::core::{variants, Detector, Profiler};
+use ptolemy::core::{variants, DetectionEngine, Profiler};
 use ptolemy::data::{traffic_signs, TRAFFIC_CLASSES};
 use ptolemy::nn::{zoo, TrainConfig, Trainer};
 use ptolemy::tensor::Rng64;
@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = variants::fw_ab(&network, 0.05)?;
     let class_paths = Profiler::new(program.clone()).profile(&network, dataset.train())?;
 
-    // Calibrate the detector with BIM adversarial samples of all classes.
+    // Bind the serving engine once, calibrating the classifier with BIM
+    // adversarial samples of all classes.
     let attack = Bim::new(0.12, 0.02, 30);
     let benign: Vec<_> = dataset.test().iter().map(|(x, _)| x.clone()).collect();
     let adversarial: Vec<_> = dataset
@@ -43,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(x, y)| attack.perturb(&network, x, *y).map(|e| e.input))
         .collect::<Result<Vec<_>, _>>()?;
-    let detector = Detector::fit_default(&network, program, class_paths, &benign, &adversarial)?;
+    let engine = DetectionEngine::builder(network, program, class_paths)
+        .calibrate(&benign, &adversarial)
+        .build()?;
 
     // The attack scenario: take stop-sign test images, perturb them, and see what the
     // classifier and the detector say.
@@ -52,19 +55,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fooled = 0usize;
     let mut caught = 0usize;
     for (input, label) in dataset.test().iter().filter(|(_, l)| *l == stop_class) {
-        if network.predict(input)? != *label {
+        if engine.network().predict(input)? != *label {
             continue;
         }
-        let example = attack.perturb(&network, input, *label)?;
+        let example = attack.perturb(engine.network(), input, *label)?;
         attacked += 1;
-        let verdict = detector.detect(&network, &example.input)?;
+        let verdict = engine.detect(&example.input)?;
         if example.success {
             fooled += 1;
             println!(
                 "stop sign perturbed (MSE {:.4}) -> classified as '{}'; Ptolemy verdict: {}",
                 example.distortion_mse,
                 TRAFFIC_CLASSES[example.adversarial_class.min(TRAFFIC_CLASSES.len() - 1)],
-                if verdict.is_adversary { "ADVERSARIAL (rejected)" } else { "benign (missed!)" },
+                if verdict.is_adversary {
+                    "ADVERSARIAL (rejected)"
+                } else {
+                    "benign (missed!)"
+                },
             );
         }
         if verdict.is_adversary {
@@ -75,15 +82,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{attacked} stop signs attacked, {fooled} fooled the classifier, {caught} flagged by Ptolemy"
     );
 
-    // Benign stop signs should still pass.
-    let mut benign_pass = 0usize;
-    let mut benign_total = 0usize;
-    for (input, _) in dataset.test().iter().filter(|(_, l)| *l == stop_class) {
-        benign_total += 1;
-        if !detector.detect(&network, input)?.is_adversary {
-            benign_pass += 1;
-        }
-    }
-    println!("{benign_pass}/{benign_total} unperturbed stop signs pass the detector");
+    // Benign stop signs should still pass; score them as one batch.
+    let benign_stop: Vec<_> = dataset
+        .test()
+        .iter()
+        .filter(|(_, l)| *l == stop_class)
+        .map(|(x, _)| x.clone())
+        .collect();
+    let verdicts = engine.detect_batch(&benign_stop)?;
+    let benign_pass = verdicts.iter().filter(|v| !v.is_adversary).count();
+    println!(
+        "{benign_pass}/{} unperturbed stop signs pass the detector",
+        benign_stop.len()
+    );
     Ok(())
 }

@@ -12,11 +12,17 @@
 //! * [`attacks`] — FGSM/BIM/PGD/JSMA/DeepFool/CW-L2 and the adaptive attack
 //!   ([`ptolemy_attacks`]).
 //! * [`forest`] — random forest + AUC ([`ptolemy_forest`]).
-//! * [`core`] — the Ptolemy detection framework itself ([`ptolemy_core`]).
-//! * [`isa`], [`compiler`], [`accel`] — the ISA, compiler and hardware model.
+//! * [`core`] — the Ptolemy detection framework and its serving engine
+//!   ([`ptolemy_core`]).
+//! * [`isa`], [`compiler`], [`accel`] — the ISA, compiler and hardware model;
+//!   `accel` also provides the [`accel::AccelBackend`] serving backend.
 //! * [`baselines`] — EP, CDRP and DeepFense baselines.
 //!
 //! # Quick start
+//!
+//! Offline, profile canary class paths; then bind everything into a
+//! [`DetectionEngine`](core::DetectionEngine) once and serve traffic through it —
+//! per input, per batch, or as a stream:
 //!
 //! ```no_run
 //! use ptolemy::prelude::*;
@@ -33,18 +39,30 @@
 //! let program = variants::fw_ab(&network, 0.05)?;
 //! let class_paths = Profiler::new(program.clone()).profile(&network, dataset.train())?;
 //!
-//! // Calibrate the detector on benign test inputs and FGSM adversarial samples.
+//! // Calibration sets: benign test inputs and FGSM adversarial samples.
 //! let benign: Vec<_> = dataset.test().iter().map(|(x, _)| x.clone()).collect();
 //! let adversarial: Vec<_> = dataset
 //!     .test()
 //!     .iter()
 //!     .map(|(x, y)| Fgsm::new(0.3).perturb(&network, x, *y).map(|e| e.input))
 //!     .collect::<Result<Vec<_>, _>>()?;
-//! let detector = Detector::fit_default(&network, program, class_paths, &benign, &adversarial)?;
 //!
-//! // Online: detect an adversarial sample at inference time.
-//! let verdict = detector.detect(&network, &adversarial[0])?;
-//! println!("adversarial? {}", verdict.is_adversary);
+//! // Bind the engine once: the program/class-path fingerprint is validated
+//! // here, the classifier is fitted from the calibration sets, and the decision
+//! // threshold becomes an explicit knob.
+//! let engine = DetectionEngine::builder(network, program, class_paths)
+//!     .threshold(0.5)
+//!     .calibrate(&benign, &adversarial)
+//!     .build()?;
+//!
+//! // Online: serve a whole batch (forward traces fan out over scoped threads).
+//! for verdict in engine.detect_batch(&adversarial)? {
+//!     println!("adversarial? {}", verdict.is_adversary);
+//! }
+//!
+//! // Or price the same batch on the co-designed hardware model by attaching
+//! // `ptolemy::accel::AccelBackend` via `.backend(..)` — every batch then also
+//! // yields modelled latency/energy estimates.
 //! # Ok(())
 //! # }
 //! ```
@@ -62,9 +80,14 @@ pub use ptolemy_tensor as tensor;
 
 /// Commonly used items, re-exported for examples and integration tests.
 pub mod prelude {
+    pub use ptolemy_accel::AccelBackend;
     pub use ptolemy_attacks::{Attack, Bim, CarliniWagnerL2, DeepFool, Fgsm, Jsma, Pgd};
+    #[allow(deprecated)]
+    pub use ptolemy_core::Detector;
     pub use ptolemy_core::{
-        variants, ClassPathSet, Detection, Detector, DetectionProgram, ExtractionSpec, Profiler,
+        path_similarity, variants, BackendEstimate, ClassPathSet, Detection, DetectionBackend,
+        DetectionEngine, DetectionEngineBuilder, DetectionProgram, ExtractionSpec, Profiler,
+        SoftwareBackend,
     };
     pub use ptolemy_data::SyntheticDataset;
     pub use ptolemy_forest::{auc, RandomForest};

@@ -9,7 +9,7 @@ use ptolemy::attacks::{AdaptiveAttack, AdaptiveConfig, Attack, Fgsm};
 use ptolemy::baselines::{
     BaselineDetector, CdrpDefense, DeepFenseDefense, DeepFenseVariant, EpDefense,
 };
-use ptolemy::core::{variants, Detector, Profiler};
+use ptolemy::core::{path_similarity, variants, Profiler};
 use ptolemy::forest::auc;
 use ptolemy::tensor::Tensor;
 
@@ -167,7 +167,7 @@ fn adaptive_attack_is_valid_and_still_detected_above_chance() {
     let mut scores = Vec::new();
     let mut labels = Vec::new();
     for input in &benign {
-        let (_, s) = Detector::path_similarity(&network, &program, &class_paths, input).unwrap();
+        let (_, s) = path_similarity(&network, &program, &class_paths, input).unwrap();
         scores.push(1.0 - s);
         labels.push(false);
     }
@@ -176,8 +176,7 @@ fn adaptive_attack_is_valid_and_still_detected_above_chance() {
         // The adaptive attack reports its distortion (the paper's validity metric).
         assert!(example.distortion_mse.is_finite());
         assert!(example.distortion_mse >= 0.0);
-        let (_, s) =
-            Detector::path_similarity(&network, &program, &class_paths, &example.input).unwrap();
+        let (_, s) = path_similarity(&network, &program, &class_paths, &example.input).unwrap();
         scores.push(1.0 - s);
         labels.push(true);
     }

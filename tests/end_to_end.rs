@@ -1,11 +1,11 @@
 //! End-to-end integration tests of the full Ptolemy pipeline: train → profile →
 //! attack → detect, plus the class-path artifact lifecycle (serialisation, program
-//! fingerprint matching).
+//! fingerprint matching at engine build).
 
 mod common;
 
 use ptolemy::attacks::{Attack, Bim, Fgsm};
-use ptolemy::core::{variants, ClassPathSet, Detector, Profiler};
+use ptolemy::core::{variants, ClassPathSet, DetectionEngine, Profiler};
 use ptolemy::forest::auc;
 
 #[test]
@@ -25,24 +25,31 @@ fn train_profile_attack_detect_pipeline_beats_chance() {
         .collect();
     assert!(!adversarial.is_empty(), "attack produced no samples");
 
-    // Score with raw path similarity: benign inputs should look more like their
-    // class path than adversarial inputs do, so the AUC must beat chance.
+    // Bind a similarity-serving engine (no classifier) and score with raw path
+    // similarity: benign inputs should look more like their class path than
+    // adversarial inputs do, so the AUC must beat chance.
+    let engine = DetectionEngine::builder(network, program, class_paths)
+        .build()
+        .unwrap();
     let mut scores = Vec::new();
     let mut labels = Vec::new();
     for (inputs, label) in [(&benign, false), (&adversarial, true)] {
         for input in inputs {
-            let (_, s) = Detector::path_similarity(&network, &program, &class_paths, input).unwrap();
+            let (_, s) = engine.path_similarity(input).unwrap();
             assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
             scores.push(1.0 - s);
             labels.push(label);
         }
     }
     let auc_value = auc(&scores, &labels).unwrap();
-    assert!(auc_value > 0.55, "detection AUC {auc_value} not above chance");
+    assert!(
+        auc_value > 0.55,
+        "detection AUC {auc_value} not above chance"
+    );
 }
 
 #[test]
-fn fitted_detector_produces_consistent_verdicts() {
+fn fitted_engine_produces_consistent_verdicts() {
     let (network, dataset) = common::trained_lenet(0xF17);
     let program = variants::fw_ab(&network, 0.05).unwrap();
     let class_paths = Profiler::new(program.clone())
@@ -56,19 +63,22 @@ fn fitted_detector_produces_consistent_verdicts() {
         .map(|(x, y)| attack.perturb(&network, x, *y).unwrap().input)
         .collect();
 
-    let detector =
-        Detector::fit_default(&network, program, class_paths, &benign, &adversarial).unwrap();
+    let engine = DetectionEngine::builder(network, program, class_paths)
+        .calibrate(&benign, &adversarial)
+        .build()
+        .unwrap();
     for input in benign.iter().chain(&adversarial) {
-        let d = detector.detect(&network, input).unwrap();
+        let d = engine.detect(input).unwrap();
         assert!((0.0..=1.0).contains(&d.score));
         assert!((0.0..=1.0).contains(&d.similarity));
         assert!(d.predicted_class < dataset.num_classes());
-        assert_eq!(d.is_adversary, d.score >= 0.5);
+        assert_eq!(d.is_adversary, d.score >= engine.threshold());
         // score() must agree with detect().
-        let s = detector.score(&network, input).unwrap();
+        let s = engine.score(input).unwrap();
         assert!((s - d.score).abs() < 1e-6);
     }
-    assert_eq!(detector.forest().num_trees(), 100);
+    assert_eq!(engine.forest().unwrap().num_trees(), 100);
+    assert_eq!(engine.forest().unwrap().num_features(), 1);
 }
 
 #[test]
@@ -83,13 +93,17 @@ fn class_paths_serialise_and_reject_mismatched_programs() {
     let json = class_paths.to_json().unwrap();
     let restored = ClassPathSet::from_json(&json).unwrap();
     assert_eq!(restored, class_paths);
+    assert!(ClassPathSet::from_json("not json").is_err());
 
-    // Detection with class paths profiled under a *different* program must fail
-    // (paper Fig. 4: offline and online extraction methods must match).
+    // Binding an engine with class paths profiled under a *different* program
+    // must fail at construction (paper Fig. 4: offline and online extraction
+    // methods must match) — per-call validation is no longer needed.
     let other_program = variants::bw_cu(&network, 0.9).unwrap();
-    let input = &dataset.test()[0].0;
-    let err = Detector::path_similarity(&network, &other_program, &class_paths, input);
-    assert!(err.is_err(), "mismatched program fingerprint must be rejected");
+    let err = DetectionEngine::builder(network, other_program, class_paths).build();
+    assert!(
+        err.is_err(),
+        "mismatched program fingerprint must be rejected at engine build"
+    );
 }
 
 #[test]

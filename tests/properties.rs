@@ -5,7 +5,7 @@
 mod common;
 
 use proptest::prelude::*;
-use ptolemy::core::{variants, Detector, Profiler};
+use ptolemy::core::{path_similarity, variants, Profiler};
 use ptolemy::forest::auc;
 use ptolemy::nn::{zoo, Network};
 use ptolemy::tensor::{Rng64, Tensor};
@@ -113,7 +113,7 @@ fn detector_scores_match_between_runs() {
         .profile(&network, dataset.train())
         .unwrap();
     let input = &dataset.test()[0].0;
-    let a = Detector::path_similarity(&network, &program, &class_paths, input).unwrap();
-    let b = Detector::path_similarity(&network, &program, &class_paths, input).unwrap();
+    let a = path_similarity(&network, &program, &class_paths, input).unwrap();
+    let b = path_similarity(&network, &program, &class_paths, input).unwrap();
     assert_eq!(a, b);
 }

@@ -35,7 +35,11 @@ fn variant_cost_ordering_matches_fig11() {
     assert!(bwcu.latency_factor() > hybrid.latency_factor());
     assert!(hybrid.latency_factor() >= bwab.latency_factor());
     assert!(bwab.latency_factor() >= fwab.latency_factor());
-    assert!(fwab.latency_overhead() < 0.30, "FwAb overhead {}", fwab.latency_overhead());
+    assert!(
+        fwab.latency_overhead() < 0.30,
+        "FwAb overhead {}",
+        fwab.latency_overhead()
+    );
     assert!(bwcu.energy_factor() > bwab.energy_factor());
     assert!(bwcu.energy_factor() > fwab.energy_factor());
     // Every variant is at least as expensive as plain inference.
@@ -54,7 +58,9 @@ fn deeper_networks_pay_more_for_cumulative_extraction() {
     let factor = |network: &ptolemy::nn::Network| {
         let program = variants::bw_cu(network, 0.5).unwrap();
         let compiled = Compiler::default().compile(network, &program).unwrap();
-        sim.simulate(network, &compiled, 0.08).unwrap().latency_factor()
+        sim.simulate(network, &compiled, 0.08)
+            .unwrap()
+            .latency_factor()
     };
     assert!(factor(&deep) > factor(&shallow));
 }
@@ -107,7 +113,9 @@ fn layer_pipelining_never_hurts_and_recompute_saves_dram() {
     .compile(&network, &fwab)
     .unwrap();
     assert!(
-        sim.simulate(&network, &pipelined, 0.08).unwrap().total_cycles
+        sim.simulate(&network, &pipelined, 0.08)
+            .unwrap()
+            .total_cycles
             <= sim.simulate(&network, &serial, 0.08).unwrap().total_cycles
     );
 

@@ -1,0 +1,132 @@
+//! A minimal, offline API-compatible shim of the `criterion` benchmark harness.
+//!
+//! The build container for this workspace has no crates.io access, so the Criterion
+//! benches under `crates/bench/benches/` link against this in-tree substitute.  It
+//! supports the surface those benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], `bench_function`, [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — and reports a simple
+//! mean/min/max wall-clock summary per benchmark instead of Criterion's full
+//! statistical analysis.
+
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Entry point handed to every registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (output is already printed; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine` (called repeatedly by the harness).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let value = routine();
+        self.samples.push(start.elapsed());
+        std::hint::black_box(value);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher::default();
+    // One untimed warm-up call, then the requested number of samples.
+    f(&mut bencher);
+    bencher.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{name}: mean {mean:?}, min {min:?}, max {max:?} ({} samples)",
+        samples.len()
+    );
+}
+
+/// Re-export point used by some benches (`criterion::black_box`).
+pub use std::hint::black_box;
+
+/// Registers benchmark functions under a group name (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
