@@ -19,6 +19,7 @@
 //! | [`sec7g_scaling`] | Sec. VII-G — 8-bit and 32×32 array variants |
 //! | [`sec7h_large_models`] | Sec. VII-H — VGG/Inception/DenseNet results |
 //! | [`sec3b_cost_analysis`] | Sec. III-B — software cost analysis |
+//! | [`serve_throughput`] | beyond the paper — serving-runtime throughput |
 
 pub mod fig05_path_similarity;
 pub mod fig10_accuracy;
@@ -34,6 +35,7 @@ pub mod sec3b_cost_analysis;
 pub mod sec7a_overhead;
 pub mod sec7g_scaling;
 pub mod sec7h_large_models;
+pub mod serve_throughput;
 pub mod tab02_theta_sensitivity;
 
 use crate::{BenchResult, BenchScale, Table};
@@ -126,6 +128,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artifact: "Sec. VII-H",
             run: sec7h_large_models::run,
         },
+        Experiment {
+            id: "serve_throughput",
+            paper_artifact: "beyond paper: serving runtime",
+            run: serve_throughput::run,
+        },
     ]
 }
 
@@ -136,11 +143,11 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact_once() {
         let experiments = all();
-        assert_eq!(experiments.len(), 15);
+        assert_eq!(experiments.len(), 16);
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 15, "duplicate experiment ids");
+        assert_eq!(ids.len(), 16, "duplicate experiment ids");
         assert!(experiments.iter().all(|e| !e.paper_artifact.is_empty()));
     }
 }

@@ -1,0 +1,199 @@
+//! Beyond the paper — serving-runtime throughput: a direct single-engine
+//! `detect` loop vs the `ptolemy-serve` `Server` (multi-worker queue, adaptive
+//! batching, FwAb→BwCu tiered routing, path-prefix result cache), varying the
+//! worker count and batch latency budget.
+//!
+//! The workload repeats every input `DUPLICATION` times, interleaved — the
+//! retry/replay redundancy real traffic exhibits — so the path-prefix cache
+//! has duplicates to hit and the run is long enough to amortise the batch
+//! former's trailing latency budget.
+//!
+//! Shape to check: served throughput overtakes the direct loop once enough
+//! workers are attached (the acceptance bar is ≥ 4), and the stats snapshot
+//! reports nonzero tier-2 escalations and cache hits on this workload.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ptolemy_attacks::Fgsm;
+use ptolemy_core::{variants, DetectionEngine};
+use ptolemy_serve::{BatchPolicy, CacheConfig, Server, ServerBuilder, Ticket};
+
+use crate::{fmt3, BenchResult, BenchScale, Table, Workbench};
+
+/// Escalation band: screening scores in this range re-score on the BwCu tier.
+const BAND: (f32, f32) = (0.3, 0.7);
+
+/// How many times each unique input repeats in the served stream.
+const DUPLICATION: usize = 10;
+
+fn throughput(count: usize, elapsed: Duration) -> f64 {
+    count as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates workbench, engine and server errors.
+pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let wb = Workbench::lenet_small(scale)?;
+    let phi = wb.calibrate_phi(true)?;
+    let screen_program = variants::fw_ab(&wb.network, phi)?;
+    let expensive_program = variants::bw_cu(&wb.network, 0.5)?;
+    let screen_paths = wb.profile(&screen_program)?;
+    let expensive_paths = wb.profile(&expensive_program)?;
+
+    let limit = wb.scale.attack_samples();
+    let benign = wb.benign_inputs(limit);
+    let adversarial = wb.adversarial_inputs(&Fgsm::new(0.25), limit)?;
+
+    let screen = Arc::new(
+        DetectionEngine::builder(wb.network.clone(), screen_program, screen_paths)
+            .calibrate(&benign, &adversarial)
+            .build()?,
+    );
+    let expensive = Arc::new(
+        DetectionEngine::builder(wb.network.clone(), expensive_program, expensive_paths)
+            .calibrate(&benign, &adversarial)
+            .build()?,
+    );
+
+    // Mixed stream with duplicates, interleaved.
+    let mut workload = Vec::new();
+    for _ in 0..DUPLICATION {
+        for (b, a) in benign.iter().zip(&adversarial) {
+            workload.push(b.clone());
+            workload.push(a.clone());
+        }
+    }
+
+    // Baseline: the sequential single-engine detect loop every pre-serve
+    // caller hand-rolled.
+    let start = Instant::now();
+    for input in &workload {
+        screen.detect(input)?;
+    }
+    let direct = throughput(workload.len(), start.elapsed());
+
+    let mut table = Table::new(
+        "Serving throughput — direct FwAb detect loop vs ptolemy-serve \
+         (FwAb screen → BwCu escalation, path-prefix cache)",
+    )
+    .header([
+        "configuration",
+        "throughput (inputs/s)",
+        "vs direct",
+        "escalated",
+        "cache hit rate",
+        "p50 ms",
+        "p99 ms",
+    ]);
+    table.row([
+        "direct detect loop".to_string(),
+        fmt3(direct as f32),
+        "1.000x".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+
+    let configs: &[(usize, u64)] = &[(1, 2), (2, 2), (4, 2), (4, 1), (8, 2)];
+    let mut four_worker_speedup = 0.0f64;
+    let mut saw_escalations = false;
+    let mut saw_cache_hits = false;
+    for &(workers, budget_ms) in configs {
+        let builder: ServerBuilder = Server::builder(screen.clone())
+            .escalate(expensive.clone(), BAND.0, BAND.1)
+            .workers(workers)
+            .queue_capacity(workload.len().max(1))
+            .batch_policy(BatchPolicy {
+                max_batch: 16,
+                latency_budget: Duration::from_millis(budget_ms),
+                ..BatchPolicy::default()
+            })
+            .cache(CacheConfig::default());
+        let server = builder.start()?;
+
+        let start = Instant::now();
+        let tickets: Vec<Ticket> = workload
+            .iter()
+            .map(|input| server.submit(input.clone()))
+            .collect::<Result<_, _>>()?;
+        for ticket in tickets {
+            ticket.wait()?;
+        }
+        let served = throughput(workload.len(), start.elapsed());
+        let stats = server.shutdown();
+        let speedup = served / direct;
+        if workers >= 4 {
+            four_worker_speedup = four_worker_speedup.max(speedup);
+        }
+        saw_escalations |= stats.escalated > 0;
+        saw_cache_hits |= stats.cache_hits > 0;
+
+        table.row([
+            format!("served: {workers} workers, {budget_ms} ms budget"),
+            fmt3(served as f32),
+            format!("{speedup:.3}x"),
+            stats.escalated.to_string(),
+            format!("{:.2}", stats.cache_hit_rate()),
+            format!("{:.2}", stats.p50_latency_ms),
+            format!("{:.2}", stats.p99_latency_ms),
+        ]);
+    }
+
+    table.note(format!(
+        "workload: {} inputs ({} unique, {DUPLICATION}x duplication); escalation band [{}, {}]",
+        workload.len(),
+        workload.len() / DUPLICATION,
+        BAND.0,
+        BAND.1
+    ));
+    table.note(format!(
+        "shape check — served throughput >= direct loop at >= 4 workers: {}",
+        if four_worker_speedup >= 1.0 {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    table.note(format!(
+        "shape check — tiered routing escalates and the cache hits on duplicates: {}",
+        if saw_escalations && saw_cache_hits {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_beats_the_direct_loop_with_enough_workers() {
+        let tables = run(BenchScale::Quick).unwrap();
+        assert_eq!(tables.len(), 1);
+        let rendered = tables[0].to_string();
+        // Deterministic check: tiered routing escalates and the cache hits on
+        // the duplicated workload, whatever the machine.
+        assert!(
+            rendered.contains("cache hits on duplicates: holds"),
+            "routing/cache shape check failed:\n{rendered}"
+        );
+        // The throughput comparison is wall-clock and can lose on a heavily
+        // oversubscribed test runner (unoptimized profile, timeshared cores),
+        // so in the test it is advisory; the release-built experiment binary
+        // is where the acceptance number is read.
+        if rendered.contains("at >= 4 workers: VIOLATED") {
+            eprintln!(
+                "warning: served throughput below the direct loop in this \
+                 environment (timing-dependent):\n{rendered}"
+            );
+        }
+    }
+}

@@ -64,7 +64,8 @@ use ptolemy_tensor::Tensor;
 use crate::extraction::{extract_path, path_layout};
 use crate::parallel::par_map;
 use crate::{
-    software_cost, ClassPathSet, CoreError, Detection, DetectionProgram, Result, SoftwareCostReport,
+    software_cost, ActivationPath, ClassPathSet, CoreError, Detection, DetectionProgram, Result,
+    SoftwareCostReport,
 };
 
 /// The decision threshold [`crate::Detector`] historically hard-coded.
@@ -99,18 +100,29 @@ pub fn path_similarity(
 }
 
 /// One traced inference + extraction + similarity, with no fingerprint check.
-/// Returns `(predicted class, similarity, activation-path density)`.
+/// Returns `(predicted class, similarity, activation path)`.
+fn trace_path(
+    network: &Network,
+    program: &DetectionProgram,
+    class_paths: &ClassPathSet,
+    input: &Tensor,
+) -> Result<(usize, f32, ActivationPath)> {
+    let trace = network.forward_trace(input)?;
+    let predicted = trace.predicted_class();
+    let path = extract_path(network, &trace, program)?;
+    let similarity = path.similarity(class_paths.class_path(predicted)?)?;
+    Ok((predicted, similarity, path))
+}
+
+/// Like [`trace_path`], reducing the path to its density.
 fn trace_similarity(
     network: &Network,
     program: &DetectionProgram,
     class_paths: &ClassPathSet,
     input: &Tensor,
 ) -> Result<(usize, f32, f32)> {
-    let trace = network.forward_trace(input)?;
-    let predicted = trace.predicted_class();
-    let path = extract_path(network, &trace, program)?;
-    let similarity = path.similarity(class_paths.class_path(predicted)?)?;
-    Ok((predicted, similarity, path.density()))
+    trace_path(network, program, class_paths, input)
+        .map(|(predicted, similarity, path)| (predicted, similarity, path.density()))
 }
 
 /// Cost estimate a [`DetectionBackend`] attaches to one served batch.
@@ -261,7 +273,21 @@ impl DetectionEngine {
     /// Returns [`CoreError::InvalidInput`] if the engine was built without a
     /// classifier, and propagates extraction/classifier errors.
     pub fn detect(&self, input: &Tensor) -> Result<Detection> {
-        Ok(self.detect_with_density(input)?.0)
+        Ok(self.detect_traced(input)?.0)
+    }
+
+    /// Like [`DetectionEngine::detect`], additionally returning the extracted
+    /// activation path — the hook serving layers use to key result caches on
+    /// [`ActivationPath::prefix_fingerprint`] without re-running extraction.
+    ///
+    /// The verdict comes from the same code path as [`DetectionEngine::detect`],
+    /// so it is bit-for-bit identical to calling `detect` on the same input.
+    ///
+    /// # Errors
+    ///
+    /// See [`DetectionEngine::detect`].
+    pub fn detect_with_path(&self, input: &Tensor) -> Result<(Detection, ActivationPath)> {
+        self.detect_traced(input)
     }
 
     /// Detects a whole batch, fanning the forward traces out over scoped
@@ -350,8 +376,15 @@ impl DetectionEngine {
     }
 
     fn detect_with_density(&self, input: &Tensor) -> Result<(Detection, f32)> {
-        let (predicted_class, similarity, density) =
-            trace_similarity(&self.network, &self.program, &self.class_paths, input)?;
+        self.detect_traced(input)
+            .map(|(detection, path)| (detection, path.density()))
+    }
+
+    /// The single code path behind `detect`, `detect_with_path` and the batch
+    /// methods — the source of their bit-for-bit parity.
+    fn detect_traced(&self, input: &Tensor) -> Result<(Detection, ActivationPath)> {
+        let (predicted_class, similarity, path) =
+            trace_path(&self.network, &self.program, &self.class_paths, input)?;
         let forest = self.forest.as_ref().ok_or_else(|| {
             CoreError::InvalidInput(
                 "engine was built without a classifier; add .forest(..) or .calibrate(..)".into(),
@@ -365,7 +398,7 @@ impl DetectionEngine {
                 similarity,
                 predicted_class,
             },
-            density,
+            path,
         ))
     }
 
@@ -382,6 +415,20 @@ impl DetectionEngine {
     /// The canary class paths this engine compares against.
     pub fn class_paths(&self) -> &ClassPathSet {
         &self.class_paths
+    }
+
+    /// The build-time program/class-path fingerprint of this engine (the one
+    /// [`DetectionEngineBuilder::build`] validated; identical to
+    /// `self.program().fingerprint()` and
+    /// `self.class_paths().program_fingerprint`).
+    ///
+    /// Serving layers use it to tell engines apart — a result cache must not be
+    /// shared between engines with different fingerprints, and a router can
+    /// verify at construction that its tiers were built from compatible
+    /// artifacts.
+    pub fn fingerprint(&self) -> &str {
+        // The builder verified this equals `self.program.fingerprint()`.
+        &self.class_paths.program_fingerprint
     }
 
     /// The fitted classifier, if the engine has one.
@@ -602,11 +649,31 @@ mod tests {
             .build()
             .unwrap();
 
+        assert_eq!(engine.fingerprint(), engine.program().fingerprint());
+        assert_eq!(
+            engine.fingerprint(),
+            engine.class_paths().program_fingerprint
+        );
+
         let all: Vec<Tensor> = benign.iter().chain(&adversarial).cloned().collect();
         let batch = engine.detect_batch(&all).unwrap();
         assert_eq!(batch.len(), all.len());
         for (input, batched) in all.iter().zip(&batch) {
             assert_eq!(*batched, engine.detect(input).unwrap());
+            // detect_with_path shares the detect code path bit-for-bit and
+            // returns a path whose prefix fingerprint is stable.
+            let (traced, path) = engine.detect_with_path(input).unwrap();
+            assert_eq!(traced.score.to_bits(), batched.score.to_bits());
+            assert_eq!(traced.similarity.to_bits(), batched.similarity.to_bits());
+            assert!(path.count_ones() > 0);
+            assert_eq!(
+                path.prefix_fingerprint(2),
+                engine
+                    .detect_with_path(input)
+                    .unwrap()
+                    .1
+                    .prefix_fingerprint(2)
+            );
         }
 
         // Streaming agrees with the batch path.

@@ -108,6 +108,33 @@ impl ActivationPath {
         Ok(shared as f32 / own as f32)
     }
 
+    /// A 64-bit FNV-1a fingerprint of the first `segments` path segments (layer
+    /// index, mask length and mask words, in extraction order).
+    ///
+    /// Two inputs collide exactly when their important-neuron masks agree on
+    /// those early extraction layers — which is what makes the prefix usable as
+    /// a near-duplicate cache key for serving: a repeated or barely-perturbed
+    /// input activates the same early-layer path, while genuinely different
+    /// inputs diverge within the first layer or two.  Passing
+    /// `segments >= self.segments().len()` fingerprints the whole path.
+    pub fn prefix_fingerprint(&self, segments: usize) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix = |value: u64| {
+            hash ^= value;
+            hash = hash.wrapping_mul(PRIME);
+        };
+        for seg in self.segments.iter().take(segments) {
+            mix(seg.layer as u64);
+            mix(seg.mask.len() as u64);
+            for word in seg.mask.words() {
+                mix(*word);
+            }
+        }
+        hash
+    }
+
     /// Jaccard similarity `‖A & B‖₁ / ‖A | B‖₁` between two paths; used for the
     /// inter-class similarity matrices of Fig. 5.
     ///
@@ -396,6 +423,26 @@ mod tests {
             .is_err());
         assert!(p.similarity(&other_structure).is_err());
         assert!(p.jaccard(&ActivationPath::empty(&[(1, 10)])).is_err());
+    }
+
+    #[test]
+    fn prefix_fingerprint_distinguishes_prefixes_only() {
+        let a = path_with(&[(0, 1), (1, 5)]);
+        let b = path_with(&[(0, 1), (1, 6)]);
+        // Same first segment -> same one-segment prefix fingerprint.
+        assert_eq!(a.prefix_fingerprint(1), b.prefix_fingerprint(1));
+        // Diverging second segment -> different two-segment fingerprint.
+        assert_ne!(a.prefix_fingerprint(2), b.prefix_fingerprint(2));
+        // Identical paths agree at every depth, including beyond the last segment.
+        assert_eq!(
+            a.prefix_fingerprint(usize::MAX),
+            a.clone().prefix_fingerprint(usize::MAX)
+        );
+        // Depth 0 is a constant, whatever the path.
+        assert_eq!(a.prefix_fingerprint(0), b.prefix_fingerprint(0));
+        // Differing first segments diverge immediately.
+        let c = path_with(&[(0, 2), (1, 5)]);
+        assert_ne!(a.prefix_fingerprint(1), c.prefix_fingerprint(1));
     }
 
     #[test]

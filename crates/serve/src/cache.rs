@@ -1,0 +1,237 @@
+//! The path-prefix result cache: an LRU map from activation-path prefix
+//! fingerprints to served verdicts.
+//!
+//! Repeated and near-duplicate inputs (the common case in real traffic — think
+//! retries, frame-to-frame video redundancy, replayed probes) activate the same
+//! early-layer important neurons, so their
+//! [`ptolemy_core::ActivationPath::prefix_fingerprint`] collides by
+//! construction.  Caching the final verdict under that fingerprint lets the
+//! server skip classifier re-scoring and — far more importantly under tiered
+//! routing — the expensive tier-2 re-extraction for such inputs.
+//!
+//! The cache trades exactness for throughput: two inputs whose paths agree on
+//! the first `prefix_segments` extraction layers share a verdict.  Serving with
+//! the cache disabled is bit-for-bit identical to direct engine calls; that
+//! parity is what the serve test-suite pins down.
+//!
+//! In front of the path-prefix map the server keeps an equally-sized LRU from
+//! *input* fingerprints to path-prefix keys, so a byte-identical repeat skips
+//! even the screening extraction — the path-prefix level then catches the
+//! near-duplicates whose bytes differ but whose early-layer paths collide.
+
+use std::collections::HashMap;
+
+/// Configuration of the path-prefix result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of cached verdicts (least-recently-used eviction).
+    pub capacity: usize,
+    /// Number of leading path segments (in extraction order) hashed into the
+    /// cache key.  Fewer segments mean coarser matching and more hits; pass
+    /// `usize::MAX` to key on the entire path (exact-duplicate matching only).
+    pub prefix_segments: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 1024,
+            prefix_segments: 2,
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map from `u64` fingerprints to values.
+///
+/// Entries live in a slab indexed by an intrusive doubly-linked recency list,
+/// so `get` and `insert` are O(1); the slab never reallocates after the cache
+/// first fills.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot<V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V> LruCache<V> {
+    /// Creates an empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (the server builder validates this first).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU cache capacity must be nonzero");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        let slot = *self.map.get(&key)?;
+        self.touch(slot);
+        Some(&self.slots[slot].value)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used entry if
+    /// the cache is full.  The inserted entry becomes most-recently-used.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.touch(slot);
+            return;
+        }
+        let slot = if self.map.len() < self.capacity {
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Reuse the least-recently-used slot.
+            let slot = self.tail;
+            self.unlink(slot);
+            self.map.remove(&self.slots[slot].key);
+            self.slots[slot].key = key;
+            self.slots[slot].value = value;
+            slot
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_replace() {
+        let mut cache = LruCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert(1, "a");
+        cache.insert(2, "b");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.capacity(), 2);
+        assert_eq!(cache.get(1), Some(&"a"));
+        assert_eq!(cache.get(3), None);
+        cache.insert(1, "a2");
+        assert_eq!(cache.get(1), Some(&"a2"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(cache.get(1), Some(&1));
+        cache.insert(3, 3);
+        assert_eq!(cache.get(2), None, "LRU entry must be evicted");
+        assert_eq!(cache.get(1), Some(&1));
+        assert_eq!(cache.get(3), Some(&3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn single_slot_cache_cycles() {
+        let mut cache = LruCache::new(1);
+        for i in 0..10u64 {
+            cache.insert(i, i);
+            assert_eq!(cache.get(i), Some(&i));
+            assert_eq!(cache.len(), 1);
+            if i > 0 {
+                assert_eq!(cache.get(i - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_order_follows_recency_under_churn() {
+        let mut cache = LruCache::new(3);
+        for i in 0..3u64 {
+            cache.insert(i, i);
+        }
+        // Recency now 2 > 1 > 0; touch 0 -> 0 > 2 > 1.
+        cache.get(0);
+        cache.insert(3, 3); // evicts 1
+        cache.insert(4, 4); // evicts 2
+        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.get(2), None);
+        assert!(cache.get(0).is_some() && cache.get(3).is_some() && cache.get(4).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<u8>::new(0);
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+use ptolemy_core::CoreError;
+
+/// Error type of the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The tier engines handed to [`crate::Server`] cannot serve together
+    /// (different class counts, or a tier that cannot produce verdicts).
+    /// Carries the build-time fingerprints of both tiers so deployment logs
+    /// identify exactly which artifacts were mispaired.
+    TierMismatch {
+        /// Fingerprint of the screening (tier-1) engine.
+        screen: String,
+        /// Fingerprint of the escalation (tier-2) engine.
+        escalate: String,
+        /// Why the pairing was rejected.
+        reason: String,
+    },
+    /// A server configuration knob was rejected at construction.
+    InvalidConfig(String),
+    /// The bounded submission queue is full ([`crate::Server::try_submit`]).
+    QueueFull,
+    /// The server no longer accepts submissions.
+    ShuttingDown,
+    /// The request was abandoned without a verdict (a worker panicked while
+    /// serving it); resubmit to retry.
+    Canceled(String),
+    /// The detection engine failed while serving this request.
+    Engine(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::TierMismatch {
+                screen,
+                escalate,
+                reason,
+            } => write!(
+                f,
+                "mismatched tier engines (screen '{screen}', escalation '{escalate}'): {reason}"
+            ),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid server configuration: {msg}"),
+            ServeError::QueueFull => write!(f, "submission queue is full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Canceled(reason) => write!(f, "request canceled: {reason}"),
+            ServeError::Engine(e) => write!(f, "engine error while serving: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = ServeError::TierMismatch {
+            screen: "fw|ab0.05".into(),
+            escalate: "bw|cu0.50".into(),
+            reason: "class counts differ".into(),
+        };
+        assert!(e.to_string().contains("fw|ab0.05"));
+        assert!(e.to_string().contains("class counts differ"));
+        assert!(ServeError::QueueFull.to_string().contains("full"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+        assert!(ServeError::Canceled("worker panicked".into())
+            .to_string()
+            .contains("canceled"));
+        let e: ServeError = CoreError::InvalidInput("x".into()).into();
+        assert!(matches!(e, ServeError::Engine(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServeError::QueueFull).is_none());
+        assert!(!ServeError::InvalidConfig("w".into()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! # ptolemy-serve
+//!
+//! The serving runtime that turns one-or-more bound
+//! [`ptolemy_core::DetectionEngine`]s into a production front-end.  PR 1's
+//! engine is a session object — bind once, then `detect`/`detect_batch` — but
+//! every caller still hand-rolls batching and drives a single engine
+//! synchronously.  This crate adds the layer between "one input" and "one
+//! pre-formed batch":
+//!
+//! * **[`Server`]** — a bounded submission queue drained by N worker threads
+//!   (std threads + condvars, no external executor).  [`Server::submit`]
+//!   returns a [`Ticket`] that resolves to a [`Served`] verdict; full queues
+//!   apply backpressure.
+//! * **Adaptive batch forming** ([`BatchPolicy`]) — workers accumulate queued
+//!   requests and cut a batch when either the oldest request has waited out
+//!   the latency budget or the backend's
+//!   [`ptolemy_core::DetectionEngine::estimate_batch`] predicts the batch
+//!   would exceed a target latency.  The cap adapts per backend: a
+//!   [`ptolemy_core::SoftwareBackend`] engine is capped through its op counts,
+//!   an accelerator-bound engine through the cycle model's modelled
+//!   milliseconds.
+//! * **Two-tier routing** ([`ServerBuilder::escalate`]) — a cheap screening
+//!   engine (e.g. an FwAb program) serves everything; inputs whose screening
+//!   score falls in an uncertainty band are re-scored by an expensive engine
+//!   (e.g. BwCu).  Per-tier counters land in [`ServeStats`].
+//! * **Path-prefix result cache** ([`CacheConfig`]) — an LRU cache keyed on
+//!   [`ptolemy_core::ActivationPath::prefix_fingerprint`] of the screening
+//!   path, so repeated/near-duplicate inputs skip re-scoring (most importantly
+//!   the tier-2 re-extraction).  Hit/miss counters land in [`ServeStats`].
+//!
+//! With the cache disabled, served verdicts are **bit-for-bit identical** to
+//! calling `detect` directly on whichever engine the router picked — the
+//! serving layer adds scheduling, never arithmetic.  The workspace test-suite
+//! pins that parity down.
+//!
+//! # Example
+//!
+//! ```
+//! use ptolemy_core::{variants, DetectionEngine, Profiler};
+//! use ptolemy_nn::{zoo, TrainConfig, Trainer};
+//! use ptolemy_serve::Server;
+//! use ptolemy_tensor::{Rng64, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng64::new(0);
+//! let mut net = zoo::mlp_net(&[8], 2, &mut rng)?;
+//! let samples: Vec<(Tensor, usize)> = (0..20)
+//!     .map(|i| (Tensor::full(&[8], (i % 2) as f32), i % 2))
+//!     .collect();
+//! Trainer::new(TrainConfig::default()).fit(&mut net, &samples)?;
+//! let program = variants::fw_ab(&net, 0.05)?;
+//! let class_paths = Profiler::new(program.clone()).profile(&net, &samples)?;
+//! let inputs: Vec<Tensor> = samples.iter().map(|(x, _)| x.clone()).collect();
+//! let engine = DetectionEngine::builder(net, program, class_paths)
+//!     .calibrate(&inputs[..8], &inputs[8..16])
+//!     .build()?;
+//!
+//! // Start a server over the engine and push the inputs through it.
+//! let server = Server::builder(engine).workers(2).start()?;
+//! let tickets: Vec<_> = inputs
+//!     .iter()
+//!     .map(|x| server.submit(x.clone()))
+//!     .collect::<Result<_, _>>()?;
+//! for ticket in tickets {
+//!     let served = ticket.wait()?;
+//!     assert!((0.0..=1.0).contains(&served.detection.score));
+//! }
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, inputs.len() as u64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod cache;
+mod error;
+mod server;
+mod stats;
+
+pub use batch::BatchPolicy;
+pub use cache::{CacheConfig, LruCache};
+pub use error::{Result, ServeError};
+pub use server::{Served, Server, ServerBuilder, Ticket, Tier};
+pub use stats::ServeStats;

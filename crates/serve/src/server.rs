@@ -1,0 +1,1099 @@
+//! The multi-worker serving runtime: bounded submission queue, adaptive batch
+//! former, two-tier router and path-prefix result cache.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ptolemy_core::{Detection, DetectionEngine};
+use ptolemy_tensor::Tensor;
+
+use crate::batch::{adaptive_cap, BatchPolicy};
+use crate::cache::{CacheConfig, LruCache};
+use crate::error::{Result, ServeError};
+use crate::stats::{ServeStats, StatsInner};
+
+/// Which engine produced a served verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The tier-1 screening engine answered directly.
+    Screen,
+    /// The screening score fell in the uncertainty band and the tier-2
+    /// escalation engine re-scored the input.
+    Escalated,
+}
+
+/// A resolved serving request: the verdict plus its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Served {
+    /// The detection verdict.
+    pub detection: Detection,
+    /// The tier whose engine produced the verdict (for a cache hit: the tier
+    /// that produced the cached verdict).
+    pub tier: Tier,
+    /// `true` if the verdict was resolved from the path-prefix cache instead of
+    /// being re-scored.
+    pub cache_hit: bool,
+}
+
+#[derive(Debug)]
+struct TicketSlot {
+    result: Mutex<Option<Result<Served>>>,
+    ready: Condvar,
+}
+
+/// A handle to one submitted request; resolves to a [`Served`] verdict.
+///
+/// Tickets resolve in whatever order batches complete, but each ticket always
+/// resolves to the result of *its own* input — a submitter that waits on its
+/// tickets in submission order observes its results in submission order.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<TicketSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the server resolves this request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Engine`] if the detection engine failed on this
+    /// input.
+    pub fn wait(self) -> Result<Served> {
+        let mut guard = lock(&self.slot.result);
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// `true` once the server has resolved this request ([`Ticket::wait`] will
+    /// not block).
+    pub fn is_ready(&self) -> bool {
+        lock(&self.slot.result).is_some()
+    }
+}
+
+struct Request {
+    input: Tensor,
+    slot: Arc<TicketSlot>,
+    submitted_at: Instant,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    /// Submitters currently blocked in [`Server::submit`] on a full queue;
+    /// the batch former cuts a stalled batch immediately instead of waiting
+    /// out the latency budget while the queue provably cannot grow.
+    blocked_submitters: usize,
+    shutdown: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CachedVerdict {
+    detection: Detection,
+    tier: Tier,
+}
+
+/// Poison-tolerant lock: a panicking worker must not wedge every submitter.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The single FNV-1a round shared by every cache key in this module — the
+/// exact-input fast path and the path-prefix cache must hash identically for
+/// the `input_keys → cache` mapping to stay meaningful.
+fn fnv1a_u64(seed: u64, values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash = seed;
+    for value in values {
+        hash ^= value;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals workers that requests arrived (or shutdown began).
+    not_empty: Condvar,
+    /// Signals blocked submitters that queue space freed up.
+    not_full: Condvar,
+    screen: Arc<DetectionEngine>,
+    escalate: Option<Arc<DetectionEngine>>,
+    /// Screening scores in `[band.0, band.1]` escalate to tier 2.
+    band: (f32, f32),
+    policy: BatchPolicy,
+    queue_capacity: usize,
+    cache: Option<Mutex<LruCache<CachedVerdict>>>,
+    /// Exact-duplicate fast path: maps an input fingerprint to the path-prefix
+    /// key its screening extraction produced, so a byte-identical repeat skips
+    /// even the screen extraction.  Near-duplicates (different bytes, same
+    /// early-layer path) still match through the path-prefix key itself.
+    input_keys: Option<Mutex<LruCache<u64>>>,
+    /// Hash seed derived from the screen engine's fingerprint, so cache keys
+    /// from engines with different build-time fingerprints never collide.
+    cache_seed: u64,
+    prefix_segments: usize,
+    stats: Mutex<StatsInner>,
+    /// Running mean activation-path density (f32 bits), fed back into the
+    /// adaptive batch cap.
+    density_ema_bits: AtomicU32,
+    /// `(density the cap was computed at (bits), cap)` — recomputed when the
+    /// observed density drifts.
+    cap_cache: Mutex<Option<(f32, usize)>>,
+}
+
+impl Shared {
+    fn density_ema(&self) -> f32 {
+        f32::from_bits(self.density_ema_bits.load(Ordering::Relaxed))
+    }
+
+    fn observe_density(&self, density: f32) {
+        let current = self.density_ema();
+        let next = if current == 0.0 {
+            density
+        } else {
+            0.9 * current + 0.1 * density
+        };
+        self.density_ema_bits
+            .store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The adaptive batch cap for the current density regime.  Recomputed
+    /// (outside the queue lock — backend estimates can be expensive) only when
+    /// the observed density drifts more than 25 % from the one the cached cap
+    /// was computed at.
+    fn current_cap(&self) -> usize {
+        let density = self.density_ema();
+        {
+            let cached = lock(&self.cap_cache);
+            if let Some((at, cap)) = *cached {
+                if (density - at).abs() <= 0.25 * at.max(1e-3) {
+                    return cap;
+                }
+            }
+        }
+        let cap = adaptive_cap(&self.screen, &self.policy, density);
+        *lock(&self.cap_cache) = Some((density, cap));
+        cap
+    }
+
+    fn cache_key(&self, path: &ptolemy_core::ActivationPath) -> u64 {
+        // One extra FNV round folds the engine-fingerprint seed into the
+        // path-prefix fingerprint.
+        fnv1a_u64(
+            self.cache_seed,
+            [path.prefix_fingerprint(self.prefix_segments)],
+        )
+    }
+
+    fn input_key(&self, input: &Tensor) -> u64 {
+        let dims = input.dims().iter().map(|d| *d as u64);
+        let data = input.as_slice().iter().map(|v| u64::from(v.to_bits()));
+        fnv1a_u64(self.cache_seed, dims.chain(data))
+    }
+}
+
+/// The serving runtime: N worker threads draining a bounded submission queue
+/// through one or two [`DetectionEngine`]s.
+///
+/// Built with [`Server::builder`].  Dropping the server (or calling
+/// [`Server::shutdown`]) stops accepting work, drains every queued request and
+/// joins the workers — no ticket is left unresolved.
+///
+/// # Example
+///
+/// See the crate-level docs ([`crate`]) and `examples/serving.rs`.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("screen", &self.shared.screen.fingerprint())
+            .field(
+                "escalate",
+                &self
+                    .shared
+                    .escalate
+                    .as_deref()
+                    .map(DetectionEngine::fingerprint),
+            )
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts building a server around a tier-1 screening engine.
+    pub fn builder(screen: impl Into<Arc<DetectionEngine>>) -> ServerBuilder {
+        ServerBuilder {
+            screen: screen.into(),
+            escalate: None,
+            band: (0.0, 0.0),
+            workers: 2,
+            queue_capacity: 256,
+            policy: BatchPolicy::default(),
+            cache: None,
+        }
+    }
+
+    /// Submits one input, blocking while the submission queue is full
+    /// (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] once shutdown has begun.
+    pub fn submit(&self, input: Tensor) -> Result<Ticket> {
+        let mut state = lock(&self.shared.state);
+        loop {
+            if state.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() < self.shared.queue_capacity {
+                break;
+            }
+            state.blocked_submitters += 1;
+            // Wake a worker waiting out its latency budget: with a submitter
+            // blocked, the current batch cannot grow any further.
+            self.shared.not_empty.notify_one();
+            let mut woken = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            woken.blocked_submitters -= 1;
+            state = woken;
+        }
+        Ok(self.enqueue(&mut state, input))
+    }
+
+    /// Submits one input without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] if the queue is at capacity and
+    /// [`ServeError::ShuttingDown`] once shutdown has begun.
+    pub fn try_submit(&self, input: Tensor) -> Result<Ticket> {
+        let mut state = lock(&self.shared.state);
+        if state.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.queue.len() >= self.shared.queue_capacity {
+            return Err(ServeError::QueueFull);
+        }
+        Ok(self.enqueue(&mut state, input))
+    }
+
+    fn enqueue(&self, state: &mut QueueState, input: Tensor) -> Ticket {
+        let slot = Arc::new(TicketSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        state.queue.push_back(Request {
+            input,
+            slot: slot.clone(),
+            submitted_at: Instant::now(),
+        });
+        lock(&self.shared.stats).submitted += 1;
+        self.shared.not_empty.notify_one();
+        Ticket { slot }
+    }
+
+    /// Number of requests currently queued (not yet picked up by a worker).
+    pub fn pending(&self) -> usize {
+        lock(&self.shared.state).queue.len()
+    }
+
+    /// A point-in-time snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        // Copy the counters out under the lock; sort/percentile work happens
+        // outside it so a polling monitor never stalls the workers.
+        let copied = lock(&self.shared.stats).clone();
+        copied.snapshot()
+    }
+
+    /// The tier-1 screening engine.
+    pub fn screen_engine(&self) -> &DetectionEngine {
+        &self.shared.screen
+    }
+
+    /// The tier-2 escalation engine, if tiered routing is configured.
+    pub fn escalation_engine(&self) -> Option<&DetectionEngine> {
+        self.shared.escalate.as_deref()
+    }
+
+    /// Stops accepting submissions, drains every queued request, joins the
+    /// workers and returns the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for worker in self.workers.drain(..) {
+            // A panicked worker already resolved nothing further; the
+            // remaining workers drain the queue, so don't propagate here.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One worker: form a batch adaptively, serve it, repeat until shutdown drains
+/// the queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        // A custom backend whose estimate_batch panics must not kill the
+        // worker (queued tickets would never resolve); it just loses the
+        // adaptive constraint.
+        let cap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.current_cap()))
+            .unwrap_or(shared.policy.max_batch);
+        let Some(batch) = next_batch(shared, cap) else {
+            return;
+        };
+        {
+            let mut stats = lock(&shared.stats);
+            stats.batches += 1;
+            stats.batched_requests += batch.len() as u64;
+            stats.max_batch = stats.max_batch.max(batch.len());
+        }
+        for request in batch {
+            let slot = request.slot.clone();
+            let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serve_one(shared, request)
+            }));
+            if served.is_err() {
+                // The engine panicked mid-request (serve_one resolves its
+                // ticket on ordinary errors, so only a panic lands here).
+                // Resolve the ticket instead of stranding its waiter, and keep
+                // the worker alive for the rest of the queue.
+                if resolve(
+                    &slot,
+                    Err(ServeError::Canceled(
+                        "a worker panicked while serving this request".into(),
+                    )),
+                ) {
+                    lock(&shared.stats).failed += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Writes `result` into the ticket slot unless it was already resolved, waking
+/// the waiter.  Returns whether this call resolved the ticket.
+fn resolve(slot: &TicketSlot, result: Result<Served>) -> bool {
+    let mut guard = lock(&slot.result);
+    if guard.is_some() {
+        return false;
+    }
+    *guard = Some(result);
+    drop(guard);
+    slot.ready.notify_all();
+    true
+}
+
+/// Blocks until a batch can be cut (queue reached the adaptive cap, the oldest
+/// request waited out the latency budget, or shutdown flushes what's left).
+/// Returns `None` when the queue is drained and the server is shutting down.
+fn next_batch(shared: &Shared, cap: usize) -> Option<Vec<Request>> {
+    let mut state = lock(&shared.state);
+    loop {
+        if state.queue.is_empty() {
+            if state.shutdown {
+                return None;
+            }
+            state = shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            continue;
+        }
+        let oldest = state
+            .queue
+            .front()
+            .expect("queue checked non-empty")
+            .submitted_at;
+        let waited = oldest.elapsed();
+        // Cut when the batch is as large as it can get: the adaptive cap is
+        // reached, or the queue is at capacity with a submitter blocked on
+        // backpressure (it cannot grow, so waiting out the budget would only
+        // stall the pipeline).
+        let stalled = state.blocked_submitters > 0 && state.queue.len() >= shared.queue_capacity;
+        if state.queue.len() >= cap
+            || stalled
+            || waited >= shared.policy.latency_budget
+            || state.shutdown
+        {
+            let n = state.queue.len().min(cap);
+            let batch: Vec<Request> = state.queue.drain(..n).collect();
+            shared.not_full.notify_all();
+            return Some(batch);
+        }
+        let remaining = shared.policy.latency_budget - waited;
+        let (guard, _timeout) = shared
+            .not_empty
+            .wait_timeout(state, remaining)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        state = guard;
+    }
+}
+
+/// Serves one request: exact-duplicate fast path, tier-1 screen, cache lookup
+/// on the path prefix, tier-2 escalation on uncertain scores, cache fill,
+/// ticket resolution.
+///
+/// With the cache disabled the result is bit-for-bit what direct engine calls
+/// produce: `screen.detect(input)` when the score is outside the uncertainty
+/// band, `escalate.detect(input)` when inside — both via the engines' single
+/// per-input code path.
+fn serve_one(shared: &Shared, request: Request) {
+    let outcome = (|| -> Result<Served> {
+        let cache_hit = |cached: CachedVerdict| {
+            lock(&shared.stats).cache_hits += 1;
+            Served {
+                detection: cached.detection,
+                tier: cached.tier,
+                cache_hit: true,
+            }
+        };
+
+        // Exact-duplicate fast path: a byte-identical repeat maps straight to
+        // its path-prefix key and skips even the screening extraction.
+        let input_key = shared
+            .cache
+            .is_some()
+            .then(|| shared.input_key(&request.input));
+        if let (Some(cache), Some(input_keys), Some(input_key)) =
+            (&shared.cache, &shared.input_keys, input_key)
+        {
+            if let Some(path_key) = lock(input_keys).get(input_key).copied() {
+                if let Some(cached) = lock(cache).get(path_key).copied() {
+                    return Ok(cache_hit(cached));
+                }
+            }
+        }
+
+        let (screened, path) = shared.screen.detect_with_path(&request.input)?;
+        shared.observe_density(path.density());
+
+        let path_key = shared.cache.as_ref().map(|_| shared.cache_key(&path));
+        if let (Some(cache), Some(key)) = (&shared.cache, path_key) {
+            if let (Some(input_keys), Some(input_key)) = (&shared.input_keys, input_key) {
+                lock(input_keys).insert(input_key, key);
+            }
+            if let Some(cached) = lock(cache).get(key).copied() {
+                return Ok(cache_hit(cached));
+            }
+            lock(&shared.stats).cache_misses += 1;
+        }
+
+        let in_band = screened.score >= shared.band.0 && screened.score <= shared.band.1;
+        let (detection, tier) = match (&shared.escalate, in_band) {
+            (Some(escalate), true) => (escalate.detect(&request.input)?, Tier::Escalated),
+            _ => (screened, Tier::Screen),
+        };
+        {
+            let mut stats = lock(&shared.stats);
+            match tier {
+                Tier::Screen => stats.screen_served += 1,
+                Tier::Escalated => stats.escalated += 1,
+            }
+        }
+        if let (Some(cache), Some(key)) = (&shared.cache, path_key) {
+            lock(cache).insert(key, CachedVerdict { detection, tier });
+        }
+        Ok(Served {
+            detection,
+            tier,
+            cache_hit: false,
+        })
+    })();
+
+    {
+        let mut stats = lock(&shared.stats);
+        match &outcome {
+            Ok(_) => stats.completed += 1,
+            Err(_) => stats.failed += 1,
+        }
+        stats.record_latency(request.submitted_at.elapsed().as_secs_f64() * 1000.0);
+    }
+    resolve(&request.slot, outcome);
+}
+
+/// Builder for [`Server`]; all validation happens in [`ServerBuilder::start`].
+#[derive(Debug)]
+pub struct ServerBuilder {
+    screen: Arc<DetectionEngine>,
+    escalate: Option<Arc<DetectionEngine>>,
+    band: (f32, f32),
+    workers: usize,
+    queue_capacity: usize,
+    policy: BatchPolicy,
+    cache: Option<CacheConfig>,
+}
+
+impl ServerBuilder {
+    /// Adds a tier-2 escalation engine: inputs whose screening score lands in
+    /// the closed uncertainty band `[low, high]` are re-scored by `engine`.
+    ///
+    /// The screening engine decides cheaply on confident scores; only the
+    /// uncertain sliver pays for the expensive engine — the standard tiered
+    /// pattern for suspicious-minority workloads.
+    pub fn escalate(
+        mut self,
+        engine: impl Into<Arc<DetectionEngine>>,
+        low: f32,
+        high: f32,
+    ) -> Self {
+        self.escalate = Some(engine.into());
+        self.band = (low, high);
+        self
+    }
+
+    /// Sets the number of worker threads (default 2).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the submission-queue capacity (default 256).  [`Server::submit`]
+    /// blocks and [`Server::try_submit`] errors while the queue is full.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the adaptive batch-forming policy (default [`BatchPolicy::default`]).
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the path-prefix result cache (disabled by default; disabled
+    /// serving is bit-for-bit identical to direct engine calls).
+    pub fn cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(config);
+        self
+    }
+
+    /// Validates the configuration and tier pairing, spawns the workers and
+    /// returns the running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::TierMismatch`] if the tier engines cannot serve
+    /// together (the typed rejection carries both build-time fingerprints) and
+    /// [`ServeError::InvalidConfig`] for bad knobs.
+    pub fn start(self) -> Result<Server> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig(
+                "a server needs at least one worker".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue capacity must be at least 1".into(),
+            ));
+        }
+        self.policy.validate().map_err(ServeError::InvalidConfig)?;
+        if let Some(cache) = &self.cache {
+            if cache.capacity == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "cache capacity must be at least 1".into(),
+                ));
+            }
+            if cache.prefix_segments == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "cache prefix must cover at least one path segment".into(),
+                ));
+            }
+        }
+        let mismatch = |escalate: &DetectionEngine, reason: String| ServeError::TierMismatch {
+            screen: self.screen.fingerprint().to_string(),
+            escalate: escalate.fingerprint().to_string(),
+            reason,
+        };
+        if self.screen.forest().is_none() {
+            return Err(ServeError::InvalidConfig(
+                "the screening engine has no classifier (build it with .calibrate(..) or \
+                 .forest(..))"
+                    .into(),
+            ));
+        }
+        if let Some(escalate) = &self.escalate {
+            if escalate.forest().is_none() {
+                return Err(mismatch(
+                    escalate,
+                    "the escalation engine has no classifier".into(),
+                ));
+            }
+            let (screen_classes, escalate_classes) = (
+                self.screen.class_paths().num_classes(),
+                escalate.class_paths().num_classes(),
+            );
+            if screen_classes != escalate_classes {
+                return Err(mismatch(
+                    escalate,
+                    format!(
+                        "tier class counts differ ({screen_classes} vs {escalate_classes}); the \
+                         tiers were profiled on different tasks"
+                    ),
+                ));
+            }
+            if !self.band.0.is_finite()
+                || !self.band.1.is_finite()
+                || self.band.0 > self.band.1
+                || self.band.0 < 0.0
+                || self.band.1 > 1.0
+            {
+                return Err(ServeError::InvalidConfig(format!(
+                    "escalation band [{}, {}] must satisfy 0 <= low <= high <= 1",
+                    self.band.0, self.band.1
+                )));
+            }
+        }
+
+        let cache_seed = fnv1a(self.screen.fingerprint().as_bytes());
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(self.queue_capacity),
+                blocked_submitters: 0,
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            screen: self.screen,
+            escalate: self.escalate,
+            band: self.band,
+            policy: self.policy,
+            queue_capacity: self.queue_capacity,
+            cache: self
+                .cache
+                .map(|config| Mutex::new(LruCache::new(config.capacity))),
+            input_keys: self
+                .cache
+                .map(|config| Mutex::new(LruCache::new(config.capacity))),
+            cache_seed,
+            prefix_segments: self.cache.map_or(0, |config| config.prefix_segments),
+            stats: Mutex::new(StatsInner::default()),
+            density_ema_bits: AtomicU32::new(0.0f32.to_bits()),
+            cap_cache: Mutex::new(None),
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ptolemy-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| ServeError::InvalidConfig(format!("failed to spawn worker: {e}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Server { shared, workers })
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_u64(FNV_OFFSET, bytes.iter().map(|b| u64::from(*b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    use ptolemy_core::{variants, DetectionEngineBuilder, Profiler};
+    use ptolemy_nn::{zoo, TrainConfig, Trainer};
+    use ptolemy_tensor::Rng64;
+
+    /// A trained 2-class MLP with benign/adversarial calibration inputs (the
+    /// same synthetic setup the core engine tests use).
+    struct Fixture {
+        network: Arc<ptolemy_nn::Network>,
+        samples: Vec<(Tensor, usize)>,
+        benign: Vec<Tensor>,
+        adversarial: Vec<Tensor>,
+    }
+
+    fn fixture(classes: usize) -> Fixture {
+        let dims = 8;
+        let mut rng = Rng64::new(23 + classes as u64);
+        let prototypes: Vec<Vec<f32>> = (0..classes)
+            .map(|c| {
+                (0..dims)
+                    .map(|d| if d % classes == c { 1.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        let mut samples = Vec::new();
+        for (class, prototype) in prototypes.iter().enumerate() {
+            for _ in 0..25 {
+                let data: Vec<f32> = prototype.iter().map(|v| v + 0.08 * rng.normal()).collect();
+                samples.push((Tensor::from_vec(data, &[dims]).unwrap(), class));
+            }
+        }
+        let mut net = zoo::mlp_net(&[dims], classes, &mut rng).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &samples)
+        .unwrap();
+
+        let benign: Vec<Tensor> = samples.iter().take(20).map(|(x, _)| x.clone()).collect();
+        let mut adversarial = Vec::new();
+        for (x, y) in samples.iter().take(20) {
+            let other = (*y + 1) % classes;
+            let data: Vec<f32> = x
+                .as_slice()
+                .iter()
+                .zip(&prototypes[other])
+                .map(|(a, b)| a + 1.2 * b)
+                .collect();
+            adversarial.push(Tensor::from_vec(data, &[dims]).unwrap());
+        }
+        Fixture {
+            network: Arc::new(net),
+            samples,
+            benign,
+            adversarial,
+        }
+    }
+
+    fn engine(fx: &Fixture, program: ptolemy_core::DetectionProgram) -> DetectionEngineBuilder {
+        let class_paths = Profiler::new(program.clone())
+            .profile(&fx.network, &fx.samples)
+            .unwrap();
+        DetectionEngine::builder(fx.network.clone(), program, class_paths)
+            .calibrate(&fx.benign, &fx.adversarial)
+    }
+
+    fn tiered(fx: &Fixture) -> (Arc<DetectionEngine>, Arc<DetectionEngine>) {
+        let screen = engine(fx, variants::fw_ab(&fx.network, 0.3).unwrap())
+            .build()
+            .unwrap();
+        let expensive = engine(fx, variants::bw_cu(&fx.network, 0.5).unwrap())
+            .build()
+            .unwrap();
+        (Arc::new(screen), Arc::new(expensive))
+    }
+
+    #[test]
+    fn served_verdicts_match_direct_detection_without_cache() {
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        let server = Server::builder(screen.clone())
+            .escalate(expensive.clone(), 0.25, 0.75)
+            .workers(3)
+            .start()
+            .unwrap();
+
+        let inputs: Vec<Tensor> = fx.benign.iter().chain(&fx.adversarial).cloned().collect();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for (input, ticket) in inputs.iter().zip(tickets) {
+            let served = ticket.wait().unwrap();
+            assert!(!served.cache_hit);
+            // Routing is decided by the screen score; the verdict must be
+            // bit-for-bit what the routed engine returns directly.
+            let screen_score = screen.detect(input).unwrap().score;
+            let expected_tier = if (0.25..=0.75).contains(&screen_score) {
+                Tier::Escalated
+            } else {
+                Tier::Screen
+            };
+            assert_eq!(served.tier, expected_tier);
+            let direct = match served.tier {
+                Tier::Screen => screen.detect(input).unwrap(),
+                Tier::Escalated => expensive.detect(input).unwrap(),
+            };
+            assert_eq!(served.detection, direct);
+            assert_eq!(served.detection.score.to_bits(), direct.score.to_bits());
+            assert_eq!(
+                served.detection.similarity.to_bits(),
+                direct.similarity.to_bits()
+            );
+        }
+
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, inputs.len() as u64);
+        assert_eq!(stats.completed, inputs.len() as u64);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.screen_served + stats.escalated, inputs.len() as u64);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+        assert!(stats.batches > 0);
+        assert!(stats.p99_latency_ms >= stats.p50_latency_ms);
+    }
+
+    #[test]
+    fn duplicate_inputs_hit_the_path_prefix_cache() {
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        let server = Server::builder(screen)
+            .escalate(expensive, 0.0, 1.0) // everything escalates on a miss
+            .workers(1)
+            .cache(CacheConfig {
+                capacity: 64,
+                prefix_segments: usize::MAX, // exact-duplicate matching
+            })
+            .start()
+            .unwrap();
+
+        // Serve the same input twice, waiting in between so the second lookup
+        // deterministically sees the first verdict.
+        let first = server.submit(fx.benign[0].clone()).unwrap().wait().unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.tier, Tier::Escalated);
+        let second = server.submit(fx.benign[0].clone()).unwrap().wait().unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.detection, first.detection);
+        assert_eq!(second.tier, first.tier);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+        // The cached request skipped tier-2 re-scoring entirely.
+        assert_eq!(stats.escalated, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn mismatched_tier_engines_are_rejected_with_fingerprints() {
+        let two = fixture(2);
+        let three = fixture(3);
+        let (screen, _) = tiered(&two);
+        let other_task = Arc::new(
+            engine(&three, variants::bw_cu(&three.network, 0.5).unwrap())
+                .build()
+                .unwrap(),
+        );
+        let err = Server::builder(screen.clone())
+            .escalate(other_task.clone(), 0.3, 0.7)
+            .start()
+            .unwrap_err();
+        match err {
+            ServeError::TierMismatch {
+                screen: s,
+                escalate: e,
+                reason,
+            } => {
+                assert_eq!(s, screen.fingerprint());
+                assert_eq!(e, other_task.fingerprint());
+                assert!(reason.contains("class counts"), "{reason}");
+            }
+            other => panic!("expected TierMismatch, got {other:?}"),
+        }
+
+        // An escalation engine that cannot produce verdicts is also mismatched.
+        let program = variants::bw_cu(&two.network, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&two.network, &two.samples)
+            .unwrap();
+        let forestless = DetectionEngine::builder(two.network.clone(), program, class_paths)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Server::builder(screen)
+                .escalate(forestless, 0.3, 0.7)
+                .start(),
+            Err(ServeError::TierMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        assert!(matches!(
+            Server::builder(screen.clone()).workers(0).start(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Server::builder(screen.clone()).queue_capacity(0).start(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Server::builder(screen.clone())
+                .batch_policy(BatchPolicy {
+                    max_batch: 0,
+                    ..BatchPolicy::default()
+                })
+                .start(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Server::builder(screen.clone())
+                .cache(CacheConfig {
+                    capacity: 0,
+                    prefix_segments: 2
+                })
+                .start(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Server::builder(screen.clone())
+                .cache(CacheConfig {
+                    capacity: 8,
+                    prefix_segments: 0
+                })
+                .start(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        // Inverted or out-of-range escalation bands.
+        assert!(matches!(
+            Server::builder(screen.clone())
+                .escalate(expensive.clone(), 0.8, 0.2)
+                .start(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Server::builder(screen.clone())
+                .escalate(expensive, -0.1, 1.2)
+                .start(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        // A screening engine without a classifier cannot serve verdicts.
+        let program = variants::fw_ab(&fx.network, 0.3).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&fx.network, &fx.samples)
+            .unwrap();
+        let forestless = DetectionEngine::builder(fx.network.clone(), program, class_paths)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Server::builder(forestless).start(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn blocked_submitters_cut_stalled_batches_immediately() {
+        let fx = fixture(2);
+        let (screen, _) = tiered(&fx);
+        // Queue of 2, one worker, and a latency budget far beyond the test:
+        // only the stalled-batch cut (or shutdown) can release anything.
+        let server = Server::builder(screen)
+            .workers(1)
+            .queue_capacity(2)
+            .batch_policy(BatchPolicy {
+                max_batch: 16,
+                latency_budget: Duration::from_secs(30),
+                target_batch_latency_ms: 1e9,
+                ..BatchPolicy::default()
+            })
+            .start()
+            .unwrap();
+
+        let started = std::time::Instant::now();
+        // The third blocking submit fills the queue; the worker must cut the
+        // stalled batch right away instead of waiting out the 30 s budget.
+        let tickets: Vec<Ticket> = std::thread::scope(|scope| {
+            let server = &server;
+            scope
+                .spawn(move || {
+                    (0..3)
+                        .map(|i| server.submit(fx.benign[i].clone()).unwrap())
+                        .collect()
+                })
+                .join()
+                .unwrap()
+        });
+        let mut tickets = tickets.into_iter();
+        tickets.next().unwrap().wait().unwrap();
+        tickets.next().unwrap().wait().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "stalled batch must cut on backpressure, not on the latency budget"
+        );
+        // The last request sits alone under the huge budget; shutdown flushes it.
+        let last = tickets.next().unwrap();
+        server.shutdown();
+        last.wait().unwrap();
+    }
+
+    #[test]
+    fn engine_errors_resolve_tickets_instead_of_stranding_them() {
+        let fx = fixture(2);
+        let (screen, _) = tiered(&fx);
+        let server = Server::builder(screen).workers(1).start().unwrap();
+        // Wrong input shape for the 8-dim MLP: the engine errors, the ticket
+        // still resolves, and the failure is counted.
+        let bad = Tensor::full(&[3], 0.5);
+        let err = server.submit(bad).unwrap().wait().unwrap_err();
+        assert!(matches!(err, ServeError::Engine(_)));
+        let ok = server.submit(fx.benign[0].clone()).unwrap().wait();
+        assert!(ok.is_ok(), "the worker must survive a failed request");
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_and_drains_on_shutdown() {
+        let fx = fixture(2);
+        let (screen, _) = tiered(&fx);
+        // A huge latency budget keeps the single worker waiting to fill its
+        // batch, so the queue deterministically fills up.
+        let server = Server::builder(screen)
+            .workers(1)
+            .queue_capacity(2)
+            .batch_policy(BatchPolicy {
+                max_batch: 16,
+                latency_budget: Duration::from_secs(30),
+                target_batch_latency_ms: 1e9,
+                ..BatchPolicy::default()
+            })
+            .start()
+            .unwrap();
+
+        let t1 = server.try_submit(fx.benign[0].clone()).unwrap();
+        let t2 = server.try_submit(fx.benign[1].clone()).unwrap();
+        assert!(matches!(
+            server.try_submit(fx.benign[2].clone()),
+            Err(ServeError::QueueFull)
+        ));
+        assert_eq!(server.pending(), 2);
+        assert!(!t1.is_ready());
+
+        // Shutdown flushes the partial batch; every ticket resolves.
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert!(t1.is_ready() && t2.is_ready());
+        t1.wait().unwrap();
+        t2.wait().unwrap();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.max_batch, 2);
+        assert_eq!(stats.mean_batch, 2.0);
+    }
+}

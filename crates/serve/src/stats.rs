@@ -1,0 +1,169 @@
+//! Serving counters and their user-facing snapshot.
+
+/// A point-in-time snapshot of the server's counters, taken with
+/// [`crate::Server::stats`].
+///
+/// Every completed request is counted in exactly one of
+/// [`ServeStats::screen_served`], [`ServeStats::escalated`] or
+/// [`ServeStats::cache_hits`]; the first two count freshly-scored requests per
+/// tier, the third counts requests resolved from the path-prefix cache without
+/// re-scoring.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests accepted into the submission queue.
+    pub submitted: u64,
+    /// Requests resolved with a verdict.
+    pub completed: u64,
+    /// Requests resolved with an engine error.
+    pub failed: u64,
+    /// Requests answered by the tier-1 screening engine alone.
+    pub screen_served: u64,
+    /// Requests whose screening score fell in the uncertainty band and were
+    /// re-scored by the tier-2 escalation engine.
+    pub escalated: u64,
+    /// Requests resolved from the path-prefix result cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed (always 0 with the cache disabled).
+    pub cache_misses: u64,
+    /// Batches the workers cut.
+    pub batches: u64,
+    /// Largest batch cut so far.
+    pub max_batch: usize,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Median queue-to-result latency over the recent-latency window, in
+    /// milliseconds (0.0 before the first completion).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile queue-to-result latency over the recent-latency window,
+    /// in milliseconds (0.0 before the first completion).
+    pub p99_latency_ms: f64,
+}
+
+impl ServeStats {
+    /// Fraction of cache lookups that hit (0.0 when the cache is disabled or
+    /// nothing was looked up yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// How many recent queue-to-result latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// The mutable counters behind [`ServeStats`], guarded by the server's stats
+/// mutex.  `Clone` exists so snapshots can copy the counters out under the
+/// lock and do the percentile sort *outside* it — workers take this lock on
+/// every request, so an O(n log n) sort must not run under it.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct StatsInner {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub screen_served: u64,
+    pub escalated: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub batches: u64,
+    pub max_batch: usize,
+    pub batched_requests: u64,
+    latencies_ms: Vec<f64>,
+    latency_cursor: usize,
+}
+
+impl StatsInner {
+    /// Records one queue-to-result latency into the bounded window (a ring once
+    /// the window fills, so percentiles track *recent* behaviour).
+    pub fn record_latency(&mut self, ms: f64) {
+        if self.latencies_ms.len() < LATENCY_WINDOW {
+            self.latencies_ms.push(ms);
+        } else {
+            self.latencies_ms[self.latency_cursor] = ms;
+            self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    pub fn snapshot(&self) -> ServeStats {
+        let mut window = self.latencies_ms.clone();
+        window.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let percentile = |q: f64| -> f64 {
+            if window.is_empty() {
+                return 0.0;
+            }
+            // Nearest-rank on the sorted window.
+            let rank = ((q * window.len() as f64).ceil() as usize).clamp(1, window.len());
+            window[rank - 1]
+        };
+        ServeStats {
+            submitted: self.submitted,
+            completed: self.completed,
+            failed: self.failed,
+            screen_served: self.screen_served,
+            escalated: self.escalated,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            batches: self.batches,
+            max_batch: self.max_batch,
+            mean_batch: if self.batches == 0 {
+                0.0
+            } else {
+                self.batched_requests as f64 / self.batches as f64
+            },
+            p50_latency_ms: percentile(0.50),
+            p99_latency_ms: percentile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_computes_percentiles_and_means() {
+        let mut inner = StatsInner::default();
+        assert_eq!(inner.snapshot().p50_latency_ms, 0.0);
+        for i in 1..=100 {
+            inner.record_latency(i as f64);
+        }
+        inner.batches = 4;
+        inner.batched_requests = 10;
+        inner.max_batch = 5;
+        let stats = inner.snapshot();
+        assert_eq!(stats.p50_latency_ms, 50.0);
+        assert_eq!(stats.p99_latency_ms, 99.0);
+        assert_eq!(stats.mean_batch, 2.5);
+        assert_eq!(stats.max_batch, 5);
+    }
+
+    #[test]
+    fn latency_window_is_a_ring() {
+        let mut inner = StatsInner::default();
+        for _ in 0..LATENCY_WINDOW {
+            inner.record_latency(1.0);
+        }
+        // Overwrite the whole window with a higher latency regime.
+        for _ in 0..LATENCY_WINDOW {
+            inner.record_latency(9.0);
+        }
+        let stats = inner.snapshot();
+        assert_eq!(stats.p50_latency_ms, 9.0);
+        assert_eq!(stats.p99_latency_ms, 9.0);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_empty_and_mixed() {
+        let stats = ServeStats::default();
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+        let stats = ServeStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..ServeStats::default()
+        };
+        assert!((stats.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

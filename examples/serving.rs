@@ -1,0 +1,138 @@
+//! Serving demo: build a cheap FwAb screening engine and an expensive BwCu
+//! escalation engine, start a multi-worker `Server` with tiered routing and the
+//! path-prefix result cache, feed it a mixed benign/adversarial stream with
+//! duplicates, and print the `ServeStats` snapshot (tier counts, cache hit
+//! rate, queue-to-result latency percentiles).
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ptolemy::prelude::*;
+use ptolemy::tensor::Rng64;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Victim model on a 10-class CIFAR-style synthetic dataset.
+    let dataset = SyntheticDataset::synth_cifar10(30, 10, 7)?;
+    let mut rng = Rng64::new(7);
+    let mut network = zoo::lenet(3, dataset.num_classes(), &mut rng)?;
+    let report = Trainer::new(TrainConfig {
+        epochs: 40,
+        batch_size: 8,
+        learning_rate: 0.002,
+        ..TrainConfig::default()
+    })
+    .fit(&mut network, dataset.train())?;
+    println!(
+        "victim trained: clean accuracy {:.2}",
+        report.final_accuracy
+    );
+    let network = Arc::new(network);
+
+    // 2. Offline phase, twice: profile class paths for the cheap screening
+    //    program (forward extraction, absolute threshold — overlappable with
+    //    inference) and for the expensive escalation program (backward
+    //    extraction, cumulative threshold — the most accurate variant).
+    let screen_program = variants::fw_ab(&network, 0.05)?;
+    let expensive_program = variants::bw_cu(&network, 0.5)?;
+    let screen_paths = Profiler::new(screen_program.clone()).profile(&network, dataset.train())?;
+    let expensive_paths =
+        Profiler::new(expensive_program.clone()).profile(&network, dataset.train())?;
+
+    // 3. Calibration sets: benign test inputs and FGSM adversarial samples.
+    let attack = Fgsm::new(0.25);
+    let benign: Vec<_> = dataset.test().iter().map(|(x, _)| x.clone()).collect();
+    let adversarial: Vec<_> = dataset
+        .test()
+        .iter()
+        .map(|(x, y)| attack.perturb(&network, x, *y).map(|e| e.input))
+        .collect::<Result<Vec<_>, _>>()?;
+    let half = benign.len() / 2;
+
+    // 4. Bind both tier engines once (fingerprints validated here).
+    let screen = DetectionEngine::builder(network.clone(), screen_program, screen_paths)
+        .calibrate(&benign[..half], &adversarial[..half])
+        .build()?;
+    let expensive = DetectionEngine::builder(network.clone(), expensive_program, expensive_paths)
+        .calibrate(&benign[..half], &adversarial[..half])
+        .build()?;
+    println!(
+        "tier-1 screen:  {}\ntier-2 escalate: {}",
+        screen.fingerprint(),
+        expensive.fingerprint()
+    );
+
+    // 5. Start the serving runtime: 4 workers, adaptive batching, scores in
+    //    [0.35, 0.65] escalate to tier 2, and near-duplicate results are served
+    //    from the path-prefix cache.
+    let server = Server::builder(screen)
+        .escalate(expensive, 0.35, 0.65)
+        .workers(4)
+        .queue_capacity(512)
+        .batch_policy(BatchPolicy {
+            max_batch: 16,
+            latency_budget: Duration::from_millis(2),
+            ..BatchPolicy::default()
+        })
+        .cache(CacheConfig::default())
+        .start()?;
+
+    // 6. A mixed stream with duplicates: every held-out input is submitted
+    //    three times (interleaved), the way retried or replayed traffic repeats
+    //    in production.
+    let mut stream = Vec::new();
+    for _ in 0..3 {
+        for (b, a) in benign[half..].iter().zip(&adversarial[half..]) {
+            stream.push((b.clone(), false));
+            stream.push((a.clone(), true));
+        }
+    }
+    let tickets: Vec<(Ticket, bool)> = stream
+        .into_iter()
+        .map(|(input, is_adv)| Ok((server.submit(input)?, is_adv)))
+        .collect::<Result<_, ServeError>>()?;
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (ticket, expected) in tickets {
+        let served = ticket.wait()?;
+        if served.detection.is_adversary == expected {
+            correct += 1;
+        }
+        total += 1;
+    }
+    println!(
+        "stream served: detection accuracy {:.2} ({correct}/{total})",
+        correct as f32 / total as f32
+    );
+
+    // 7. The counters the serving layer exposes.
+    let stats = server.shutdown();
+    println!("\nServeStats");
+    println!("  submitted           {}", stats.submitted);
+    println!("  completed           {}", stats.completed);
+    println!("  tier-1 (screen)     {}", stats.screen_served);
+    println!("  tier-2 (escalated)  {}", stats.escalated);
+    println!(
+        "  cache hits/misses   {}/{} (hit rate {:.2})",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hit_rate()
+    );
+    println!(
+        "  batches             {} (mean {:.1}, max {})",
+        stats.batches, stats.mean_batch, stats.max_batch
+    );
+    println!(
+        "  queue-to-result     p50 {:.2} ms / p99 {:.2} ms",
+        stats.p50_latency_ms, stats.p99_latency_ms
+    );
+
+    if stats.escalated == 0 {
+        println!("note: no input landed in the uncertainty band on this run");
+    }
+    Ok(())
+}

@@ -16,6 +16,8 @@
 //!   ([`ptolemy_core`]).
 //! * [`isa`], [`compiler`], [`accel`] — the ISA, compiler and hardware model;
 //!   `accel` also provides the [`accel::AccelBackend`] serving backend.
+//! * [`serve`] — the multi-worker serving runtime over one or two engines
+//!   ([`ptolemy_serve`]).
 //! * [`baselines`] — EP, CDRP and DeepFense baselines.
 //!
 //! # Quick start
@@ -66,6 +68,37 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Serving
+//!
+//! For traffic that arrives one request at a time, wrap the engine(s) in a
+//! [`serve::Server`] instead of hand-rolling batches: a bounded submission
+//! queue feeds N worker threads, an adaptive batch former sizes batches from
+//! the backend's `estimate_batch` latency model, a cheap screening engine can
+//! escalate uncertain scores to an expensive tier-2 engine, and an LRU cache
+//! keyed on activation-path prefixes short-circuits repeated/near-duplicate
+//! inputs.  With the cache disabled, served verdicts are bit-for-bit identical
+//! to direct `detect` calls on the routed engine.
+//!
+//! ```no_run
+//! use ptolemy::prelude::*;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let (screen_engine, expensive_engine): (DetectionEngine, DetectionEngine) = todo!();
+//! let server = Server::builder(screen_engine)
+//!     .escalate(expensive_engine, 0.35, 0.65) // uncertainty band -> tier 2
+//!     .workers(4)
+//!     .cache(CacheConfig::default())
+//!     .start()?;
+//! let ticket = server.submit(Tensor::full(&[3, 8, 8], 0.5))?;
+//! let served = ticket.wait()?;
+//! println!("adversarial? {} (tier {:?})", served.detection.is_adversary, served.tier);
+//! println!("{:#?}", server.stats());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! `examples/serving.rs` runs this end to end on trained engines and prints the
+//! full `ServeStats` snapshot.
 
 pub use ptolemy_accel as accel;
 pub use ptolemy_attacks as attacks;
@@ -76,14 +109,13 @@ pub use ptolemy_data as data;
 pub use ptolemy_forest as forest;
 pub use ptolemy_isa as isa;
 pub use ptolemy_nn as nn;
+pub use ptolemy_serve as serve;
 pub use ptolemy_tensor as tensor;
 
 /// Commonly used items, re-exported for examples and integration tests.
 pub mod prelude {
     pub use ptolemy_accel::AccelBackend;
     pub use ptolemy_attacks::{Attack, Bim, CarliniWagnerL2, DeepFool, Fgsm, Jsma, Pgd};
-    #[allow(deprecated)]
-    pub use ptolemy_core::Detector;
     pub use ptolemy_core::{
         path_similarity, variants, BackendEstimate, ClassPathSet, Detection, DetectionBackend,
         DetectionEngine, DetectionEngineBuilder, DetectionProgram, ExtractionSpec, Profiler,
@@ -92,5 +124,8 @@ pub mod prelude {
     pub use ptolemy_data::SyntheticDataset;
     pub use ptolemy_forest::{auc, RandomForest};
     pub use ptolemy_nn::{zoo, Network, TrainConfig, Trainer};
+    pub use ptolemy_serve::{
+        BatchPolicy, CacheConfig, ServeError, ServeStats, Served, Server, Ticket, Tier,
+    };
     pub use ptolemy_tensor::Tensor;
 }

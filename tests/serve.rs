@@ -1,0 +1,231 @@
+//! Cross-crate tests of the serving runtime: bit-for-bit parity between served
+//! and direct detection, and the property that every ticket resolves exactly
+//! once with its own input's result under arbitrary interleavings.
+
+mod common;
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use ptolemy::prelude::*;
+
+/// Engines and a request pool shared by every test case: building engines
+/// needs training + profiling, far too slow to repeat per property-test case.
+struct Fixtures {
+    screen: Arc<DetectionEngine>,
+    expensive: Arc<DetectionEngine>,
+    inputs: Vec<Tensor>,
+}
+
+const BAND: (f32, f32) = (0.3, 0.7);
+
+fn fixtures() -> &'static Fixtures {
+    static FIXTURES: OnceLock<Fixtures> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let (network, dataset) = common::trained_lenet(0x5E12);
+        let network = Arc::new(network);
+        let benign = common::benign_inputs(&dataset);
+        let attack = Fgsm::new(0.25);
+        let adversarial: Vec<Tensor> = dataset
+            .test()
+            .iter()
+            .map(|(x, y)| attack.perturb(&network, x, *y).unwrap().input)
+            .collect();
+        let build = |program: DetectionProgram| {
+            let class_paths = Profiler::new(program.clone())
+                .profile(&network, dataset.train())
+                .unwrap();
+            Arc::new(
+                DetectionEngine::builder(network.clone(), program, class_paths)
+                    .calibrate(&benign, &adversarial)
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let screen = build(variants::fw_ab(&network, 0.05).unwrap());
+        let expensive = build(variants::bw_cu(&network, 0.5).unwrap());
+        let mut inputs = benign;
+        inputs.extend(adversarial);
+        Fixtures {
+            screen,
+            expensive,
+            inputs,
+        }
+    })
+}
+
+/// The direct result of the engine the server's router picked for this tier.
+fn direct(fx: &Fixtures, tier: Tier, input: &Tensor) -> Detection {
+    match tier {
+        Tier::Screen => fx.screen.detect(input).unwrap(),
+        Tier::Escalated => fx.expensive.detect(input).unwrap(),
+    }
+}
+
+/// Tentpole acceptance: with the cache disabled, served results are bit-for-bit
+/// identical to calling `detect` directly on the engine each input was routed
+/// to, and the routing decision itself is the screening score against the band.
+#[test]
+fn served_results_are_bit_for_bit_identical_to_direct_detection() {
+    let fx = fixtures();
+    let server = Server::builder(fx.screen.clone())
+        .escalate(fx.expensive.clone(), BAND.0, BAND.1)
+        .workers(4)
+        .start()
+        .unwrap();
+
+    let tickets: Vec<Ticket> = fx
+        .inputs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect();
+    for (input, ticket) in fx.inputs.iter().zip(tickets) {
+        let served = ticket.wait().unwrap();
+        assert!(!served.cache_hit, "cache is disabled");
+
+        let screen_score = fx.screen.detect(input).unwrap().score;
+        let expected_tier = if (BAND.0..=BAND.1).contains(&screen_score) {
+            Tier::Escalated
+        } else {
+            Tier::Screen
+        };
+        assert_eq!(served.tier, expected_tier);
+
+        let expected = direct(fx, served.tier, input);
+        assert_eq!(served.detection.is_adversary, expected.is_adversary);
+        assert_eq!(served.detection.predicted_class, expected.predicted_class);
+        assert_eq!(served.detection.score.to_bits(), expected.score.to_bits());
+        assert_eq!(
+            served.detection.similarity.to_bits(),
+            expected.similarity.to_bits()
+        );
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, fx.inputs.len() as u64);
+    assert_eq!(
+        stats.screen_served + stats.escalated,
+        fx.inputs.len() as u64
+    );
+}
+
+/// A duplicated workload served with the cache enabled reports hits, and the
+/// cached verdicts replay the original ones.
+#[test]
+fn duplicated_workload_reports_cache_hits() {
+    let fx = fixtures();
+    let server = Server::builder(fx.screen.clone())
+        .escalate(fx.expensive.clone(), BAND.0, BAND.1)
+        .workers(2)
+        .cache(CacheConfig {
+            capacity: 256,
+            prefix_segments: usize::MAX,
+        })
+        .start()
+        .unwrap();
+
+    // First pass populates the cache; second pass replays the same inputs.
+    let first: Vec<Served> = fx
+        .inputs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.wait().unwrap())
+        .collect();
+    let second: Vec<Served> = fx
+        .inputs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.wait().unwrap())
+        .collect();
+
+    for (a, b) in first.iter().zip(&second) {
+        assert!(b.cache_hit, "second pass must be served from the cache");
+        assert_eq!(a.detection, b.detection);
+        assert_eq!(a.tier, b.tier);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.cache_hits, fx.inputs.len() as u64);
+    assert!(stats.cache_hit_rate() > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For arbitrary request interleavings, worker counts and queue pressure,
+    /// the server returns exactly one result per ticket, in submission order
+    /// per submitter, equal to the direct `detect` result of the routed engine
+    /// (cache disabled).
+    #[test]
+    fn every_ticket_resolves_to_its_own_direct_result(
+        workers in 1usize..=4,
+        submitters in 1usize..=3,
+        per_submitter in 1usize..=10,
+        queue_capacity in 2usize..=16,
+        seed in 0u64..1_000,
+    ) {
+        let fx = fixtures();
+        let server = Server::builder(fx.screen.clone())
+            .escalate(fx.expensive.clone(), BAND.0, BAND.1)
+            .workers(workers)
+            .queue_capacity(queue_capacity)
+            .start()
+            .unwrap();
+
+        // Each submitter thread draws its own pseudo-random request sequence,
+        // submits in order, then waits on its tickets in submission order.
+        let results: Vec<Vec<(usize, Served)>> = std::thread::scope(|scope| {
+            let server = &server;
+            let handles: Vec<_> = (0..submitters)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let mut state = seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        let picks: Vec<usize> = (0..per_submitter)
+                            .map(|_| {
+                                state = state
+                                    .wrapping_mul(6_364_136_223_846_793_005)
+                                    .wrapping_add(1_442_695_040_888_963_407);
+                                (state >> 33) as usize % fx.inputs.len()
+                            })
+                            .collect();
+                        let tickets: Vec<Ticket> = picks
+                            .iter()
+                            .map(|&i| server.submit(fx.inputs[i].clone()).unwrap())
+                            .collect();
+                        picks
+                            .into_iter()
+                            .zip(tickets)
+                            .map(|(i, ticket)| (i, ticket.wait().unwrap()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut total = 0u64;
+        for per_thread in results {
+            // Exactly one result per ticket.
+            prop_assert_eq!(per_thread.len(), per_submitter);
+            for (input_index, served) in per_thread {
+                total += 1;
+                prop_assert!(!served.cache_hit);
+                let input = &fx.inputs[input_index];
+                let expected = direct(fx, served.tier, input);
+                prop_assert_eq!(served.detection, expected);
+                prop_assert_eq!(
+                    served.detection.score.to_bits(),
+                    expected.score.to_bits()
+                );
+            }
+        }
+
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.submitted, total);
+        prop_assert_eq!(stats.completed, total);
+        prop_assert_eq!(stats.failed, 0);
+    }
+}

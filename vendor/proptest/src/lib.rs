@@ -113,7 +113,7 @@ pub mod collection {
         max_len_exclusive: usize,
     }
 
-    /// Length specification accepted by [`vec`]: a fixed length or a range.
+    /// Length specification accepted by [`vec()`]: a fixed length or a range.
     pub trait IntoSizeRange {
         /// `(min, max_exclusive)` bounds of the length.
         fn bounds(&self) -> (usize, usize);
