@@ -20,7 +20,9 @@
 //! | [`sec7h_large_models`] | Sec. VII-H — VGG/Inception/DenseNet results |
 //! | [`sec3b_cost_analysis`] | Sec. III-B — software cost analysis |
 //! | [`serve_throughput`] | beyond the paper — serving-runtime throughput |
+//! | [`batch_fusion`] | beyond the paper — fused batched trace vs per-input loop |
 
+pub mod batch_fusion;
 pub mod fig05_path_similarity;
 pub mod fig10_accuracy;
 pub mod fig11_latency_energy;
@@ -133,6 +135,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artifact: "beyond paper: serving runtime",
             run: serve_throughput::run,
         },
+        Experiment {
+            id: "batch_fusion",
+            paper_artifact: "beyond paper: fused batched trace",
+            run: batch_fusion::run,
+        },
     ]
 }
 
@@ -143,11 +150,11 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact_once() {
         let experiments = all();
-        assert_eq!(experiments.len(), 16);
+        assert_eq!(experiments.len(), 17);
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 16, "duplicate experiment ids");
+        assert_eq!(ids.len(), 17, "duplicate experiment ids");
         assert!(experiments.iter().all(|e| !e.paper_artifact.is_empty()));
     }
 }

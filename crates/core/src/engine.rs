@@ -1,19 +1,24 @@
 //! The batched, multi-backend serving API for Ptolemy detection.
 //!
-//! [`crate::Detector`] exposes the paper's online phase as a one-shot call that
-//! re-validates the program/class-path pairing on every input.  That is fine for
-//! reproducing figures and useless for serving: a deployment binds one network,
-//! one [`DetectionProgram`] and one [`ClassPathSet`] at startup and then pushes
+//! The paper's online phase is naturally a one-shot call that re-validates the
+//! program/class-path pairing on every input.  That is fine for reproducing
+//! figures and useless for serving: a deployment binds one network, one
+//! [`DetectionProgram`] and one [`ClassPathSet`] at startup and then pushes
 //! traffic through them for hours.  [`DetectionEngine`] is that session object:
 //!
 //! * **validate once** — the program/class-path fingerprint, the path layout and
 //!   the backend binding are all checked in [`DetectionEngineBuilder::build`],
 //!   never per call;
-//! * **configurable decision threshold** — the score cut-off that
-//!   [`crate::Detector::detect`] hard-coded to `0.5` is a builder knob;
-//! * **batching** — [`DetectionEngine::detect_batch`] fans the forward traces
-//!   out over scoped threads ([`crate::parallel::par_map`]), preserving
-//!   bit-for-bit parity with the single-input path;
+//! * **configurable decision threshold** — the score cut-off the original
+//!   one-shot API hard-coded to `0.5` is a builder knob;
+//! * **fused batching** — [`DetectionEngine::detect_batch`] runs one fused
+//!   NCHW trace over the whole batch
+//!   ([`ptolemy_nn::Network::forward_trace_batch`]: batched `im2col`/matmul
+//!   across inputs) and extracts each input's [`ActivationPath`] from the
+//!   per-input slices of that single trace.  Every fused kernel preserves the
+//!   per-input reduction order, so batch verdicts stay **bit-for-bit
+//!   identical** to the single-input path; extraction still fans out over
+//!   scoped threads ([`crate::parallel::par_map`]);
 //! * **streaming** — [`DetectionEngine::score_stream`] /
 //!   [`DetectionEngine::detect_stream`] lazily drive an input iterator
 //!   without materialising the batch;
@@ -58,18 +63,37 @@
 use std::sync::Arc;
 
 use ptolemy_forest::{ForestConfig, RandomForest};
-use ptolemy_nn::Network;
+use ptolemy_nn::{ForwardTrace, Network};
 use ptolemy_tensor::Tensor;
 
 use crate::extraction::{extract_path, path_layout};
 use crate::parallel::par_map;
 use crate::{
-    software_cost, ActivationPath, ClassPathSet, CoreError, Detection, DetectionProgram, Result,
+    software_cost, ActivationPath, ClassPathSet, CoreError, DetectionProgram, Result,
     SoftwareCostReport,
 };
 
-/// The decision threshold [`crate::Detector`] historically hard-coded.
+/// The decision threshold the original one-shot detection API hard-coded.
 pub const DEFAULT_THRESHOLD: f32 = 0.5;
+
+/// Fused-trace chunk size for calibration: bounds the peak memory of the
+/// batched forward trace (which holds every layer's stacked activations for
+/// the whole chunk) while keeping the fused kernels' amortisation.
+const CALIBRATION_FUSED_CHUNK: usize = 64;
+
+/// Result of detecting one input at inference time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Final verdict of the random-forest classifier.
+    pub is_adversary: bool,
+    /// Adversarial probability reported by the classifier (higher = more suspicious).
+    pub score: f32,
+    /// Path similarity `S` between the input's activation path and the canary path
+    /// of its predicted class.
+    pub similarity: f32,
+    /// The class the DNN predicted for the input.
+    pub predicted_class: usize,
+}
 
 /// Computes the `(predicted class, path similarity)` pair for one input — the
 /// stateless primitive behind both the engine and ROC-style sweeps that score
@@ -99,6 +123,26 @@ pub fn path_similarity(
     Ok((predicted, similarity))
 }
 
+/// Extraction + similarity over an already-recorded trace, with no fingerprint
+/// check.  Returns `(predicted class, similarity, activation path)`.
+///
+/// This is the single scoring primitive behind the per-input *and* the fused
+/// batch paths: the fused path slices a [`ptolemy_nn::BatchTrace`] back into
+/// per-input [`ForwardTrace`]s (bit-for-bit what `forward_trace` records) and
+/// feeds them through this same function, which is what makes batch verdicts
+/// identical to single-input verdicts.
+fn path_from_trace(
+    network: &Network,
+    program: &DetectionProgram,
+    class_paths: &ClassPathSet,
+    trace: &ForwardTrace,
+) -> Result<(usize, f32, ActivationPath)> {
+    let predicted = trace.predicted_class();
+    let path = extract_path(network, trace, program)?;
+    let similarity = path.similarity(class_paths.class_path(predicted)?)?;
+    Ok((predicted, similarity, path))
+}
+
 /// One traced inference + extraction + similarity, with no fingerprint check.
 /// Returns `(predicted class, similarity, activation path)`.
 fn trace_path(
@@ -108,10 +152,7 @@ fn trace_path(
     input: &Tensor,
 ) -> Result<(usize, f32, ActivationPath)> {
     let trace = network.forward_trace(input)?;
-    let predicted = trace.predicted_class();
-    let path = extract_path(network, &trace, program)?;
-    let similarity = path.similarity(class_paths.class_path(predicted)?)?;
-    Ok((predicted, similarity, path))
+    path_from_trace(network, program, class_paths, &trace)
 }
 
 /// Like [`trace_path`], reducing the path to its density.
@@ -125,18 +166,56 @@ fn trace_similarity(
         .map(|(predicted, similarity, path)| (predicted, similarity, path.density()))
 }
 
+/// Fused-batch counterpart of [`trace_path`]: one batched NCHW forward trace,
+/// then per-input extraction over the slices (fanned out with
+/// [`par_map`]).  Falls back to the per-input path when any input is
+/// mis-shaped (preserving that input's exact error while still serving the
+/// rest) or the fused trace itself fails.
+fn trace_path_batch(
+    network: &Network,
+    program: &DetectionProgram,
+    class_paths: &ClassPathSet,
+    inputs: &[Tensor],
+) -> Vec<Result<(usize, f32, ActivationPath)>> {
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let fused = if inputs
+        .iter()
+        .all(|input| input.dims() == network.input_shape())
+    {
+        network.forward_trace_batch(inputs).ok()
+    } else {
+        None
+    };
+    let Some(batch_trace) = fused else {
+        return par_map(inputs, |input| {
+            trace_path(network, program, class_paths, input)
+        });
+    };
+    let indices: Vec<usize> = (0..inputs.len()).collect();
+    par_map(&indices, |&b| {
+        let trace = batch_trace.trace(b)?;
+        path_from_trace(network, program, class_paths, &trace)
+    })
+}
+
 /// Cost estimate a [`DetectionBackend`] attaches to one served batch.
 ///
 /// Fields are optional because backends model different things: the software
 /// backend reports algorithm-level operation counts, the accelerator backend
-/// reports modelled latency/energy.
+/// reports modelled latency/energy.  Whatever the substrate, an estimate
+/// always prices the **whole batch as one program** — the fused execution
+/// model [`DetectionEngine::detect_batch`] actually runs — never `batch_size`
+/// independent single-input passes a consumer would have to multiply out.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BackendEstimate {
     /// Name of the backend that produced the estimate.
     pub backend: &'static str,
     /// Number of inputs in the batch the estimate covers.
     pub batch_size: usize,
-    /// Algorithm-level op/memory counts of one detection pass (software backend).
+    /// Algorithm-level op/memory counts of the whole batched detection pass
+    /// (software backend).
     pub software: Option<SoftwareCostReport>,
     /// Modelled wall-clock latency for the whole batch, in milliseconds.
     pub latency_ms: Option<f64>,
@@ -206,7 +285,10 @@ impl DetectionBackend for SoftwareBackend {
         batch_size: usize,
         mean_density: f32,
     ) -> Result<BackendEstimate> {
-        let report = software_cost(network, program, mean_density)?;
+        // Price the batch as the single fused program it executes as: every
+        // op/memory count scales with the batch size (the fused im2col/matmul
+        // widens the patch matrix B-fold; extraction runs per input).
+        let report = software_cost(network, program, mean_density)?.scaled(batch_size as u64);
         Ok(BackendEstimate {
             backend: self.name(),
             batch_size,
@@ -290,23 +372,50 @@ impl DetectionEngine {
         self.detect_traced(input)
     }
 
-    /// Detects a whole batch, fanning the forward traces out over scoped
-    /// threads.  `detect_batch(xs)?[i]` is bit-for-bit identical to
-    /// `detect(&xs[i])?` — both run the same per-input code path.
+    /// Detects a whole batch through **one fused forward trace**: the inputs
+    /// are stacked into a single NCHW batch, every layer executes its batched
+    /// kernel (`im2col`/matmul across all inputs at once), and each input's
+    /// activation path is extracted from its slice of the fused trace (the
+    /// extraction fan-out still uses scoped threads).
+    ///
+    /// `detect_batch(xs)?[i]` is bit-for-bit identical to `detect(&xs[i])?`:
+    /// every fused kernel preserves the per-input reduction order, and the
+    /// sliced traces feed the same scoring code as the single-input path.
     ///
     /// # Errors
     ///
     /// Returns the first per-input error, if any.
     pub fn detect_batch(&self, inputs: &[Tensor]) -> Result<Vec<Detection>> {
-        par_map(inputs, |input| self.detect_with_density(input))
+        self.detect_batch_with_paths(inputs)
             .into_iter()
             .map(|r| r.map(|(d, _)| d))
+            .collect()
+    }
+
+    /// Like [`DetectionEngine::detect_batch`], additionally returning each
+    /// input's extracted [`ActivationPath`] and keeping per-input error
+    /// granularity (one mis-shaped input fails alone instead of failing the
+    /// batch) — the hook serving layers use to run whole formed batches
+    /// through the fused trace while still keying result caches on
+    /// [`ActivationPath::prefix_fingerprint`].
+    pub fn detect_batch_with_paths(
+        &self,
+        inputs: &[Tensor],
+    ) -> Vec<Result<(Detection, ActivationPath)>> {
+        trace_path_batch(&self.network, &self.program, &self.class_paths, inputs)
+            .into_iter()
+            .map(|r| {
+                let (predicted, similarity, path) = r?;
+                Ok((self.judge(predicted, similarity)?, path))
+            })
             .collect()
     }
 
     /// Like [`DetectionEngine::detect_batch`], additionally pricing the batch
     /// on the engine's backend (using the batch's mean activation-path density,
     /// which is what the hardware model's sort/accumulate cost scales with).
+    /// The backend prices the **whole fused batch as one program**, mirroring
+    /// how the batch actually executes.
     ///
     /// # Errors
     ///
@@ -315,10 +424,11 @@ impl DetectionEngine {
         &self,
         inputs: &[Tensor],
     ) -> Result<(Vec<Detection>, BackendEstimate)> {
-        let detected: Vec<(Detection, f32)> =
-            par_map(inputs, |input| self.detect_with_density(input))
-                .into_iter()
-                .collect::<Result<_>>()?;
+        let detected: Vec<(Detection, f32)> = self
+            .detect_batch_with_paths(inputs)
+            .into_iter()
+            .map(|r| r.map(|(d, path)| (d, path.density())))
+            .collect::<Result<_>>()?;
         let mean_density = if detected.is_empty() {
             0.0
         } else {
@@ -375,31 +485,27 @@ impl DetectionEngine {
             .estimate_batch(&self.network, &self.program, batch_size, mean_density)
     }
 
-    fn detect_with_density(&self, input: &Tensor) -> Result<(Detection, f32)> {
-        self.detect_traced(input)
-            .map(|(detection, path)| (detection, path.density()))
-    }
-
-    /// The single code path behind `detect`, `detect_with_path` and the batch
-    /// methods — the source of their bit-for-bit parity.
-    fn detect_traced(&self, input: &Tensor) -> Result<(Detection, ActivationPath)> {
-        let (predicted_class, similarity, path) =
-            trace_path(&self.network, &self.program, &self.class_paths, input)?;
+    /// The single scoring step shared by `detect`, `detect_with_path` and the
+    /// fused batch methods — the source of their bit-for-bit parity.
+    fn judge(&self, predicted_class: usize, similarity: f32) -> Result<Detection> {
         let forest = self.forest.as_ref().ok_or_else(|| {
             CoreError::InvalidInput(
                 "engine was built without a classifier; add .forest(..) or .calibrate(..)".into(),
             )
         })?;
         let score = forest.predict_proba(&[similarity])?;
-        Ok((
-            Detection {
-                is_adversary: score >= self.threshold,
-                score,
-                similarity,
-                predicted_class,
-            },
-            path,
-        ))
+        Ok(Detection {
+            is_adversary: score >= self.threshold,
+            score,
+            similarity,
+            predicted_class,
+        })
+    }
+
+    fn detect_traced(&self, input: &Tensor) -> Result<(Detection, ActivationPath)> {
+        let (predicted_class, similarity, path) =
+            trace_path(&self.network, &self.program, &self.class_paths, input)?;
+        Ok((self.judge(predicted_class, similarity)?, path))
     }
 
     /// The network this engine serves.
@@ -567,12 +673,18 @@ impl DetectionEngineBuilder {
                 let mut features = Vec::with_capacity(benign.len() + adversarial.len());
                 let mut labels = Vec::with_capacity(benign.len() + adversarial.len());
                 for (inputs, is_adversarial) in [(&benign, false), (&adversarial, true)] {
-                    let similarities: Vec<Result<f32>> = par_map(inputs, |input| {
-                        trace_similarity(network, program, class_paths, input).map(|(_, s, _)| s)
-                    });
-                    for similarity in similarities {
-                        features.push(vec![similarity?]);
-                        labels.push(is_adversarial);
+                    // Calibration runs through the same fused batch trace as
+                    // serving, so the fitted forest sees bit-identical
+                    // similarities either way.  Chunked: a fused trace holds
+                    // every layer's stacked activations at once, so fusing an
+                    // arbitrarily large calibration set in one shot would make
+                    // peak memory O(set size × total activations).
+                    for chunk in inputs.chunks(CALIBRATION_FUSED_CHUNK) {
+                        let similarities = trace_path_batch(network, program, class_paths, chunk);
+                        for similarity in similarities {
+                            features.push(vec![similarity.map(|(_, s, _)| s)?]);
+                            labels.push(is_adversarial);
+                        }
                     }
                 }
                 Some(RandomForest::fit(&features, &labels, &self.forest_config)?)

@@ -28,8 +28,11 @@
 //!                                          + BackendEstimate per batch
 //! ```
 //!
-//! The one-shot [`Detector`] API survives as a deprecated shim; new code binds a
-//! [`DetectionEngine`] once and drives it in batches (see [`engine`]).
+//! [`DetectionEngine`] is the only online surface (the historical one-shot
+//! `Detector` shim is gone): bind once, then drive per input, per fused NCHW
+//! batch ([`DetectionEngine::detect_batch`] runs one batched `im2col`/matmul
+//! trace and slices per-input activation paths out of it, bit-for-bit
+//! identical to the single-input path) or as a stream (see [`engine`]).
 //!
 //! # Example
 //!
@@ -67,7 +70,6 @@
 
 mod bits;
 mod cost;
-mod detector;
 pub mod engine;
 mod error;
 mod extraction;
@@ -80,11 +82,9 @@ pub mod variants;
 
 pub use bits::BitVec;
 pub use cost::{software_cost, SoftwareCostReport};
-#[allow(deprecated)]
-pub use detector::{Detection, Detector};
 pub use engine::{
-    path_similarity, BackendEstimate, DetectionBackend, DetectionEngine, DetectionEngineBuilder,
-    SoftwareBackend,
+    path_similarity, BackendEstimate, Detection, DetectionBackend, DetectionEngine,
+    DetectionEngineBuilder, SoftwareBackend,
 };
 pub use error::CoreError;
 pub use extraction::{extract_path, path_layout};

@@ -115,8 +115,22 @@ impl ActivationPath {
     /// those early extraction layers — which is what makes the prefix usable as
     /// a near-duplicate cache key for serving: a repeated or barely-perturbed
     /// input activates the same early-layer path, while genuinely different
-    /// inputs diverge within the first layer or two.  Passing
-    /// `segments >= self.segments().len()` fingerprints the whole path.
+    /// inputs diverge within the first layer or two.
+    ///
+    /// The extremes are well-defined (cache keys must never depend on the
+    /// caller clamping its depth argument):
+    ///
+    /// * `segments == 0` hashes nothing and returns the FNV-1a offset basis —
+    ///   the **same constant for every path**, so a zero-segment prefix can
+    ///   never discriminate inputs (serving layers reject a zero prefix depth
+    ///   at configuration time for exactly this reason);
+    /// * `segments >= self.segments().len()` fingerprints the whole path —
+    ///   every depth from the segment count up to `usize::MAX` returns the
+    ///   identical full-path key, so an over-deep configuration degrades to
+    ///   exact-path matching instead of misbehaving;
+    /// * a path with **no segments at all** (a program with every layer
+    ///   disabled) also returns the offset basis at every depth, consistent
+    ///   with the two rules above.
     pub fn prefix_fingerprint(&self, segments: usize) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -443,6 +457,44 @@ mod tests {
         // Differing first segments diverge immediately.
         let c = path_with(&[(0, 2), (1, 5)]);
         assert_ne!(a.prefix_fingerprint(1), c.prefix_fingerprint(1));
+    }
+
+    #[test]
+    fn prefix_fingerprint_extremes_are_well_defined() {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        let a = path_with(&[(0, 1), (1, 5)]);
+        let b = path_with(&[(0, 7), (1, 9)]);
+
+        // Depth 0 hashes nothing: the offset basis, identical for every path.
+        assert_eq!(a.prefix_fingerprint(0), FNV_OFFSET);
+        assert_eq!(b.prefix_fingerprint(0), FNV_OFFSET);
+
+        // Every depth >= the segment count equals the exact full-path key.
+        let full = a.prefix_fingerprint(a.segments().len());
+        for depth in [2usize, 3, 17, usize::MAX] {
+            assert_eq!(a.prefix_fingerprint(depth), full);
+        }
+        // Beyond-depth keys still discriminate different paths.
+        assert_ne!(
+            a.prefix_fingerprint(usize::MAX),
+            b.prefix_fingerprint(usize::MAX)
+        );
+
+        // A path with no segments at all is the offset basis at every depth.
+        let empty = ActivationPath::empty(&[]);
+        assert_eq!(empty.segments().len(), 0);
+        for depth in [0usize, 1, usize::MAX] {
+            assert_eq!(empty.prefix_fingerprint(depth), FNV_OFFSET);
+        }
+
+        // An all-zero mask is NOT the same as no segments: structure (layer
+        // ids, mask lengths) is part of the key even when no neuron is set.
+        let zeroed = ActivationPath::empty(&[(1, 10), (3, 20)]);
+        assert_ne!(zeroed.prefix_fingerprint(1), FNV_OFFSET);
+        assert_ne!(
+            zeroed.prefix_fingerprint(usize::MAX),
+            ActivationPath::empty(&[(1, 10)]).prefix_fingerprint(usize::MAX)
+        );
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Crate-private helpers for the fused NCHW batch path.
+//!
+//! The batch convention across `ptolemy-nn` is a single stacked tensor with a
+//! leading batch dimension: `[B, C, H, W]` for images, `[B, features]` for
+//! vectors.  Sample `b` occupies the contiguous row-major slab
+//! `[b * sample_len, (b + 1) * sample_len)`, so slicing a batch back into its
+//! samples is a copy, never a re-association — the foundation of the
+//! bit-for-bit parity guarantee between `forward_batch` and per-input
+//! `forward`.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+use std::thread;
+
+use ptolemy_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Cached [`thread::available_parallelism`]: the lookup re-reads cgroup state
+/// on Linux (microseconds per call), far too slow to query per layer on the
+/// fused hot path.
+fn parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Validates that `batch` has shape `[B] ++ sample_shape` with `B >= 1` and
+/// returns `B`.
+pub(crate) fn check_batch(batch: &Tensor, sample_shape: &[usize], layer: &str) -> Result<usize> {
+    let dims = batch.dims();
+    let valid = dims.len() == sample_shape.len() + 1 && dims[0] >= 1 && &dims[1..] == sample_shape;
+    if !valid {
+        return Err(NnError::InvalidConfig(format!(
+            "{layer} expects a batch of shape [B]+{sample_shape:?}, got {dims:?}"
+        )));
+    }
+    Ok(dims[0])
+}
+
+/// Runs `f` over contiguous row chunks of `out` (a row-major `[rows, row_len]`
+/// buffer), fanning the chunks out over scoped threads.
+///
+/// `f(first_row, chunk)` fills rows `first_row ..` of its chunk.  Each row is
+/// computed by exactly one invocation, so per-element arithmetic is identical
+/// to a serial pass — threading partitions the output, never a reduction.
+/// Falls back to one serial call when only one core is available (or the work
+/// is a single row).
+pub(crate) fn par_row_chunks<F>(out: &mut [f32], rows: usize, row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * row_len);
+    let threads = parallelism().min(rows);
+    if threads <= 1 || row_len == 0 {
+        f(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    thread::scope(|scope| {
+        let f = &f;
+        for (i, chunk) in out.chunks_mut(chunk_rows * row_len).enumerate() {
+            scope.spawn(move || f(i * chunk_rows, chunk));
+        }
+    });
+}
+
+/// Matrix multiplication `a · b` with rows of the result computed in parallel.
+///
+/// Per output element the reduction runs in exactly the same order as
+/// [`Tensor::matmul`] (ascending `k`, skipping zero `a` entries), so the result
+/// is bit-for-bit identical to the serial product — rows are independent, and
+/// threading only partitions them.
+pub(crate) fn matmul_rows_parallel(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        // Delegate to the serial path for the exact shape error.
+        return Ok(a.matmul(b)?);
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    par_row_chunks(&mut out, m, n, |first_row, chunk| {
+        for (local, orow) in chunk.chunks_mut(n).enumerate() {
+            let i = first_row + local;
+            for kk in 0..k {
+                let aik = av[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bv[kk * n..(kk + 1) * n];
+                for (o, bvv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bvv;
+                }
+            }
+        }
+    });
+    Ok(Tensor::from_vec(out, &[m, n])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptolemy_tensor::{Initializer, Rng64};
+
+    #[test]
+    fn check_batch_accepts_and_rejects() {
+        let batch = Tensor::zeros(&[4, 2, 3]);
+        assert_eq!(check_batch(&batch, &[2, 3], "test").unwrap(), 4);
+        assert!(check_batch(&batch, &[3, 2], "test").is_err());
+        assert!(check_batch(&Tensor::zeros(&[2, 3]), &[2, 3], "test").is_err());
+        assert!(check_batch(&Tensor::zeros(&[0, 2, 3]), &[2, 3], "test").is_err());
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_serial() {
+        let mut rng = Rng64::new(42);
+        let a = Initializer::Uniform(1.0).build(&[7, 13], &mut rng).unwrap();
+        let mut a = a;
+        // Sprinkle zeros so the skip branch is exercised.
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Initializer::Uniform(1.0)
+            .build(&[13, 33], &mut rng)
+            .unwrap();
+        let serial = a.matmul(&b).unwrap();
+        let parallel = matmul_rows_parallel(&a, &b).unwrap();
+        assert_eq!(serial.dims(), parallel.dims());
+        for (s, p) in serial.as_slice().iter().zip(parallel.as_slice()) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+        // Shape errors surface like the serial path's.
+        assert!(matmul_rows_parallel(&a, &Tensor::zeros(&[5, 2])).is_err());
+    }
+
+    #[test]
+    fn par_row_chunks_covers_every_row_once() {
+        let rows = 11;
+        let row_len = 3;
+        let mut out = vec![0.0f32; rows * row_len];
+        par_row_chunks(&mut out, rows, row_len, |first_row, chunk| {
+            for (local, row) in chunk.chunks_mut(row_len).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first_row + local) as f32;
+                }
+            }
+        });
+        for (i, row) in out.chunks(row_len).enumerate() {
+            assert!(row.iter().all(|v| *v == i as f32));
+        }
+    }
+}

@@ -49,6 +49,13 @@ impl Layer for ReLU {
         Ok(input.map(|v| v.max(0.0)))
     }
 
+    fn forward_batch(&self, batch: &Tensor) -> Result<Tensor> {
+        crate::batch::check_batch(batch, &self.shape, self.name())?;
+        // Element-wise, so the fused kernel is the same map over the stacked
+        // buffer — trivially bit-for-bit identical per sample.
+        Ok(batch.map(|v| v.max(0.0)))
+    }
+
     fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {
         self.check(input)?;
         self.check(grad_output)?;

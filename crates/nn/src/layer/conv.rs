@@ -1,5 +1,6 @@
-use ptolemy_tensor::{col2im, im2col, Conv2dGeometry, Initializer, Rng64, Tensor};
+use ptolemy_tensor::{col2im, im2col, im2col_batch, Conv2dGeometry, Initializer, Rng64, Tensor};
 
+use crate::batch::{check_batch, matmul_rows_parallel};
 use crate::{Contribution, Layer, LayerGrads, LayerKind, NnError, Result};
 
 /// 2-D convolution over CHW activations, lowered to `im2col` + matmul.
@@ -125,6 +126,36 @@ impl Layer for Conv2d {
             data,
             &[self.out_channels, self.geom.out_h, self.geom.out_w],
         )?)
+    }
+
+    fn forward_batch(&self, batch: &Tensor) -> Result<Tensor> {
+        let batch_size = check_batch(batch, &self.input_shape(), self.name())?;
+        let patches = self.geom.num_patches();
+        // One wide patch matrix prices the whole batch: column
+        // `b * patches + j` of `cols` is exactly column `j` of sample `b`'s
+        // own im2col, so the fused matmul reduces every output element in the
+        // same order as the per-input path (weight rows stream once across
+        // all B inputs instead of once per input).
+        let cols = im2col_batch(batch, &self.geom)?;
+        let fused = matmul_rows_parallel(&self.weight, &cols)?; // [out_c, B·patches]
+        let wide = fused.as_slice();
+        let sample_out = self.out_channels * patches;
+        let mut data = vec![0.0f32; batch_size * sample_out];
+        let bias = self.bias.as_slice();
+        for oc in 0..self.out_channels {
+            let b_oc = bias[oc];
+            let row = &wide[oc * batch_size * patches..(oc + 1) * batch_size * patches];
+            for b in 0..batch_size {
+                let dst = &mut data[b * sample_out + oc * patches..][..patches];
+                let src = &row[b * patches..(b + 1) * patches];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = s + b_oc;
+                }
+            }
+        }
+        let mut dims = vec![batch_size];
+        dims.extend(self.output_shape());
+        Ok(Tensor::from_vec(data, &dims)?)
     }
 
     fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {

@@ -1,5 +1,6 @@
 use ptolemy_tensor::{Initializer, Rng64, Tensor};
 
+use crate::batch::{check_batch, par_row_chunks};
 use crate::{Contribution, Layer, LayerGrads, LayerKind, NnError, Result};
 
 /// Fully-connected layer: `y = W·x + b` with `W` of shape `[outputs, inputs]`.
@@ -118,6 +119,35 @@ impl Layer for Dense {
             *o = acc;
         }
         Ok(Tensor::from_vec(out, &[self.outputs])?)
+    }
+
+    fn forward_batch(&self, batch: &Tensor) -> Result<Tensor> {
+        let batch_size = check_batch(batch, &self.input_shape(), self.name())?;
+        let xs = batch.as_slice();
+        let w = self.weight.as_slice();
+        let b = self.bias.as_slice();
+        let inputs = self.inputs;
+        let outputs = self.outputs;
+        let mut out = vec![0.0f32; batch_size * outputs];
+        // Partition the output over samples; within a chunk, iterate outputs
+        // outermost so each weight row stays hot across the chunk's samples.
+        // Per output neuron the accumulation (bias first, then x·w in input
+        // order) is exactly the single-sample kernel, so the fused result is
+        // bit-for-bit identical to the per-input loop.
+        par_row_chunks(&mut out, batch_size, outputs, |first_sample, chunk| {
+            let samples = chunk.len() / outputs;
+            for (j, (row, bias)) in w.chunks(inputs).zip(b).enumerate() {
+                for s in 0..samples {
+                    let x = &xs[(first_sample + s) * inputs..(first_sample + s + 1) * inputs];
+                    let mut acc = *bias;
+                    for (xi, wi) in x.iter().zip(row) {
+                        acc += xi * wi;
+                    }
+                    chunk[s * outputs + j] = acc;
+                }
+            }
+        });
+        Ok(Tensor::from_vec(out, &[batch_size, outputs])?)
     }
 
     fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {

@@ -49,6 +49,12 @@ impl Layer for Flatten {
         Ok(input.reshape(&[input.len()])?)
     }
 
+    fn forward_batch(&self, batch: &Tensor) -> Result<Tensor> {
+        let batch_size = crate::batch::check_batch(batch, &self.input_shape, self.name())?;
+        // A reshape per sample is a reshape of the whole stacked buffer.
+        Ok(batch.reshape(&[batch_size, batch.len() / batch_size])?)
+    }
+
     fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {
         self.check(input)?;
         Ok(LayerGrads {

@@ -1,9 +1,12 @@
 //! Layer abstraction and concrete layer implementations.
 //!
-//! Each layer operates on a **single sample** (no batch dimension); the training
-//! loop iterates over a mini-batch and averages parameter gradients.  This keeps the
-//! partial-sum bookkeeping that Ptolemy's extraction algorithms rely on simple and
-//! exactly mirrors the per-input path semantics of the paper.
+//! The canonical [`Layer::forward`] operates on a **single sample** (no batch
+//! dimension); the training loop iterates over a mini-batch and averages
+//! parameter gradients.  This keeps the partial-sum bookkeeping that Ptolemy's
+//! extraction algorithms rely on simple and exactly mirrors the per-input path
+//! semantics of the paper.  For serving, [`Layer::forward_batch`] additionally
+//! executes a stacked `[B] ++ input_shape` batch (NCHW) in one fused pass while
+//! preserving the per-input reduction order bit for bit.
 
 mod activation;
 mod conv;
@@ -135,6 +138,29 @@ pub trait Layer: Send + Sync {
     ///
     /// Returns an error if `input` does not match the layer's expected input shape.
     fn forward(&self, input: &Tensor) -> Result<Tensor>;
+
+    /// Computes the layer output for a stacked batch (`[B] ++ input_shape`,
+    /// NCHW convention), returning `[B] ++ output_shape`.
+    ///
+    /// The contract is **bit-for-bit parity** with the per-input path: row `b`
+    /// of the result must be identical to `forward(&batch.slice_batch(b)?)?` —
+    /// each output element depends only on its own input sample and its
+    /// reduction order must match the single-sample kernel exactly.  The
+    /// default implementation is the per-input loop itself; the conv, dense,
+    /// pooling, activation, flatten and residual layers override it with fused
+    /// kernels (batched `im2col`/matmul for convolutions) that preserve the
+    /// same per-element order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `batch` is not `[B] ++ input_shape` with `B >= 1`.
+    fn forward_batch(&self, batch: &Tensor) -> Result<Tensor> {
+        let batch_size = crate::batch::check_batch(batch, &self.input_shape(), self.name())?;
+        let outputs: Vec<Tensor> = (0..batch_size)
+            .map(|b| self.forward(&batch.slice_batch(b)?))
+            .collect::<Result<_>>()?;
+        Ok(Tensor::stack(&outputs)?)
+    }
 
     /// Computes input and parameter gradients given the upstream gradient.
     ///

@@ -116,6 +116,23 @@ impl Layer for Residual {
         Ok(out)
     }
 
+    fn forward_batch(&self, batch: &Tensor) -> Result<Tensor> {
+        crate::batch::check_batch(batch, &self.shape, self.name())?;
+        // Chain the body's fused kernels, then apply the shortcut add (and the
+        // optional post-ReLU) element-wise over the stacked buffer — the same
+        // per-element operations as the single-sample path, in the same order.
+        let (first, rest) = self.body.split_first().expect("non-empty");
+        let mut cur = first.forward_batch(batch)?;
+        for layer in rest {
+            cur = layer.forward_batch(&cur)?;
+        }
+        let mut out = cur.add(batch)?;
+        if self.post_relu {
+            out.map_inplace(|v| v.max(0.0));
+        }
+        Ok(out)
+    }
+
     fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {
         self.check(input)?;
         let acts = self.body_trace(input)?;

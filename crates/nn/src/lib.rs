@@ -13,6 +13,14 @@
 //! * [`Network::forward_trace`] — a forward pass that records every layer's input
 //!   and output activations so extraction can run after (backward extraction) or
 //!   during (forward extraction) inference;
+//! * [`Network::forward_batch`] / [`Network::forward_trace_batch`] — the fused
+//!   NCHW batch path: B inputs are stacked into one `[B, C, H, W]` tensor and
+//!   executed layer by layer through [`Layer::forward_batch`] (batched
+//!   `im2col`/matmul for convolutions, weight-row-reuse kernels for dense
+//!   layers).  The resulting [`BatchTrace`] slices back to per-input
+//!   [`ForwardTrace`]s **bit-for-bit identical** to the per-input path — each
+//!   output element depends only on its own input sample, and every fused
+//!   kernel preserves the single-sample reduction order exactly;
 //! * [`Network::input_gradient`] — the loss gradient w.r.t. the input, which the
 //!   attack generators in `ptolemy-attacks` need;
 //! * a [`zoo`] of small architectures standing in for AlexNet, ResNet-18, VGG and
@@ -41,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod error;
 pub mod layer;
 mod loss;
@@ -53,7 +62,7 @@ pub use error::NnError;
 pub use layer::{Contribution, Layer, LayerGrads, LayerKind};
 pub use loss::{cross_entropy_loss, softmax_cross_entropy_grad};
 pub use network::{Network, NetworkGrads};
-pub use trace::ForwardTrace;
+pub use trace::{BatchTrace, ForwardTrace};
 pub use train::{TrainConfig, TrainReport, Trainer};
 
 /// Result alias used across the crate.

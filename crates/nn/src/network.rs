@@ -1,6 +1,6 @@
 use ptolemy_tensor::Tensor;
 
-use crate::{ForwardTrace, Layer, NnError, Result};
+use crate::{BatchTrace, ForwardTrace, Layer, NnError, Result};
 
 /// Parameter gradients for a whole network, one entry per layer (in layer order).
 #[derive(Debug, Clone)]
@@ -154,6 +154,68 @@ impl Network {
             cur = out;
         }
         Ok(ForwardTrace { inputs, outputs })
+    }
+
+    /// Stacks `inputs` into one `[B] ++ input_shape` batch, validating shapes.
+    fn stack_batch(&self, inputs: &[Tensor]) -> Result<Tensor> {
+        if inputs.is_empty() {
+            return Err(NnError::InvalidConfig(
+                "batched forward pass requires at least one input".into(),
+            ));
+        }
+        for input in inputs {
+            if input.dims() != self.input_shape {
+                return Err(NnError::InvalidConfig(format!(
+                    "network expects input shape {:?}, got {:?}",
+                    self.input_shape,
+                    input.dims()
+                )));
+            }
+        }
+        Ok(Tensor::stack(inputs)?)
+    }
+
+    /// Runs one fused forward pass over a whole batch and returns the stacked
+    /// logits (`[B, num_classes]`).
+    ///
+    /// Row `b` is bit-for-bit identical to `forward(&inputs[b])` — every layer's
+    /// [`Layer::forward_batch`] preserves the per-input reduction order, so
+    /// batching changes throughput, never arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `inputs` is empty or any input does not match the
+    /// network input shape.
+    pub fn forward_batch(&self, inputs: &[Tensor]) -> Result<Tensor> {
+        let mut cur = self.stack_batch(inputs)?;
+        for layer in &self.layers {
+            cur = layer.forward_batch(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Runs one fused forward pass over a whole batch, recording every layer's
+    /// stacked input and output activations.
+    ///
+    /// `forward_trace_batch(xs)?.trace(b)?` is bit-for-bit identical to
+    /// `forward_trace(&xs[b])?` — the property that lets `ptolemy-core` extract
+    /// each input's activation path from the slices of a single fused trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `inputs` is empty or any input does not match the
+    /// network input shape.
+    pub fn forward_trace_batch(&self, inputs: &[Tensor]) -> Result<BatchTrace> {
+        let mut layer_inputs = Vec::with_capacity(self.layers.len());
+        let mut layer_outputs = Vec::with_capacity(self.layers.len());
+        let mut cur = self.stack_batch(inputs)?;
+        for layer in &self.layers {
+            let out = layer.forward_batch(&cur)?;
+            layer_inputs.push(cur);
+            layer_outputs.push(out.clone());
+            cur = out;
+        }
+        Ok(BatchTrace::new(inputs.len(), layer_inputs, layer_outputs))
     }
 
     /// Predicted class of `input` (argmax of the logits).
@@ -316,6 +378,66 @@ mod tests {
             assert!((num - ana).abs() < 1e-2, "grad {i}: {num} vs {ana}");
         }
         assert!(net.input_gradient(&x, 99).is_err());
+    }
+
+    #[test]
+    fn fused_batch_matches_per_input_path_bit_for_bit() {
+        let mut rng = Rng64::new(11);
+        // A conv net exercises every fused kernel: conv, relu, pools, flatten,
+        // dense and the residual block.
+        let net = crate::zoo::resnet_mini(3, &mut rng).unwrap();
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|i| {
+                let data = (0..net.input_shape().iter().product::<usize>())
+                    .map(|_| rng.normal() * (1.0 + i as f32 * 0.3))
+                    .collect();
+                Tensor::from_vec(data, net.input_shape()).unwrap()
+            })
+            .collect();
+
+        let logits = net.forward_batch(&inputs).unwrap();
+        assert_eq!(logits.dims(), &[5, net.num_classes()]);
+        let batch_trace = net.forward_trace_batch(&inputs).unwrap();
+        assert_eq!(batch_trace.batch_size(), 5);
+        assert_eq!(batch_trace.num_layers(), net.num_layers());
+
+        for (b, input) in inputs.iter().enumerate() {
+            let single = net.forward(input).unwrap();
+            let fused = logits.slice_batch(b).unwrap();
+            for (f, s) in fused.as_slice().iter().zip(single.as_slice()) {
+                assert_eq!(f.to_bits(), s.to_bits());
+            }
+            let single_trace = net.forward_trace(input).unwrap();
+            let sliced = batch_trace.trace(b).unwrap();
+            for layer in 0..net.num_layers() {
+                for (f, s) in sliced.outputs[layer]
+                    .as_slice()
+                    .iter()
+                    .zip(single_trace.outputs[layer].as_slice())
+                {
+                    assert_eq!(f.to_bits(), s.to_bits());
+                }
+                assert_eq!(
+                    sliced.inputs[layer].dims(),
+                    single_trace.inputs[layer].dims()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_rejects_empty_and_mismatched_inputs() {
+        let mut rng = Rng64::new(12);
+        let net = tiny_net(&mut rng);
+        assert!(net.forward_batch(&[]).is_err());
+        let bad = vec![Tensor::ones(&[1, 2, 2]), Tensor::ones(&[4])];
+        assert!(net.forward_batch(&bad).is_err());
+        assert!(net.forward_trace_batch(&bad).is_err());
+        // A batch of one works and equals the single path.
+        let one = vec![Tensor::ones(&[1, 2, 2])];
+        let fused = net.forward_batch(&one).unwrap();
+        let single = net.forward(&one[0]).unwrap();
+        assert_eq!(fused.slice_batch(0).unwrap().as_slice(), single.as_slice());
     }
 
     #[test]

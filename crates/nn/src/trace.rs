@@ -1,5 +1,7 @@
 use ptolemy_tensor::Tensor;
 
+use crate::Result;
+
 /// Record of a full forward pass through a [`crate::Network`].
 ///
 /// `inputs[i]` / `outputs[i]` are the activations entering and leaving layer `i`
@@ -39,6 +41,81 @@ impl ForwardTrace {
     }
 }
 
+/// Record of one fused forward pass over a whole batch
+/// ([`crate::Network::forward_trace_batch`]).
+///
+/// Activations are stored stacked: `inputs[i]` / `outputs[i]` have shape
+/// `[B] ++ layer_shape` (NCHW convention — sample `b` is the contiguous slab
+/// `b` of the leading dimension).  [`BatchTrace::trace`] slices one sample's
+/// activations back out as an ordinary [`ForwardTrace`]; because the fused
+/// kernels are bit-for-bit identical to the per-input path, the sliced trace
+/// equals `forward_trace` of that sample exactly, so the extraction algorithms
+/// in `ptolemy-core` can consume the slices without any tolerance.
+#[derive(Debug, Clone)]
+pub struct BatchTrace {
+    batch_size: usize,
+    /// Stacked input activation of each layer (`[B] ++ layer_input_shape`).
+    pub inputs: Vec<Tensor>,
+    /// Stacked output activation of each layer (`[B] ++ layer_output_shape`).
+    pub outputs: Vec<Tensor>,
+}
+
+impl BatchTrace {
+    /// Assembles a batch trace from stacked per-layer activations.
+    pub(crate) fn new(batch_size: usize, inputs: Vec<Tensor>, outputs: Vec<Tensor>) -> Self {
+        BatchTrace {
+            batch_size,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Number of samples in the fused batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of layers traced.
+    pub fn num_layers(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Slices sample `index` out of the fused trace as a per-input
+    /// [`ForwardTrace`] (bit-for-bit what `forward_trace` on that sample alone
+    /// records).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `index >= batch_size()`.
+    pub fn trace(&self, index: usize) -> Result<ForwardTrace> {
+        let slice_all = |tensors: &[Tensor]| -> Result<Vec<Tensor>> {
+            tensors.iter().map(|t| Ok(t.slice_batch(index)?)).collect()
+        };
+        Ok(ForwardTrace {
+            inputs: slice_all(&self.inputs)?,
+            outputs: slice_all(&self.outputs)?,
+        })
+    }
+
+    /// Final logits of sample `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `index >= batch_size()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty; [`crate::Network::forward_trace_batch`]
+    /// never produces an empty trace for a non-empty network.
+    pub fn logits(&self, index: usize) -> Result<Tensor> {
+        Ok(self
+            .outputs
+            .last()
+            .expect("batch trace of a non-empty network")
+            .slice_batch(index)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +129,22 @@ mod tests {
         assert_eq!(trace.num_layers(), 1);
         assert_eq!(trace.predicted_class(), 1);
         assert_eq!(trace.logits().len(), 3);
+    }
+
+    #[test]
+    fn batch_trace_slices_back_to_per_sample_traces() {
+        // Two samples, one layer: inputs [2, 4], outputs [2, 3].
+        let inputs = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 4]).unwrap();
+        let outputs = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]).unwrap();
+        let batch = BatchTrace::new(2, vec![inputs], vec![outputs]);
+        assert_eq!(batch.batch_size(), 2);
+        assert_eq!(batch.num_layers(), 1);
+        let t0 = batch.trace(0).unwrap();
+        assert_eq!(t0.inputs[0].as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t0.predicted_class(), 1);
+        let t1 = batch.trace(1).unwrap();
+        assert_eq!(t1.predicted_class(), 0);
+        assert_eq!(batch.logits(1).unwrap().as_slice(), &[0.7, 0.2, 0.1]);
+        assert!(batch.trace(2).is_err());
     }
 }

@@ -25,10 +25,11 @@ pub struct BatchPolicy {
     /// request arrived before cutting an undersized batch anyway.
     ///
     /// This trades queue latency for batch size: under sparse traffic every
-    /// request can wait up to the full budget.  Until batches execute fused
-    /// (today workers still drive the engine per input — see the ROADMAP
-    /// follow-on), latency-critical deployments should set this to
-    /// [`Duration::ZERO`], which cuts a batch the moment a worker is free.
+    /// request can wait up to the full budget.  Batches execute **fused** (one
+    /// batched im2col/matmul trace per formed batch), so a larger batch
+    /// amortises weight streaming across its inputs; latency-critical
+    /// deployments can still set this to [`Duration::ZERO`], which cuts a
+    /// batch the moment a worker is free.
     pub latency_budget: Duration,
     /// Target modelled execution latency for one batch, in milliseconds; the
     /// former cuts before the backend estimate would exceed it.
@@ -74,6 +75,10 @@ impl BatchPolicy {
 /// Modelled latency of the estimated batch, in milliseconds: the backend's own
 /// number when it models wall-clock time, otherwise a pseudo-latency derived
 /// from the software op counts.  `None` when the backend models neither.
+///
+/// Estimates price the whole batch as one fused program (the
+/// [`BackendEstimate`] contract), so the software op counts already cover
+/// every input — no per-input multiplication here.
 pub(crate) fn predicted_latency_ms(
     estimate: &BackendEstimate,
     policy: &BatchPolicy,
@@ -82,11 +87,11 @@ pub(crate) fn predicted_latency_ms(
         return Some(ms);
     }
     estimate.software.as_ref().map(|report| {
-        let per_input_ops = report.inference_macs
+        let batch_ops = report.inference_macs
             + report.sort_elements
             + report.compare_ops
             + report.accumulate_ops;
-        per_input_ops as f64 * estimate.batch_size as f64 / policy.software_ops_per_ms
+        batch_ops as f64 / policy.software_ops_per_ms
     })
 }
 
@@ -155,12 +160,13 @@ mod tests {
         };
         assert_eq!(predicted_latency_ms(&accel, &policy), Some(3.5));
 
-        // Software counts become a pseudo-latency scaled by the batch size.
+        // Software counts already price the whole fused batch; they become a
+        // pseudo-latency without any per-input multiplication.
         let policy = BatchPolicy {
             software_ops_per_ms: 1000.0,
             ..BatchPolicy::default()
         };
-        let software = software_estimate(2, 500);
+        let software = software_estimate(2, 1000);
         assert_eq!(predicted_latency_ms(&software, &policy), Some(1.0));
 
         // A backend that models nothing imposes no latency estimate.

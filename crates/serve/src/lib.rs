@@ -19,6 +19,11 @@
 //!   [`ptolemy_core::SoftwareBackend`] engine is capped through its op counts,
 //!   an accelerator-bound engine through the cycle model's modelled
 //!   milliseconds.
+//! * **Fused batch execution** — each formed batch runs through
+//!   [`ptolemy_core::DetectionEngine::detect_batch_with_paths`]: one batched
+//!   NCHW `im2col`/matmul forward trace prices the whole batch (tier 1, and
+//!   again for the uncertain sliver on tier 2) instead of per-input traces,
+//!   so batch forming buys real kernel fusion, not just shared scheduling.
 //! * **Two-tier routing** ([`ServerBuilder::escalate`]) — a cheap screening
 //!   engine (e.g. an FwAb program) serves everything; inputs whose screening
 //!   score falls in an uncertainty band are re-scored by an expensive engine

@@ -366,8 +366,8 @@ impl Drop for Server {
     }
 }
 
-/// One worker: form a batch adaptively, serve it, repeat until shutdown drains
-/// the queue.
+/// One worker: form a batch adaptively, serve it **fused**, repeat until
+/// shutdown drains the queue.
 fn worker_loop(shared: &Shared) {
     loop {
         // A custom backend whose estimate_batch panics must not kill the
@@ -384,18 +384,17 @@ fn worker_loop(shared: &Shared) {
             stats.batched_requests += batch.len() as u64;
             stats.max_batch = stats.max_batch.max(batch.len());
         }
-        for request in batch {
-            let slot = request.slot.clone();
-            let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                serve_one(shared, request)
-            }));
-            if served.is_err() {
-                // The engine panicked mid-request (serve_one resolves its
-                // ticket on ordinary errors, so only a panic lands here).
-                // Resolve the ticket instead of stranding its waiter, and keep
-                // the worker alive for the rest of the queue.
+        let slots: Vec<Arc<TicketSlot>> = batch.iter().map(|r| r.slot.clone()).collect();
+        let served =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve_batch(shared, batch)));
+        if served.is_err() {
+            // The engine panicked mid-batch (serve_batch resolves tickets on
+            // ordinary errors, so only a panic lands here).  Resolve every
+            // still-unresolved ticket of the batch instead of stranding its
+            // waiter, and keep the worker alive for the rest of the queue.
+            for slot in &slots {
                 if resolve(
-                    &slot,
+                    slot,
                     Err(ServeError::Canceled(
                         "a worker panicked while serving this request".into(),
                     )),
@@ -466,77 +465,18 @@ fn next_batch(shared: &Shared, cap: usize) -> Option<Vec<Request>> {
     }
 }
 
-/// Serves one request: exact-duplicate fast path, tier-1 screen, cache lookup
-/// on the path prefix, tier-2 escalation on uncertain scores, cache fill,
-/// ticket resolution.
-///
-/// With the cache disabled the result is bit-for-bit what direct engine calls
-/// produce: `screen.detect(input)` when the score is outside the uncertainty
-/// band, `escalate.detect(input)` when inside — both via the engines' single
-/// per-input code path.
-fn serve_one(shared: &Shared, request: Request) {
-    let outcome = (|| -> Result<Served> {
-        let cache_hit = |cached: CachedVerdict| {
-            lock(&shared.stats).cache_hits += 1;
-            Served {
-                detection: cached.detection,
-                tier: cached.tier,
-                cache_hit: true,
-            }
-        };
+/// A request whose input tensor has been moved into the fused-batch buffer:
+/// only what resolution still needs.
+struct InFlight {
+    slot: Arc<TicketSlot>,
+    submitted_at: Instant,
+    /// Exact-input cache key, computed in phase 1 while the input was at hand.
+    input_key: Option<u64>,
+}
 
-        // Exact-duplicate fast path: a byte-identical repeat maps straight to
-        // its path-prefix key and skips even the screening extraction.
-        let input_key = shared
-            .cache
-            .is_some()
-            .then(|| shared.input_key(&request.input));
-        if let (Some(cache), Some(input_keys), Some(input_key)) =
-            (&shared.cache, &shared.input_keys, input_key)
-        {
-            if let Some(path_key) = lock(input_keys).get(input_key).copied() {
-                if let Some(cached) = lock(cache).get(path_key).copied() {
-                    return Ok(cache_hit(cached));
-                }
-            }
-        }
-
-        let (screened, path) = shared.screen.detect_with_path(&request.input)?;
-        shared.observe_density(path.density());
-
-        let path_key = shared.cache.as_ref().map(|_| shared.cache_key(&path));
-        if let (Some(cache), Some(key)) = (&shared.cache, path_key) {
-            if let (Some(input_keys), Some(input_key)) = (&shared.input_keys, input_key) {
-                lock(input_keys).insert(input_key, key);
-            }
-            if let Some(cached) = lock(cache).get(key).copied() {
-                return Ok(cache_hit(cached));
-            }
-            lock(&shared.stats).cache_misses += 1;
-        }
-
-        let in_band = screened.score >= shared.band.0 && screened.score <= shared.band.1;
-        let (detection, tier) = match (&shared.escalate, in_band) {
-            (Some(escalate), true) => (escalate.detect(&request.input)?, Tier::Escalated),
-            _ => (screened, Tier::Screen),
-        };
-        {
-            let mut stats = lock(&shared.stats);
-            match tier {
-                Tier::Screen => stats.screen_served += 1,
-                Tier::Escalated => stats.escalated += 1,
-            }
-        }
-        if let (Some(cache), Some(key)) = (&shared.cache, path_key) {
-            lock(cache).insert(key, CachedVerdict { detection, tier });
-        }
-        Ok(Served {
-            detection,
-            tier,
-            cache_hit: false,
-        })
-    })();
-
+/// Resolves one request: updates the completion counters and queue-to-result
+/// latency, then wakes the waiter.
+fn finish(shared: &Shared, request: &InFlight, outcome: Result<Served>) {
     {
         let mut stats = lock(&shared.stats);
         match &outcome {
@@ -546,6 +486,155 @@ fn serve_one(shared: &Shared, request: Request) {
         stats.record_latency(request.submitted_at.elapsed().as_secs_f64() * 1000.0);
     }
     resolve(&request.slot, outcome);
+}
+
+/// Serves one formed batch through the **fused** engine path:
+///
+/// 1. exact-duplicate fast path per request (byte-identical repeats resolve
+///    straight from the cache, skipping even the screening extraction);
+/// 2. one fused tier-1 trace over the whole remainder
+///    ([`DetectionEngine::detect_batch_with_paths`] — a single batched
+///    im2col/matmul trace instead of per-input traces);
+/// 3. per-request path-prefix cache lookup and uncertainty-band routing;
+/// 4. one fused tier-2 trace over the uncertain sliver, cache fills, ticket
+///    resolution.
+///
+/// With the cache disabled the results are bit-for-bit what direct engine
+/// calls produce: `screen.detect(input)` when the score is outside the
+/// uncertainty band, `escalate.detect(input)` when inside — the fused kernels
+/// preserve the per-input reduction order, so batching changes scheduling,
+/// never arithmetic.
+fn serve_batch(shared: &Shared, batch: Vec<Request>) {
+    let cache_hit = |cached: CachedVerdict| {
+        lock(&shared.stats).cache_hits += 1;
+        Served {
+            detection: cached.detection,
+            tier: cached.tier,
+            cache_hit: true,
+        }
+    };
+
+    // Phase 1: exact-duplicate fast path.  Inputs that miss are *moved* (not
+    // cloned) into the fused-batch buffer.
+    let mut pending: Vec<InFlight> = Vec::with_capacity(batch.len());
+    let mut inputs: Vec<Tensor> = Vec::with_capacity(batch.len());
+    for request in batch {
+        let Request {
+            input,
+            slot,
+            submitted_at,
+        } = request;
+        let input_key = shared.cache.is_some().then(|| shared.input_key(&input));
+        let in_flight = InFlight {
+            slot,
+            submitted_at,
+            input_key,
+        };
+        if let (Some(cache), Some(input_keys), Some(key)) =
+            (&shared.cache, &shared.input_keys, input_key)
+        {
+            if let Some(path_key) = lock(input_keys).get(key).copied() {
+                if let Some(cached) = lock(cache).get(path_key).copied() {
+                    finish(shared, &in_flight, Ok(cache_hit(cached)));
+                    continue;
+                }
+            }
+        }
+        pending.push(in_flight);
+        inputs.push(input);
+    }
+    if pending.is_empty() {
+        return;
+    }
+
+    // Phase 2: one fused screening trace over everything the fast path missed.
+    let screened = shared.screen.detect_batch_with_paths(&inputs);
+
+    // Phase 3: density feedback, cache lookup on the path prefix, band routing.
+    let mut escalations: Vec<(InFlight, Option<u64>)> = Vec::new();
+    let mut escalation_inputs: Vec<Tensor> = Vec::new();
+    for ((request, input), result) in pending.into_iter().zip(inputs).zip(screened) {
+        let (detection, path) = match result {
+            Ok(traced) => traced,
+            Err(e) => {
+                finish(shared, &request, Err(e.into()));
+                continue;
+            }
+        };
+        shared.observe_density(path.density());
+        let path_key = shared.cache.as_ref().map(|_| shared.cache_key(&path));
+        if let (Some(cache), Some(key)) = (&shared.cache, path_key) {
+            if let (Some(input_keys), Some(input_key)) = (&shared.input_keys, request.input_key) {
+                lock(input_keys).insert(input_key, key);
+            }
+            if let Some(cached) = lock(cache).get(key).copied() {
+                finish(shared, &request, Ok(cache_hit(cached)));
+                continue;
+            }
+            lock(&shared.stats).cache_misses += 1;
+        }
+        let in_band = detection.score >= shared.band.0 && detection.score <= shared.band.1;
+        if shared.escalate.is_some() && in_band {
+            escalations.push((request, path_key));
+            escalation_inputs.push(input);
+            continue;
+        }
+        lock(&shared.stats).screen_served += 1;
+        if let (Some(cache), Some(key)) = (&shared.cache, path_key) {
+            lock(cache).insert(
+                key,
+                CachedVerdict {
+                    detection,
+                    tier: Tier::Screen,
+                },
+            );
+        }
+        finish(
+            shared,
+            &request,
+            Ok(Served {
+                detection,
+                tier: Tier::Screen,
+                cache_hit: false,
+            }),
+        );
+    }
+    if escalations.is_empty() {
+        return;
+    }
+
+    // Phase 4: one fused tier-2 trace over the uncertain sliver.
+    let escalate = shared
+        .escalate
+        .as_ref()
+        .expect("escalations only collect when a tier-2 engine exists");
+    let verdicts = escalate.detect_batch_with_paths(&escalation_inputs);
+    for ((request, path_key), verdict) in escalations.into_iter().zip(verdicts) {
+        match verdict {
+            Ok((detection, _)) => {
+                lock(&shared.stats).escalated += 1;
+                if let (Some(cache), Some(key)) = (&shared.cache, path_key) {
+                    lock(cache).insert(
+                        key,
+                        CachedVerdict {
+                            detection,
+                            tier: Tier::Escalated,
+                        },
+                    );
+                }
+                finish(
+                    shared,
+                    &request,
+                    Ok(Served {
+                        detection,
+                        tier: Tier::Escalated,
+                        cache_hit: false,
+                    }),
+                );
+            }
+            Err(e) => finish(shared, &request, Err(e.into())),
+        }
+    }
 }
 
 /// Builder for [`Server`]; all validation happens in [`ServerBuilder::start`].

@@ -154,6 +154,52 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     Tensor::from_vec(out, &[rows, cols])
 }
 
+/// Lowers a stacked NCHW batch into one patch matrix of shape
+/// `[patch_len, batch * out_h * out_w]`.
+///
+/// `batch` must have a leading batch dimension over CHW samples (shape
+/// `[B, C, H, W]`, or any `[B, ...]` whose per-sample element count is
+/// `in_channels * in_h * in_w`).  Column `b * num_patches + j` of the result is
+/// **bit-for-bit identical** to column `j` of `im2col` applied to sample `b`
+/// alone — batching only widens the matrix, it never re-associates any value —
+/// which is what lets one matrix multiplication price a whole batch while
+/// preserving per-input parity.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] if `batch` is empty or its
+/// element count is not a multiple of `in_channels * in_h * in_w`.
+pub fn im2col_batch(batch: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let sample_len = geom.in_channels * geom.in_h * geom.in_w;
+    if sample_len == 0 || batch.is_empty() || batch.len() % sample_len != 0 {
+        return Err(TensorError::IncompatibleShapes {
+            lhs: batch.dims().to_vec(),
+            rhs: vec![geom.in_channels, geom.in_h, geom.in_w],
+            op: "im2col_batch",
+        });
+    }
+    let batch_size = batch.len() / sample_len;
+    let src = batch.as_slice();
+    let rows = geom.patch_len();
+    let patches = geom.num_patches();
+    let cols = batch_size * patches;
+    let mut out = vec![0.0f32; rows * cols];
+    for b in 0..batch_size {
+        let sample = &src[b * sample_len..(b + 1) * sample_len];
+        for oy in 0..geom.out_h {
+            for ox in 0..geom.out_w {
+                let col = b * patches + oy * geom.out_w + ox;
+                for p in 0..rows {
+                    if let Some((c, y, x)) = geom.patch_source(oy, ox, p) {
+                        out[p * cols + col] = sample[geom.input_index(c, y, x)];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
 /// Adjoint of [`im2col`]: scatters a patch matrix of shape
 /// `[patch_len, out_h * out_w]` back onto a CHW image, *summing* values that map to
 /// the same input element.  Used for convolution backward passes.
@@ -266,6 +312,50 @@ mod tests {
         assert!(im2col(&img, &g).is_err());
         let cols = Tensor::zeros(&[3, 3]);
         assert!(col2im(&cols, &g).is_err());
+    }
+
+    #[test]
+    fn im2col_batch_columns_match_per_sample_im2col() {
+        let g = Conv2dGeometry::new(2, 4, 4, 3, 1, 1).unwrap();
+        let samples: Vec<Tensor> = (0..3)
+            .map(|b| {
+                Tensor::from_vec(
+                    (0..2 * 4 * 4)
+                        .map(|v| (v + b * 100) as f32 * 0.37)
+                        .collect(),
+                    &[2, 4, 4],
+                )
+                .unwrap()
+            })
+            .collect();
+        let batch = Tensor::stack(&samples).unwrap();
+        let wide = im2col_batch(&batch, &g).unwrap();
+        let patches = g.num_patches();
+        assert_eq!(wide.dims(), &[g.patch_len(), 3 * patches]);
+        for (b, sample) in samples.iter().enumerate() {
+            let single = im2col(sample, &g).unwrap();
+            for p in 0..g.patch_len() {
+                for j in 0..patches {
+                    let fused = wide.get(&[p, b * patches + j]).unwrap();
+                    let lone = single.get(&[p, j]).unwrap();
+                    assert_eq!(fused.to_bits(), lone.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_batch_rejects_misaligned_batches() {
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
+        // Element count not a multiple of the sample size.
+        assert!(im2col_batch(&Tensor::zeros(&[10]), &g).is_err());
+        // Empty batch.
+        assert!(im2col_batch(&Tensor::zeros(&[0]), &g).is_err());
+        // A single-sample "batch" works and equals plain im2col.
+        let img = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let wide = im2col_batch(&img, &g).unwrap();
+        let single = im2col(&img.slice_batch(0).unwrap(), &g).unwrap();
+        assert_eq!(wide.as_slice(), single.as_slice());
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use im2col::{col2im, im2col, im2col_batch, Conv2dGeometry};
 pub use init::{Initializer, Rng64};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -256,6 +256,69 @@ impl Tensor {
         Ok(sum / self.data.len() as f32)
     }
 
+    /// Stacks same-shaped samples into one batched tensor with a new leading
+    /// batch dimension (`[B, ...sample_shape]`, NCHW convention for images).
+    ///
+    /// The samples are copied back-to-back, so `slice_batch(b)` recovers
+    /// sample `b` bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty sample list and
+    /// [`TensorError::IncompatibleShapes`] if the samples disagree on shape.
+    pub fn stack(samples: &[Tensor]) -> Result<Tensor> {
+        let first = samples.first().ok_or(TensorError::Empty("stack"))?;
+        let mut data = Vec::with_capacity(samples.len() * first.len());
+        for sample in samples {
+            first.check_same_shape(sample, "stack")?;
+            data.extend_from_slice(sample.as_slice());
+        }
+        let mut dims = Vec::with_capacity(first.dims().len() + 1);
+        dims.push(samples.len());
+        dims.extend_from_slice(first.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Copies sample `index` out of a batched tensor (`[B, ...]`), dropping the
+    /// leading batch dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidRank`] if the tensor is rank 0 and
+    /// [`TensorError::IndexOutOfBounds`] if `index` exceeds the batch size.
+    pub fn slice_batch(&self, index: usize) -> Result<Tensor> {
+        let dims = self.dims();
+        let (&batch, sample_dims) = dims.split_first().ok_or(TensorError::InvalidRank {
+            expected: 1,
+            actual: 0,
+            op: "slice_batch",
+        })?;
+        if index >= batch {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![index],
+                shape: dims.to_vec(),
+            });
+        }
+        let sample_len = sample_dims.iter().product::<usize>();
+        let data = self.data[index * sample_len..(index + 1) * sample_len].to_vec();
+        Tensor::from_vec(data, sample_dims)
+    }
+
+    /// Splits a batched tensor (`[B, ...]`) back into its `B` samples
+    /// (the inverse of [`Tensor::stack`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidRank`] if the tensor is rank 0.
+    pub fn unstack(&self) -> Result<Vec<Tensor>> {
+        let batch = *self.dims().first().ok_or(TensorError::InvalidRank {
+            expected: 1,
+            actual: 0,
+            op: "unstack",
+        })?;
+        (0..batch).map(|b| self.slice_batch(b)).collect()
+    }
+
     pub(crate) fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<()> {
         if self.shape != other.shape {
             return Err(TensorError::IncompatibleShapes {
@@ -367,6 +430,27 @@ mod tests {
         let mut u = t.clone();
         u.map_inplace(|v| v * 2.0);
         assert_eq!(u.as_slice(), &[-2.0, 4.0]);
+    }
+
+    #[test]
+    fn stack_and_unstack_roundtrip() {
+        let samples: Vec<Tensor> = (0..3).map(|b| Tensor::full(&[2, 2], b as f32)).collect();
+        let batch = Tensor::stack(&samples).unwrap();
+        assert_eq!(batch.dims(), &[3, 2, 2]);
+        for (b, sample) in samples.iter().enumerate() {
+            assert_eq!(batch.slice_batch(b).unwrap(), *sample);
+        }
+        assert_eq!(batch.unstack().unwrap(), samples);
+        assert!(batch.slice_batch(3).is_err());
+    }
+
+    #[test]
+    fn stack_rejects_empty_and_mismatched_samples() {
+        assert!(Tensor::stack(&[]).is_err());
+        let mixed = [Tensor::zeros(&[2]), Tensor::zeros(&[3])];
+        assert!(Tensor::stack(&mixed).is_err());
+        // Rank-0 tensors cannot be unstacked.
+        assert!(Tensor::from_vec(vec![1.0], &[]).unwrap().unstack().is_err());
     }
 
     #[test]

@@ -57,7 +57,8 @@
 //!     .calibrate(&benign, &adversarial)
 //!     .build()?;
 //!
-//! // Online: serve a whole batch (forward traces fan out over scoped threads).
+//! // Online: serve a whole batch through one fused NCHW trace (batched
+//! // im2col/matmul across inputs; bit-for-bit identical to per-input detect).
 //! for verdict in engine.detect_batch(&adversarial)? {
 //!     println!("adversarial? {}", verdict.is_adversary);
 //! }
