@@ -102,15 +102,15 @@ impl AdaptiveAttack {
         // Backward pass accumulating 2·(zᵢ − zᵢᵗ) at every considered layer.
         let num_layers = trace.num_layers();
         let mut loss = 0.0f32;
-        let mut grad = Tensor::zeros(trace.outputs[num_layers - 1].dims());
+        let mut grad = Tensor::zeros(trace.logits().dims());
         for i in (0..num_layers).rev() {
             if layers.contains(&i) {
-                let diff = trace.outputs[i].sub(&target_trace.outputs[i])?;
+                let diff = trace.output(i).sub(target_trace.output(i))?;
                 loss += diff.as_slice().iter().map(|v| v * v).sum::<f32>();
                 grad.add_scaled_inplace(&diff, 2.0)?;
             }
             let layer = network.layer(i)?;
-            grad = layer.backward(&trace.inputs[i], &grad)?.input_grad;
+            grad = layer.backward(trace.input(i), &grad)?.input_grad;
         }
         Ok((loss, grad))
     }

@@ -39,7 +39,7 @@ pub fn gate_vector(network: &Network, input: &Tensor) -> Result<Vec<f32>> {
     let trace = network.forward_trace(input)?;
     let mut gates = Vec::new();
     for &layer in &network.weight_layer_indices() {
-        let out = &trace.outputs[layer];
+        let out = trace.output(layer);
         let dims = out.dims();
         let layer_gates: Vec<f32> = if dims.len() == 3 {
             // Convolutional output [C, H, W]: one gate per channel.

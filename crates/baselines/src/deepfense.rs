@@ -72,7 +72,7 @@ pub struct DeepFenseDefense {
 /// latent feature vector (channel-mean pooling followed by chunked averaging).
 fn latent_features(network: &Network, input: &Tensor, layer: usize) -> Result<Tensor> {
     let trace = network.forward_trace(input)?;
-    let out = &trace.outputs[layer];
+    let out = trace.output(layer);
     let dims = out.dims();
     let coarse: Vec<f32> = if dims.len() == 3 {
         let (c, hw) = (dims[0], dims[1] * dims[2]);

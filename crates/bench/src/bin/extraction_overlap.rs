@@ -1,0 +1,23 @@
+//! Runs the beyond-paper extraction-overlap experiment (materialized
+//! trace-then-extract pipeline vs streaming extraction overlapped with the
+//! forward pass, with peak resident activation bytes).
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin extraction_overlap`;
+//! set `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+use ptolemy_bench::{experiments, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    match experiments::extraction_overlap::run(scale) {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(error) => {
+            eprintln!("experiment failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -99,10 +99,11 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
             let single = network.forward_trace(input)?;
             let sliced = batch_trace.trace(b)?;
             for layer in 0..single.num_layers() {
-                let same = sliced.outputs[layer]
+                let same = sliced
+                    .output(layer)
                     .as_slice()
                     .iter()
-                    .zip(single.outputs[layer].as_slice())
+                    .zip(single.output(layer).as_slice())
                     .all(|(f, s)| f.to_bits() == s.to_bits());
                 parity &= same;
             }

@@ -21,8 +21,10 @@
 //! | [`sec3b_cost_analysis`] | Sec. III-B — software cost analysis |
 //! | [`serve_throughput`] | beyond the paper — serving-runtime throughput |
 //! | [`batch_fusion`] | beyond the paper — fused batched trace vs per-input loop |
+//! | [`extraction_overlap`] | beyond the paper — streaming extraction vs materialized trace |
 
 pub mod batch_fusion;
+pub mod extraction_overlap;
 pub mod fig05_path_similarity;
 pub mod fig10_accuracy;
 pub mod fig11_latency_energy;
@@ -140,6 +142,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artifact: "beyond paper: fused batched trace",
             run: batch_fusion::run,
         },
+        Experiment {
+            id: "extraction_overlap",
+            paper_artifact: "beyond paper: streaming extraction overlap",
+            run: extraction_overlap::run,
+        },
     ]
 }
 
@@ -150,11 +157,11 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact_once() {
         let experiments = all();
-        assert_eq!(experiments.len(), 17);
+        assert_eq!(experiments.len(), 18);
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 17, "duplicate experiment ids");
+        assert_eq!(ids.len(), 18, "duplicate experiment ids");
         assert!(experiments.iter().all(|e| !e.paper_artifact.is_empty()));
     }
 }

@@ -11,14 +11,18 @@
 //!   never per call;
 //! * **configurable decision threshold** — the score cut-off the original
 //!   one-shot API hard-coded to `0.5` is a builder knob;
-//! * **fused batching** — [`DetectionEngine::detect_batch`] runs one fused
-//!   NCHW trace over the whole batch
-//!   ([`ptolemy_nn::Network::forward_trace_batch`]: batched `im2col`/matmul
-//!   across inputs) and extracts each input's [`ActivationPath`] from the
-//!   per-input slices of that single trace.  Every fused kernel preserves the
-//!   per-input reduction order, so batch verdicts stay **bit-for-bit
-//!   identical** to the single-input path; extraction still fans out over
-//!   scoped threads ([`crate::parallel::par_map`]);
+//! * **streamed fused batching** — [`DetectionEngine::detect_batch`] runs one
+//!   fused NCHW forward pass over the whole batch (batched `im2col`/matmul
+//!   across inputs) and extracts each input's [`ActivationPath`] **while the
+//!   pass is still running** ([`crate::extract_paths_streaming_batch`]):
+//!   forward programs mask each enabled layer's stacked output on a scoped
+//!   worker overlapped with the next layer's compute and release the
+//!   activation eagerly, backward programs retain only the boundaries the
+//!   reverse walk reads — peak activation memory drops from O(network) to the
+//!   retained set.  Every fused kernel preserves the per-input reduction
+//!   order and the selection kernels are shared with the materialized
+//!   pipeline, so batch verdicts stay **bit-for-bit identical** to the
+//!   single-input path;
 //! * **streaming** — [`DetectionEngine::score_stream`] /
 //!   [`DetectionEngine::detect_stream`] lazily drive an input iterator
 //!   without materialising the batch;
@@ -63,10 +67,12 @@
 use std::sync::Arc;
 
 use ptolemy_forest::{ForestConfig, RandomForest};
-use ptolemy_nn::{ForwardTrace, Network};
+use ptolemy_nn::Network;
 use ptolemy_tensor::Tensor;
 
-use crate::extraction::{extract_path, path_layout};
+use crate::extraction::{
+    extract_path_streaming, extract_path_streaming_nested, path_layout, stream_batch_with,
+};
 use crate::parallel::par_map;
 use crate::{
     software_cost, ActivationPath, ClassPathSet, CoreError, DetectionProgram, Result,
@@ -76,9 +82,10 @@ use crate::{
 /// The decision threshold the original one-shot detection API hard-coded.
 pub const DEFAULT_THRESHOLD: f32 = 0.5;
 
-/// Fused-trace chunk size for calibration: bounds the peak memory of the
-/// batched forward trace (which holds every layer's stacked activations for
-/// the whole chunk) while keeping the fused kernels' amortisation.
+/// Fused-pass chunk size for calibration: bounds the peak memory of one
+/// streamed batch (backward programs still retain their planned stacked
+/// boundaries for the whole chunk) while keeping the fused kernels'
+/// amortisation.
 const CALIBRATION_FUSED_CHUNK: usize = 64;
 
 /// Result of detecting one input at inference time.
@@ -123,36 +130,26 @@ pub fn path_similarity(
     Ok((predicted, similarity))
 }
 
-/// Extraction + similarity over an already-recorded trace, with no fingerprint
+/// One **streamed** inference + extraction + similarity, with no fingerprint
 /// check.  Returns `(predicted class, similarity, activation path)`.
 ///
 /// This is the single scoring primitive behind the per-input *and* the fused
-/// batch paths: the fused path slices a [`ptolemy_nn::BatchTrace`] back into
-/// per-input [`ForwardTrace`]s (bit-for-bit what `forward_trace` records) and
-/// feeds them through this same function, which is what makes batch verdicts
-/// identical to single-input verdicts.
-fn path_from_trace(
-    network: &Network,
-    program: &DetectionProgram,
-    class_paths: &ClassPathSet,
-    trace: &ForwardTrace,
-) -> Result<(usize, f32, ActivationPath)> {
-    let predicted = trace.predicted_class();
-    let path = extract_path(network, trace, program)?;
-    let similarity = path.similarity(class_paths.class_path(predicted)?)?;
-    Ok((predicted, similarity, path))
-}
-
-/// One traced inference + extraction + similarity, with no fingerprint check.
-/// Returns `(predicted class, similarity, activation path)`.
+/// batch paths: extraction runs through the streaming pipeline
+/// ([`extract_path_streaming`] — masks computed while the forward pass is
+/// still running, activations dropped eagerly instead of materialising a full
+/// trace), which is bit-for-bit identical to the historical
+/// trace-then-extract pipeline.
 fn trace_path(
     network: &Network,
     program: &DetectionProgram,
     class_paths: &ClassPathSet,
     input: &Tensor,
 ) -> Result<(usize, f32, ActivationPath)> {
-    let trace = network.forward_trace(input)?;
-    path_from_trace(network, program, class_paths, &trace)
+    let streamed = extract_path_streaming(network, program, input)?;
+    let similarity = streamed
+        .path
+        .similarity(class_paths.class_path(streamed.predicted_class)?)?;
+    Ok((streamed.predicted_class, similarity, streamed.path))
 }
 
 /// Like [`trace_path`], reducing the path to its density.
@@ -166,11 +163,15 @@ fn trace_similarity(
         .map(|(predicted, similarity, path)| (predicted, similarity, path.density()))
 }
 
-/// Fused-batch counterpart of [`trace_path`]: one batched NCHW forward trace,
-/// then per-input extraction over the slices (fanned out with
-/// [`par_map`]).  Falls back to the per-input path when any input is
-/// mis-shaped (preserving that input's exact error while still serving the
-/// rest) or the fused trace itself fails.
+/// Fused-batch counterpart of [`trace_path`]: one batched NCHW forward pass
+/// drives the **streaming** extraction of every sample's path
+/// ([`crate::extract_paths_streaming_batch`] — forward programs mask each
+/// stacked boundary on an overlap worker and drop it eagerly, backward
+/// programs retain only the boundaries the reverse walk reads and fan the
+/// per-sample walks out with [`par_map`]); path-similarity scoring completes
+/// each sample inside the same fan-out.  Falls back to the per-input
+/// streaming path when any input is mis-shaped (preserving that input's exact
+/// error while still serving the rest) or the fused pass itself fails.
 fn trace_path_batch(
     network: &Network,
     program: &DetectionProgram,
@@ -180,24 +181,27 @@ fn trace_path_batch(
     if inputs.is_empty() {
         return Vec::new();
     }
+    let finish = |predicted: usize, path: ActivationPath| -> Result<(usize, f32, ActivationPath)> {
+        let similarity = path.similarity(class_paths.class_path(predicted)?)?;
+        Ok((predicted, similarity, path))
+    };
     let fused = if inputs
         .iter()
         .all(|input| input.dims() == network.input_shape())
     {
-        network.forward_trace_batch(inputs).ok()
+        stream_batch_with(network, program, inputs, &finish).ok()
     } else {
         None
     };
-    let Some(batch_trace) = fused else {
+    let Some((samples, _footprint)) = fused else {
         return par_map(inputs, |input| {
-            trace_path(network, program, class_paths, input)
+            // Nested streaming: this par_map already saturates the cores, so
+            // per-sample overlap workers would only add spawn overhead.
+            let streamed = extract_path_streaming_nested(network, program, input)?;
+            finish(streamed.predicted_class, streamed.path)
         });
     };
-    let indices: Vec<usize> = (0..inputs.len()).collect();
-    par_map(&indices, |&b| {
-        let trace = batch_trace.trace(b)?;
-        path_from_trace(network, program, class_paths, &trace)
-    })
+    samples.into_iter().map(Ok).collect()
 }
 
 /// Cost estimate a [`DetectionBackend`] attaches to one served batch.
@@ -372,11 +376,12 @@ impl DetectionEngine {
         self.detect_traced(input)
     }
 
-    /// Detects a whole batch through **one fused forward trace**: the inputs
-    /// are stacked into a single NCHW batch, every layer executes its batched
-    /// kernel (`im2col`/matmul across all inputs at once), and each input's
-    /// activation path is extracted from its slice of the fused trace (the
-    /// extraction fan-out still uses scoped threads).
+    /// Detects a whole batch through **one streamed fused forward pass**: the
+    /// inputs are stacked into a single NCHW batch, every layer executes its
+    /// batched kernel (`im2col`/matmul across all inputs at once), and each
+    /// input's activation path is extracted *as the pass runs* — stacked
+    /// boundaries are masked and released eagerly instead of materialising
+    /// the whole trace (see [`crate::extract_paths_streaming_batch`]).
     ///
     /// `detect_batch(xs)?[i]` is bit-for-bit identical to `detect(&xs[i])?`:
     /// every fused kernel preserves the per-input reduction order, and the

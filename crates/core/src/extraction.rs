@@ -9,12 +9,54 @@
 //! Forward extraction selects each layer's important neurons from the layer's own
 //! output activations as soon as the layer finishes, which is what allows the
 //! compiler to overlap extraction with the next layer's inference.
+//!
+//! # Streaming pipeline
+//!
+//! Both algorithms are implemented over *activation boundary sources*, so they
+//! run equally on a materialized [`ForwardTrace`] ([`extract_path`]) and on the
+//! streaming drivers ([`extract_path_streaming`] /
+//! [`extract_paths_streaming_batch`]), which plug a [`ptolemy_nn::TraceSink`]
+//! into the forward pass itself:
+//!
+//! * **forward programs** mask each enabled layer's output the moment the
+//!   layer finishes — on multi-core hosts the selection runs on a scoped
+//!   worker thread *overlapped with the next layer's forward compute* — and
+//!   release the activation immediately, so peak resident trace state is
+//!   O(largest layer) instead of O(network);
+//! * **backward programs** retain only the boundaries the reverse walk will
+//!   actually read: enabled weight layers' inputs and outputs, plus the inputs
+//!   of pass-through layers whose routing is data-dependent
+//!   ([`ptolemy_nn::Layer::has_static_routing`] is `false`, e.g. max pooling).
+//!   Early-termination programs drop everything below the first disabled
+//!   weight layer as it streams past.
+//!
+//! Streamed and materialized extraction are **bit-for-bit identical**: the
+//! forward compute is the same driver either way, and both feed the same
+//! selection kernels with the same tensors (pinned by `tests/streaming.rs`).
 
 use std::collections::BTreeSet;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
 
-use ptolemy_nn::{Contribution, ForwardTrace, Network};
+use ptolemy_nn::{predicted_class, Contribution, ForwardTrace, Network, TraceSink};
+use ptolemy_tensor::Tensor;
 
+use crate::parallel::par_map;
 use crate::{ActivationPath, CoreError, DetectionProgram, Direction, Result, ThresholdKind};
+
+/// Minimum **enabled** output elements (per-sample, × batch size) before the
+/// streaming forward-program extractor spawns an overlap worker thread: below
+/// this, a thread spawn costs more than the selection it would hide, so
+/// extraction runs inline in the sink (bit-identical either way — the gate
+/// changes scheduling, never arithmetic).
+const OVERLAP_MIN_ELEMENTS: usize = 2048;
+
+/// In-flight bound of the overlap channel: one boundary queued + one being
+/// masked keeps peak resident state at O(largest layer) while still hiding the
+/// selection latency behind the next layer's forward compute.
+const OVERLAP_QUEUE: usize = 1;
 
 /// Computes the `(network layer index, mask length)` layout of paths extracted with
 /// `program` on `network`.
@@ -48,7 +90,66 @@ pub fn path_layout(network: &Network, program: &DetectionProgram) -> Result<Vec<
     Ok(layout)
 }
 
-/// Extracts the activation path of one traced inference under `program`.
+/// Activation bytes a fully materialized trace of `network` holds resident for
+/// a batch of `batch_size` samples — every boundary (the input plus each
+/// layer's output) at once, the baseline the streaming pipeline's
+/// [`ActivationFootprint::peak_streamed_bytes`] is measured against.
+pub fn materialized_trace_bytes(network: &Network, batch_size: usize) -> usize {
+    let input: usize = network.input_shape().iter().product();
+    let outputs: usize = network.layers().map(|l| l.output_len()).sum();
+    (input + outputs) * std::mem::size_of::<f32>() * batch_size
+}
+
+/// Peak activation bytes the streaming extraction pipeline kept resident,
+/// against the bytes a materialized trace would have held.
+///
+/// "Resident" counts the **trace state** that outlives a layer — retained
+/// boundaries and boundaries queued for the overlap worker.  It deliberately
+/// excludes state both strategies hold identically, so the two numbers stay
+/// comparable: the driver's transient current-layer input/output, and the
+/// per-sample extraction scratch of backward batches (the streamed walk
+/// slices each retained stacked boundary per sample exactly as the
+/// materialized `BatchTrace::trace(b)` does — in fact it slices a subset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivationFootprint {
+    /// Peak resident activation bytes of the streamed extraction.
+    pub peak_streamed_bytes: usize,
+    /// Bytes the materialized trace of the same pass holds (all boundaries).
+    pub materialized_bytes: usize,
+}
+
+/// Result of one streamed trace + extraction ([`extract_path_streaming`]).
+#[derive(Debug, Clone)]
+pub struct StreamedExtraction {
+    /// The class the network predicted for the input.
+    pub predicted_class: usize,
+    /// The extracted activation path (bit-for-bit what [`extract_path`] on a
+    /// materialized trace of the same input produces).
+    pub path: ActivationPath,
+    /// The final logits of the forward pass.
+    pub logits: Tensor,
+    /// Peak-memory accounting of the streamed pass.
+    pub footprint: ActivationFootprint,
+}
+
+/// Result of one streamed fused-batch trace + extraction
+/// ([`extract_paths_streaming_batch`]).
+#[derive(Debug, Clone)]
+pub struct StreamedBatchExtraction {
+    /// Per-sample `(predicted class, activation path)`, in input order; each
+    /// entry is bit-for-bit what the per-input path produces.
+    pub samples: Vec<(usize, ActivationPath)>,
+    /// Peak-memory accounting of the streamed pass (stacked boundaries).
+    pub footprint: ActivationFootprint,
+}
+
+/// Extracts the activation path of one traced inference under `program` from a
+/// fully materialized trace.
+///
+/// The streaming pipeline ([`extract_path_streaming`]) produces bit-for-bit
+/// identical paths without materialising the trace; this entry point remains
+/// for callers that already hold a [`ForwardTrace`] (or a
+/// [`ptolemy_nn::BatchTrace`] slice) for other reasons.
 ///
 /// # Errors
 ///
@@ -69,10 +170,114 @@ pub fn extract_path(
     let layout = path_layout(network, program)?;
     let mut path = ActivationPath::empty(&layout);
     match program.direction() {
-        Direction::Backward => extract_backward(network, trace, program, &mut path)?,
+        Direction::Backward => {
+            let predicted = trace.predicted_class()?;
+            extract_backward(network, trace, predicted, program, &mut path)?;
+        }
         Direction::Forward => extract_forward(network, trace, program, &mut path)?,
     }
     Ok(path)
+}
+
+/// Runs one forward pass and extracts the activation path **while inferring**:
+/// the streaming counterpart of `forward_trace` + [`extract_path`].
+///
+/// Forward programs mask each enabled layer's output as soon as the layer
+/// finishes (on a scoped worker thread overlapped with the next layer's
+/// compute, when worthwhile) and release the activation eagerly; backward
+/// programs retain only the boundaries the reverse walk reads.  The returned
+/// path, predicted class and logits are bit-for-bit identical to the
+/// materialized pipeline's.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidProgram`] if the program does not match the
+/// network, and propagates substrate errors (including
+/// [`ptolemy_nn::NnError::InvalidLogits`] for logits no class can be predicted
+/// from).
+pub fn extract_path_streaming(
+    network: &Network,
+    program: &DetectionProgram,
+    input: &Tensor,
+) -> Result<StreamedExtraction> {
+    stream_single(network, program, input, true)
+}
+
+/// Like [`extract_path_streaming`], but never spawns an overlap worker — for
+/// callers already inside a scoped-thread fan-out (the profiler and the
+/// engine's per-input fallback `par_map` over samples), where an extra worker
+/// per sample has no idle core to hide work on and only adds spawn and
+/// channel overhead.  Bit-for-bit identical results either way.
+pub(crate) fn extract_path_streaming_nested(
+    network: &Network,
+    program: &DetectionProgram,
+    input: &Tensor,
+) -> Result<StreamedExtraction> {
+    stream_single(network, program, input, false)
+}
+
+fn stream_single(
+    network: &Network,
+    program: &DetectionProgram,
+    input: &Tensor,
+    allow_overlap: bool,
+) -> Result<StreamedExtraction> {
+    let layout = path_layout(network, program)?;
+    match program.direction() {
+        Direction::Forward => {
+            stream_forward_single(network, program, input, &layout, allow_overlap)
+        }
+        Direction::Backward => stream_backward_single(network, program, input, &layout),
+    }
+}
+
+/// Fused-batch counterpart of [`extract_path_streaming`]: one stacked NCHW
+/// forward pass drives the extraction of every sample's path.
+///
+/// Forward programs overlap the per-sample masking of layer `i`'s stacked
+/// output with layer `i + 1`'s fused compute and drop each stacked boundary
+/// eagerly; backward programs retain only the planned stacked boundaries and
+/// fan the per-sample reverse walks out over scoped threads.  Sample `b` of
+/// the result is bit-for-bit `extract_path_streaming(network, program,
+/// &inputs[b])`.
+///
+/// # Errors
+///
+/// Returns an error if the program does not match the network, if `inputs` is
+/// empty or mis-shaped (the whole fused pass fails — callers wanting
+/// per-input error granularity fall back to the single-input path), or if any
+/// sample's logits admit no prediction.
+pub fn extract_paths_streaming_batch(
+    network: &Network,
+    program: &DetectionProgram,
+    inputs: &[Tensor],
+) -> Result<StreamedBatchExtraction> {
+    let (samples, footprint) = stream_batch_with(network, program, inputs, &|predicted, path| {
+        Ok((predicted, path))
+    })?;
+    Ok(StreamedBatchExtraction { samples, footprint })
+}
+
+/// Crate-internal driver behind [`extract_paths_streaming_batch`] and the
+/// engine's fused batch path: `finish(predicted_class, path)` completes each
+/// sample, and for backward programs it runs **inside the per-sample parallel
+/// region**, so engine-level completion work (path-similarity scoring) rides
+/// the same scoped-thread fan-out instead of serialising after it.
+pub(crate) fn stream_batch_with<T, F>(
+    network: &Network,
+    program: &DetectionProgram,
+    inputs: &[Tensor],
+    finish: &F,
+) -> Result<(Vec<T>, ActivationFootprint)>
+where
+    T: Send,
+    F: Fn(usize, ActivationPath) -> Result<T> + Sync,
+{
+    let layout = path_layout(network, program)?;
+    match program.direction() {
+        Direction::Forward => stream_forward_batch(network, program, inputs, &layout, finish),
+        Direction::Backward => stream_backward_batch(network, program, inputs, &layout, finish),
+    }
 }
 
 /// Selects contributor indices from weighted partial sums according to a threshold.
@@ -168,9 +373,49 @@ pub(crate) fn select_from_activations(values: &[f32], threshold: ThresholdKind) 
     }
 }
 
-fn extract_backward(
+/// Access to the activation boundaries of one forward pass: boundary `i` is
+/// the activation entering layer `i`; boundary `num_layers` is the logits.
+///
+/// Implemented by the materialized [`ForwardTrace`] and by the partial stores
+/// the streaming sinks retain, so the extraction walks below run bit-for-bit
+/// identically on either.
+trait BoundarySource {
+    fn boundary(&self, index: usize) -> Result<&Tensor>;
+}
+
+impl BoundarySource for ForwardTrace {
+    fn boundary(&self, index: usize) -> Result<&Tensor> {
+        self.activations().get(index).ok_or_else(|| {
+            CoreError::InvalidInput(format!(
+                "trace has no activation boundary {index} (network has {} layers)",
+                self.num_layers()
+            ))
+        })
+    }
+}
+
+/// The subset of boundaries a streaming backward pass retained.
+struct PartialBoundaries<'a> {
+    boundaries: &'a [Option<Tensor>],
+}
+
+impl BoundarySource for PartialBoundaries<'_> {
+    fn boundary(&self, index: usize) -> Result<&Tensor> {
+        self.boundaries
+            .get(index)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| {
+                CoreError::InvalidInput(format!(
+                    "activation boundary {index} was not retained by the streaming plan"
+                ))
+            })
+    }
+}
+
+fn extract_backward<S: BoundarySource + ?Sized>(
     network: &Network,
-    trace: &ForwardTrace,
+    source: &S,
+    predicted_class: usize,
     program: &DetectionProgram,
     path: &mut ActivationPath,
 ) -> Result<()> {
@@ -179,15 +424,13 @@ fn extract_backward(
     // The walk starts at the last layer with the predicted class (paper: "the last
     // layer has only one important neuron").
     let mut important: BTreeSet<usize> = BTreeSet::new();
-    important.insert(trace.predicted_class());
+    important.insert(predicted_class);
 
     for layer_idx in (0..network.num_layers()).rev() {
         if important.is_empty() {
             break;
         }
         let layer = network.layer(layer_idx)?;
-        let input = &trace.inputs[layer_idx];
-        let output = &trace.outputs[layer_idx];
         let is_weight = layer.kind().is_weight_layer();
 
         if is_weight {
@@ -201,6 +444,8 @@ fn extract_backward(
                 // weight layer (Sec. VII-F).
                 break;
             }
+            let input = source.boundary(layer_idx)?;
+            let output = source.boundary(layer_idx + 1)?;
             let mut next: BTreeSet<usize> = BTreeSet::new();
             for &neuron in &important {
                 let target = output.as_slice()[neuron];
@@ -229,11 +474,18 @@ fn extract_backward(
         } else {
             // Pass-through layer: re-map the important output indices to input
             // indices (identity for ReLU/flatten, argmax routing for max pooling,
-            // window members for average pooling).
+            // window members for average pooling).  Statically-routed layers
+            // never touch their input activations, which is what lets the
+            // streaming pipeline drop those boundaries eagerly.
             let mut next: BTreeSet<usize> = BTreeSet::new();
             for &neuron in &important {
-                let contribution = layer.contributions(input, neuron)?;
-                next.extend(contribution.indices());
+                if let Some(route) = layer.static_routing(neuron)? {
+                    next.extend(route);
+                } else {
+                    let input = source.boundary(layer_idx)?;
+                    let contribution = layer.contributions(input, neuron)?;
+                    next.extend(contribution.indices());
+                }
             }
             important = next;
         }
@@ -241,9 +493,9 @@ fn extract_backward(
     Ok(())
 }
 
-fn extract_forward(
+fn extract_forward<S: BoundarySource + ?Sized>(
     network: &Network,
-    trace: &ForwardTrace,
+    source: &S,
     program: &DetectionProgram,
     path: &mut ActivationPath,
 ) -> Result<()> {
@@ -251,19 +503,448 @@ fn extract_forward(
     for ordinal in program.enabled_layers() {
         let layer_idx = weight_layers[ordinal];
         let spec = program.specs()[ordinal];
-        let output = &trace.outputs[layer_idx];
-        let selected = select_from_activations(output.as_slice(), spec.threshold);
-        if let Some(segment) = path
-            .segments_mut()
-            .iter_mut()
-            .find(|s| s.layer == layer_idx)
-        {
-            for idx in selected {
-                segment.mask.set(idx);
-            }
-        }
+        let output = source.boundary(layer_idx + 1)?;
+        mask_forward_selection(path, layer_idx, output.as_slice(), spec.threshold);
     }
     Ok(())
+}
+
+/// The single forward-program masking step shared by the materialized walk,
+/// the inline streaming sink and the overlap worker — one implementation, so
+/// every pipeline is bit-for-bit the same selection.
+fn mask_forward_selection(
+    path: &mut ActivationPath,
+    layer_idx: usize,
+    output: &[f32],
+    threshold: ThresholdKind,
+) {
+    let selected = select_from_activations(output, threshold);
+    if let Some(segment) = path
+        .segments_mut()
+        .iter_mut()
+        .find(|s| s.layer == layer_idx)
+    {
+        for idx in selected {
+            segment.mask.set(idx);
+        }
+    }
+}
+
+/// Peak/current resident-byte accounting shared between a streaming sink (adds
+/// on retain/queue) and its overlap worker (subtracts after masking).
+#[derive(Default)]
+struct Meter {
+    resident: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl Meter {
+    fn add(&self, bytes: usize) {
+        let now = self.resident.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn sub(&self, bytes: usize) {
+        self.resident.fetch_sub(bytes, Ordering::SeqCst);
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::SeqCst)
+    }
+}
+
+fn tensor_bytes(t: &Tensor) -> usize {
+    t.len() * std::mem::size_of::<f32>()
+}
+
+/// Per-network-layer threshold of enabled weight layers (`None` for disabled
+/// or pass-through layers), the lookup table the forward streaming sinks key on.
+fn enabled_specs_by_layer(
+    network: &Network,
+    program: &DetectionProgram,
+) -> Vec<Option<ThresholdKind>> {
+    let weight_layers = network.weight_layer_indices();
+    let mut specs = vec![None; network.num_layers()];
+    for ordinal in program.enabled_layers() {
+        specs[weight_layers[ordinal]] = Some(program.specs()[ordinal].threshold);
+    }
+    specs
+}
+
+/// Boundaries a streaming backward pass must retain: enabled weight layers'
+/// inputs and outputs, data-dependently-routed pass-through layers' inputs,
+/// and nothing below the walk's early-termination point.
+fn backward_retention(network: &Network, program: &DetectionProgram) -> Result<Vec<bool>> {
+    let weight_layers = network.weight_layer_indices();
+    let mut retain = vec![false; network.num_layers() + 1];
+    for layer_idx in (0..network.num_layers()).rev() {
+        let layer = network.layer(layer_idx)?;
+        if layer.kind().is_weight_layer() {
+            let ordinal = weight_layers
+                .iter()
+                .position(|&l| l == layer_idx)
+                .expect("weight layer index");
+            if !program.specs()[ordinal].enabled {
+                // The reverse walk breaks here; nothing below is ever read.
+                break;
+            }
+            retain[layer_idx] = true;
+            retain[layer_idx + 1] = true;
+        } else if !layer.has_static_routing() {
+            retain[layer_idx] = true;
+        }
+    }
+    Ok(retain)
+}
+
+/// `true` when the forward-program extractor should pay a worker thread to
+/// overlap selection with the next layer's compute: overlap must be allowed
+/// (callers already inside a scoped-thread fan-out pass `false` — an extra
+/// worker per sample has no idle core to hide work on), the host must be
+/// multi-core, and the **enabled** output volume must make the masking work
+/// worth a thread spawn (gating on the whole network would spawn workers for
+/// late-start programs that only ever mask one small layer).
+fn overlap_worthwhile(
+    network: &Network,
+    specs: &[Option<ThresholdKind>],
+    batch_size: usize,
+    allow_overlap: bool,
+) -> bool {
+    if !allow_overlap || ptolemy_nn::available_parallelism() <= 1 {
+        return false;
+    }
+    let enabled_elements: usize = network
+        .layers()
+        .zip(specs)
+        .filter(|(_, spec)| spec.is_some())
+        .map(|(layer, _)| layer.output_len())
+        .sum();
+    enabled_elements.saturating_mul(batch_size) >= OVERLAP_MIN_ELEMENTS
+}
+
+/// Streaming sink for forward programs without an overlap worker: enabled
+/// outputs are masked inline, nothing is ever retained or cloned.
+struct InlineForwardSink<'a> {
+    specs: &'a [Option<ThresholdKind>],
+    path: ActivationPath,
+}
+
+impl TraceSink for InlineForwardSink<'_> {
+    fn on_layer(&mut self, index: usize, output: &Tensor) {
+        if let Some(threshold) = self.specs[index] {
+            mask_forward_selection(&mut self.path, index, output.as_slice(), threshold);
+        }
+    }
+}
+
+/// Streaming sink for forward programs with an overlap worker: enabled outputs
+/// are cloned into a bounded channel and masked on the worker while the next
+/// layer computes.
+struct OverlapForwardSink<'a> {
+    specs: &'a [Option<ThresholdKind>],
+    tx: mpsc::SyncSender<(usize, Tensor)>,
+    meter: &'a Meter,
+}
+
+impl TraceSink for OverlapForwardSink<'_> {
+    fn on_layer(&mut self, index: usize, output: &Tensor) {
+        if self.specs[index].is_none() {
+            return;
+        }
+        self.meter.add(tensor_bytes(output));
+        // A send error means the worker died; its panic resurfaces at join,
+        // so the boundary is simply dropped here.
+        if self.tx.send((index, output.clone())).is_err() {
+            self.meter.sub(tensor_bytes(output));
+        }
+    }
+}
+
+/// Streaming sink for backward programs: retains exactly the planned
+/// boundaries, drops everything else the moment the driver moves on.
+struct RetainSink<'a> {
+    retain: &'a [bool],
+    boundaries: Vec<Option<Tensor>>,
+    meter: &'a Meter,
+}
+
+impl<'a> RetainSink<'a> {
+    fn new(retain: &'a [bool], meter: &'a Meter) -> Self {
+        RetainSink {
+            retain,
+            boundaries: vec![None; retain.len()],
+            meter,
+        }
+    }
+
+    fn keep(&mut self, boundary: usize, activation: &Tensor) {
+        if self.retain[boundary] {
+            self.meter.add(tensor_bytes(activation));
+            self.boundaries[boundary] = Some(activation.clone());
+        }
+    }
+}
+
+impl TraceSink for RetainSink<'_> {
+    fn on_input(&mut self, input: &Tensor) {
+        self.keep(0, input);
+    }
+
+    fn on_layer(&mut self, index: usize, output: &Tensor) {
+        self.keep(index + 1, output);
+    }
+}
+
+/// The overlap scaffolding shared by the single-input and fused-batch forward
+/// extractors: spawns one scoped worker that folds every enabled boundary
+/// into `state` via `mask` while `drive` runs the forward pass on the calling
+/// thread, then joins and pairs the final state with the driver's logits.
+/// Channel close, worker panics (resurfaced via [`resume_unwind`]) and driver
+/// errors resolve identically for every caller.
+fn drive_with_overlap<S, M, D>(
+    specs: &[Option<ThresholdKind>],
+    meter: &Meter,
+    initial: S,
+    mask: M,
+    drive: D,
+) -> Result<(S, Tensor)>
+where
+    S: Send,
+    M: Fn(&mut S, usize, &Tensor, ThresholdKind) -> Result<()> + Send,
+    D: FnOnce(&mut OverlapForwardSink<'_>) -> Result<Tensor>,
+{
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::sync_channel::<(usize, Tensor)>(OVERLAP_QUEUE);
+        let worker = scope.spawn(move || -> Result<S> {
+            let mut state = initial;
+            while let Ok((layer_idx, boundary)) = rx.recv() {
+                if let Some(threshold) = specs[layer_idx] {
+                    mask(&mut state, layer_idx, &boundary, threshold)?;
+                }
+                // The boundary dies here — eager release.
+                meter.sub(tensor_bytes(&boundary));
+            }
+            Ok(state)
+        });
+        let mut sink = OverlapForwardSink { specs, tx, meter };
+        let driven = drive(&mut sink);
+        drop(sink); // close the channel so the worker drains and exits
+        let state = worker.join().unwrap_or_else(|panic| resume_unwind(panic))?;
+        Ok((state, driven?))
+    })
+}
+
+fn stream_forward_single(
+    network: &Network,
+    program: &DetectionProgram,
+    input: &Tensor,
+    layout: &[(usize, usize)],
+    allow_overlap: bool,
+) -> Result<StreamedExtraction> {
+    let specs = enabled_specs_by_layer(network, program);
+    let meter = Meter::default();
+    let (path, logits) = if overlap_worthwhile(network, &specs, 1, allow_overlap) {
+        drive_with_overlap(
+            &specs,
+            &meter,
+            ActivationPath::empty(layout),
+            |path, layer_idx, output, threshold| {
+                mask_forward_selection(path, layer_idx, output.as_slice(), threshold);
+                Ok(())
+            },
+            |sink| Ok(network.forward_with_sink(input, sink)?),
+        )?
+    } else {
+        let mut sink = InlineForwardSink {
+            specs: &specs,
+            path: ActivationPath::empty(layout),
+        };
+        let logits = network.forward_with_sink(input, &mut sink)?;
+        (sink.path, logits)
+    };
+    let predicted = predicted_class(&logits).map_err(CoreError::from)?;
+    Ok(StreamedExtraction {
+        predicted_class: predicted,
+        path,
+        logits,
+        footprint: ActivationFootprint {
+            peak_streamed_bytes: meter.peak(),
+            materialized_bytes: materialized_trace_bytes(network, 1),
+        },
+    })
+}
+
+fn stream_backward_single(
+    network: &Network,
+    program: &DetectionProgram,
+    input: &Tensor,
+    layout: &[(usize, usize)],
+) -> Result<StreamedExtraction> {
+    let retain = backward_retention(network, program)?;
+    let meter = Meter::default();
+    let mut sink = RetainSink::new(&retain, &meter);
+    let logits = network.forward_with_sink(input, &mut sink)?;
+    let predicted = predicted_class(&logits).map_err(CoreError::from)?;
+    let mut path = ActivationPath::empty(layout);
+    let source = PartialBoundaries {
+        boundaries: &sink.boundaries,
+    };
+    extract_backward(network, &source, predicted, program, &mut path)?;
+    Ok(StreamedExtraction {
+        predicted_class: predicted,
+        path,
+        logits,
+        footprint: ActivationFootprint {
+            peak_streamed_bytes: meter.peak(),
+            materialized_bytes: materialized_trace_bytes(network, 1),
+        },
+    })
+}
+
+fn stream_forward_batch<T, F>(
+    network: &Network,
+    program: &DetectionProgram,
+    inputs: &[Tensor],
+    layout: &[(usize, usize)],
+    finish: &F,
+) -> Result<(Vec<T>, ActivationFootprint)>
+where
+    T: Send,
+    F: Fn(usize, ActivationPath) -> Result<T> + Sync,
+{
+    let specs = enabled_specs_by_layer(network, program);
+    let batch = inputs.len();
+    let meter = Meter::default();
+    let (paths, logits) = if overlap_worthwhile(network, &specs, batch, true) {
+        drive_with_overlap(
+            &specs,
+            &meter,
+            vec![ActivationPath::empty(layout); batch],
+            |paths: &mut Vec<ActivationPath>, layer_idx, stacked, threshold| {
+                for (b, path) in paths.iter_mut().enumerate() {
+                    // The slice is bit-for-bit the per-sample output, so the
+                    // selection matches the single-input pipeline exactly.
+                    let output = stacked.slice_batch(b)?;
+                    mask_forward_selection(path, layer_idx, output.as_slice(), threshold);
+                }
+                Ok(())
+            },
+            |sink| Ok(network.forward_with_sink_batch(inputs, sink)?),
+        )?
+    } else {
+        struct InlineBatchSink<'a> {
+            specs: &'a [Option<ThresholdKind>],
+            paths: Vec<ActivationPath>,
+            error: Option<CoreError>,
+        }
+        impl TraceSink for InlineBatchSink<'_> {
+            fn on_layer(&mut self, index: usize, output: &Tensor) {
+                let Some(threshold) = self.specs[index] else {
+                    return;
+                };
+                if self.error.is_some() {
+                    return;
+                }
+                for (b, path) in self.paths.iter_mut().enumerate() {
+                    match output.slice_batch(b) {
+                        Ok(sample) => {
+                            mask_forward_selection(path, index, sample.as_slice(), threshold);
+                        }
+                        Err(e) => {
+                            self.error = Some(e.into());
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        let mut sink = InlineBatchSink {
+            specs: &specs,
+            paths: vec![ActivationPath::empty(layout); batch],
+            error: None,
+        };
+        let logits = network.forward_with_sink_batch(inputs, &mut sink)?;
+        if let Some(error) = sink.error {
+            return Err(error);
+        }
+        (sink.paths, logits)
+    };
+    let samples = paths
+        .into_iter()
+        .enumerate()
+        .map(|(b, path)| {
+            let sample_logits = logits.slice_batch(b)?;
+            let predicted = predicted_class(&sample_logits).map_err(CoreError::from)?;
+            finish(predicted, path)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((
+        samples,
+        ActivationFootprint {
+            peak_streamed_bytes: meter.peak(),
+            materialized_bytes: materialized_trace_bytes(network, batch),
+        },
+    ))
+}
+
+fn stream_backward_batch<T, F>(
+    network: &Network,
+    program: &DetectionProgram,
+    inputs: &[Tensor],
+    layout: &[(usize, usize)],
+    finish: &F,
+) -> Result<(Vec<T>, ActivationFootprint)>
+where
+    T: Send,
+    F: Fn(usize, ActivationPath) -> Result<T> + Sync,
+{
+    let retain = backward_retention(network, program)?;
+    let meter = Meter::default();
+    let mut sink = RetainSink::new(&retain, &meter);
+    let logits = network.forward_with_sink_batch(inputs, &mut sink)?;
+    let boundaries = sink.boundaries;
+    let indices: Vec<usize> = (0..inputs.len()).collect();
+    let samples = par_map(&indices, |&b| -> Result<T> {
+        // Slice this sample's view of every retained stacked boundary — the
+        // same slices a materialized `BatchTrace::trace(b)` would hand the
+        // walk, so the extraction is bit-for-bit the per-input path.
+        let sliced: Vec<Option<Tensor>> = boundaries
+            .iter()
+            .map(|stacked| {
+                stacked
+                    .as_ref()
+                    .map(|t| t.slice_batch(b))
+                    .transpose()
+                    .map_err(CoreError::from)
+            })
+            .collect::<Result<_>>()?;
+        // The logits boundary is usually already retained and sliced; only
+        // fall back to slicing the driver's stacked logits when it is not.
+        let fallback_logits;
+        let sample_logits = match sliced.last().and_then(Option::as_ref) {
+            Some(retained_logits) => retained_logits,
+            None => {
+                fallback_logits = logits.slice_batch(b)?;
+                &fallback_logits
+            }
+        };
+        let predicted = predicted_class(sample_logits).map_err(CoreError::from)?;
+        let mut path = ActivationPath::empty(layout);
+        let source = PartialBoundaries {
+            boundaries: &sliced,
+        };
+        extract_backward(network, &source, predicted, program, &mut path)?;
+        finish(predicted, path)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>>>()?;
+    Ok((
+        samples,
+        ActivationFootprint {
+            peak_streamed_bytes: meter.peak(),
+            materialized_bytes: materialized_trace_bytes(network, inputs.len()),
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -370,7 +1051,7 @@ mod tests {
         // Input that activates class 0 through input 0 only.
         let x = Tensor::from_vec(vec![5.0, 0.1, 0.0, 0.0], &[4]).unwrap();
         let trace = net.forward_trace(&x).unwrap();
-        assert_eq!(trace.predicted_class(), 0);
+        assert_eq!(trace.predicted_class().unwrap(), 0);
         let path = extract_path(&net, &trace, &program).unwrap();
         // Layout: weight layers are network layers 1 and 3; masks over their inputs.
         assert_eq!(path.segments().len(), 2);
@@ -384,7 +1065,7 @@ mod tests {
         // A class-1 input leaves a different path.
         let y = Tensor::from_vec(vec![0.0, 0.0, 4.0, 4.0], &[4]).unwrap();
         let trace_y = net.forward_trace(&y).unwrap();
-        assert_eq!(trace_y.predicted_class(), 1);
+        assert_eq!(trace_y.predicted_class().unwrap(), 1);
         let path_y = extract_path(&net, &trace_y, &program).unwrap();
         assert!(path_y.segment_for_layer(1).unwrap().mask.get(2));
         assert!(path_y.segment_for_layer(1).unwrap().mask.get(3));
@@ -426,6 +1107,121 @@ mod tests {
         assert_eq!(path.segments().len(), 1);
         assert_eq!(path.segments()[0].layer, 3);
         assert!(path.count_ones() >= 1);
+
+        // The streaming retention plan drops everything below the termination
+        // point: boundaries 0..=2 (flatten input, dense-1 input, relu input)
+        // are never retained, only the last dense layer's input and output.
+        let retain = backward_retention(&net, &program).unwrap();
+        assert_eq!(retain, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn backward_retention_keeps_only_data_dependent_boundaries() {
+        let net = two_layer_net();
+        let program = DetectionProgram::builder(Direction::Backward, 2)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.9 })
+            .build()
+            .unwrap();
+        // Flatten (layer 0) and ReLU (layer 2) route statically, so their
+        // input boundaries are dropped; both dense layers retain input+output.
+        let retain = backward_retention(&net, &program).unwrap();
+        assert_eq!(retain, vec![false, true, true, true, true]);
+
+        // Forward programs retain nothing at all (masking happens in flight).
+        let fw = DetectionProgram::builder(Direction::Forward, 2)
+            .all_layers(ThresholdKind::Absolute { phi: 0.5 })
+            .build()
+            .unwrap();
+        let streamed = extract_path_streaming(&net, &fw, &Tensor::ones(&[4])).unwrap();
+        assert_eq!(streamed.footprint.peak_streamed_bytes, 0);
+        assert_eq!(
+            streamed.footprint.materialized_bytes,
+            materialized_trace_bytes(&net, 1)
+        );
+    }
+
+    #[test]
+    fn streamed_extraction_matches_materialized_bit_for_bit() {
+        let mut rng = Rng64::new(7);
+        let net = ptolemy_nn::zoo::lenet(1, 4, &mut rng).unwrap();
+        let programs = [
+            DetectionProgram::builder(Direction::Backward, 4)
+                .all_layers(ThresholdKind::Cumulative { theta: 0.5 })
+                .build()
+                .unwrap(),
+            DetectionProgram::builder(Direction::Forward, 4)
+                .all_layers(ThresholdKind::Absolute { phi: 0.2 })
+                .build()
+                .unwrap(),
+        ];
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|i| {
+                let data = (0..64)
+                    .map(|_| rng.normal() * (0.4 + 0.2 * i as f32))
+                    .collect();
+                Tensor::from_vec(data, &[1, 8, 8]).unwrap()
+            })
+            .collect();
+        for program in &programs {
+            for input in &inputs {
+                let trace = net.forward_trace(input).unwrap();
+                let materialized = extract_path(&net, &trace, program).unwrap();
+                let streamed = extract_path_streaming(&net, program, input).unwrap();
+                assert_eq!(streamed.path, materialized, "single-input parity");
+                assert_eq!(streamed.predicted_class, trace.predicted_class().unwrap());
+                for (s, m) in streamed
+                    .logits
+                    .as_slice()
+                    .iter()
+                    .zip(trace.logits().as_slice())
+                {
+                    assert_eq!(s.to_bits(), m.to_bits());
+                }
+            }
+            // Fused-batch streaming matches too.
+            let batch = extract_paths_streaming_batch(&net, program, &inputs).unwrap();
+            assert_eq!(batch.samples.len(), inputs.len());
+            for (b, input) in inputs.iter().enumerate() {
+                let single = extract_path_streaming(&net, program, input).unwrap();
+                assert_eq!(batch.samples[b].0, single.predicted_class);
+                assert_eq!(batch.samples[b].1, single.path, "batch sample {b} parity");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_forward_peak_memory_beats_materialized_on_a_deep_program() {
+        // A deep forward program on the conv model: the streaming pipeline
+        // must hold strictly less activation state than the materialized
+        // trace — the acceptance bar of the streaming refactor.
+        let mut rng = Rng64::new(11);
+        let net = ptolemy_nn::zoo::lenet(1, 4, &mut rng).unwrap();
+        let program = DetectionProgram::builder(Direction::Forward, 4)
+            .all_layers(ThresholdKind::Absolute { phi: 0.2 })
+            .build()
+            .unwrap();
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|_| Tensor::from_vec((0..64).map(|_| rng.normal()).collect(), &[1, 8, 8]).unwrap())
+            .collect();
+        let batch = extract_paths_streaming_batch(&net, &program, &inputs).unwrap();
+        assert!(
+            batch.footprint.peak_streamed_bytes < batch.footprint.materialized_bytes,
+            "streamed peak {} must be under the materialized {} bytes",
+            batch.footprint.peak_streamed_bytes,
+            batch.footprint.materialized_bytes
+        );
+        // The materialized figure matches what an actual batch trace holds.
+        let trace = net.forward_trace_batch(&inputs).unwrap();
+        assert_eq!(batch.footprint.materialized_bytes, trace.activation_bytes());
+
+        // Backward programs retain strictly less than the full trace as well
+        // (statically-routed ReLU/flatten inputs are dropped in flight).
+        let bw = DetectionProgram::builder(Direction::Backward, 4)
+            .all_layers(ThresholdKind::Cumulative { theta: 0.5 })
+            .build()
+            .unwrap();
+        let streamed = extract_paths_streaming_batch(&net, &bw, &inputs).unwrap();
+        assert!(streamed.footprint.peak_streamed_bytes < streamed.footprint.materialized_bytes);
     }
 
     #[test]
@@ -439,6 +1235,22 @@ mod tests {
         let trace = net.forward_trace(&x).unwrap();
         assert!(extract_path(&net, &trace, &program).is_err());
         assert!(path_layout(&net, &program).is_err());
+        assert!(extract_path_streaming(&net, &program, &x).is_err());
+        assert!(extract_paths_streaming_batch(&net, &program, &[x]).is_err());
+    }
+
+    #[test]
+    fn streaming_batch_propagates_forward_errors() {
+        let net = two_layer_net();
+        let program = DetectionProgram::builder(Direction::Forward, 2)
+            .all_layers(ThresholdKind::Absolute { phi: 0.5 })
+            .build()
+            .unwrap();
+        // An empty batch and a mis-shaped input both fail the fused pass as a
+        // whole; per-input granularity is the engine's fallback concern.
+        assert!(extract_paths_streaming_batch(&net, &program, &[]).is_err());
+        let bad = vec![Tensor::ones(&[4]), Tensor::ones(&[5])];
+        assert!(extract_paths_streaming_batch(&net, &program, &bad).is_err());
     }
 
     #[test]

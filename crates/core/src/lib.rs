@@ -30,9 +30,32 @@
 //!
 //! [`DetectionEngine`] is the only online surface (the historical one-shot
 //! `Detector` shim is gone): bind once, then drive per input, per fused NCHW
-//! batch ([`DetectionEngine::detect_batch`] runs one batched `im2col`/matmul
-//! trace and slices per-input activation paths out of it, bit-for-bit
-//! identical to the single-input path) or as a stream (see [`engine`]).
+//! batch or as a stream (see [`engine`]).
+//!
+//! # Streaming extraction
+//!
+//! Extraction no longer materialises a full forward trace.  The engine (and
+//! the offline [`Profiler`]) run through [`extract_path_streaming`] /
+//! [`extract_paths_streaming_batch`], which plug a path extractor into the
+//! forward pass itself via [`ptolemy_nn::TraceSink`]:
+//!
+//! * **forward programs** select each enabled layer's important neurons the
+//!   moment the layer finishes — on a scoped worker thread *overlapped with
+//!   the next layer's compute* on multi-core hosts — and release the
+//!   activation immediately, holding O(largest layer) instead of O(network)
+//!   activation bytes (Sec. III-C's compiler insight, now the serving hot
+//!   path);
+//! * **backward programs** retain only the boundaries the reverse walk reads
+//!   (enabled weight layers' inputs/outputs plus data-dependently-routed
+//!   pass-through inputs such as max-pool windows) and drop everything else
+//!   in flight; early-termination programs never retain layers below their
+//!   cut.
+//!
+//! Streamed extraction is **bit-for-bit identical** to the materialized
+//! [`extract_path`] pipeline (same driver, same selection kernels, same
+//! tensors — pinned by the `tests/streaming.rs` proptest suite), and
+//! [`ActivationFootprint`] reports the measured peak resident activation
+//! bytes against the materialized baseline.
 //!
 //! # Example
 //!
@@ -87,7 +110,10 @@ pub use engine::{
     DetectionEngineBuilder, SoftwareBackend,
 };
 pub use error::CoreError;
-pub use extraction::{extract_path, path_layout};
+pub use extraction::{
+    extract_path, extract_path_streaming, extract_paths_streaming_batch, materialized_trace_bytes,
+    path_layout, ActivationFootprint, StreamedBatchExtraction, StreamedExtraction,
+};
 pub use parallel::par_map;
 pub use path::{ActivationPath, ClassPath, ClassPathSet, PathSegment};
 pub use profile::{class_similarity_matrix, similarity_stats, Profiler, SimilarityStats};

@@ -6,24 +6,23 @@
 //! available core; order is preserved, so `par_map(xs, f)[i] == f(&xs[i])`
 //! exactly — the property the engine's batch/single parity guarantee rests on.
 
-use std::num::NonZeroUsize;
 use std::thread;
 
 /// Maps `f` over `items` in parallel, preserving order.
 ///
-/// Spawns at most `available_parallelism()` scoped threads (falling back to a
-/// serial map for empty or single-element inputs).  Panics in `f` propagate to
-/// the caller.
+/// Spawns at most [`ptolemy_nn::available_parallelism`] scoped threads
+/// (falling back to a serial map for empty or single-element inputs) — the
+/// *cached* core count: the raw `std::thread::available_parallelism` lookup
+/// re-reads cgroup state on Linux (~10µs per call), far too slow to pay on
+/// every batched-extraction fan-out, so the whole workspace shares one cached
+/// read.  Panics in `f` propagate to the caller.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len());
+    let threads = ptolemy_nn::available_parallelism().min(items.len());
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -63,6 +62,21 @@ mod tests {
     fn handles_empty_and_single_inputs() {
         assert!(par_map(&[] as &[usize], |x| *x).is_empty());
         assert_eq!(par_map(&[7usize], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn cached_parallelism_is_stable_across_threads() {
+        // The cached count must agree with the live std lookup (the cache can
+        // only go stale if the cgroup quota changes mid-process, which the
+        // dedup deliberately trades away) and stay identical from every
+        // thread that reads it concurrently.
+        let cores = ptolemy_nn::available_parallelism();
+        let live = thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(cores, live);
+        let seen = par_map(&[(); 64], |()| ptolemy_nn::available_parallelism());
+        assert!(seen.iter().all(|c| *c == cores));
     }
 
     #[test]

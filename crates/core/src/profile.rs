@@ -3,14 +3,16 @@
 use ptolemy_nn::Network;
 use ptolemy_tensor::Tensor;
 
-use crate::extraction::{extract_path, path_layout};
+use crate::extraction::{extract_path_streaming, path_layout};
 use crate::{ActivationPath, ClassPath, ClassPathSet, CoreError, DetectionProgram, Result};
 
 /// Offline profiler: extracts activation paths for correctly-predicted training
 /// samples and aggregates them into per-class canary paths.
 ///
 /// Profiling parallelises over samples with scoped threads
-/// ([`crate::parallel::par_map`]); aggregation itself is a cheap sequential OR.
+/// ([`crate::parallel::par_map`]), each sample running through the streaming
+/// extraction pipeline ([`extract_path_streaming`]) so no full trace is ever
+/// materialized; aggregation itself is a cheap sequential OR.
 #[derive(Debug, Clone)]
 pub struct Profiler {
     program: DetectionProgram,
@@ -34,10 +36,8 @@ impl Profiler {
     ///
     /// Propagates extraction and substrate errors.
     pub fn extract(&self, network: &Network, input: &Tensor) -> Result<(usize, ActivationPath)> {
-        let trace = network.forward_trace(input)?;
-        let predicted = trace.predicted_class();
-        let path = extract_path(network, &trace, &self.program)?;
-        Ok((predicted, path))
+        let streamed = extract_path_streaming(network, &self.program, input)?;
+        Ok((streamed.predicted_class, streamed.path))
     }
 
     /// Profiles a training set into a [`ClassPathSet`].
@@ -69,12 +69,17 @@ impl Profiler {
 
         let extracted: Vec<Result<Option<(usize, ActivationPath)>>> =
             crate::parallel::par_map(samples, |(input, label)| {
-                let trace = network.forward_trace(input)?;
-                if trace.predicted_class() != *label {
+                // The nested variant: par_map already saturates the cores, so
+                // per-sample overlap workers would only add spawn overhead.
+                let streamed = crate::extraction::extract_path_streaming_nested(
+                    network,
+                    &self.program,
+                    input,
+                )?;
+                if streamed.predicted_class != *label {
                     return Ok(None);
                 }
-                let path = extract_path(network, &trace, &self.program)?;
-                Ok(Some((*label, path)))
+                Ok(Some((*label, streamed.path)))
             });
 
         let mut class_paths: Vec<ClassPath> = (0..network.num_classes())

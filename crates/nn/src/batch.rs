@@ -18,8 +18,10 @@ use crate::{NnError, Result};
 
 /// Cached [`thread::available_parallelism`]: the lookup re-reads cgroup state
 /// on Linux (microseconds per call), far too slow to query per layer on the
-/// fused hot path.
-fn parallelism() -> usize {
+/// fused hot path.  Exported as [`crate::available_parallelism`] so the whole
+/// workspace (notably `ptolemy_core::par_map`) shares this one cached read
+/// instead of each crate paying the lookup per call.
+pub(crate) fn parallelism() -> usize {
     static CORES: OnceLock<usize> = OnceLock::new();
     *CORES.get_or_init(|| {
         thread::available_parallelism()

@@ -25,6 +25,9 @@ pub enum NnError {
     },
     /// Training was requested with an empty sample set.
     EmptyDataset,
+    /// The network produced logits no class can be predicted from (empty
+    /// tensor, or no finite value to take an argmax over).
+    InvalidLogits(String),
 }
 
 impl fmt::Display for NnError {
@@ -42,6 +45,9 @@ impl fmt::Display for NnError {
                 write!(f, "label {label} out of range for {num_classes} classes")
             }
             NnError::EmptyDataset => write!(f, "training requires a non-empty sample set"),
+            NnError::InvalidLogits(msg) => {
+                write!(f, "no class can be predicted from the logits: {msg}")
+            }
         }
     }
 }
@@ -77,5 +83,8 @@ mod tests {
         }
         .to_string()
         .contains("out of range"));
+        assert!(NnError::InvalidLogits("all NaN".into())
+            .to_string()
+            .contains("logits"));
     }
 }

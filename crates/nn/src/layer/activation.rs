@@ -89,6 +89,20 @@ impl Layer for ReLU {
         Ok(Contribution::PassThrough(vec![out_idx]))
     }
 
+    fn has_static_routing(&self) -> bool {
+        true
+    }
+
+    fn static_routing(&self, out_idx: usize) -> Result<Option<Vec<usize>>> {
+        if out_idx >= self.output_len() {
+            return Err(NnError::InvalidConfig(format!(
+                "relu output index {out_idx} out of range"
+            )));
+        }
+        // Identity routing, exactly what `contributions` reports.
+        Ok(Some(vec![out_idx]))
+    }
+
     fn kind(&self) -> LayerKind {
         LayerKind::Activation
     }

@@ -183,6 +183,37 @@ pub trait Layer: Send + Sync {
     /// Returns an error if `out_idx` is out of range or `input` has the wrong shape.
     fn contributions(&self, input: &Tensor, out_idx: usize) -> Result<Contribution>;
 
+    /// `true` if the *index routing* of [`Layer::contributions`] never depends
+    /// on activation values — i.e. [`Layer::static_routing`] returns `Some`
+    /// for every in-range output index.
+    ///
+    /// ReLU and flatten route each output to the same-index input; average
+    /// pooling always routes to its fixed window members.  Max pooling routes
+    /// to the window's arg-max, which depends on the input, so it stays
+    /// `false` (the conservative default).  The streaming extraction pipeline
+    /// in `ptolemy-core` uses this to decide which layer inputs a backward
+    /// program must retain: statically-routed pass-through layers can have
+    /// their activations dropped the moment the next layer starts.
+    fn has_static_routing(&self) -> bool {
+        false
+    }
+
+    /// Input indices output neuron `out_idx`'s importance routes to, when that
+    /// routing is input-independent ([`Layer::has_static_routing`]); `None`
+    /// when the routing needs the actual input activations.
+    ///
+    /// Implementations must keep this bit-for-bit consistent with
+    /// [`Layer::contributions`]: `static_routing(i)` is either `None` or
+    /// exactly `contributions(input, i)?.indices()` for every valid input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `out_idx` is out of range.
+    fn static_routing(&self, out_idx: usize) -> Result<Option<Vec<usize>>> {
+        let _ = out_idx;
+        Ok(None)
+    }
+
     /// Coarse layer classification for cost modelling and compilation.
     fn kind(&self) -> LayerKind;
 

@@ -389,6 +389,17 @@ impl Layer for AvgPool2d {
         Ok(Contribution::Weighted(pairs))
     }
 
+    fn has_static_routing(&self) -> bool {
+        true
+    }
+
+    fn static_routing(&self, out_idx: usize) -> Result<Option<Vec<usize>>> {
+        // The window membership is fixed by geometry; only the partial-sum
+        // *values* depend on the input, and index routing discards them.
+        let (c, oy, ox) = self.geom.decompose(out_idx)?;
+        Ok(Some(self.geom.window_indices(c, oy, ox)))
+    }
+
     fn kind(&self) -> LayerKind {
         LayerKind::AvgPool
     }

@@ -10,9 +10,20 @@
 //!
 //! * [`Layer::contributions`] — the per-output-neuron partial-sum decomposition used
 //!   by the important-neuron extraction algorithms (paper Fig. 3);
-//! * [`Network::forward_trace`] — a forward pass that records every layer's input
-//!   and output activations so extraction can run after (backward extraction) or
-//!   during (forward extraction) inference;
+//! * [`Network::forward_with_sink`] / [`Network::forward_with_sink_batch`] —
+//!   the **streaming drivers**: a forward pass hands each activation boundary
+//!   to a [`TraceSink`] the moment the producing layer finishes, before the
+//!   next layer starts.  The driver itself keeps only the current layer's
+//!   input and output alive, so what outlives a layer is entirely the sink's
+//!   decision — a selective sink observes a whole inference in O(largest
+//!   layer) memory.  This is the hook `ptolemy-core` uses to overlap path
+//!   extraction with the next layer's inference (the paper's Sec. III-C
+//!   compiler insight) and to drop activations eagerly;
+//! * [`Network::forward_trace`] — the materializing adapter over the streaming
+//!   driver: a keep-everything sink recording each activation boundary
+//!   **once** (`activations[i + 1]` is both layer `i`'s output and layer
+//!   `i + 1`'s input — no duplicated storage) so extraction can run after the
+//!   fact;
 //! * [`Network::forward_batch`] / [`Network::forward_trace_batch`] — the fused
 //!   NCHW batch path: B inputs are stacked into one `[B, C, H, W]` tensor and
 //!   executed layer by layer through [`Layer::forward_batch`] (batched
@@ -62,8 +73,18 @@ pub use error::NnError;
 pub use layer::{Contribution, Layer, LayerGrads, LayerKind};
 pub use loss::{cross_entropy_loss, softmax_cross_entropy_grad};
 pub use network::{Network, NetworkGrads};
-pub use trace::{BatchTrace, ForwardTrace};
+pub use trace::{predicted_class, BatchTrace, ForwardTrace, TraceSink};
 pub use train::{TrainConfig, TrainReport, Trainer};
+
+/// Cached [`std::thread::available_parallelism`] (clamped to at least 1).
+///
+/// The std lookup re-reads cgroup state on Linux — microseconds per call, far
+/// too slow for per-layer or per-batch queries on hot paths.  Every Ptolemy
+/// crate that fans work out over scoped threads (the fused batch kernels here,
+/// `ptolemy_core::par_map`) shares this single cached read.
+pub fn available_parallelism() -> usize {
+    batch::parallelism()
+}
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,6 +1,7 @@
 use ptolemy_tensor::Tensor;
 
-use crate::{BatchTrace, ForwardTrace, Layer, NnError, Result};
+use crate::trace::TraceRecorder;
+use crate::{BatchTrace, ForwardTrace, Layer, NnError, Result, TraceSink};
 
 /// Parameter gradients for a whole network, one entry per layer (in layer order).
 #[derive(Debug, Clone)]
@@ -138,22 +139,43 @@ impl Network {
         Ok(cur)
     }
 
-    /// Runs a forward pass recording every layer's input and output activation.
+    /// Runs a forward pass, handing every activation boundary to `sink` as it
+    /// is produced — the streaming driver both [`Network::forward_trace`] and
+    /// the `ptolemy-core` streaming extraction pipeline are adapters over.
+    ///
+    /// The driver itself holds only the current layer's input and output; what
+    /// outlives a layer is entirely the sink's decision, so a selective sink
+    /// observes the full pass in O(largest layer) memory.  Returns the final
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` does not match the network input shape.
+    pub fn forward_with_sink<S: TraceSink + ?Sized>(
+        &self,
+        input: &Tensor,
+        sink: &mut S,
+    ) -> Result<Tensor> {
+        sink.on_input(input);
+        let mut cur = input.clone();
+        for (index, layer) in self.layers.iter().enumerate() {
+            let out = layer.forward(&cur)?;
+            sink.on_layer(index, &out);
+            cur = out;
+        }
+        Ok(cur)
+    }
+
+    /// Runs a forward pass recording every activation boundary (a thin adapter
+    /// over [`Network::forward_with_sink`] with a keep-everything sink).
     ///
     /// # Errors
     ///
     /// Returns an error if `input` does not match the network input shape.
     pub fn forward_trace(&self, input: &Tensor) -> Result<ForwardTrace> {
-        let mut inputs = Vec::with_capacity(self.layers.len());
-        let mut outputs = Vec::with_capacity(self.layers.len());
-        let mut cur = input.clone();
-        for layer in &self.layers {
-            let out = layer.forward(&cur)?;
-            inputs.push(cur);
-            outputs.push(out.clone());
-            cur = out;
-        }
-        Ok(ForwardTrace { inputs, outputs })
+        let mut recorder = TraceRecorder::with_capacity(self.layers.len());
+        self.forward_with_sink(input, &mut recorder)?;
+        ForwardTrace::from_activations(recorder.activations)
     }
 
     /// Stacks `inputs` into one `[B] ++ input_shape` batch, validating shapes.
@@ -194,8 +216,33 @@ impl Network {
         Ok(cur)
     }
 
-    /// Runs one fused forward pass over a whole batch, recording every layer's
-    /// stacked input and output activations.
+    /// Runs one fused forward pass over a whole batch, handing each stacked
+    /// activation boundary (`[B] ++ boundary_shape`) to `sink` as it is
+    /// produced — the batched twin of [`Network::forward_with_sink`].  Returns
+    /// the stacked logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `inputs` is empty or any input does not match the
+    /// network input shape.
+    pub fn forward_with_sink_batch<S: TraceSink + ?Sized>(
+        &self,
+        inputs: &[Tensor],
+        sink: &mut S,
+    ) -> Result<Tensor> {
+        let mut cur = self.stack_batch(inputs)?;
+        sink.on_input(&cur);
+        for (index, layer) in self.layers.iter().enumerate() {
+            let out = layer.forward_batch(&cur)?;
+            sink.on_layer(index, &out);
+            cur = out;
+        }
+        Ok(cur)
+    }
+
+    /// Runs one fused forward pass over a whole batch, recording every stacked
+    /// activation boundary (a thin adapter over
+    /// [`Network::forward_with_sink_batch`] with a keep-everything sink).
     ///
     /// `forward_trace_batch(xs)?.trace(b)?` is bit-for-bit identical to
     /// `forward_trace(&xs[b])?` — the property that lets `ptolemy-core` extract
@@ -206,16 +253,9 @@ impl Network {
     /// Returns an error if `inputs` is empty or any input does not match the
     /// network input shape.
     pub fn forward_trace_batch(&self, inputs: &[Tensor]) -> Result<BatchTrace> {
-        let mut layer_inputs = Vec::with_capacity(self.layers.len());
-        let mut layer_outputs = Vec::with_capacity(self.layers.len());
-        let mut cur = self.stack_batch(inputs)?;
-        for layer in &self.layers {
-            let out = layer.forward_batch(&cur)?;
-            layer_inputs.push(cur);
-            layer_outputs.push(out.clone());
-            cur = out;
-        }
-        Ok(BatchTrace::new(inputs.len(), layer_inputs, layer_outputs))
+        let mut recorder = TraceRecorder::with_capacity(self.layers.len());
+        self.forward_with_sink_batch(inputs, &mut recorder)?;
+        Ok(BatchTrace::new(inputs.len(), recorder.activations))
     }
 
     /// Predicted class of `input` (argmax of the logits).
@@ -245,7 +285,7 @@ impl Network {
         let mut grad = grad_logits.clone();
         let mut per_layer = vec![Vec::new(); self.layers.len()];
         for (i, layer) in self.layers.iter().enumerate().rev() {
-            let grads = layer.backward(&trace.inputs[i], &grad)?;
+            let grads = layer.backward(trace.input(i), &grad)?;
             per_layer[i] = grads.param_grads;
             grad = grads.input_grad;
         }
@@ -338,10 +378,57 @@ mod tests {
         assert_eq!(trace.num_layers(), 4);
         assert_eq!(trace.logits().as_slice(), logits.as_slice());
         assert_eq!(net.predict(&x).unwrap(), logits.argmax().unwrap());
-        // Chaining property: outputs[i] == inputs[i + 1].
+        // Chaining property: output(i) and input(i + 1) are the same boundary.
         for i in 0..trace.num_layers() - 1 {
-            assert_eq!(trace.outputs[i].as_slice(), trace.inputs[i + 1].as_slice());
+            assert_eq!(trace.output(i).as_slice(), trace.input(i + 1).as_slice());
         }
+        // The trace holds each boundary once: num_layers + 1 activations.
+        assert_eq!(trace.activations().len(), trace.num_layers() + 1);
+    }
+
+    /// A sink that keeps only the layer indices and boundary lengths it saw —
+    /// the streaming driver must visit every layer in order without the sink
+    /// retaining any activation.
+    #[test]
+    fn forward_with_sink_streams_boundaries_in_order() {
+        struct Probe {
+            seen: Vec<(usize, usize)>,
+            input_len: usize,
+        }
+        impl TraceSink for Probe {
+            fn on_input(&mut self, input: &Tensor) {
+                self.input_len = input.len();
+            }
+            fn on_layer(&mut self, index: usize, output: &Tensor) {
+                self.seen.push((index, output.len()));
+            }
+        }
+        let mut rng = Rng64::new(9);
+        let net = tiny_net(&mut rng);
+        let x = Tensor::ones(&[1, 2, 2]);
+        let mut probe = Probe {
+            seen: Vec::new(),
+            input_len: 0,
+        };
+        let logits = net.forward_with_sink(&x, &mut probe).unwrap();
+        assert_eq!(logits.as_slice(), net.forward(&x).unwrap().as_slice());
+        assert_eq!(probe.input_len, 4);
+        assert_eq!(
+            probe.seen,
+            vec![(0usize, 4usize), (1, 5), (2, 5), (3, 3)],
+            "every layer must be observed in order"
+        );
+
+        // The batched driver observes stacked boundaries.
+        let mut probe = Probe {
+            seen: Vec::new(),
+            input_len: 0,
+        };
+        let batch = vec![x.clone(), x];
+        let stacked = net.forward_with_sink_batch(&batch, &mut probe).unwrap();
+        assert_eq!(stacked.dims(), &[2, 3]);
+        assert_eq!(probe.input_len, 8);
+        assert_eq!(probe.seen, vec![(0usize, 8usize), (1, 10), (2, 10), (3, 6)]);
     }
 
     #[test]
@@ -410,17 +497,15 @@ mod tests {
             let single_trace = net.forward_trace(input).unwrap();
             let sliced = batch_trace.trace(b).unwrap();
             for layer in 0..net.num_layers() {
-                for (f, s) in sliced.outputs[layer]
+                for (f, s) in sliced
+                    .output(layer)
                     .as_slice()
                     .iter()
-                    .zip(single_trace.outputs[layer].as_slice())
+                    .zip(single_trace.output(layer).as_slice())
                 {
                     assert_eq!(f.to_bits(), s.to_bits());
                 }
-                assert_eq!(
-                    sliced.inputs[layer].dims(),
-                    single_trace.inputs[layer].dims()
-                );
+                assert_eq!(sliced.input(layer).dims(), single_trace.input(layer).dims());
             }
         }
     }

@@ -1,72 +1,216 @@
+//! Forward-pass observation: the streaming [`TraceSink`] abstraction and the
+//! materialized [`ForwardTrace`] / [`BatchTrace`] records built on top of it.
+//!
+//! A forward pass produces `num_layers + 1` *activation boundaries*: boundary
+//! `0` is the network input, boundary `i + 1` is layer `i`'s output (which is
+//! also layer `i + 1`'s input — the two were historically stored twice, as
+//! `inputs[i + 1]` *and* `outputs[i]`; they are now stored once).  A
+//! [`TraceSink`] observes the boundaries as they are produced by
+//! [`crate::Network::forward_with_sink`], deciding per layer what to keep —
+//! the hook that lets `ptolemy-core` run path extraction *during* inference
+//! and drop activations eagerly instead of materialising the whole trace.
+
 use ptolemy_tensor::Tensor;
 
-use crate::Result;
+use crate::{NnError, Result};
+
+/// Layer-indexed observer of a forward pass — the streaming alternative to
+/// materialising a full [`ForwardTrace`].
+///
+/// [`crate::Network::forward_with_sink`] (and its batched twin) call
+/// [`TraceSink::on_input`] once with the activation entering layer 0, then
+/// [`TraceSink::on_layer`] after each layer finishes, **before** the next
+/// layer starts.  The sink only borrows the activation: it clones what it
+/// needs to keep and lets everything else die with the driver's scratch
+/// buffer, so a sink that retains nothing observes an entire forward pass in
+/// O(largest layer) memory.  For the batched driver the tensors are stacked
+/// (`[B] ++ shape`, NCHW).
+///
+/// Sinks are infallible by design — a sink that can fail (e.g. a channel to a
+/// worker thread) records the failure internally and surfaces it after the
+/// drive; the forward pass itself never turns back.
+pub trait TraceSink {
+    /// Observes the activation entering layer 0 (boundary 0).
+    fn on_input(&mut self, _input: &Tensor) {}
+
+    /// Observes layer `index`'s freshly produced output activation (boundary
+    /// `index + 1`), called before layer `index + 1` runs.
+    fn on_layer(&mut self, index: usize, output: &Tensor);
+}
+
+/// A [`TraceSink`] that keeps every boundary — the adapter that turns the
+/// streaming driver back into a materialized trace.
+#[derive(Debug, Default)]
+pub(crate) struct TraceRecorder {
+    pub(crate) activations: Vec<Tensor>,
+}
+
+impl TraceRecorder {
+    pub(crate) fn with_capacity(num_layers: usize) -> Self {
+        TraceRecorder {
+            activations: Vec::with_capacity(num_layers + 1),
+        }
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn on_input(&mut self, input: &Tensor) {
+        self.activations.push(input.clone());
+    }
+
+    fn on_layer(&mut self, _index: usize, output: &Tensor) {
+        self.activations.push(output.clone());
+    }
+}
+
+/// Picks the predicted class from a logits tensor: the index of the largest
+/// non-NaN logit.
+///
+/// Only NaN is excluded — infinities are totally ordered under `>`, so an
+/// overflow-saturated `+∞` logit wins exactly as it does under
+/// [`Tensor::argmax`] (and [`crate::Network::predict`]); filtering it out
+/// would silently score the input against the wrong class's canary path.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLogits`] if `logits` is empty or all-NaN (the
+/// historical `argmax().unwrap_or(0)` silently classified those as class 0).
+pub fn predicted_class(logits: &Tensor) -> Result<usize> {
+    let values = logits.as_slice();
+    let mut best: Option<usize> = None;
+    for (i, v) in values.iter().enumerate() {
+        if !v.is_nan() && best.map_or(true, |b| *v > values[b]) {
+            best = Some(i);
+        }
+    }
+    best.ok_or_else(|| {
+        NnError::InvalidLogits(if values.is_empty() {
+            "logits tensor is empty".into()
+        } else {
+            format!("all {} logits are NaN", values.len())
+        })
+    })
+}
 
 /// Record of a full forward pass through a [`crate::Network`].
 ///
-/// `inputs[i]` / `outputs[i]` are the activations entering and leaving layer `i`
-/// (single sample, no batch dimension).  The Ptolemy extraction algorithms consume
-/// this trace: backward extraction walks it from the last layer to the first,
-/// forward extraction walks it in layer order, and the per-layer partial sums are
-/// recomputed on demand from `inputs[i]` via [`crate::Layer::contributions`].
+/// Stores each activation boundary exactly once: [`ForwardTrace::input`]`(i)`
+/// and [`ForwardTrace::output`]`(i)` are views into the same list (layer `i`'s
+/// output *is* layer `i + 1`'s input), so a materialized trace costs half of
+/// what the historical `inputs`/`outputs` pair did.  The Ptolemy extraction
+/// algorithms consume this trace: backward extraction walks it from the last
+/// layer to the first, forward extraction walks it in layer order, and the
+/// per-layer partial sums are recomputed on demand from `input(i)` via
+/// [`crate::Layer::contributions`].
 #[derive(Debug, Clone)]
 pub struct ForwardTrace {
-    /// Input activation of each layer.
-    pub inputs: Vec<Tensor>,
-    /// Output activation of each layer (`outputs[i] == inputs[i + 1]`).
-    pub outputs: Vec<Tensor>,
+    /// `activations[0]` is the network input; `activations[i + 1]` is layer
+    /// `i`'s output.
+    activations: Vec<Tensor>,
 }
 
 impl ForwardTrace {
-    /// Number of layers traced.
-    pub fn num_layers(&self) -> usize {
-        self.outputs.len()
+    /// Assembles a trace from its activation boundaries (`num_layers + 1`
+    /// tensors: the network input followed by every layer output in order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if fewer than two boundaries are
+    /// supplied (a non-empty network has at least one layer).
+    pub fn from_activations(activations: Vec<Tensor>) -> Result<Self> {
+        if activations.len() < 2 {
+            return Err(NnError::InvalidConfig(format!(
+                "a forward trace needs at least 2 activation boundaries, got {}",
+                activations.len()
+            )));
+        }
+        Ok(ForwardTrace { activations })
     }
 
-    /// Final network output (logits).
+    /// Number of layers traced.
+    pub fn num_layers(&self) -> usize {
+        self.activations.len() - 1
+    }
+
+    /// All activation boundaries: the network input followed by every layer
+    /// output in order.
+    pub fn activations(&self) -> &[Tensor] {
+        &self.activations
+    }
+
+    /// Input activation of layer `index`.
     ///
     /// # Panics
     ///
-    /// Panics if the trace is empty; [`crate::Network::forward_trace`] never
-    /// produces an empty trace for a non-empty network.
-    pub fn logits(&self) -> &Tensor {
-        self.outputs
-            .last()
-            .expect("forward trace of a non-empty network")
+    /// Panics if `index >= num_layers()` (same contract as indexing the
+    /// historical `inputs` vector).
+    pub fn input(&self, index: usize) -> &Tensor {
+        &self.activations[index]
     }
 
-    /// Index of the predicted class (argmax of the logits).
-    pub fn predicted_class(&self) -> usize {
-        self.logits().argmax().unwrap_or(0)
+    /// Output activation of layer `index` (identical to `input(index + 1)` for
+    /// non-final layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_layers()`.
+    pub fn output(&self, index: usize) -> &Tensor {
+        &self.activations[index + 1]
+    }
+
+    /// Final network output (logits).
+    pub fn logits(&self) -> &Tensor {
+        self.activations
+            .last()
+            .expect("a trace holds at least two boundaries")
+    }
+
+    /// Index of the predicted class (largest finite logit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLogits`] if the logits contain no finite
+    /// value — the historical `argmax().unwrap_or(0)` silently classified an
+    /// all-NaN output as class 0.
+    pub fn predicted_class(&self) -> Result<usize> {
+        predicted_class(self.logits())
+    }
+
+    /// Total bytes of activation data this materialized trace holds resident —
+    /// the baseline the streaming extraction pipeline's peak footprint is
+    /// compared against.
+    pub fn activation_bytes(&self) -> usize {
+        self.activations
+            .iter()
+            .map(|t| t.len() * std::mem::size_of::<f32>())
+            .sum()
     }
 }
 
 /// Record of one fused forward pass over a whole batch
 /// ([`crate::Network::forward_trace_batch`]).
 ///
-/// Activations are stored stacked: `inputs[i]` / `outputs[i]` have shape
-/// `[B] ++ layer_shape` (NCHW convention — sample `b` is the contiguous slab
-/// `b` of the leading dimension).  [`BatchTrace::trace`] slices one sample's
-/// activations back out as an ordinary [`ForwardTrace`]; because the fused
-/// kernels are bit-for-bit identical to the per-input path, the sliced trace
-/// equals `forward_trace` of that sample exactly, so the extraction algorithms
-/// in `ptolemy-core` can consume the slices without any tolerance.
+/// Activations are stored stacked, one tensor per boundary: boundary `i` has
+/// shape `[B] ++ layer_shape` (NCHW convention — sample `b` is the contiguous
+/// slab `b` of the leading dimension).  [`BatchTrace::trace`] slices one
+/// sample's activations back out as an ordinary [`ForwardTrace`]; because the
+/// fused kernels are bit-for-bit identical to the per-input path, the sliced
+/// trace equals `forward_trace` of that sample exactly, so the extraction
+/// algorithms in `ptolemy-core` can consume the slices without any tolerance.
 #[derive(Debug, Clone)]
 pub struct BatchTrace {
     batch_size: usize,
-    /// Stacked input activation of each layer (`[B] ++ layer_input_shape`).
-    pub inputs: Vec<Tensor>,
-    /// Stacked output activation of each layer (`[B] ++ layer_output_shape`).
-    pub outputs: Vec<Tensor>,
+    /// `activations[0]` is the stacked batch input; `activations[i + 1]` is
+    /// layer `i`'s stacked output.
+    activations: Vec<Tensor>,
 }
 
 impl BatchTrace {
-    /// Assembles a batch trace from stacked per-layer activations.
-    pub(crate) fn new(batch_size: usize, inputs: Vec<Tensor>, outputs: Vec<Tensor>) -> Self {
+    /// Assembles a batch trace from stacked activation boundaries.
+    pub(crate) fn new(batch_size: usize, activations: Vec<Tensor>) -> Self {
         BatchTrace {
             batch_size,
-            inputs,
-            outputs,
+            activations,
         }
     }
 
@@ -77,7 +221,30 @@ impl BatchTrace {
 
     /// Number of layers traced.
     pub fn num_layers(&self) -> usize {
-        self.outputs.len()
+        self.activations.len() - 1
+    }
+
+    /// All stacked activation boundaries (`[B] ++ boundary_shape` each).
+    pub fn activations(&self) -> &[Tensor] {
+        &self.activations
+    }
+
+    /// Stacked input activation of layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_layers()`.
+    pub fn input(&self, index: usize) -> &Tensor {
+        &self.activations[index]
+    }
+
+    /// Stacked output activation of layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_layers()`.
+    pub fn output(&self, index: usize) -> &Tensor {
+        &self.activations[index + 1]
     }
 
     /// Slices sample `index` out of the fused trace as a per-input
@@ -88,13 +255,12 @@ impl BatchTrace {
     ///
     /// Returns an error if `index >= batch_size()`.
     pub fn trace(&self, index: usize) -> Result<ForwardTrace> {
-        let slice_all = |tensors: &[Tensor]| -> Result<Vec<Tensor>> {
-            tensors.iter().map(|t| Ok(t.slice_batch(index)?)).collect()
-        };
-        Ok(ForwardTrace {
-            inputs: slice_all(&self.inputs)?,
-            outputs: slice_all(&self.outputs)?,
-        })
+        let activations = self
+            .activations
+            .iter()
+            .map(|t| Ok(t.slice_batch(index)?))
+            .collect::<Result<Vec<Tensor>>>()?;
+        ForwardTrace::from_activations(activations)
     }
 
     /// Final logits of sample `index`.
@@ -109,10 +275,19 @@ impl BatchTrace {
     /// never produces an empty trace for a non-empty network.
     pub fn logits(&self, index: usize) -> Result<Tensor> {
         Ok(self
-            .outputs
+            .activations
             .last()
             .expect("batch trace of a non-empty network")
             .slice_batch(index)?)
+    }
+
+    /// Total bytes of stacked activation data this materialized batch trace
+    /// holds resident.
+    pub fn activation_bytes(&self) -> usize {
+        self.activations
+            .iter()
+            .map(|t| t.len() * std::mem::size_of::<f32>())
+            .sum()
     }
 }
 
@@ -122,13 +297,54 @@ mod tests {
 
     #[test]
     fn trace_accessors() {
-        let trace = ForwardTrace {
-            inputs: vec![Tensor::zeros(&[4])],
-            outputs: vec![Tensor::from_vec(vec![0.1, 0.9, 0.0], &[3]).unwrap()],
-        };
+        let trace = ForwardTrace::from_activations(vec![
+            Tensor::zeros(&[4]),
+            Tensor::from_vec(vec![0.1, 0.9, 0.0], &[3]).unwrap(),
+        ])
+        .unwrap();
         assert_eq!(trace.num_layers(), 1);
-        assert_eq!(trace.predicted_class(), 1);
+        assert_eq!(trace.predicted_class().unwrap(), 1);
         assert_eq!(trace.logits().len(), 3);
+        assert_eq!(trace.input(0).len(), 4);
+        assert_eq!(trace.output(0).len(), 3);
+        assert_eq!(trace.activations().len(), 2);
+        assert_eq!(trace.activation_bytes(), (4 + 3) * 4);
+        assert!(ForwardTrace::from_activations(vec![Tensor::zeros(&[4])]).is_err());
+    }
+
+    #[test]
+    fn predicted_class_rejects_degenerate_logits() {
+        // All-NaN logits must error instead of silently classifying as 0.
+        let nan = Tensor::from_vec(vec![f32::NAN, f32::NAN], &[2]).unwrap();
+        assert!(matches!(
+            predicted_class(&nan),
+            Err(NnError::InvalidLogits(_))
+        ));
+        // An empty logits tensor errors too.
+        let empty = Tensor::zeros(&[0]);
+        assert!(matches!(
+            predicted_class(&empty),
+            Err(NnError::InvalidLogits(_))
+        ));
+        // Infinities stay totally ordered: a saturated +inf logit wins exactly
+        // as it does under argmax (Network::predict must agree with the
+        // detection pipeline's predicted class).
+        let saturated = Tensor::from_vec(vec![0.0, f32::INFINITY], &[2]).unwrap();
+        assert_eq!(
+            predicted_class(&saturated).unwrap(),
+            saturated.argmax().unwrap()
+        );
+        let mixed = Tensor::from_vec(vec![f32::NAN, 0.25, f32::INFINITY], &[3]).unwrap();
+        assert_eq!(predicted_class(&mixed).unwrap(), 2);
+        // NaN entries are skipped, never poisoning later comparisons.
+        let nan_first = Tensor::from_vec(vec![f32::NAN, 2.0, 1.0], &[3]).unwrap();
+        assert_eq!(predicted_class(&nan_first).unwrap(), 1);
+        // Plain finite logits match argmax exactly.
+        let plain = Tensor::from_vec(vec![0.1, 0.9, 0.0], &[3]).unwrap();
+        assert_eq!(predicted_class(&plain).unwrap(), plain.argmax().unwrap());
+        // Ties keep the first index, like argmax.
+        let tie = Tensor::from_vec(vec![0.7, 0.7], &[2]).unwrap();
+        assert_eq!(predicted_class(&tie).unwrap(), 0);
     }
 
     #[test]
@@ -136,15 +352,33 @@ mod tests {
         // Two samples, one layer: inputs [2, 4], outputs [2, 3].
         let inputs = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 4]).unwrap();
         let outputs = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]).unwrap();
-        let batch = BatchTrace::new(2, vec![inputs], vec![outputs]);
+        let batch = BatchTrace::new(2, vec![inputs, outputs]);
         assert_eq!(batch.batch_size(), 2);
         assert_eq!(batch.num_layers(), 1);
+        assert_eq!(batch.input(0).dims(), &[2, 4]);
+        assert_eq!(batch.output(0).dims(), &[2, 3]);
+        assert_eq!(batch.activation_bytes(), (8 + 6) * 4);
         let t0 = batch.trace(0).unwrap();
-        assert_eq!(t0.inputs[0].as_slice(), &[0.0, 1.0, 2.0, 3.0]);
-        assert_eq!(t0.predicted_class(), 1);
+        assert_eq!(t0.input(0).as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t0.predicted_class().unwrap(), 1);
         let t1 = batch.trace(1).unwrap();
-        assert_eq!(t1.predicted_class(), 0);
+        assert_eq!(t1.predicted_class().unwrap(), 0);
         assert_eq!(batch.logits(1).unwrap().as_slice(), &[0.7, 0.2, 0.1]);
         assert!(batch.trace(2).is_err());
+    }
+
+    #[test]
+    fn recorder_sink_materializes_all_boundaries() {
+        let mut recorder = TraceRecorder::with_capacity(2);
+        let x = Tensor::zeros(&[4]);
+        let h = Tensor::ones(&[3]);
+        let y = Tensor::full(&[2], 0.5);
+        recorder.on_input(&x);
+        recorder.on_layer(0, &h);
+        recorder.on_layer(1, &y);
+        let trace = ForwardTrace::from_activations(recorder.activations).unwrap();
+        assert_eq!(trace.num_layers(), 2);
+        assert_eq!(trace.input(1).as_slice(), h.as_slice());
+        assert_eq!(trace.logits().as_slice(), y.as_slice());
     }
 }

@@ -19,11 +19,15 @@
 //!   [`ptolemy_core::SoftwareBackend`] engine is capped through its op counts,
 //!   an accelerator-bound engine through the cycle model's modelled
 //!   milliseconds.
-//! * **Fused batch execution** — each formed batch runs through
+//! * **Streamed fused batch execution** — each formed batch runs through
 //!   [`ptolemy_core::DetectionEngine::detect_batch_with_paths`]: one batched
-//!   NCHW `im2col`/matmul forward trace prices the whole batch (tier 1, and
-//!   again for the uncertain sliver on tier 2) instead of per-input traces,
-//!   so batch forming buys real kernel fusion, not just shared scheduling.
+//!   NCHW `im2col`/matmul forward pass (tier 1, and again for the uncertain
+//!   sliver on tier 2) whose activation paths are extracted **while the pass
+//!   runs** ([`ptolemy_core::extract_paths_streaming_batch`]) — stacked
+//!   boundaries are masked and released eagerly instead of materialising a
+//!   full trace, so batch forming buys kernel fusion *and* O(retained
+//!   boundaries) peak activation memory per worker, not just shared
+//!   scheduling.
 //! * **Two-tier routing** ([`ServerBuilder::escalate`]) — a cheap screening
 //!   engine (e.g. an FwAb program) serves everything; inputs whose screening
 //!   score falls in an uncertainty band are re-scored by an expensive engine

@@ -492,12 +492,13 @@ fn finish(shared: &Shared, request: &InFlight, outcome: Result<Served>) {
 ///
 /// 1. exact-duplicate fast path per request (byte-identical repeats resolve
 ///    straight from the cache, skipping even the screening extraction);
-/// 2. one fused tier-1 trace over the whole remainder
+/// 2. one streamed fused tier-1 pass over the whole remainder
 ///    ([`DetectionEngine::detect_batch_with_paths`] — a single batched
-///    im2col/matmul trace instead of per-input traces);
+///    im2col/matmul forward pass whose paths are extracted in-flight, stacked
+///    activations released eagerly instead of materialising a trace);
 /// 3. per-request path-prefix cache lookup and uncertainty-band routing;
-/// 4. one fused tier-2 trace over the uncertain sliver, cache fills, ticket
-///    resolution.
+/// 4. one streamed fused tier-2 pass over the uncertain sliver, cache fills,
+///    ticket resolution.
 ///
 /// With the cache disabled the results are bit-for-bit what direct engine
 /// calls produce: `screen.detect(input)` when the score is outside the

@@ -129,15 +129,17 @@ proptest! {
             let single = fx.network.forward_trace(input).unwrap();
             let sliced = batch_trace.trace(b).unwrap();
             for layer in 0..single.num_layers() {
-                let outputs_match = sliced.outputs[layer]
+                let outputs_match = sliced
+                    .output(layer)
                     .as_slice()
                     .iter()
-                    .zip(single.outputs[layer].as_slice())
+                    .zip(single.output(layer).as_slice())
                     .all(|(f, s)| f.to_bits() == s.to_bits());
-                let inputs_match = sliced.inputs[layer]
+                let inputs_match = sliced
+                    .input(layer)
                     .as_slice()
                     .iter()
-                    .zip(single.inputs[layer].as_slice())
+                    .zip(single.input(layer).as_slice())
                     .all(|(f, s)| f.to_bits() == s.to_bits());
                 prop_assert!(
                     outputs_match && inputs_match,
