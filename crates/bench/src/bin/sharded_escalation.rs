@@ -1,0 +1,23 @@
+//! Runs the beyond-paper sharded-escalation experiment (single tier-2
+//! escalation engine vs class-path shards, serial vs pipelined against the
+//! next batch's screening, with bit-parity and shard-routing shape checks).
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin sharded_escalation`;
+//! set `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+use ptolemy_bench::{experiments, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    match experiments::sharded_escalation::run(scale) {
+        Ok(tables) => {
+            for table in tables {
+                println!("{table}");
+            }
+        }
+        Err(error) => {
+            eprintln!("experiment failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`serve_throughput`] | beyond the paper — serving-runtime throughput |
 //! | [`batch_fusion`] | beyond the paper — fused batched trace vs per-input loop |
 //! | [`extraction_overlap`] | beyond the paper — streaming extraction vs materialized trace |
+//! | [`sharded_escalation`] | beyond the paper — sharded, pipelined tier-2 escalation |
 
 pub mod batch_fusion;
 pub mod extraction_overlap;
@@ -40,6 +41,7 @@ pub mod sec7a_overhead;
 pub mod sec7g_scaling;
 pub mod sec7h_large_models;
 pub mod serve_throughput;
+pub mod sharded_escalation;
 pub mod tab02_theta_sensitivity;
 
 use crate::{BenchResult, BenchScale, Table};
@@ -147,6 +149,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artifact: "beyond paper: streaming extraction overlap",
             run: extraction_overlap::run,
         },
+        Experiment {
+            id: "sharded_escalation",
+            paper_artifact: "beyond paper: sharded, pipelined tier-2 escalation",
+            run: sharded_escalation::run,
+        },
     ]
 }
 
@@ -157,11 +164,11 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact_once() {
         let experiments = all();
-        assert_eq!(experiments.len(), 18);
+        assert_eq!(experiments.len(), 19);
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18, "duplicate experiment ids");
+        assert_eq!(ids.len(), 19, "duplicate experiment ids");
         assert!(experiments.iter().all(|e| !e.paper_artifact.is_empty()));
     }
 }

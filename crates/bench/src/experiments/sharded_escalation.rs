@@ -1,0 +1,309 @@
+//! Beyond the paper — sharded, pipelined tier-2 escalation: the PR 2 serving
+//! runtime's single escalation engine vs class-path shards
+//! (`ClassPathSet::shard`) with the tier-2 sliver pipelined against the next
+//! batch's screening.
+//!
+//! The workload forces every input through tier 2 (escalate-all band, cache
+//! off), so the comparison isolates the tier-2 execution model:
+//!
+//! * **serial unsharded** — the PR 2/3 shape: one escalation engine, the
+//!   sliver runs inline after its own batch's screen;
+//! * **serial sharded** — the sliver splits across shard engines by screened
+//!   class, still inline;
+//! * **pipelined sharded** — the sliver is handed to the worker's bounded
+//!   overlap thread, so tier-2 extraction of batch *k* runs concurrently with
+//!   tier-1 screening of batch *k+1* (the `TraceSink` streaming drivers keep
+//!   the in-flight sliver at its retained boundaries only).
+//!
+//! Shapes to check: whatever the mode, served verdicts are **bit-for-bit**
+//! the unsharded escalation engine's direct verdicts (checked per mode, not
+//! assumed); escalations spread across the shards; and pipelined tier-2
+//! throughput is no worse than serial tier-2 (within wall-clock noise — the
+//! modes execute identical arithmetic, pipelining only overlaps it).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ptolemy_attacks::Fgsm;
+use ptolemy_core::{variants, DetectionEngine};
+use ptolemy_serve::{BatchPolicy, Served, Server, ServerBuilder, Ticket};
+use ptolemy_tensor::Tensor;
+
+use crate::{fmt3, BenchResult, BenchScale, Table, Workbench};
+
+/// Shard counts exercised by the shard-routing table.
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+
+/// Timing rounds per mode: interleaved fastest-of rounds, so a scheduler
+/// hiccup landing on one mode cannot flip the comparison.
+const TIMING_ROUNDS: usize = 5;
+
+fn duplication(scale: BenchScale) -> usize {
+    match scale {
+        BenchScale::Quick => 4,
+        BenchScale::Full => 16,
+    }
+}
+
+/// One serving mode under measurement.
+struct Mode {
+    label: &'static str,
+    shards: usize,
+    pipelined: bool,
+}
+
+const MODES: [Mode; 3] = [
+    Mode {
+        label: "serial, unsharded (1 engine)",
+        shards: 1,
+        pipelined: false,
+    },
+    Mode {
+        label: "serial, sharded (2 engines)",
+        shards: 2,
+        pipelined: false,
+    },
+    Mode {
+        label: "pipelined, sharded (2 engines)",
+        shards: 2,
+        pipelined: true,
+    },
+];
+
+/// Escalation shard engines over `full`'s canary set, forest and threshold.
+fn shard_engines(
+    network: &Arc<ptolemy_nn::Network>,
+    full: &DetectionEngine,
+    n: usize,
+) -> BenchResult<Vec<Arc<DetectionEngine>>> {
+    full.class_paths()
+        .shard(n)?
+        .into_iter()
+        .map(|paths| {
+            Ok(Arc::new(
+                DetectionEngine::builder(network.clone(), full.program().clone(), paths)
+                    .forest(full.forest().expect("calibrated engine").clone())
+                    .threshold(full.threshold())
+                    .build()?,
+            ))
+        })
+        .collect()
+}
+
+fn server(
+    screen: &Arc<DetectionEngine>,
+    shards: Vec<Arc<DetectionEngine>>,
+    pipelined: bool,
+    queue: usize,
+) -> BenchResult<Server> {
+    // One worker and eagerly-cut small batches: the pipeline (worker screens
+    // batch k+1 while the overlap thread escalates batch k) is then the only
+    // source of concurrency between the tiers, which is what this experiment
+    // measures.
+    let builder: ServerBuilder = Server::builder(screen.clone())
+        .escalate_sharded(shards, 0.0, 1.0) // everything escalates
+        .workers(1)
+        .queue_capacity(queue)
+        .batch_policy(BatchPolicy {
+            max_batch: 4,
+            latency_budget: Duration::ZERO,
+            ..BatchPolicy::default()
+        })
+        .pipeline_escalation(pipelined);
+    Ok(builder.start()?)
+}
+
+fn serve_all(server: &Server, workload: &[Tensor]) -> BenchResult<Vec<Served>> {
+    let tickets: Vec<Ticket> = workload
+        .iter()
+        .map(|input| server.submit(input.clone()))
+        .collect::<Result<_, _>>()?;
+    Ok(tickets
+        .into_iter()
+        .map(Ticket::wait)
+        .collect::<Result<_, _>>()?)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates workbench, engine and server errors.
+pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
+    let wb = Workbench::lenet_small(scale)?;
+    let screen_program = variants::fw_ab(&wb.network, 0.05)?;
+    let expensive_program = variants::bw_cu(&wb.network, 0.5)?;
+    let screen_paths = wb.profile(&screen_program)?;
+    let expensive_paths = wb.profile(&expensive_program)?;
+
+    let limit = wb.scale.attack_samples();
+    let benign = wb.benign_inputs(limit);
+    let adversarial = wb.adversarial_inputs(&Fgsm::new(0.25), limit)?;
+
+    let screen = Arc::new(
+        DetectionEngine::builder(wb.network.clone(), screen_program, screen_paths)
+            .calibrate(&benign, &adversarial)
+            .build()?,
+    );
+    let full = Arc::new(
+        DetectionEngine::builder(wb.network.clone(), expensive_program, expensive_paths)
+            .calibrate(&benign, &adversarial)
+            .build()?,
+    );
+
+    let mut workload = Vec::new();
+    for _ in 0..duplication(scale) {
+        for (b, a) in benign.iter().zip(&adversarial) {
+            workload.push(b.clone());
+            workload.push(a.clone());
+        }
+    }
+
+    // Direct tier-2 verdicts: the parity baseline every mode must reproduce.
+    let direct: Vec<_> = workload
+        .iter()
+        .map(|input| full.detect(input))
+        .collect::<Result<_, _>>()?;
+
+    let mut table = Table::new(
+        "Sharded, pipelined tier-2 escalation — FwAb screen, BwCu escalation, \
+         escalate-all band (1 worker, batch cap 4)",
+    )
+    .header([
+        "tier-2 mode",
+        "throughput (inputs/s)",
+        "vs serial unsharded",
+        "escalated",
+        "pipelined/serial batches",
+        "bit parity",
+    ]);
+
+    let mut parity_everywhere = true;
+    let mut pipelined_ok = true;
+    let mut throughputs = [0.0f64; MODES.len()];
+    // Interleave the modes across timing rounds; keep each mode's fastest.
+    let mut best_ms = [f64::INFINITY; MODES.len()];
+    for _ in 0..TIMING_ROUNDS {
+        for (index, mode) in MODES.iter().enumerate() {
+            let shards = shard_engines(&wb.network, &full, mode.shards)?;
+            let server = server(&screen, shards, mode.pipelined, workload.len())?;
+            let start = Instant::now();
+            serve_all(&server, &workload)?;
+            best_ms[index] = best_ms[index].min(start.elapsed().as_secs_f64() * 1000.0);
+            server.shutdown();
+        }
+    }
+    for (index, mode) in MODES.iter().enumerate() {
+        // A fresh (untimed) pass per mode for parity and the counters.
+        let shards = shard_engines(&wb.network, &full, mode.shards)?;
+        let server = server(&screen, shards, mode.pipelined, workload.len())?;
+        let served = serve_all(&server, &workload)?;
+        let stats = server.shutdown();
+
+        let parity = served.iter().zip(&direct).all(|(served, direct)| {
+            served.detection.score.to_bits() == direct.score.to_bits()
+                && served.detection.similarity.to_bits() == direct.similarity.to_bits()
+                && served.detection.is_adversary == direct.is_adversary
+                && served.detection.predicted_class == direct.predicted_class
+        });
+        parity_everywhere &= parity;
+
+        let throughput = workload.len() as f64 / (best_ms[index] / 1000.0).max(1e-9);
+        throughputs[index] = throughput;
+        table.row([
+            mode.label.to_string(),
+            fmt3(throughput as f32),
+            format!("{:.3}x", throughput / throughputs[0].max(1e-9)),
+            stats.escalated.to_string(),
+            format!("{}/{}", stats.pipelined_batches, stats.serial_batches),
+            if parity { "bit-for-bit" } else { "DIVERGED" }.to_string(),
+        ]);
+    }
+    // The acceptance bar: pipelined tier-2 throughput no worse than serial
+    // tier-2 (same sharding), within 5% of wall-clock noise.
+    if throughputs[2] < 0.95 * throughputs[1] {
+        pipelined_ok = false;
+    }
+    table.note(format!(
+        "{} inputs per pass, fastest of {TIMING_ROUNDS} interleaved rounds per mode; \
+         {} core(s) — on a single core the pipeline has no spare core to overlap \
+         on and degrades to parity, the win appears with the second core",
+        workload.len(),
+        ptolemy_nn::available_parallelism(),
+    ));
+
+    // Shard routing: escalations spread across shards by screened class.
+    let mut routing = Table::new("Shard routing — escalations per tier-2 shard (pipelined)")
+        .header(["shards", "per-shard escalations", "sum == escalated"]);
+    let mut routing_ok = true;
+    for &n in &SHARD_COUNTS {
+        let shards = shard_engines(&wb.network, &full, n)?;
+        let server = server(&screen, shards, true, workload.len())?;
+        serve_all(&server, &workload)?;
+        let stats = server.shutdown();
+        let spread = stats.shard_escalations.iter().filter(|&&c| c > 0).count();
+        routing_ok &= stats.shard_escalations.iter().sum::<u64>() == stats.escalated;
+        // With 4 classes in the workload every 2-shard split must use both
+        // shards; a 4-shard split uses as many as the workload's classes.
+        routing_ok &= spread >= 2;
+        routing.row([
+            n.to_string(),
+            format!("{:?}", stats.shard_escalations),
+            (stats.shard_escalations.iter().sum::<u64>() == stats.escalated).to_string(),
+        ]);
+    }
+
+    let mut summary = Table::new("Sharded escalation — shape checks");
+    summary.note(format!(
+        "shape check — served verdicts bit-for-bit identical to the unsharded \
+         escalation engine in every mode: {}",
+        if parity_everywhere {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    summary.note(format!(
+        "shape check — escalations route across shards and sum to the tier-2 \
+         total: {}",
+        if routing_ok { "holds" } else { "VIOLATED" }
+    ));
+    summary.note(format!(
+        "shape check — pipelined tier-2 throughput no worse than serial \
+         (within 5% timing noise): {}",
+        if pipelined_ok { "holds" } else { "VIOLATED" }
+    ));
+    Ok(vec![table, routing, summary])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_pipeline_is_bit_identical_and_routes_across_shards() {
+        let tables = run(BenchScale::Quick).unwrap();
+        assert_eq!(tables.len(), 3);
+        let summary = tables[2].to_string();
+        // Deterministic checks: parity and shard routing must hold on any
+        // machine.
+        assert!(
+            summary.contains("in every mode: holds"),
+            "bit parity shape check failed:\n{summary}"
+        );
+        assert!(
+            summary.contains("tier-2 total: holds"),
+            "shard routing shape check failed:\n{summary}"
+        );
+        // The throughput comparison is wall-clock and can lose on a heavily
+        // oversubscribed test runner; in the test it is advisory, the
+        // release-built experiment binary is where the acceptance number is
+        // read.
+        if summary.contains("timing noise): VIOLATED") {
+            eprintln!(
+                "warning: pipelined tier-2 slower than serial in this \
+                 environment (timing-dependent):\n{summary}"
+            );
+        }
+    }
+}

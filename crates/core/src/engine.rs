@@ -616,6 +616,17 @@ impl DetectionEngineBuilder {
     /// [`DetectionEngineBuilder::calibrate`] serve raw path similarities only;
     /// their `detect*` methods return an error.
     ///
+    /// A *shard* of a canary set ([`ClassPathSet::shard`]) builds exactly like
+    /// the complete set — shards keep the full positional structure, so every
+    /// validation here applies unchanged — but the resulting engine refuses
+    /// (with [`CoreError::InvalidInput`]) to score inputs whose predicted
+    /// class the shard does not own.  Because of that, shard engines should be
+    /// given the complete engine's fitted classifier via
+    /// [`DetectionEngineBuilder::forest`] (and its threshold) rather than
+    /// re-calibrated: calibration inputs predicting non-owned classes would
+    /// error, and bit-for-bit parity with the complete engine requires the
+    /// identical forest anyway.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidProgram`] on a fingerprint or layout

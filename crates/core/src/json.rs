@@ -1,15 +1,17 @@
-//! A minimal JSON reader/writer for the class-path artifact.
+//! A minimal JSON reader/writer for the workspace's on-disk artifacts.
 //!
-//! The workspace builds without crates.io access, so the `ClassPathSet`
-//! serialisation in [`crate::path`] uses this hand-rolled module instead of
-//! `serde_json`.  Only the subset the artifact needs is supported: objects,
-//! arrays, strings and unsigned integers.
+//! The workspace builds without crates.io access, so the [`crate::ClassPathSet`]
+//! serialisation and the `ptolemy-serve` persisted result cache use this
+//! hand-rolled module instead of `serde_json`.  Only the subset the artifacts
+//! need is supported: objects, arrays, strings and unsigned integers — floats
+//! are stored as hex-encoded IEEE-754 bit patterns by the callers, which is
+//! what makes the artifacts round-trip bit-exactly.
 
 use std::fmt::Write as _;
 
 /// A parsed JSON value (artifact subset: no floats, booleans or nulls).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum JsonValue {
+pub enum JsonValue {
     /// A string literal.
     String(String),
     /// An unsigned integer.
@@ -22,7 +24,7 @@ pub(crate) enum JsonValue {
 
 impl JsonValue {
     /// Looks up a key in an object value.
-    pub(crate) fn get(&self, key: &str) -> Option<&JsonValue> {
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
             JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -30,7 +32,7 @@ impl JsonValue {
     }
 
     /// The string payload, if this value is a string.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonValue::String(s) => Some(s),
             _ => None,
@@ -38,7 +40,7 @@ impl JsonValue {
     }
 
     /// The integer payload, if this value is an unsigned integer.
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             JsonValue::UInt(n) => Some(*n),
             _ => None,
@@ -46,7 +48,7 @@ impl JsonValue {
     }
 
     /// The element list, if this value is an array.
-    pub(crate) fn as_array(&self) -> Option<&[JsonValue]> {
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
         match self {
             JsonValue::Array(items) => Some(items),
             _ => None,
@@ -54,7 +56,7 @@ impl JsonValue {
     }
 
     /// Serialises the value to compact JSON text.
-    pub(crate) fn to_json(&self) -> String {
+    pub fn to_json(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);
         out
@@ -110,7 +112,7 @@ fn write_string(s: &str, out: &mut String) {
 }
 
 /// Parses a JSON document (artifact subset).
-pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+pub fn parse(text: &str) -> Result<JsonValue, String> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,

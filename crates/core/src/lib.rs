@@ -96,7 +96,7 @@ mod cost;
 pub mod engine;
 mod error;
 mod extraction;
-mod json;
+pub mod json;
 mod parallel;
 mod path;
 mod profile;

@@ -220,31 +220,181 @@ impl ClassPath {
 }
 
 /// The complete set of canary class paths produced by offline profiling.
+///
+/// A set is either *complete* (it owns a canary path for every class — what
+/// [`crate::Profiler`] produces) or a *shard* of a complete set, produced by
+/// [`ClassPathSet::shard`] / [`ClassPathSet::subset`].  A shard keeps the full
+/// positional structure — one entry per class, so engines built from it
+/// validate exactly like the complete set — but owns real canary paths only
+/// for its assigned classes; the other entries are empty structural
+/// placeholders, and [`ClassPathSet::class_path`] refuses to serve them.
+/// Sharding lets a many-class deployment split its canary memory and tier-2
+/// escalation work across several engines, with a router sending each input to
+/// the shard owning its predicted class.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassPathSet {
-    /// One canary path per class, indexed by class id.
+    /// One canary path per class, indexed by class id.  For a shard, entries of
+    /// non-owned classes are empty placeholders with the correct mask layout.
     pub class_paths: Vec<ClassPath>,
     /// Fingerprint of the detection program used during profiling; detection must
     /// use the same program (paper Fig. 4: "the path extraction methods in both the
     /// offline and online phases must match").
     pub program_fingerprint: String,
+    /// `Some(classes)` (sorted, deduplicated) when this set is a shard owning
+    /// only those classes; `None` for a complete set that owns every class.
+    pub(crate) shard_classes: Option<Vec<usize>>,
 }
 
 impl ClassPathSet {
+    /// Creates a complete (unsharded) set from per-class canary paths and the
+    /// fingerprint of the program that profiled them.
+    pub fn new(class_paths: Vec<ClassPath>, program_fingerprint: String) -> Self {
+        ClassPathSet {
+            class_paths,
+            program_fingerprint,
+            shard_classes: None,
+        }
+    }
+
     /// Canary path of a class.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidInput`] if the class is out of range.
+    /// Returns [`CoreError::InvalidInput`] if the class is out of range, or if
+    /// this set is a shard that does not own the class (the entry would be an
+    /// empty placeholder, and comparing against it would silently report zero
+    /// similarity instead of the true canary overlap — a misrouted lookup must
+    /// fail loudly).
     pub fn class_path(&self, class: usize) -> Result<&ClassPath> {
-        self.class_paths
+        let class_path = self
+            .class_paths
             .get(class)
-            .ok_or_else(|| CoreError::InvalidInput(format!("class {class} has no canary path")))
+            .ok_or_else(|| CoreError::InvalidInput(format!("class {class} has no canary path")))?;
+        if !self.owns(class) {
+            return Err(CoreError::InvalidInput(format!(
+                "class {class} is owned by a different shard of this canary set \
+                 (this shard owns {:?})",
+                self.shard_classes.as_deref().unwrap_or(&[])
+            )));
+        }
+        Ok(class_path)
     }
 
-    /// Number of classes covered.
+    /// Number of classes covered (the *total* class count of the profiled
+    /// task, identical for a complete set and every shard of it).
     pub fn num_classes(&self) -> usize {
         self.class_paths.len()
+    }
+
+    /// `true` if this set holds a real canary path for `class` (always true
+    /// for in-range classes of a complete set).
+    pub fn owns(&self, class: usize) -> bool {
+        class < self.class_paths.len()
+            && self
+                .shard_classes
+                .as_ref()
+                .map_or(true, |owned| owned.binary_search(&class).is_ok())
+    }
+
+    /// The classes this set is a shard of, or `None` for a complete set.
+    pub fn shard_classes(&self) -> Option<&[usize]> {
+        self.shard_classes.as_deref()
+    }
+
+    /// The classes this set owns a real canary path for: every class for a
+    /// complete set, the assigned subset for a shard.
+    pub fn owned_classes(&self) -> Vec<usize> {
+        match &self.shard_classes {
+            Some(owned) => owned.clone(),
+            None => (0..self.class_paths.len()).collect(),
+        }
+    }
+
+    /// Splits the owned classes into `n` shards (round-robin: shard `i` owns
+    /// every `i + k·n`-th owned class), each a [`ClassPathSet`] with the full
+    /// positional structure but only its assigned canary paths.  Together the
+    /// shards partition this set's owned classes, so `n` escalation engines
+    /// built from them can split a many-class model's canary memory and
+    /// detection work while a router sends each input to the shard owning its
+    /// predicted class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if `n` is zero or exceeds the
+    /// number of owned classes (a shard owning nothing could never serve).
+    pub fn shard(&self, n: usize) -> Result<Vec<ClassPathSet>> {
+        let owned = self.owned_classes();
+        if n == 0 {
+            return Err(CoreError::InvalidInput(
+                "cannot split a canary set into zero shards".into(),
+            ));
+        }
+        if n > owned.len() {
+            return Err(CoreError::InvalidInput(format!(
+                "cannot split {} owned classes into {n} shards (every shard must own at \
+                 least one class)",
+                owned.len()
+            )));
+        }
+        (0..n)
+            .map(|i| {
+                let classes: Vec<usize> = owned.iter().copied().skip(i).step_by(n).collect();
+                self.subset(&classes)
+            })
+            .collect()
+    }
+
+    /// A shard of this set owning exactly `classes`: the returned set has the
+    /// same positional structure and program fingerprint, real canary paths
+    /// for `classes`, and empty structural placeholders everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if `classes` is empty, contains a
+    /// duplicate, or names a class this set does not own.
+    pub fn subset(&self, classes: &[usize]) -> Result<ClassPathSet> {
+        if classes.is_empty() {
+            return Err(CoreError::InvalidInput(
+                "a canary-set shard must own at least one class".into(),
+            ));
+        }
+        let mut owned: Vec<usize> = classes.to_vec();
+        owned.sort_unstable();
+        owned.dedup();
+        if owned.len() != classes.len() {
+            return Err(CoreError::InvalidInput(
+                "duplicate class in canary-set shard".into(),
+            ));
+        }
+        for &class in &owned {
+            if !self.owns(class) {
+                return Err(CoreError::InvalidInput(format!(
+                    "cannot shard class {class}: this set does not own it"
+                )));
+            }
+        }
+        let class_paths = self
+            .class_paths
+            .iter()
+            .map(|class_path| {
+                if owned.binary_search(&class_path.class).is_ok() {
+                    class_path.clone()
+                } else {
+                    let layout: Vec<(usize, usize)> = class_path
+                        .path()
+                        .segments()
+                        .iter()
+                        .map(|seg| (seg.layer, seg.mask.len()))
+                        .collect();
+                    ClassPath::empty(class_path.class, &layout)
+                }
+            })
+            .collect();
+        Ok(ClassPathSet {
+            class_paths,
+            program_fingerprint: self.program_fingerprint.clone(),
+            shard_classes: Some(owned),
+        })
     }
 
     /// Serialises the class-path set to a JSON string (the artifact the paper ships
@@ -285,14 +435,20 @@ impl ClassPathSet {
                 ])
             })
             .collect();
-        let doc = JsonValue::Object(vec![
+        let mut fields = vec![
             (
                 "program_fingerprint".into(),
                 JsonValue::String(self.program_fingerprint.clone()),
             ),
             ("class_paths".into(), JsonValue::Array(class_paths)),
-        ]);
-        Ok(doc.to_json())
+        ];
+        if let Some(owned) = &self.shard_classes {
+            fields.push((
+                "shard_classes".into(),
+                JsonValue::Array(owned.iter().map(|c| JsonValue::UInt(*c as u64)).collect()),
+            ));
+        }
+        Ok(JsonValue::Object(fields).to_json())
     }
 
     /// Restores a class-path set from JSON.
@@ -368,9 +524,33 @@ impl ClassPathSet {
                 path: ActivationPath { segments },
             });
         }
+        let shard_classes = match doc.get("shard_classes") {
+            None => None,
+            Some(value) => {
+                let owned = value
+                    .as_array()
+                    .ok_or_else(|| invalid("shard_classes must be an array"))?
+                    .iter()
+                    .map(|c| {
+                        c.as_u64()
+                            .map(|c| c as usize)
+                            .ok_or_else(|| invalid("invalid shard class id"))
+                    })
+                    .collect::<Result<Vec<usize>>>()?;
+                let sorted = owned.windows(2).all(|w| w[0] < w[1])
+                    && owned.iter().all(|c| *c < class_paths.len());
+                if owned.is_empty() || !sorted {
+                    return Err(invalid(
+                        "shard_classes must be non-empty, strictly increasing and in range",
+                    ));
+                }
+                Some(owned)
+            }
+        };
         Ok(ClassPathSet {
             class_paths,
             program_fingerprint,
+            shard_classes,
         })
     }
 }
@@ -512,10 +692,7 @@ mod tests {
     fn class_path_set_lookup_and_json_roundtrip() {
         let mut cp = ClassPath::empty(0, &[(1, 10), (3, 20)]);
         cp.aggregate(&path_with(&[(0, 4)])).unwrap();
-        let set = ClassPathSet {
-            class_paths: vec![cp],
-            program_fingerprint: "bwcu-theta0.5".into(),
-        };
+        let set = ClassPathSet::new(vec![cp], "bwcu-theta0.5".into());
         assert_eq!(set.num_classes(), 1);
         assert!(set.class_path(0).is_ok());
         assert!(set.class_path(1).is_err());
@@ -523,6 +700,99 @@ mod tests {
         let restored = ClassPathSet::from_json(&json).unwrap();
         assert_eq!(restored, set);
         assert!(ClassPathSet::from_json("not json").is_err());
+    }
+
+    /// A 5-class set whose class `c` canary has bit `c` set on segment 0.
+    fn five_class_set() -> ClassPathSet {
+        let class_paths = (0..5)
+            .map(|c| {
+                let mut cp = ClassPath::empty(c, &[(1, 10), (3, 20)]);
+                cp.aggregate(&path_with(&[(0, c)])).unwrap();
+                cp
+            })
+            .collect();
+        ClassPathSet::new(class_paths, "fp".into())
+    }
+
+    #[test]
+    fn shards_partition_owned_classes_and_keep_structure() {
+        let set = five_class_set();
+        assert!(set.shard_classes().is_none());
+        assert_eq!(set.owned_classes(), vec![0, 1, 2, 3, 4]);
+
+        for n in 1..=5usize {
+            let shards = set.shard(n).unwrap();
+            assert_eq!(shards.len(), n);
+            let mut seen = vec![0usize; set.num_classes()];
+            for shard in &shards {
+                // Full positional structure and fingerprint survive sharding.
+                assert_eq!(shard.num_classes(), set.num_classes());
+                assert_eq!(shard.program_fingerprint, set.program_fingerprint);
+                for &class in shard.shard_classes().unwrap() {
+                    seen[class] += 1;
+                    assert!(shard.owns(class));
+                    // Owned canaries are bit-for-bit the original ones.
+                    assert_eq!(
+                        shard.class_path(class).unwrap(),
+                        set.class_path(class).unwrap()
+                    );
+                }
+            }
+            // Every class is owned by exactly one shard.
+            assert!(seen.iter().all(|&count| count == 1), "{seen:?}");
+        }
+    }
+
+    #[test]
+    fn shard_lookups_outside_ownership_fail_loudly() {
+        let set = five_class_set();
+        let shard = set.subset(&[1, 4]).unwrap();
+        assert!(shard.owns(1) && shard.owns(4));
+        assert!(!shard.owns(0) && !shard.owns(5));
+        assert!(shard.class_path(1).is_ok());
+        // A misrouted lookup must error, not silently compare against the
+        // empty placeholder.
+        assert!(shard.class_path(0).is_err());
+        assert!(shard.class_path(9).is_err());
+        // The placeholder still has the full mask layout (engine construction
+        // validates structure positionally).
+        assert_eq!(shard.class_paths[0].path().total_bits(), 30);
+        assert_eq!(shard.class_paths[0].count_ones(), 0);
+    }
+
+    #[test]
+    fn invalid_shard_requests_are_rejected() {
+        let set = five_class_set();
+        assert!(set.shard(0).is_err());
+        assert!(set.shard(6).is_err());
+        assert!(set.subset(&[]).is_err());
+        assert!(set.subset(&[2, 2]).is_err());
+        assert!(set.subset(&[5]).is_err());
+        // A shard can be re-sharded, but only within its own classes.
+        let shard = set.subset(&[1, 3, 4]).unwrap();
+        assert!(shard.subset(&[1, 4]).is_ok());
+        assert!(shard.subset(&[0]).is_err());
+        let halves = shard.shard(2).unwrap();
+        assert_eq!(halves[0].shard_classes(), Some(&[1, 4][..]));
+        assert_eq!(halves[1].shard_classes(), Some(&[3][..]));
+    }
+
+    #[test]
+    fn shard_json_roundtrip_preserves_ownership() {
+        let set = five_class_set();
+        let shard = set.subset(&[0, 2]).unwrap();
+        let restored = ClassPathSet::from_json(&shard.to_json().unwrap()).unwrap();
+        assert_eq!(restored, shard);
+        assert_eq!(restored.shard_classes(), Some(&[0, 2][..]));
+
+        // Out-of-range / unsorted shard metadata must not load.
+        let json = shard.to_json().unwrap();
+        let out_of_range = json.replace("\"shard_classes\":[0,2]", "\"shard_classes\":[0,9]");
+        assert!(ClassPathSet::from_json(&out_of_range).is_err());
+        let unsorted = json.replace("\"shard_classes\":[0,2]", "\"shard_classes\":[2,0]");
+        assert!(ClassPathSet::from_json(&unsorted).is_err());
+        let empty = json.replace("\"shard_classes\":[0,2]", "\"shard_classes\":[]");
+        assert!(ClassPathSet::from_json(&empty).is_err());
     }
 
     #[test]
@@ -535,10 +805,7 @@ mod tests {
         })
         .unwrap();
         let b = ClassPath::empty(1, &[(1, 10)]);
-        let set = ClassPathSet {
-            class_paths: vec![a, b],
-            program_fingerprint: "fp".into(),
-        };
+        let set = ClassPathSet::new(vec![a, b], "fp".into());
         let json = set.to_json().unwrap();
 
         // Lookup is positional, so out-of-order or duplicated class ids in the

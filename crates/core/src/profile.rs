@@ -90,10 +90,7 @@ impl Profiler {
                 class_paths[class].aggregate(&path)?;
             }
         }
-        Ok(ClassPathSet {
-            class_paths,
-            program_fingerprint: self.program.fingerprint(),
-        })
+        Ok(ClassPathSet::new(class_paths, self.program.fingerprint()))
     }
 }
 

@@ -5,10 +5,13 @@ use ptolemy_core::CoreError;
 /// Error type of the serving runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
-    /// The tier engines handed to [`crate::Server`] cannot serve together
-    /// (different class counts, or a tier that cannot produce verdicts).
-    /// Carries the build-time fingerprints of both tiers so deployment logs
-    /// identify exactly which artifacts were mispaired.
+    /// The tier engines handed to [`crate::Server`] cannot serve together:
+    /// different class counts, a tier that cannot produce verdicts, or — under
+    /// sharded escalation ([`crate::ServerBuilder::escalate_sharded`]) —
+    /// shards that bind different programs/thresholds/network instances or
+    /// fail to own every class exactly once.  Carries the build-time
+    /// fingerprints of both tiers so deployment logs identify exactly which
+    /// artifacts were mispaired.
     TierMismatch {
         /// Fingerprint of the screening (tier-1) engine.
         screen: String,

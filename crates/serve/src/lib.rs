@@ -32,10 +32,28 @@
 //!   engine (e.g. an FwAb program) serves everything; inputs whose screening
 //!   score falls in an uncertainty band are re-scored by an expensive engine
 //!   (e.g. BwCu).  Per-tier counters land in [`ServeStats`].
-//! * **Path-prefix result cache** ([`CacheConfig`]) — an LRU cache keyed on
-//!   [`ptolemy_core::ActivationPath::prefix_fingerprint`] of the screening
-//!   path, so repeated/near-duplicate inputs skip re-scoring (most importantly
-//!   the tier-2 re-extraction).  Hit/miss counters land in [`ServeStats`].
+//! * **Sharded tier 2** ([`ServerBuilder::escalate_sharded`]) — a many-class
+//!   model's canary set splits across N escalation engines
+//!   ([`ptolemy_core::ClassPathSet::shard`]); each in-band input is re-scored
+//!   by the shard owning its screened class, so shard engines hold only their
+//!   slice of canary memory while the union of shard verdicts stays
+//!   **bit-for-bit identical** to the unsharded escalation engine.
+//! * **Cross-batch tier-2 pipelining** (default on,
+//!   [`ServerBuilder::pipeline_escalation`]) — each worker hands its
+//!   escalation sliver to a bounded overlap thread and immediately screens the
+//!   next formed batch, so tier-2 extraction of batch *k* overlaps tier-1 of
+//!   batch *k+1* (both tiers stream through the `TraceSink` drivers, so the
+//!   in-flight sliver holds only its retained boundaries).
+//!   [`ServeStats::pipelined_batches`] / [`ServeStats::serial_batches`] report
+//!   how often the handoff won.
+//! * **Persistent path-prefix result cache** ([`CacheConfig`]) — an LRU cache
+//!   keyed on [`ptolemy_core::ActivationPath::prefix_fingerprint`] of the
+//!   screening path, so repeated/near-duplicate inputs skip re-scoring (most
+//!   importantly the tier-2 re-extraction).  With
+//!   [`CacheConfig::persist_path`] set the cache survives restarts: flushed on
+//!   shutdown, reloaded on start, and keyed on the engine fingerprint so a
+//!   file written by a different engine is ignored (with a counter) instead of
+//!   replayed.  Hit/miss and persistence counters land in [`ServeStats`].
 //!
 //! With the cache disabled, served verdicts are **bit-for-bit identical** to
 //! calling `detect` directly on whichever engine the router picked — the

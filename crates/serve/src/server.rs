@@ -1,8 +1,12 @@
 //! The multi-worker serving runtime: bounded submission queue, adaptive batch
-//! former, two-tier router and path-prefix result cache.
+//! former, two-tier router (optionally sharded across escalation engines, with
+//! tier-2 work pipelined against the next batch's screening) and the
+//! persistent path-prefix result cache.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::TrySendError;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -11,7 +15,7 @@ use ptolemy_core::{Detection, DetectionEngine};
 use ptolemy_tensor::Tensor;
 
 use crate::batch::{adaptive_cap, BatchPolicy};
-use crate::cache::{CacheConfig, LruCache};
+use crate::cache::{self, CacheConfig, CacheLoad, CachedVerdict, LruCache};
 use crate::error::{Result, ServeError};
 use crate::stats::{ServeStats, StatsInner};
 
@@ -97,12 +101,6 @@ struct QueueState {
     shutdown: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct CachedVerdict {
-    detection: Detection,
-    tier: Tier,
-}
-
 /// Poison-tolerant lock: a panicking worker must not wedge every submitter.
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
@@ -132,9 +130,17 @@ struct Shared {
     /// Signals blocked submitters that queue space freed up.
     not_full: Condvar,
     screen: Arc<DetectionEngine>,
-    escalate: Option<Arc<DetectionEngine>>,
+    /// Tier-2 escalation engines: empty without tiered routing, one entry for
+    /// a single escalation engine, several for sharded escalation.
+    escalate: Vec<Arc<DetectionEngine>>,
+    /// `owner_of[class]` is the index (into `escalate`) of the shard owning
+    /// that class's canary path; empty iff `escalate` is empty.
+    owner_of: Vec<usize>,
     /// Screening scores in `[band.0, band.1]` escalate to tier 2.
     band: (f32, f32),
+    /// Hand tier-2 slivers to the per-worker overlap thread instead of running
+    /// them inline.
+    pipeline: bool,
     policy: BatchPolicy,
     queue_capacity: usize,
     cache: Option<Mutex<LruCache<CachedVerdict>>>,
@@ -147,6 +153,8 @@ struct Shared {
     /// from engines with different build-time fingerprints never collide.
     cache_seed: u64,
     prefix_segments: usize,
+    /// Where to persist the result cache on shutdown, if configured.
+    persist_path: Option<PathBuf>,
     stats: Mutex<StatsInner>,
     /// Running mean activation-path density (f32 bits), fed back into the
     /// adaptive batch cap.
@@ -232,8 +240,9 @@ impl std::fmt::Debug for Server {
                 &self
                     .shared
                     .escalate
-                    .as_deref()
-                    .map(DetectionEngine::fingerprint),
+                    .iter()
+                    .map(|shard| shard.fingerprint())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -244,12 +253,14 @@ impl Server {
     pub fn builder(screen: impl Into<Arc<DetectionEngine>>) -> ServerBuilder {
         ServerBuilder {
             screen: screen.into(),
-            escalate: None,
+            escalate: Vec::new(),
             band: (0.0, 0.0),
             workers: 2,
             queue_capacity: 256,
             policy: BatchPolicy::default(),
             cache: None,
+            pipeline: true,
+            tiering_requested: false,
         }
     }
 
@@ -333,19 +344,34 @@ impl Server {
         &self.shared.screen
     }
 
-    /// The tier-2 escalation engine, if tiered routing is configured.
+    /// The single tier-2 escalation engine, if exactly one is configured
+    /// (`None` without tiered routing *and* under sharded escalation — use
+    /// [`Server::escalation_shards`] for the general view).
     pub fn escalation_engine(&self) -> Option<&DetectionEngine> {
-        self.shared.escalate.as_deref()
+        match self.shared.escalate.as_slice() {
+            [only] => Some(only),
+            _ => None,
+        }
+    }
+
+    /// The tier-2 escalation engines, in shard order (empty without tiered
+    /// routing, one entry for a single [`ServerBuilder::escalate`] engine).
+    pub fn escalation_shards(&self) -> &[Arc<DetectionEngine>] {
+        &self.shared.escalate
     }
 
     /// Stops accepting submissions, drains every queued request, joins the
-    /// workers and returns the final counters.
+    /// workers, flushes the persistent cache (if configured) and returns the
+    /// final counters.
     pub fn shutdown(mut self) -> ServeStats {
         self.stop_and_join();
         self.stats()
     }
 
     fn stop_and_join(&mut self) {
+        if self.workers.is_empty() {
+            return; // already shut down (shutdown() ran; this is the Drop)
+        }
         {
             let mut state = lock(&self.shared.state);
             state.shutdown = true;
@@ -357,6 +383,19 @@ impl Server {
             // remaining workers drain the queue, so don't propagate here.
             let _ = worker.join();
         }
+        // With every worker joined the cache is quiescent: flush it to disk.
+        // A failed write leaves the counter at 0 rather than failing shutdown.
+        if let (Some(cache), Some(path)) = (&self.shared.cache, &self.shared.persist_path) {
+            let written = cache::persist(
+                path,
+                self.shared.screen.fingerprint(),
+                self.shared.prefix_segments,
+                &lock(cache),
+            );
+            if let Ok(written) = written {
+                lock(&self.shared.stats).cache_entries_persisted = written as u64;
+            }
+        }
     }
 }
 
@@ -366,42 +405,94 @@ impl Drop for Server {
     }
 }
 
-/// One worker: form a batch adaptively, serve it **fused**, repeat until
+/// One worker: form a batch adaptively, screen it **fused**, hand the tier-2
+/// sliver to the worker's bounded overlap thread (so escalation extraction of
+/// batch *k* runs concurrently with screening of batch *k+1*), repeat until
 /// shutdown drains the queue.
 fn worker_loop(shared: &Shared) {
-    loop {
-        // A custom backend whose estimate_batch panics must not kill the
-        // worker (queued tickets would never resolve); it just loses the
-        // adaptive constraint.
-        let cap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.current_cap()))
-            .unwrap_or(shared.policy.max_batch);
-        let Some(batch) = next_batch(shared, cap) else {
-            return;
+    // The overlap thread mirrors core's streaming-extraction overlap worker: a
+    // bounded rendezvous (sync_channel(1)) so at most one tier-2 sliver waits
+    // while one executes — tier-2 work can lag the screen by a batch, never
+    // pile up unboundedly.  When the channel is full the sliver runs inline
+    // (counted as a serial batch), which keeps the worker making progress even
+    // when tier 2 is the bottleneck.
+    let pipelined = shared.pipeline && !shared.escalate.is_empty();
+    std::thread::scope(|scope| {
+        let escalator = if pipelined {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<EscalationJob>(1);
+            let handle = scope.spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    run_escalations_caught(shared, job);
+                }
+            });
+            Some((tx, handle))
+        } else {
+            None
         };
-        {
-            let mut stats = lock(&shared.stats);
-            stats.batches += 1;
-            stats.batched_requests += batch.len() as u64;
-            stats.max_batch = stats.max_batch.max(batch.len());
-        }
-        let slots: Vec<Arc<TicketSlot>> = batch.iter().map(|r| r.slot.clone()).collect();
-        let served =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve_batch(shared, batch)));
-        if served.is_err() {
-            // The engine panicked mid-batch (serve_batch resolves tickets on
-            // ordinary errors, so only a panic lands here).  Resolve every
-            // still-unresolved ticket of the batch instead of stranding its
-            // waiter, and keep the worker alive for the rest of the queue.
-            for slot in &slots {
-                if resolve(
-                    slot,
-                    Err(ServeError::Canceled(
-                        "a worker panicked while serving this request".into(),
-                    )),
-                ) {
-                    lock(&shared.stats).failed += 1;
+        loop {
+            // A custom backend whose estimate_batch panics must not kill the
+            // worker (queued tickets would never resolve); it just loses the
+            // adaptive constraint.
+            let cap =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.current_cap()))
+                    .unwrap_or(shared.policy.max_batch);
+            let Some(batch) = next_batch(shared, cap) else {
+                break;
+            };
+            {
+                let mut stats = lock(&shared.stats);
+                stats.batches += 1;
+                stats.batched_requests += batch.len() as u64;
+                stats.max_batch = stats.max_batch.max(batch.len());
+            }
+            let slots: Vec<Arc<TicketSlot>> = batch.iter().map(|r| r.slot.clone()).collect();
+            let screened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                screen_batch(shared, batch)
+            }));
+            match screened {
+                Ok(Some(job)) => match &escalator {
+                    Some((tx, _)) => match tx.try_send(job) {
+                        Ok(()) => lock(&shared.stats).pipelined_batches += 1,
+                        Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                            lock(&shared.stats).serial_batches += 1;
+                            run_escalations_caught(shared, job);
+                        }
+                    },
+                    None => {
+                        lock(&shared.stats).serial_batches += 1;
+                        run_escalations_caught(shared, job);
+                    }
+                },
+                Ok(None) => {}
+                Err(_) => {
+                    // The engine panicked mid-batch (screen_batch resolves
+                    // tickets on ordinary errors, so only a panic lands here).
+                    // Resolve every still-unresolved ticket of the batch
+                    // instead of stranding its waiter, and keep the worker
+                    // alive for the rest of the queue.
+                    cancel_unresolved(shared, &slots);
                 }
             }
+        }
+        // Drop the sender so the overlap thread drains its last sliver and
+        // exits before this worker reports itself done.
+        if let Some((tx, handle)) = escalator {
+            drop(tx);
+            let _ = handle.join();
+        }
+    });
+}
+
+/// Resolves every still-unresolved ticket in `slots` as canceled.
+fn cancel_unresolved(shared: &Shared, slots: &[Arc<TicketSlot>]) {
+    for slot in slots {
+        if resolve(
+            slot,
+            Err(ServeError::Canceled(
+                "a worker panicked while serving this request".into(),
+            )),
+        ) {
+            lock(&shared.stats).failed += 1;
         }
     }
 }
@@ -488,7 +579,85 @@ fn finish(shared: &Shared, request: &InFlight, outcome: Result<Served>) {
     resolve(&request.slot, outcome);
 }
 
-/// Serves one formed batch through the **fused** engine path:
+/// The tier-2 sliver of one screened batch: for each escalation shard, the
+/// requests routed to it (by the shard owning each request's screened class)
+/// and their inputs, ready for one fused pass per shard.
+struct EscalationJob {
+    groups: Vec<EscalationGroup>,
+}
+
+struct EscalationGroup {
+    shard: usize,
+    requests: Vec<(InFlight, Option<u64>)>,
+    inputs: Vec<Tensor>,
+}
+
+impl EscalationJob {
+    fn slots(&self) -> Vec<Arc<TicketSlot>> {
+        self.groups
+            .iter()
+            .flat_map(|group| group.requests.iter().map(|(r, _)| r.slot.clone()))
+            .collect()
+    }
+}
+
+/// Runs an escalation job, resolving every ticket even if an engine panics
+/// mid-sliver.
+fn run_escalations_caught(shared: &Shared, job: EscalationJob) {
+    let slots = job.slots();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_escalations(shared, job)
+    }));
+    if outcome.is_err() {
+        cancel_unresolved(shared, &slots);
+    }
+}
+
+/// One fused tier-2 pass per shard group: verdicts, cache fills, ticket
+/// resolution.  Grouping per shard changes only which fused batch an input
+/// rides in, and the fused kernels preserve per-input arithmetic — so the
+/// union of shard verdicts is bit-for-bit what the unsharded escalation
+/// engine returns.
+fn run_escalations(shared: &Shared, job: EscalationJob) {
+    for group in job.groups {
+        let engine = &shared.escalate[group.shard];
+        let verdicts = engine.detect_batch_with_paths(&group.inputs);
+        for ((request, path_key), verdict) in group.requests.into_iter().zip(verdicts) {
+            match verdict {
+                Ok((detection, _)) => {
+                    {
+                        let mut stats = lock(&shared.stats);
+                        stats.escalated += 1;
+                        stats.shard_escalations[group.shard] += 1;
+                    }
+                    if let (Some(cache), Some(key)) = (&shared.cache, path_key) {
+                        lock(cache).insert(
+                            key,
+                            CachedVerdict {
+                                detection,
+                                tier: Tier::Escalated,
+                            },
+                        );
+                    }
+                    finish(
+                        shared,
+                        &request,
+                        Ok(Served {
+                            detection,
+                            tier: Tier::Escalated,
+                            cache_hit: false,
+                        }),
+                    );
+                }
+                Err(e) => finish(shared, &request, Err(e.into())),
+            }
+        }
+    }
+}
+
+/// Screens one formed batch through the **fused** engine path and returns the
+/// tier-2 sliver (if any) for the caller to run inline or hand to the overlap
+/// thread:
 ///
 /// 1. exact-duplicate fast path per request (byte-identical repeats resolve
 ///    straight from the cache, skipping even the screening extraction);
@@ -496,16 +665,16 @@ fn finish(shared: &Shared, request: &InFlight, outcome: Result<Served>) {
 ///    ([`DetectionEngine::detect_batch_with_paths`] — a single batched
 ///    im2col/matmul forward pass whose paths are extracted in-flight, stacked
 ///    activations released eagerly instead of materialising a trace);
-/// 3. per-request path-prefix cache lookup and uncertainty-band routing;
-/// 4. one streamed fused tier-2 pass over the uncertain sliver, cache fills,
-///    ticket resolution.
+/// 3. per-request path-prefix cache lookup and uncertainty-band routing: each
+///    in-band request joins the group of the escalation shard that owns its
+///    screened class.
 ///
 /// With the cache disabled the results are bit-for-bit what direct engine
 /// calls produce: `screen.detect(input)` when the score is outside the
-/// uncertainty band, `escalate.detect(input)` when inside — the fused kernels
-/// preserve the per-input reduction order, so batching changes scheduling,
-/// never arithmetic.
-fn serve_batch(shared: &Shared, batch: Vec<Request>) {
+/// uncertainty band, `escalate.detect(input)` on the owning shard when inside
+/// — the fused kernels preserve the per-input reduction order, so batching
+/// (and sharding, and pipelining) changes scheduling, never arithmetic.
+fn screen_batch(shared: &Shared, batch: Vec<Request>) -> Option<EscalationJob> {
     let cache_hit = |cached: CachedVerdict| {
         lock(&shared.stats).cache_hits += 1;
         Served {
@@ -545,15 +714,21 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
         inputs.push(input);
     }
     if pending.is_empty() {
-        return;
+        return None;
     }
 
     // Phase 2: one fused screening trace over everything the fast path missed.
     let screened = shared.screen.detect_batch_with_paths(&inputs);
 
-    // Phase 3: density feedback, cache lookup on the path prefix, band routing.
-    let mut escalations: Vec<(InFlight, Option<u64>)> = Vec::new();
-    let mut escalation_inputs: Vec<Tensor> = Vec::new();
+    // Phase 3: density feedback, cache lookup on the path prefix, band routing
+    // to the escalation shard owning each screened class.
+    let mut groups: Vec<EscalationGroup> = (0..shared.escalate.len())
+        .map(|shard| EscalationGroup {
+            shard,
+            requests: Vec::new(),
+            inputs: Vec::new(),
+        })
+        .collect();
     for ((request, input), result) in pending.into_iter().zip(inputs).zip(screened) {
         let (detection, path) = match result {
             Ok(traced) => traced,
@@ -575,9 +750,21 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
             lock(&shared.stats).cache_misses += 1;
         }
         let in_band = detection.score >= shared.band.0 && detection.score <= shared.band.1;
-        if shared.escalate.is_some() && in_band {
-            escalations.push((request, path_key));
-            escalation_inputs.push(input);
+        if !shared.escalate.is_empty() && in_band {
+            // The screened class decides the owning shard; validation pinned
+            // tiers to one shared network instance, so the shard's own forward
+            // pass predicts the same class and never hits a placeholder
+            // canary.  (An out-of-range class cannot happen — owner_of covers
+            // every class the network predicts — but a defensive fallback to
+            // shard 0 turns the impossible case into that shard's loud
+            // non-ownership error rather than a panic.)
+            let shard = shared
+                .owner_of
+                .get(detection.predicted_class)
+                .copied()
+                .unwrap_or(0);
+            groups[shard].requests.push((request, path_key));
+            groups[shard].inputs.push(input);
             continue;
         }
         lock(&shared.stats).screen_served += 1;
@@ -600,54 +787,27 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>) {
             }),
         );
     }
-    if escalations.is_empty() {
-        return;
+    groups.retain(|group| !group.requests.is_empty());
+    if groups.is_empty() {
+        return None;
     }
-
-    // Phase 4: one fused tier-2 trace over the uncertain sliver.
-    let escalate = shared
-        .escalate
-        .as_ref()
-        .expect("escalations only collect when a tier-2 engine exists");
-    let verdicts = escalate.detect_batch_with_paths(&escalation_inputs);
-    for ((request, path_key), verdict) in escalations.into_iter().zip(verdicts) {
-        match verdict {
-            Ok((detection, _)) => {
-                lock(&shared.stats).escalated += 1;
-                if let (Some(cache), Some(key)) = (&shared.cache, path_key) {
-                    lock(cache).insert(
-                        key,
-                        CachedVerdict {
-                            detection,
-                            tier: Tier::Escalated,
-                        },
-                    );
-                }
-                finish(
-                    shared,
-                    &request,
-                    Ok(Served {
-                        detection,
-                        tier: Tier::Escalated,
-                        cache_hit: false,
-                    }),
-                );
-            }
-            Err(e) => finish(shared, &request, Err(e.into())),
-        }
-    }
+    Some(EscalationJob { groups })
 }
 
 /// Builder for [`Server`]; all validation happens in [`ServerBuilder::start`].
 #[derive(Debug)]
 pub struct ServerBuilder {
     screen: Arc<DetectionEngine>,
-    escalate: Option<Arc<DetectionEngine>>,
+    escalate: Vec<Arc<DetectionEngine>>,
     band: (f32, f32),
     workers: usize,
     queue_capacity: usize,
     policy: BatchPolicy,
     cache: Option<CacheConfig>,
+    pipeline: bool,
+    /// `escalate`/`escalate_sharded` was called: an empty engine list must
+    /// then fail loudly instead of silently serving tier-1 only.
+    tiering_requested: bool,
 }
 
 impl ServerBuilder {
@@ -663,8 +823,107 @@ impl ServerBuilder {
         low: f32,
         high: f32,
     ) -> Self {
-        self.escalate = Some(engine.into());
+        self.escalate = vec![engine.into()];
         self.band = (low, high);
+        self.tiering_requested = true;
+        self
+    }
+
+    /// Adds a **sharded** tier-2: `shards` are escalation engines built from
+    /// [`ptolemy_core::ClassPathSet::shard`] partitions of one canary set, and
+    /// each in-band input is re-scored by the shard owning its screened class.
+    /// A many-class model's canary memory and tier-2 extraction work split
+    /// across the shards, while the union of shard verdicts stays bit-for-bit
+    /// identical to the unsharded escalation engine.
+    ///
+    /// [`ServerBuilder::start`] validates the pairing via
+    /// [`ptolemy_core::DetectionEngine::fingerprint`]: every shard must bind
+    /// the same escalation program, share one decision threshold and one
+    /// classifier-equipped configuration, serve the *same network instance* as
+    /// the screening engine (class routing relies on both tiers predicting the
+    /// identical class), and together the shards must own every class exactly
+    /// once.
+    ///
+    /// # Example
+    ///
+    /// Shard engines reuse the complete escalation engine's fitted forest and
+    /// threshold — parity requires the identical classifier:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ptolemy_core::{variants, DetectionEngine, Profiler};
+    /// use ptolemy_nn::{zoo, Network, TrainConfig, Trainer};
+    /// use ptolemy_serve::Server;
+    /// use ptolemy_tensor::{Rng64, Tensor};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut rng = Rng64::new(0);
+    /// let mut net = zoo::mlp_net(&[8], 2, &mut rng)?;
+    /// let samples: Vec<(Tensor, usize)> = (0..20)
+    ///     .map(|i| (Tensor::full(&[8], (i % 2) as f32), i % 2))
+    ///     .collect();
+    /// Trainer::new(TrainConfig::default()).fit(&mut net, &samples)?;
+    /// let network = Arc::new(net); // ONE instance shared by every tier
+    /// let inputs: Vec<Tensor> = samples.iter().map(|(x, _)| x.clone()).collect();
+    ///
+    /// let build = |program: ptolemy_core::DetectionProgram| {
+    ///     let paths = Profiler::new(program.clone()).profile(&network, &samples)?;
+    ///     DetectionEngine::builder(network.clone(), program, paths)
+    ///         .calibrate(&inputs[..8], &inputs[8..16])
+    ///         .build()
+    /// };
+    /// let screen = build(variants::fw_ab(&network, 0.05)?)?;
+    /// let full = build(variants::bw_cu(&network, 0.5)?)?;
+    ///
+    /// // Partition the complete canary set across two shard engines.
+    /// let shards = full
+    ///     .class_paths()
+    ///     .shard(2)?
+    ///     .into_iter()
+    ///     .map(|shard_paths| {
+    ///         Ok(Arc::new(
+    ///             DetectionEngine::builder(network.clone(), full.program().clone(), shard_paths)
+    ///                 .forest(full.forest().expect("calibrated").clone())
+    ///                 .threshold(full.threshold())
+    ///                 .build()?,
+    ///         ))
+    ///     })
+    ///     .collect::<Result<Vec<_>, ptolemy_core::CoreError>>()?;
+    ///
+    /// let server = Server::builder(screen)
+    ///     .escalate_sharded(shards, 0.25, 0.75)
+    ///     .workers(2)
+    ///     .start()?;
+    /// let served = server.submit(inputs[0].clone())?.wait()?;
+    /// assert!((0.0..=1.0).contains(&served.detection.score));
+    /// let stats = server.shutdown();
+    /// assert_eq!(stats.shard_escalations.len(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn escalate_sharded(
+        mut self,
+        shards: Vec<Arc<DetectionEngine>>,
+        low: f32,
+        high: f32,
+    ) -> Self {
+        self.escalate = shards;
+        self.band = (low, high);
+        self.tiering_requested = true;
+        self
+    }
+
+    /// Enables or disables cross-batch tier-2 pipelining (default **on**):
+    /// each worker hands its escalation sliver to a bounded overlap thread and
+    /// immediately screens the next batch, so tier-2 extraction of batch *k*
+    /// overlaps tier-1 of batch *k+1* (the `forward_with_sink` streaming
+    /// drivers make the tier-2 pass itself stream, so the overlap thread holds
+    /// only the sliver's retained boundaries).  [`ServeStats::pipelined_batches`]
+    /// / [`ServeStats::serial_batches`] report how often the handoff won.
+    /// Verdicts are unaffected either way — pipelining reorders work between
+    /// batches, never arithmetic within a request.
+    pub fn pipeline_escalation(mut self, enabled: bool) -> Self {
+        self.pipeline = enabled;
         self
     }
 
@@ -694,14 +953,18 @@ impl ServerBuilder {
         self
     }
 
-    /// Validates the configuration and tier pairing, spawns the workers and
-    /// returns the running server.
+    /// Validates the configuration and tier pairing, loads the persisted
+    /// result cache (if configured and written by an identical engine), spawns
+    /// the workers and returns the running server.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::TierMismatch`] if the tier engines cannot serve
     /// together (the typed rejection carries both build-time fingerprints) and
-    /// [`ServeError::InvalidConfig`] for bad knobs.
+    /// [`ServeError::InvalidConfig`] for bad knobs.  Sharded escalation
+    /// additionally requires every shard to bind the same program fingerprint,
+    /// threshold and network instance as its peers (and the network instance
+    /// of the screening tier), and the shards to own every class exactly once.
     pub fn start(self) -> Result<Server> {
         if self.workers == 0 {
             return Err(ServeError::InvalidConfig(
@@ -738,26 +1001,14 @@ impl ServerBuilder {
                     .into(),
             ));
         }
-        if let Some(escalate) = &self.escalate {
-            if escalate.forest().is_none() {
-                return Err(mismatch(
-                    escalate,
-                    "the escalation engine has no classifier".into(),
-                ));
-            }
-            let (screen_classes, escalate_classes) = (
-                self.screen.class_paths().num_classes(),
-                escalate.class_paths().num_classes(),
-            );
-            if screen_classes != escalate_classes {
-                return Err(mismatch(
-                    escalate,
-                    format!(
-                        "tier class counts differ ({screen_classes} vs {escalate_classes}); the \
-                         tiers were profiled on different tasks"
-                    ),
-                ));
-            }
+        if self.tiering_requested && self.escalate.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "escalate_sharded requires at least one escalation shard".into(),
+            ));
+        }
+        let screen_classes = self.screen.class_paths().num_classes();
+        let mut owner_of: Vec<usize> = Vec::new();
+        if !self.escalate.is_empty() {
             if !self.band.0.is_finite()
                 || !self.band.1.is_finite()
                 || self.band.0 > self.band.1
@@ -769,9 +1020,122 @@ impl ServerBuilder {
                     self.band.0, self.band.1
                 )));
             }
+            for escalate in &self.escalate {
+                if escalate.forest().is_none() {
+                    return Err(mismatch(
+                        escalate,
+                        "the escalation engine has no classifier".into(),
+                    ));
+                }
+                let escalate_classes = escalate.class_paths().num_classes();
+                if screen_classes != escalate_classes {
+                    return Err(mismatch(
+                        escalate,
+                        format!(
+                            "tier class counts differ ({screen_classes} vs {escalate_classes}); \
+                             the tiers were profiled on different tasks"
+                        ),
+                    ));
+                }
+            }
+            // Sharded escalation pins stronger invariants: routing by the
+            // *screened* class is only correct when every tier runs the same
+            // network instance (so both tiers predict the identical class),
+            // and bit-for-bit parity with the unsharded engine needs one
+            // program and one decision threshold across the shards.
+            let sharded =
+                self.escalate.len() > 1 || self.escalate[0].class_paths().shard_classes().is_some();
+            if sharded {
+                let first = &self.escalate[0];
+                for shard in &self.escalate {
+                    if shard.fingerprint() != first.fingerprint() {
+                        return Err(mismatch(
+                            shard,
+                            format!(
+                                "escalation shards bind different programs ('{}' vs '{}')",
+                                first.fingerprint(),
+                                shard.fingerprint()
+                            ),
+                        ));
+                    }
+                    if shard.threshold().to_bits() != first.threshold().to_bits() {
+                        return Err(mismatch(
+                            shard,
+                            format!(
+                                "escalation shards bind different decision thresholds ({} vs {})",
+                                first.threshold(),
+                                shard.threshold()
+                            ),
+                        ));
+                    }
+                    if !std::ptr::eq(self.screen.network(), shard.network()) {
+                        return Err(mismatch(
+                            shard,
+                            "sharded escalation requires every tier to serve the same \
+                             network instance (class routing relies on both tiers \
+                             predicting the identical class)"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+            // Every class must be owned by exactly one shard (an unsharded
+            // single engine owns them all).
+            owner_of = vec![usize::MAX; screen_classes];
+            for (index, shard) in self.escalate.iter().enumerate() {
+                for class in shard.class_paths().owned_classes() {
+                    if class >= screen_classes || owner_of[class] != usize::MAX {
+                        return Err(mismatch(
+                            shard,
+                            format!("class {class} is claimed by more than one escalation shard"),
+                        ));
+                    }
+                    owner_of[class] = index;
+                }
+            }
+            if let Some(unowned) = owner_of.iter().position(|&owner| owner == usize::MAX) {
+                return Err(mismatch(
+                    &self.escalate[0],
+                    format!("class {unowned} is owned by no escalation shard"),
+                ));
+            }
         }
 
         let cache_seed = fnv1a(self.screen.fingerprint().as_bytes());
+        // Build the result cache, reloading a persisted file only when it was
+        // written under this screening engine's fingerprint and prefix depth.
+        let mut stats = StatsInner::new(self.escalate.len());
+        let (cache, input_keys, prefix_segments, persist_path) = match &self.cache {
+            None => (None, None, 0, None),
+            Some(config) => {
+                let mut cache = LruCache::new(config.capacity);
+                if let Some(path) = &config.persist_path {
+                    match cache::load_persisted(
+                        path,
+                        self.screen.fingerprint(),
+                        config.prefix_segments,
+                    ) {
+                        CacheLoad::Missing => {}
+                        CacheLoad::Rejected => stats.cache_load_rejected = 1,
+                        CacheLoad::Loaded(entries) => {
+                            // Entries are most-recently-used first; insert in
+                            // reverse so the restored cache replays the saved
+                            // recency (and eviction) order.
+                            for (key, verdict) in entries.into_iter().rev() {
+                                cache.insert(key, verdict);
+                            }
+                            stats.cache_entries_loaded = cache.len() as u64;
+                        }
+                    }
+                }
+                (
+                    Some(Mutex::new(cache)),
+                    Some(Mutex::new(LruCache::new(config.capacity))),
+                    config.prefix_segments,
+                    config.persist_path.clone(),
+                )
+            }
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::with_capacity(self.queue_capacity),
@@ -782,18 +1146,17 @@ impl ServerBuilder {
             not_full: Condvar::new(),
             screen: self.screen,
             escalate: self.escalate,
+            owner_of,
             band: self.band,
+            pipeline: self.pipeline,
             policy: self.policy,
             queue_capacity: self.queue_capacity,
-            cache: self
-                .cache
-                .map(|config| Mutex::new(LruCache::new(config.capacity))),
-            input_keys: self
-                .cache
-                .map(|config| Mutex::new(LruCache::new(config.capacity))),
+            cache,
+            input_keys,
             cache_seed,
-            prefix_segments: self.cache.map_or(0, |config| config.prefix_segments),
-            stats: Mutex::new(StatsInner::default()),
+            prefix_segments,
+            persist_path,
+            stats: Mutex::new(stats),
             density_ema_bits: AtomicU32::new(0.0f32.to_bits()),
             cap_cache: Mutex::new(None),
         });
@@ -954,6 +1317,7 @@ mod tests {
             .cache(CacheConfig {
                 capacity: 64,
                 prefix_segments: usize::MAX, // exact-duplicate matching
+                persist_path: None,
             })
             .start()
             .unwrap();
@@ -1045,7 +1409,8 @@ mod tests {
             Server::builder(screen.clone())
                 .cache(CacheConfig {
                     capacity: 0,
-                    prefix_segments: 2
+                    prefix_segments: 2,
+                    persist_path: None,
                 })
                 .start(),
             Err(ServeError::InvalidConfig(_))
@@ -1054,8 +1419,17 @@ mod tests {
             Server::builder(screen.clone())
                 .cache(CacheConfig {
                     capacity: 8,
-                    prefix_segments: 0
+                    prefix_segments: 0,
+                    persist_path: None,
                 })
+                .start(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        // An empty shard list must not silently degrade to tier-1-only
+        // serving (the band would go unvalidated and nothing would escalate).
+        assert!(matches!(
+            Server::builder(screen.clone())
+                .escalate_sharded(Vec::new(), 0.3, 0.7)
                 .start(),
             Err(ServeError::InvalidConfig(_))
         ));
@@ -1185,5 +1559,242 @@ mod tests {
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.max_batch, 2);
         assert_eq!(stats.mean_batch, 2.0);
+    }
+
+    /// Escalation shards built from `full`'s canary set, forest and threshold
+    /// — the recipe [`ServerBuilder::escalate_sharded`] documents.
+    fn shard_engines(
+        fx: &Fixture,
+        full: &Arc<DetectionEngine>,
+        n: usize,
+    ) -> Vec<Arc<DetectionEngine>> {
+        full.class_paths()
+            .shard(n)
+            .unwrap()
+            .into_iter()
+            .map(|paths| {
+                Arc::new(
+                    DetectionEngine::builder(fx.network.clone(), full.program().clone(), paths)
+                        .forest(full.forest().unwrap().clone())
+                        .threshold(full.threshold())
+                        .build()
+                        .unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_escalation_matches_direct_detection_and_counts_per_shard() {
+        let fx = fixture(3);
+        let (screen, expensive) = tiered(&fx);
+        let shards = shard_engines(&fx, &expensive, 2);
+        let server = Server::builder(screen)
+            .escalate_sharded(shards, 0.0, 1.0) // everything escalates
+            .workers(1)
+            .start()
+            .unwrap();
+        assert!(server.escalation_engine().is_none());
+        assert_eq!(server.escalation_shards().len(), 2);
+
+        let inputs: Vec<Tensor> = fx.benign.iter().chain(&fx.adversarial).cloned().collect();
+        for input in &inputs {
+            let served = server.submit(input.clone()).unwrap().wait().unwrap();
+            assert_eq!(served.tier, Tier::Escalated);
+            // The union of shard verdicts is bit-for-bit the unsharded
+            // escalation engine's verdict.
+            let direct = expensive.detect(input).unwrap();
+            assert_eq!(served.detection, direct);
+            assert_eq!(served.detection.score.to_bits(), direct.score.to_bits());
+            assert_eq!(
+                served.detection.similarity.to_bits(),
+                direct.similarity.to_bits()
+            );
+        }
+
+        let stats = server.shutdown();
+        assert_eq!(stats.escalated, inputs.len() as u64);
+        assert_eq!(stats.shard_escalations.len(), 2);
+        assert_eq!(stats.shard_escalations.iter().sum::<u64>(), stats.escalated);
+        // Every batch had an escalation sliver, handled exactly once each.
+        assert_eq!(
+            stats.pipelined_batches + stats.serial_batches,
+            stats.batches
+        );
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn pipelining_can_be_disabled_and_is_counted() {
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        let server = Server::builder(screen)
+            .escalate(expensive, 0.0, 1.0)
+            .workers(1)
+            .pipeline_escalation(false)
+            .start()
+            .unwrap();
+        for input in &fx.benign {
+            server.submit(input.clone()).unwrap().wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert!(stats.escalated > 0);
+        assert_eq!(stats.pipelined_batches, 0);
+        assert!(stats.serial_batches > 0);
+    }
+
+    #[test]
+    fn invalid_shard_configurations_are_rejected_with_fingerprints() {
+        let fx = fixture(3);
+        let (screen, expensive) = tiered(&fx);
+        let set = expensive.class_paths();
+        let shard_from = |paths: ptolemy_core::ClassPathSet, threshold: f32| {
+            Arc::new(
+                DetectionEngine::builder(fx.network.clone(), expensive.program().clone(), paths)
+                    .forest(expensive.forest().unwrap().clone())
+                    .threshold(threshold)
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let reason_of = |err: ServeError| match err {
+            ServeError::TierMismatch { reason, .. } => reason,
+            other => panic!("expected TierMismatch, got {other:?}"),
+        };
+
+        // Overlapping ownership: class 1 claimed twice.
+        let overlapping = vec![
+            shard_from(set.subset(&[0, 1]).unwrap(), expensive.threshold()),
+            shard_from(set.subset(&[1, 2]).unwrap(), expensive.threshold()),
+        ];
+        let reason = reason_of(
+            Server::builder(screen.clone())
+                .escalate_sharded(overlapping, 0.3, 0.7)
+                .start()
+                .unwrap_err(),
+        );
+        assert!(reason.contains("more than one"), "{reason}");
+
+        // Missing ownership: nobody owns class 1.
+        let gappy = vec![
+            shard_from(set.subset(&[0]).unwrap(), expensive.threshold()),
+            shard_from(set.subset(&[2]).unwrap(), expensive.threshold()),
+        ];
+        let reason = reason_of(
+            Server::builder(screen.clone())
+                .escalate_sharded(gappy, 0.3, 0.7)
+                .start()
+                .unwrap_err(),
+        );
+        assert!(reason.contains("no escalation shard"), "{reason}");
+
+        // Diverging decision thresholds across shards.
+        let skewed = vec![
+            shard_from(set.subset(&[0, 1]).unwrap(), expensive.threshold()),
+            shard_from(set.subset(&[2]).unwrap(), 0.25),
+        ];
+        let reason = reason_of(
+            Server::builder(screen.clone())
+                .escalate_sharded(skewed, 0.3, 0.7)
+                .start()
+                .unwrap_err(),
+        );
+        assert!(reason.contains("thresholds"), "{reason}");
+
+        // Shards serving a different network instance than the screen tier:
+        // class routing would compare tier-1 and tier-2 predictions of
+        // different models, so the pairing is rejected even though the
+        // fingerprints, class counts and thresholds all line up.
+        let other = fixture(3);
+        let (_, other_expensive) = tiered(&other);
+        let foreign = other_expensive
+            .class_paths()
+            .shard(2)
+            .unwrap()
+            .into_iter()
+            .map(|paths| {
+                Arc::new(
+                    DetectionEngine::builder(
+                        other.network.clone(),
+                        other_expensive.program().clone(),
+                        paths,
+                    )
+                    .forest(other_expensive.forest().unwrap().clone())
+                    .threshold(other_expensive.threshold())
+                    .build()
+                    .unwrap(),
+                )
+            })
+            .collect();
+        let reason = reason_of(
+            Server::builder(screen)
+                .escalate_sharded(foreign, 0.3, 0.7)
+                .start()
+                .unwrap_err(),
+        );
+        assert!(reason.contains("network instance"), "{reason}");
+    }
+
+    #[test]
+    fn persisted_cache_reloads_for_the_same_engine_and_rejects_others() {
+        let path =
+            std::env::temp_dir().join(format!("ptolemy-serve-unit-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        let config = CacheConfig {
+            capacity: 64,
+            prefix_segments: usize::MAX,
+            persist_path: Some(path.clone()),
+        };
+
+        // First run: populate and flush the cache.
+        let server = Server::builder(screen.clone())
+            .workers(1)
+            .cache(config.clone())
+            .start()
+            .unwrap();
+        let first = server.submit(fx.benign[0].clone()).unwrap().wait().unwrap();
+        assert!(!first.cache_hit);
+        let second = server.submit(fx.benign[0].clone()).unwrap().wait().unwrap();
+        assert!(second.cache_hit);
+        let stats = server.shutdown();
+        assert_eq!(stats.cache_entries_loaded, 0);
+        assert_eq!(stats.cache_load_rejected, 0);
+        assert!(stats.cache_entries_persisted >= 1);
+
+        // Restart with the identical engine: the first lookup is already a
+        // hit, replaying the pre-restart verdict bit for bit.
+        let server = Server::builder(screen.clone())
+            .workers(1)
+            .cache(config.clone())
+            .start()
+            .unwrap();
+        assert_eq!(
+            server.stats().cache_entries_loaded,
+            stats.cache_entries_persisted
+        );
+        let replayed = server.submit(fx.benign[0].clone()).unwrap().wait().unwrap();
+        assert!(replayed.cache_hit);
+        assert_eq!(replayed.detection, first.detection);
+        assert_eq!(
+            replayed.detection.score.to_bits(),
+            first.detection.score.to_bits()
+        );
+        drop(server);
+
+        // A different screening engine must ignore the file.
+        let server = Server::builder(expensive)
+            .workers(1)
+            .cache(config)
+            .start()
+            .unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.cache_load_rejected, 1);
+        assert_eq!(stats.cache_entries_loaded, 0);
+        let cold = server.submit(fx.benign[0].clone()).unwrap().wait().unwrap();
+        assert!(!cold.cache_hit);
+        drop(server);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -19,12 +19,39 @@ pub struct ServeStats {
     /// Requests answered by the tier-1 screening engine alone.
     pub screen_served: u64,
     /// Requests whose screening score fell in the uncertainty band and were
-    /// re-scored by the tier-2 escalation engine.
+    /// re-scored by a tier-2 escalation engine (summed over all shards).
     pub escalated: u64,
+    /// Escalated requests routed to each tier-2 shard, indexed like the
+    /// engine list passed to [`crate::ServerBuilder::escalate_sharded`]
+    /// (length 1 for a single [`crate::ServerBuilder::escalate`] engine, empty
+    /// without tiered routing).  Sums to [`ServeStats::escalated`].
+    pub shard_escalations: Vec<u64>,
+    /// Batches whose tier-2 escalation sliver was handed to the worker's
+    /// overlap thread, so tier-2 extraction of batch *k* ran concurrently with
+    /// tier-1 screening of batch *k+1*.  Only batches with at least one
+    /// escalated request count here or in [`ServeStats::serial_batches`].
+    pub pipelined_batches: u64,
+    /// Batches whose tier-2 sliver ran inline on the worker — pipelining
+    /// disabled ([`crate::ServerBuilder::pipeline_escalation`]), or the
+    /// overlap thread was still busy with the previous batch (the handoff is
+    /// bounded, like core's streaming-extraction overlap worker, so tier-2
+    /// work can never pile up unboundedly).
+    pub serial_batches: u64,
     /// Requests resolved from the path-prefix result cache.
     pub cache_hits: u64,
     /// Cache lookups that missed (always 0 with the cache disabled).
     pub cache_misses: u64,
+    /// Entries restored from the persisted cache file at startup
+    /// ([`crate::CacheConfig::persist_path`]); 0 when persistence is off or no
+    /// usable file existed.
+    pub cache_entries_loaded: u64,
+    /// 1 if a persisted cache file existed at startup but was ignored —
+    /// corrupt, unreadable, or written under a different engine fingerprint or
+    /// prefix depth (see [`crate::CacheConfig`]); 0 otherwise.
+    pub cache_load_rejected: u64,
+    /// Entries written to the persisted cache file at shutdown; 0 when
+    /// persistence is off or the write failed.
+    pub cache_entries_persisted: u64,
     /// Batches the workers cut.
     pub batches: u64,
     /// Largest batch cut so far.
@@ -66,8 +93,14 @@ pub(crate) struct StatsInner {
     pub failed: u64,
     pub screen_served: u64,
     pub escalated: u64,
+    pub shard_escalations: Vec<u64>,
+    pub pipelined_batches: u64,
+    pub serial_batches: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    pub cache_entries_loaded: u64,
+    pub cache_load_rejected: u64,
+    pub cache_entries_persisted: u64,
     pub batches: u64,
     pub max_batch: usize,
     pub batched_requests: u64,
@@ -76,6 +109,14 @@ pub(crate) struct StatsInner {
 }
 
 impl StatsInner {
+    /// Fresh counters for a server with `num_shards` tier-2 engines.
+    pub fn new(num_shards: usize) -> Self {
+        StatsInner {
+            shard_escalations: vec![0; num_shards],
+            ..StatsInner::default()
+        }
+    }
+
     /// Records one queue-to-result latency into the bounded window (a ring once
     /// the window fills, so percentiles track *recent* behaviour).
     pub fn record_latency(&mut self, ms: f64) {
@@ -104,8 +145,14 @@ impl StatsInner {
             failed: self.failed,
             screen_served: self.screen_served,
             escalated: self.escalated,
+            shard_escalations: self.shard_escalations.clone(),
+            pipelined_batches: self.pipelined_batches,
+            serial_batches: self.serial_batches,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
+            cache_entries_loaded: self.cache_entries_loaded,
+            cache_load_rejected: self.cache_load_rejected,
+            cache_entries_persisted: self.cache_entries_persisted,
             batches: self.batches,
             max_batch: self.max_batch,
             mean_batch: if self.batches == 0 {

@@ -1,8 +1,11 @@
 //! Serving demo: build a cheap FwAb screening engine and an expensive BwCu
-//! escalation engine, start a multi-worker `Server` with tiered routing and the
-//! path-prefix result cache, feed it a mixed benign/adversarial stream with
-//! duplicates, and print the `ServeStats` snapshot (tier counts, cache hit
-//! rate, queue-to-result latency percentiles).
+//! escalation engine, split the escalation canary set across **shard**
+//! engines, start a multi-worker `Server` with sharded tiered routing,
+//! cross-batch tier-2 pipelining and the persistent path-prefix result cache,
+//! feed it a mixed benign/adversarial stream with duplicates, and print the
+//! `ServeStats` snapshot (tier + per-shard counts, pipelined/serial batches,
+//! cache hit rate and persistence counters, queue-to-result latency
+//! percentiles).
 //!
 //! ```text
 //! cargo run --release --example serving
@@ -52,10 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<Vec<_>, _>>()?;
     let half = benign.len() / 2;
 
-    // 4. Bind both tier engines once (fingerprints validated here).
-    let screen = DetectionEngine::builder(network.clone(), screen_program, screen_paths)
-        .calibrate(&benign[..half], &adversarial[..half])
-        .build()?;
+    // 4. Bind both tier engines once (fingerprints validated here).  The
+    //    screen engine is shared (Arc) because step 9 restarts a second server
+    //    around it to demonstrate cache persistence.
+    let screen = Arc::new(
+        DetectionEngine::builder(network.clone(), screen_program, screen_paths)
+            .calibrate(&benign[..half], &adversarial[..half])
+            .build()?,
+    );
     let expensive = DetectionEngine::builder(network.clone(), expensive_program, expensive_paths)
         .calibrate(&benign[..half], &adversarial[..half])
         .build()?;
@@ -65,22 +72,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         expensive.fingerprint()
     );
 
-    // 5. Start the serving runtime: 4 workers, adaptive batching, scores in
-    //    [0.35, 0.65] escalate to tier 2, and near-duplicate results are served
-    //    from the path-prefix cache.
-    let server = Server::builder(screen)
-        .escalate(expensive, 0.35, 0.65)
-        .workers(4)
-        .queue_capacity(512)
-        .batch_policy(BatchPolicy {
-            max_batch: 16,
-            latency_budget: Duration::from_millis(2),
-            ..BatchPolicy::default()
+    // 5. Shard the escalation tier: the 10-class canary set splits across 3
+    //    shard engines, each owning a third of the classes' canary memory.
+    //    Shards reuse the complete engine's fitted forest and threshold —
+    //    bit-for-bit parity with the unsharded engine requires the identical
+    //    classifier — and serve the SAME network instance as the screen tier
+    //    (sharded routing relies on both tiers predicting the same class).
+    let shards = expensive
+        .class_paths()
+        .shard(3)?
+        .into_iter()
+        .map(|shard_paths| {
+            Ok(Arc::new(
+                DetectionEngine::builder(network.clone(), expensive.program().clone(), shard_paths)
+                    .forest(expensive.forest().expect("calibrated").clone())
+                    .threshold(expensive.threshold())
+                    .build()?,
+            ))
         })
-        .cache(CacheConfig::default())
-        .start()?;
+        .collect::<Result<Vec<_>, ptolemy::core::CoreError>>()?;
+    for (index, shard) in shards.iter().enumerate() {
+        println!(
+            "  shard {index}: owns classes {:?}",
+            shard.class_paths().shard_classes().unwrap_or(&[])
+        );
+    }
 
-    // 6. A mixed stream with duplicates: every held-out input is submitted
+    // 6. Start the serving runtime: 4 workers, adaptive batching, scores in
+    //    [0.35, 0.65] escalate to the shard owning the screened class (tier-2
+    //    slivers pipelined against the next batch's screening — the default),
+    //    near-duplicate results served from the path-prefix cache, and the
+    //    cache persisted across restarts.
+    let cache_path = std::env::temp_dir().join("ptolemy-serving-example-cache.json");
+    let _ = std::fs::remove_file(&cache_path); // fresh demo run
+    let cache_config = CacheConfig {
+        persist_path: Some(cache_path.clone()),
+        ..CacheConfig::default()
+    };
+    let start_server = |screen: &Arc<DetectionEngine>,
+                        shards: &[Arc<DetectionEngine>]|
+     -> Result<Server, ServeError> {
+        Server::builder(screen.clone())
+            .escalate_sharded(shards.to_vec(), 0.35, 0.65)
+            .workers(4)
+            .queue_capacity(512)
+            .batch_policy(BatchPolicy {
+                max_batch: 16,
+                latency_budget: Duration::from_millis(2),
+                ..BatchPolicy::default()
+            })
+            .cache(cache_config.clone())
+            .start()
+    };
+    let server = start_server(&screen, &shards)?;
+
+    // 7. A mixed stream with duplicates: every held-out input is submitted
     //    three times (interleaved), the way retried or replayed traffic repeats
     //    in production.
     let mut stream = Vec::new();
@@ -109,18 +155,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         correct as f32 / total as f32
     );
 
-    // 7. The counters the serving layer exposes.
+    // 8. The counters the serving layer exposes.
     let stats = server.shutdown();
     println!("\nServeStats");
     println!("  submitted           {}", stats.submitted);
     println!("  completed           {}", stats.completed);
     println!("  tier-1 (screen)     {}", stats.screen_served);
-    println!("  tier-2 (escalated)  {}", stats.escalated);
+    println!(
+        "  tier-2 (escalated)  {} across shards {:?}",
+        stats.escalated, stats.shard_escalations
+    );
+    println!(
+        "  tier-2 pipelining   {} pipelined / {} serial batches",
+        stats.pipelined_batches, stats.serial_batches
+    );
     println!(
         "  cache hits/misses   {}/{} (hit rate {:.2})",
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_hit_rate()
+    );
+    println!(
+        "  cache persistence   {} loaded, {} rejected, {} persisted to {}",
+        stats.cache_entries_loaded,
+        stats.cache_load_rejected,
+        stats.cache_entries_persisted,
+        cache_path.display()
     );
     println!(
         "  batches             {} (mean {:.1}, max {})",
@@ -134,5 +194,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if stats.escalated == 0 {
         println!("note: no input landed in the uncertainty band on this run");
     }
+
+    // 9. Restart: a second server over the same engines reloads the persisted
+    //    cache (the fingerprint in the file matches), so replayed traffic hits
+    //    immediately — the point of persistence.
+    let server = start_server(&screen, &shards)?;
+    let restarted = server.stats();
+    let replays: Vec<Ticket> = benign[half..]
+        .iter()
+        .map(|input| server.submit(input.clone()))
+        .collect::<Result<_, ServeError>>()?;
+    for ticket in replays {
+        ticket.wait()?;
+    }
+    let final_stats = server.shutdown();
+    println!("\nAfter restart (same engines, same cache file)");
+    println!(
+        "  cache persistence   {} loaded, {} rejected",
+        restarted.cache_entries_loaded, restarted.cache_load_rejected
+    );
+    println!(
+        "  replayed held-out benign inputs: {} hits / {} misses",
+        final_stats.cache_hits, final_stats.cache_misses
+    );
+    let _ = std::fs::remove_file(&cache_path); // keep the demo tidy
     Ok(())
 }

@@ -76,10 +76,14 @@
 //! [`serve::Server`] instead of hand-rolling batches: a bounded submission
 //! queue feeds N worker threads, an adaptive batch former sizes batches from
 //! the backend's `estimate_batch` latency model, a cheap screening engine can
-//! escalate uncertain scores to an expensive tier-2 engine, and an LRU cache
-//! keyed on activation-path prefixes short-circuits repeated/near-duplicate
-//! inputs.  With the cache disabled, served verdicts are bit-for-bit identical
-//! to direct `detect` calls on the routed engine.
+//! escalate uncertain scores to an expensive tier-2 engine — or to a set of
+//! **shard** engines splitting a many-class canary set
+//! (`ServerBuilder::escalate_sharded`, with tier-2 slivers pipelined against
+//! the next batch's screening by default) — and an LRU cache keyed on
+//! activation-path prefixes short-circuits repeated/near-duplicate inputs
+//! (persistable across restarts via `CacheConfig::persist_path`).  With the
+//! cache disabled, served verdicts are bit-for-bit identical to direct
+//! `detect` calls on the routed engine, sharded or not.
 //!
 //! ```no_run
 //! use ptolemy::prelude::*;

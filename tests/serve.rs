@@ -1,6 +1,9 @@
 //! Cross-crate tests of the serving runtime: bit-for-bit parity between served
-//! and direct detection, and the property that every ticket resolves exactly
-//! once with its own input's result under arbitrary interleavings.
+//! and direct detection (including sharded tier-2 escalation vs the unsharded
+//! engine, across every `variants::*` program and shard counts 1..4), cache
+//! persistence across server restarts, and the property that every ticket
+//! resolves exactly once with its own input's result under arbitrary
+//! interleavings.
 
 mod common;
 
@@ -12,8 +15,12 @@ use ptolemy::prelude::*;
 /// Engines and a request pool shared by every test case: building engines
 /// needs training + profiling, far too slow to repeat per property-test case.
 struct Fixtures {
+    network: Arc<Network>,
     screen: Arc<DetectionEngine>,
     expensive: Arc<DetectionEngine>,
+    /// One calibrated escalation engine per `variants::*` constructor, used by
+    /// the sharded-parity property.
+    escalations: Vec<(&'static str, Arc<DetectionEngine>)>,
     inputs: Vec<Tensor>,
 }
 
@@ -44,14 +51,56 @@ fn fixtures() -> &'static Fixtures {
         };
         let screen = build(variants::fw_ab(&network, 0.05).unwrap());
         let expensive = build(variants::bw_cu(&network, 0.5).unwrap());
+        // Every canned program constructor: both directions, both threshold
+        // kinds, the hybrid mix and both selective-extraction modes — each a
+        // potential tier-2 engine to shard.
+        let escalations = vec![
+            ("bw_cu", expensive.clone()),
+            ("bw_ab", build(variants::bw_ab(&network, 0.2).unwrap())),
+            ("fw_ab", build(variants::fw_ab(&network, 0.1).unwrap())),
+            ("fw_cu", build(variants::fw_cu(&network, 0.5).unwrap())),
+            (
+                "hybrid",
+                build(variants::hybrid(&network, 0.2, 0.5).unwrap()),
+            ),
+            (
+                "bw_cu_early_termination",
+                build(variants::bw_cu_early_termination(&network, 0.5, 2).unwrap()),
+            ),
+            (
+                "fw_ab_late_start",
+                build(variants::fw_ab_late_start(&network, 0.05, 1).unwrap()),
+            ),
+        ];
         let mut inputs = benign;
         inputs.extend(adversarial);
         Fixtures {
+            network,
             screen,
             expensive,
+            escalations,
             inputs,
         }
     })
+}
+
+/// Escalation shards built from `full`'s canary set, forest and threshold —
+/// the recipe `ServerBuilder::escalate_sharded` documents.
+fn shard_engines(fx: &Fixtures, full: &DetectionEngine, n: usize) -> Vec<Arc<DetectionEngine>> {
+    full.class_paths()
+        .shard(n)
+        .unwrap()
+        .into_iter()
+        .map(|paths| {
+            Arc::new(
+                DetectionEngine::builder(fx.network.clone(), full.program().clone(), paths)
+                    .forest(full.forest().expect("calibrated engine").clone())
+                    .threshold(full.threshold())
+                    .build()
+                    .unwrap(),
+            )
+        })
+        .collect()
 }
 
 /// The direct result of the engine the server's router picked for this tier.
@@ -120,6 +169,7 @@ fn duplicated_workload_reports_cache_hits() {
         .cache(CacheConfig {
             capacity: 256,
             prefix_segments: usize::MAX,
+            persist_path: None,
         })
         .start()
         .unwrap();
@@ -228,4 +278,184 @@ proptest! {
         prop_assert_eq!(stats.completed, total);
         prop_assert_eq!(stats.failed, 0);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tentpole acceptance: for every `variants::*` escalation program and
+    /// shard counts 1..4, the union of shard verdicts is **bit-for-bit**
+    /// identical to the unsharded escalation engine — whether the tier-2
+    /// sliver runs inline or pipelined against the next batch's screening.
+    #[test]
+    fn sharded_escalation_is_bit_for_bit_identical_to_unsharded(
+        variant in 0usize..7,
+        shards in 1usize..=4,
+        pipelined in any::<bool>(),
+    ) {
+        let fx = fixtures();
+        let (_name, full) = &fx.escalations[variant % fx.escalations.len()];
+        let shard_set = shard_engines(fx, full, shards);
+        // Everything escalates, so every verdict exercises the shards.
+        let unsharded = Server::builder(fx.screen.clone())
+            .escalate(full.clone(), 0.0, 1.0)
+            .workers(2)
+            .pipeline_escalation(false)
+            .start()
+            .unwrap();
+        let sharded = Server::builder(fx.screen.clone())
+            .escalate_sharded(shard_set, 0.0, 1.0)
+            .workers(2)
+            .pipeline_escalation(pipelined)
+            .start()
+            .unwrap();
+
+        let baseline: Vec<Ticket> = fx
+            .inputs
+            .iter()
+            .map(|x| unsharded.submit(x.clone()).unwrap())
+            .collect();
+        let routed: Vec<Ticket> = fx
+            .inputs
+            .iter()
+            .map(|x| sharded.submit(x.clone()).unwrap())
+            .collect();
+        for (a, b) in baseline.into_iter().zip(routed) {
+            let a = a.wait().unwrap();
+            let b = b.wait().unwrap();
+            prop_assert_eq!(a.tier, b.tier);
+            prop_assert_eq!(a.detection, b.detection);
+            prop_assert_eq!(a.detection.score.to_bits(), b.detection.score.to_bits());
+            prop_assert_eq!(
+                a.detection.similarity.to_bits(),
+                b.detection.similarity.to_bits()
+            );
+        }
+
+        let reference = unsharded.shutdown();
+        let stats = sharded.shutdown();
+        prop_assert_eq!(reference.escalated, fx.inputs.len() as u64);
+        prop_assert_eq!(stats.escalated, reference.escalated);
+        prop_assert_eq!(stats.shard_escalations.len(), shards);
+        prop_assert_eq!(
+            stats.shard_escalations.iter().sum::<u64>(),
+            stats.escalated
+        );
+        if !pipelined {
+            prop_assert_eq!(stats.pipelined_batches, 0);
+        }
+        prop_assert_eq!(stats.failed, 0);
+    }
+}
+
+fn persist_file(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "ptolemy-serve-it-{}-{tag}.json",
+        std::process::id()
+    ))
+}
+
+/// Cache persistence: a restarted server (same engines, same config) replays
+/// the warm server's hit/miss behaviour — every request that hit before the
+/// restart hits again, with the bit-identical cached verdict.
+#[test]
+fn persisted_cache_replays_identical_hits_after_restart() {
+    let fx = fixtures();
+    let path = persist_file("roundtrip");
+    let _ = std::fs::remove_file(&path);
+    let config = CacheConfig {
+        capacity: 256,
+        prefix_segments: usize::MAX,
+        persist_path: Some(path.clone()),
+    };
+    let build = || {
+        Server::builder(fx.screen.clone())
+            .escalate(fx.expensive.clone(), BAND.0, BAND.1)
+            .workers(1)
+            .cache(config.clone())
+            .start()
+            .unwrap()
+    };
+
+    // Run 1: a cold pass populates the cache, a second pass is served from it.
+    // Waiting on each ticket keeps the hit/miss sequence deterministic.
+    let server = build();
+    for input in &fx.inputs {
+        server.submit(input.clone()).unwrap().wait().unwrap();
+    }
+    let warm: Vec<Served> = fx
+        .inputs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap().wait().unwrap())
+        .collect();
+    assert!(warm.iter().all(|served| served.cache_hit));
+    let stats = server.shutdown();
+    assert!(stats.cache_entries_persisted >= 1);
+    assert_eq!(stats.cache_load_rejected, 0);
+
+    // Run 2: the restarted server replays the warm hit/miss sequence.
+    let server = build();
+    let restarted = server.stats();
+    assert_eq!(
+        restarted.cache_entries_loaded,
+        stats.cache_entries_persisted
+    );
+    assert_eq!(restarted.cache_load_rejected, 0);
+    for (input, warm) in fx.inputs.iter().zip(&warm) {
+        let replay = server.submit(input.clone()).unwrap().wait().unwrap();
+        assert_eq!(replay.cache_hit, warm.cache_hit);
+        assert_eq!(replay.tier, warm.tier);
+        assert_eq!(replay.detection, warm.detection);
+        assert_eq!(
+            replay.detection.score.to_bits(),
+            warm.detection.score.to_bits()
+        );
+        assert_eq!(
+            replay.detection.similarity.to_bits(),
+            warm.detection.similarity.to_bits()
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.cache_hits, fx.inputs.len() as u64);
+    assert_eq!(stats.cache_misses, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A cache file written under one engine fingerprint must not be replayed by a
+/// server built around a different engine: the file is ignored, counted, and
+/// serving starts cold.
+#[test]
+fn persisted_cache_written_by_another_engine_is_ignored() {
+    let fx = fixtures();
+    let path = persist_file("mismatch");
+    let _ = std::fs::remove_file(&path);
+    let config = CacheConfig {
+        capacity: 64,
+        prefix_segments: usize::MAX,
+        persist_path: Some(path.clone()),
+    };
+
+    // Written by a server screening with the FwAb engine…
+    let server = Server::builder(fx.screen.clone())
+        .workers(1)
+        .cache(config.clone())
+        .start()
+        .unwrap();
+    server.submit(fx.inputs[0].clone()).unwrap().wait().unwrap();
+    let stats = server.shutdown();
+    assert!(stats.cache_entries_persisted >= 1);
+
+    // …and offered to a server screening with the BwCu engine.
+    let server = Server::builder(fx.expensive.clone())
+        .workers(1)
+        .cache(config)
+        .start()
+        .unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.cache_load_rejected, 1);
+    assert_eq!(stats.cache_entries_loaded, 0);
+    let cold = server.submit(fx.inputs[0].clone()).unwrap().wait().unwrap();
+    assert!(!cold.cache_hit, "a mismatched cache must not serve hits");
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
 }
