@@ -18,6 +18,7 @@
 //! representative rather than sign-off quality; every figure harness reports
 //! *relative* latency/energy against plain inference, exactly like the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod area;

@@ -55,6 +55,7 @@ impl ExecutionReport {
 
     /// Energy relative to plain inference.
     pub fn energy_factor(&self) -> f64 {
+        // lint:allow(float-eq): division guard for the unmodelled-energy sentinel
         if self.inference_energy_pj == 0.0 {
             0.0
         } else {
@@ -79,6 +80,7 @@ impl ExecutionReport {
     /// Average power relative to plain inference (used by the Fig. 18 sweeps, which
     /// report power rather than energy).
     pub fn power_factor(&self) -> f64 {
+        // lint:allow(float-eq): division guard for the unmodelled-energy sentinel
         if self.total_cycles == 0 || self.inference_cycles == 0 || self.inference_energy_pj == 0.0 {
             0.0
         } else {

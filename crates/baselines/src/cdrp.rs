@@ -74,6 +74,7 @@ fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
     let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
     let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+    // lint:allow(float-eq): zero-norm division guard; norms are exact +0.0 here
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {

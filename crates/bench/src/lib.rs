@@ -20,6 +20,7 @@
 //! not the authors' 15 nm testbed); what the harnesses reproduce is the *shape* of
 //! every result — who wins, by roughly what factor, and where the crossovers fall.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -26,6 +26,7 @@ use ptolemy_isa::{Instruction, Program, Reg};
 use crate::Result;
 
 fn r(i: u8) -> Reg {
+    // lint:allow(panic-in-worker): all call sites pass literal indices below 16
     Reg::new(i).expect("register indices below 16")
 }
 

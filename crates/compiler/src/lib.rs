@@ -20,6 +20,7 @@
 //!
 //! The cycle/energy consequences of the schedule are evaluated by `ptolemy-accel`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod codegen;

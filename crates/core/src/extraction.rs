@@ -437,6 +437,7 @@ fn extract_backward<S: BoundarySource + ?Sized>(
             let ordinal = weight_layers
                 .iter()
                 .position(|&l| l == layer_idx)
+                // lint:allow(panic-in-worker): layer_idx was taken from this list
                 .expect("weight layer index");
             let spec = program.specs()[ordinal];
             if !spec.enabled {
@@ -583,6 +584,7 @@ fn backward_retention(network: &Network, program: &DetectionProgram) -> Result<V
             let ordinal = weight_layers
                 .iter()
                 .position(|&l| l == layer_idx)
+                // lint:allow(panic-in-worker): layer_idx was taken from this list
                 .expect("weight layer index");
             if !program.specs()[ordinal].enabled {
                 // The reverse walk breaks here; nothing below is ever read.

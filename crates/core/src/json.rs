@@ -149,7 +149,7 @@ impl Parser<'_> {
             .ok_or_else(|| "unexpected end of input".to_string())
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek()? == b {
             self.pos += 1;
             Ok(())
@@ -172,7 +172,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
@@ -224,14 +224,15 @@ impl Parser<'_> {
         while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("non-UTF-8 number at byte {start}: {e}"))?;
         text.parse::<u64>()
             .map(JsonValue::UInt)
             .map_err(|e| format!("invalid integer '{text}': {e}"))
     }
 
     fn array(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
             self.pos += 1;
@@ -256,7 +257,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         if self.peek()? == b'}' {
             self.pos += 1;
@@ -264,7 +265,7 @@ impl Parser<'_> {
         }
         loop {
             let key = self.string()?;
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             fields.push((key, value));
             match self.peek()? {

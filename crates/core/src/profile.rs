@@ -154,7 +154,7 @@ pub fn similarity_stats(matrix: &[Vec<f32>]) -> SimilarityStats {
     }
     off_diag.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let average = off_diag.iter().sum::<f32>() / off_diag.len() as f32;
-    let max = *off_diag.last().unwrap();
+    let max = off_diag.last().copied().unwrap_or(0.0); // non-empty checked above
     let p90 = off_diag[((off_diag.len() as f32 * 0.9) as usize).min(off_diag.len() - 1)];
     SimilarityStats { average, max, p90 }
 }

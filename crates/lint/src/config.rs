@@ -1,0 +1,270 @@
+//! `lint.toml` parsing: a hand-rolled subset of TOML (sections, string values
+//! and string arrays, `#` comments) — enough for path-scoped lint policy
+//! without pulling a TOML crate into the offline workspace.
+//!
+//! ```toml
+//! [scan]
+//! roots = ["crates", "src", "examples", "tests"]
+//! exclude = ["crates/lint/tests/fixtures"]
+//!
+//! [relaxed]
+//! paths = ["crates/bench/"]
+//!
+//! [allow]
+//! direct-available-parallelism = ["crates/nn/src/batch.rs"]
+//! ```
+
+use crate::lints;
+
+/// Path-scoped lint policy loaded from `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Directories (relative to the workspace root) whose `.rs` files are
+    /// scanned.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from the scan entirely (fixtures, vendored
+    /// shims, build output).
+    pub exclude: Vec<String>,
+    /// Path prefixes where only the always-on lints run (see
+    /// [`crate::lints::relaxed_in_tests`]).  Any path with a `tests`,
+    /// `examples` or `benches` component is relaxed implicitly.
+    pub relaxed: Vec<String>,
+    /// Per-lint allowances: `(lint name, path prefixes where it is off)`.
+    pub allow: Vec<(String, Vec<String>)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            roots: vec![
+                "crates".into(),
+                "src".into(),
+                "examples".into(),
+                "tests".into(),
+            ],
+            exclude: Vec::new(),
+            relaxed: Vec::new(),
+            allow: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses a `lint.toml` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for anything outside the
+    /// supported subset, and for `[allow]` keys that are not known lint names
+    /// (a typo there would silently disable nothing).
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        let mut pending = String::new();
+        for (index, raw) in text.lines().enumerate() {
+            let line_no = index + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: buffer until brackets balance.
+            let candidate = if pending.is_empty() {
+                line
+            } else {
+                format!("{pending} {line}")
+            };
+            if unbalanced(&candidate) {
+                pending = candidate;
+                continue;
+            }
+            pending = String::new();
+            let line = candidate;
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{line_no}: expected `key = value`"))?;
+            let key = key.trim();
+            let values =
+                parse_values(value.trim()).map_err(|e| format!("lint.toml:{line_no}: {e}"))?;
+            match (section.as_str(), key) {
+                ("scan", "roots") => config.roots = values,
+                ("scan", "exclude") => config.exclude = values,
+                ("relaxed", "paths") => config.relaxed = values,
+                ("allow", lint) => {
+                    if !lints::is_known(lint) {
+                        return Err(format!(
+                            "lint.toml:{line_no}: unknown lint '{lint}' in [allow] (known: {})",
+                            lints::known_names().join(", ")
+                        ));
+                    }
+                    config.allow.push((lint.to_string(), values));
+                }
+                _ => {
+                    return Err(format!(
+                        "lint.toml:{line_no}: unsupported key '{key}' in section [{section}]"
+                    ))
+                }
+            }
+        }
+        if !pending.is_empty() {
+            return Err("lint.toml: unterminated array".into());
+        }
+        Ok(config)
+    }
+
+    /// Loads the config from a file, or the defaults when the file is absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures (other than the file being missing) and parse
+    /// errors.
+    pub fn load(path: &std::path::Path) -> Result<Config, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Config::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// `true` if `path` (workspace-relative, forward slashes) is excluded from
+    /// the scan.
+    pub fn is_excluded(&self, path: &str) -> bool {
+        self.exclude.iter().any(|prefix| path.starts_with(prefix))
+    }
+
+    /// `true` if `path` gets the relaxed rule set: a `tests`/`examples`/
+    /// `benches` component, or a configured prefix.
+    pub fn is_relaxed(&self, path: &str) -> bool {
+        path.split('/')
+            .any(|part| matches!(part, "tests" | "examples" | "benches"))
+            || self.relaxed.iter().any(|prefix| path.starts_with(prefix))
+    }
+
+    /// The lints disabled for `path` via `[allow]` entries.
+    pub fn allowed_lints(&self, path: &str) -> Vec<&str> {
+        self.allow
+            .iter()
+            .filter(|(_, prefixes)| prefixes.iter().any(|prefix| path.starts_with(prefix)))
+            .map(|(lint, _)| lint.as_str())
+            .collect()
+    }
+}
+
+/// Strips a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `true` while an array value still awaits its closing bracket.
+fn unbalanced(line: &str) -> bool {
+    let mut in_string = false;
+    let mut depth = 0i64;
+    for c in line.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0
+}
+
+/// Parses `"v"` or `["a", "b", …]` into a list of strings.
+fn parse_values(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or("array value missing closing ']'")?;
+        inner
+            .split(',')
+            .map(str::trim)
+            .filter(|part| !part.is_empty())
+            .map(parse_string)
+            .collect()
+    } else {
+        Ok(vec![parse_string(value)?])
+    }
+}
+
+fn parse_string(part: &str) -> Result<String, String> {
+    part.strip_prefix('"')
+        .and_then(|p| p.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got '{part}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let config = Config::parse(
+            r#"
+# workspace lint policy
+[scan]
+roots = ["crates", "src"]
+exclude = [
+    "crates/lint/tests/fixtures",  # fixture snippets are deliberate violations
+    "vendor",
+]
+
+[relaxed]
+paths = ["crates/bench/"]
+
+[allow]
+direct-available-parallelism = ["crates/nn/src/batch.rs", "crates/nn/src/lib.rs"]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(config.roots, vec!["crates", "src"]);
+        assert_eq!(config.exclude, vec!["crates/lint/tests/fixtures", "vendor"]);
+        assert!(config.is_excluded("vendor/proptest/src/lib.rs"));
+        assert!(config.is_relaxed("crates/bench/src/lib.rs"));
+        assert!(config.is_relaxed("crates/tensor/tests/proptests.rs"));
+        assert!(!config.is_relaxed("crates/tensor/src/ops.rs"));
+        assert_eq!(
+            config.allowed_lints("crates/nn/src/batch.rs"),
+            vec!["direct-available-parallelism"]
+        );
+        assert!(config
+            .allowed_lints("crates/serve/src/server.rs")
+            .is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_lints_and_bad_syntax() {
+        assert!(Config::parse("[allow]\nno-such-lint = [\"x\"]")
+            .unwrap_err()
+            .contains("unknown lint"));
+        assert!(Config::parse("[scan]\nroots")
+            .unwrap_err()
+            .contains("key = value"));
+        assert!(Config::parse("[scan]\nroots = [\"a\"")
+            .unwrap_err()
+            .contains("unterminated"));
+        assert!(Config::parse("[scan]\nbogus = \"x\"")
+            .unwrap_err()
+            .contains("unsupported key"));
+    }
+
+    #[test]
+    fn defaults_apply_without_a_file() {
+        let config =
+            Config::load(std::path::Path::new("/nonexistent/lint.toml")).expect("defaults");
+        assert_eq!(config, Config::default());
+    }
+}

@@ -1,0 +1,543 @@
+//! A hand-rolled Rust lexer: just enough tokenization for line-precise,
+//! string/char/comment-aware lints, in the same offline spirit as
+//! `ptolemy_core::json` (no proc-macro2/syn — the workspace has no crates.io
+//! access, and the lints only need token adjacency, not a parse tree).
+//!
+//! The lexer understands the parts of Rust that break naive `grep`-style
+//! scanning: line and (nested) block comments, string/char/byte/raw-string
+//! literals (so `"unwrap()"` inside a string is not a call), lifetimes vs char
+//! literals, float vs integer literals, and multi-character operators (so `==`
+//! is distinguishable from `=>` and `<=`).
+
+/// One lexed token with its 1-indexed source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-indexed line of the token's first character.
+    pub line: usize,
+    /// 1-indexed column (in bytes) of the token's first character.
+    pub col: usize,
+}
+
+/// The token classes the lints care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `mpsc`, …).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// An integer literal (including hex/octal/binary forms).
+    Int,
+    /// A floating-point literal (`0.5`, `1e-3`, `2f32`, …).
+    Float,
+    /// A string, raw-string, byte-string or char literal (contents ignored).
+    Literal,
+    /// A `// …` comment (doc comments included); the text excludes the `//`.
+    LineComment(String),
+    /// A `/* … */` comment (nesting handled); the text excludes the delimiters.
+    BlockComment(String),
+    /// An operator or punctuation token (`==`, `::`, `.`, `#`, `{`, …).
+    Punct(&'static str),
+}
+
+impl TokenKind {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// `true` for the given punctuation/operator token.
+    pub fn is_punct(&self, op: &str) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == op)
+    }
+
+    /// `true` for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self, TokenKind::LineComment(_) | TokenKind::BlockComment(_))
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Single-character punctuation, interned as `&'static str`.
+const SINGLE_OPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "^", "&", "|", "!", "=", "<", ">", ".", ",", ";", ":", "#", "?", "@",
+    "(", ")", "[", "]", "{", "}", "$", "~",
+];
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+/// Lexes `source` into a token stream.  Unknown bytes are skipped (the lints
+/// must degrade gracefully on exotic input rather than refuse to scan a file).
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lexer = Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(token) = lexer.next_token() {
+        tokens.push(token);
+    }
+    tokens
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one byte, tracking line/column.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        // Skip whitespace.
+        while let b' ' | b'\t' | b'\r' | b'\n' = self.peek(0)? {
+            self.bump();
+        }
+        let (line, col) = (self.line, self.col);
+        let b = self.peek(0)?;
+        let kind = match b {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' | b'c' if self.literal_prefix() => self.prefixed_literal(),
+            b'0'..=b'9' => self.number(),
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+            _ if !b.is_ascii() => {
+                // Non-ASCII outside strings/comments (e.g. in a doc attribute
+                // the lexer mis-entered): consume the byte and move on.
+                self.bump();
+                return self.next_token();
+            }
+            _ => self.punct(),
+        };
+        Some(Token { kind, line, col })
+    }
+
+    /// `true` if the `r`/`b`/`c` at the cursor starts a literal (`r"`, `r#"`,
+    /// `b"`, `b'`, `br"`, `br#"`, `c"`, …) rather than an identifier.
+    fn literal_prefix(&self) -> bool {
+        let after = |i: usize| self.peek(i);
+        match (self.peek(0), after(1)) {
+            (Some(b'r'), Some(b'"' | b'#')) => true,
+            (Some(b'b'), Some(b'"' | b'\'')) => true,
+            (Some(b'b'), Some(b'r')) if matches!(after(2), Some(b'"' | b'#')) => true,
+            (Some(b'c'), Some(b'"')) => true,
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        self.bump_n(2); // "//"
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        TokenKind::LineComment(text)
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump_n(2); // "/*"
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    end = self.pos;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => {
+                    end = self.pos;
+                    break; // unterminated: tolerate
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        TokenKind::BlockComment(text)
+    }
+
+    /// A plain `"…"` string with escapes.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'"' => break,
+                b'\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+        TokenKind::Literal
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`, `c"…"` — anything
+    /// [`Lexer::literal_prefix`] accepted.
+    fn prefixed_literal(&mut self) -> TokenKind {
+        // Consume the prefix letters: `r`, `b`, `c` or `br` — after them
+        // [`Lexer::literal_prefix`] guarantees a quote or raw-string hash.
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
+            self.bump_n(2);
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'\'') {
+            // b'x' byte char.
+            self.bump();
+            while let Some(b) = self.bump() {
+                match b {
+                    b'\'' => break,
+                    b'\\' => {
+                        self.bump();
+                    }
+                    _ => {}
+                }
+            }
+            return TokenKind::Literal;
+        }
+        // Count raw-string hashes.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#ident` raw identifier: we consumed `r` and one `#`.
+            return self.ident();
+        }
+        self.bump(); // opening quote
+        if hashes == 0 {
+            // Non-raw prefixed string (b"…", c"…") honors escapes; raw
+            // strings (hashes == 0 via r"…") do not, but treating `\"` as an
+            // escape inside r"…" only ever *extends* the literal over a
+            // quote-backslash pair, which real code does not hit.
+            while let Some(b) = self.bump() {
+                match b {
+                    b'"' => break,
+                    b'\\' => {
+                        self.bump();
+                    }
+                    _ => {}
+                }
+            }
+        } else {
+            // Raw with hashes: scan for `"` followed by `hashes` hashes.
+            'outer: while let Some(b) = self.bump() {
+                if b == b'"' {
+                    for i in 0..hashes {
+                        if self.peek(i) != Some(b'#') {
+                            continue 'outer;
+                        }
+                    }
+                    self.bump_n(hashes);
+                    break;
+                }
+            }
+        }
+        TokenKind::Literal
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal.
+                self.bump();
+                self.bump();
+                while let Some(b) = self.bump() {
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Literal
+            }
+            Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9') => {
+                if self.peek(1) == Some(b'\'') {
+                    // 'x'
+                    self.bump_n(2);
+                    TokenKind::Literal
+                } else {
+                    // 'lifetime
+                    while matches!(
+                        self.peek(0),
+                        Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+                    ) {
+                        self.bump();
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            _ => {
+                // Char literal holding punctuation ('(', '{', …) or a
+                // non-ASCII char; scan to the closing quote.
+                while let Some(b) = self.bump() {
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Literal
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            // Radix literal: never a float.
+            self.bump_n(2);
+            while matches!(
+                self.peek(0),
+                Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_')
+            ) {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(0), Some(b'0'..=b'9' | b'_')) {
+                self.bump();
+            }
+            // A fractional part only when `.` is followed by a digit — `1..8`
+            // is a range and `1.max(2)` a method call, not floats.
+            if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+                float = true;
+                self.bump();
+                while matches!(self.peek(0), Some(b'0'..=b'9' | b'_')) {
+                    self.bump();
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+                if matches!(self.peek(1 + sign), Some(b'0'..=b'9')) {
+                    float = true;
+                    self.bump_n(1 + sign);
+                    while matches!(self.peek(0), Some(b'0'..=b'9' | b'_')) {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, …).
+        let suffix_start = self.pos;
+        while matches!(
+            self.peek(0),
+            Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+        ) {
+            self.bump();
+        }
+        let suffix = &self.bytes[suffix_start..self.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(
+            self.peek(0),
+            Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+        ) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        TokenKind::Ident(text)
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        for op in MULTI_OPS {
+            if self.bytes[self.pos..].starts_with(op.as_bytes()) {
+                self.bump_n(op.len());
+                return TokenKind::Punct(op);
+            }
+        }
+        let b = self.peek(0).unwrap_or(b' ');
+        for op in SINGLE_OPS {
+            if op.as_bytes()[0] == b {
+                self.bump();
+                return TokenKind::Punct(op);
+            }
+        }
+        // Unknown punctuation: consume and keep going.
+        self.bump();
+        TokenKind::Punct("?")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_calls_and_ops() {
+        let toks = kinds("x.unwrap() == y;");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("."),
+                TokenKind::Ident("unwrap".into()),
+                TokenKind::Punct("("),
+                TokenKind::Punct(")"),
+                TokenKind::Punct("=="),
+                TokenKind::Ident("y".into()),
+                TokenKind::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let toks = kinds("let s = \"x.unwrap() // not code\"; // trailing unwrap()\n/* panic! */");
+        assert!(toks.iter().all(|t| t.ident() != Some("unwrap")));
+        assert!(matches!(
+            toks.iter().find(|t| t.is_comment()),
+            Some(TokenKind::LineComment(text)) if text.contains("trailing")
+        ));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::BlockComment(text) if text.contains("panic!"))));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r####"let a = r#"quote " inside"#; let b = b"bytes"; let c = b'x';"####);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, TokenKind::Literal))
+                .count(),
+            3
+        );
+        // The identifiers before/after survive.
+        assert!(toks.iter().any(|t| t.ident() == Some("a")));
+        assert!(toks.iter().any(|t| t.ident() == Some("c")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, TokenKind::Lifetime))
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, TokenKind::Literal))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        assert_eq!(kinds("1.5"), vec![TokenKind::Float]);
+        assert_eq!(kinds("2f32"), vec![TokenKind::Float]);
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Float]);
+        assert_eq!(kinds("0x1f"), vec![TokenKind::Int]);
+        assert_eq!(
+            kinds("1..8"),
+            vec![TokenKind::Int, TokenKind::Punct(".."), TokenKind::Int]
+        );
+        assert_eq!(
+            kinds("1.max(2)"),
+            vec![
+                TokenKind::Int,
+                TokenKind::Punct("."),
+                TokenKind::Ident("max".into()),
+                TokenKind::Punct("("),
+                TokenKind::Int,
+                TokenKind::Punct(")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_ops_do_not_split() {
+        assert_eq!(kinds("=>"), vec![TokenKind::Punct("=>")]);
+        assert_eq!(kinds("!="), vec![TokenKind::Punct("!=")]);
+        assert_eq!(kinds("::"), vec![TokenKind::Punct("::")]);
+        assert_eq!(
+            kinds("a!=b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("!="),
+                TokenKind::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_indexed() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("r#type");
+        assert!(matches!(&toks[0], TokenKind::Ident(_)));
+    }
+}

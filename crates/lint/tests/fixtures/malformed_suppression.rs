@@ -1,0 +1,13 @@
+//! Ill-formed suppressions: a missing reason or an unknown lint name is itself
+//! a finding, and the broken marker does **not** suppress the underlying
+//! violation.
+
+fn missing_reason(input: Option<u32>) -> u32 {
+    // lint:allow(panic-in-worker)
+    input.unwrap()
+}
+
+fn unknown_lint() {
+    // lint:allow(no-such-lint): the name is not registered
+    todo!()
+}

@@ -1,0 +1,50 @@
+//! Idiomatic look-alikes that must produce **zero** findings: the lints match
+//! token adjacency, so strings, comments, documented unsafe, bounded channels
+//! and `#[cfg(test)]` regions are all fine.
+
+//! A doc comment mentioning std::thread::available_parallelism() is not a call.
+
+fn bounded_handoff() {
+    // sync_channel is the sanctioned bounded handoff.
+    let (_tx, _rx) = std::sync::mpsc::sync_channel::<u32>(1);
+}
+
+fn message() -> &'static str {
+    // The forbidden phrases inside literals are data, not code:
+    "call channel() or unwrap() or panic!() — none of these count"
+}
+
+fn graceful(input: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_else are the non-panicking cousins.
+    input.unwrap_or_else(|| 0)
+}
+
+fn bits_equal(a: f32, b: f32) -> bool {
+    // Bit comparison is the sanctioned float-equality idiom.
+    a.to_bits() == b.to_bits()
+}
+
+fn int_compare(a: usize, b: usize) -> bool {
+    a == b
+}
+
+fn documented(ptr: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `ptr` points at a live, aligned byte.
+    unsafe { *ptr }
+}
+
+fn range_not_float() -> u32 {
+    // `1..8` must lex as ints + range, never as a float comparison operand.
+    (1..8).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let nan = f32::NAN;
+        assert!(!(nan == nan));
+    }
+}

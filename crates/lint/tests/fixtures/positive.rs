@@ -1,0 +1,41 @@
+//! Deliberate violations — one per lint — used by the fixture-driven
+//! integration test.  This file is excluded from the workspace scan by
+//! `lint.toml` and is never compiled (it is read as data, not as a module).
+
+fn spawn_workers() -> usize {
+    // direct-available-parallelism: must go through the cached accessor.
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    threads
+}
+
+fn make_queue() {
+    // unbounded-channel: the serving runtime is bounded end-to-end.
+    let (_tx, _rx) = std::sync::mpsc::channel::<u32>();
+}
+
+fn risky(input: Option<u32>) -> u32 {
+    // panic-in-worker: bare unwrap in non-test library code.
+    input.unwrap()
+}
+
+fn also_risky(flag: bool) {
+    if flag {
+        // panic-in-worker: explicit panic in non-test library code.
+        panic!("boom");
+    }
+}
+
+fn compare(a: f32) -> bool {
+    // float-eq: accidental float equality instead of bit comparison.
+    a == 0.5
+}
+
+fn touch(ptr: *const u8) -> u8 {
+    // undocumented-unsafe: no SAFETY comment anywhere above.
+    unsafe { *ptr }
+}
+
+fn later() {
+    // todo-marker: unfinished code must not land.
+    todo!()
+}

@@ -1,0 +1,21 @@
+//! Violations carrying well-formed `lint:allow` suppressions — each names the
+//! lint and gives a reason, so the file must produce **zero** findings.
+
+fn trailing(input: Option<u32>) -> u32 {
+    input.unwrap() // lint:allow(panic-in-worker): fixture demonstrates trailing form
+}
+
+fn line_above(input: Option<u32>) -> u32 {
+    // lint:allow(panic-in-worker): fixture demonstrates the line-above form
+    input.unwrap()
+}
+
+fn sentinel(a: f32) -> bool {
+    // lint:allow(float-eq): comparing against an exact sentinel value
+    a == 0.0
+}
+
+fn deliberate_todo() {
+    // lint:allow(todo-marker): fixture demonstrates suppressing the marker
+    todo!()
+}

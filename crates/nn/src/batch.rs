@@ -91,6 +91,7 @@ pub(crate) fn matmul_rows_parallel(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             let i = first_row + local;
             for kk in 0..k {
                 let aik = av[i * k + kk];
+                // lint:allow(float-eq): sparsity skip; +/-0.0 both contribute nothing
                 if aik == 0.0 {
                     continue;
                 }

@@ -75,6 +75,7 @@ impl Residual {
     fn body_trace(&self, input: &Tensor) -> Result<Vec<Tensor>> {
         let mut acts = vec![input.clone()];
         for layer in &self.body {
+            // lint:allow(panic-in-worker): acts is seeded with the block input
             let next = layer.forward(acts.last().expect("non-empty"))?;
             acts.push(next);
         }
@@ -109,6 +110,7 @@ impl Layer for Residual {
     fn forward(&self, input: &Tensor) -> Result<Tensor> {
         self.check(input)?;
         let acts = self.body_trace(input)?;
+        // lint:allow(panic-in-worker): body_trace always yields the seed input
         let mut out = acts.last().expect("non-empty").add(input)?;
         if self.post_relu {
             out.map_inplace(|v| v.max(0.0));
@@ -121,6 +123,7 @@ impl Layer for Residual {
         // Chain the body's fused kernels, then apply the shortcut add (and the
         // optional post-ReLU) element-wise over the stacked buffer — the same
         // per-element operations as the single-sample path, in the same order.
+        // lint:allow(panic-in-worker): an empty body is rejected at construction
         let (first, rest) = self.body.split_first().expect("non-empty");
         let mut cur = first.forward_batch(batch)?;
         for layer in rest {
@@ -136,6 +139,7 @@ impl Layer for Residual {
     fn backward(&self, input: &Tensor, grad_output: &Tensor) -> Result<LayerGrads> {
         self.check(input)?;
         let acts = self.body_trace(input)?;
+        // lint:allow(panic-in-worker): body_trace always yields the seed input
         let pre_act = acts.last().expect("non-empty").add(input)?;
 
         // Gradient through the optional post-ReLU.
@@ -192,6 +196,7 @@ impl Layer for Residual {
         }
         let acts = self.body_trace(input)?;
         let last_input = &acts[acts.len() - 2];
+        // lint:allow(panic-in-worker): an empty body is rejected at construction
         let last = self.body.last().expect("non-empty");
         let mut pairs = match last.contributions(last_input, out_idx)? {
             Contribution::Weighted(pairs) => pairs,

@@ -162,6 +162,7 @@ impl ForwardTrace {
     pub fn logits(&self) -> &Tensor {
         self.activations
             .last()
+            // lint:allow(panic-in-worker): forward_trace always records >= 2 boundaries
             .expect("a trace holds at least two boundaries")
     }
 
@@ -277,6 +278,7 @@ impl BatchTrace {
         Ok(self
             .activations
             .last()
+            // lint:allow(panic-in-worker): forward_trace_batch never yields an empty trace
             .expect("batch trace of a non-empty network")
             .slice_batch(index)?)
     }

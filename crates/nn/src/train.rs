@@ -168,6 +168,7 @@ impl Trainer {
                 }
             }
         }
+        // lint:allow(panic-in-worker): chunks() never yields an empty batch
         let mut accumulated = accumulated.expect("non-empty batch");
         let scale = 1.0 / batch.len() as f32;
         for layer in &mut accumulated {
@@ -193,6 +194,7 @@ impl Trainer {
         let update = if self.config.momentum > 0.0 {
             self.velocity
                 .as_ref()
+                // lint:allow(panic-in-worker): seeded by the momentum branch just above
                 .expect("velocity initialised")
                 .clone()
         } else {

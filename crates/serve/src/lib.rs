@@ -98,13 +98,15 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod batch;
 mod cache;
 mod error;
 mod server;
 mod stats;
+mod sync;
 
 pub use batch::BatchPolicy;
 pub use cache::{CacheConfig, LruCache};

@@ -7,7 +7,7 @@ use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::TrySendError;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -18,6 +18,7 @@ use crate::batch::{adaptive_cap, BatchPolicy};
 use crate::cache::{self, CacheConfig, CacheLoad, CachedVerdict, LruCache};
 use crate::error::{Result, ServeError};
 use crate::stats::{ServeStats, StatsInner};
+use crate::sync::{self, lock};
 
 /// Which engine produced a served verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,11 +72,7 @@ impl Ticket {
             if let Some(result) = guard.take() {
                 return result;
             }
-            guard = self
-                .slot
-                .ready
-                .wait(guard)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard = sync::wait(&self.slot.ready, guard);
         }
     }
 
@@ -99,13 +96,6 @@ struct QueueState {
     /// out the latency budget while the queue provably cannot grow.
     blocked_submitters: usize,
     shutdown: bool,
-}
-
-/// Poison-tolerant lock: a panicking worker must not wedge every submitter.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -162,6 +152,13 @@ struct Shared {
     /// `(density the cap was computed at (bits), cap)` — recomputed when the
     /// observed density drifts.
     cap_cache: Mutex<Option<(f32, usize)>>,
+    /// Test-only fault injection: makes the next screening pass panic once
+    /// (the flag self-clears), exercising the poison-recovery path end-to-end.
+    #[cfg(test)]
+    fail_next_screen: std::sync::atomic::AtomicBool,
+    /// Test-only fault injection: makes the next escalation pass panic once.
+    #[cfg(test)]
+    fail_next_escalation: std::sync::atomic::AtomicBool,
 }
 
 impl Shared {
@@ -171,7 +168,9 @@ impl Shared {
 
     fn observe_density(&self, density: f32) {
         let current = self.density_ema();
-        let next = if current == 0.0 {
+        // The unseeded sentinel is exactly +0.0 (the atomic starts at bit
+        // pattern 0), so compare bit patterns rather than float values.
+        let next = if current.to_bits() == 0 {
             density
         } else {
             0.9 * current + 0.1 * density
@@ -283,11 +282,7 @@ impl Server {
             // Wake a worker waiting out its latency budget: with a submitter
             // blocked, the current batch cannot grow any further.
             self.shared.not_empty.notify_one();
-            let mut woken = self
-                .shared
-                .not_full
-                .wait(state)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut woken = sync::wait(&self.shared.not_full, state);
             woken.blocked_submitters -= 1;
             state = woken;
         }
@@ -470,6 +465,7 @@ fn worker_loop(shared: &Shared) {
                     // Resolve every still-unresolved ticket of the batch
                     // instead of stranding its waiter, and keep the worker
                     // alive for the rest of the queue.
+                    lock(&shared.stats).worker_panics += 1;
                     cancel_unresolved(shared, &slots);
                 }
             }
@@ -520,17 +516,13 @@ fn next_batch(shared: &Shared, cap: usize) -> Option<Vec<Request>> {
             if state.shutdown {
                 return None;
             }
-            state = shared
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = sync::wait(&shared.not_empty, state);
             continue;
         }
-        let oldest = state
-            .queue
-            .front()
-            .expect("queue checked non-empty")
-            .submitted_at;
+        let oldest = match state.queue.front() {
+            Some(request) => request.submitted_at,
+            None => continue, // re-check emptiness/shutdown at the top
+        };
         let waited = oldest.elapsed();
         // Cut when the batch is as large as it can get: the adaptive cap is
         // reached, or the queue is at capacity with a submitter blocked on
@@ -548,10 +540,7 @@ fn next_batch(shared: &Shared, cap: usize) -> Option<Vec<Request>> {
             return Some(batch);
         }
         let remaining = shared.policy.latency_budget - waited;
-        let (guard, _timeout) = shared
-            .not_empty
-            .wait_timeout(state, remaining)
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let (guard, _timeout) = sync::wait_timeout(&shared.not_empty, state, remaining);
         state = guard;
     }
 }
@@ -609,6 +598,7 @@ fn run_escalations_caught(shared: &Shared, job: EscalationJob) {
         run_escalations(shared, job)
     }));
     if outcome.is_err() {
+        lock(&shared.stats).worker_panics += 1;
         cancel_unresolved(shared, &slots);
     }
 }
@@ -618,7 +608,19 @@ fn run_escalations_caught(shared: &Shared, job: EscalationJob) {
 /// rides in, and the fused kernels preserve per-input arithmetic — so the
 /// union of shard verdicts is bit-for-bit what the unsharded escalation
 /// engine returns.
+/// Panics iff the given injection flag was armed, consuming it.  Test-only:
+/// the drain tests arm these flags to prove a panicking worker degrades
+/// (tickets cancelled, `worker_panics` bumped) instead of wedging the server.
+#[cfg(test)]
+fn maybe_inject_panic(flag: &std::sync::atomic::AtomicBool, what: &str) {
+    if flag.swap(false, Ordering::SeqCst) {
+        panic!("injected {what} panic");
+    }
+}
+
 fn run_escalations(shared: &Shared, job: EscalationJob) {
+    #[cfg(test)]
+    maybe_inject_panic(&shared.fail_next_escalation, "escalation");
     for group in job.groups {
         let engine = &shared.escalate[group.shard];
         let verdicts = engine.detect_batch_with_paths(&group.inputs);
@@ -675,6 +677,8 @@ fn run_escalations(shared: &Shared, job: EscalationJob) {
 /// — the fused kernels preserve the per-input reduction order, so batching
 /// (and sharding, and pipelining) changes scheduling, never arithmetic.
 fn screen_batch(shared: &Shared, batch: Vec<Request>) -> Option<EscalationJob> {
+    #[cfg(test)]
+    maybe_inject_panic(&shared.fail_next_screen, "screening");
     let cache_hit = |cached: CachedVerdict| {
         lock(&shared.stats).cache_hits += 1;
         Served {
@@ -1159,6 +1163,10 @@ impl ServerBuilder {
             stats: Mutex::new(stats),
             density_ema_bits: AtomicU32::new(0.0f32.to_bits()),
             cap_cache: Mutex::new(None),
+            #[cfg(test)]
+            fail_next_screen: std::sync::atomic::AtomicBool::new(false),
+            #[cfg(test)]
+            fail_next_escalation: std::sync::atomic::AtomicBool::new(false),
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -1796,5 +1804,96 @@ mod tests {
         assert!(!cold.cache_hit);
         drop(server);
         let _ = std::fs::remove_file(&path);
+    }
+    #[test]
+    fn panicking_screen_worker_degrades_and_drains() {
+        let fx = fixture(2);
+        let (screen, _) = tiered(&fx);
+        let server = Server::builder(screen).workers(1).start().unwrap();
+
+        // Arm the injection: the next screening pass panics mid-batch.
+        server.shared.fail_next_screen.store(true, Ordering::SeqCst);
+        let err = server
+            .submit(fx.benign[0].clone())
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Canceled(_)), "{err:?}");
+
+        // The sole worker survived the panic and still drains the queue.
+        let served = server.submit(fx.benign[1].clone()).unwrap().wait().unwrap();
+        assert_eq!(served.tier, Tier::Screen);
+        let stats = server.shutdown();
+        assert_eq!(stats.worker_panics, 1, "{stats:?}");
+        assert!(stats.failed >= 1, "{stats:?}");
+        assert!(stats.completed >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn panicking_escalation_worker_degrades_and_drains() {
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        // Band [0, 1] covers every calibrated score, so requests escalate;
+        // inline escalation keeps the panic on the worker thread itself.
+        let server = Server::builder(screen)
+            .escalate(expensive, 0.0, 1.0)
+            .pipeline_escalation(false)
+            .workers(1)
+            .start()
+            .unwrap();
+
+        server
+            .shared
+            .fail_next_escalation
+            .store(true, Ordering::SeqCst);
+        let err = server
+            .submit(fx.adversarial[0].clone())
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Canceled(_)), "{err:?}");
+
+        let served = server
+            .submit(fx.adversarial[1].clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(served.tier, Tier::Escalated);
+        let stats = server.shutdown();
+        assert_eq!(stats.worker_panics, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn panic_on_pipelined_escalation_thread_degrades_and_drains() {
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        // Same as above, but the panic fires on the per-worker overlap thread,
+        // proving the recovery path holds off the worker thread too.
+        let server = Server::builder(screen)
+            .escalate(expensive, 0.0, 1.0)
+            .pipeline_escalation(true)
+            .workers(1)
+            .start()
+            .unwrap();
+
+        server
+            .shared
+            .fail_next_escalation
+            .store(true, Ordering::SeqCst);
+        let err = server
+            .submit(fx.adversarial[0].clone())
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Canceled(_)), "{err:?}");
+
+        let served = server
+            .submit(fx.adversarial[1].clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(served.tier, Tier::Escalated);
+        let stats = server.shutdown();
+        assert_eq!(stats.worker_panics, 1, "{stats:?}");
     }
 }

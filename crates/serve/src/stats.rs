@@ -16,6 +16,11 @@ pub struct ServeStats {
     pub completed: u64,
     /// Requests resolved with an engine error.
     pub failed: u64,
+    /// Times a worker's screening or escalation pass panicked mid-batch.  The
+    /// affected requests resolve as [`crate::ServeError::Canceled`] (counted
+    /// under [`ServeStats::failed`]) and the worker keeps draining the queue —
+    /// this counter is how operators notice the degradation.
+    pub worker_panics: u64,
     /// Requests answered by the tier-1 screening engine alone.
     pub screen_served: u64,
     /// Requests whose screening score fell in the uncertainty band and were
@@ -91,6 +96,7 @@ pub(crate) struct StatsInner {
     pub submitted: u64,
     pub completed: u64,
     pub failed: u64,
+    pub worker_panics: u64,
     pub screen_served: u64,
     pub escalated: u64,
     pub shard_escalations: Vec<u64>,
@@ -143,6 +149,7 @@ impl StatsInner {
             submitted: self.submitted,
             completed: self.completed,
             failed: self.failed,
+            worker_panics: self.worker_panics,
             screen_served: self.screen_served,
             escalated: self.escalated,
             shard_escalations: self.shard_escalations.clone(),

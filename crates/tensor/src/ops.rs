@@ -117,6 +117,7 @@ impl Tensor {
         for i in 0..m {
             for kk in 0..k {
                 let aik = a[i * k + kk];
+                // lint:allow(float-eq): sparsity skip; +/-0.0 both contribute nothing
                 if aik == 0.0 {
                     continue;
                 }

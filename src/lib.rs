@@ -105,6 +105,8 @@
 //! `examples/serving.rs` runs this end to end on trained engines and prints the
 //! full `ServeStats` snapshot.
 
+#![forbid(unsafe_code)]
+
 pub use ptolemy_accel as accel;
 pub use ptolemy_attacks as attacks;
 pub use ptolemy_baselines as baselines;
