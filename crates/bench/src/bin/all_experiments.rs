@@ -1,8 +1,10 @@
 //! Runs every experiment harness in paper order and prints the full
-//! EXPERIMENTS.md-style report (paper artifact, measured tables, shape checks).
+//! EXPERIMENTS.md-style report (paper artifact, measured tables, shape checks),
+//! writing each experiment's `BENCH_<id>.json` perf report as it goes.
 //!
 //! Run with `cargo run --release -p ptolemy-bench --bin all_experiments`; set
-//! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+//! `PTOLEMY_BENCH_SCALE=full` for the larger configuration and
+//! `PTOLEMY_BENCH_OUT` to redirect the perf reports (default `target/bench/`).
 
 use ptolemy_bench::{experiments, BenchScale};
 
@@ -13,11 +15,12 @@ fn main() {
         println!("################################################################");
         println!("# {} — {}", experiment.id, experiment.paper_artifact);
         println!("################################################################");
-        match (experiment.run)(scale) {
-            Ok(tables) => {
+        match experiments::run_and_emit(&experiment, scale) {
+            Ok((tables, report)) => {
                 for table in tables {
                     println!("{table}");
                 }
+                println!("perf report: {}", report.display());
             }
             Err(error) => {
                 failures += 1;

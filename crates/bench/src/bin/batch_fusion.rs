@@ -4,19 +4,6 @@
 //! Run with `cargo run --release -p ptolemy-bench --bin batch_fusion`; set
 //! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
 
-use ptolemy_bench::{experiments, BenchScale};
-
 fn main() {
-    let scale = BenchScale::from_env();
-    match experiments::batch_fusion::run(scale) {
-        Ok(tables) => {
-            for table in tables {
-                println!("{table}");
-            }
-        }
-        Err(error) => {
-            eprintln!("experiment failed: {error}");
-            std::process::exit(1);
-        }
-    }
+    ptolemy_bench::run_binary("batch_fusion");
 }

@@ -3,19 +3,6 @@
 //! Run with `cargo run --release -p ptolemy-bench --bin fig14_distortion`; set
 //! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
 
-use ptolemy_bench::{experiments, BenchScale};
-
 fn main() {
-    let scale = BenchScale::from_env();
-    match experiments::fig14_distortion::run(scale) {
-        Ok(tables) => {
-            for table in tables {
-                println!("{table}");
-            }
-        }
-        Err(error) => {
-            eprintln!("experiment failed: {error}");
-            std::process::exit(1);
-        }
-    }
+    ptolemy_bench::run_binary("fig14_distortion");
 }

@@ -1,0 +1,9 @@
+//! Runs the beyond-paper observability-overhead experiment (uninstrumented
+//! serving vs a registry attached-but-disabled vs enabled).
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin obs_overhead`; set
+//! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+fn main() {
+    ptolemy_bench::run_binary("obs_overhead");
+}

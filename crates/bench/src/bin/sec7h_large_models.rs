@@ -3,19 +3,6 @@
 //! Run with `cargo run --release -p ptolemy-bench --bin sec7h_large_models`; set
 //! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
 
-use ptolemy_bench::{experiments, BenchScale};
-
 fn main() {
-    let scale = BenchScale::from_env();
-    match experiments::sec7h_large_models::run(scale) {
-        Ok(tables) => {
-            for table in tables {
-                println!("{table}");
-            }
-        }
-        Err(error) => {
-            eprintln!("experiment failed: {error}");
-            std::process::exit(1);
-        }
-    }
+    ptolemy_bench::run_binary("sec7h_large_models");
 }

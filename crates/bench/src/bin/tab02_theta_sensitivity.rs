@@ -3,19 +3,6 @@
 //! Run with `cargo run --release -p ptolemy-bench --bin tab02_theta_sensitivity`; set
 //! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
 
-use ptolemy_bench::{experiments, BenchScale};
-
 fn main() {
-    let scale = BenchScale::from_env();
-    match experiments::tab02_theta_sensitivity::run(scale) {
-        Ok(tables) => {
-            for table in tables {
-                println!("{table}");
-            }
-        }
-        Err(error) => {
-            eprintln!("experiment failed: {error}");
-            std::process::exit(1);
-        }
-    }
+    ptolemy_bench::run_binary("tab02_theta_sensitivity");
 }

@@ -107,21 +107,20 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     table.note(format!(
         "paper: ImageNet avg {PAPER_IMAGENET_AVG:.3} (max {PAPER_IMAGENET_MAX:.3}), CIFAR-10 avg {PAPER_CIFAR_AVG:.3} (max {PAPER_CIFAR_MAX:.3}), ResNet50 @ ImageNet avg 0.376"
     ));
+    table.check(
+        "class paths are distinctive (every average well below 1)",
+        imagenet_stats.average < 0.9 && cifar_stats.average < 0.9 && control_stats.average < 0.9,
+    );
     table.note(format!(
-        "shape check — class paths are distinctive (every average well below 1): {}",
-        if imagenet_stats.average < 0.9 && cifar_stats.average < 0.9 && control_stats.average < 0.9
-        {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
-    table.note(format!(
-        "shape check — same architecture, similar-class data shows higher overlap than diverse data ({} vs {}): {}",
+        "similar-class vs diverse-data average overlap: {} vs {}",
         fmt3(cifar_stats.average),
         fmt3(control_stats.average),
-        if cifar_stats.average > control_stats.average { "holds" } else { "VIOLATED" },
     ));
+    table.check(
+        "same architecture, similar-class data shows higher overlap than \
+         diverse data",
+        cifar_stats.average > control_stats.average,
+    );
     table.note(format!(
         "cross-architecture comparison (paper's Fig. 5 axes): CIFAR-style {} vs ImageNet-style {}",
         fmt3(cifar_stats.average),

@@ -115,25 +115,20 @@ fn run_one(wb: &Workbench, title: &str) -> BenchResult<Table> {
         .fold(f32::NEG_INFINITY, f32::max);
     table.note("paper: Ptolemy backward variants beat EP by up to 0.02 and CDRP by 0.1–0.16; FwAb gives up ~0.03 vs EP".to_string());
     table.note(format!(
-        "shape check — best Ptolemy variant is at least EP-competitive ({} vs EP {}): {}",
+        "best Ptolemy {} vs EP {} vs CDRP {}",
         fmt3(best_ptolemy),
         fmt3(ep_mean),
-        if best_ptolemy + 0.03 >= ep_mean {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
-    table.note(format!(
-        "shape check — best Ptolemy variant beats CDRP ({} vs {}): {}",
-        fmt3(best_ptolemy),
         fmt3(cdrp_mean),
-        if best_ptolemy >= cdrp_mean {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
     ));
+    table.metric(
+        "best_ptolemy_auc_milli",
+        (best_ptolemy * 1000.0).max(0.0) as u64,
+    );
+    table.check(
+        "best Ptolemy variant is at least EP-competitive",
+        best_ptolemy + 0.03 >= ep_mean,
+    );
+    table.check("best Ptolemy variant beats CDRP", best_ptolemy >= cdrp_mean);
     Ok(table)
 }
 

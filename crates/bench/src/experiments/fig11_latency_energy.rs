@@ -83,38 +83,21 @@ fn run_one(
         get("Hybrid"),
         get("EP"),
     ) {
-        table.note(format!(
-            "shape check — BwCu >> BwAb >= FwAb in latency: {}",
-            if bwcu.1 > bwab.1 && bwab.1 >= fwab.1 - 1e-9 {
-                "holds"
-            } else {
-                "VIOLATED"
-            }
-        ));
-        table.note(format!(
-            "shape check — FwAb has the lowest latency overhead: {}",
-            if fwab.1 <= bwab.1 && fwab.1 <= hybrid.1 && fwab.1 <= bwcu.1 {
-                "holds"
-            } else {
-                "VIOLATED"
-            }
-        ));
-        table.note(format!(
-            "shape check — Hybrid sits between BwAb and BwCu: {}",
-            if hybrid.1 >= bwab.1 - 1e-9 && hybrid.1 <= bwcu.1 + 1e-9 {
-                "holds"
-            } else {
-                "VIOLATED"
-            }
-        ));
-        table.note(format!(
-            "shape check — EP costs at least as much as BwCu: {}",
-            if ep.1 >= bwcu.1 - 1e-9 {
-                "holds"
-            } else {
-                "VIOLATED"
-            }
-        ));
+        table.check(
+            "BwCu >> BwAb >= FwAb in latency",
+            bwcu.1 > bwab.1 && bwab.1 >= fwab.1 - 1e-9,
+        );
+        table.check(
+            "FwAb has the lowest latency overhead",
+            fwab.1 <= bwab.1 && fwab.1 <= hybrid.1 && fwab.1 <= bwcu.1,
+        );
+        table.check(
+            "Hybrid sits between BwAb and BwCu",
+            hybrid.1 >= bwab.1 - 1e-9 && hybrid.1 <= bwcu.1 + 1e-9,
+        );
+        table.check("EP costs at least as much as BwCu", ep.1 >= bwcu.1 - 1e-9);
+        table.metric("bwcu_latency_factor_milli", (bwcu.1 * 1000.0) as u64);
+        table.metric("fwab_latency_factor_milli", (fwab.1 * 1000.0) as u64);
     }
     Ok((table, measured))
 }
@@ -145,11 +128,11 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let bwcu_resnet = resnet.iter().find(|(n, _, _)| n == "BwCu");
     if let (Some(a), Some(r)) = (bwcu_alexnet, bwcu_resnet) {
         table_b.note(format!(
-            "shape check — BwCu overhead grows with depth (ResNet {} vs AlexNet {}): {}",
+            "BwCu overhead by depth: ResNet {} vs AlexNet {}",
             fmt_factor(r.1),
             fmt_factor(a.1),
-            if r.1 > a.1 { "holds" } else { "VIOLATED" }
         ));
+        table_b.check("BwCu overhead grows with depth", r.1 > a.1);
     }
     table_a.note(
         "paper: EP is comparable to BwCu; CDRP is excluded because it cannot run online"

@@ -114,26 +114,31 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
             .to_string(),
     );
     accuracy.note(format!(
-        "shape check — weakest Ptolemy variant vs best DeepFense: {} vs {} ({})",
+        "weakest Ptolemy variant vs best DeepFense: {} vs {}",
         fmt3(ptolemy_min_auc),
         fmt3(best_deepfense_auc),
-        if ptolemy_min_auc >= best_deepfense_auc - 0.05 {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
     ));
+    accuracy.check(
+        "weakest Ptolemy variant competitive with best DeepFense",
+        ptolemy_min_auc >= best_deepfense_auc - 0.05,
+    );
     if let (Some((fw_lat, fw_en)), Some((dfl_lat, dfl_en))) = (fwab_cost, dfl_cost) {
         cost.note("paper: FwAb reduces latency/energy overhead by 89 %/59 % vs DFL".to_string());
         cost.note(format!(
-            "shape check — FwAb overhead below DFL overhead: latency {} vs {} ({}), energy {} vs {} ({})",
+            "FwAb vs DFL overhead: latency {} vs {}, energy {} vs {}",
             fmt_factor(fw_lat),
             fmt_factor(dfl_lat),
-            if fw_lat - 1.0 <= dfl_lat - 1.0 { "holds" } else { "VIOLATED" },
             fmt_factor(fw_en),
             fmt_factor(dfl_en),
-            if fw_en - 1.0 <= (dfl_en - 1.0) * 1.5 { "holds" } else { "VIOLATED" },
         ));
+        cost.check(
+            "FwAb latency overhead below DFL overhead",
+            fw_lat - 1.0 <= dfl_lat - 1.0,
+        );
+        cost.check(
+            "FwAb energy overhead within 1.5x of DFL overhead",
+            fw_en - 1.0 <= (dfl_en - 1.0) * 1.5,
+        );
     }
     Ok(vec![accuracy, cost])
 }

@@ -101,25 +101,20 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         mean_mse,
         max_mse
     ));
-    table.note(format!(
-        "shape check — detection stays above chance in every bucket: {}",
-        if bucket_aucs.iter().all(|a| *a > 0.5) {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
+    table.check(
+        "detection stays above chance in every bucket",
+        bucket_aucs.iter().all(|a| *a > 0.5),
+    );
     if let (Some(first), Some(last)) = (bucket_aucs.first(), bucket_aucs.last()) {
         table.note(format!(
-            "shape check — higher distortion does not make detection easier ({} -> {}): {}",
+            "bucket AUC trajectory: {} -> {}",
             fmt3(*first),
             fmt3(*last),
-            if last <= &(first + 0.1) {
-                "holds"
-            } else {
-                "VIOLATED"
-            }
         ));
+        table.check(
+            "higher distortion does not make detection easier",
+            last <= &(first + 0.1),
+        );
     }
     Ok(vec![table])
 }

@@ -66,31 +66,29 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let full = *latencies.last().unwrap_or(&1.0);
     let three = latencies.get(2).copied().unwrap_or(1.0);
     table.note("paper: extracting all 8 layers costs 11.2x more latency than the last 3 for virtually the same accuracy".to_string());
+    table.check(
+        "latency grows as extraction covers more layers",
+        latencies.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+    );
     table.note(format!(
-        "shape check — latency grows as extraction covers more layers: {}",
-        if latencies.windows(2).all(|w| w[1] >= w[0] - 1e-9) {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
-    table.note(format!(
-        "shape check — full extraction costs more than the last-3-layer point ({} vs {}): {}",
+        "full extraction {} vs last-3-layer point {}",
         fmt_factor(full),
         fmt_factor(three),
-        if full > three { "holds" } else { "VIOLATED" }
     ));
+    table.check(
+        "full extraction costs more than the last-3-layer point",
+        full > three,
+    );
     if let (Some(first), Some(last)) = (aucs.first(), aucs.last()) {
         table.note(format!(
-            "shape check — extracting more layers does not hurt accuracy ({} -> {}): {}",
+            "AUC trajectory: {} -> {}",
             fmt3(*first),
-            fmt3(*last),
-            if *last >= *first - 0.05 {
-                "holds"
-            } else {
-                "VIOLATED"
-            }
+            fmt3(*last)
         ));
+        table.check(
+            "extracting more layers does not hurt accuracy",
+            *last >= *first - 0.05,
+        );
     }
     Ok(vec![table])
 }

@@ -69,34 +69,32 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let max_latency = latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let min_latency = latencies.iter().copied().fold(f64::INFINITY, f64::min);
     table.note(format!(
-        "shape check — latency stays nearly flat across the sweep ({} .. {}): {}",
+        "latency range across the sweep: {} .. {}",
         fmt_factor(min_latency),
         fmt_factor(max_latency),
-        if max_latency - min_latency < 0.5 {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
     ));
+    table.check(
+        "latency stays nearly flat across the sweep",
+        max_latency - min_latency < 0.5,
+    );
     if let (Some(first), Some(last)) = (energies.first(), energies.last()) {
         table.note(format!(
-            "shape check — extracting more layers consumes more energy ({} late start -> {} full): {}",
+            "energy: {} late start -> {} full",
             fmt_factor(*first),
             fmt_factor(*last),
-            if last >= first { "holds" } else { "VIOLATED" }
         ));
+        table.check("extracting more layers consumes more energy", last >= first);
     }
     if let (Some(first), Some(last)) = (aucs.first(), aucs.last()) {
         table.note(format!(
-            "shape check — covering more layers does not hurt accuracy ({} -> {}): {}",
+            "AUC trajectory: {} -> {}",
             fmt3(*first),
-            fmt3(*last),
-            if *last >= *first - 0.05 {
-                "holds"
-            } else {
-                "VIOLATED"
-            }
+            fmt3(*last)
         ));
+        table.check(
+            "covering more layers does not hurt accuracy",
+            *last >= *first - 0.05,
+        );
     }
     Ok(vec![table])
 }

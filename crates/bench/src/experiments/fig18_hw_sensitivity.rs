@@ -44,14 +44,10 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         ]);
     }
     merge_table.note("paper: latency falls from 31x to 12.3x as the merge tree grows; power is flat (the merge tree is ~2 % of total power)".to_string());
-    merge_table.note(format!(
-        "shape check — latency non-increasing in merge length: {}",
-        if merge_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9) {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
+    merge_table.check(
+        "latency non-increasing in merge length",
+        merge_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+    );
 
     let mut sort_table = Table::new("Fig. 18b — sort-unit sweep (BwCu, AlexNet-class)").header([
         "sort units",
@@ -72,22 +68,14 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         ]);
     }
     sort_table.note("paper: more sort units barely reduce latency (memory-bound) but significantly increase power (sort units are 33.4 % of total power)".to_string());
-    sort_table.note(format!(
-        "shape check — latency non-increasing in sort units: {}",
-        if sort_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9) {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
-    sort_table.note(format!(
-        "shape check — power grows with sort units: {}",
-        if sort_power.last() >= sort_power.first() {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
+    sort_table.check(
+        "latency non-increasing in sort units",
+        sort_latency.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+    );
+    sort_table.check(
+        "power grows with sort units",
+        sort_power.last() >= sort_power.first(),
+    );
 
     Ok(vec![merge_table, sort_table])
 }

@@ -23,6 +23,7 @@
 //! | [`batch_fusion`] | beyond the paper — fused batched trace vs per-input loop |
 //! | [`extraction_overlap`] | beyond the paper — streaming extraction vs materialized trace |
 //! | [`sharded_escalation`] | beyond the paper — sharded, pipelined tier-2 escalation |
+//! | [`obs_overhead`] | beyond the paper — observability overhead of the serving runtime |
 
 pub mod batch_fusion;
 pub mod extraction_overlap;
@@ -36,6 +37,7 @@ pub mod fig15_similarity_attack;
 pub mod fig16_early_termination;
 pub mod fig17_late_start;
 pub mod fig18_hw_sensitivity;
+pub mod obs_overhead;
 pub mod sec3b_cost_analysis;
 pub mod sec7a_overhead;
 pub mod sec7g_scaling;
@@ -54,6 +56,25 @@ pub struct Experiment {
     pub paper_artifact: &'static str,
     /// Runs the experiment and returns its printable tables.
     pub run: fn(BenchScale) -> BenchResult<Vec<Table>>,
+}
+
+/// Runs one experiment end to end: times it on the observability clock,
+/// writes its `BENCH_<id>.json` perf report (see [`crate::emit`]) and returns
+/// the printable tables plus the report path.
+///
+/// # Errors
+///
+/// Propagates the experiment's own error, or the report write failure.
+pub fn run_and_emit(
+    experiment: &Experiment,
+    scale: BenchScale,
+) -> BenchResult<(Vec<Table>, std::path::PathBuf)> {
+    let clock = ptolemy_obs::Clock::monotonic();
+    let start_ns = clock.now_ns();
+    let tables = (experiment.run)(scale)?;
+    let wall_us = clock.now_ns().saturating_sub(start_ns) / 1_000;
+    let report = crate::emit::write(experiment.id, scale, wall_us, &tables)?;
+    Ok((tables, report))
 }
 
 /// Every experiment in the harness, in paper order.
@@ -154,6 +175,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artifact: "beyond paper: sharded, pipelined tier-2 escalation",
             run: sharded_escalation::run,
         },
+        Experiment {
+            id: "obs_overhead",
+            paper_artifact: "beyond paper: observability overhead of the serving runtime",
+            run: obs_overhead::run,
+        },
     ]
 }
 
@@ -164,11 +190,11 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact_once() {
         let experiments = all();
-        assert_eq!(experiments.len(), 19);
+        assert_eq!(experiments.len(), 20);
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 19, "duplicate experiment ids");
+        assert_eq!(ids.len(), 20, "duplicate experiment ids");
         assert!(experiments.iter().all(|e| !e.paper_artifact.is_empty()));
     }
 }

@@ -79,26 +79,17 @@ pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
     }
 
     table.note("paper: cumulative thresholds store 9x-420x more data than inference activations; compute overhead ~30 % at theta=0.9; software slowdown 15.4x (AlexNet) / 50.7x (ResNet50)".to_string());
-    table.note(format!(
-        "shape check — cumulative-threshold memory overhead is >= 5x on every model: {}",
-        if cumulative_memory.iter().all(|m| *m >= 5.0) {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
-    table.note(format!(
-        "shape check — absolute thresholds cut the memory overhead by >= 10x: {}",
-        if cumulative_memory
+    table.check(
+        "cumulative-threshold memory overhead is >= 5x on every model",
+        cumulative_memory.iter().all(|m| *m >= 5.0),
+    );
+    table.check(
+        "absolute thresholds cut the memory overhead by >= 10x",
+        cumulative_memory
             .iter()
             .zip(&absolute_memory)
-            .all(|(c, a)| *c >= 10.0 * *a)
-        {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
+            .all(|(c, a)| *c >= 10.0 * *a),
+    );
     Ok(vec![table])
 }
 

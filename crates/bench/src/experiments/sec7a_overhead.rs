@@ -76,14 +76,10 @@ pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
         "paper: 5.2 % total (0.08 mm^2) — 3.9 % SRAM + 0.4 % MAC augmentation + 0.9 % other"
             .to_string(),
     );
-    area_table.note(format!(
-        "shape check — overhead is a single-digit percentage dominated by SRAM: {}",
-        if area.overhead_percent() < 10.0 && area.extra_sram_mm2 > area.mac_augmentation_mm2 {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
+    area_table.check(
+        "overhead is a single-digit percentage dominated by SRAM",
+        area.overhead_percent() < 10.0 && area.extra_sram_mm2 > area.mac_augmentation_mm2,
+    );
 
     // DRAM space per model under absolute thresholds (masks) and cumulative
     // thresholds with and without the recompute optimisation.
@@ -125,22 +121,14 @@ pub fn run(_scale: BenchScale) -> BenchResult<Vec<Table>> {
         ]);
     }
     dram_table.note("paper: masks need 1.6 MB (AlexNet) / 2.2 MB (ResNet18) / 18.5 MB (VGG19); recomputed partial sums 12.8 / 17.6 / 148 MB".to_string());
-    dram_table.note(format!(
-        "shape check — masks are far smaller than stored partial sums on every model: {}",
-        if mask_mb.iter().zip(&store_mb).all(|(m, s)| m * 4.0 < *s) {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
-    dram_table.note(format!(
-        "shape check — footprint grows with model size: {}",
-        if store_mb.windows(2).all(|w| w[1] >= w[0] * 0.5) {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
+    dram_table.check(
+        "masks are far smaller than stored partial sums on every model",
+        mask_mb.iter().zip(&store_mb).all(|(m, s)| m * 4.0 < *s),
+    );
+    dram_table.check(
+        "footprint grows with model size",
+        store_mb.windows(2).all(|w| w[1] >= w[0] * 0.5),
+    );
 
     Ok(vec![area_table, dram_table])
 }

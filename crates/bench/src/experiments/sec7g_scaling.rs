@@ -63,22 +63,14 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         ]);
     }
 
-    table.note(format!(
-        "shape check — FwAb latency overhead stays below 25 % in every configuration: {}",
-        if latency_overheads.iter().all(|o| *o < 0.25) {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
-    table.note(format!(
-        "shape check — area overhead stays single-digit in every configuration: {}",
-        if area_overheads.iter().all(|a| *a < 10.0) {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
+    table.check(
+        "FwAb latency overhead stays below 25 % in every configuration",
+        latency_overheads.iter().all(|o| *o < 0.25),
+    );
+    table.check(
+        "area overhead stays single-digit in every configuration",
+        area_overheads.iter().all(|a| *a < 10.0),
+    );
     Ok(vec![table])
 }
 

@@ -13,10 +13,11 @@
 //! reports nonzero tier-2 escalations and cache hits on this workload.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ptolemy_attacks::Fgsm;
 use ptolemy_core::{variants, DetectionEngine};
+use ptolemy_obs::Clock;
 use ptolemy_serve::{BatchPolicy, CacheConfig, Server, ServerBuilder, Ticket};
 
 use crate::{fmt3, BenchResult, BenchScale, Table, Workbench};
@@ -70,12 +71,18 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
 
     // Baseline: the sequential single-engine detect loop every pre-serve
     // caller hand-rolled.
-    let start = Instant::now();
+    let clock = Clock::monotonic();
+    let start_ns = clock.now_ns();
     for input in &workload {
         screen.detect(input)?;
     }
-    let direct = throughput(workload.len(), start.elapsed());
+    let direct = throughput(
+        workload.len(),
+        Duration::from_nanos(clock.now_ns().saturating_sub(start_ns)),
+    );
 
+    let mut total_escalated = 0u64;
+    let mut total_cache_hits = 0u64;
     let mut table = Table::new(
         "Serving throughput — direct FwAb detect loop vs ptolemy-serve \
          (FwAb screen → BwCu escalation, path-prefix cache)",
@@ -89,6 +96,7 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         "p50 ms",
         "p99 ms",
     ]);
+    table.metric("direct_throughput_milli", (direct * 1000.0) as u64);
     table.row([
         "direct detect loop".to_string(),
         fmt3(direct as f32),
@@ -116,7 +124,7 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
             .cache(CacheConfig::default());
         let server = builder.start()?;
 
-        let start = Instant::now();
+        let start_ns = clock.now_ns();
         let tickets: Vec<Ticket> = workload
             .iter()
             .map(|input| server.submit(input.clone()))
@@ -124,7 +132,10 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         for ticket in tickets {
             ticket.wait()?;
         }
-        let served = throughput(workload.len(), start.elapsed());
+        let served = throughput(
+            workload.len(),
+            Duration::from_nanos(clock.now_ns().saturating_sub(start_ns)),
+        );
         let stats = server.shutdown();
         let speedup = served / direct;
         if workers >= 4 {
@@ -132,6 +143,12 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         }
         saw_escalations |= stats.escalated > 0;
         saw_cache_hits |= stats.cache_hits > 0;
+        total_escalated += stats.escalated;
+        total_cache_hits += stats.cache_hits;
+        table.metric(
+            format!("served_{workers}w_{budget_ms}ms_throughput_milli"),
+            (served * 1000.0) as u64,
+        );
 
         table.row([
             format!("served: {workers} workers, {budget_ms} ms budget"),
@@ -151,22 +168,16 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         BAND.0,
         BAND.1
     ));
-    table.note(format!(
-        "shape check — served throughput >= direct loop at >= 4 workers: {}",
-        if four_worker_speedup >= 1.0 {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
-    table.note(format!(
-        "shape check — tiered routing escalates and the cache hits on duplicates: {}",
-        if saw_escalations && saw_cache_hits {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
+    table.metric("total_escalated", total_escalated);
+    table.metric("total_cache_hits", total_cache_hits);
+    table.timing_check(
+        "served throughput >= direct loop at >= 4 workers",
+        four_worker_speedup >= 1.0,
+    );
+    table.check(
+        "tiered routing escalates and the cache hits on duplicates",
+        saw_escalations && saw_cache_hits,
+    );
     Ok(vec![table])
 }
 
@@ -189,11 +200,14 @@ mod tests {
         // oversubscribed test runner (unoptimized profile, timeshared cores),
         // so in the test it is advisory; the release-built experiment binary
         // is where the acceptance number is read.
-        if rendered.contains("at >= 4 workers: VIOLATED") {
+        if rendered.contains("at >= 4 workers: below expectation") {
             eprintln!(
                 "warning: served throughput below the direct loop in this \
                  environment (timing-dependent):\n{rendered}"
             );
         }
+        assert_eq!(tables[0].checks().len(), 1);
+        assert_eq!(tables[0].advisory_checks().len(), 1);
+        assert!(!tables[0].metrics().is_empty());
     }
 }

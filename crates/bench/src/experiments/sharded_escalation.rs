@@ -22,10 +22,11 @@
 //! modes execute identical arithmetic, pipelining only overlaps it).
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ptolemy_attacks::Fgsm;
 use ptolemy_core::{variants, DetectionEngine};
+use ptolemy_obs::Clock;
 use ptolemy_serve::{BatchPolicy, Served, Server, ServerBuilder, Ticket};
 use ptolemy_tensor::Tensor;
 
@@ -182,14 +183,16 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     let mut pipelined_ok = true;
     let mut throughputs = [0.0f64; MODES.len()];
     // Interleave the modes across timing rounds; keep each mode's fastest.
+    let clock = Clock::monotonic();
     let mut best_ms = [f64::INFINITY; MODES.len()];
     for _ in 0..TIMING_ROUNDS {
         for (index, mode) in MODES.iter().enumerate() {
             let shards = shard_engines(&wb.network, &full, mode.shards)?;
             let server = server(&screen, shards, mode.pipelined, workload.len())?;
-            let start = Instant::now();
+            let start_ns = clock.now_ns();
             serve_all(&server, &workload)?;
-            best_ms[index] = best_ms[index].min(start.elapsed().as_secs_f64() * 1000.0);
+            let pass_ms = clock.now_ns().saturating_sub(start_ns) as f64 / 1e6;
+            best_ms[index] = best_ms[index].min(pass_ms);
             server.shutdown();
         }
     }
@@ -210,6 +213,10 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
 
         let throughput = workload.len() as f64 / (best_ms[index] / 1000.0).max(1e-9);
         throughputs[index] = throughput;
+        table.metric(
+            format!("{} throughput_milli", mode.label),
+            (throughput * 1000.0) as u64,
+        );
         table.row([
             mode.label.to_string(),
             fmt3(throughput as f32),
@@ -254,25 +261,20 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
     }
 
     let mut summary = Table::new("Sharded escalation — shape checks");
-    summary.note(format!(
-        "shape check — served verdicts bit-for-bit identical to the unsharded \
-         escalation engine in every mode: {}",
-        if parity_everywhere {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
-    summary.note(format!(
-        "shape check — escalations route across shards and sum to the tier-2 \
-         total: {}",
-        if routing_ok { "holds" } else { "VIOLATED" }
-    ));
-    summary.note(format!(
-        "shape check — pipelined tier-2 throughput no worse than serial \
-         (within 5% timing noise): {}",
-        if pipelined_ok { "holds" } else { "VIOLATED" }
-    ));
+    summary.check(
+        "served verdicts bit-for-bit identical to the unsharded escalation \
+         engine in every mode",
+        parity_everywhere,
+    );
+    summary.check(
+        "escalations route across shards and sum to the tier-2 total",
+        routing_ok,
+    );
+    summary.timing_check(
+        "pipelined tier-2 throughput no worse than serial (within 5% timing \
+         noise)",
+        pipelined_ok,
+    );
     Ok(vec![table, routing, summary])
 }
 
@@ -299,7 +301,7 @@ mod tests {
         // oversubscribed test runner; in the test it is advisory, the
         // release-built experiment binary is where the acceptance number is
         // read.
-        if summary.contains("timing noise): VIOLATED") {
+        if summary.contains("timing noise): below expectation") {
             eprintln!(
                 "warning: pipelined tier-2 slower than serial in this \
                  environment (timing-dependent):\n{summary}"

@@ -71,23 +71,12 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
 
     let latency_monotone = measured.windows(2).all(|w| w[1].2 >= w[0].2);
     let energy_monotone = measured.windows(2).all(|w| w[1].3 >= w[0].3);
-    table.note(format!(
-        "shape check — latency grows with theta: {}; energy grows with theta: {}",
-        if latency_monotone {
-            "holds"
-        } else {
-            "VIOLATED"
-        },
-        if energy_monotone { "holds" } else { "VIOLATED" },
-    ));
-    table.note(format!(
-        "shape check — theta = 0.9 does not beat theta = 0.5 in accuracy: {}",
-        if measured[2].1 <= measured[1].1 + 0.02 {
-            "holds"
-        } else {
-            "VIOLATED"
-        }
-    ));
+    table.check("latency grows with theta", latency_monotone);
+    table.check("energy grows with theta", energy_monotone);
+    table.check(
+        "theta = 0.9 does not beat theta = 0.5 in accuracy",
+        measured[2].1 <= measured[1].1 + 0.02,
+    );
 
     Ok(vec![table])
 }

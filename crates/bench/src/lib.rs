@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod emit;
 pub mod experiments;
 mod scale;
 mod table;
@@ -31,3 +32,27 @@ mod workbench;
 pub use scale::BenchScale;
 pub use table::{fmt3, fmt_factor, fmt_percent, Table};
 pub use workbench::{auc_summary, standard_attacks, BenchResult, Workbench};
+
+/// Shared `main` of the per-experiment binaries: looks the experiment up in
+/// [`experiments::all`], runs it at the env-selected [`BenchScale`], prints
+/// its tables, writes its `BENCH_<id>.json` perf report (see [`emit`]) and
+/// exits non-zero on failure.
+pub fn run_binary(id: &str) {
+    let scale = BenchScale::from_env();
+    let Some(experiment) = experiments::all().into_iter().find(|e| e.id == id) else {
+        eprintln!("unknown experiment: {id}");
+        std::process::exit(2);
+    };
+    match experiments::run_and_emit(&experiment, scale) {
+        Ok((tables, report)) => {
+            for table in tables {
+                println!("{table}");
+            }
+            println!("perf report: {}", report.display());
+        }
+        Err(error) => {
+            eprintln!("experiment {id} failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -76,6 +76,15 @@ impl BenchScale {
         }
     }
 
+    /// The scale's stable lowercase label (`"quick"` / `"full"`), recorded in
+    /// every `BENCH_<experiment>.json` report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchScale::Quick => "quick",
+            BenchScale::Full => "full",
+        }
+    }
+
     /// Iteration budget of the iterative attacks (BIM/PGD/CW/DeepFool).
     pub fn attack_iterations(&self) -> usize {
         match self {

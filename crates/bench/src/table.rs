@@ -7,12 +7,22 @@
 use std::fmt;
 
 /// A simple left-aligned text table.
+///
+/// Beyond the printable rows/notes, a table carries the machine-readable side
+/// of an experiment: named integer [`Table::metric`]s, deterministic
+/// [`Table::check`]s (gated exactly by the CI perf trajectory) and
+/// wall-clock-dependent [`Table::timing_check`]s (recorded but advisory) —
+/// the `emit` module renders all three into the experiment's
+/// `BENCH_<id>.json`.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     title: String,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
     notes: Vec<String>,
+    metrics: Vec<(String, u64)>,
+    checks: Vec<(String, bool)>,
+    advisory: Vec<(String, bool)>,
 }
 
 impl Table {
@@ -41,6 +51,61 @@ impl Table {
     pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
         self.notes.push(note.into());
         self
+    }
+
+    /// Records a named integer metric for the experiment's `BENCH_<id>.json`.
+    /// Integer-only by design (the workspace JSON dialect): scale fractional
+    /// quantities up front (`*_milli`, `*_us`) and name the unit in the key.
+    pub fn metric(&mut self, name: impl Into<String>, value: u64) -> &mut Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Records a **deterministic** shape check: printed as a note and emitted
+    /// as a parity flag the CI bench gate compares exactly.  Only checks
+    /// whose outcome never depends on wall-clock timing belong here; use
+    /// [`Table::timing_check`] for the rest.
+    pub fn check(&mut self, label: impl Into<String>, ok: bool) -> &mut Self {
+        let label = label.into();
+        self.notes.push(format!(
+            "shape check — {label}: {}",
+            if ok { "holds" } else { "VIOLATED" }
+        ));
+        self.checks.push((label, ok));
+        self
+    }
+
+    /// Records a **timing-dependent** shape check: printed as a note and
+    /// emitted as an advisory flag — tracked in the perf trajectory but never
+    /// gated, because wall-clock outcomes flip on oversubscribed runners.
+    pub fn timing_check(&mut self, label: impl Into<String>, ok: bool) -> &mut Self {
+        let label = label.into();
+        self.notes.push(format!(
+            "shape check (timing, advisory) — {label}: {}",
+            if ok { "holds" } else { "below expectation" }
+        ));
+        self.advisory.push((label, ok));
+        self
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The recorded metrics, in insertion order.
+    pub fn metrics(&self) -> &[(String, u64)] {
+        &self.metrics
+    }
+
+    /// The recorded deterministic checks, in insertion order.
+    pub fn checks(&self) -> &[(String, bool)] {
+        &self.checks
+    }
+
+    /// The recorded advisory (timing-dependent) checks, in insertion order.
+    pub fn advisory_checks(&self) -> &[(String, bool)] {
+        &self.advisory
     }
 
     /// Number of data rows.
@@ -144,5 +209,32 @@ mod tests {
         let mut table = Table::new("ragged").header(["a"]);
         table.row(["1", "2", "3"]);
         assert!(table.to_string().contains('3'));
+    }
+
+    #[test]
+    fn metrics_and_checks_are_recorded_and_rendered() {
+        let mut table = Table::new("instrumented");
+        table.metric("wall_us", 1234);
+        table.check("fused parity", true);
+        table.check("routing sums", false);
+        table.timing_check("pipelined >= serial", false);
+        assert_eq!(table.metrics(), &[("wall_us".to_string(), 1234)]);
+        assert_eq!(
+            table.checks(),
+            &[
+                ("fused parity".to_string(), true),
+                ("routing sums".to_string(), false)
+            ]
+        );
+        assert_eq!(
+            table.advisory_checks(),
+            &[("pipelined >= serial".to_string(), false)]
+        );
+        let text = table.to_string();
+        assert!(text.contains("shape check — fused parity: holds"));
+        assert!(text.contains("shape check — routing sums: VIOLATED"));
+        assert!(text
+            .contains("shape check (timing, advisory) — pipelined >= serial: below expectation"));
+        assert_eq!(table.title(), "instrumented");
     }
 }

@@ -68,6 +68,7 @@ use std::sync::Arc;
 
 use ptolemy_forest::{ForestConfig, RandomForest};
 use ptolemy_nn::Network;
+use ptolemy_obs::{Counter, HistogramHandle, Registry};
 use ptolemy_tensor::Tensor;
 
 use crate::extraction::{
@@ -302,6 +303,28 @@ impl DetectionBackend for SoftwareBackend {
     }
 }
 
+/// The engine's hook into a [`Registry`]: pre-resolved handles for the two
+/// detection stages (streamed trace+extraction vs classifier scoring) so the
+/// hot path never touches the registry's name maps.
+#[derive(Debug)]
+struct EngineObs {
+    registry: Arc<Registry>,
+    trace_ns: HistogramHandle,
+    score_ns: HistogramHandle,
+    detections: Counter,
+}
+
+impl EngineObs {
+    fn attach(registry: Arc<Registry>) -> EngineObs {
+        EngineObs {
+            trace_ns: registry.histogram("core.trace_ns"),
+            score_ns: registry.histogram("core.score_ns"),
+            detections: registry.counter("core.detections"),
+            registry,
+        }
+    }
+}
+
 /// A detection session: network + program + class paths + classifier + backend,
 /// bound and validated once, then driven per input, per batch or per stream.
 ///
@@ -315,6 +338,7 @@ pub struct DetectionEngine {
     forest: Option<RandomForest>,
     threshold: f32,
     backend: Box<dyn DetectionBackend>,
+    obs: Option<EngineObs>,
 }
 
 impl DetectionEngine {
@@ -336,6 +360,7 @@ impl DetectionEngine {
             calibration: None,
             threshold: DEFAULT_THRESHOLD,
             backend: Box::new(SoftwareBackend),
+            registry: None,
         }
     }
 
@@ -407,13 +432,29 @@ impl DetectionEngine {
         &self,
         inputs: &[Tensor],
     ) -> Vec<Result<(Detection, ActivationPath)>> {
-        trace_path_batch(&self.network, &self.program, &self.class_paths, inputs)
+        let obs = self.stage_obs();
+        let start = obs.map(|o| o.registry.clock().now_ns());
+        let traced = trace_path_batch(&self.network, &self.program, &self.class_paths, inputs);
+        let mid = if let (Some(o), Some(start)) = (obs, start) {
+            let now = o.registry.clock().now_ns();
+            o.trace_ns.record(now.saturating_sub(start));
+            Some(now)
+        } else {
+            None
+        };
+        let verdicts: Vec<Result<(Detection, ActivationPath)>> = traced
             .into_iter()
             .map(|r| {
                 let (predicted, similarity, path) = r?;
                 Ok((self.judge(predicted, similarity)?, path))
             })
-            .collect()
+            .collect();
+        if let (Some(o), Some(mid)) = (obs, mid) {
+            o.score_ns
+                .record(o.registry.clock().now_ns().saturating_sub(mid));
+            o.detections.add(verdicts.len() as u64);
+        }
+        verdicts
     }
 
     /// Like [`DetectionEngine::detect_batch`], additionally pricing the batch
@@ -508,9 +549,28 @@ impl DetectionEngine {
     }
 
     fn detect_traced(&self, input: &Tensor) -> Result<(Detection, ActivationPath)> {
+        let obs = self.stage_obs();
+        let start = obs.map(|o| o.registry.clock().now_ns());
         let (predicted_class, similarity, path) =
             trace_path(&self.network, &self.program, &self.class_paths, input)?;
-        Ok((self.judge(predicted_class, similarity)?, path))
+        let mid = obs.map(|o| {
+            let now = o.registry.clock().now_ns();
+            o.trace_ns.record(now.saturating_sub(start.unwrap_or(now)));
+            now
+        });
+        let detection = self.judge(predicted_class, similarity)?;
+        if let (Some(o), Some(mid)) = (obs, mid) {
+            o.score_ns
+                .record(o.registry.clock().now_ns().saturating_sub(mid));
+            o.detections.incr();
+        }
+        Ok((detection, path))
+    }
+
+    /// The attached observability hook, only while its registry is enabled —
+    /// the disabled path costs one relaxed atomic load.
+    fn stage_obs(&self) -> Option<&EngineObs> {
+        self.obs.as_ref().filter(|o| o.registry.enabled())
     }
 
     /// The network this engine serves.
@@ -570,6 +630,7 @@ pub struct DetectionEngineBuilder {
     calibration: Option<(Vec<Tensor>, Vec<Tensor>)>,
     threshold: f32,
     backend: Box<dyn DetectionBackend>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl DetectionEngineBuilder {
@@ -597,6 +658,17 @@ impl DetectionEngineBuilder {
     /// (default: the paper's 100 trees of depth 12).
     pub fn forest_config(mut self, config: ForestConfig) -> Self {
         self.forest_config = config;
+        self
+    }
+
+    /// Attaches a metrics registry: the engine records its per-detection
+    /// stage breakdown — `core.trace_ns` (streamed forward pass + path
+    /// extraction + similarity) and `core.score_ns` (classifier scoring) —
+    /// plus a `core.detections` counter into it whenever
+    /// [`ptolemy_obs::Registry::enabled`] holds.  Without a registry (the
+    /// default) the engine does no timing at all.
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -715,6 +787,7 @@ impl DetectionEngineBuilder {
             forest,
             threshold: self.threshold,
             backend: self.backend,
+            obs: self.registry.map(EngineObs::attach),
         })
     }
 }
@@ -828,6 +901,40 @@ mod tests {
         assert!(software.inference_macs > 0);
         assert!(estimate.latency_ms.is_none());
         assert_eq!(engine.backend_name(), "software");
+    }
+
+    #[test]
+    fn registry_records_stage_breakdown_and_the_gate_silences_it() {
+        let (net, samples, benign, adversarial) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let registry = Arc::new(Registry::new("core-test"));
+        let engine = DetectionEngine::builder(net, program, class_paths)
+            .calibrate(&benign, &adversarial)
+            .registry(Arc::clone(&registry))
+            .build()
+            .unwrap();
+
+        // Calibration happens before the engine exists, so nothing yet.
+        assert_eq!(registry.counter("core.detections").get(), 0);
+
+        let baseline = engine.detect(&benign[0]).unwrap();
+        engine.detect_batch(&benign[..3]).unwrap();
+        assert_eq!(registry.counter("core.detections").get(), 4);
+        let trace = registry.histogram("core.trace_ns").snapshot();
+        let score = registry.histogram("core.score_ns").snapshot();
+        // One per detect call plus one per batch call.
+        assert_eq!(trace.count(), 2);
+        assert_eq!(score.count(), 2);
+
+        // Disabling the registry stops recording without changing verdicts.
+        registry.set_enabled(false);
+        let silent = engine.detect(&benign[0]).unwrap();
+        assert_eq!(silent, baseline);
+        assert_eq!(registry.counter("core.detections").get(), 4);
+        assert_eq!(registry.histogram("core.trace_ns").snapshot().count(), 2);
     }
 
     #[test]

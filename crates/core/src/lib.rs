@@ -97,7 +97,7 @@ mod cost;
 pub mod engine;
 mod error;
 mod extraction;
-pub mod json;
+pub use ptolemy_obs::json;
 mod parallel;
 mod path;
 mod profile;

@@ -50,6 +50,12 @@ pub const LINTS: &[(&str, &str)] = &[
         "todo!/unimplemented! must not reach library code; gate the feature or return an error",
     ),
     (
+        "raw-instant",
+        "Instant::now() in library code bypasses ptolemy_obs::Clock — timings become invisible \
+         to the manual test clock and inconsistent with the metrics registry; take a Clock and \
+         read now_ns()",
+    ),
+    (
         "suppression",
         "malformed lint:allow comment (unknown lint name, or missing the mandatory ': reason')",
     ),
@@ -65,6 +71,7 @@ pub const RELAXED_IN_TESTS: &[&str] = &[
     "panic-in-worker",
     "float-eq",
     "todo-marker",
+    "raw-instant",
 ];
 
 /// `true` if `name` names a registered lint.
@@ -152,6 +159,16 @@ pub fn check_file(path: &str, tokens: &[Token], context: &FileContext) -> Vec<Fi
                     "direct std::thread::available_parallelism() re-reads cgroup state on every \
                      call (~10µs, the exact hot-path regression PR 4 removed); call the cached \
                      ptolemy_nn::available_parallelism() instead"
+                        .into(),
+                );
+            }
+            Some("now") if prev2_path(i, "Instant") => {
+                emit(
+                    "raw-instant",
+                    token,
+                    "Instant::now() in library code — take a ptolemy_obs::Clock and read \
+                     now_ns() so the timing is steerable by the manual test clock and lands \
+                     in the same timebase as the metrics registry"
                         .into(),
                 );
             }
@@ -598,6 +615,33 @@ mod tests {
         // `=>` and `<=` are not `==`.
         assert!(strict("fn f() { match x { _ => 0.5 }; }").is_empty());
         assert!(strict("fn f() { let a = x <= 0.5; }").is_empty());
+    }
+
+    #[test]
+    fn raw_instant_fires_in_library_code_only() {
+        // Positive: any Instant::now() path form in library code.
+        assert_eq!(
+            lints_of(&strict("fn f() { let t = Instant::now(); }")),
+            vec!["raw-instant"]
+        );
+        assert_eq!(
+            lints_of(&strict("fn f() { let t = std::time::Instant::now(); }")),
+            vec!["raw-instant"]
+        );
+        // Negative: Clock-based timing, other now()s, and strings/comments.
+        assert!(strict("fn f() { let t = clock.now_ns(); }").is_empty());
+        assert!(strict("fn f() { let t = SystemTime::now(); }").is_empty());
+        assert!(strict("fn f() { // Instant::now() in prose\n }").is_empty());
+        // Relaxed in test regions: benches and tests time freely.
+        assert!(strict("#[test]\nfn t() { let s = Instant::now(); }").is_empty());
+        // Suppressed with a reason.
+        assert!(strict(
+            "fn f() {\n\
+             // lint:allow(raw-instant): monotonic source feeding the Clock itself\n\
+             let t = Instant::now();\n\
+             }"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn positive_fixture_trips_every_lint() {
             "float-eq",
             "panic-in-worker", // input.unwrap()
             "panic-in-worker", // panic!("boom")
+            "raw-instant",
             "todo-marker",
             "unbounded-channel",
             "undocumented-unsafe",

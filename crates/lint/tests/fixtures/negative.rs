@@ -33,6 +33,13 @@ fn documented(ptr: *const u8) -> u8 {
     unsafe { *ptr }
 }
 
+fn clock_timing(clock: &ptolemy_obs::Clock) -> u64 {
+    // now_ns() on a Clock is the sanctioned timing read; other now()s
+    // (SystemTime::now()) are not Instant and stay legal.
+    let _wall = std::time::SystemTime::now();
+    clock.now_ns()
+}
+
 fn range_not_float() -> u32 {
     // `1..8` must lex as ints + range, never as a float comparison operand.
     (1..8).sum()

@@ -39,3 +39,8 @@ fn later() {
     // todo-marker: unfinished code must not land.
     todo!()
 }
+
+fn hand_rolled_timer() {
+    // raw-instant: library timings must flow through ptolemy_obs::Clock.
+    let _start = std::time::Instant::now();
+}

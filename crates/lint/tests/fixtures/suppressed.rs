@@ -19,3 +19,8 @@ fn deliberate_todo() {
     // lint:allow(todo-marker): fixture demonstrates suppressing the marker
     todo!()
 }
+
+fn sanctioned_clock_source() {
+    // lint:allow(raw-instant): fixture stands in for the Clock's own OS read
+    let _epoch = std::time::Instant::now();
+}

@@ -74,7 +74,7 @@ pub use error::NnError;
 pub use layer::{Contribution, Layer, LayerGrads, LayerKind};
 pub use loss::{cross_entropy_loss, softmax_cross_entropy_grad};
 pub use network::{Network, NetworkGrads};
-pub use trace::{predicted_class, BatchTrace, ForwardTrace, TraceSink};
+pub use trace::{predicted_class, BatchTrace, ForwardTrace, LayerTimingSink, TraceSink};
 pub use train::{TrainConfig, TrainReport, Trainer};
 
 /// Cached [`std::thread::available_parallelism`] (clamped to at least 1).

@@ -1,0 +1,352 @@
+//! Log-bucketed latency histograms: bounded memory, mergeable, JSON-portable.
+//!
+//! A [`Histogram`] buckets `u64` nanosecond observations into log₂ buckets
+//! with 8 linear sub-buckets per power of two (≈12.5% relative resolution),
+//! so memory is a fixed ~4 KiB however many observations are recorded — the
+//! property that lets `ptolemy-serve` keep one histogram per stage per server
+//! without a growth bound.  Bucket counts are exact; only the value within a
+//! bucket is approximated, and reported percentiles are clamped to the exact
+//! recorded `[min, max]` so they can never leave the observed range.
+//!
+//! Merging two histograms adds their bucket counts, which makes merge
+//! associative and commutative (the property the proptest suite pins) — the
+//! shape that lets per-shard or per-worker histograms be combined into one
+//! workspace view without losing bucket-level precision.
+
+use crate::json::JsonValue;
+
+/// Linear sub-bucket bits per power of two.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per power of two (`2^SUB_BITS`).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range: `SUB` exact buckets for
+/// values below `SUB`, then `SUB` sub-buckets for each exponent
+/// `SUB_BITS..=63`.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB as usize;
+
+/// A mergeable log-bucketed histogram over `u64` observations.
+///
+/// Buckets are log₂ with 8 linear sub-buckets per power of two (≈12.5%
+/// relative resolution) at a fixed ~4 KiB per histogram.  Equality is
+/// structural (same buckets, same exact min/max/sum), which is what makes the
+/// JSON round-trip property testable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// The bucket index of observation `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let sub = ((v >> (exp - SUB_BITS)) - SUB) as usize;
+    (exp - SUB_BITS + 1) as usize * SUB as usize + sub
+}
+
+/// The inclusive `[lower, upper]` value range of bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if (index as u64) < SUB {
+        return (index as u64, index as u64);
+    }
+    let k = index as u64 / SUB;
+    let sub = index as u64 % SUB;
+    let shift = (k - 1) as u32;
+    let lower = (SUB + sub) << shift;
+    let width = 1u64 << shift;
+    (lower, lower + (width - 1))
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical observations (bucket counts saturate rather than
+    /// wrap at `u64::MAX`).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let index = bucket_index(value);
+        self.counts[index] = self.counts[index].saturating_add(n);
+        self.total = self.total.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges `other` into `self` bucket-by-bucket.  Associative and
+    /// commutative: merging per-worker histograms in any order or grouping
+    /// yields the same combined histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact smallest recorded observation, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// Exact largest recorded observation, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Saturating sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation (integer division), `None` when empty.
+    pub fn mean(&self) -> Option<u64> {
+        (!self.is_empty()).then(|| self.sum / self.total)
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) by nearest rank over the
+    /// bucket counts, reported as the matched bucket's midpoint clamped to
+    /// the exact recorded `[min, max]`.  Monotone in `q`, `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(count);
+            if seen >= rank {
+                let (lower, upper) = bucket_bounds(index);
+                let mid = lower + (upper - lower) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        // Unreachable when counts conserve total; fall back to the exact max.
+        Some(self.max)
+    }
+
+    /// Exact per-bucket counts (index them with the scheme in the module
+    /// docs; mostly useful to assert conservation in tests).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Serialises the histogram losslessly: exact min/max/sum/total plus the
+    /// sparse list of non-empty buckets as `[index, count]` pairs.
+    pub fn to_json(&self) -> JsonValue {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| {
+                JsonValue::Array(vec![JsonValue::UInt(index as u64), JsonValue::UInt(count)])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("total".into(), JsonValue::UInt(self.total)),
+            ("sum".into(), JsonValue::UInt(self.sum)),
+            ("min".into(), JsonValue::UInt(self.min)),
+            ("max".into(), JsonValue::UInt(self.max)),
+            ("buckets".into(), JsonValue::Array(buckets)),
+        ])
+    }
+
+    /// Rebuilds a histogram from [`Histogram::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Rejects missing fields, out-of-range bucket indices, and bucket counts
+    /// that do not conserve the recorded total.
+    pub fn from_json(value: &JsonValue) -> Result<Histogram, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("histogram JSON missing u64 field '{key}'"))
+        };
+        let mut hist = Histogram::new();
+        hist.total = field("total")?;
+        hist.sum = field("sum")?;
+        hist.min = field("min")?;
+        hist.max = field("max")?;
+        let buckets = value
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or("histogram JSON missing 'buckets' array")?;
+        let mut conserved = 0u64;
+        for pair in buckets {
+            let pair = pair.as_array().ok_or("bucket entry must be an array")?;
+            let [index, count] = pair else {
+                return Err("bucket entry must be [index, count]".into());
+            };
+            let index = index.as_u64().ok_or("bucket index must be a u64")? as usize;
+            let count = count.as_u64().ok_or("bucket count must be a u64")?;
+            if index >= BUCKETS {
+                return Err(format!("bucket index {index} out of range (< {BUCKETS})"));
+            }
+            hist.counts[index] = count;
+            conserved = conserved.saturating_add(count);
+        }
+        if conserved != hist.total {
+            return Err(format!(
+                "bucket counts sum to {conserved} but total is {}",
+                hist.total
+            ));
+        }
+        Ok(hist)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut samples: Vec<u64> = vec![0];
+        for exp in 0..64u32 {
+            for off in [0u64, 1, 3] {
+                samples.push(
+                    (1u64 << exp).saturating_add(off.saturating_mul(1 << exp.saturating_sub(3))),
+                );
+            }
+        }
+        samples.sort_unstable();
+        samples.dedup();
+        let mut last = 0usize;
+        for v in samples {
+            let index = bucket_index(v);
+            assert!(index < BUCKETS, "index {index} for {v}");
+            assert!(index >= last, "index went backwards at {v}");
+            last = index;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_index() {
+        for v in [0u64, 1, 7, 8, 9, 100, 4096, 1 << 30, u64::MAX] {
+            let index = bucket_index(v);
+            let (lower, upper) = bucket_bounds(index);
+            assert!(lower <= v && v <= upper, "{v} outside [{lower}, {upper}]");
+        }
+        for index in 0..BUCKETS {
+            let (lower, upper) = bucket_bounds(index);
+            assert_eq!(bucket_index(lower), index);
+            assert_eq!(bucket_index(upper), index);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_for_small_values_and_clamped() {
+        let mut hist = Histogram::new();
+        for v in 0..8u64 {
+            hist.record(v);
+        }
+        // Values below SUB land in exact single-value buckets.
+        assert_eq!(hist.percentile(0.0), Some(0));
+        assert_eq!(hist.percentile(1.0), Some(7));
+        assert_eq!(hist.min(), Some(0));
+        assert_eq!(hist.max(), Some(7));
+
+        let mut one = Histogram::new();
+        one.record(1_000_003);
+        // A single large value: every percentile clamps to the exact value.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(q), Some(1_000_003));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let hist = Histogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.percentile(0.5), None);
+        assert_eq!(hist.min(), None);
+        assert_eq!(hist.max(), None);
+        assert_eq!(hist.mean(), None);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new();
+        a.record(10);
+        a.record(20);
+        let mut b = Histogram::new();
+        b.record(5);
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(1_000));
+        assert_eq!(a.sum(), 1_035);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut hist = Histogram::new();
+        for v in [0u64, 3, 17, 17, 4096, u64::MAX] {
+            hist.record(v);
+        }
+        let back = Histogram::from_json(&hist.to_json()).expect("round-trips");
+        assert_eq!(back, hist);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        let mut hist = Histogram::new();
+        hist.record(9);
+        let JsonValue::Object(mut fields) = hist.to_json() else {
+            panic!("histogram JSON must be an object");
+        };
+        // Break conservation: claim a bigger total than the buckets hold.
+        for (key, value) in &mut fields {
+            if key == "total" {
+                *value = JsonValue::UInt(2);
+            }
+        }
+        let err = Histogram::from_json(&JsonValue::Object(fields)).unwrap_err();
+        assert!(err.contains("sum to"), "{err}");
+        assert!(Histogram::from_json(&JsonValue::UInt(1)).is_err());
+    }
+}

@@ -1,11 +1,17 @@
 //! A minimal JSON reader/writer for the workspace's on-disk artifacts.
 //!
-//! The workspace builds without crates.io access, so the [`crate::ClassPathSet`]
-//! serialisation and the `ptolemy-serve` persisted result cache use this
-//! hand-rolled module instead of `serde_json`.  Only the subset the artifacts
-//! need is supported: objects, arrays, strings and unsigned integers — floats
-//! are stored as hex-encoded IEEE-754 bit patterns by the callers, which is
-//! what makes the artifacts round-trip bit-exactly.
+//! The workspace builds without crates.io access, so the `ClassPathSet`
+//! serialisation in `ptolemy-core`, the `ptolemy-serve` persisted result
+//! cache, the metrics snapshots in this crate and the `BENCH_*.json`
+//! trajectory files all use this hand-rolled module instead of `serde_json`.
+//! Only the subset the artifacts need is supported: objects, arrays, strings
+//! and unsigned integers — floats are stored as hex-encoded IEEE-754 bit
+//! patterns by the callers, which is what makes the artifacts round-trip
+//! bit-exactly.
+//!
+//! The module lives at the bottom of the workspace dependency graph so every
+//! crate can emit the same dialect; `ptolemy-core` re-exports it under the
+//! original `ptolemy_core::json` path.
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,110 @@
+//! Property-based tests of the observability primitives: the algebraic
+//! invariants the rest of the workspace leans on when it merges per-worker
+//! histograms, reports percentiles, or persists metrics snapshots.
+
+use proptest::prelude::*;
+use ptolemy_obs::{json, Histogram};
+
+/// Builds a histogram from a list of observations.
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut hist = Histogram::new();
+    for &v in values {
+        hist.record(v);
+    }
+    hist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merge is commutative: a ∪ b == b ∪ a.
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in proptest::collection::vec(0u64..2_000_000_000, 0..40),
+        b in proptest::collection::vec(0u64..2_000_000_000, 0..40),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(0u64..2_000_000_000, 0..30),
+        b in proptest::collection::vec(0u64..2_000_000_000, 0..30),
+        c in proptest::collection::vec(0u64..2_000_000_000, 0..30),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Every reported percentile lies within the exact recorded [min, max],
+    /// and percentiles are monotone in q.
+    #[test]
+    fn percentiles_are_bounded_and_monotone(
+        values in proptest::collection::vec(0u64..u64::MAX, 1..60),
+    ) {
+        let hist = hist_of(&values);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(hist.min(), Some(min));
+        prop_assert_eq!(hist.max(), Some(max));
+        let mut last = min;
+        for step in 0..=20u64 {
+            let q = step as f64 / 20.0;
+            let p = hist.percentile(q).unwrap();
+            prop_assert!(p >= min && p <= max, "p{}={} outside [{}, {}]", q, p, min, max);
+            prop_assert!(p >= last, "percentile not monotone at q={}", q);
+            last = p;
+        }
+    }
+
+    /// Bucket counts conserve the total number of observations.
+    #[test]
+    fn bucket_counts_conserve_total(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..80),
+    ) {
+        let hist = hist_of(&values);
+        let bucket_sum: u64 = hist.bucket_counts().iter().sum();
+        prop_assert_eq!(bucket_sum, values.len() as u64);
+        prop_assert_eq!(hist.count(), values.len() as u64);
+    }
+
+    /// Serialising a histogram to JSON text and parsing it back is lossless,
+    /// including exact min/max/sum.
+    #[test]
+    fn json_round_trip_is_lossless(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..60),
+    ) {
+        let hist = hist_of(&values);
+        let text = hist.to_json().to_json();
+        let parsed = json::parse(&text).expect("snapshot text parses");
+        let back = Histogram::from_json(&parsed).expect("valid histogram JSON");
+        prop_assert_eq!(back, hist);
+    }
+
+    /// Merging histograms never loses observations or tightens extrema.
+    #[test]
+    fn merge_conserves_counts_and_extrema(
+        a in proptest::collection::vec(0u64..u64::MAX, 1..40),
+        b in proptest::collection::vec(0u64..u64::MAX, 1..40),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), ha.count() + hb.count());
+        prop_assert_eq!(merged.min(), ha.min().min(hb.min()));
+        prop_assert_eq!(merged.max(), ha.max().max(hb.max()));
+    }
+}

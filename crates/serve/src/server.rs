@@ -9,9 +9,11 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::TrySendError;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::Duration;
 
 use ptolemy_core::{Detection, DetectionEngine};
+use ptolemy_obs::json::JsonValue;
+use ptolemy_obs::{Clock, HistogramHandle, Registry, Stage, Timeline};
 use ptolemy_tensor::Tensor;
 
 use crate::batch::{adaptive_cap, BatchPolicy};
@@ -86,7 +88,8 @@ impl Ticket {
 struct Request {
     input: Tensor,
     slot: Arc<TicketSlot>,
-    submitted_at: Instant,
+    /// Enqueue time on the server's clock ([`Shared::now_ns`]).
+    submitted_ns: u64,
 }
 
 struct QueueState {
@@ -113,12 +116,72 @@ fn fnv1a_u64(seed: u64, values: impl IntoIterator<Item = u64>) -> u64 {
     hash
 }
 
+/// How many of the most recent per-batch [`Timeline`]s the server retains for
+/// [`Server::metrics_json`].  A bounded ring: old batches age out, memory
+/// stays O(1) however long the server runs.
+const TIMELINE_RING: usize = 32;
+
+/// The serving runtime's attachment to a [`ptolemy_obs::Registry`]: stage
+/// histograms resolved once at startup (the hot path never touches the
+/// registry's name maps) plus a bounded ring of recent per-batch timelines.
+///
+/// Counters that already exist in [`StatsInner`] are *not* duplicated here —
+/// the snapshot renders them straight from the stats plane.
+struct ServeObs {
+    registry: Arc<Registry>,
+    queue_wait_ns: HistogramHandle,
+    batch_form_ns: HistogramHandle,
+    cache_lookup_ns: HistogramHandle,
+    screen_ns: HistogramHandle,
+    /// One histogram per escalation shard, indexed like `Shared::escalate`.
+    escalate_ns: Vec<HistogramHandle>,
+    /// Occupancy of the cross-batch overlap thread: how long each pipelined
+    /// tier-2 sliver kept it busy.
+    overlap_ns: HistogramHandle,
+    timelines: Mutex<VecDeque<Timeline>>,
+}
+
+impl ServeObs {
+    fn attach(registry: Arc<Registry>, shards: usize) -> ServeObs {
+        ServeObs {
+            queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
+            batch_form_ns: registry.histogram("serve.batch_form_ns"),
+            cache_lookup_ns: registry.histogram("serve.cache_lookup_ns"),
+            screen_ns: registry.histogram("serve.screen_ns"),
+            escalate_ns: (0..shards)
+                .map(|shard| {
+                    registry.histogram(&format!(
+                        "serve.{}_ns",
+                        Stage::Escalate(shard as u32).label()
+                    ))
+                })
+                .collect(),
+            overlap_ns: registry.histogram("serve.overlap_ns"),
+            timelines: Mutex::new(VecDeque::with_capacity(TIMELINE_RING)),
+            registry,
+        }
+    }
+
+    /// Pushes a finished per-batch timeline into the bounded ring.
+    fn retain_timeline(&self, timeline: Timeline) {
+        let mut ring = lock(&self.timelines);
+        if ring.len() == TIMELINE_RING {
+            ring.pop_front();
+        }
+        ring.push_back(timeline);
+    }
+}
+
 struct Shared {
     state: Mutex<QueueState>,
     /// Signals workers that requests arrived (or shutdown began).
     not_empty: Condvar,
     /// Signals blocked submitters that queue space freed up.
     not_full: Condvar,
+    /// Wakes the metrics monitor thread early on shutdown.  Dedicated: the
+    /// monitor must never steal an enqueue's `not_empty.notify_one` from a
+    /// worker.
+    monitor_wake: Condvar,
     screen: Arc<DetectionEngine>,
     /// Tier-2 escalation engines: empty without tiered routing, one entry for
     /// a single escalation engine, several for sharded escalation.
@@ -146,6 +209,17 @@ struct Shared {
     /// Where to persist the result cache on shutdown, if configured.
     persist_path: Option<PathBuf>,
     stats: Mutex<StatsInner>,
+    /// The registry attachment ([`ServerBuilder::instrument`]); `None` leaves
+    /// the serving path entirely uninstrumented.
+    obs: Option<ServeObs>,
+    /// Clock for queue-wait/latency bookkeeping when no registry is attached
+    /// (with one attached, its clock is used so manual-clock tests stay
+    /// deterministic end to end).
+    fallback_clock: Clock,
+    /// Latency budget in nanoseconds (cached off `policy.latency_budget`).
+    latency_budget_ns: u64,
+    /// Where the periodic snapshot thread writes metrics JSON, if configured.
+    snapshot_path: Option<PathBuf>,
     /// Running mean activation-path density (f32 bits), fed back into the
     /// adaptive batch cap.
     density_ema_bits: AtomicU32,
@@ -162,6 +236,22 @@ struct Shared {
 }
 
 impl Shared {
+    /// The server's clock reading: the attached registry's clock when
+    /// instrumented (so a [`Clock::manual`] registry makes every serve timing
+    /// deterministic), the private monotonic clock otherwise.
+    fn now_ns(&self) -> u64 {
+        match &self.obs {
+            Some(obs) => obs.registry.clock().now_ns(),
+            None => self.fallback_clock.now_ns(),
+        }
+    }
+
+    /// The stage-timing attachment, `None` when absent **or gated off** — the
+    /// disabled path costs one relaxed atomic load.
+    fn stage_obs(&self) -> Option<&ServeObs> {
+        self.obs.as_ref().filter(|obs| obs.registry.enabled())
+    }
+
     fn density_ema(&self) -> f32 {
         f32::from_bits(self.density_ema_bits.load(Ordering::Relaxed))
     }
@@ -227,6 +317,8 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The periodic metrics-snapshot thread ([`ServerBuilder::snapshot_to`]).
+    monitor: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -260,6 +352,8 @@ impl Server {
             cache: None,
             pipeline: true,
             tiering_requested: false,
+            registry: None,
+            snapshot: None,
         }
     }
 
@@ -314,7 +408,7 @@ impl Server {
         state.queue.push_back(Request {
             input,
             slot: slot.clone(),
-            submitted_at: Instant::now(),
+            submitted_ns: self.shared.now_ns(),
         });
         lock(&self.shared.stats).submitted += 1;
         self.shared.not_empty.notify_one();
@@ -332,6 +426,17 @@ impl Server {
         // outside it so a polling monitor never stalls the workers.
         let copied = lock(&self.shared.stats).clone();
         copied.snapshot()
+    }
+
+    /// The full metrics plane as one JSON value: the [`ServeStats`] counters,
+    /// the all-time latency histogram, the attached registry's snapshot (when
+    /// [`ServerBuilder::instrument`] was used) and the most recent per-batch
+    /// stage timelines.
+    ///
+    /// Latencies are exported in integer nanoseconds/microseconds — the
+    /// workspace JSON dialect is integer-only, and nanoseconds are exact.
+    pub fn metrics_json(&self) -> JsonValue {
+        metrics_json_of(&self.shared)
     }
 
     /// The tier-1 screening engine.
@@ -373,10 +478,20 @@ impl Server {
         }
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
+        self.shared.monitor_wake.notify_all();
         for worker in self.workers.drain(..) {
             // A panicked worker already resolved nothing further; the
             // remaining workers drain the queue, so don't propagate here.
             let _ = worker.join();
+        }
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
+        }
+        // Every worker is joined, so this final snapshot sees the complete
+        // run — a post-mortem reader gets the closing state, not whatever the
+        // last periodic tick happened to capture.
+        if let Some(path) = &self.shared.snapshot_path {
+            write_snapshot(&self.shared, path);
         }
         // With every worker joined the cache is quiescent: flush it to disk.
         // A failed write leaves the counter at 0 rather than failing shutdown.
@@ -397,6 +512,91 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop_and_join();
+    }
+}
+
+/// Renders the metrics snapshot for [`Server::metrics_json`] and the periodic
+/// snapshot thread.  Integer-only (the workspace JSON dialect): exact
+/// nanoseconds where the source is exact, `mean_batch` scaled by 1000.
+fn metrics_json_of(shared: &Shared) -> JsonValue {
+    let (stats, latency) = {
+        let inner = lock(&shared.stats);
+        (inner.clone(), inner.latency_histogram())
+    };
+    let snapshot = stats.snapshot();
+    let shard_escalations = snapshot
+        .shard_escalations
+        .iter()
+        .map(|&n| JsonValue::UInt(n))
+        .collect();
+    let counters = vec![
+        ("submitted".into(), JsonValue::UInt(snapshot.submitted)),
+        ("completed".into(), JsonValue::UInt(snapshot.completed)),
+        ("failed".into(), JsonValue::UInt(snapshot.failed)),
+        (
+            "worker_panics".into(),
+            JsonValue::UInt(snapshot.worker_panics),
+        ),
+        (
+            "screen_served".into(),
+            JsonValue::UInt(snapshot.screen_served),
+        ),
+        ("escalated".into(), JsonValue::UInt(snapshot.escalated)),
+        (
+            "shard_escalations".into(),
+            JsonValue::Array(shard_escalations),
+        ),
+        (
+            "pipelined_batches".into(),
+            JsonValue::UInt(snapshot.pipelined_batches),
+        ),
+        (
+            "serial_batches".into(),
+            JsonValue::UInt(snapshot.serial_batches),
+        ),
+        ("cache_hits".into(), JsonValue::UInt(snapshot.cache_hits)),
+        (
+            "cache_misses".into(),
+            JsonValue::UInt(snapshot.cache_misses),
+        ),
+        ("batches".into(), JsonValue::UInt(snapshot.batches)),
+        (
+            "max_batch".into(),
+            JsonValue::UInt(snapshot.max_batch as u64),
+        ),
+        (
+            "mean_batch_milli".into(),
+            JsonValue::UInt((snapshot.mean_batch * 1000.0).round() as u64),
+        ),
+        (
+            "p50_latency_us".into(),
+            JsonValue::UInt((snapshot.p50_latency_ms * 1000.0).round() as u64),
+        ),
+        (
+            "p99_latency_us".into(),
+            JsonValue::UInt((snapshot.p99_latency_ms * 1000.0).round() as u64),
+        ),
+    ];
+    let mut fields = vec![
+        ("stats".into(), JsonValue::Object(counters)),
+        ("latency_ns".into(), latency.to_json()),
+    ];
+    if let Some(obs) = &shared.obs {
+        fields.push(("registry".into(), obs.registry.snapshot()));
+        let timelines = lock(&obs.timelines).iter().map(Timeline::to_json).collect();
+        fields.push(("timelines".into(), JsonValue::Array(timelines)));
+    }
+    JsonValue::Object(fields)
+}
+
+/// Writes one metrics snapshot to `path` (atomically: temp file + rename, so
+/// a reader never sees a torn snapshot).  Failures are swallowed — the
+/// metrics plane must never take serving down.
+fn write_snapshot(shared: &Shared, path: &std::path::Path) {
+    let text = metrics_json_of(shared).to_json();
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
     }
 }
 
@@ -431,28 +631,60 @@ fn worker_loop(shared: &Shared) {
             let cap =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.current_cap()))
                     .unwrap_or(shared.policy.max_batch);
-            let Some(batch) = next_batch(shared, cap) else {
+            let Some(formed) = next_batch(shared, cap) else {
                 break;
             };
+            let FormedBatch {
+                requests: batch,
+                form_start_ns,
+                cut_ns,
+            } = formed;
+            let batch_index;
             {
                 let mut stats = lock(&shared.stats);
                 stats.batches += 1;
+                batch_index = stats.batches;
                 stats.batched_requests += batch.len() as u64;
                 stats.max_batch = stats.max_batch.max(batch.len());
             }
+            // Per-batch stage timeline + queue-wait/batch-form histograms,
+            // only when a registry is attached and enabled.
+            let timeline = shared.stage_obs().map(|obs| {
+                obs.batch_form_ns
+                    .record(cut_ns.saturating_sub(form_start_ns));
+                let earliest = batch
+                    .iter()
+                    .map(|r| r.submitted_ns)
+                    .min()
+                    .unwrap_or(form_start_ns);
+                for request in &batch {
+                    obs.queue_wait_ns
+                        .record(cut_ns.saturating_sub(request.submitted_ns));
+                }
+                let origin = earliest.min(form_start_ns);
+                let mut timeline = Timeline::new(&format!("batch-{batch_index}"), origin);
+                timeline.record(Stage::QueueWait, earliest, cut_ns);
+                timeline.record(Stage::BatchForm, form_start_ns, cut_ns);
+                timeline
+            });
             let slots: Vec<Arc<TicketSlot>> = batch.iter().map(|r| r.slot.clone()).collect();
             let screened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                screen_batch(shared, batch)
+                screen_batch(shared, batch, timeline)
             }));
             match screened {
-                Ok(Some(job)) => match &escalator {
-                    Some((tx, _)) => match tx.try_send(job) {
-                        Ok(()) => lock(&shared.stats).pipelined_batches += 1,
-                        Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
-                            lock(&shared.stats).serial_batches += 1;
-                            run_escalations_caught(shared, job);
+                Ok(Some(mut job)) => match &escalator {
+                    Some((tx, _)) => {
+                        job.overlapped = true;
+                        match tx.try_send(job) {
+                            Ok(()) => lock(&shared.stats).pipelined_batches += 1,
+                            Err(TrySendError::Full(mut job))
+                            | Err(TrySendError::Disconnected(mut job)) => {
+                                job.overlapped = false;
+                                lock(&shared.stats).serial_batches += 1;
+                                run_escalations_caught(shared, job);
+                            }
                         }
-                    },
+                    }
                     None => {
                         lock(&shared.stats).serial_batches += 1;
                         run_escalations_caught(shared, job);
@@ -506,24 +738,40 @@ fn resolve(slot: &TicketSlot, result: Result<Served>) -> bool {
     true
 }
 
+/// A batch cut by [`next_batch`]: the requests plus the clock readings the
+/// instrumentation needs (when it is on) to account batch-forming time.
+struct FormedBatch {
+    requests: Vec<Request>,
+    /// When the worker first saw a non-empty queue for this batch.
+    form_start_ns: u64,
+    /// When the batch was cut.
+    cut_ns: u64,
+}
+
 /// Blocks until a batch can be cut (queue reached the adaptive cap, the oldest
 /// request waited out the latency budget, or shutdown flushes what's left).
 /// Returns `None` when the queue is drained and the server is shutting down.
-fn next_batch(shared: &Shared, cap: usize) -> Option<Vec<Request>> {
+fn next_batch(shared: &Shared, cap: usize) -> Option<FormedBatch> {
     let mut state = lock(&shared.state);
+    // Batch-forming starts when the worker first observes a request, not when
+    // it starts idling on an empty queue.
+    let mut form_start_ns: Option<u64> = None;
     loop {
         if state.queue.is_empty() {
             if state.shutdown {
                 return None;
             }
+            form_start_ns = None;
             state = sync::wait(&shared.not_empty, state);
             continue;
         }
-        let oldest = match state.queue.front() {
-            Some(request) => request.submitted_at,
+        let oldest_ns = match state.queue.front() {
+            Some(request) => request.submitted_ns,
             None => continue, // re-check emptiness/shutdown at the top
         };
-        let waited = oldest.elapsed();
+        let now_ns = shared.now_ns();
+        let form_start = *form_start_ns.get_or_insert(now_ns);
+        let waited_ns = now_ns.saturating_sub(oldest_ns);
         // Cut when the batch is as large as it can get: the adaptive cap is
         // reached, or the queue is at capacity with a submitter blocked on
         // backpressure (it cannot grow, so waiting out the budget would only
@@ -531,15 +779,19 @@ fn next_batch(shared: &Shared, cap: usize) -> Option<Vec<Request>> {
         let stalled = state.blocked_submitters > 0 && state.queue.len() >= shared.queue_capacity;
         if state.queue.len() >= cap
             || stalled
-            || waited >= shared.policy.latency_budget
+            || waited_ns >= shared.latency_budget_ns
             || state.shutdown
         {
             let n = state.queue.len().min(cap);
-            let batch: Vec<Request> = state.queue.drain(..n).collect();
+            let requests: Vec<Request> = state.queue.drain(..n).collect();
             shared.not_full.notify_all();
-            return Some(batch);
+            return Some(FormedBatch {
+                requests,
+                form_start_ns: form_start,
+                cut_ns: shared.now_ns(),
+            });
         }
-        let remaining = shared.policy.latency_budget - waited;
+        let remaining = Duration::from_nanos(shared.latency_budget_ns - waited_ns);
         let (guard, _timeout) = sync::wait_timeout(&shared.not_empty, state, remaining);
         state = guard;
     }
@@ -549,7 +801,7 @@ fn next_batch(shared: &Shared, cap: usize) -> Option<Vec<Request>> {
 /// only what resolution still needs.
 struct InFlight {
     slot: Arc<TicketSlot>,
-    submitted_at: Instant,
+    submitted_ns: u64,
     /// Exact-input cache key, computed in phase 1 while the input was at hand.
     input_key: Option<u64>,
 }
@@ -557,13 +809,14 @@ struct InFlight {
 /// Resolves one request: updates the completion counters and queue-to-result
 /// latency, then wakes the waiter.
 fn finish(shared: &Shared, request: &InFlight, outcome: Result<Served>) {
+    let latency_ns = shared.now_ns().saturating_sub(request.submitted_ns);
     {
         let mut stats = lock(&shared.stats);
         match &outcome {
             Ok(_) => stats.completed += 1,
             Err(_) => stats.failed += 1,
         }
-        stats.record_latency(request.submitted_at.elapsed().as_secs_f64() * 1000.0);
+        stats.record_latency(latency_ns);
     }
     resolve(&request.slot, outcome);
 }
@@ -573,6 +826,12 @@ fn finish(shared: &Shared, request: &InFlight, outcome: Result<Served>) {
 /// and their inputs, ready for one fused pass per shard.
 struct EscalationJob {
     groups: Vec<EscalationGroup>,
+    /// The batch's stage timeline, carried through so the escalation passes
+    /// (wherever they run) append their events before it is retained.
+    timeline: Option<Timeline>,
+    /// `true` when the job was handed to the overlap thread — its execution
+    /// time then also counts as overlap-thread occupancy.
+    overlapped: bool,
 }
 
 struct EscalationGroup {
@@ -621,8 +880,17 @@ fn maybe_inject_panic(flag: &std::sync::atomic::AtomicBool, what: &str) {
 fn run_escalations(shared: &Shared, job: EscalationJob) {
     #[cfg(test)]
     maybe_inject_panic(&shared.fail_next_escalation, "escalation");
-    for group in job.groups {
+    let EscalationJob {
+        groups,
+        mut timeline,
+        overlapped,
+    } = job;
+    let obs = shared.stage_obs();
+    let overlap_start_ns = obs.map(|_| shared.now_ns());
+    for group in groups {
+        let start_ns = obs.map(|_| shared.now_ns());
         let engine = &shared.escalate[group.shard];
+        let shard = group.shard;
         let verdicts = engine.detect_batch_with_paths(&group.inputs);
         for ((request, path_key), verdict) in group.requests.into_iter().zip(verdicts) {
             match verdict {
@@ -654,6 +922,25 @@ fn run_escalations(shared: &Shared, job: EscalationJob) {
                 Err(e) => finish(shared, &request, Err(e.into())),
             }
         }
+        if let (Some(obs), Some(start_ns)) = (obs, start_ns) {
+            let end_ns = shared.now_ns();
+            obs.escalate_ns[shard].record(end_ns.saturating_sub(start_ns));
+            if let Some(timeline) = &mut timeline {
+                timeline.record(Stage::Escalate(shard as u32), start_ns, end_ns);
+            }
+        }
+    }
+    if let Some(obs) = obs {
+        if let Some(start_ns) = overlap_start_ns.filter(|_| overlapped) {
+            let end_ns = shared.now_ns();
+            obs.overlap_ns.record(end_ns.saturating_sub(start_ns));
+            if let Some(timeline) = &mut timeline {
+                timeline.record(Stage::Overlap, start_ns, end_ns);
+            }
+        }
+        if let Some(timeline) = timeline {
+            obs.retain_timeline(timeline);
+        }
     }
 }
 
@@ -676,9 +963,14 @@ fn run_escalations(shared: &Shared, job: EscalationJob) {
 /// uncertainty band, `escalate.detect(input)` on the owning shard when inside
 /// — the fused kernels preserve the per-input reduction order, so batching
 /// (and sharding, and pipelining) changes scheduling, never arithmetic.
-fn screen_batch(shared: &Shared, batch: Vec<Request>) -> Option<EscalationJob> {
+fn screen_batch(
+    shared: &Shared,
+    batch: Vec<Request>,
+    mut timeline: Option<Timeline>,
+) -> Option<EscalationJob> {
     #[cfg(test)]
     maybe_inject_panic(&shared.fail_next_screen, "screening");
+    let obs = shared.stage_obs();
     let cache_hit = |cached: CachedVerdict| {
         lock(&shared.stats).cache_hits += 1;
         Served {
@@ -690,18 +982,21 @@ fn screen_batch(shared: &Shared, batch: Vec<Request>) -> Option<EscalationJob> {
 
     // Phase 1: exact-duplicate fast path.  Inputs that miss are *moved* (not
     // cloned) into the fused-batch buffer.
+    let lookup_start_ns = obs
+        .filter(|_| shared.cache.is_some())
+        .map(|_| shared.now_ns());
     let mut pending: Vec<InFlight> = Vec::with_capacity(batch.len());
     let mut inputs: Vec<Tensor> = Vec::with_capacity(batch.len());
     for request in batch {
         let Request {
             input,
             slot,
-            submitted_at,
+            submitted_ns,
         } = request;
         let input_key = shared.cache.is_some().then(|| shared.input_key(&input));
         let in_flight = InFlight {
             slot,
-            submitted_at,
+            submitted_ns,
             input_key,
         };
         if let (Some(cache), Some(input_keys), Some(key)) =
@@ -717,12 +1012,30 @@ fn screen_batch(shared: &Shared, batch: Vec<Request>) -> Option<EscalationJob> {
         pending.push(in_flight);
         inputs.push(input);
     }
+    if let (Some(obs), Some(start_ns)) = (obs, lookup_start_ns) {
+        let end_ns = shared.now_ns();
+        obs.cache_lookup_ns.record(end_ns.saturating_sub(start_ns));
+        if let Some(timeline) = &mut timeline {
+            timeline.record(Stage::CacheLookup, start_ns, end_ns);
+        }
+    }
     if pending.is_empty() {
+        if let (Some(obs), Some(timeline)) = (obs, timeline) {
+            obs.retain_timeline(timeline);
+        }
         return None;
     }
 
     // Phase 2: one fused screening trace over everything the fast path missed.
+    let screen_start_ns = obs.map(|_| shared.now_ns());
     let screened = shared.screen.detect_batch_with_paths(&inputs);
+    if let (Some(obs), Some(start_ns)) = (obs, screen_start_ns) {
+        let end_ns = shared.now_ns();
+        obs.screen_ns.record(end_ns.saturating_sub(start_ns));
+        if let Some(timeline) = &mut timeline {
+            timeline.record(Stage::Screen, start_ns, end_ns);
+        }
+    }
 
     // Phase 3: density feedback, cache lookup on the path prefix, band routing
     // to the escalation shard owning each screened class.
@@ -793,9 +1106,16 @@ fn screen_batch(shared: &Shared, batch: Vec<Request>) -> Option<EscalationJob> {
     }
     groups.retain(|group| !group.requests.is_empty());
     if groups.is_empty() {
+        if let (Some(obs), Some(timeline)) = (obs, timeline) {
+            obs.retain_timeline(timeline);
+        }
         return None;
     }
-    Some(EscalationJob { groups })
+    Some(EscalationJob {
+        groups,
+        timeline,
+        overlapped: false,
+    })
 }
 
 /// Builder for [`Server`]; all validation happens in [`ServerBuilder::start`].
@@ -812,6 +1132,8 @@ pub struct ServerBuilder {
     /// `escalate`/`escalate_sharded` was called: an empty engine list must
     /// then fail loudly instead of silently serving tier-1 only.
     tiering_requested: bool,
+    registry: Option<Arc<Registry>>,
+    snapshot: Option<(PathBuf, Duration)>,
 }
 
 impl ServerBuilder {
@@ -957,6 +1279,31 @@ impl ServerBuilder {
         self
     }
 
+    /// Attaches a [`ptolemy_obs::Registry`]: the server records per-stage
+    /// latency histograms (queue wait, batch forming, cache lookup, screen,
+    /// per-shard escalation, overlap-thread occupancy) and retains the most
+    /// recent per-batch stage [`Timeline`]s for [`Server::metrics_json`].
+    ///
+    /// All of it is gated on [`Registry::enabled`] — attached-but-disabled
+    /// serving costs one relaxed atomic load per stage (the `obs_overhead`
+    /// bench experiment pins this within noise of a server built without this
+    /// call).  The server also times queue-to-result latency on the
+    /// registry's clock, so a [`ptolemy_obs::Clock::manual`] registry makes
+    /// every serve timing deterministic under test.
+    pub fn instrument(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Writes the [`Server::metrics_json`] snapshot to `path` every
+    /// `interval` (atomic temp-file + rename), plus one final snapshot at
+    /// shutdown after the workers drain.  The monitor thread is joined by
+    /// [`Server::shutdown`]/`Drop`.
+    pub fn snapshot_to(mut self, path: impl Into<PathBuf>, interval: Duration) -> Self {
+        self.snapshot = Some((path.into(), interval));
+        self
+    }
+
     /// Validates the configuration and tier pairing, loads the persisted
     /// result cache (if configured and written by an identical engine), spawns
     /// the workers and returns the running server.
@@ -981,6 +1328,13 @@ impl ServerBuilder {
             ));
         }
         self.policy.validate().map_err(ServeError::InvalidConfig)?;
+        if let Some((_, interval)) = &self.snapshot {
+            if interval.is_zero() {
+                return Err(ServeError::InvalidConfig(
+                    "metrics snapshot interval must be non-zero".into(),
+                ));
+            }
+        }
         if let Some(cache) = &self.cache {
             if cache.capacity == 0 {
                 return Err(ServeError::InvalidConfig(
@@ -1140,6 +1494,16 @@ impl ServerBuilder {
                 )
             }
         };
+        let shards = self.escalate.len();
+        let obs = self
+            .registry
+            .map(|registry| ServeObs::attach(registry, shards));
+        let latency_budget_ns =
+            u64::try_from(self.policy.latency_budget.as_nanos()).unwrap_or(u64::MAX);
+        let (snapshot_path, snapshot_interval) = match self.snapshot {
+            Some((path, interval)) => (Some(path), Some(interval)),
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::with_capacity(self.queue_capacity),
@@ -1148,6 +1512,7 @@ impl ServerBuilder {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            monitor_wake: Condvar::new(),
             screen: self.screen,
             escalate: self.escalate,
             owner_of,
@@ -1161,6 +1526,10 @@ impl ServerBuilder {
             prefix_segments,
             persist_path,
             stats: Mutex::new(stats),
+            obs,
+            fallback_clock: Clock::monotonic(),
+            latency_budget_ns,
+            snapshot_path,
             density_ema_bits: AtomicU32::new(0.0f32.to_bits()),
             cap_cache: Mutex::new(None),
             #[cfg(test)]
@@ -1177,7 +1546,60 @@ impl ServerBuilder {
                     .map_err(|e| ServeError::InvalidConfig(format!("failed to spawn worker: {e}")))
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(Server { shared, workers })
+        let monitor = match snapshot_interval {
+            Some(interval) => {
+                let shared = shared.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("ptolemy-serve-metrics".into())
+                        .spawn(move || monitor_loop(&shared, interval))
+                        .map_err(|e| {
+                            ServeError::InvalidConfig(format!(
+                                "failed to spawn metrics monitor: {e}"
+                            ))
+                        })?,
+                )
+            }
+            None => None,
+        };
+        Ok(Server {
+            shared,
+            workers,
+            monitor,
+        })
+    }
+}
+
+/// The periodic metrics-snapshot thread: writes [`Server::metrics_json`] to
+/// the configured path every `interval` until shutdown.  Waits on its own
+/// `monitor_wake` condvar (never the workers' `not_empty`, whose
+/// `notify_one` wake-ups must reach a worker), so timeouts re-check the
+/// deadline and the shutdown broadcast ends the loop promptly.
+fn monitor_loop(shared: &Shared, interval: Duration) {
+    let Some(path) = shared.snapshot_path.as_deref() else {
+        return;
+    };
+    let interval_ns = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
+    let mut deadline_ns = shared.now_ns().saturating_add(interval_ns);
+    let mut state = lock(&shared.state);
+    loop {
+        if state.shutdown {
+            return; // stop_and_join writes the final snapshot after the join
+        }
+        let now_ns = shared.now_ns();
+        if now_ns >= deadline_ns {
+            drop(state);
+            write_snapshot(shared, path);
+            deadline_ns = shared.now_ns().saturating_add(interval_ns);
+            state = lock(&shared.state);
+            continue;
+        }
+        let (guard, _timeout) = sync::wait_timeout(
+            &shared.monitor_wake,
+            state,
+            Duration::from_nanos(deadline_ns - now_ns),
+        );
+        state = guard;
     }
 }
 
@@ -1895,5 +2317,224 @@ mod tests {
         assert_eq!(served.tier, Tier::Escalated);
         let stats = server.shutdown();
         assert_eq!(stats.worker_panics, 1, "{stats:?}");
+    }
+
+    /// Parses a named stage histogram out of a metrics snapshot.
+    fn stage_hist(metrics: &JsonValue, name: &str) -> ptolemy_obs::Histogram {
+        let hist = metrics
+            .get("registry")
+            .and_then(|r| r.get("histograms"))
+            .and_then(|h| h.get(name))
+            .unwrap_or_else(|| panic!("histogram {name} missing from snapshot"));
+        ptolemy_obs::Histogram::from_json(hist).expect("valid histogram JSON")
+    }
+
+    #[test]
+    fn instrumented_server_records_stage_histograms_and_timelines() {
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        let registry = Arc::new(Registry::new("serve-test"));
+        // Band [0, 1]: every request escalates, so the escalate/overlap
+        // stages are exercised too.
+        let server = Server::builder(screen)
+            .escalate(expensive, 0.0, 1.0)
+            .workers(1)
+            .instrument(registry.clone())
+            .start()
+            .unwrap();
+        let tickets: Vec<Ticket> = fx
+            .benign
+            .iter()
+            .take(6)
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+
+        // Tickets resolve *inside* the escalation pass, a moment before the
+        // batch timeline is retained — poll briefly for the retain.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let parsed = loop {
+            // The snapshot is text-stable: render → parse → same structure.
+            let parsed = ptolemy_obs::json::parse(&server.metrics_json().to_json())
+                .expect("snapshot parses");
+            let retained = parsed
+                .get("timelines")
+                .and_then(JsonValue::as_array)
+                .map_or(0, <[JsonValue]>::len);
+            if retained > 0 {
+                break parsed;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no batch timeline retained"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(
+            parsed
+                .get("stats")
+                .and_then(|s| s.get("completed"))
+                .and_then(JsonValue::as_u64),
+            Some(6)
+        );
+        // One queue-wait observation per batched request; the batch stages
+        // recorded at least one batch each.
+        assert_eq!(stage_hist(&parsed, "serve.queue_wait_ns").count(), 6);
+        for name in [
+            "serve.batch_form_ns",
+            "serve.screen_ns",
+            "serve.escalate[0]_ns",
+        ] {
+            assert!(
+                stage_hist(&parsed, name).count() >= 1,
+                "{name} recorded nothing"
+            );
+        }
+        let timelines = parsed
+            .get("timelines")
+            .and_then(JsonValue::as_array)
+            .expect("timelines array");
+        assert!(!timelines.is_empty());
+        // Every retained timeline carries the core stages in order.
+        for timeline in timelines {
+            let events = timeline
+                .get("events")
+                .and_then(JsonValue::as_array)
+                .expect("events");
+            let stages: Vec<&str> = events
+                .iter()
+                .filter_map(|e| e.get("stage").and_then(JsonValue::as_str))
+                .collect();
+            assert!(stages.contains(&"queue_wait"), "{stages:?}");
+            assert!(stages.contains(&"batch_form"), "{stages:?}");
+            assert!(stages.contains(&"screen"), "{stages:?}");
+            assert!(stages.contains(&"escalate[0]"), "{stages:?}");
+        }
+        // The exported latency histogram counts every completion.
+        let latency =
+            ptolemy_obs::Histogram::from_json(parsed.get("latency_ns").expect("latency_ns"))
+                .expect("valid latency histogram");
+        assert_eq!(latency.count(), 6);
+        let stats = server.shutdown();
+        assert_eq!(stats.escalated, 6);
+    }
+
+    #[test]
+    fn disabled_registry_gates_stage_instrumentation_but_not_stats() {
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        let registry = Arc::new(Registry::new("serve-gated"));
+        registry.set_enabled(false);
+        let server = Server::builder(screen)
+            .escalate(expensive, 0.0, 1.0)
+            .workers(1)
+            .instrument(registry.clone())
+            .start()
+            .unwrap();
+        for input in fx.benign.iter().take(4) {
+            server.submit(input.clone()).unwrap().wait().unwrap();
+        }
+        let metrics = server.metrics_json();
+        // The handles exist (attached at startup) but the gate kept every
+        // stage path silent...
+        for name in [
+            "serve.queue_wait_ns",
+            "serve.batch_form_ns",
+            "serve.cache_lookup_ns",
+            "serve.screen_ns",
+            "serve.escalate[0]_ns",
+            "serve.overlap_ns",
+        ] {
+            assert_eq!(stage_hist(&metrics, name).count(), 0, "{name} not gated");
+        }
+        assert!(metrics
+            .get("timelines")
+            .and_then(JsonValue::as_array)
+            .expect("timelines array")
+            .is_empty());
+        // ...while the always-on stats plane kept counting.
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert!(stats.p99_latency_ms >= stats.p50_latency_ms);
+    }
+
+    #[test]
+    fn periodic_snapshot_writes_parseable_metrics_file() {
+        let path =
+            std::env::temp_dir().join(format!("ptolemy-serve-metrics-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let fx = fixture(2);
+        let (screen, _) = tiered(&fx);
+        let registry = Arc::new(Registry::new("serve-snapshot"));
+        let server = Server::builder(screen)
+            .workers(1)
+            .instrument(registry)
+            // A long interval: this test relies on the guaranteed final
+            // snapshot at shutdown, not on timing.
+            .snapshot_to(&path, Duration::from_secs(3600))
+            .start()
+            .unwrap();
+        for input in fx.benign.iter().take(3) {
+            server.submit(input.clone()).unwrap().wait().unwrap();
+        }
+        server.shutdown();
+        let text = std::fs::read_to_string(&path).expect("final snapshot written");
+        let parsed = ptolemy_obs::json::parse(&text).expect("snapshot file parses");
+        assert_eq!(
+            parsed
+                .get("stats")
+                .and_then(|s| s.get("completed"))
+                .and_then(JsonValue::as_u64),
+            Some(3)
+        );
+        assert!(parsed.get("registry").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn uninstrumented_and_gated_servers_agree_with_instrumented_verdicts() {
+        // The observability plane must be *observational*: attaching a
+        // registry (enabled or not) cannot change a single verdict bit.
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        let build = |registry: Option<Arc<Registry>>| {
+            let mut builder = Server::builder(screen.clone())
+                .escalate(expensive.clone(), 0.25, 0.75)
+                .workers(2);
+            if let Some(registry) = registry {
+                builder = builder.instrument(registry);
+            }
+            builder.start().unwrap()
+        };
+        let gated = Arc::new(Registry::new("gated"));
+        gated.set_enabled(false);
+        let servers = [
+            build(None),
+            build(Some(Arc::new(Registry::new("on")))),
+            build(Some(gated)),
+        ];
+        let inputs: Vec<Tensor> = fx
+            .benign
+            .iter()
+            .chain(&fx.adversarial)
+            .take(10)
+            .cloned()
+            .collect();
+        for input in &inputs {
+            let mut verdicts = servers
+                .iter()
+                .map(|s| s.submit(input.clone()).unwrap().wait().unwrap());
+            let first = verdicts.next().unwrap();
+            for other in verdicts {
+                assert_eq!(first.tier, other.tier);
+                assert_eq!(
+                    first.detection.score.to_bits(),
+                    other.detection.score.to_bits()
+                );
+                assert_eq!(first.detection, other.detection);
+            }
+        }
     }
 }

@@ -1,4 +1,14 @@
 //! Serving counters and their user-facing snapshot.
+//!
+//! Queue-to-result latency percentiles are computed from a
+//! [`ptolemy_obs::Histogram`] covering **every completed request since
+//! startup** — the historical fixed-size recency ring silently forgot history
+//! and conflated warm-up with steady state.  The histogram is log-bucketed
+//! (bounded memory, ~12.5% relative resolution) and its percentiles are
+//! clamped to the exact recorded `[min, max]`, so reported values are
+//! monotone in the quantile and can never leave the observed range.
+
+use ptolemy_obs::Histogram;
 
 /// A point-in-time snapshot of the server's counters, taken with
 /// [`crate::Server::stats`].
@@ -63,11 +73,13 @@ pub struct ServeStats {
     pub max_batch: usize,
     /// Mean requests per batch.
     pub mean_batch: f64,
-    /// Median queue-to-result latency over the recent-latency window, in
-    /// milliseconds (0.0 before the first completion).
+    /// Median queue-to-result latency over all completed requests, in
+    /// milliseconds (0.0 before the first completion).  Histogram-derived:
+    /// ~12.5% bucket resolution, clamped to the recorded `[min, max]`.
     pub p50_latency_ms: f64,
-    /// 99th-percentile queue-to-result latency over the recent-latency window,
-    /// in milliseconds (0.0 before the first completion).
+    /// 99th-percentile queue-to-result latency over all completed requests,
+    /// in milliseconds (0.0 before the first completion).  Same derivation as
+    /// [`ServeStats::p50_latency_ms`].
     pub p99_latency_ms: f64,
 }
 
@@ -84,13 +96,12 @@ impl ServeStats {
     }
 }
 
-/// How many recent queue-to-result latencies the percentile window keeps.
-const LATENCY_WINDOW: usize = 4096;
-
 /// The mutable counters behind [`ServeStats`], guarded by the server's stats
 /// mutex.  `Clone` exists so snapshots can copy the counters out under the
-/// lock and do the percentile sort *outside* it — workers take this lock on
-/// every request, so an O(n log n) sort must not run under it.
+/// lock and derive percentiles *outside* it — workers take this lock on
+/// every request.  (The histogram walk is O(buckets), far cheaper than the
+/// historical ring sort, but the discipline of doing no derived work under
+/// the lock stays.)
 #[derive(Debug, Default, Clone)]
 pub(crate) struct StatsInner {
     pub submitted: u64,
@@ -110,8 +121,7 @@ pub(crate) struct StatsInner {
     pub batches: u64,
     pub max_batch: usize,
     pub batched_requests: u64,
-    latencies_ms: Vec<f64>,
-    latency_cursor: usize,
+    latency_ns: Histogram,
 }
 
 impl StatsInner {
@@ -123,27 +133,22 @@ impl StatsInner {
         }
     }
 
-    /// Records one queue-to-result latency into the bounded window (a ring once
-    /// the window fills, so percentiles track *recent* behaviour).
-    pub fn record_latency(&mut self, ms: f64) {
-        if self.latencies_ms.len() < LATENCY_WINDOW {
-            self.latencies_ms.push(ms);
-        } else {
-            self.latencies_ms[self.latency_cursor] = ms;
-            self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
-        }
+    /// Records one queue-to-result latency into the all-time histogram
+    /// (bounded memory however many requests complete).
+    pub fn record_latency(&mut self, ns: u64) {
+        self.latency_ns.record(ns);
+    }
+
+    /// A copy of the latency histogram, for export alongside the snapshot.
+    pub fn latency_histogram(&self) -> Histogram {
+        self.latency_ns.clone()
     }
 
     pub fn snapshot(&self) -> ServeStats {
-        let mut window = self.latencies_ms.clone();
-        window.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let percentile = |q: f64| -> f64 {
-            if window.is_empty() {
-                return 0.0;
-            }
-            // Nearest-rank on the sorted window.
-            let rank = ((q * window.len() as f64).ceil() as usize).clamp(1, window.len());
-            window[rank - 1]
+            self.latency_ns
+                .percentile(q)
+                .map_or(0.0, |ns| ns as f64 / 1e6)
         };
         ServeStats {
             submitted: self.submitted,
@@ -178,35 +183,59 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_computes_percentiles_and_means() {
+    fn snapshot_percentiles_are_monotone_and_bounded_by_recorded_extremes() {
         let mut inner = StatsInner::default();
         assert_eq!(inner.snapshot().p50_latency_ms, 0.0);
-        for i in 1..=100 {
-            inner.record_latency(i as f64);
+        assert_eq!(inner.snapshot().p99_latency_ms, 0.0);
+        for i in 1..=100u64 {
+            inner.record_latency(i * 1_000_000); // 1..=100 ms
         }
         inner.batches = 4;
         inner.batched_requests = 10;
         inner.max_batch = 5;
         let stats = inner.snapshot();
-        assert_eq!(stats.p50_latency_ms, 50.0);
-        assert_eq!(stats.p99_latency_ms, 99.0);
+        // Histogram-derived percentiles: monotone and inside [min, max].
+        assert!(stats.p50_latency_ms <= stats.p99_latency_ms);
+        for p in [stats.p50_latency_ms, stats.p99_latency_ms] {
+            assert!((1.0..=100.0).contains(&p), "{p} outside recorded range");
+        }
+        // And still resolve the distribution: the median of 1..=100 ms sits
+        // near 50 ms (log-bucket resolution is ~12.5%).
+        assert!((stats.p50_latency_ms - 50.0).abs() <= 50.0 * 0.15);
+        assert!(stats.p99_latency_ms >= 85.0);
         assert_eq!(stats.mean_batch, 2.5);
         assert_eq!(stats.max_batch, 5);
     }
 
     #[test]
-    fn latency_window_is_a_ring() {
+    fn percentiles_cover_full_history_not_a_recency_window() {
+        // The historical 4096-entry ring forgot the first regime entirely:
+        // after 4096 slow completions the fast warm-up vanished and p50
+        // jumped to the slow regime.  The histogram keeps both.
         let mut inner = StatsInner::default();
-        for _ in 0..LATENCY_WINDOW {
-            inner.record_latency(1.0);
+        for _ in 0..4096 {
+            inner.record_latency(1_000_000); // 1 ms regime
         }
-        // Overwrite the whole window with a higher latency regime.
-        for _ in 0..LATENCY_WINDOW {
-            inner.record_latency(9.0);
+        for _ in 0..4096 {
+            inner.record_latency(9_000_000); // 9 ms regime
         }
         let stats = inner.snapshot();
-        assert_eq!(stats.p50_latency_ms, 9.0);
-        assert_eq!(stats.p99_latency_ms, 9.0);
+        // Half the history is 1 ms, so the median stays in the fast regime
+        // (the old ring reported 9.0 here) while the tail sees the slow one.
+        assert!(stats.p50_latency_ms <= 1.2, "{}", stats.p50_latency_ms);
+        assert!(stats.p99_latency_ms >= 8.0, "{}", stats.p99_latency_ms);
+        assert!(stats.p99_latency_ms <= 9.0, "{}", stats.p99_latency_ms);
+    }
+
+    #[test]
+    fn latency_histogram_is_exported_with_exact_extremes() {
+        let mut inner = StatsInner::default();
+        inner.record_latency(250);
+        inner.record_latency(750);
+        let hist = inner.latency_histogram();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.min(), Some(250));
+        assert_eq!(hist.max(), Some(750));
     }
 
     #[test]

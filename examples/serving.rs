@@ -5,7 +5,9 @@
 //! feed it a mixed benign/adversarial stream with duplicates, and print the
 //! `ServeStats` snapshot (tier + per-shard counts, pipelined/serial batches,
 //! cache hit rate and persistence counters, queue-to-result latency
-//! percentiles).
+//! percentiles) plus the full observability snapshot — per-stage latency
+//! histograms and counters from the attached `ptolemy_obs::Registry`,
+//! rendered as JSON by `Server::metrics_json`.
 //!
 //! ```text
 //! cargo run --release --example serving
@@ -56,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let half = benign.len() / 2;
 
     // 4. Bind both tier engines once (fingerprints validated here).  The
-    //    screen engine is shared (Arc) because step 9 restarts a second server
+    //    screen engine is shared (Arc) because step 10 restarts a second server
     //    around it to demonstrate cache persistence.
     let screen = Arc::new(
         DetectionEngine::builder(network.clone(), screen_program, screen_paths)
@@ -101,8 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 6. Start the serving runtime: 4 workers, adaptive batching, scores in
     //    [0.35, 0.65] escalate to the shard owning the screened class (tier-2
     //    slivers pipelined against the next batch's screening — the default),
-    //    near-duplicate results served from the path-prefix cache, and the
-    //    cache persisted across restarts.
+    //    near-duplicate results served from the path-prefix cache, the cache
+    //    persisted across restarts, and every stage timed into a metrics
+    //    registry.
+    let registry = Arc::new(Registry::new("example.serving"));
     let cache_path = std::env::temp_dir().join("ptolemy-serving-example-cache.json");
     let _ = std::fs::remove_file(&cache_path); // fresh demo run
     let cache_config = CacheConfig {
@@ -122,6 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..BatchPolicy::default()
             })
             .cache(cache_config.clone())
+            .instrument(registry.clone())
             .start()
     };
     let server = start_server(&screen, &shards)?;
@@ -155,7 +160,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         correct as f32 / total as f32
     );
 
-    // 8. The counters the serving layer exposes.
+    // 8. The observability snapshot: per-stage latency histograms (queue wait,
+    //    batch forming, screen inference, escalation, cache probes) and
+    //    counters, rendered as the same JSON the periodic snapshot thread and
+    //    the BENCH_*.json trajectory use.
+    println!("\nmetrics snapshot ({})", registry.name());
+    println!("{}", server.metrics_json().to_json());
+
+    // 9. The counters the serving layer exposes.
     let stats = server.shutdown();
     println!("\nServeStats");
     println!("  submitted           {}", stats.submitted);
@@ -195,7 +207,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("note: no input landed in the uncertainty band on this run");
     }
 
-    // 9. Restart: a second server over the same engines reloads the persisted
+    // 10. Restart: a second server over the same engines reloads the persisted
     //    cache (the fingerprint in the file matches), so replayed traffic hits
     //    immediately — the point of persistence.
     let server = start_server(&screen, &shards)?;

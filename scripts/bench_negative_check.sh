@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Proves the bench diff gate actually gates: copies a set of current
+# BENCH_*.json reports, injects a 20x wall-clock regression and a parity-flag
+# violation, and asserts `bench_diff.sh` (which must pass on the pristine
+# copies) rejects the doctored ones and names the offending file and metric.
+#
+#   scripts/bench_negative_check.sh <current_dir>
+set -euo pipefail
+
+current_dir="${1:-target/bench-ci}"
+if ! ls "$current_dir"/BENCH_*.json >/dev/null 2>&1; then
+    echo "no BENCH_*.json reports under $current_dir — run the bench smoke first" >&2
+    exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cp "$current_dir"/BENCH_*.json "$workdir/"
+
+echo "== pristine copies must pass the gate =="
+./scripts/bench_diff.sh benchmarks/baseline "$workdir" >/dev/null
+
+victim="$workdir/BENCH_batch_fusion.json"
+echo "== injecting 20x wall_us regression + parity violation into $(basename "$victim") =="
+awk '
+    /^  "wall_us":/ { sub(/[0-9]+/, $2 * 20 ",");
+                      sub(/,,/, ","); print; next }
+    inparity && /": 1,?$/ && !flipped { sub(/: 1/, ": 0"); flipped = 1 }
+    /^  "parity": {$/ { inparity = 1 }
+    /^  }/ { inparity = 0 }
+    { print }
+' "$current_dir/BENCH_batch_fusion.json" > "$victim"
+
+echo "== doctored copies must fail the gate =="
+if output="$(./scripts/bench_diff.sh benchmarks/baseline "$workdir" 2>&1)"; then
+    echo "bench_diff.sh passed a 20x regression — the gate is not gating" >&2
+    echo "$output" >&2
+    exit 1
+fi
+if ! grep -q "BENCH_batch_fusion.json:wall_us" <<<"$output"; then
+    echo "failure output does not name the regressed file:metric" >&2
+    echo "$output" >&2
+    exit 1
+fi
+if ! grep -q "BENCH_batch_fusion.json:parity\." <<<"$output"; then
+    echo "failure output does not name the violated parity flag" >&2
+    echo "$output" >&2
+    exit 1
+fi
+echo "bench negative check: gate rejects injected regressions and names them"

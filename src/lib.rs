@@ -116,6 +116,7 @@ pub use ptolemy_data as data;
 pub use ptolemy_forest as forest;
 pub use ptolemy_isa as isa;
 pub use ptolemy_nn as nn;
+pub use ptolemy_obs as obs;
 pub use ptolemy_serve as serve;
 pub use ptolemy_tensor as tensor;
 
@@ -131,6 +132,7 @@ pub mod prelude {
     pub use ptolemy_data::SyntheticDataset;
     pub use ptolemy_forest::{auc, RandomForest};
     pub use ptolemy_nn::{zoo, Network, TrainConfig, Trainer};
+    pub use ptolemy_obs::{Clock, Registry};
     pub use ptolemy_serve::{
         BatchPolicy, CacheConfig, ServeError, ServeStats, Served, Server, Ticket, Tier,
     };
