@@ -1,0 +1,9 @@
+//! Runs the beyond-paper GEMM microkernel experiment (naive scalar loop vs
+//! blocked register-tiled kernel vs row-parallel driver, parity-gated).
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin gemm_microkernel`; set
+//! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+fn main() {
+    ptolemy_bench::run_binary("gemm_microkernel");
+}

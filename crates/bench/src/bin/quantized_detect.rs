@@ -1,0 +1,9 @@
+//! Runs the beyond-paper int8 quantized-detection experiment (agreement-rate
+//! and AUC-delta gates against the f32 pipeline, latency advisory).
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin quantized_detect`; set
+//! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+fn main() {
+    ptolemy_bench::run_binary("quantized_detect");
+}

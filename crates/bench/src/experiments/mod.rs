@@ -24,6 +24,8 @@
 //! | [`extraction_overlap`] | beyond the paper — streaming extraction vs materialized trace |
 //! | [`sharded_escalation`] | beyond the paper — sharded, pipelined tier-2 escalation |
 //! | [`obs_overhead`] | beyond the paper — observability overhead of the serving runtime |
+//! | [`gemm_microkernel`] | beyond the paper — blocked GEMM microkernel vs the naive loop |
+//! | [`quantized_detect`] | beyond the paper — int8 quantized detection vs the f32 pipeline |
 
 pub mod batch_fusion;
 pub mod extraction_overlap;
@@ -37,7 +39,9 @@ pub mod fig15_similarity_attack;
 pub mod fig16_early_termination;
 pub mod fig17_late_start;
 pub mod fig18_hw_sensitivity;
+pub mod gemm_microkernel;
 pub mod obs_overhead;
+pub mod quantized_detect;
 pub mod sec3b_cost_analysis;
 pub mod sec7a_overhead;
 pub mod sec7g_scaling;
@@ -180,6 +184,16 @@ pub fn all() -> Vec<Experiment> {
             paper_artifact: "beyond paper: observability overhead of the serving runtime",
             run: obs_overhead::run,
         },
+        Experiment {
+            id: "gemm_microkernel",
+            paper_artifact: "beyond paper: blocked GEMM microkernel raw-speed floor",
+            run: gemm_microkernel::run,
+        },
+        Experiment {
+            id: "quantized_detect",
+            paper_artifact: "beyond paper: int8 quantized detection path",
+            run: quantized_detect::run,
+        },
     ]
 }
 
@@ -190,11 +204,11 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact_once() {
         let experiments = all();
-        assert_eq!(experiments.len(), 20);
+        assert_eq!(experiments.len(), 22);
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20, "duplicate experiment ids");
+        assert_eq!(ids.len(), 22, "duplicate experiment ids");
         assert!(experiments.iter().all(|e| !e.paper_artifact.is_empty()));
     }
 }

@@ -67,12 +67,13 @@
 use std::sync::Arc;
 
 use ptolemy_forest::{ForestConfig, RandomForest};
-use ptolemy_nn::Network;
+use ptolemy_nn::{Network, QuantizedNetwork};
 use ptolemy_obs::{Counter, HistogramHandle, Registry};
 use ptolemy_tensor::Tensor;
 
 use crate::extraction::{
-    extract_path_streaming, extract_path_streaming_nested, path_layout, stream_batch_with,
+    extract_path, extract_path_streaming, extract_path_streaming_nested, path_layout,
+    stream_batch_with,
 };
 use crate::parallel::par_map;
 use crate::{
@@ -338,6 +339,7 @@ pub struct DetectionEngine {
     forest: Option<RandomForest>,
     threshold: f32,
     backend: Box<dyn DetectionBackend>,
+    quantized: Option<QuantizedNetwork>,
     obs: Option<EngineObs>,
 }
 
@@ -358,6 +360,7 @@ impl DetectionEngine {
             forest: None,
             forest_config: ForestConfig::default(),
             calibration: None,
+            quantization: None,
             threshold: DEFAULT_THRESHOLD,
             backend: Box::new(SoftwareBackend),
             registry: None,
@@ -616,6 +619,60 @@ impl DetectionEngine {
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
     }
+
+    /// The int8 quantized network, when the engine was built with
+    /// [`DetectionEngineBuilder::quantized`].
+    pub fn quantized_network(&self) -> Option<&QuantizedNetwork> {
+        self.quantized.as_ref()
+    }
+
+    /// `(predicted class, path similarity)` of one input through the **int8
+    /// quantized** forward pass.
+    ///
+    /// Unlike every other engine entry point this is *not* bit-parity pinned
+    /// against [`DetectionEngine::path_similarity`]: int8 rounding perturbs
+    /// activations, so the predicted class and extracted path may differ from
+    /// f32 — by design.  The behavioural contract (activation-path agreement
+    /// rate, detection-AUC delta) is measured by the `quantized_detect`
+    /// benchmark.  The quantized pass itself is exactly deterministic (i32
+    /// accumulation), so repeated calls always agree with each other.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the engine was built without
+    /// [`DetectionEngineBuilder::quantized`]; propagates extraction errors.
+    pub fn path_similarity_quantized(&self, input: &Tensor) -> Result<(usize, f32)> {
+        let qnet = self.quantized.as_ref().ok_or_else(|| {
+            CoreError::InvalidInput(
+                "engine was built without a quantized network; add .quantized(..)".into(),
+            )
+        })?;
+        // The quantized pass emits f32 activation boundaries (requantized on
+        // output), so the standard materialized-trace extraction applies
+        // unchanged; only the activations differ from f32 inference.
+        let trace = qnet.forward_trace(input)?;
+        let predicted = trace.predicted_class()?;
+        let path = extract_path(&self.network, &trace, &self.program)?;
+        let similarity = path.similarity(self.class_paths.class_path(predicted)?)?;
+        Ok((predicted, similarity))
+    }
+
+    /// Detects whether one input is adversarial using the int8 quantized
+    /// inference path; scoring (forest + threshold) is shared with
+    /// [`DetectionEngine::detect`], only the forward pass and extraction run
+    /// over quantized activations.  See
+    /// [`DetectionEngine::path_similarity_quantized`] for the accuracy
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the engine was built without a
+    /// quantized network or without a classifier; propagates extraction and
+    /// classifier errors.
+    pub fn detect_quantized(&self, input: &Tensor) -> Result<Detection> {
+        let (predicted, similarity) = self.path_similarity_quantized(input)?;
+        self.judge(predicted, similarity)
+    }
 }
 
 /// Builder for [`DetectionEngine`]; all validation happens in
@@ -628,6 +685,7 @@ pub struct DetectionEngineBuilder {
     forest: Option<RandomForest>,
     forest_config: ForestConfig,
     calibration: Option<(Vec<Tensor>, Vec<Tensor>)>,
+    quantization: Option<Vec<Tensor>>,
     threshold: f32,
     backend: Box<dyn DetectionBackend>,
     registry: Option<Arc<Registry>>,
@@ -677,6 +735,17 @@ impl DetectionEngineBuilder {
     /// the paper's lightweight classification module, Sec. III-B).
     pub fn calibrate(mut self, benign: &[Tensor], adversarial: &[Tensor]) -> Self {
         self.calibration = Some((benign.to_vec(), adversarial.to_vec()));
+        self
+    }
+
+    /// Opts the engine into the int8 quantized inference path: `build` runs
+    /// the f32 network over `calibration` to fix per-layer activation scales,
+    /// quantizes the weights, and attaches a [`QuantizedNetwork`] served via
+    /// [`DetectionEngine::detect_quantized`] /
+    /// [`DetectionEngine::path_similarity_quantized`].  The f32 entry points
+    /// are unaffected.
+    pub fn quantized(mut self, calibration: &[Tensor]) -> Self {
+        self.quantization = Some(calibration.to_vec());
         self
     }
 
@@ -780,6 +849,21 @@ impl DetectionEngineBuilder {
             (None, None) => None,
         };
 
+        let quantized = match self.quantization {
+            Some(calibration) => {
+                if calibration.is_empty() {
+                    return Err(CoreError::InvalidInput(
+                        "quantization requires at least one calibration input".into(),
+                    ));
+                }
+                Some(QuantizedNetwork::quantize(
+                    self.network.clone(),
+                    &calibration,
+                )?)
+            }
+            None => None,
+        };
+
         Ok(DetectionEngine {
             network: self.network,
             program: self.program,
@@ -787,6 +871,7 @@ impl DetectionEngineBuilder {
             forest,
             threshold: self.threshold,
             backend: self.backend,
+            quantized,
             obs: self.registry.map(EngineObs::attach),
         })
     }
@@ -901,6 +986,66 @@ mod tests {
         assert!(software.inference_macs > 0);
         assert!(estimate.latency_ms.is_none());
         assert_eq!(engine.backend_name(), "software");
+    }
+
+    #[test]
+    fn quantized_mode_detects_deterministically_and_mostly_agrees_with_f32() {
+        let (net, samples, benign, adversarial) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let engine = DetectionEngine::builder(net, program, class_paths)
+            .calibrate(&benign, &adversarial)
+            .quantized(&benign)
+            .build()
+            .unwrap();
+
+        let qnet = engine.quantized_network().expect("quantized network");
+        assert!(qnet.num_quantized_layers() >= 2);
+
+        let mut verdict_agree = 0;
+        for input in benign.iter().chain(&adversarial) {
+            let f = engine.detect(input).unwrap();
+            let q = engine.detect_quantized(input).unwrap();
+            // The quantized path is exactly deterministic.
+            let q2 = engine.detect_quantized(input).unwrap();
+            assert_eq!(q.score.to_bits(), q2.score.to_bits());
+            assert_eq!(q.similarity.to_bits(), q2.similarity.to_bits());
+            if q.is_adversary == f.is_adversary {
+                verdict_agree += 1;
+            }
+            let (class, similarity) = engine.path_similarity_quantized(input).unwrap();
+            assert_eq!(class, q.predicted_class);
+            assert_eq!(similarity.to_bits(), q.similarity.to_bits());
+        }
+        // int8 rounding may flip a handful of verdicts, never most of them.
+        let total = benign.len() + adversarial.len();
+        assert!(
+            verdict_agree * 10 >= total * 8,
+            "only {verdict_agree}/{total} verdicts agree"
+        );
+    }
+
+    #[test]
+    fn quantized_mode_requires_calibration_inputs_and_opt_in() {
+        let (net, samples, benign, adversarial) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let net = Arc::new(net);
+        let err = DetectionEngine::builder(Arc::clone(&net), program.clone(), class_paths.clone())
+            .quantized(&[])
+            .build();
+        assert!(err.is_err());
+        let engine = DetectionEngine::builder(net, program, class_paths)
+            .calibrate(&benign, &adversarial)
+            .build()
+            .unwrap();
+        assert!(engine.quantized_network().is_none());
+        assert!(engine.detect_quantized(&benign[0]).is_err());
+        assert!(engine.path_similarity_quantized(&benign[0]).is_err());
     }
 
     #[test]

@@ -264,6 +264,7 @@ impl Assembler {
                 }
                 Ok(Instruction::Jne {
                     reg: reg(operands[0])?,
+                    // lint:allow(raw-numeric-cast): range-checked above; exact i8 field encoding
                     offset: offset as i8,
                 })
             }

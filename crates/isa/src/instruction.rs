@@ -179,6 +179,7 @@ fn pack(opcode: u32, fields: [u32; 5]) -> u32 {
 }
 
 fn field(word: u32, i: u32) -> u8 {
+    // lint:allow(raw-numeric-cast): masked to 4 bits; exact ISA word-field decode
     ((word >> (16 - 4 * i)) & 0xF) as u8
 }
 
@@ -266,6 +267,7 @@ impl Instruction {
             }
             Instruction::Dec { reg } => pack(OP_DEC, [reg.0 as u32, 0, 0, 0, 0]),
             Instruction::Jne { reg, offset } => {
+                // lint:allow(raw-numeric-cast): two's-complement re-interpretation, not rounding
                 (OP_JNE << 20) | ((reg.0 as u32) << 16) | ((offset as u8) as u32)
             }
             Instruction::Halt => OP_HALT << 20,
@@ -329,12 +331,15 @@ impl Instruction {
                 result: reg(word, 2)?,
             },
             OP_MOV => Instruction::Mov {
+                // lint:allow(raw-numeric-cast): masked to 4 bits; exact ISA word-field decode
                 dst: Reg::new(((word >> 16) & 0xF) as u8)?,
                 imm: (word & 0xFFF) as u16,
             },
             OP_DEC => Instruction::Dec { reg: reg(word, 0)? },
             OP_JNE => Instruction::Jne {
+                // lint:allow(raw-numeric-cast): masked to 4 bits; exact ISA word-field decode
                 reg: Reg::new(((word >> 16) & 0xF) as u8)?,
+                // lint:allow(raw-numeric-cast): masked byte re-interpreted as two's-complement i8
                 offset: (word & 0xFF) as u8 as i8,
             },
             OP_HALT => Instruction::Halt,

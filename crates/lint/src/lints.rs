@@ -56,6 +56,11 @@ pub const LINTS: &[(&str, &str)] = &[
          read now_ns()",
     ),
     (
+        "raw-numeric-cast",
+        "`as i8` / `as u8` are lossy saturating casts; all quantization rounding lives in the \
+         audited crates/tensor/src/quant.rs module — call its QuantParams API instead",
+    ),
+    (
         "suppression",
         "malformed lint:allow comment (unknown lint name, or missing the mandatory ': reason')",
     ),
@@ -72,6 +77,7 @@ pub const RELAXED_IN_TESTS: &[&str] = &[
     "float-eq",
     "todo-marker",
     "raw-instant",
+    "raw-numeric-cast",
 ];
 
 /// `true` if `name` names a registered lint.
@@ -200,6 +206,17 @@ pub fn check_file(path: &str, tokens: &[Token], context: &FileContext) -> Vec<Fi
                     format!(
                         "{name}! in library code kills the calling worker; return a typed error, \
                          or annotate why this branch is structurally impossible"
+                    ),
+                );
+            }
+            Some(ty @ ("i8" | "u8")) if i > 0 && ident(i - 1) == Some("as") => {
+                emit(
+                    "raw-numeric-cast",
+                    token,
+                    format!(
+                        "`as {ty}` is a lossy saturating cast — quantization rounding is audited \
+                         in one place; use ptolemy_tensor::quant::QuantParams (or annotate a \
+                         non-quantization bit-field encoding with lint:allow)"
                     ),
                 );
             }
@@ -639,6 +656,35 @@ mod tests {
             "fn f() {\n\
              // lint:allow(raw-instant): monotonic source feeding the Clock itself\n\
              let t = Instant::now();\n\
+             }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn raw_numeric_cast_fires_outside_quant_module() {
+        // Positive: both cast targets, in any expression position.
+        assert_eq!(
+            lints_of(&strict("fn f() { let q = (x / s).round() as i8; }")),
+            vec!["raw-numeric-cast"]
+        );
+        assert_eq!(
+            lints_of(&strict("fn f() { let b = word as u8; }")),
+            vec!["raw-numeric-cast"]
+        );
+        // Negative: widening / non-8-bit casts, From conversions, prose.
+        assert!(strict("fn f() { let v = q as i32; }").is_empty());
+        assert!(strict("fn f() { let v = i8::try_from(x); }").is_empty());
+        assert!(strict("fn f() { let v = f32::from(q); }").is_empty());
+        assert!(strict("fn f() { // `as i8` in a comment\n }").is_empty());
+        assert!(strict("fn f() { let s = \"cast as u8\"; }").is_empty());
+        // Relaxed in test regions: tests build i8 fixtures freely.
+        assert!(strict("#[test]\nfn t() { let q = x as i8; }").is_empty());
+        // Suppressed with a reason (the ISA word-encoding sites).
+        assert!(strict(
+            "fn f() {\n\
+             // lint:allow(raw-numeric-cast): ISA word-field encoding, not quantization\n\
+             let b = (word >> 8) as u8;\n\
              }"
         )
         .is_empty());

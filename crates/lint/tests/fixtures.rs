@@ -38,6 +38,7 @@ fn positive_fixture_trips_every_lint() {
             "panic-in-worker", // input.unwrap()
             "panic-in-worker", // panic!("boom")
             "raw-instant",
+            "raw-numeric-cast",
             "todo-marker",
             "unbounded-channel",
             "undocumented-unsafe",

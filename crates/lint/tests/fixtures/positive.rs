@@ -44,3 +44,8 @@ fn hand_rolled_timer() {
     // raw-instant: library timings must flow through ptolemy_obs::Clock.
     let _start = std::time::Instant::now();
 }
+
+fn lossy_quantize(x: f32) -> i8 {
+    // raw-numeric-cast: saturating rounding casts live in the quant module.
+    (x * 127.0) as i8
+}

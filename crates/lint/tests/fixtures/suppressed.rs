@@ -24,3 +24,8 @@ fn sanctioned_clock_source() {
     // lint:allow(raw-instant): fixture stands in for the Clock's own OS read
     let _epoch = std::time::Instant::now();
 }
+
+fn field_encoding(word: u32) -> u8 {
+    // lint:allow(raw-numeric-cast): fixture stands in for an ISA word-field mask
+    (word & 0xFF) as u8
+}

@@ -8,26 +8,16 @@
 //! bit-for-bit parity guarantee between `forward_batch` and per-input
 //! `forward`.
 
-use std::num::NonZeroUsize;
-use std::sync::OnceLock;
-use std::thread;
-
 use ptolemy_tensor::Tensor;
 
 use crate::{NnError, Result};
 
-/// Cached [`thread::available_parallelism`]: the lookup re-reads cgroup state
-/// on Linux (microseconds per call), far too slow to query per layer on the
-/// fused hot path.  Exported as [`crate::available_parallelism`] so the whole
-/// workspace (notably `ptolemy_core::par_map`) shares this one cached read
-/// instead of each crate paying the lookup per call.
+/// Cached core count, shared workspace-wide.  The cache itself now lives in
+/// `ptolemy_tensor::parallel` (so large standalone `Tensor::matmul` calls
+/// parallelize too); this remains the nn-internal accessor and
+/// [`crate::available_parallelism`] the workspace-facing export.
 pub(crate) fn parallelism() -> usize {
-    static CORES: OnceLock<usize> = OnceLock::new();
-    *CORES.get_or_init(|| {
-        thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    ptolemy_tensor::available_parallelism()
 }
 
 /// Validates that `batch` has shape `[B] ++ sample_shape` with `B >= 1` and
@@ -43,66 +33,21 @@ pub(crate) fn check_batch(batch: &Tensor, sample_shape: &[usize], layer: &str) -
     Ok(dims[0])
 }
 
-/// Runs `f` over contiguous row chunks of `out` (a row-major `[rows, row_len]`
-/// buffer), fanning the chunks out over scoped threads.
-///
-/// `f(first_row, chunk)` fills rows `first_row ..` of its chunk.  Each row is
+/// Row-chunk partitioner — re-exported from `ptolemy_tensor::parallel`, where
+/// it moved so the tensor crate's own kernels can fan rows out.  Each row is
 /// computed by exactly one invocation, so per-element arithmetic is identical
 /// to a serial pass — threading partitions the output, never a reduction.
-/// Falls back to one serial call when only one core is available (or the work
-/// is a single row).
-pub(crate) fn par_row_chunks<F>(out: &mut [f32], rows: usize, row_len: usize, f: F)
-where
-    F: Fn(usize, &mut [f32]) + Sync,
-{
-    debug_assert_eq!(out.len(), rows * row_len);
-    let threads = parallelism().min(rows);
-    if threads <= 1 || row_len == 0 {
-        f(0, out);
-        return;
-    }
-    let chunk_rows = rows.div_ceil(threads);
-    thread::scope(|scope| {
-        let f = &f;
-        for (i, chunk) in out.chunks_mut(chunk_rows * row_len).enumerate() {
-            scope.spawn(move || f(i * chunk_rows, chunk));
-        }
-    });
-}
+pub(crate) use ptolemy_tensor::par_row_chunks;
 
 /// Matrix multiplication `a · b` with rows of the result computed in parallel.
 ///
-/// Per output element the reduction runs in exactly the same order as
-/// [`Tensor::matmul`] (ascending `k`, skipping zero `a` entries), so the result
-/// is bit-for-bit identical to the serial product — rows are independent, and
-/// threading only partitions them.
+/// Delegates to the blocked row-parallel kernel in `ptolemy_tensor::gemm`:
+/// per output element the reduction runs in exactly the same order as
+/// [`Tensor::matmul`] (ascending `k`, skipping zero `a` entries), so the
+/// result is bit-for-bit identical to the serial product — rows are
+/// independent, and threading only partitions them.
 pub(crate) fn matmul_rows_parallel(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, k) = a.shape().as_matrix()?;
-    let (k2, n) = b.shape().as_matrix()?;
-    if k != k2 {
-        // Delegate to the serial path for the exact shape error.
-        return Ok(a.matmul(b)?);
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let mut out = vec![0.0f32; m * n];
-    par_row_chunks(&mut out, m, n, |first_row, chunk| {
-        for (local, orow) in chunk.chunks_mut(n).enumerate() {
-            let i = first_row + local;
-            for kk in 0..k {
-                let aik = av[i * k + kk];
-                // lint:allow(float-eq): sparsity skip; +/-0.0 both contribute nothing
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &bv[kk * n..(kk + 1) * n];
-                for (o, bvv) in orow.iter_mut().zip(brow) {
-                    *o += aik * bvv;
-                }
-            }
-        }
-    });
-    Ok(Tensor::from_vec(out, &[m, n])?)
+    Ok(ptolemy_tensor::matmul_parallel(a, b)?)
 }
 
 #[cfg(test)]

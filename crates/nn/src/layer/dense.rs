@@ -129,23 +129,19 @@ impl Layer for Dense {
         let inputs = self.inputs;
         let outputs = self.outputs;
         let mut out = vec![0.0f32; batch_size * outputs];
-        // Partition the output over samples; within a chunk, iterate outputs
-        // outermost so each weight row stays hot across the chunk's samples.
-        // Per output neuron the accumulation (bias first, then x·w in input
-        // order) is exactly the single-sample kernel, so the fused result is
+        // Prefill every row with the bias, then let the blocked NT kernel
+        // accumulate X · Wᵀ on top (W stays in its natural [outputs, inputs]
+        // layout; the kernel packs it transposed).  Per output neuron the
+        // accumulation (bias first, then x·w in input order, no sparsity
+        // skip) is exactly the single-sample kernel, so the fused result is
         // bit-for-bit identical to the per-input loop.
+        for row in out.chunks_mut(outputs) {
+            row.copy_from_slice(b);
+        }
         par_row_chunks(&mut out, batch_size, outputs, |first_sample, chunk| {
             let samples = chunk.len() / outputs;
-            for (j, (row, bias)) in w.chunks(inputs).zip(b).enumerate() {
-                for s in 0..samples {
-                    let x = &xs[(first_sample + s) * inputs..(first_sample + s + 1) * inputs];
-                    let mut acc = *bias;
-                    for (xi, wi) in x.iter().zip(row) {
-                        acc += xi * wi;
-                    }
-                    chunk[s * outputs + j] = acc;
-                }
-            }
+            let x = &xs[first_sample * inputs..(first_sample + samples) * inputs];
+            ptolemy_tensor::gemm_nt_into(chunk, x, w, samples, inputs, outputs);
         });
         Ok(Tensor::from_vec(out, &[batch_size, outputs])?)
     }

@@ -66,6 +66,7 @@ mod error;
 pub mod layer;
 mod loss;
 mod network;
+mod quant;
 mod trace;
 mod train;
 pub mod zoo;
@@ -74,6 +75,7 @@ pub use error::NnError;
 pub use layer::{Contribution, Layer, LayerGrads, LayerKind};
 pub use loss::{cross_entropy_loss, softmax_cross_entropy_grad};
 pub use network::{Network, NetworkGrads};
+pub use quant::QuantizedNetwork;
 pub use trace::{predicted_class, BatchTrace, ForwardTrace, LayerTimingSink, TraceSink};
 pub use train::{TrainConfig, TrainReport, Trainer};
 

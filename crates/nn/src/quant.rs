@@ -1,0 +1,362 @@
+//! Int8 quantized inference: calibration, [`QuantizedNetwork`] and its
+//! integer forward pass.
+//!
+//! # Contract
+//!
+//! Unlike every other fast path in this workspace, the quantized path is
+//! **not** bit-parity pinned against f32 inference — rounding activations and
+//! weights to 8 bits changes logits, and occasionally verdicts, *by design*.
+//! Its contract is behavioural and measured: the `quantized_detect` benchmark
+//! gates the activation-path agreement rate and the detection-AUC delta
+//! against f32.  What *is* guaranteed here is determinism — i32 accumulation
+//! is exact, so the quantized path produces identical results across runs,
+//! thread counts and (unlike f32) even re-association.
+//!
+//! # Scheme
+//!
+//! Per-tensor symmetric scales ([`QuantParams`], zero-point 0):
+//!
+//! * **Weights** are quantized once at build time from their own max-abs.
+//! * **Activations** get per-layer-input scales from a calibration pass: the
+//!   f32 network runs over a user-supplied calibration set while a
+//!   [`TraceSink`] records each activation boundary's max-abs.
+//!
+//! Each quantized layer computes `i8 · i8 → i32` (exact), then requantizes on
+//! output: `acc * s_act * s_weight + bias` in f32.  The network therefore
+//! carries ordinary f32 activations between layers, which keeps every
+//! non-weight layer (ReLU, pooling, reshape) byte-identical to the f32 path
+//! and lets the standard [`ForwardTrace`] / path-extraction machinery consume
+//! quantized runs unchanged.  `Residual` blocks and any layer whose
+//! parameters don't follow the `[weight, bias]` convention simply run their
+//! f32 `forward` — quantization is per-layer opportunistic, never required.
+
+use std::sync::Arc;
+
+use ptolemy_tensor::quant::{matmul_i8, matmul_i8_nt, quantize_slice, tensor_max_abs, QuantParams};
+use ptolemy_tensor::{im2col, Conv2dGeometry, Tensor};
+
+use crate::trace::predicted_class;
+use crate::{ForwardTrace, LayerKind, Network, NnError, Result, TraceSink};
+
+/// One layer's pre-quantized integer kernel.
+#[derive(Debug, Clone)]
+enum QuantKernel {
+    /// Dense: `qweight` is `[outputs, inputs]` row-major i8.
+    Dense {
+        qweight: Vec<i8>,
+        wparams: QuantParams,
+        bias: Vec<f32>,
+        inputs: usize,
+        outputs: usize,
+    },
+    /// Conv2d: `qweight` is `[out_channels, patch_len]` row-major i8.
+    Conv {
+        qweight: Vec<i8>,
+        wparams: QuantParams,
+        bias: Vec<f32>,
+        geometry: Conv2dGeometry,
+        out_channels: usize,
+    },
+}
+
+/// A layer slot: integer kernel plus the calibrated input-activation scale,
+/// or `None` for layers that run the f32 path.
+#[derive(Debug, Clone)]
+struct QuantSlot {
+    kernel: QuantKernel,
+    act: QuantParams,
+}
+
+/// Records the max-abs of every activation boundary across calibration runs.
+#[derive(Debug)]
+struct MaxAbsSink {
+    maxes: Vec<f32>,
+}
+
+impl TraceSink for MaxAbsSink {
+    fn on_input(&mut self, input: &Tensor) {
+        self.maxes[0] = self.maxes[0].max(tensor_max_abs(input));
+    }
+
+    fn on_layer(&mut self, index: usize, output: &Tensor) {
+        self.maxes[index + 1] = self.maxes[index + 1].max(tensor_max_abs(output));
+    }
+}
+
+/// An int8-quantized view of a [`Network`]: weight layers run integer GEMMs
+/// with calibrated activation scales, everything else runs the original f32
+/// layer.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use ptolemy_nn::{zoo, QuantizedNetwork};
+/// use ptolemy_tensor::{Initializer, Rng64};
+///
+/// # fn main() -> Result<(), ptolemy_nn::NnError> {
+/// let mut rng = Rng64::new(7);
+/// let network = Arc::new(zoo::mlp_net(&[16], 4, &mut rng)?);
+/// let calibration: Vec<_> = (0..4)
+///     .map(|_| Initializer::Uniform(1.0).build(network.input_shape(), &mut rng))
+///     .collect::<Result<_, _>>()?;
+/// let qnet = QuantizedNetwork::quantize(network.clone(), &calibration)?;
+/// let logits = qnet.forward(&calibration[0])?;
+/// assert_eq!(logits.len(), network.num_classes());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedNetwork {
+    network: Arc<Network>,
+    slots: Vec<Option<QuantSlot>>,
+}
+
+impl QuantizedNetwork {
+    /// Quantizes `network`: calibrates per-boundary activation scales by
+    /// running the f32 network over `calibration`, then pre-quantizes every
+    /// dense / conv weight tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `calibration` is empty, and
+    /// propagates forward errors from the calibration runs (e.g. inputs of
+    /// the wrong shape).
+    pub fn quantize(network: Arc<Network>, calibration: &[Tensor]) -> Result<Self> {
+        if calibration.is_empty() {
+            return Err(NnError::InvalidConfig(
+                "quantization needs at least one calibration input".into(),
+            ));
+        }
+        let mut sink = MaxAbsSink {
+            maxes: vec![0.0; network.num_layers() + 1],
+        };
+        for input in calibration {
+            network.forward_with_sink(input, &mut sink)?;
+        }
+        let slots = network
+            .layers()
+            .enumerate()
+            .map(|(i, layer)| {
+                let act = QuantParams::from_max_abs(sink.maxes[i]);
+                Self::build_kernel(layer.kind(), layer.params())
+                    .map(|kernel| QuantSlot { kernel, act })
+            })
+            .collect();
+        Ok(QuantizedNetwork { network, slots })
+    }
+
+    /// Builds the integer kernel for a layer, or `None` when the layer kind
+    /// (or its parameter layout) doesn't support quantization.
+    fn build_kernel(kind: LayerKind, params: Vec<&Tensor>) -> Option<QuantKernel> {
+        let [weight, bias] = params.as_slice() else {
+            return None;
+        };
+        let wparams = QuantParams::from_max_abs(tensor_max_abs(weight));
+        let qweight = quantize_slice(weight.as_slice(), wparams);
+        let bias = bias.as_slice().to_vec();
+        match kind {
+            LayerKind::Dense { inputs, outputs } => Some(QuantKernel::Dense {
+                qweight,
+                wparams,
+                bias,
+                inputs,
+                outputs,
+            }),
+            LayerKind::Conv2d {
+                geometry,
+                out_channels,
+            } => Some(QuantKernel::Conv {
+                qweight,
+                wparams,
+                bias,
+                geometry,
+                out_channels,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The underlying f32 network.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// Number of layers running the integer kernel (the rest run f32).
+    pub fn num_quantized_layers(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn forward_layer(
+        &self,
+        index: usize,
+        layer: &dyn crate::Layer,
+        input: &Tensor,
+    ) -> Result<Tensor> {
+        let Some(slot) = &self.slots[index] else {
+            return layer.forward(input);
+        };
+        match &slot.kernel {
+            QuantKernel::Dense {
+                qweight,
+                wparams,
+                bias,
+                inputs,
+                outputs,
+            } => {
+                if input.len() != *inputs {
+                    return layer.forward(input);
+                }
+                let qx = quantize_slice(input.as_slice(), slot.act);
+                let acc = matmul_i8_nt(&qx, qweight, 1, *inputs, *outputs)?;
+                let scale = slot.act.scale() * wparams.scale();
+                let out: Vec<f32> = acc
+                    .iter()
+                    .zip(bias)
+                    .map(|(a, b)| *a as f32 * scale + b)
+                    .collect();
+                Ok(Tensor::from_vec(out, &[*outputs])?)
+            }
+            QuantKernel::Conv {
+                qweight,
+                wparams,
+                bias,
+                geometry,
+                out_channels,
+            } => {
+                let expected = [geometry.in_channels, geometry.in_h, geometry.in_w];
+                if input.dims() != expected {
+                    return layer.forward(input);
+                }
+                let cols = im2col(input, geometry)?;
+                let qcols = quantize_slice(cols.as_slice(), slot.act);
+                let patches = geometry.num_patches();
+                let patch_len = geometry.patch_len();
+                let acc = matmul_i8(qweight, &qcols, *out_channels, patch_len, patches)?;
+                let scale = slot.act.scale() * wparams.scale();
+                let mut out = vec![0.0f32; out_channels * patches];
+                for (oc, (chunk, b)) in out.chunks_mut(patches).zip(bias).enumerate() {
+                    let row = &acc[oc * patches..(oc + 1) * patches];
+                    for (o, a) in chunk.iter_mut().zip(row) {
+                        *o = *a as f32 * scale + b;
+                    }
+                }
+                Ok(Tensor::from_vec(
+                    out,
+                    &[*out_channels, geometry.out_h, geometry.out_w],
+                )?)
+            }
+        }
+    }
+
+    /// Runs the quantized forward pass, returning the logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for (i, layer) in self.network.layers().enumerate() {
+            x = self.forward_layer(i, layer, &x)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs the quantized forward pass, materialising every activation
+    /// boundary as a standard [`ForwardTrace`] — the entry point for
+    /// activation-path extraction over quantized inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward_trace(&self, input: &Tensor) -> Result<ForwardTrace> {
+        let mut activations = Vec::with_capacity(self.network.num_layers() + 1);
+        activations.push(input.clone());
+        let mut x = input.clone();
+        for (i, layer) in self.network.layers().enumerate() {
+            x = self.forward_layer(i, layer, &x)?;
+            activations.push(x.clone());
+        }
+        ForwardTrace::from_activations(activations)
+    }
+
+    /// Argmax class of the quantized logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors; fails on empty or NaN logits.
+    pub fn predict(&self, input: &Tensor) -> Result<usize> {
+        predicted_class(&self.forward(input)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use ptolemy_tensor::{Initializer, Rng64};
+
+    fn calibration(network: &Network, rng: &mut Rng64, n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|_| {
+                Initializer::Uniform(1.0)
+                    .build(network.input_shape(), rng)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_calibration() {
+        let mut rng = Rng64::new(1);
+        let network = Arc::new(zoo::mlp_net(&[16], 4, &mut rng).unwrap());
+        assert!(QuantizedNetwork::quantize(network, &[]).is_err());
+    }
+
+    #[test]
+    fn quantized_logits_track_f32_logits() {
+        let mut rng = Rng64::new(2);
+        let network = Arc::new(zoo::mlp_net(&[16], 4, &mut rng).unwrap());
+        let cal = calibration(&network, &mut rng, 8);
+        let qnet = QuantizedNetwork::quantize(network.clone(), &cal).unwrap();
+        assert!(qnet.num_quantized_layers() >= 2);
+        let mut close = 0;
+        for x in &cal {
+            let f = network.forward(x).unwrap();
+            let q = qnet.forward(x).unwrap();
+            assert_eq!(f.len(), q.len());
+            let max_err = f
+                .as_slice()
+                .iter()
+                .zip(q.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            let range = tensor_max_abs(&f).max(1e-3);
+            if max_err <= 0.15 * range {
+                close += 1;
+            }
+        }
+        // int8 rounding wiggles logits but must stay in the same ballpark.
+        assert!(close >= cal.len() - 1, "only {close}/{} close", cal.len());
+    }
+
+    #[test]
+    fn quantized_trace_has_every_boundary_and_is_deterministic() {
+        let mut rng = Rng64::new(3);
+        let network = Arc::new(zoo::lenet(1, 4, &mut rng).unwrap());
+        let cal = calibration(&network, &mut rng, 4);
+        let qnet = QuantizedNetwork::quantize(network.clone(), &cal).unwrap();
+        assert_eq!(qnet.num_quantized_layers(), 4);
+        let trace = qnet.forward_trace(&cal[0]).unwrap();
+        assert_eq!(trace.num_layers(), network.num_layers());
+        let again = qnet.forward_trace(&cal[0]).unwrap();
+        for (a, b) in trace.activations().iter().zip(again.activations()) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let class = qnet.predict(&cal[0]).unwrap();
+        assert!(class < network.num_classes());
+    }
+}

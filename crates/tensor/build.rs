@@ -1,0 +1,23 @@
+//! Build-time tile autodetect for the blocked GEMM microkernel.
+//!
+//! The microkernel accumulates an `MR x NR` register tile; `NR` should be
+//! wide enough that the accumulator rows form enough independent add chains
+//! to keep the FPU pipelined, without spilling the tile out of registers.
+//! Targets with 256-bit vector units (or 32-register NEON) get 16-wide tiles
+//! (`ptolemy_gemm_wide`), everything else the 8-wide tile.  The choice is a
+//! pure performance knob: both tiles reduce every output element in the
+//! identical sequential-k order, so results are bit-for-bit the same either
+//! way.
+
+fn main() {
+    println!("cargo:rustc-check-cfg=cfg(ptolemy_gemm_wide)");
+    let features = std::env::var("CARGO_CFG_TARGET_FEATURE").unwrap_or_default();
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    // avx => 256-bit f32 lanes on x86-64; NEON (always present on aarch64)
+    // handles an 8-wide tile as two 128-bit registers.
+    let wide = features.split(',').any(|f| f == "avx") || arch == "aarch64";
+    if wide {
+        println!("cargo:rustc-cfg=ptolemy_gemm_wide");
+    }
+    println!("cargo:rerun-if-changed=build.rs");
+}

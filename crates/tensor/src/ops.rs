@@ -96,6 +96,11 @@ impl Tensor {
 
     /// Matrix multiplication of two rank-2 tensors.
     ///
+    /// Runs the blocked, register-tiled kernel from [`crate::gemm`], fanning
+    /// rows out over the cached core count for large products.  Every routing
+    /// choice (blocked vs naive, serial vs parallel) is bit-for-bit identical
+    /// to [`Tensor::matmul_naive`] — see the `gemm` module docs for why.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidRank`] if either operand is not rank 2 and
@@ -110,24 +115,37 @@ impl Tensor {
                 op: "matmul",
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
+        if crate::gemm::parallel_worthwhile(m, k, n) {
+            crate::gemm::matmul_parallel(self, other)
+        } else {
+            crate::gemm::matmul_blocked(self, other)
+        }
+    }
+
+    /// Matrix multiplication via the original naive scalar triple loop.
+    ///
+    /// This is the reference kernel the workspace's bit-parity contract is
+    /// defined against; [`Tensor::matmul`] must (and does, proptest-pinned)
+    /// return bit-identical results.  Kept public for the parity suite and
+    /// the `gemm_microkernel` benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidRank`] if either operand is not rank 2 and
+    /// [`TensorError::IncompatibleShapes`] if the inner dimensions disagree.
+    pub fn matmul_naive(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.shape().as_matrix()?;
+        let (k2, n) = other.shape().as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::IncompatibleShapes {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "matmul",
+            });
+        }
         let mut out = vec![0.0f32; m * n];
         // i-k-j loop order keeps the inner loop contiguous over `b` and `out`.
-        for i in 0..m {
-            for kk in 0..k {
-                let aik = a[i * k + kk];
-                // lint:allow(float-eq): sparsity skip; +/-0.0 both contribute nothing
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, bv) in orow.iter_mut().zip(brow) {
-                    *o += aik * bv;
-                }
-            }
-        }
+        crate::gemm::matmul_naive_into(&mut out, self.as_slice(), other.as_slice(), m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 

@@ -1,0 +1,198 @@
+//! Property-based bit-parity suite for the blocked GEMM microkernel and
+//! error-bound checks for the int8 quantization round trip.
+//!
+//! These tests pin the workspace's central kernel invariant: the blocked,
+//! register-tiled kernel (and its row-parallel variant) must be **bit-for-bit
+//! identical** to the naive scalar triple loop — not approximately equal —
+//! across shapes that straddle every tile boundary, including K ∈ {0 is
+//! unrepresentable, 1}, M/N that are not multiples of the register tile, and
+//! skinny row/column-vector products.
+
+use proptest::prelude::*;
+use ptolemy_tensor::quant::{dequantize_slice, matmul_i8, matmul_i8_nt};
+use ptolemy_tensor::{
+    gemm_nt_into, matmul_blocked, matmul_parallel, quantize_slice, QuantParams, Rng64, Tensor,
+};
+
+/// Random `[rows, cols]` tensor with zeros sprinkled in so the sparsity-skip
+/// branch of the kernel is exercised alongside the dense lanes.
+fn random_matrix(rows: usize, cols: usize, seed: u64, zero_every: usize) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            if zero_every > 0 && i % zero_every == 0 {
+                0.0
+            } else {
+                rng.uniform(-2.0, 2.0)
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, &[rows, cols]).unwrap()
+}
+
+fn assert_bits_equal(
+    _label: &str,
+    x: &Tensor,
+    y: &Tensor,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(x.dims(), y.dims());
+    for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+        prop_assert_eq!(a.to_bits(), b.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked and row-parallel kernels are bit-identical to the naive loop
+    /// for arbitrary small-to-medium shapes, including M/N far from tile
+    /// multiples and K = 1.
+    #[test]
+    fn blocked_and_parallel_match_naive_bit_for_bit(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in any::<u64>(),
+        zero_every in 0usize..6,
+    ) {
+        let a = random_matrix(m, k, seed, zero_every);
+        let b = random_matrix(k, n, seed.wrapping_add(1), 0);
+        let naive = a.matmul_naive(&b).unwrap();
+        assert_bits_equal("matmul", &a.matmul(&b).unwrap(), &naive)?;
+        assert_bits_equal("blocked", &matmul_blocked(&a, &b).unwrap(), &naive)?;
+        assert_bits_equal("parallel", &matmul_parallel(&a, &b).unwrap(), &naive)?;
+    }
+
+    /// Skinny shapes: row vectors, column vectors and K=1 outer products all
+    /// route through the same parity-pinned kernel.
+    #[test]
+    fn skinny_shapes_match_naive(dim in 1usize..200, seed in any::<u64>()) {
+        for (m, k, n) in [(1, dim, 7), (7, dim, 1), (dim, 1, 5), (1, 1, dim)] {
+            let a = random_matrix(m, k, seed, 3);
+            let b = random_matrix(k, n, seed.wrapping_add(9), 0);
+            let naive = a.matmul_naive(&b).unwrap();
+            assert_bits_equal("skinny", &matmul_blocked(&a, &b).unwrap(), &naive)?;
+            assert_bits_equal("skinny-par", &matmul_parallel(&a, &b).unwrap(), &naive)?;
+        }
+    }
+
+    /// Shapes straddling the 64/256-sized cache panels: one past, one short.
+    #[test]
+    fn panel_boundary_shapes_match_naive(offset in 0usize..4, seed in any::<u64>()) {
+        let (m, k, n) = (64 + offset, 256 + offset, 17);
+        let a = random_matrix(m, k, seed, 7);
+        let b = random_matrix(k, n, seed.wrapping_add(3), 0);
+        let naive = a.matmul_naive(&b).unwrap();
+        assert_bits_equal("panel", &a.matmul(&b).unwrap(), &naive)?;
+    }
+
+    /// The dense-layer kernel: `gemm_nt_into` over a bias-prefilled buffer is
+    /// bit-identical to the scalar bias-first accumulation loop it replaced.
+    #[test]
+    fn gemm_nt_matches_bias_first_scalar_loop(
+        m in 1usize..12,
+        k in 1usize..48,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let a = random_matrix(m, k, seed, 4);
+        let w = random_matrix(n, k, seed.wrapping_add(5), 0);
+        let mut rng = Rng64::new(seed.wrapping_add(6));
+        let bias: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+
+        let mut blocked = vec![0.0f32; m * n];
+        for row in blocked.chunks_mut(n) {
+            row.copy_from_slice(&bias);
+        }
+        gemm_nt_into(&mut blocked, a.as_slice(), w.as_slice(), m, k, n);
+
+        for s in 0..m {
+            for j in 0..n {
+                let mut acc = bias[j];
+                for kk in 0..k {
+                    acc += a.as_slice()[s * k + kk] * w.as_slice()[j * k + kk];
+                }
+                prop_assert_eq!(blocked[s * n + j].to_bits(), acc.to_bits());
+            }
+        }
+    }
+
+    /// Quantize→dequantize error is bounded by half the scale step for every
+    /// in-range value, and quantized codes stay in the symmetric [-127, 127].
+    #[test]
+    fn quantization_round_trip_error_is_bounded(
+        values in prop::collection::vec(-8.0f32..8.0, 1..64),
+    ) {
+        let max_abs = ptolemy_tensor::max_abs(&values);
+        let params = QuantParams::from_max_abs(max_abs);
+        let qs = quantize_slice(&values, params);
+        let back = dequantize_slice(&qs, params);
+        for ((x, q), y) in values.iter().zip(&qs).zip(&back) {
+            prop_assert!((-127..=127).contains(q));
+            prop_assert!(
+                (x - y).abs() <= params.scale() / 2.0 + 1e-6,
+                "{} -> {} -> {} (scale {})", x, q, y, params.scale()
+            );
+        }
+    }
+
+    /// The integer GEMMs agree with an exact i32 reference (and with each
+    /// other through a transpose).
+    #[test]
+    fn integer_gemms_are_exact(
+        m in 1usize..8,
+        k in 1usize..16,
+        n in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.uniform(-127.0, 127.0) as i32 as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.uniform(-127.0, 127.0) as i32 as i8).collect();
+        let c = matmul_i8(&a, &b, m, k, n).unwrap();
+        // Bt view of b: bt[j][kk] = b[kk][j].
+        let mut bt = vec![0i8; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let c_nt = matmul_i8_nt(&a, &bt, m, k, n).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let expected: i32 = (0..k)
+                    .map(|kk| i32::from(a[i * k + kk]) * i32::from(b[kk * n + j]))
+                    .sum();
+                prop_assert_eq!(c[i * n + j], expected);
+                prop_assert_eq!(c_nt[i * n + j], expected);
+            }
+        }
+    }
+}
+
+/// Non-finite values in B make the sparsity skip *observable* (0.0 · inf is
+/// NaN): a kernel that dropped or added skips would flip bits here.
+#[test]
+fn sparsity_skip_parity_with_non_finite_b() {
+    let mut a = random_matrix(9, 20, 33, 3);
+    // Force a fully-zero row and a fully-dense row.
+    for v in a.as_mut_slice()[..20].iter_mut() {
+        *v = 0.0;
+    }
+    let mut b = random_matrix(20, 11, 44, 0);
+    b.as_mut_slice()[5] = f32::INFINITY;
+    b.as_mut_slice()[37] = f32::NEG_INFINITY;
+    b.as_mut_slice()[100] = f32::NAN;
+    let naive = a.matmul_naive(&b).unwrap();
+    let blocked = matmul_blocked(&a, &b).unwrap();
+    let parallel = matmul_parallel(&a, &b).unwrap();
+    for ((x, y), z) in naive
+        .as_slice()
+        .iter()
+        .zip(blocked.as_slice())
+        .zip(parallel.as_slice())
+    {
+        assert_eq!(x.to_bits(), y.to_bits());
+        assert_eq!(x.to_bits(), z.to_bits());
+    }
+}
