@@ -45,6 +45,21 @@ impl AccelBackend {
         }
     }
 
+    /// The same backend re-priced for 8-bit operands (the bit-serial PE
+    /// array streams half the beats per MAC, so both the cycle and energy
+    /// models shrink; see [`HardwareConfig::macs_per_cycle`]).
+    ///
+    /// Hand this to the *screening* engine of a
+    /// `ptolemy-serve` quantized-screen deployment so
+    /// [`ptolemy_core::DetectionEngine::detect_batch_with_estimate`] and the
+    /// adaptive batch former price the int8 pass instead of the f32 one.
+    /// The compiled schedule is unchanged — quantization alters operand
+    /// width, not the task graph.
+    pub fn with_int8_operands(mut self) -> Self {
+        self.config = self.config.with_precision(8);
+        self
+    }
+
     /// The hardware configuration this backend prices batches on.
     pub fn config(&self) -> &HardwareConfig {
         &self.config
@@ -151,6 +166,37 @@ mod tests {
             .unwrap();
         let ratio = double.latency_ms.unwrap() / estimate.latency_ms.unwrap();
         assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn int8_operands_price_below_16_bit_on_the_same_schedule() {
+        let network = zoo::lenet(3, 4, &mut Rng64::new(7)).unwrap();
+        let program = variants::fw_ab(&network, 0.1).unwrap();
+        let mut wide = AccelBackend::new(HardwareConfig::default());
+        wide.bind(&network, &program).unwrap();
+        let mut narrow = AccelBackend::new(HardwareConfig::default()).with_int8_operands();
+        narrow.bind(&network, &program).unwrap();
+        assert_eq!(narrow.config().precision_bits, 8);
+
+        let wide_est = wide.estimate_batch(&network, &program, 8, 0.05).unwrap();
+        let narrow_est = narrow.estimate_batch(&network, &program, 8, 0.05).unwrap();
+        // Bit-serial streaming: half the beats per MAC, half the bytes per
+        // value, a third of the MAC energy — the int8 screen must come out
+        // strictly cheaper on both axes.
+        assert!(narrow_est.latency_ms.unwrap() < wide_est.latency_ms.unwrap());
+        assert!(narrow_est.energy_pj.unwrap() < wide_est.energy_pj.unwrap());
+
+        // Re-pricing after bind keeps the compiled schedule (quantization
+        // changes operand width, not the task graph).
+        let repriced = wide.clone().with_int8_operands();
+        assert!(repriced.compiled().is_some());
+        let repriced_est = repriced
+            .estimate_batch(&network, &program, 8, 0.05)
+            .unwrap();
+        assert_eq!(
+            repriced_est.latency_ms.unwrap().to_bits(),
+            narrow_est.latency_ms.unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -123,9 +123,16 @@ impl HardwareConfig {
         Ok(())
     }
 
-    /// MACs the array completes per cycle.
+    /// MACs the array completes per cycle at the configured precision.
+    ///
+    /// The PE array streams operand bits serially, so throughput scales
+    /// inversely with operand width: at the baseline 16-bit precision each PE
+    /// finishes one MAC per cycle, while 8-bit operands take half the beats
+    /// and double the array's effective MAC rate.  This is what lets
+    /// [`crate::AccelBackend`] price an int8 quantized screening pass — the
+    /// same schedule, re-costed for the narrow operands.
     pub fn macs_per_cycle(&self) -> u64 {
-        (self.array_rows * self.array_cols) as u64
+        (self.array_rows * self.array_cols) as u64 * (16 / self.precision_bits.max(1)) as u64
     }
 
     /// Energy of one MAC at the configured precision.
@@ -181,6 +188,10 @@ mod tests {
         assert_eq!(cfg.clock_mhz, 250.0);
         assert_eq!(cfg.macs_per_cycle(), 400);
         assert_eq!(cfg.value_bytes(), 2);
+        // Bit-serial operand streaming: 8-bit operands take half the beats,
+        // so the same array sustains twice the MAC rate (and 1-byte values).
+        assert_eq!(cfg.with_precision(8).macs_per_cycle(), 800);
+        assert_eq!(cfg.with_precision(8).value_bytes(), 1);
         assert!(cfg.mac_energy_pj() > cfg.with_precision(8).mac_energy_pj());
         assert!((cfg.cycles_to_ms(250_000) - 1.0).abs() < 1e-9);
     }
@@ -226,7 +237,7 @@ mod tests {
             .with_precision(8)
             .with_path_constructor(8, 32);
         cfg.validate().unwrap();
-        assert_eq!(cfg.macs_per_cycle(), 1024);
+        assert_eq!(cfg.macs_per_cycle(), 2048); // 32×32 PEs × 2 (8-bit operands)
         assert_eq!(cfg.precision_bits, 8);
         assert_eq!(cfg.sort_units, 8);
         assert_eq!(cfg.merge_tree_length, 32);

@@ -1,0 +1,10 @@
+//! Runs the beyond-paper int8 quantized-serving experiment (f32 screen vs
+//! int8 screen in the two-tier server: verdict-agreement hard gate,
+//! throughput advisory).
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin quantized_serve`; set
+//! `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+fn main() {
+    ptolemy_bench::run_binary("quantized_serve");
+}

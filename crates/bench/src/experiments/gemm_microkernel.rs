@@ -15,7 +15,10 @@
 //! flags are).
 
 use ptolemy_obs::Clock;
-use ptolemy_tensor::{matmul_blocked, matmul_parallel, Rng64, Tensor};
+use ptolemy_tensor::quant::matmul_i8;
+use ptolemy_tensor::{
+    matmul_blocked, matmul_i8_blocked, matmul_i8_parallel, matmul_parallel, Rng64, Tensor,
+};
 
 use crate::{fmt3, BenchResult, BenchScale, Table};
 
@@ -52,6 +55,21 @@ fn bits_equal(x: &Tensor, y: &Tensor) -> bool {
         .iter()
         .zip(y.as_slice())
         .all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+/// Random i8 operand with the same sparsity sprinkle as [`random_matrix`], so
+/// the integer kernels' zero-skip branch runs at its production rate.
+fn random_i8(len: usize, seed: u64) -> Vec<i8> {
+    let mut rng = Rng64::new(seed);
+    (0..len)
+        .map(|i| {
+            if i % 17 == 0 {
+                0
+            } else {
+                rng.uniform(-127.0, 127.0) as i32 as i8
+            }
+        })
+        .collect()
 }
 
 /// Runs the experiment.
@@ -154,7 +172,95 @@ pub fn run(scale: BenchScale) -> BenchResult<Vec<Table>> {
         "row-parallel driver is no slower than the blocked kernel",
         parallel_keeps_up,
     );
-    Ok(vec![table])
+
+    // The int8 twin: the blocked i8 kernel carries the serving stack's
+    // quantized screening tier, and — integer accumulation being exact — its
+    // parity with the naive `matmul_i8` is equality, not tolerance.
+    let mut i8_table = Table::new(
+        "i8 GEMM microkernel — naive i8 triple loop vs blocked register-tiled \
+         kernel vs row-parallel driver (i32 accumulation)",
+    )
+    .header([
+        "shape (m.k.n)",
+        "naive (ms)",
+        "blocked (ms)",
+        "parallel (ms)",
+        "blocked speedup",
+        "bit parity",
+    ]);
+    let mut i8_parity_everywhere = true;
+    let mut i8_blocked_competitive_at_large = false;
+    let mut i8_checksum = 0i64;
+    for (idx, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let a = random_i8(m * k, 0x51_u64.wrapping_add(idx as u64));
+        let b = random_i8(k * n, 0xA7_u64.wrapping_add(idx as u64));
+        let reps = repetitions(scale, 2 * m * k * n);
+        let fold = |acc: &[i32]| acc.iter().map(|&v| i64::from(v)).sum::<i64>();
+
+        i8_checksum += fold(&matmul_i8(&a, &b, m, k, n)?);
+        i8_checksum += fold(&matmul_i8_blocked(&a, &b, m, k, n)?);
+        i8_checksum += fold(&matmul_i8_parallel(&a, &b, m, k, n)?);
+
+        let start_ns = clock.now_ns();
+        for _ in 0..reps {
+            i8_checksum += fold(&matmul_i8(&a, &b, m, k, n)?);
+        }
+        let naive_ms = clock.now_ns().saturating_sub(start_ns) as f64 / 1e6 / reps as f64;
+
+        let start_ns = clock.now_ns();
+        for _ in 0..reps {
+            i8_checksum += fold(&matmul_i8_blocked(&a, &b, m, k, n)?);
+        }
+        let blocked_ms = clock.now_ns().saturating_sub(start_ns) as f64 / 1e6 / reps as f64;
+
+        let start_ns = clock.now_ns();
+        for _ in 0..reps {
+            i8_checksum += fold(&matmul_i8_parallel(&a, &b, m, k, n)?);
+        }
+        let parallel_ms = clock.now_ns().saturating_sub(start_ns) as f64 / 1e6 / reps as f64;
+
+        // The hard gate: exact i32 equality between all three entry points.
+        let naive = matmul_i8(&a, &b, m, k, n)?;
+        let parity = matmul_i8_blocked(&a, &b, m, k, n)? == naive
+            && matmul_i8_parallel(&a, &b, m, k, n)? == naive;
+        i8_parity_everywhere &= parity;
+
+        let speedup = naive_ms / blocked_ms.max(1e-9);
+        if idx == SHAPES.len() - 1 {
+            // The naive i8 loop is already lean, so the bar is "no slower",
+            // not the f32 kernel's 2x.
+            i8_blocked_competitive_at_large = speedup >= 1.0;
+        }
+        let tag = format!("{m}x{k}x{n}");
+        i8_table.metric(format!("i8_naive_{tag}_us"), (naive_ms * 1000.0) as u64);
+        i8_table.metric(format!("i8_blocked_{tag}_us"), (blocked_ms * 1000.0) as u64);
+        i8_table.metric(
+            format!("i8_parallel_{tag}_us"),
+            (parallel_ms * 1000.0) as u64,
+        );
+        i8_table.row([
+            tag,
+            fmt3(naive_ms as f32),
+            fmt3(blocked_ms as f32),
+            fmt3(parallel_ms as f32),
+            format!("{speedup:.2}x"),
+            if parity { "bit-for-bit" } else { "DIVERGED" }.to_string(),
+        ]);
+    }
+    i8_table.note(format!(
+        "per-shape repetitions sized to a fixed flop budget; checksum {i8_checksum}"
+    ));
+    i8_table.check(
+        "blocked and row-parallel i8 kernels are bit-for-bit identical to the \
+         naive i8 loop at every shape",
+        i8_parity_everywhere,
+    );
+    i8_table.timing_check(
+        "blocked i8 kernel is no slower than the naive i8 loop at the large shape",
+        i8_blocked_competitive_at_large,
+    );
+
+    Ok(vec![table, i8_table])
 }
 
 #[cfg(test)]
@@ -164,12 +270,12 @@ mod tests {
     #[test]
     fn kernels_stay_bit_identical_and_blocked_is_competitive() {
         let tables = run(BenchScale::Quick).unwrap();
-        assert_eq!(tables.len(), 1);
-        let rendered = tables[0].to_string();
-        // Deterministic gate: blocking must never change a single bit,
-        // whatever the machine.
+        assert_eq!(tables.len(), 2);
+        let rendered = format!("{}\n{}", tables[0], tables[1]);
+        // Deterministic gates: blocking must never change a single bit in
+        // either precision, whatever the machine.
         assert!(
-            rendered.contains("at every shape: holds"),
+            rendered.matches("at every shape: holds").count() == 2,
             "bit parity gate failed:\n{rendered}"
         );
         // The speedup bars are wall-clock and advisory under an unoptimized

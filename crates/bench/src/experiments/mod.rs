@@ -26,6 +26,7 @@
 //! | [`obs_overhead`] | beyond the paper — observability overhead of the serving runtime |
 //! | [`gemm_microkernel`] | beyond the paper — blocked GEMM microkernel vs the naive loop |
 //! | [`quantized_detect`] | beyond the paper — int8 quantized detection vs the f32 pipeline |
+//! | [`quantized_serve`] | beyond the paper — f32 screen vs int8 screen in the two-tier server |
 
 pub mod batch_fusion;
 pub mod extraction_overlap;
@@ -42,6 +43,7 @@ pub mod fig18_hw_sensitivity;
 pub mod gemm_microkernel;
 pub mod obs_overhead;
 pub mod quantized_detect;
+pub mod quantized_serve;
 pub mod sec3b_cost_analysis;
 pub mod sec7a_overhead;
 pub mod sec7g_scaling;
@@ -194,6 +196,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artifact: "beyond paper: int8 quantized detection path",
             run: quantized_detect::run,
         },
+        Experiment {
+            id: "quantized_serve",
+            paper_artifact: "beyond paper: int8 quantized serving tier",
+            run: quantized_serve::run,
+        },
     ]
 }
 
@@ -204,11 +211,11 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact_once() {
         let experiments = all();
-        assert_eq!(experiments.len(), 22);
+        assert_eq!(experiments.len(), 23);
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22, "duplicate experiment ids");
+        assert_eq!(ids.len(), 23, "duplicate experiment ids");
         assert!(experiments.iter().all(|e| !e.paper_artifact.is_empty()));
     }
 }

@@ -67,7 +67,7 @@
 use std::sync::Arc;
 
 use ptolemy_forest::{ForestConfig, RandomForest};
-use ptolemy_nn::{Network, QuantizedNetwork};
+use ptolemy_nn::{ForwardTrace, Network, QuantizedNetwork};
 use ptolemy_obs::{Counter, HistogramHandle, Registry};
 use ptolemy_tensor::Tensor;
 
@@ -673,6 +673,144 @@ impl DetectionEngine {
         let (predicted, similarity) = self.path_similarity_quantized(input)?;
         self.judge(predicted, similarity)
     }
+
+    /// Scores one already-materialised quantized trace: predicted class, path
+    /// extraction against this engine's program, similarity against the
+    /// predicted class's canary path.  The single scoring step shared by every
+    /// quantized entry point — the source of their mutual bit parity.
+    fn finish_quantized_trace(&self, trace: &ForwardTrace) -> Result<(usize, f32, ActivationPath)> {
+        let predicted = trace.predicted_class()?;
+        let path = extract_path(&self.network, trace, &self.program)?;
+        let similarity = path.similarity(self.class_paths.class_path(predicted)?)?;
+        Ok((predicted, similarity, path))
+    }
+
+    /// Quantized counterpart of [`trace_path_batch`]: one fused int8 batched
+    /// forward pass materialises the stacked trace, then per-sample slices are
+    /// extracted and scored in a [`par_map`] fan-out.  Falls back to per-input
+    /// quantized passes when any input is mis-shaped, preserving that input's
+    /// exact error while still serving the rest.
+    fn trace_path_quantized_batch(
+        &self,
+        qnet: &QuantizedNetwork,
+        inputs: &[Tensor],
+    ) -> Vec<Result<(usize, f32, ActivationPath)>> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let fused = if inputs
+            .iter()
+            .all(|input| input.dims() == self.network.input_shape())
+        {
+            qnet.forward_trace_batch(inputs).ok()
+        } else {
+            None
+        };
+        let Some(batch) = fused else {
+            return par_map(inputs, |input| {
+                let trace = qnet.forward_trace(input)?;
+                self.finish_quantized_trace(&trace)
+            });
+        };
+        let indices: Vec<usize> = (0..inputs.len()).collect();
+        par_map(&indices, |&i| {
+            let trace = batch.trace(i)?;
+            self.finish_quantized_trace(&trace)
+        })
+    }
+
+    /// Detects a whole batch through **one fused int8 forward pass** — the
+    /// quantized twin of [`DetectionEngine::detect_batch_with_paths`], keyed
+    /// to an explicitly supplied [`QuantizedNetwork`] (serving layers pass the
+    /// one their builder validated; [`detect_batch_quantized_with_paths`]
+    /// passes the engine's own).
+    ///
+    /// `qnet` must have been calibrated from *this engine's* network instance
+    /// — the verdict compares the quantized trace against this engine's canary
+    /// paths, which only makes sense for the same weights.
+    ///
+    /// Per-sample results are bit-for-bit [`DetectionEngine::detect_quantized`]
+    /// on the same input: the fused batch slices back losslessly (i32
+    /// accumulation is exact) and the scoring step is shared.
+    ///
+    /// [`detect_batch_quantized_with_paths`]: DetectionEngine::detect_batch_quantized_with_paths
+    pub fn detect_batch_quantized_with(
+        &self,
+        qnet: &QuantizedNetwork,
+        inputs: &[Tensor],
+    ) -> Vec<Result<(Detection, ActivationPath)>> {
+        if !std::ptr::eq(qnet.network().as_ref(), self.network.as_ref()) {
+            return inputs
+                .iter()
+                .map(|_| {
+                    Err(CoreError::InvalidInput(
+                        "quantized network was calibrated from a different network \
+                         instance than this engine serves"
+                            .into(),
+                    ))
+                })
+                .collect();
+        }
+        let obs = self.stage_obs();
+        let start = obs.map(|o| o.registry.clock().now_ns());
+        let traced = self.trace_path_quantized_batch(qnet, inputs);
+        let mid = if let (Some(o), Some(start)) = (obs, start) {
+            let now = o.registry.clock().now_ns();
+            o.trace_ns.record(now.saturating_sub(start));
+            Some(now)
+        } else {
+            None
+        };
+        let verdicts: Vec<Result<(Detection, ActivationPath)>> = traced
+            .into_iter()
+            .map(|r| {
+                let (predicted, similarity, path) = r?;
+                Ok((self.judge(predicted, similarity)?, path))
+            })
+            .collect();
+        if let (Some(o), Some(mid)) = (obs, mid) {
+            o.score_ns
+                .record(o.registry.clock().now_ns().saturating_sub(mid));
+            o.detections.add(verdicts.len() as u64);
+        }
+        verdicts
+    }
+
+    /// Like [`DetectionEngine::detect_batch_quantized_with`] but using the
+    /// engine's own quantized network
+    /// ([`DetectionEngineBuilder::quantized`]); every input fails with
+    /// [`CoreError::InvalidInput`] if the engine has none.
+    pub fn detect_batch_quantized_with_paths(
+        &self,
+        inputs: &[Tensor],
+    ) -> Vec<Result<(Detection, ActivationPath)>> {
+        let Some(qnet) = self.quantized.as_ref() else {
+            return inputs
+                .iter()
+                .map(|_| {
+                    Err(CoreError::InvalidInput(
+                        "engine was built without a quantized network; add .quantized(..)".into(),
+                    ))
+                })
+                .collect();
+        };
+        self.detect_batch_quantized_with(qnet, inputs)
+    }
+
+    /// Batched [`DetectionEngine::detect_quantized`]: verdicts only, first
+    /// error wins — the quantized twin of [`DetectionEngine::detect_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-input error, if any, or
+    /// [`CoreError::InvalidInput`] if the engine was built without a
+    /// quantized network.
+    pub fn detect_batch_quantized(&self, inputs: &[Tensor]) -> Result<Vec<Detection>> {
+        self.detect_batch_quantized_with_paths(inputs)
+            .into_iter()
+            .map(|r| r.map(|(d, _)| d))
+            .collect()
+    }
 }
 
 /// Builder for [`DetectionEngine`]; all validation happens in
@@ -1025,6 +1163,63 @@ mod tests {
             verdict_agree * 10 >= total * 8,
             "only {verdict_agree}/{total} verdicts agree"
         );
+    }
+
+    #[test]
+    fn batched_quantized_detection_is_bit_identical_to_single() {
+        let (net, samples, benign, adversarial) = setup();
+        let program = variants::bw_cu(&net, 0.5).unwrap();
+        let class_paths = Profiler::new(program.clone())
+            .profile(&net, &samples)
+            .unwrap();
+        let engine = DetectionEngine::builder(net, program, class_paths)
+            .calibrate(&benign, &adversarial)
+            .quantized(&benign)
+            .build()
+            .unwrap();
+
+        let all: Vec<Tensor> = benign.iter().chain(&adversarial).cloned().collect();
+        let batch = engine.detect_batch_quantized(&all).unwrap();
+        assert_eq!(batch.len(), all.len());
+        let with_paths = engine.detect_batch_quantized_with_paths(&all);
+        for ((input, batched), traced) in all.iter().zip(&batch).zip(with_paths) {
+            let single = engine.detect_quantized(input).unwrap();
+            assert_eq!(single.score.to_bits(), batched.score.to_bits());
+            assert_eq!(single.similarity.to_bits(), batched.similarity.to_bits());
+            assert_eq!(single.predicted_class, batched.predicted_class);
+            assert_eq!(single.is_adversary, batched.is_adversary);
+            let (d, path) = traced.unwrap();
+            assert_eq!(d, *batched);
+            assert!(path.count_ones() > 0);
+        }
+
+        // A mis-shaped input fails alone; the rest of the batch still serves.
+        let mut mixed = all[..3].to_vec();
+        mixed.push(Tensor::zeros(&[3]));
+        let results = engine.detect_batch_quantized_with_paths(&mixed);
+        assert!(results[..3].iter().all(Result::is_ok));
+        assert!(results[3].is_err());
+
+        // An external qnet calibrated from a different network instance is
+        // rejected per input, never silently scored.
+        let (other_net, _, other_benign, _) = setup();
+        let foreign = QuantizedNetwork::quantize(Arc::new(other_net), &other_benign[..4]).unwrap();
+        let rejected = engine.detect_batch_quantized_with(&foreign, &all[..2]);
+        assert_eq!(rejected.len(), 2);
+        assert!(rejected.iter().all(Result::is_err));
+
+        // Without a quantized network every input fails, matching the
+        // single-input contract.
+        let (net2, samples2, benign2, adversarial2) = setup();
+        let program2 = variants::bw_cu(&net2, 0.5).unwrap();
+        let class_paths2 = Profiler::new(program2.clone())
+            .profile(&net2, &samples2)
+            .unwrap();
+        let plain = DetectionEngine::builder(net2, program2, class_paths2)
+            .calibrate(&benign2, &adversarial2)
+            .build()
+            .unwrap();
+        assert!(plain.detect_batch_quantized(&all[..2]).is_err());
     }
 
     #[test]

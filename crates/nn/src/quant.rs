@@ -29,14 +29,28 @@
 //! quantized runs unchanged.  `Residual` blocks and any layer whose
 //! parameters don't follow the `[weight, bias]` convention simply run their
 //! f32 `forward` — quantization is per-layer opportunistic, never required.
+//!
+//! # Kernels and batching
+//!
+//! All integer matmuls route through the blocked, register-tiled i8 GEMM in
+//! `ptolemy_tensor::gemm_i8`; conv inputs lower through the fused int8
+//! `im2col` (`ptolemy_tensor::im2col_i8`), which quantizes while packing
+//! instead of staging an f32 column matrix.  Because i32 accumulation is
+//! exact, the blocked/fused kernels are *bit-identical* to the naive
+//! references — the kernel swap changes throughput, never results.  The same
+//! exactness makes [`QuantizedNetwork::forward_batch`] trivially parity-safe:
+//! sample `b` of a fused batch equals `forward(&inputs[b])` bit-for-bit, the
+//! same widening-only contract as the f32 `Network::forward_batch`.
 
 use std::sync::Arc;
 
-use ptolemy_tensor::quant::{matmul_i8, matmul_i8_nt, quantize_slice, tensor_max_abs, QuantParams};
-use ptolemy_tensor::{im2col, Conv2dGeometry, Tensor};
+use ptolemy_tensor::gemm_i8::{matmul_i8_blocked_nt, matmul_i8_parallel, matmul_i8_parallel_nt};
+use ptolemy_tensor::quant::{quantize_slice, tensor_max_abs, QuantParams};
+use ptolemy_tensor::{im2col_i8, im2col_i8_batch, Conv2dGeometry, Tensor};
 
+use crate::batch::check_batch;
 use crate::trace::predicted_class;
-use crate::{ForwardTrace, LayerKind, Network, NnError, Result, TraceSink};
+use crate::{BatchTrace, ForwardTrace, LayerKind, Network, NnError, Result, TraceSink};
 
 /// One layer's pre-quantized integer kernel.
 #[derive(Debug, Clone)]
@@ -208,7 +222,7 @@ impl QuantizedNetwork {
                     return layer.forward(input);
                 }
                 let qx = quantize_slice(input.as_slice(), slot.act);
-                let acc = matmul_i8_nt(&qx, qweight, 1, *inputs, *outputs)?;
+                let acc = matmul_i8_blocked_nt(&qx, qweight, 1, *inputs, *outputs)?;
                 let scale = slot.act.scale() * wparams.scale();
                 let out: Vec<f32> = acc
                     .iter()
@@ -228,11 +242,10 @@ impl QuantizedNetwork {
                 if input.dims() != expected {
                     return layer.forward(input);
                 }
-                let cols = im2col(input, geometry)?;
-                let qcols = quantize_slice(cols.as_slice(), slot.act);
+                let qcols = im2col_i8(input, geometry, slot.act)?;
                 let patches = geometry.num_patches();
                 let patch_len = geometry.patch_len();
-                let acc = matmul_i8(qweight, &qcols, *out_channels, patch_len, patches)?;
+                let acc = matmul_i8_parallel(qweight, &qcols, *out_channels, patch_len, patches)?;
                 let scale = slot.act.scale() * wparams.scale();
                 let mut out = vec![0.0f32; out_channels * patches];
                 for (oc, (chunk, b)) in out.chunks_mut(patches).zip(bias).enumerate() {
@@ -247,6 +260,106 @@ impl QuantizedNetwork {
                 )?)
             }
         }
+    }
+
+    /// Batched twin of [`Self::forward_layer`]: runs one fused integer kernel
+    /// over a stacked `[B] ++ sample_shape` boundary.  Row `b` of the output
+    /// is bit-for-bit `forward_layer` of sample `b` — i32 accumulation is
+    /// exact, so fusing the batch into one GEMM cannot change results, and
+    /// the requantization expression is textually the single-input one.
+    fn forward_layer_batch(
+        &self,
+        index: usize,
+        layer: &dyn crate::Layer,
+        batch: &Tensor,
+    ) -> Result<Tensor> {
+        let Some(slot) = &self.slots[index] else {
+            return layer.forward_batch(batch);
+        };
+        match &slot.kernel {
+            QuantKernel::Dense {
+                qweight,
+                wparams,
+                bias,
+                inputs,
+                outputs,
+            } => {
+                if check_batch(batch, &[*inputs], "quantized dense").is_err() {
+                    return layer.forward_batch(batch);
+                }
+                let b_sz = batch.dims()[0];
+                // One quantization sweep over the whole [B, inputs] slab: the
+                // per-element expression is identical to the single-input
+                // path's, so slicing the batch preserves bits.
+                let qx = quantize_slice(batch.as_slice(), slot.act);
+                let acc = matmul_i8_parallel_nt(&qx, qweight, b_sz, *inputs, *outputs)?;
+                let scale = slot.act.scale() * wparams.scale();
+                let mut out = vec![0.0f32; b_sz * *outputs];
+                for (orow, arow) in out.chunks_mut(*outputs).zip(acc.chunks(*outputs)) {
+                    for ((o, a), b) in orow.iter_mut().zip(arow).zip(bias) {
+                        *o = *a as f32 * scale + b;
+                    }
+                }
+                Ok(Tensor::from_vec(out, &[b_sz, *outputs])?)
+            }
+            QuantKernel::Conv {
+                qweight,
+                wparams,
+                bias,
+                geometry,
+                out_channels,
+            } => {
+                let expected = [geometry.in_channels, geometry.in_h, geometry.in_w];
+                if check_batch(batch, &expected, "quantized conv").is_err() {
+                    return layer.forward_batch(batch);
+                }
+                let b_sz = batch.dims()[0];
+                let patches = geometry.num_patches();
+                let patch_len = geometry.patch_len();
+                // Fused batched int8 im2col: column `b * patches + j` is
+                // bit-for-bit column `j` of the per-sample lowering.
+                let qcols = im2col_i8_batch(batch, geometry, slot.act)?;
+                let cols = b_sz * patches;
+                let acc = matmul_i8_parallel(qweight, &qcols, *out_channels, patch_len, cols)?;
+                let scale = slot.act.scale() * wparams.scale();
+                // Re-layout [out_c, B * patches] -> [B, out_c, out_h, out_w],
+                // requantizing on the way out.
+                let mut out = vec![0.0f32; b_sz * out_channels * patches];
+                for b in 0..b_sz {
+                    for (oc, bv) in bias.iter().enumerate() {
+                        let arow = &acc[oc * cols + b * patches..oc * cols + (b + 1) * patches];
+                        let orow = &mut out[(b * out_channels + oc) * patches..][..patches];
+                        for (o, a) in orow.iter_mut().zip(arow) {
+                            *o = *a as f32 * scale + bv;
+                        }
+                    }
+                }
+                Ok(Tensor::from_vec(
+                    out,
+                    &[b_sz, *out_channels, geometry.out_h, geometry.out_w],
+                )?)
+            }
+        }
+    }
+
+    /// Stacks `inputs` into one `[B] ++ input_shape` batch, validating shapes
+    /// (same contract as the f32 `Network::forward_batch` entry).
+    fn stack_batch(&self, inputs: &[Tensor]) -> Result<Tensor> {
+        if inputs.is_empty() {
+            return Err(NnError::InvalidConfig(
+                "batched quantized forward pass requires at least one input".into(),
+            ));
+        }
+        for input in inputs {
+            if input.dims() != self.network.input_shape() {
+                return Err(NnError::InvalidConfig(format!(
+                    "network expects input shape {:?}, got {:?}",
+                    self.network.input_shape(),
+                    input.dims()
+                )));
+            }
+        }
+        Ok(Tensor::stack(inputs)?)
     }
 
     /// Runs the quantized forward pass, returning the logits.
@@ -278,6 +391,46 @@ impl QuantizedNetwork {
             activations.push(x.clone());
         }
         ForwardTrace::from_activations(activations)
+    }
+
+    /// Runs one fused quantized forward pass over a whole batch and returns
+    /// the stacked logits (`[B, num_classes]`).
+    ///
+    /// Row `b` is bit-for-bit identical to `forward(&inputs[b])`: integer
+    /// accumulation is exact, the batched int8 `im2col` widens columns
+    /// without reordering them, and every f32-fallback layer already carries
+    /// the same guarantee through `Layer::forward_batch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `inputs` is empty or any input does not match the
+    /// network input shape.
+    pub fn forward_batch(&self, inputs: &[Tensor]) -> Result<Tensor> {
+        let mut cur = self.stack_batch(inputs)?;
+        for (i, layer) in self.network.layers().enumerate() {
+            cur = self.forward_layer_batch(i, layer, &cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Runs one fused quantized forward pass over a whole batch, materialising
+    /// every stacked activation boundary as a [`BatchTrace`] — the batched
+    /// twin of [`Self::forward_trace`], and the entry point for batched
+    /// quantized path extraction in `ptolemy-core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `inputs` is empty or any input does not match the
+    /// network input shape.
+    pub fn forward_trace_batch(&self, inputs: &[Tensor]) -> Result<BatchTrace> {
+        let mut activations = Vec::with_capacity(self.network.num_layers() + 1);
+        let mut cur = self.stack_batch(inputs)?;
+        activations.push(cur.clone());
+        for (i, layer) in self.network.layers().enumerate() {
+            cur = self.forward_layer_batch(i, layer, &cur)?;
+            activations.push(cur.clone());
+        }
+        Ok(BatchTrace::new(inputs.len(), activations))
     }
 
     /// Argmax class of the quantized logits.
@@ -338,6 +491,65 @@ mod tests {
         }
         // int8 rounding wiggles logits but must stay in the same ballpark.
         assert!(close >= cal.len() - 1, "only {close}/{} close", cal.len());
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.dims(), b.dims(), "{what}: dims");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}");
+        }
+    }
+
+    #[test]
+    fn batched_quantized_forward_is_bit_identical_to_single() {
+        let mut rng = Rng64::new(11);
+        for network in [
+            Arc::new(zoo::mlp_net(&[16, 12], 4, &mut rng).unwrap()),
+            Arc::new(zoo::lenet(1, 4, &mut rng).unwrap()),
+        ] {
+            let cal = calibration(&network, &mut rng, 6);
+            let qnet = QuantizedNetwork::quantize(network.clone(), &cal).unwrap();
+            let stacked = qnet.forward_batch(&cal).unwrap();
+            for (b, input) in cal.iter().enumerate() {
+                let single = qnet.forward(input).unwrap();
+                let row = stacked.slice_batch(b).unwrap();
+                assert_bits_eq(&row, &single, "logits row");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_quantized_trace_slices_match_single_traces() {
+        let mut rng = Rng64::new(13);
+        let network = Arc::new(zoo::lenet(1, 4, &mut rng).unwrap());
+        let cal = calibration(&network, &mut rng, 3);
+        let qnet = QuantizedNetwork::quantize(network.clone(), &cal).unwrap();
+        let batch = qnet.forward_trace_batch(&cal).unwrap();
+        assert_eq!(batch.batch_size(), cal.len());
+        assert_eq!(batch.num_layers(), network.num_layers());
+        for (b, input) in cal.iter().enumerate() {
+            let single = qnet.forward_trace(input).unwrap();
+            let sliced = batch.trace(b).unwrap();
+            for (layer, (s, f)) in sliced
+                .activations()
+                .iter()
+                .zip(single.activations())
+                .enumerate()
+            {
+                assert_bits_eq(s, f, &format!("sample {b} boundary {layer}"));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_quantized_forward_rejects_bad_inputs() {
+        let mut rng = Rng64::new(17);
+        let network = Arc::new(zoo::mlp_net(&[8], 3, &mut rng).unwrap());
+        let cal = calibration(&network, &mut rng, 2);
+        let qnet = QuantizedNetwork::quantize(network.clone(), &cal).unwrap();
+        assert!(qnet.forward_batch(&[]).is_err());
+        let wrong = Tensor::zeros(&[3]);
+        assert!(qnet.forward_batch(&[cal[0].clone(), wrong]).is_err());
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub enum Stage {
     CacheLookup,
     /// The tier-1 screening pass over the formed batch.
     Screen,
+    /// The tier-1 screening pass when it runs the int8 quantized inference
+    /// path (`ptolemy-serve`'s quantized screen mode) — kept distinct from
+    /// [`Stage::Screen`] so dashboards and timelines never conflate the two
+    /// screening variants' cost profiles.
+    ScreenInt8,
     /// A tier-2 escalation pass on the given shard.
     Escalate(u32),
     /// Time an escalation spent executing overlapped with the next batch's
@@ -43,6 +48,7 @@ impl Stage {
             Stage::BatchForm => "batch_form".into(),
             Stage::CacheLookup => "cache_lookup".into(),
             Stage::Screen => "screen".into(),
+            Stage::ScreenInt8 => "screen_int8".into(),
             Stage::Escalate(shard) => format!("escalate[{shard}]"),
             Stage::Overlap => "overlap".into(),
         }
@@ -196,6 +202,8 @@ mod tests {
     #[test]
     fn stage_labels_are_stable() {
         assert_eq!(Stage::QueueWait.label(), "queue_wait");
+        assert_eq!(Stage::Screen.label(), "screen");
+        assert_eq!(Stage::ScreenInt8.label(), "screen_int8");
         assert_eq!(Stage::Escalate(3).label(), "escalate[3]");
         assert_eq!(Stage::Overlap.label(), "overlap");
     }

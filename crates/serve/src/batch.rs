@@ -132,6 +132,29 @@ pub(crate) fn adaptive_cap(engine: &DetectionEngine, policy: &BatchPolicy, densi
     cap.max(1)
 }
 
+/// Shard-aware adaptive cap: the batch must fit the latency target on **every**
+/// engine a batch might touch — the screening engine and each escalation
+/// shard — so the cap is the minimum of the per-engine caps.
+///
+/// This is deliberately the worst case (a whole batch landing in the
+/// uncertainty band and escalating to one shard): a cap that only modelled the
+/// screen would let an expensive tier-2 program blow the latency target
+/// whenever traffic turned suspicious, which is exactly when predictable
+/// latency matters most.  Without escalation shards this degenerates to the
+/// plain screen-only [`adaptive_cap`].
+pub(crate) fn adaptive_cap_tiered(
+    screen: &DetectionEngine,
+    shards: &[std::sync::Arc<DetectionEngine>],
+    policy: &BatchPolicy,
+    density: f32,
+) -> usize {
+    let mut cap = adaptive_cap(screen, policy, density);
+    for shard in shards {
+        cap = cap.min(adaptive_cap(shard, policy, density));
+    }
+    cap
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

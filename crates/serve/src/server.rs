@@ -12,11 +12,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ptolemy_core::{Detection, DetectionEngine};
+use ptolemy_nn::QuantizedNetwork;
 use ptolemy_obs::json::JsonValue;
 use ptolemy_obs::{Clock, HistogramHandle, Registry, Stage, Timeline};
 use ptolemy_tensor::Tensor;
 
-use crate::batch::{adaptive_cap, BatchPolicy};
+use crate::batch::{adaptive_cap_tiered, BatchPolicy};
 use crate::cache::{self, CacheConfig, CacheLoad, CachedVerdict, LruCache};
 use crate::error::{Result, ServeError};
 use crate::stats::{ServeStats, StatsInner};
@@ -142,12 +143,21 @@ struct ServeObs {
 }
 
 impl ServeObs {
-    fn attach(registry: Arc<Registry>, shards: usize) -> ServeObs {
+    /// `int8_screen` selects the screening histogram name (and matches the
+    /// [`Stage::ScreenInt8`] timeline events the workers will record), so a
+    /// registry snapshot unambiguously says which inference path the screen
+    /// tier ran.
+    fn attach(registry: Arc<Registry>, shards: usize, int8_screen: bool) -> ServeObs {
+        let screen_hist = if int8_screen {
+            "serve.screen_int8_ns"
+        } else {
+            "serve.screen_ns"
+        };
         ServeObs {
             queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
             batch_form_ns: registry.histogram("serve.batch_form_ns"),
             cache_lookup_ns: registry.histogram("serve.cache_lookup_ns"),
-            screen_ns: registry.histogram("serve.screen_ns"),
+            screen_ns: registry.histogram(screen_hist),
             escalate_ns: (0..shards)
                 .map(|shard| {
                     registry.histogram(&format!(
@@ -183,6 +193,12 @@ struct Shared {
     /// worker.
     monitor_wake: Condvar,
     screen: Arc<DetectionEngine>,
+    /// The int8 quantized screening network
+    /// ([`ServerBuilder::quantized_screen`]): when set, tier-1 screening runs
+    /// the blocked-i8-GEMM quantized inference path instead of f32.
+    /// Escalation always re-scores in f32 — the quantized tier is the cheap
+    /// first look, never the final word on an uncertain input.
+    quantized: Option<Arc<QuantizedNetwork>>,
     /// Tier-2 escalation engines: empty without tiered routing, one entry for
     /// a single escalation engine, several for sharded escalation.
     escalate: Vec<Arc<DetectionEngine>>,
@@ -202,9 +218,16 @@ struct Shared {
     /// even the screen extraction.  Near-duplicates (different bytes, same
     /// early-layer path) still match through the path-prefix key itself.
     input_keys: Option<Mutex<LruCache<u64>>>,
-    /// Hash seed derived from the screen engine's fingerprint, so cache keys
+    /// Hash seed derived from [`Shared::cache_fingerprint`], so cache keys
     /// from engines with different build-time fingerprints never collide.
     cache_seed: u64,
+    /// The fingerprint the result cache is keyed and persisted under: the
+    /// screen engine's build-time fingerprint, suffixed with `+int8` when the
+    /// quantized screen is on.  Int8 and f32 screening extract different
+    /// paths from the same input, so their verdicts must never alias — in
+    /// memory (the seed) or on disk (persisted caches only reload under the
+    /// identical mode).
+    cache_fingerprint: String,
     prefix_segments: usize,
     /// Where to persist the result cache on shutdown, if configured.
     persist_path: Option<PathBuf>,
@@ -272,7 +295,9 @@ impl Shared {
     /// The adaptive batch cap for the current density regime.  Recomputed
     /// (outside the queue lock — backend estimates can be expensive) only when
     /// the observed density drifts more than 25 % from the one the cached cap
-    /// was computed at.
+    /// was computed at.  Shard-aware: the cap is the minimum over the screen
+    /// *and* every escalation shard, so a batch that escalates wholesale still
+    /// fits the latency target (see [`adaptive_cap_tiered`]).
     fn current_cap(&self) -> usize {
         let density = self.density_ema();
         {
@@ -283,7 +308,7 @@ impl Shared {
                 }
             }
         }
-        let cap = adaptive_cap(&self.screen, &self.policy, density);
+        let cap = adaptive_cap_tiered(&self.screen, &self.escalate, &self.policy, density);
         *lock(&self.cap_cache) = Some((density, cap));
         cap
     }
@@ -344,6 +369,7 @@ impl Server {
     pub fn builder(screen: impl Into<Arc<DetectionEngine>>) -> ServerBuilder {
         ServerBuilder {
             screen: screen.into(),
+            quantized: None,
             escalate: Vec::new(),
             band: (0.0, 0.0),
             workers: 2,
@@ -498,7 +524,7 @@ impl Server {
         if let (Some(cache), Some(path)) = (&self.shared.cache, &self.shared.persist_path) {
             let written = cache::persist(
                 path,
-                self.shared.screen.fingerprint(),
+                &self.shared.cache_fingerprint,
                 self.shared.prefix_segments,
                 &lock(cache),
             );
@@ -540,6 +566,10 @@ fn metrics_json_of(shared: &Shared) -> JsonValue {
         (
             "screen_served".into(),
             JsonValue::UInt(snapshot.screen_served),
+        ),
+        (
+            "int8_screens".into(),
+            JsonValue::UInt(snapshot.int8_screens),
         ),
         ("escalated".into(), JsonValue::UInt(snapshot.escalated)),
         (
@@ -962,7 +992,11 @@ fn run_escalations(shared: &Shared, job: EscalationJob) {
 /// calls produce: `screen.detect(input)` when the score is outside the
 /// uncertainty band, `escalate.detect(input)` on the owning shard when inside
 /// — the fused kernels preserve the per-input reduction order, so batching
-/// (and sharding, and pipelining) changes scheduling, never arithmetic.
+/// (and sharding, and pipelining) changes scheduling, never arithmetic.  With
+/// the int8 quantized screen on, the tier-1 reference is
+/// `screen.detect_quantized(input)` instead (exactly deterministic, but a
+/// *statistical* stand-in for f32 — see
+/// [`ServerBuilder::quantized_screen`]); escalation still re-scores in f32.
 fn screen_batch(
     shared: &Shared,
     batch: Vec<Request>,
@@ -1026,14 +1060,26 @@ fn screen_batch(
         return None;
     }
 
-    // Phase 2: one fused screening trace over everything the fast path missed.
+    // Phase 2: one fused screening trace over everything the fast path missed
+    // — the int8 quantized pass when the builder enabled it, f32 otherwise.
     let screen_start_ns = obs.map(|_| shared.now_ns());
-    let screened = shared.screen.detect_batch_with_paths(&inputs);
+    let screened = match &shared.quantized {
+        Some(qnet) => {
+            lock(&shared.stats).int8_screens += inputs.len() as u64;
+            shared.screen.detect_batch_quantized_with(qnet, &inputs)
+        }
+        None => shared.screen.detect_batch_with_paths(&inputs),
+    };
     if let (Some(obs), Some(start_ns)) = (obs, screen_start_ns) {
         let end_ns = shared.now_ns();
         obs.screen_ns.record(end_ns.saturating_sub(start_ns));
         if let Some(timeline) = &mut timeline {
-            timeline.record(Stage::Screen, start_ns, end_ns);
+            let stage = if shared.quantized.is_some() {
+                Stage::ScreenInt8
+            } else {
+                Stage::Screen
+            };
+            timeline.record(stage, start_ns, end_ns);
         }
     }
 
@@ -1122,6 +1168,7 @@ fn screen_batch(
 #[derive(Debug)]
 pub struct ServerBuilder {
     screen: Arc<DetectionEngine>,
+    quantized: Option<Arc<QuantizedNetwork>>,
     escalate: Vec<Arc<DetectionEngine>>,
     band: (f32, f32),
     workers: usize,
@@ -1236,6 +1283,43 @@ impl ServerBuilder {
         self.escalate = shards;
         self.band = (low, high);
         self.tiering_requested = true;
+        self
+    }
+
+    /// Runs the tier-1 screening pass on the **int8 quantized** inference
+    /// path: one fused blocked-i8-GEMM forward per batch
+    /// ([`ptolemy_core::DetectionEngine::detect_batch_quantized_with`])
+    /// instead of the f32 kernels.  `calibration` is the
+    /// [`QuantizedNetwork`] calibrated from the screening engine's own
+    /// network — typically `screen.quantized_network()` when the engine was
+    /// built with `DetectionEngineBuilder::quantized`, or a
+    /// `QuantizedNetwork::quantize` result over the same `Arc<Network>`.
+    ///
+    /// # Contract: statistical, not bit parity
+    ///
+    /// Every other serving mode is pinned bit-for-bit to direct engine calls.
+    /// The quantized screen is the one deliberate exception: int8 rounding
+    /// perturbs activations, so screened verdicts are a *statistical* proxy
+    /// for f32 — the `quantized_serve` benchmark gates the verdict agreement
+    /// rate.  What is still guaranteed:
+    ///
+    /// * **Determinism** — i32 accumulation is exact, so serving a given
+    ///   input always yields the identical verdict, across runs, batch
+    ///   shapes and thread counts (served verdicts equal
+    ///   `screen.detect_quantized(input)` bit-for-bit when nothing
+    ///   escalates).
+    /// * **f32 escalation** — in-band inputs re-score on the f32 escalation
+    ///   tier, so uncertain verdicts are never decided by the quantized
+    ///   approximation.
+    /// * **No cache aliasing** — cache keys (and persisted cache files) are
+    ///   seeded with an `+int8`-suffixed fingerprint, so int8 and f32
+    ///   verdicts never answer for each other.
+    ///
+    /// [`ServerBuilder::start`] rejects a `calibration` network that was not
+    /// calibrated from the screening engine's network instance with
+    /// [`ServeError::TierMismatch`].
+    pub fn quantized_screen(mut self, calibration: impl Into<Arc<QuantizedNetwork>>) -> Self {
+        self.quantized = Some(calibration.into());
         self
     }
 
@@ -1364,6 +1448,21 @@ impl ServerBuilder {
                 "escalate_sharded requires at least one escalation shard".into(),
             ));
         }
+        if let Some(qnet) = &self.quantized {
+            // The quantized screen scores against the screen engine's canary
+            // paths; a qnet calibrated from any other network instance would
+            // be comparing apples to oranges.  Same ptr-eq discipline as the
+            // sharded-escalation network check below.
+            if !std::ptr::eq(qnet.network().as_ref(), self.screen.network()) {
+                return Err(ServeError::TierMismatch {
+                    screen: self.screen.fingerprint().to_string(),
+                    escalate: "int8 quantized screen".into(),
+                    reason: "the quantized screen network was calibrated from a different \
+                             network instance than the screening engine serves"
+                        .into(),
+                });
+            }
+        }
         let screen_classes = self.screen.class_paths().num_classes();
         let mut owner_of: Vec<usize> = Vec::new();
         if !self.escalate.is_empty() {
@@ -1459,20 +1558,26 @@ impl ServerBuilder {
             }
         }
 
-        let cache_seed = fnv1a(self.screen.fingerprint().as_bytes());
+        // Int8 and f32 screening produce different paths and verdicts for the
+        // same input, so both the in-memory key seed and the persisted-cache
+        // identity carry the mode: a cache written under one mode is never
+        // consulted under the other.
+        let cache_fingerprint = if self.quantized.is_some() {
+            format!("{}+int8", self.screen.fingerprint())
+        } else {
+            self.screen.fingerprint().to_string()
+        };
+        let cache_seed = fnv1a(cache_fingerprint.as_bytes());
         // Build the result cache, reloading a persisted file only when it was
-        // written under this screening engine's fingerprint and prefix depth.
+        // written under this screening engine's fingerprint (mode-suffixed)
+        // and prefix depth.
         let mut stats = StatsInner::new(self.escalate.len());
         let (cache, input_keys, prefix_segments, persist_path) = match &self.cache {
             None => (None, None, 0, None),
             Some(config) => {
                 let mut cache = LruCache::new(config.capacity);
                 if let Some(path) = &config.persist_path {
-                    match cache::load_persisted(
-                        path,
-                        self.screen.fingerprint(),
-                        config.prefix_segments,
-                    ) {
+                    match cache::load_persisted(path, &cache_fingerprint, config.prefix_segments) {
                         CacheLoad::Missing => {}
                         CacheLoad::Rejected => stats.cache_load_rejected = 1,
                         CacheLoad::Loaded(entries) => {
@@ -1495,9 +1600,10 @@ impl ServerBuilder {
             }
         };
         let shards = self.escalate.len();
+        let int8_screen = self.quantized.is_some();
         let obs = self
             .registry
-            .map(|registry| ServeObs::attach(registry, shards));
+            .map(|registry| ServeObs::attach(registry, shards, int8_screen));
         let latency_budget_ns =
             u64::try_from(self.policy.latency_budget.as_nanos()).unwrap_or(u64::MAX);
         let (snapshot_path, snapshot_interval) = match self.snapshot {
@@ -1514,6 +1620,7 @@ impl ServerBuilder {
             not_full: Condvar::new(),
             monitor_wake: Condvar::new(),
             screen: self.screen,
+            quantized: self.quantized,
             escalate: self.escalate,
             owner_of,
             band: self.band,
@@ -1523,6 +1630,7 @@ impl ServerBuilder {
             cache,
             input_keys,
             cache_seed,
+            cache_fingerprint,
             prefix_segments,
             persist_path,
             stats: Mutex::new(stats),
@@ -1735,6 +1843,254 @@ mod tests {
         assert_eq!(stats.cache_hits + stats.cache_misses, 0);
         assert!(stats.batches > 0);
         assert!(stats.p99_latency_ms >= stats.p50_latency_ms);
+    }
+
+    #[test]
+    fn quantized_screen_serves_bit_identical_int8_verdicts() {
+        let fx = fixture(2);
+        let screen = Arc::new(
+            engine(&fx, variants::fw_ab(&fx.network, 0.3).unwrap())
+                .quantized(&fx.benign)
+                .build()
+                .unwrap(),
+        );
+        let qnet = screen.quantized_network().unwrap().clone();
+        let server = Server::builder(screen.clone())
+            .quantized_screen(qnet)
+            .workers(2)
+            .start()
+            .unwrap();
+
+        let inputs: Vec<Tensor> = fx.benign.iter().chain(&fx.adversarial).cloned().collect();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for (input, ticket) in inputs.iter().zip(tickets) {
+            let served = ticket.wait().unwrap();
+            assert!(!served.cache_hit);
+            // No escalation tier: every verdict is the direct int8 one,
+            // bit for bit (the int8 pass is exactly deterministic).
+            assert_eq!(served.tier, Tier::Screen);
+            let direct = screen.detect_quantized(input).unwrap();
+            assert_eq!(served.detection, direct);
+            assert_eq!(served.detection.score.to_bits(), direct.score.to_bits());
+            assert_eq!(
+                served.detection.similarity.to_bits(),
+                direct.similarity.to_bits()
+            );
+        }
+
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, inputs.len() as u64);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.screen_served, inputs.len() as u64);
+        // Every freshly-screened request went through the int8 path.
+        assert_eq!(stats.int8_screens, inputs.len() as u64);
+    }
+
+    #[test]
+    fn quantized_screen_escalations_rescore_in_f32() {
+        let fx = fixture(2);
+        let screen = Arc::new(
+            engine(&fx, variants::fw_ab(&fx.network, 0.3).unwrap())
+                .quantized(&fx.benign)
+                .build()
+                .unwrap(),
+        );
+        let expensive = Arc::new(
+            engine(&fx, variants::bw_cu(&fx.network, 0.5).unwrap())
+                .build()
+                .unwrap(),
+        );
+        let qnet = screen.quantized_network().unwrap().clone();
+        let server = Server::builder(screen.clone())
+            .quantized_screen(qnet)
+            .escalate(expensive.clone(), 0.25, 0.75)
+            .workers(2)
+            .start()
+            .unwrap();
+
+        let inputs: Vec<Tensor> = fx.benign.iter().chain(&fx.adversarial).cloned().collect();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        let mut escalated = 0u64;
+        for (input, ticket) in inputs.iter().zip(tickets) {
+            let served = ticket.wait().unwrap();
+            // Routing is decided by the *int8* screen score; escalated
+            // requests are re-scored by the f32 tier-2 engine.
+            let screen_score = screen.detect_quantized(input).unwrap().score;
+            let expected_tier = if (0.25..=0.75).contains(&screen_score) {
+                Tier::Escalated
+            } else {
+                Tier::Screen
+            };
+            assert_eq!(served.tier, expected_tier);
+            let direct = match served.tier {
+                Tier::Screen => screen.detect_quantized(input).unwrap(),
+                Tier::Escalated => {
+                    escalated += 1;
+                    expensive.detect(input).unwrap()
+                }
+            };
+            assert_eq!(served.detection.score.to_bits(), direct.score.to_bits());
+        }
+
+        let stats = server.shutdown();
+        assert_eq!(stats.escalated, escalated);
+        // int8_screens counts every freshly-screened request, whether it was
+        // then screen-served or escalated.
+        assert_eq!(stats.int8_screens, inputs.len() as u64);
+        assert_eq!(stats.screen_served + stats.escalated, inputs.len() as u64);
+    }
+
+    #[test]
+    fn quantized_screen_calibrated_elsewhere_is_rejected() {
+        let fx = fixture(2);
+        let (screen, _) = tiered(&fx);
+        // Same architecture, same calibration recipe — but a different
+        // network *instance*, so its quantized weights describe a network
+        // this screen engine does not serve.
+        let foreign = fixture(2);
+        let qnet = ptolemy_nn::QuantizedNetwork::quantize(foreign.network.clone(), &foreign.benign)
+            .unwrap();
+        let err = Server::builder(screen.clone())
+            .quantized_screen(qnet)
+            .start()
+            .unwrap_err();
+        match err {
+            ServeError::TierMismatch {
+                screen: s,
+                escalate,
+                reason,
+            } => {
+                assert_eq!(s, screen.fingerprint());
+                assert_eq!(escalate, "int8 quantized screen");
+                assert!(reason.contains("different network instance"), "{reason}");
+            }
+            other => panic!("expected TierMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn int8_and_f32_verdict_caches_never_alias() {
+        let path = std::env::temp_dir().join(format!(
+            "ptolemy-serve-int8-cache-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let fx = fixture(2);
+        let screen = Arc::new(
+            engine(&fx, variants::fw_ab(&fx.network, 0.3).unwrap())
+                .quantized(&fx.benign)
+                .build()
+                .unwrap(),
+        );
+        let config = CacheConfig {
+            capacity: 64,
+            prefix_segments: usize::MAX,
+            persist_path: Some(path.clone()),
+        };
+
+        // Populate and flush a cache under the int8 screen.
+        let server = Server::builder(screen.clone())
+            .quantized_screen(screen.quantized_network().unwrap().clone())
+            .workers(1)
+            .cache(config.clone())
+            .start()
+            .unwrap();
+        let first = server.submit(fx.benign[0].clone()).unwrap().wait().unwrap();
+        assert!(!first.cache_hit);
+        let stats = server.shutdown();
+        assert!(stats.cache_entries_persisted >= 1);
+
+        // Back in int8 mode the file replays bit for bit.
+        let server = Server::builder(screen.clone())
+            .quantized_screen(screen.quantized_network().unwrap().clone())
+            .workers(1)
+            .cache(config.clone())
+            .start()
+            .unwrap();
+        assert!(server.stats().cache_entries_loaded >= 1);
+        let replayed = server.submit(fx.benign[0].clone()).unwrap().wait().unwrap();
+        assert!(replayed.cache_hit);
+        assert_eq!(
+            replayed.detection.score.to_bits(),
+            first.detection.score.to_bits()
+        );
+        drop(server);
+
+        // The *same* engine in f32 mode must reject the int8-fingerprinted
+        // file: an int8 verdict may disagree with the f32 one for the same
+        // input, so replaying it would silently cross tiers.  (Checked last —
+        // every shutdown re-persists under its own fingerprint.)
+        let server = Server::builder(screen.clone())
+            .workers(1)
+            .cache(config)
+            .start()
+            .unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.cache_load_rejected, 1);
+        assert_eq!(stats.cache_entries_loaded, 0);
+        drop(server);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adaptive_cap_shrinks_to_fit_escalation_shards() {
+        use crate::batch::{adaptive_cap, adaptive_cap_tiered};
+
+        let fx = fixture(2);
+        let (screen, expensive) = tiered(&fx);
+        let ops_per_input = |engine: &DetectionEngine| {
+            let report = engine.estimate_batch(1, 1.0).unwrap().software.unwrap();
+            report.inference_macs
+                + report.sort_elements
+                + report.compare_ops
+                + report.accumulate_ops
+        };
+        let screen_ops = ops_per_input(&screen);
+        let expensive_ops = ops_per_input(&expensive);
+        assert!(
+            expensive_ops > screen_ops,
+            "fixture premise: tier-2 ({expensive_ops} ops) must out-cost tier-1 ({screen_ops})"
+        );
+
+        // Tune the policy so the screen alone would allow 8 inputs per batch.
+        let policy = BatchPolicy {
+            max_batch: 32,
+            target_batch_latency_ms: 8.0,
+            software_ops_per_ms: screen_ops as f64,
+            ..BatchPolicy::default()
+        };
+        let screen_cap = adaptive_cap(&screen, &policy, 1.0);
+        assert_eq!(screen_cap, 8);
+        let shard_cap = adaptive_cap(&expensive, &policy, 1.0);
+        let tiered_cap =
+            adaptive_cap_tiered(&screen, std::slice::from_ref(&expensive), &policy, 1.0);
+        // The batch must also fit the worst case — the whole batch escalating
+        // to the expensive shard — so the tiered cap is the minimum.
+        assert_eq!(tiered_cap, screen_cap.min(shard_cap));
+        assert!(tiered_cap < screen_cap, "{tiered_cap} vs {screen_cap}");
+        // Without shards the tiered cap degenerates to the screen-only cap.
+        assert_eq!(adaptive_cap_tiered(&screen, &[], &policy, 1.0), screen_cap);
+
+        // And the running server applies the shard-aware cap (computed at its
+        // current density estimate, which starts at 0.0 before any batch).
+        let server = Server::builder(screen.clone())
+            .escalate(expensive, 0.25, 0.75)
+            .batch_policy(policy)
+            .workers(1)
+            .start()
+            .unwrap();
+        let at_density = server.shared.density_ema();
+        assert_eq!(
+            server.shared.current_cap(),
+            adaptive_cap_tiered(&screen, &server.shared.escalate, &policy, at_density)
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct ServeStats {
     pub worker_panics: u64,
     /// Requests answered by the tier-1 screening engine alone.
     pub screen_served: u64,
+    /// Requests whose tier-1 screening pass ran the **int8 quantized** path
+    /// ([`crate::ServerBuilder::quantized_screen`]), whether they were then
+    /// screen-served or escalated.  0 in f32 screening mode; equal to the
+    /// number of freshly-screened requests (cache hits skip screening) when
+    /// the quantized screen is on.
+    pub int8_screens: u64,
     /// Requests whose screening score fell in the uncertainty band and were
     /// re-scored by a tier-2 escalation engine (summed over all shards).
     pub escalated: u64,
@@ -109,6 +115,7 @@ pub(crate) struct StatsInner {
     pub failed: u64,
     pub worker_panics: u64,
     pub screen_served: u64,
+    pub int8_screens: u64,
     pub escalated: u64,
     pub shard_escalations: Vec<u64>,
     pub pipelined_batches: u64,
@@ -156,6 +163,7 @@ impl StatsInner {
             failed: self.failed,
             worker_panics: self.worker_panics,
             screen_served: self.screen_served,
+            int8_screens: self.int8_screens,
             escalated: self.escalated,
             shard_escalations: self.shard_escalations.clone(),
             pipelined_batches: self.pipelined_batches,

@@ -1,0 +1,195 @@
+//! Fused int8 `im2col`: lowers convolution inputs straight into quantized
+//! patch matrices, skipping the f32 column intermediate entirely.
+//!
+//! The f32 quantized-conv path materialised `im2col(input)` (a `[patch_len,
+//! patches]` f32 tensor) and then quantized it element-wise.  These kernels
+//! fuse the two: each in-bounds patch element is quantized as it is packed,
+//! and padding positions are left at the quantized zero (`quantize(0.0)` is
+//! exactly `0` for every scale).  The output is therefore **bit-for-bit**
+//! `quantize_slice(im2col(input), params)` — same values, same column layout
+//! — at a quarter of the write traffic and without the f32 allocation.
+//!
+//! This module is the second place (after [`crate::quant`]) allowed to
+//! perform the lossy `as i8` saturating cast: the fused pack inlines the
+//! exact [`QuantParams::quantize`] expression so the hot loop stays free of
+//! any round-trip through a staging buffer.  The inline copy is pinned
+//! bit-identical to [`QuantParams::quantize`] by the tests below.
+
+use crate::im2col::Conv2dGeometry;
+use crate::quant::QuantParams;
+use crate::{Result, Tensor, TensorError};
+
+/// The audited quantization step, inlined from [`QuantParams::quantize`]:
+/// round-to-nearest (ties away from zero) then saturate to `[-127, 127]`.
+/// Must stay expression-for-expression identical to the `quant` module's —
+/// `inline_quantize_matches_quant_params` pins it.
+#[inline(always)]
+fn quantize(scale: f32, x: f32) -> i8 {
+    // lint:allow(raw-numeric-cast): the audited saturating quantization cast
+    (x / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Lowers one CHW image into a quantized patch matrix of `[patch_len,
+/// out_h * out_w]` layout (returned as a flat `Vec<i8>`).
+///
+/// Column `j` is the receptive field of output position `(j / out_w,
+/// j % out_w)`, quantized with `params`; padding reads quantized zeros.  The
+/// result is bit-for-bit `quantize_slice(im2col(image, geom), params)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] if `image` does not have
+/// `in_channels * in_h * in_w` elements (same contract as [`crate::im2col`]).
+pub fn im2col_i8(image: &Tensor, geom: &Conv2dGeometry, params: QuantParams) -> Result<Vec<i8>> {
+    let expected = geom.in_channels * geom.in_h * geom.in_w;
+    if image.len() != expected {
+        return Err(TensorError::IncompatibleShapes {
+            lhs: image.dims().to_vec(),
+            rhs: vec![geom.in_channels, geom.in_h, geom.in_w],
+            op: "im2col_i8",
+        });
+    }
+    let src = image.as_slice();
+    let scale = params.scale();
+    let rows = geom.patch_len();
+    let cols = geom.num_patches();
+    let mut out = vec![0i8; rows * cols];
+    for oy in 0..geom.out_h {
+        for ox in 0..geom.out_w {
+            let col = oy * geom.out_w + ox;
+            for p in 0..rows {
+                if let Some((c, y, x)) = geom.patch_source(oy, ox, p) {
+                    out[p * cols + col] = quantize(scale, src[geom.input_index(c, y, x)]);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lowers a stacked NCHW batch into one quantized patch matrix of
+/// `[patch_len, batch * out_h * out_w]` layout (flat `Vec<i8>`).
+///
+/// Column `b * num_patches + j` is bit-for-bit column `j` of [`im2col_i8`]
+/// applied to sample `b` alone — the same widening-only batch contract as
+/// the f32 [`crate::im2col_batch`], so the fused quantized conv preserves
+/// per-input results exactly.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] if `batch` is empty or its
+/// element count is not a multiple of `in_channels * in_h * in_w`.
+pub fn im2col_i8_batch(
+    batch: &Tensor,
+    geom: &Conv2dGeometry,
+    params: QuantParams,
+) -> Result<Vec<i8>> {
+    let sample_len = geom.in_channels * geom.in_h * geom.in_w;
+    if sample_len == 0 || batch.is_empty() || batch.len() % sample_len != 0 {
+        return Err(TensorError::IncompatibleShapes {
+            lhs: batch.dims().to_vec(),
+            rhs: vec![geom.in_channels, geom.in_h, geom.in_w],
+            op: "im2col_i8_batch",
+        });
+    }
+    let batch_size = batch.len() / sample_len;
+    let src = batch.as_slice();
+    let scale = params.scale();
+    let rows = geom.patch_len();
+    let patches = geom.num_patches();
+    let cols = batch_size * patches;
+    let mut out = vec![0i8; rows * cols];
+    for b in 0..batch_size {
+        let sample = &src[b * sample_len..(b + 1) * sample_len];
+        for oy in 0..geom.out_h {
+            for ox in 0..geom.out_w {
+                let col = b * patches + oy * geom.out_w + ox;
+                for p in 0..rows {
+                    if let Some((c, y, x)) = geom.patch_source(oy, ox, p) {
+                        out[p * cols + col] = quantize(scale, sample[geom.input_index(c, y, x)]);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::quantize_slice;
+    use crate::{im2col, Rng64};
+
+    #[test]
+    fn inline_quantize_matches_quant_params() {
+        for max_abs in [0.5f32, 1.0, 3.7, 100.0] {
+            let params = QuantParams::from_max_abs(max_abs);
+            for i in -500..=500 {
+                let x = i as f32 * max_abs / 400.0;
+                assert_eq!(quantize(params.scale(), x), params.quantize(x), "{x}");
+            }
+            assert_eq!(
+                quantize(params.scale(), f32::NAN),
+                params.quantize(f32::NAN)
+            );
+        }
+    }
+
+    fn random_image(dims: &[usize], rng: &mut Rng64) -> Tensor {
+        let len: usize = dims.iter().product();
+        let data: Vec<f32> = (0..len)
+            .map(|i| if i % 7 == 0 { 0.0 } else { rng.normal() })
+            .collect();
+        Tensor::from_vec(data, dims).unwrap()
+    }
+
+    #[test]
+    fn fused_matches_quantize_after_im2col() {
+        let mut rng = Rng64::new(29);
+        for (geom, dims) in [
+            (Conv2dGeometry::new(1, 3, 3, 2, 1, 0).unwrap(), [1, 3, 3]),
+            (Conv2dGeometry::new(2, 4, 4, 3, 1, 1).unwrap(), [2, 4, 4]),
+            (Conv2dGeometry::new(3, 5, 5, 3, 2, 1).unwrap(), [3, 5, 5]),
+        ] {
+            let img = random_image(&dims, &mut rng);
+            let params = QuantParams::from_max_abs(crate::quant::tensor_max_abs(&img));
+            let fused = im2col_i8(&img, &geom, params).unwrap();
+            let staged = quantize_slice(im2col(&img, &geom).unwrap().as_slice(), params);
+            assert_eq!(fused, staged);
+        }
+    }
+
+    #[test]
+    fn batch_columns_match_per_sample_fused() {
+        let mut rng = Rng64::new(31);
+        let geom = Conv2dGeometry::new(2, 4, 4, 3, 1, 1).unwrap();
+        let samples: Vec<Tensor> = (0..3).map(|_| random_image(&[2, 4, 4], &mut rng)).collect();
+        let batch = Tensor::stack(&samples).unwrap();
+        let params = QuantParams::from_max_abs(1.3);
+        let wide = im2col_i8_batch(&batch, &geom, params).unwrap();
+        let patches = geom.num_patches();
+        let cols = samples.len() * patches;
+        for (b, sample) in samples.iter().enumerate() {
+            let single = im2col_i8(sample, &geom, params).unwrap();
+            for p in 0..geom.patch_len() {
+                for j in 0..patches {
+                    assert_eq!(
+                        wide[p * cols + b * patches + j],
+                        single[p * patches + j],
+                        "({b},{p},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_misshaped_inputs() {
+        let geom = Conv2dGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
+        let params = QuantParams::from_max_abs(1.0);
+        assert!(im2col_i8(&Tensor::zeros(&[1, 2, 2]), &geom, params).is_err());
+        assert!(im2col_i8_batch(&Tensor::zeros(&[10]), &geom, params).is_err());
+        assert!(im2col_i8_batch(&Tensor::zeros(&[0]), &geom, params).is_err());
+    }
+}

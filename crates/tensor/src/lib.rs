@@ -32,7 +32,9 @@
 
 mod error;
 pub mod gemm;
+pub mod gemm_i8;
 mod im2col;
+mod im2col_i8;
 mod init;
 mod ops;
 pub mod parallel;
@@ -42,7 +44,9 @@ mod tensor;
 
 pub use error::TensorError;
 pub use gemm::{gemm_nt_into, matmul_blocked, matmul_parallel};
+pub use gemm_i8::{matmul_i8_blocked, matmul_i8_blocked_nt, matmul_i8_parallel};
 pub use im2col::{col2im, im2col, im2col_batch, Conv2dGeometry};
+pub use im2col_i8::{im2col_i8, im2col_i8_batch};
 pub use init::{Initializer, Rng64};
 pub use parallel::{available_parallelism, par_row_chunks};
 pub use quant::{max_abs, quantize_slice, QuantParams};

@@ -34,9 +34,13 @@ pub fn available_parallelism() -> usize {
 /// to a serial pass — threading partitions the output, never a reduction.
 /// Falls back to one serial call when only one core is available (or the work
 /// is a single row).
-pub fn par_row_chunks<F>(out: &mut [f32], rows: usize, row_len: usize, f: F)
+///
+/// Generic over the element type so the f32 kernels (`&mut [f32]`) and the
+/// int8 GEMM's i32 accumulator buffers (`&mut [i32]`) share one partitioner.
+pub fn par_row_chunks<T, F>(out: &mut [T], rows: usize, row_len: usize, f: F)
 where
-    F: Fn(usize, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     debug_assert_eq!(out.len(), rows * row_len);
     let threads = available_parallelism().min(rows);

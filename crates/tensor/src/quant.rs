@@ -83,7 +83,7 @@ pub fn dequantize_slice(values: &[i8], params: QuantParams) -> Vec<f32> {
     values.iter().map(|q| params.dequantize(*q)).collect()
 }
 
-fn check_i8_dims(
+pub(crate) fn check_i8_dims(
     a_len: usize,
     b_len: usize,
     a_dims: [usize; 2],

@@ -9,9 +9,11 @@
 //! skinny row/column-vector products.
 
 use proptest::prelude::*;
+use ptolemy_tensor::gemm_i8::matmul_i8_parallel_nt;
 use ptolemy_tensor::quant::{dequantize_slice, matmul_i8, matmul_i8_nt};
 use ptolemy_tensor::{
-    gemm_nt_into, matmul_blocked, matmul_parallel, quantize_slice, QuantParams, Rng64, Tensor,
+    gemm_nt_into, matmul_blocked, matmul_i8_blocked, matmul_i8_blocked_nt, matmul_i8_parallel,
+    matmul_parallel, quantize_slice, QuantParams, Rng64, Tensor,
 };
 
 /// Random `[rows, cols]` tensor with zeros sprinkled in so the sparsity-skip
@@ -28,6 +30,27 @@ fn random_matrix(rows: usize, cols: usize, seed: u64, zero_every: usize) -> Tens
         })
         .collect();
     Tensor::from_vec(data, &[rows, cols]).unwrap()
+}
+
+/// Random i8 operand mixing ordinary codes with sprinkled zeros (the naive
+/// kernel's sparsity-skip branch) and `i8::MIN`/`i8::MAX` extremes, so the
+/// parity suite covers the saturation corners the quantizer itself never
+/// emits (codes are clamped to ±127, but raw GEMM operands are not).
+fn random_i8(len: usize, seed: u64, zero_every: usize) -> Vec<i8> {
+    let mut rng = Rng64::new(seed);
+    (0..len)
+        .map(|i| {
+            if zero_every > 0 && i % zero_every == 0 {
+                0
+            } else if i % 13 == 4 {
+                i8::MIN
+            } else if i % 17 == 9 {
+                i8::MAX
+            } else {
+                rng.uniform(-127.0, 127.0) as i32 as i8
+            }
+        })
+        .collect()
 }
 
 fn assert_bits_equal(
@@ -137,6 +160,38 @@ proptest! {
         }
     }
 
+    /// The blocked i8 kernel and both parallel wrappers are **bit-for-bit**
+    /// the naive `matmul_i8` — i32 accumulation is exact, so any disagreement
+    /// is an indexing bug, not rounding.  Operands mix sparsity (the naive
+    /// kernel's zero-skip branch) with `i8::MIN`/`i8::MAX` extremes, and the
+    /// shape ranges straddle the small-product threshold below which the
+    /// blocked entry points delegate back to the naive loop.
+    #[test]
+    fn blocked_i8_matches_naive_bit_for_bit(
+        m in 1usize..24,
+        k in 1usize..48,
+        n in 1usize..24,
+        seed in any::<u64>(),
+        zero_every in 0usize..5,
+    ) {
+        let a = random_i8(m * k, seed, zero_every);
+        let b = random_i8(k * n, seed.wrapping_add(1), 0);
+        let naive = matmul_i8(&a, &b, m, k, n).unwrap();
+        prop_assert_eq!(&matmul_i8_blocked(&a, &b, m, k, n).unwrap(), &naive);
+        prop_assert_eq!(&matmul_i8_parallel(&a, &b, m, k, n).unwrap(), &naive);
+
+        // The transposed-B entry points, against the same logical operands.
+        let mut bt = vec![0i8; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        prop_assert_eq!(&matmul_i8_nt(&a, &bt, m, k, n).unwrap(), &naive);
+        prop_assert_eq!(&matmul_i8_blocked_nt(&a, &bt, m, k, n).unwrap(), &naive);
+        prop_assert_eq!(&matmul_i8_parallel_nt(&a, &bt, m, k, n).unwrap(), &naive);
+    }
+
     /// The integer GEMMs agree with an exact i32 reference (and with each
     /// other through a transpose).
     #[test]
@@ -168,6 +223,23 @@ proptest! {
             }
         }
     }
+}
+
+/// A shape well past the small-product threshold, saturated with `i8::MIN`
+/// everywhere: the worst-case accumulation ((-128)² per k-step) must flow
+/// through the blocked kernel's register tiles bit-identically to the naive
+/// loop — and exercise the K-reordering freedom integer accumulation grants.
+#[test]
+fn blocked_i8_large_shape_with_min_saturation_matches_naive() {
+    let (m, k, n) = (33, 70, 29); // 66 990 iops: the blocked path proper
+    let a = vec![i8::MIN; m * k];
+    let b = vec![i8::MIN; k * n];
+    let naive = matmul_i8(&a, &b, m, k, n).unwrap();
+    assert!(naive.iter().all(|&v| v == 128 * 128 * k as i32));
+    assert_eq!(matmul_i8_blocked(&a, &b, m, k, n).unwrap(), naive);
+    assert_eq!(matmul_i8_blocked_nt(&a, &b, m, k, n).unwrap(), naive);
+    assert_eq!(matmul_i8_parallel(&a, &b, m, k, n).unwrap(), naive);
+    assert_eq!(matmul_i8_parallel_nt(&a, &b, m, k, n).unwrap(), naive);
 }
 
 /// Non-finite values in B make the sparsity skip *observable* (0.0 · inf is
