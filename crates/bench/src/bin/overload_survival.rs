@@ -1,0 +1,10 @@
+//! Runs the beyond-paper overload-survival experiment (goodput vs offered
+//! load under deadlines, admission control and mixed-criticality
+//! degradation; inertness and degraded-parity hard gates).
+//!
+//! Run with `cargo run --release -p ptolemy-bench --bin overload_survival`;
+//! set `PTOLEMY_BENCH_SCALE=full` for the larger configuration.
+
+fn main() {
+    ptolemy_bench::run_binary("overload_survival");
+}

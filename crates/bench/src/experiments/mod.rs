@@ -27,6 +27,7 @@
 //! | [`gemm_microkernel`] | beyond the paper — blocked GEMM microkernel vs the naive loop |
 //! | [`quantized_detect`] | beyond the paper — int8 quantized detection vs the f32 pipeline |
 //! | [`quantized_serve`] | beyond the paper — f32 screen vs int8 screen in the two-tier server |
+//! | [`overload_survival`] | beyond the paper — goodput under overload with deadlines, admission and degradation |
 
 pub mod batch_fusion;
 pub mod extraction_overlap;
@@ -42,6 +43,7 @@ pub mod fig17_late_start;
 pub mod fig18_hw_sensitivity;
 pub mod gemm_microkernel;
 pub mod obs_overhead;
+pub mod overload_survival;
 pub mod quantized_detect;
 pub mod quantized_serve;
 pub mod sec3b_cost_analysis;
@@ -201,6 +203,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artifact: "beyond paper: int8 quantized serving tier",
             run: quantized_serve::run,
         },
+        Experiment {
+            id: "overload_survival",
+            paper_artifact: "beyond paper: overload survival under realistic traffic",
+            run: overload_survival::run,
+        },
     ]
 }
 
@@ -211,11 +218,11 @@ mod tests {
     #[test]
     fn registry_covers_every_paper_artifact_once() {
         let experiments = all();
-        assert_eq!(experiments.len(), 23);
+        assert_eq!(experiments.len(), 24);
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 23, "duplicate experiment ids");
+        assert_eq!(ids.len(), 24, "duplicate experiment ids");
         assert!(experiments.iter().all(|e| !e.paper_artifact.is_empty()));
     }
 }

@@ -35,10 +35,12 @@
 mod dataset;
 mod error;
 mod traffic;
+pub mod workload;
 
 pub use dataset::{DatasetConfig, SyntheticDataset};
 pub use error::DataError;
 pub use traffic::{traffic_signs, TRAFFIC_CLASSES};
+pub use workload::{Arrivals, RequestEvent, WorkloadSpec, WorkloadTrace};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, DataError>;

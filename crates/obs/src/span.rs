@@ -37,6 +37,15 @@ pub enum Stage {
     /// Time an escalation spent executing overlapped with the next batch's
     /// screen (the cross-batch pipeline).
     Overlap,
+    /// Deadline-expired requests being dropped (shed) from a formed batch
+    /// before any inference ran on them — the admission-control companion
+    /// stage: work the server refused to waste compute on.
+    Shed,
+    /// The routing phase of a batch served in **degraded** (screen-tier-only)
+    /// mode: in-band requests that would have escalated were answered by the
+    /// screening verdict because the server was shedding tier-2 work under
+    /// overload.
+    Degraded,
 }
 
 impl Stage {
@@ -51,6 +60,8 @@ impl Stage {
             Stage::ScreenInt8 => "screen_int8".into(),
             Stage::Escalate(shard) => format!("escalate[{shard}]"),
             Stage::Overlap => "overlap".into(),
+            Stage::Shed => "shed".into(),
+            Stage::Degraded => "degraded".into(),
         }
     }
 }
@@ -206,6 +217,8 @@ mod tests {
         assert_eq!(Stage::ScreenInt8.label(), "screen_int8");
         assert_eq!(Stage::Escalate(3).label(), "escalate[3]");
         assert_eq!(Stage::Overlap.label(), "overlap");
+        assert_eq!(Stage::Shed.label(), "shed");
+        assert_eq!(Stage::Degraded.label(), "degraded");
     }
 
     #[test]

@@ -2,6 +2,34 @@ use std::fmt;
 
 use ptolemy_core::CoreError;
 
+/// Why the server shed a request instead of serving it
+/// ([`ServeError::Shed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Admission control ([`crate::AdmissionPolicy`]) predicted the deadline
+    /// could not be met at the current queue depth, so the request was
+    /// rejected at submission — before consuming a queue slot.
+    Admission,
+    /// The deadline expired while the request waited in the queue; the worker
+    /// dropped it at batch formation instead of wasting inference on an
+    /// answer nobody can use.
+    DeadlineExpired,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::Admission => write!(
+                f,
+                "admission control predicted the deadline cannot be met at the current load"
+            ),
+            ShedReason::DeadlineExpired => {
+                write!(f, "the deadline expired while the request was queued")
+            }
+        }
+    }
+}
+
 /// Error type of the serving runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
@@ -24,6 +52,12 @@ pub enum ServeError {
     InvalidConfig(String),
     /// The bounded submission queue is full ([`crate::Server::try_submit`]).
     QueueFull,
+    /// The request was shed by overload protection instead of served: either
+    /// rejected at submission by admission control or dropped in the queue
+    /// when its deadline expired (see [`ShedReason`]).  Counted in
+    /// [`crate::ServeStats::shed_admission`] /
+    /// [`crate::ServeStats::shed_expired`].
+    Shed(ShedReason),
     /// The server no longer accepts submissions.
     ShuttingDown,
     /// The request was abandoned without a verdict (a worker panicked while
@@ -46,6 +80,7 @@ impl fmt::Display for ServeError {
             ),
             ServeError::InvalidConfig(msg) => write!(f, "invalid server configuration: {msg}"),
             ServeError::QueueFull => write!(f, "submission queue is full"),
+            ServeError::Shed(reason) => write!(f, "request shed: {reason}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Canceled(reason) => write!(f, "request canceled: {reason}"),
             ServeError::Engine(e) => write!(f, "engine error while serving: {e}"),
@@ -85,6 +120,12 @@ mod tests {
         assert!(e.to_string().contains("fw|ab0.05"));
         assert!(e.to_string().contains("class counts differ"));
         assert!(ServeError::QueueFull.to_string().contains("full"));
+        assert!(ServeError::Shed(ShedReason::Admission)
+            .to_string()
+            .contains("admission"));
+        assert!(ServeError::Shed(ShedReason::DeadlineExpired)
+            .to_string()
+            .contains("deadline expired"));
         assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
         assert!(ServeError::Canceled("worker panicked".into())
             .to_string()

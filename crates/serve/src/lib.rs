@@ -54,6 +54,17 @@
 //!   shutdown, reloaded on start, and keyed on the engine fingerprint so a
 //!   file written by a different engine is ignored (with a counter) instead of
 //!   replayed.  Hit/miss and persistence counters land in [`ServeStats`].
+//! * **Overload survival** ([`AdmissionPolicy`], [`DegradePolicy`]) —
+//!   [`Server::submit_with_deadline`] attaches a per-request deadline: the
+//!   queue drains earliest-deadline-first (FIFO among deadline-free traffic,
+//!   so plain `submit` ordering is untouched), admission control sheds
+//!   submissions whose deadline the current backlog already dooms
+//!   ([`ServeError::Shed`]), expired requests are dropped at batch formation
+//!   instead of wasting inference, and under sustained queue pressure the
+//!   server degrades to screen-tier-only verdicts (flagged via
+//!   [`Served::degraded`], auto-recovering on drain).  All of it is counted
+//!   in [`ServeStats`] and inert without deadlines and policies — the parity
+//!   tests pin bit-for-bit identical serving under zero overload.
 //!
 //! With the cache disabled, served verdicts are **bit-for-bit identical** to
 //! calling `detect` directly on whichever engine the router picked — the
@@ -101,6 +112,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod admission;
 mod batch;
 mod cache;
 mod error;
@@ -108,8 +120,9 @@ mod server;
 mod stats;
 mod sync;
 
+pub use admission::{AdmissionPolicy, DegradePolicy};
 pub use batch::BatchPolicy;
 pub use cache::{CacheConfig, LruCache};
-pub use error::{Result, ServeError};
+pub use error::{Result, ServeError, ShedReason};
 pub use server::{Served, Server, ServerBuilder, Ticket, Tier};
 pub use stats::ServeStats;

@@ -5,7 +5,7 @@
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::TrySendError;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -17,9 +17,10 @@ use ptolemy_obs::json::JsonValue;
 use ptolemy_obs::{Clock, HistogramHandle, Registry, Stage, Timeline};
 use ptolemy_tensor::Tensor;
 
+use crate::admission::{AdmissionPolicy, DegradePolicy};
 use crate::batch::{adaptive_cap_tiered, BatchPolicy};
 use crate::cache::{self, CacheConfig, CacheLoad, CachedVerdict, LruCache};
-use crate::error::{Result, ServeError};
+use crate::error::{Result, ServeError, ShedReason};
 use crate::stats::{ServeStats, StatsInner};
 use crate::sync::{self, lock};
 
@@ -44,6 +45,12 @@ pub struct Served {
     /// `true` if the verdict was resolved from the path-prefix cache instead of
     /// being re-scored.
     pub cache_hit: bool,
+    /// `true` if this in-band request would have escalated to tier 2 but was
+    /// answered by the screening verdict because the server was in degraded
+    /// (screen-tier-only) overload mode ([`crate::DegradePolicy`]).  Always
+    /// `false` without a degradation policy, for confident screen verdicts,
+    /// for escalated verdicts, and for cache hits.
+    pub degraded: bool,
 }
 
 #[derive(Debug)]
@@ -91,6 +98,18 @@ struct Request {
     slot: Arc<TicketSlot>,
     /// Enqueue time on the server's clock ([`Shared::now_ns`]).
     submitted_ns: u64,
+    /// Absolute completion deadline on the server's clock
+    /// ([`Server::submit_with_deadline`]); `None` for deadline-less
+    /// submissions, which sort after every deadline-carrying request.
+    deadline_ns: Option<u64>,
+}
+
+impl Request {
+    /// The EDF ordering key: the absolute deadline, with deadline-less
+    /// requests at `u64::MAX` (after everything that can miss).
+    fn edf_key(&self) -> u64 {
+        self.deadline_ns.unwrap_or(u64::MAX)
+    }
 }
 
 struct QueueState {
@@ -212,6 +231,28 @@ struct Shared {
     pipeline: bool,
     policy: BatchPolicy,
     queue_capacity: usize,
+    /// Worker-thread count, cached for the admission wait estimate.
+    workers: usize,
+    /// Deadline admission control ([`ServerBuilder::admission`]); `None`
+    /// admits everything.
+    admission: Option<AdmissionPolicy>,
+    /// Mixed-criticality degradation ([`ServerBuilder::degradation`]);
+    /// `None` never degrades.
+    degrade: Option<DegradePolicy>,
+    /// Queue depth at/above which the server enters degraded mode
+    /// (`usize::MAX` without a degradation policy).
+    degrade_enter_at: usize,
+    /// Queue depth at/below which a degraded server recovers.
+    degrade_exit_at: usize,
+    /// Whether the server is currently in degraded (screen-tier-only) mode.
+    /// Transitions happen under the state lock (`update_degrade`), so the
+    /// entered/exited counters pair exactly.
+    degraded: AtomicBool,
+    /// EMA of per-request service time (screen and escalation passes), the
+    /// denominator of the admission wait estimate.  0 = unseeded: admission
+    /// is inert until the first timed batch (and stays inert under manual
+    /// clocks, keeping deterministic tests deterministic).
+    service_ema_ns: AtomicU64,
     cache: Option<Mutex<LruCache<CachedVerdict>>>,
     /// Exact-duplicate fast path: maps an input fingerprint to the path-prefix
     /// key its screening extraction produced, so a byte-identical repeat skips
@@ -375,6 +416,8 @@ impl Server {
             workers: 2,
             queue_capacity: 256,
             policy: BatchPolicy::default(),
+            admission: None,
+            degrade: None,
             cache: None,
             pipeline: true,
             tiering_requested: false,
@@ -390,6 +433,54 @@ impl Server {
     ///
     /// Returns [`ServeError::ShuttingDown`] once shutdown has begun.
     pub fn submit(&self, input: Tensor) -> Result<Ticket> {
+        self.submit_opt(input, None)
+    }
+
+    /// Submits one input with a completion deadline, blocking while the
+    /// submission queue is full.  The deadline is measured from this call, so
+    /// time spent blocked on backpressure consumes budget.
+    ///
+    /// Deadline-carrying requests are queued in **earliest-deadline-first**
+    /// order (ahead of deadline-less requests, FIFO among equal deadlines);
+    /// a request whose deadline expires before a worker reaches it is
+    /// dropped at batch formation and its ticket resolves as
+    /// [`ServeError::Shed`].  Completions past the deadline still resolve
+    /// normally but count in [`ServeStats::deadline_misses`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] once shutdown has begun, and
+    /// [`ServeError::Shed`] when admission control
+    /// ([`ServerBuilder::admission`]) predicts the deadline cannot be met at
+    /// the current queue depth.
+    pub fn submit_with_deadline(&self, input: Tensor, deadline: Duration) -> Result<Ticket> {
+        self.submit_opt(input, Some(deadline))
+    }
+
+    /// Submits one input without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] if the queue is at capacity and
+    /// [`ServeError::ShuttingDown`] once shutdown has begun.
+    pub fn try_submit(&self, input: Tensor) -> Result<Ticket> {
+        self.try_submit_opt(input, None)
+    }
+
+    /// Submits one input with a completion deadline, without blocking — the
+    /// non-blocking sibling of [`Server::submit_with_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] if the queue is at capacity,
+    /// [`ServeError::ShuttingDown`] once shutdown has begun, and
+    /// [`ServeError::Shed`] when admission control predicts a miss.
+    pub fn try_submit_with_deadline(&self, input: Tensor, deadline: Duration) -> Result<Ticket> {
+        self.try_submit_opt(input, Some(deadline))
+    }
+
+    fn submit_opt(&self, input: Tensor, deadline: Option<Duration>) -> Result<Ticket> {
+        let deadline_ns = self.absolute_deadline(deadline);
         let mut state = lock(&self.shared.state);
         loop {
             if state.shutdown {
@@ -406,16 +497,11 @@ impl Server {
             woken.blocked_submitters -= 1;
             state = woken;
         }
-        Ok(self.enqueue(&mut state, input))
+        self.enqueue(&mut state, input, deadline_ns)
     }
 
-    /// Submits one input without blocking.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError::QueueFull`] if the queue is at capacity and
-    /// [`ServeError::ShuttingDown`] once shutdown has begun.
-    pub fn try_submit(&self, input: Tensor) -> Result<Ticket> {
+    fn try_submit_opt(&self, input: Tensor, deadline: Option<Duration>) -> Result<Ticket> {
+        let deadline_ns = self.absolute_deadline(deadline);
         let mut state = lock(&self.shared.state);
         if state.shutdown {
             return Err(ServeError::ShuttingDown);
@@ -423,22 +509,64 @@ impl Server {
         if state.queue.len() >= self.shared.queue_capacity {
             return Err(ServeError::QueueFull);
         }
-        Ok(self.enqueue(&mut state, input))
+        self.enqueue(&mut state, input, deadline_ns)
     }
 
-    fn enqueue(&self, state: &mut QueueState, input: Tensor) -> Ticket {
+    /// Converts a relative deadline into an absolute reading on the server's
+    /// clock, taken at submission-call time.
+    fn absolute_deadline(&self, deadline: Option<Duration>) -> Option<u64> {
+        deadline.map(|d| {
+            let budget_ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            self.shared.now_ns().saturating_add(budget_ns)
+        })
+    }
+
+    fn enqueue(
+        &self,
+        state: &mut QueueState,
+        input: Tensor,
+        deadline_ns: Option<u64>,
+    ) -> Result<Ticket> {
+        let now_ns = self.shared.now_ns();
+        // Admission control: estimate this request's completion time from the
+        // queue depth ahead of it and the per-request service EMA; shed it
+        // now (no ticket, no queue slot) if the deadline is predicted
+        // unmeetable.  Deadline-less submissions are never shed.
+        if let (Some(policy), Some(deadline)) = (&self.shared.admission, deadline_ns) {
+            let ema_ns = self.shared.service_ema_ns.load(Ordering::Relaxed);
+            if ema_ns > 0 {
+                let depth = state.queue.len() as u64 + 1;
+                let rounds = depth.div_ceil(self.shared.workers.max(1) as u64);
+                let estimate_ns = (ema_ns.saturating_mul(rounds) as f64 * policy.headroom) as u64;
+                if now_ns.saturating_add(estimate_ns) > deadline {
+                    lock(&self.shared.stats).shed_admission += 1;
+                    return Err(ServeError::Shed(ShedReason::Admission));
+                }
+            }
+        }
         let slot = Arc::new(TicketSlot {
             result: Mutex::new(None),
             ready: Condvar::new(),
         });
-        state.queue.push_back(Request {
+        let request = Request {
             input,
             slot: slot.clone(),
-            submitted_ns: self.shared.now_ns(),
-        });
+            submitted_ns: now_ns,
+            deadline_ns,
+        };
+        // EDF insertion: before every queued request with a strictly later
+        // deadline.  `partition_point` keeps FIFO order among equal keys, so
+        // deadline-less traffic (key u64::MAX throughout) preserves the exact
+        // historical FIFO behavior.
+        let key = request.edf_key();
+        let at = state
+            .queue
+            .partition_point(|queued| queued.edf_key() <= key);
+        state.queue.insert(at, request);
         lock(&self.shared.stats).submitted += 1;
+        update_degrade(&self.shared, state.queue.len());
         self.shared.not_empty.notify_one();
-        Ticket { slot }
+        Ok(Ticket { slot })
     }
 
     /// Number of requests currently queued (not yet picked up by a worker).
@@ -589,6 +717,30 @@ fn metrics_json_of(shared: &Shared) -> JsonValue {
             "cache_misses".into(),
             JsonValue::UInt(snapshot.cache_misses),
         ),
+        (
+            "shed_admission".into(),
+            JsonValue::UInt(snapshot.shed_admission),
+        ),
+        (
+            "shed_expired".into(),
+            JsonValue::UInt(snapshot.shed_expired),
+        ),
+        (
+            "deadline_misses".into(),
+            JsonValue::UInt(snapshot.deadline_misses),
+        ),
+        (
+            "degraded_served".into(),
+            JsonValue::UInt(snapshot.degraded_served),
+        ),
+        (
+            "degrade_entered".into(),
+            JsonValue::UInt(snapshot.degrade_entered),
+        ),
+        (
+            "degrade_exited".into(),
+            JsonValue::UInt(snapshot.degrade_exited),
+        ),
         ("batches".into(), JsonValue::UInt(snapshot.batches)),
         (
             "max_batch".into(),
@@ -601,6 +753,10 @@ fn metrics_json_of(shared: &Shared) -> JsonValue {
         (
             "p50_latency_us".into(),
             JsonValue::UInt((snapshot.p50_latency_ms * 1000.0).round() as u64),
+        ),
+        (
+            "p90_latency_us".into(),
+            JsonValue::UInt((snapshot.p90_latency_ms * 1000.0).round() as u64),
         ),
         (
             "p99_latency_us".into(),
@@ -668,6 +824,7 @@ fn worker_loop(shared: &Shared) {
                 requests: batch,
                 form_start_ns,
                 cut_ns,
+                degraded,
             } = formed;
             let batch_index;
             {
@@ -699,7 +856,7 @@ fn worker_loop(shared: &Shared) {
             });
             let slots: Vec<Arc<TicketSlot>> = batch.iter().map(|r| r.slot.clone()).collect();
             let screened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                screen_batch(shared, batch, timeline)
+                screen_batch(shared, batch, timeline, degraded)
             }));
             match screened {
                 Ok(Some(mut job)) => match &escalator {
@@ -741,6 +898,43 @@ fn worker_loop(shared: &Shared) {
     });
 }
 
+/// Flips the degradation flag against the watermark thresholds for `depth`
+/// queued requests, counting transitions.  Callers hold the state lock, which
+/// serialises transitions — the entered/exited counters pair exactly.
+fn update_degrade(shared: &Shared, depth: usize) {
+    if shared.degrade.is_none() {
+        return;
+    }
+    if depth >= shared.degrade_enter_at {
+        if !shared.degraded.swap(true, Ordering::Relaxed) {
+            lock(&shared.stats).degrade_entered += 1;
+        }
+    } else if depth <= shared.degrade_exit_at && shared.degraded.swap(false, Ordering::Relaxed) {
+        lock(&shared.stats).degrade_exited += 1;
+    }
+}
+
+/// Feeds the per-request service-time EMA behind the admission estimate with
+/// one timed pass over `requests` inputs.  Skipped without admission control,
+/// and a zero per-request cost (manual clocks) leaves the EMA unseeded — so
+/// admission stays inert in deterministic-clock tests.
+fn observe_service(shared: &Shared, elapsed_ns: u64, requests: usize) {
+    if shared.admission.is_none() || requests == 0 {
+        return;
+    }
+    let per_request_ns = elapsed_ns / requests as u64;
+    if per_request_ns == 0 {
+        return;
+    }
+    let current = shared.service_ema_ns.load(Ordering::Relaxed);
+    let next = if current == 0 {
+        per_request_ns
+    } else {
+        current.saturating_mul(3).saturating_add(per_request_ns) / 4
+    };
+    shared.service_ema_ns.store(next, Ordering::Relaxed);
+}
+
 /// Resolves every still-unresolved ticket in `slots` as canceled.
 fn cancel_unresolved(shared: &Shared, slots: &[Arc<TicketSlot>]) {
     for slot in slots {
@@ -776,6 +970,9 @@ struct FormedBatch {
     form_start_ns: u64,
     /// When the batch was cut.
     cut_ns: u64,
+    /// Whether degraded (screen-tier-only) mode was in effect at the cut —
+    /// the whole batch routes in the mode it was cut under.
+    degraded: bool,
 }
 
 /// Blocks until a batch can be cut (queue reached the adaptive cap, the oldest
@@ -812,6 +1009,11 @@ fn next_batch(shared: &Shared, cap: usize) -> Option<FormedBatch> {
             || waited_ns >= shared.latency_budget_ns
             || state.shutdown
         {
+            // The pre-drain depth decides the degradation transition (it is
+            // the pressure that triggered this cut); the batch then routes
+            // in whatever mode is in effect at the cut.
+            update_degrade(shared, state.queue.len());
+            let degraded = shared.degrade.is_some() && shared.degraded.load(Ordering::Relaxed);
             let n = state.queue.len().min(cap);
             let requests: Vec<Request> = state.queue.drain(..n).collect();
             shared.not_full.notify_all();
@@ -819,6 +1021,7 @@ fn next_batch(shared: &Shared, cap: usize) -> Option<FormedBatch> {
                 requests,
                 form_start_ns: form_start,
                 cut_ns: shared.now_ns(),
+                degraded,
             });
         }
         let remaining = Duration::from_nanos(shared.latency_budget_ns - waited_ns);
@@ -832,18 +1035,30 @@ fn next_batch(shared: &Shared, cap: usize) -> Option<FormedBatch> {
 struct InFlight {
     slot: Arc<TicketSlot>,
     submitted_ns: u64,
+    /// Absolute deadline carried from the [`Request`]; drives the expiry
+    /// drop at batch formation and the deadline-miss accounting at finish.
+    deadline_ns: Option<u64>,
     /// Exact-input cache key, computed in phase 1 while the input was at hand.
     input_key: Option<u64>,
 }
 
-/// Resolves one request: updates the completion counters and queue-to-result
-/// latency, then wakes the waiter.
+/// Resolves one request: updates the completion counters, queue-to-result
+/// latency and deadline-miss accounting, then wakes the waiter.
 fn finish(shared: &Shared, request: &InFlight, outcome: Result<Served>) {
-    let latency_ns = shared.now_ns().saturating_sub(request.submitted_ns);
+    let now_ns = shared.now_ns();
+    let latency_ns = now_ns.saturating_sub(request.submitted_ns);
     {
         let mut stats = lock(&shared.stats);
         match &outcome {
-            Ok(_) => stats.completed += 1,
+            Ok(_) => {
+                stats.completed += 1;
+                if request
+                    .deadline_ns
+                    .is_some_and(|deadline| now_ns > deadline)
+                {
+                    stats.deadline_misses += 1;
+                }
+            }
             Err(_) => stats.failed += 1,
         }
         stats.record_latency(latency_ns);
@@ -918,7 +1133,10 @@ fn run_escalations(shared: &Shared, job: EscalationJob) {
     let obs = shared.stage_obs();
     let overlap_start_ns = obs.map(|_| shared.now_ns());
     for group in groups {
-        let start_ns = obs.map(|_| shared.now_ns());
+        // Timed unconditionally: the admission EMA charges escalated requests
+        // their tier-2 cost whether or not a registry is attached.
+        let start_ns = shared.now_ns();
+        let group_len = group.requests.len();
         let engine = &shared.escalate[group.shard];
         let shard = group.shard;
         let verdicts = engine.detect_batch_with_paths(&group.inputs);
@@ -946,14 +1164,16 @@ fn run_escalations(shared: &Shared, job: EscalationJob) {
                             detection,
                             tier: Tier::Escalated,
                             cache_hit: false,
+                            degraded: false,
                         }),
                     );
                 }
                 Err(e) => finish(shared, &request, Err(e.into())),
             }
         }
-        if let (Some(obs), Some(start_ns)) = (obs, start_ns) {
-            let end_ns = shared.now_ns();
+        let end_ns = shared.now_ns();
+        observe_service(shared, end_ns.saturating_sub(start_ns), group_len);
+        if let Some(obs) = obs {
             obs.escalate_ns[shard].record(end_ns.saturating_sub(start_ns));
             if let Some(timeline) = &mut timeline {
                 timeline.record(Stage::Escalate(shard as u32), start_ns, end_ns);
@@ -1001,6 +1221,7 @@ fn screen_batch(
     shared: &Shared,
     batch: Vec<Request>,
     mut timeline: Option<Timeline>,
+    degraded: bool,
 ) -> Option<EscalationJob> {
     #[cfg(test)]
     maybe_inject_panic(&shared.fail_next_screen, "screening");
@@ -1011,14 +1232,17 @@ fn screen_batch(
             detection: cached.detection,
             tier: cached.tier,
             cache_hit: true,
+            degraded: false,
         }
     };
 
-    // Phase 1: exact-duplicate fast path.  Inputs that miss are *moved* (not
-    // cloned) into the fused-batch buffer.
+    // Phase 1: deadline-expiry drop, then the exact-duplicate fast path.
+    // Inputs that miss are *moved* (not cloned) into the fused-batch buffer.
+    let phase1_start_ns = shared.now_ns();
+    let mut expired = 0u64;
     let lookup_start_ns = obs
         .filter(|_| shared.cache.is_some())
-        .map(|_| shared.now_ns());
+        .map(|_| phase1_start_ns);
     let mut pending: Vec<InFlight> = Vec::with_capacity(batch.len());
     let mut inputs: Vec<Tensor> = Vec::with_capacity(batch.len());
     for request in batch {
@@ -1026,13 +1250,28 @@ fn screen_batch(
             input,
             slot,
             submitted_ns,
+            deadline_ns,
         } = request;
         let input_key = shared.cache.is_some().then(|| shared.input_key(&input));
         let in_flight = InFlight {
             slot,
             submitted_ns,
+            deadline_ns,
             input_key,
         };
+        // A request whose deadline already passed gets no inference: resolve
+        // it shed (the answer could help nobody) and spend the cycles on
+        // requests that can still make their deadlines.
+        if deadline_ns.is_some_and(|deadline| phase1_start_ns > deadline) {
+            expired += 1;
+            lock(&shared.stats).shed_expired += 1;
+            finish(
+                shared,
+                &in_flight,
+                Err(ServeError::Shed(ShedReason::DeadlineExpired)),
+            );
+            continue;
+        }
         if let (Some(cache), Some(input_keys), Some(key)) =
             (&shared.cache, &shared.input_keys, input_key)
         {
@@ -1045,6 +1284,11 @@ fn screen_batch(
         }
         pending.push(in_flight);
         inputs.push(input);
+    }
+    if expired > 0 {
+        if let Some(timeline) = &mut timeline {
+            timeline.record(Stage::Shed, phase1_start_ns, shared.now_ns());
+        }
     }
     if let (Some(obs), Some(start_ns)) = (obs, lookup_start_ns) {
         let end_ns = shared.now_ns();
@@ -1062,7 +1306,9 @@ fn screen_batch(
 
     // Phase 2: one fused screening trace over everything the fast path missed
     // — the int8 quantized pass when the builder enabled it, f32 otherwise.
-    let screen_start_ns = obs.map(|_| shared.now_ns());
+    // Timed unconditionally: the admission EMA needs the per-request cost
+    // whether or not a registry is attached.
+    let screen_start_ns = shared.now_ns();
     let screened = match &shared.quantized {
         Some(qnet) => {
             lock(&shared.stats).int8_screens += inputs.len() as u64;
@@ -1070,21 +1316,28 @@ fn screen_batch(
         }
         None => shared.screen.detect_batch_with_paths(&inputs),
     };
-    if let (Some(obs), Some(start_ns)) = (obs, screen_start_ns) {
-        let end_ns = shared.now_ns();
-        obs.screen_ns.record(end_ns.saturating_sub(start_ns));
+    let screen_end_ns = shared.now_ns();
+    observe_service(
+        shared,
+        screen_end_ns.saturating_sub(screen_start_ns),
+        inputs.len(),
+    );
+    if let Some(obs) = obs {
+        obs.screen_ns
+            .record(screen_end_ns.saturating_sub(screen_start_ns));
         if let Some(timeline) = &mut timeline {
             let stage = if shared.quantized.is_some() {
                 Stage::ScreenInt8
             } else {
                 Stage::Screen
             };
-            timeline.record(stage, start_ns, end_ns);
+            timeline.record(stage, screen_start_ns, screen_end_ns);
         }
     }
 
     // Phase 3: density feedback, cache lookup on the path prefix, band routing
     // to the escalation shard owning each screened class.
+    let mut degraded_served = 0u64;
     let mut groups: Vec<EscalationGroup> = (0..shared.escalate.len())
         .map(|shard| EscalationGroup {
             shard,
@@ -1114,6 +1367,30 @@ fn screen_batch(
         }
         let in_band = detection.score >= shared.band.0 && detection.score <= shared.band.1;
         if !shared.escalate.is_empty() && in_band {
+            if degraded {
+                // Mixed-criticality degradation: the batch was cut while the
+                // queue sat above the high watermark, so in-band requests take
+                // the tier-1 verdict instead of escalating.  The verdict is
+                // flagged and NOT cached — a degraded answer must never
+                // masquerade as a full-pipeline verdict on a later hit.
+                {
+                    let mut stats = lock(&shared.stats);
+                    stats.screen_served += 1;
+                    stats.degraded_served += 1;
+                }
+                degraded_served += 1;
+                finish(
+                    shared,
+                    &request,
+                    Ok(Served {
+                        detection,
+                        tier: Tier::Screen,
+                        cache_hit: false,
+                        degraded: true,
+                    }),
+                );
+                continue;
+            }
             // The screened class decides the owning shard; validation pinned
             // tiers to one shared network instance, so the shard's own forward
             // pass predicts the same class and never hits a placeholder
@@ -1147,8 +1424,14 @@ fn screen_batch(
                 detection,
                 tier: Tier::Screen,
                 cache_hit: false,
+                degraded: false,
             }),
         );
+    }
+    if degraded_served > 0 {
+        if let Some(timeline) = &mut timeline {
+            timeline.record(Stage::Degraded, screen_end_ns, shared.now_ns());
+        }
     }
     groups.retain(|group| !group.requests.is_empty());
     if groups.is_empty() {
@@ -1174,6 +1457,8 @@ pub struct ServerBuilder {
     workers: usize,
     queue_capacity: usize,
     policy: BatchPolicy,
+    admission: Option<AdmissionPolicy>,
+    degrade: Option<DegradePolicy>,
     cache: Option<CacheConfig>,
     pipeline: bool,
     /// `escalate`/`escalate_sharded` was called: an empty engine list must
@@ -1350,6 +1635,28 @@ impl ServerBuilder {
         self
     }
 
+    /// Enables deadline admission control (disabled by default).  With a
+    /// policy set, [`Server::submit_with_deadline`] estimates the request's
+    /// completion time from the queue depth and a service-time EMA, and sheds
+    /// the submission with [`ServeError::Shed`] when the estimate (scaled by
+    /// [`AdmissionPolicy::headroom`]) overshoots the deadline.  Submissions
+    /// without a deadline are never shed, so plain [`Server::submit`] traffic
+    /// is unaffected.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Enables mixed-criticality degradation (disabled by default).  While
+    /// the queue depth sits at or above the policy's high watermark, in-band
+    /// requests take the tier-1 screening verdict instead of escalating
+    /// (flagged via [`Served::degraded`], never cached); the server recovers
+    /// once the queue drains to the low watermark.  See [`DegradePolicy`].
+    pub fn degradation(mut self, policy: DegradePolicy) -> Self {
+        self.degrade = Some(policy);
+        self
+    }
+
     /// Sets the adaptive batch-forming policy (default [`BatchPolicy::default`]).
     pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
         self.policy = policy;
@@ -1412,6 +1719,12 @@ impl ServerBuilder {
             ));
         }
         self.policy.validate().map_err(ServeError::InvalidConfig)?;
+        if let Some(admission) = &self.admission {
+            admission.validate().map_err(ServeError::InvalidConfig)?;
+        }
+        if let Some(degrade) = &self.degrade {
+            degrade.validate().map_err(ServeError::InvalidConfig)?;
+        }
         if let Some((_, interval)) = &self.snapshot {
             if interval.is_zero() {
                 return Err(ServeError::InvalidConfig(
@@ -1610,6 +1923,10 @@ impl ServerBuilder {
             Some((path, interval)) => (Some(path), Some(interval)),
             None => (None, None),
         };
+        let (degrade_enter_at, degrade_exit_at) = self
+            .degrade
+            .map(|policy| policy.thresholds(self.queue_capacity))
+            .unwrap_or((usize::MAX, 0));
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::with_capacity(self.queue_capacity),
@@ -1627,6 +1944,13 @@ impl ServerBuilder {
             pipeline: self.pipeline,
             policy: self.policy,
             queue_capacity: self.queue_capacity,
+            workers: self.workers,
+            admission: self.admission,
+            degrade: self.degrade,
+            degrade_enter_at,
+            degrade_exit_at,
+            degraded: AtomicBool::new(false),
+            service_ema_ns: AtomicU64::new(0),
             cache,
             input_keys,
             cache_seed,

@@ -42,6 +42,31 @@ pub struct ServeStats {
     /// Requests whose screening score fell in the uncertainty band and were
     /// re-scored by a tier-2 escalation engine (summed over all shards).
     pub escalated: u64,
+    /// Requests rejected at submission by admission control
+    /// ([`crate::AdmissionPolicy`]): the deadline was predicted unmeetable at
+    /// the current queue depth.  Shed submissions never enter the queue and
+    /// are **not** counted in [`ServeStats::submitted`].
+    pub shed_admission: u64,
+    /// Requests dropped at batch formation because their deadline expired
+    /// while they waited in the queue.  These entered the queue (counted in
+    /// [`ServeStats::submitted`]) and resolve as
+    /// [`crate::ServeError::Shed`], counted under [`ServeStats::failed`].
+    pub shed_expired: u64,
+    /// Requests whose completion latency exceeded their deadline (only
+    /// requests submitted with a deadline can miss; sheds are not misses —
+    /// they never completed).
+    pub deadline_misses: u64,
+    /// In-band requests answered by the tier-1 screening verdict because the
+    /// server was in degraded mode ([`crate::DegradePolicy`]); a subset of
+    /// [`ServeStats::screen_served`], flagged per-request via
+    /// [`crate::Served::degraded`].
+    pub degraded_served: u64,
+    /// Times the server entered degraded (screen-tier-only) mode.
+    pub degrade_entered: u64,
+    /// Times the server recovered from degraded mode (the queue drained to
+    /// the low watermark).  At most [`ServeStats::degrade_entered`]; equal to
+    /// it once the server has fully recovered.
+    pub degrade_exited: u64,
     /// Escalated requests routed to each tier-2 shard, indexed like the
     /// engine list passed to [`crate::ServerBuilder::escalate_sharded`]
     /// (length 1 for a single [`crate::ServerBuilder::escalate`] engine, empty
@@ -81,8 +106,13 @@ pub struct ServeStats {
     pub mean_batch: f64,
     /// Median queue-to-result latency over all completed requests, in
     /// milliseconds (0.0 before the first completion).  Histogram-derived:
-    /// ~12.5% bucket resolution, clamped to the recorded `[min, max]`.
+    /// ~12.5% bucket resolution with within-bucket rank interpolation,
+    /// clamped to the recorded `[min, max]`.
     pub p50_latency_ms: f64,
+    /// 90th-percentile queue-to-result latency, in milliseconds (0.0 before
+    /// the first completion).  Same derivation as
+    /// [`ServeStats::p50_latency_ms`].
+    pub p90_latency_ms: f64,
     /// 99th-percentile queue-to-result latency over all completed requests,
     /// in milliseconds (0.0 before the first completion).  Same derivation as
     /// [`ServeStats::p50_latency_ms`].
@@ -117,6 +147,12 @@ pub(crate) struct StatsInner {
     pub screen_served: u64,
     pub int8_screens: u64,
     pub escalated: u64,
+    pub shed_admission: u64,
+    pub shed_expired: u64,
+    pub deadline_misses: u64,
+    pub degraded_served: u64,
+    pub degrade_entered: u64,
+    pub degrade_exited: u64,
     pub shard_escalations: Vec<u64>,
     pub pipelined_batches: u64,
     pub serial_batches: u64,
@@ -165,6 +201,12 @@ impl StatsInner {
             screen_served: self.screen_served,
             int8_screens: self.int8_screens,
             escalated: self.escalated,
+            shed_admission: self.shed_admission,
+            shed_expired: self.shed_expired,
+            deadline_misses: self.deadline_misses,
+            degraded_served: self.degraded_served,
+            degrade_entered: self.degrade_entered,
+            degrade_exited: self.degrade_exited,
             shard_escalations: self.shard_escalations.clone(),
             pipelined_batches: self.pipelined_batches,
             serial_batches: self.serial_batches,
@@ -181,6 +223,7 @@ impl StatsInner {
                 self.batched_requests as f64 / self.batches as f64
             },
             p50_latency_ms: percentile(0.50),
+            p90_latency_ms: percentile(0.90),
             p99_latency_ms: percentile(0.99),
         }
     }
@@ -213,6 +256,44 @@ mod tests {
         assert!(stats.p99_latency_ms >= 85.0);
         assert_eq!(stats.mean_batch, 2.5);
         assert_eq!(stats.max_batch, 5);
+    }
+
+    #[test]
+    fn percentiles_are_pinned_on_a_known_latency_sequence() {
+        // The estimator contract on a fully-known sequence: record
+        // 1..=1000 ms of uniformly-spread latencies, whose true p50/p90/p99
+        // are 500/900/990 ms.  Within-bucket rank interpolation must land
+        // each within one ≈12.5% log bucket of the truth (the old midpoint
+        // estimator only guaranteed the bucket's centre), stay mutually
+        // monotone, and stay inside the exact recorded extremes.
+        let mut inner = StatsInner::default();
+        for i in 1..=1_000u64 {
+            inner.record_latency(i * 1_000_000);
+        }
+        let stats = inner.snapshot();
+        assert!(
+            (stats.p50_latency_ms - 500.0).abs() <= 500.0 * 0.125,
+            "p50 drifted: {}",
+            stats.p50_latency_ms
+        );
+        assert!(
+            (stats.p90_latency_ms - 900.0).abs() <= 900.0 * 0.125,
+            "p90 drifted: {}",
+            stats.p90_latency_ms
+        );
+        assert!(
+            (stats.p99_latency_ms - 990.0).abs() <= 990.0 * 0.125,
+            "p99 drifted: {}",
+            stats.p99_latency_ms
+        );
+        assert!(stats.p50_latency_ms <= stats.p90_latency_ms);
+        assert!(stats.p90_latency_ms <= stats.p99_latency_ms);
+        assert!((1.0..=1_000.0).contains(&stats.p99_latency_ms));
+        // Evenly-spread bucket occupants interpolate to within 1% of the
+        // truth — an order of magnitude tighter than the bucket resolution.
+        assert!((stats.p50_latency_ms - 500.0).abs() <= 5.0);
+        assert!((stats.p90_latency_ms - 900.0).abs() <= 9.0);
+        assert!((stats.p99_latency_ms - 990.0).abs() <= 9.9);
     }
 
     #[test]

@@ -129,12 +129,13 @@ pub mod prelude {
         DetectionEngine, DetectionEngineBuilder, DetectionProgram, ExtractionSpec, Profiler,
         SoftwareBackend,
     };
-    pub use ptolemy_data::SyntheticDataset;
+    pub use ptolemy_data::{Arrivals, SyntheticDataset, WorkloadSpec, WorkloadTrace};
     pub use ptolemy_forest::{auc, RandomForest};
     pub use ptolemy_nn::{zoo, Network, TrainConfig, Trainer};
     pub use ptolemy_obs::{Clock, Registry};
     pub use ptolemy_serve::{
-        BatchPolicy, CacheConfig, ServeError, ServeStats, Served, Server, Ticket, Tier,
+        AdmissionPolicy, BatchPolicy, CacheConfig, DegradePolicy, ServeError, ServeStats, Served,
+        Server, ShedReason, Ticket, Tier,
     };
     pub use ptolemy_tensor::Tensor;
 }

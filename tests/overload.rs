@@ -1,0 +1,342 @@
+//! Overload-survival tests of the serving runtime: zero-overload parity
+//! (deadline-aware serving is bit-for-bit identical to plain serving for
+//! every `variants::*` escalation engine), degraded-mode parity against the
+//! screen engine, admission-control shedding, deadline expiry in the queue,
+//! and degradation engaging/disengaging across a burst.
+
+mod common;
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use ptolemy::obs::{Clock, Registry};
+use ptolemy::prelude::*;
+
+/// Engines and a request pool shared by every test: building engines needs
+/// training + profiling, far too slow to repeat per test.
+struct Fixtures {
+    screen: Arc<DetectionEngine>,
+    /// One calibrated escalation engine per `variants::*` constructor.
+    escalations: Vec<(&'static str, Arc<DetectionEngine>)>,
+    inputs: Vec<Tensor>,
+    /// An uncertainty band spanning the middle half of the pool's screening
+    /// scores, so the escalation/degradation paths are guaranteed traffic.
+    band: (f32, f32),
+}
+
+/// A deadline loose enough that no test machine can miss it.
+const GENEROUS: Duration = Duration::from_secs(600);
+
+fn fixtures() -> &'static Fixtures {
+    static FIXTURES: OnceLock<Fixtures> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let (network, dataset) = common::trained_lenet(0x0D10);
+        let network = Arc::new(network);
+        let benign = common::benign_inputs(&dataset);
+        let attack = Fgsm::new(0.25);
+        let adversarial: Vec<Tensor> = dataset
+            .test()
+            .iter()
+            .map(|(x, y)| attack.perturb(&network, x, *y).unwrap().input)
+            .collect();
+        let build = |program: DetectionProgram| {
+            let class_paths = Profiler::new(program.clone())
+                .profile(&network, dataset.train())
+                .unwrap();
+            Arc::new(
+                DetectionEngine::builder(network.clone(), program, class_paths)
+                    .calibrate(&benign, &adversarial)
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let screen = build(variants::fw_ab(&network, 0.05).unwrap());
+        let escalations = vec![
+            ("bw_cu", build(variants::bw_cu(&network, 0.5).unwrap())),
+            ("bw_ab", build(variants::bw_ab(&network, 0.2).unwrap())),
+            ("fw_ab", build(variants::fw_ab(&network, 0.1).unwrap())),
+            ("fw_cu", build(variants::fw_cu(&network, 0.5).unwrap())),
+            (
+                "hybrid",
+                build(variants::hybrid(&network, 0.2, 0.5).unwrap()),
+            ),
+            (
+                "bw_cu_early_termination",
+                build(variants::bw_cu_early_termination(&network, 0.5, 2).unwrap()),
+            ),
+            (
+                "fw_ab_late_start",
+                build(variants::fw_ab_late_start(&network, 0.05, 1).unwrap()),
+            ),
+        ];
+        let mut inputs = benign;
+        inputs.extend(adversarial);
+        let mut scores: Vec<f32> = inputs
+            .iter()
+            .map(|x| screen.detect(x).unwrap().score)
+            .collect();
+        scores.sort_by(f32::total_cmp);
+        let band = (scores[scores.len() / 4], scores[scores.len() * 3 / 4]);
+        Fixtures {
+            screen,
+            escalations,
+            inputs,
+            band,
+        }
+    })
+}
+
+fn assert_same_detection(a: &Detection, b: &Detection, context: &str) {
+    assert_eq!(a.is_adversary, b.is_adversary, "{context}");
+    assert_eq!(a.predicted_class, b.predicted_class, "{context}");
+    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{context}");
+    assert_eq!(a.similarity.to_bits(), b.similarity.to_bits(), "{context}");
+}
+
+/// Zero overload ⇒ the overload machinery is inert: for every `variants::*`
+/// escalation engine, a server with admission control, degradation and
+/// generous per-request deadlines serves bit-for-bit the verdicts the plain
+/// server serves, with every shed/degrade/miss counter at zero.
+#[test]
+fn zero_overload_deadline_serving_matches_plain_serving_for_every_variant() {
+    let fx = fixtures();
+    for (name, escalate) in &fx.escalations {
+        let plain = Server::builder(fx.screen.clone())
+            .escalate(escalate.clone(), fx.band.0, fx.band.1)
+            .workers(2)
+            .start()
+            .unwrap();
+        let guarded = Server::builder(fx.screen.clone())
+            .escalate(escalate.clone(), fx.band.0, fx.band.1)
+            .workers(2)
+            .queue_capacity(1024)
+            .admission(AdmissionPolicy::default())
+            .degradation(DegradePolicy {
+                high_watermark: 1.0,
+                low_watermark: 0.25,
+            })
+            .start()
+            .unwrap();
+
+        let plain_tickets: Vec<Ticket> = fx
+            .inputs
+            .iter()
+            .map(|x| plain.submit(x.clone()).unwrap())
+            .collect();
+        let guarded_tickets: Vec<Ticket> = fx
+            .inputs
+            .iter()
+            .map(|x| guarded.submit_with_deadline(x.clone(), GENEROUS).unwrap())
+            .collect();
+
+        for (a, b) in plain_tickets.into_iter().zip(guarded_tickets) {
+            let a = a.wait().unwrap();
+            let b = b.wait().unwrap();
+            assert_eq!(a.tier, b.tier, "{name}: routing must not change");
+            assert!(!b.degraded, "{name}: no degradation under zero overload");
+            assert_same_detection(&a.detection, &b.detection, name);
+        }
+
+        let stats = guarded.shutdown();
+        assert_eq!(stats.completed, fx.inputs.len() as u64, "{name}");
+        assert_eq!(stats.shed_admission, 0, "{name}");
+        assert_eq!(stats.shed_expired, 0, "{name}");
+        assert_eq!(stats.deadline_misses, 0, "{name}");
+        assert_eq!(stats.degraded_served, 0, "{name}");
+        assert_eq!(stats.degrade_entered, 0, "{name}");
+        plain.shutdown();
+    }
+}
+
+/// A permanently-degraded server (high watermark 0: any non-empty queue
+/// counts as pressure) serves every request the screen engine's direct
+/// `detect` verdict, bit for bit — in-band requests flagged `degraded`, no
+/// escalations at all.
+#[test]
+fn degraded_verdicts_match_the_screen_engine_bit_for_bit() {
+    let fx = fixtures();
+    let (_, escalate) = &fx.escalations[0];
+    let server = Server::builder(fx.screen.clone())
+        .escalate(escalate.clone(), fx.band.0, fx.band.1)
+        .workers(2)
+        .degradation(DegradePolicy {
+            high_watermark: 0.0,
+            low_watermark: 0.0,
+        })
+        .start()
+        .unwrap();
+
+    let tickets: Vec<Ticket> = fx
+        .inputs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect();
+    let mut degraded = 0u64;
+    for (input, ticket) in fx.inputs.iter().zip(tickets) {
+        let served = ticket.wait().unwrap();
+        let expected = fx.screen.detect(input).unwrap();
+        assert_eq!(served.tier, Tier::Screen);
+        assert_same_detection(&served.detection, &expected, "degraded parity");
+        let in_band = (fx.band.0..=fx.band.1).contains(&expected.score);
+        assert_eq!(
+            served.degraded, in_band,
+            "exactly the would-have-escalated requests are flagged"
+        );
+        degraded += u64::from(served.degraded);
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, fx.inputs.len() as u64);
+    assert_eq!(stats.escalated, 0, "degradation sheds all tier-2 work");
+    assert_eq!(stats.degraded_served, degraded);
+    assert!(degraded > 0, "the pool must exercise the uncertainty band");
+    assert!(stats.degrade_entered >= 1);
+}
+
+/// Once the service-time EMA is seeded, submissions whose deadline the
+/// backlog estimate already dooms are shed at submission — no ticket, no
+/// queue slot, typed [`ServeError::Shed`].
+#[test]
+fn admission_control_sheds_doomed_submissions_at_the_door() {
+    let fx = fixtures();
+    let server = Server::builder(fx.screen.clone())
+        .workers(1)
+        .admission(AdmissionPolicy::default())
+        .start()
+        .unwrap();
+
+    // Seed the EMA: plain submissions are never shed, and their batches time
+    // the screen pass.
+    for input in &fx.inputs[..4] {
+        server.submit(input.clone()).unwrap().wait().unwrap();
+    }
+
+    // A 1 ns deadline budget is unmeetable next to a real screen pass: every
+    // submission must shed at admission, before consuming a queue slot.
+    let mut shed = 0u64;
+    for input in &fx.inputs[4..12] {
+        match server.submit_with_deadline(input.clone(), Duration::from_nanos(1)) {
+            Err(ServeError::Shed(ShedReason::Admission)) => shed += 1,
+            other => panic!("expected an admission shed, got {other:?}"),
+        }
+    }
+    assert_eq!(shed, 8);
+
+    // Generous deadlines still pass admission on the same server.
+    server
+        .submit_with_deadline(fx.inputs[0].clone(), GENEROUS)
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.shed_admission, 8);
+    assert_eq!(stats.submitted, 5, "shed submissions never enqueue");
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.shed_expired, 0);
+}
+
+/// A queued request whose deadline passes before a worker reaches it is
+/// dropped at batch formation with [`ShedReason::DeadlineExpired`] — pinned
+/// on a manual clock so the expiry is deterministic.
+#[test]
+fn expired_requests_are_dropped_in_the_queue() {
+    let fx = fixtures();
+    let registry = Arc::new(Registry::with_clock("overload-test", Clock::manual()));
+    let server = Server::builder(fx.screen.clone())
+        .workers(1)
+        .batch_policy(BatchPolicy {
+            max_batch: 1,
+            ..BatchPolicy::default()
+        })
+        .instrument(registry.clone())
+        .start()
+        .unwrap();
+
+    // Two deadline-less requests keep the single worker busy with real wall
+    // time; once the first is cut, the deadlined request queues (at the EDF
+    // front) and its manual clock expires long before the worker returns.
+    let busy: Vec<Ticket> = fx.inputs[..2]
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect();
+    while server.pending() > 1 {
+        std::thread::yield_now();
+    }
+    let doomed = server
+        .submit_with_deadline(fx.inputs[2].clone(), Duration::from_nanos(10))
+        .unwrap();
+    registry.clock().advance(1_000_000);
+
+    for ticket in busy {
+        ticket.wait().unwrap();
+    }
+    match doomed.wait() {
+        Err(ServeError::Shed(ShedReason::DeadlineExpired)) => {}
+        other => panic!("expected a deadline-expiry shed, got {other:?}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.shed_expired, 1);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 1, "the expired request resolves as failed");
+}
+
+/// Degradation engages while a burst keeps the queue above the high
+/// watermark and disengages as the tail drains below the low watermark; the
+/// entry/exit counters pair up and degraded verdicts stay screen-tier.
+#[test]
+fn degradation_engages_and_disengages_across_a_burst() {
+    let fx = fixtures();
+    let (_, escalate) = &fx.escalations[0];
+    // One worker, one request per batch, a tiny queue: blocking submissions
+    // pile the queue to capacity (entering degraded mode at depth >= 6), and
+    // the tail drains one request per cut so some cut must observe depth <= 2
+    // and recover.
+    let server = Server::builder(fx.screen.clone())
+        .escalate(escalate.clone(), fx.band.0, fx.band.1)
+        .workers(1)
+        .queue_capacity(8)
+        .batch_policy(BatchPolicy {
+            max_batch: 1,
+            ..BatchPolicy::default()
+        })
+        .degradation(DegradePolicy {
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+        })
+        .start()
+        .unwrap();
+
+    let burst: Vec<&Tensor> = fx.inputs.iter().cycle().take(48).collect();
+    let tickets: Vec<Ticket> = burst
+        .iter()
+        .map(|x| server.submit((*x).clone()).unwrap())
+        .collect();
+    for (input, ticket) in burst.iter().zip(tickets) {
+        let served = ticket.wait().unwrap();
+        if served.degraded {
+            // A degraded verdict is the screen engine's, bit for bit.
+            assert_eq!(served.tier, Tier::Screen);
+            let expected = fx.screen.detect(input).unwrap();
+            assert_same_detection(&served.detection, &expected, "burst degraded");
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 48);
+    assert!(
+        stats.degrade_entered >= 1,
+        "the burst must push the queue past the high watermark"
+    );
+    assert!(
+        stats.degrade_exited >= 1,
+        "the drain must recover below the low watermark"
+    );
+    assert_eq!(
+        stats.degrade_entered, stats.degrade_exited,
+        "the final cut drains the queue, so every entry has a paired exit"
+    );
+    assert!(stats.degraded_served >= 1, "the burst must degrade traffic");
+    assert_eq!(stats.shed_admission, 0, "no admission policy configured");
+}

@@ -1,0 +1,159 @@
+//! Property tests of the `ptolemy_data::workload` generator: seeded
+//! determinism, Poisson interarrival calibration, UUniFast utilization
+//! splitting and Weibull service-size sampling.
+
+use proptest::prelude::*;
+use ptolemy::data::workload::{uunifast, Weibull};
+use ptolemy::prelude::*;
+use ptolemy::tensor::Rng64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same spec (including seed) ⇒ bit-identical trace; the generator is a
+    /// pure function of its spec.
+    #[test]
+    fn same_seed_yields_identical_traces(
+        seed in any::<u64>(),
+        requests in 1usize..=512,
+        classes in 1usize..=8,
+        burst in 0u64..=5_000_000,
+    ) {
+        // burst == 0 doubles as "plain Poisson" so one property covers both
+        // open-loop arrival processes.
+        let spec = WorkloadSpec {
+            seed,
+            requests,
+            classes,
+            arrivals: if burst > 0 {
+                Arrivals::Bursty { burstiness: 4.0, mean_burst_ns: burst }
+            } else {
+                Arrivals::Poisson
+            },
+            ..WorkloadSpec::default()
+        };
+        let a = spec.generate().unwrap();
+        let b = spec.generate().unwrap();
+        prop_assert_eq!(a.events().len(), requests);
+        prop_assert_eq!(a.utilizations().len(), classes);
+        for (x, y) in a.events().iter().zip(b.events()) {
+            prop_assert_eq!(x.arrival_ns, y.arrival_ns);
+            prop_assert_eq!(x.class, y.class);
+            prop_assert_eq!(x.service_scale.to_bits(), y.service_scale.to_bits());
+            prop_assert_eq!(x.deadline_ns, y.deadline_ns);
+        }
+        for (x, y) in a.utilizations().iter().zip(b.utilizations()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(a.class_deadline_ns(), b.class_deadline_ns());
+    }
+
+    /// Poisson interarrivals average out to the rate the spec implies:
+    /// `rate = utilization / mean_service`, so the mean gap over a long trace
+    /// lands within a loose statistical tolerance of `1 / rate`.
+    #[test]
+    fn poisson_interarrival_mean_matches_the_offered_rate(
+        seed in any::<u64>(),
+        utilization in 0.2f64..2.0,
+    ) {
+        let requests = 4096usize;
+        let mean_service_ns = 1_000_000u64;
+        let spec = WorkloadSpec {
+            seed,
+            requests,
+            total_utilization: utilization,
+            mean_service_ns,
+            arrivals: Arrivals::Poisson,
+            ..WorkloadSpec::default()
+        };
+        let trace = spec.generate().unwrap();
+        let expected_gap = mean_service_ns as f64 / utilization;
+        let mean_gap = trace.duration_ns() as f64 / (requests - 1) as f64;
+        // Exponential gaps: the sample mean's relative error over n draws
+        // concentrates around 1/sqrt(n) ≈ 1.6%; 15% is ~9 sigma.
+        prop_assert!(
+            (mean_gap - expected_gap).abs() / expected_gap < 0.15,
+            "mean gap {mean_gap} vs expected {expected_gap}"
+        );
+        // Arrivals are ordered.
+        for pair in trace.events().windows(2) {
+            prop_assert!(pair[0].arrival_ns <= pair[1].arrival_ns);
+        }
+    }
+
+    /// UUniFast splits the requested total utilization exactly (up to float
+    /// rounding) across n non-negative class shares.
+    #[test]
+    fn uunifast_shares_sum_to_the_target(
+        seed in any::<u64>(),
+        n in 1usize..=32,
+        total in 0.05f64..4.0,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let shares = uunifast(n, total, &mut rng).unwrap();
+        prop_assert_eq!(shares.len(), n);
+        for &share in &shares {
+            prop_assert!(share >= 0.0 && share.is_finite());
+        }
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9 * total.max(1.0), "sum {sum} vs {total}");
+    }
+
+    /// Weibull samples are strictly positive, finite and seed-stable.
+    #[test]
+    fn weibull_samples_are_positive_and_seed_stable(
+        seed in any::<u64>(),
+        shape in 0.5f64..5.0,
+    ) {
+        let weibull = Weibull::with_unit_mean(shape).unwrap();
+        let mut a = Rng64::new(seed);
+        let mut b = Rng64::new(seed);
+        for _ in 0..256 {
+            let x = weibull.sample(&mut a);
+            let y = weibull.sample(&mut b);
+            prop_assert!(x > 0.0 && x.is_finite());
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Every generated event is internally consistent: class in range,
+    /// positive service scale, and the class-indexed deadline budget.
+    #[test]
+    fn events_are_internally_consistent(
+        seed in any::<u64>(),
+        classes in 1usize..=6,
+    ) {
+        let spec = WorkloadSpec {
+            seed,
+            requests: 128,
+            classes,
+            ..WorkloadSpec::default()
+        };
+        let trace = spec.generate().unwrap();
+        for event in trace.events() {
+            prop_assert!(event.class < classes);
+            prop_assert!(event.service_scale > 0.0);
+            prop_assert_eq!(event.deadline_ns, trace.class_deadline_ns()[event.class]);
+        }
+    }
+}
+
+/// Different seeds change the trace (not a property test: one deliberate
+/// counterexample pair is enough, and a random pair could in principle
+/// collide).
+#[test]
+fn different_seeds_change_the_trace() {
+    let a = WorkloadSpec {
+        seed: 1,
+        ..WorkloadSpec::default()
+    }
+    .generate()
+    .unwrap();
+    let b = WorkloadSpec {
+        seed: 2,
+        ..WorkloadSpec::default()
+    }
+    .generate()
+    .unwrap();
+    assert_ne!(a.events(), b.events());
+}
